@@ -1,0 +1,119 @@
+// Ablation (Section 3.3): the paper states "We have experimented with these
+// formulas as well. Formula (6) seems more appropriate, as it captures the
+// intuition that the overall degree of interest should be affected not only
+// by the doi's in its positive and negative parts, but also by the number of
+// preferences contributing to each one of them."
+//
+// Reproduction: simulated users rate tuples with a latent mixed combinator
+// (sum for some users, count-weighted for others); for each system-side
+// choice of Eq. 5 vs Eq. 6 we measure how often the system's ranking
+// inverts the user's pairwise judgments. The count-weighted form should fit
+// count-weighted users much better than the sum form fits sum users is not
+// the claim — the claim reproduced is that each form is distinguishable and
+// matching the user's form minimizes inversions.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/personalizer.h"
+#include "sql/parser.h"
+
+using namespace qp;
+
+namespace {
+
+double InversionRate(const core::PersonalizedAnswer& answer,
+                     const core::RankingFunction& latent, size_t window) {
+  const size_t n = std::min(window, answer.tuples.size());
+  std::vector<double> user(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> pos, neg;
+    for (const auto& o : answer.tuples[i].satisfied) {
+      pos.push_back(std::clamp(o.degree, 0.0, 1.0));
+    }
+    for (const auto& o : answer.tuples[i].failed) {
+      neg.push_back(std::clamp(o.degree, -1.0, 0.0));
+    }
+    user[i] = latent.Rank(pos, neg);
+  }
+  size_t inversions = 0, pairs = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (std::abs(user[i] - user[j]) < 1e-9) continue;
+      ++pairs;
+      if (user[i] < user[j]) ++inversions;
+    }
+  }
+  return pairs == 0 ? 0.0 : static_cast<double>(inversions) / pairs;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Mixed combinators: Eq. 5 (sum) vs Eq. 6 (count-weighted)",
+                     "the Section 3.3 discussion of mixed combinations");
+
+  auto db_config = datagen::MovieGenConfig::TestScale();
+  db_config.num_movies = 3000;
+  auto db = datagen::GenerateMovieDatabase(db_config);
+  if (!db.ok()) return 1;
+
+  auto query = sql::ParseQuery("select mid, title from movie");
+  if (!query.ok()) return 1;
+
+  std::printf("%22s | %18s %18s\n", "user's latent form",
+              "system Eq.5 (sum)", "system Eq.6 (count)");
+  for (auto latent_mixed :
+       {core::MixedStyle::kSum, core::MixedStyle::kCountWeighted}) {
+    double inv_sum = 0.0, inv_count = 0.0;
+    size_t users = 0;
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+      datagen::ProfileGenConfig pg;
+      pg.seed = seed * 13;
+      pg.num_presence = 8;
+      pg.num_negative = 3;
+      pg.db_config = db_config;
+      auto profile = datagen::GenerateProfile(pg);
+      if (!profile.ok()) return 1;
+      auto personalizer = core::Personalizer::Make(&*db, &*profile);
+      if (!personalizer.ok()) return 1;
+
+      const core::RankingFunction latent(core::CombinationStyle::kInflationary,
+                                         core::CombinationStyle::kInflationary,
+                                         latent_mixed);
+      for (auto system_mixed :
+           {core::MixedStyle::kSum, core::MixedStyle::kCountWeighted}) {
+        core::PersonalizeOptions options;
+        options.k = 10;
+        options.l = 1;
+        options.ranking =
+            core::RankingFunction(core::CombinationStyle::kInflationary,
+                                  core::CombinationStyle::kInflationary,
+                                  system_mixed);
+        auto answer = personalizer->Personalize((*query)->single(), options);
+        if (!answer.ok()) {
+          std::fprintf(stderr, "personalize failed: %s\n",
+                       answer.status().ToString().c_str());
+          return 1;
+        }
+        const double rate = InversionRate(*answer, latent, 60);
+        if (system_mixed == core::MixedStyle::kSum) {
+          inv_sum += rate;
+        } else {
+          inv_count += rate;
+        }
+      }
+      ++users;
+    }
+    std::printf("%22s | %17.3f%% %17.3f%%\n",
+                core::MixedStyleName(latent_mixed),
+                100.0 * inv_sum / users, 100.0 * inv_count / users);
+  }
+  std::printf(
+      "\nReading: each cell is the fraction of tuple pairs the system ranks\n"
+      "opposite to the user. The diagonal (system form == user form) should\n"
+      "be lowest; the count-weighted user is served badly by the sum form\n"
+      "and vice versa — motivating the paper's suggestion to pick the form\n"
+      "per user (Section 6.3) rather than globally.\n");
+  return 0;
+}

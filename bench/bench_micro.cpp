@@ -1,0 +1,217 @@
+// Micro-benchmarks (google-benchmark) for the hot paths underneath the
+// figure reproductions: ranking functions, elastic doi evaluation,
+// personalization-graph selection, executor scans / joins / point probes,
+// and histogram estimation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/path_probe.h"
+#include "core/select_top_k.h"
+#include "datagen/moviegen.h"
+#include "datagen/profilegen.h"
+#include "exec/executor.h"
+#include "sql/parser.h"
+#include "stats/table_stats.h"
+
+using namespace qp;
+
+namespace {
+
+const storage::Database& SharedDb() {
+  static storage::Database* db = [] {
+    auto generated =
+        datagen::GenerateMovieDatabase(datagen::MovieGenConfig::TestScale());
+    return new storage::Database(std::move(generated).value());
+  }();
+  return *db;
+}
+
+const core::UserProfile& SharedProfile() {
+  static core::UserProfile* profile = [] {
+    datagen::ProfileGenConfig config;
+    config.num_presence = 20;
+    config.num_negative = 4;
+    config.num_elastic = 3;
+    config.db_config = datagen::MovieGenConfig::TestScale();
+    return new core::UserProfile(
+        std::move(datagen::GenerateProfile(config)).value());
+  }();
+  return *profile;
+}
+
+void BM_RankingFunction(benchmark::State& state) {
+  const auto style = static_cast<core::CombinationStyle>(state.range(0));
+  core::RankingFunction ranking = core::RankingFunction::Make(style);
+  std::vector<double> pos = {0.9, 0.7, 0.55, 0.31, 0.62, 0.18};
+  std::vector<double> neg = {-0.4, -0.8, -0.05};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ranking.Rank(pos, neg));
+  }
+}
+BENCHMARK(BM_RankingFunction)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ElasticDoiEval(benchmark::State& state) {
+  auto fn = core::DoiFunction::Triangular(0.8, 120.0, 30.0);
+  double u = 91.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn->Eval(u));
+    u += 0.01;
+    if (u > 150) u = 91.0;
+  }
+}
+BENCHMARK(BM_ElasticDoiEval);
+
+void BM_PreferenceSelection(benchmark::State& state) {
+  const auto& db = SharedDb();
+  const auto& profile = SharedProfile();
+  auto graph = core::PersonalizationGraph::Build(&db, &profile);
+  core::PreferenceSelector selector(&*graph);
+  auto query = sql::ParseQuery("select title from movie");
+  const auto ctx = core::QueryContext::FromQuery((*query)->single());
+  const bool fake = state.range(0) != 0;
+  const auto criterion = core::SelectionCriterion::TopK(10);
+  for (auto _ : state) {
+    auto selected = fake ? selector.SelectFakeCrit(ctx, criterion)
+                         : selector.SelectSPS(ctx, criterion);
+    benchmark::DoNotOptimize(selected);
+  }
+}
+BENCHMARK(BM_PreferenceSelection)->Arg(0)->Arg(1);
+
+void BM_ExecutorScanFilter(benchmark::State& state) {
+  const auto& db = SharedDb();
+  exec::Executor executor(&db);
+  auto query = sql::ParseQuery(
+      "select title from movie where movie.year >= 1990 and "
+      "movie.duration <= 120");
+  for (auto _ : state) {
+    auto rows = executor.Execute(**query);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_ExecutorScanFilter);
+
+void BM_ExecutorHashJoin(benchmark::State& state) {
+  const auto& db = SharedDb();
+  exec::Executor executor(&db);
+  auto query = sql::ParseQuery(
+      "select movie.title from movie, genre "
+      "where movie.mid = genre.mid and genre.genre = 'comedy'");
+  for (auto _ : state) {
+    auto rows = executor.Execute(**query);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_ExecutorHashJoin);
+
+void BM_ExecutorPointProbe(benchmark::State& state) {
+  const auto& db = SharedDb();
+  exec::Executor executor(&db);
+  auto query = sql::ParseQuery(
+      "select movie.title, genre.genre from movie, genre "
+      "where movie.mid = genre.mid and movie.mid = 123");
+  for (auto _ : state) {
+    auto rows = executor.Execute(**query);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_ExecutorPointProbe);
+
+void BM_ExecutorNotInSubquery(benchmark::State& state) {
+  const auto& db = SharedDb();
+  exec::Executor executor(&db);
+  auto query = sql::ParseQuery(
+      "select title from movie where movie.mid not in "
+      "(select mid from genre where genre.genre = 'musical')");
+  for (auto _ : state) {
+    auto rows = executor.Execute(**query);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_ExecutorNotInSubquery);
+
+void BM_PreparedPathProbe(benchmark::State& state) {
+  const auto& db = SharedDb();
+  // A two-hop probe (movie -> directed -> director), PPA's hottest path.
+  core::SelectionPreference sel;
+  sel.condition = {*storage::AttributeRef::Parse("director.name"),
+                   sql::BinaryOp::kEq, storage::Value("Director 1")};
+  sel.doi = *core::DoiPair::Exact(0.8, 0.0);
+  core::JoinPreference j1{*storage::AttributeRef::Parse("movie.mid"),
+                          *storage::AttributeRef::Parse("directed.mid"), 1.0};
+  core::JoinPreference j2{*storage::AttributeRef::Parse("directed.did"),
+                          *storage::AttributeRef::Parse("director.did"), 0.9};
+  auto pref = *(*core::ImplicitPreference::Join(j1).ExtendWith(j2))
+                   .ExtendWith(sel);
+  auto probe = core::PathProbe::Prepare(&db, pref);
+  int64_t mid = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(probe->TruthDegree(storage::Value(mid)));
+    mid = mid % 400 + 1;
+  }
+}
+BENCHMARK(BM_PreparedPathProbe);
+
+void BM_SqlPointProbe(benchmark::State& state) {
+  // The same semantic check through the SQL executor, for comparison.
+  const auto& db = SharedDb();
+  exec::Executor executor(&db);
+  auto query = sql::ParseQuery(
+      "select m.mid, 0.72 degree from movie m, directed d, director di "
+      "where m.mid = d.mid and d.did = di.did and di.name = 'Director 1' "
+      "and m.mid = 1");
+  for (auto _ : state) {
+    auto rows = executor.Execute(**query);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_SqlPointProbe);
+
+void BM_HistogramBuild(benchmark::State& state) {
+  const auto& db = SharedDb();
+  for (auto _ : state) {
+    stats::StatsManager stats(&db);
+    auto hist = stats.GetHistogram(storage::AttributeRef("movie", "year"));
+    benchmark::DoNotOptimize(hist);
+  }
+}
+BENCHMARK(BM_HistogramBuild);
+
+void BM_SelectivityEstimate(benchmark::State& state) {
+  const auto& db = SharedDb();
+  stats::StatsManager stats(&db);
+  const storage::AttributeRef attr("movie", "year");
+  // Warm the cache so the loop measures estimation only.
+  stats.EstimateSelectivity(attr, stats::CompareOp::kLt,
+                            storage::Value(int64_t{1990}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats.EstimateSelectivity(
+        attr, stats::CompareOp::kLt, storage::Value(int64_t{1990})));
+  }
+}
+BENCHMARK(BM_SelectivityEstimate);
+
+void BM_ProfileParse(benchmark::State& state) {
+  const std::string text = SharedProfile().Serialize();
+  for (auto _ : state) {
+    auto profile = core::UserProfile::Parse(text);
+    benchmark::DoNotOptimize(profile);
+  }
+}
+BENCHMARK(BM_ProfileParse);
+
+void BM_SqlParse(benchmark::State& state) {
+  const std::string sql =
+      "select m.title, 0.72 degree from movie m, directed d, director di "
+      "where m.mid = d.mid and d.did = di.did and di.name = 'W. Allen' "
+      "order by m.title limit 10";
+  for (auto _ : state) {
+    auto query = sql::ParseQuery(sql);
+    benchmark::DoNotOptimize(query);
+  }
+}
+BENCHMARK(BM_SqlParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Shared setup for the figure-reproduction benches: a common database
+// scale (override with QP_BENCH_MOVIES), deterministic profiles, and small
+// printing helpers. Each bench binary prints the rows/series of one paper
+// table or figure.
+
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "datagen/moviegen.h"
+#include "datagen/profilegen.h"
+
+namespace qp::bench {
+
+/// Database scale for the timing benches. The paper ran on an IMDb snapshot
+/// with ~340k films on Oracle 9i; the default here is scaled down so the
+/// full bench suite finishes in minutes. Set QP_BENCH_MOVIES=340000 to run
+/// at paper scale.
+inline datagen::MovieGenConfig BenchDbConfig() {
+  datagen::MovieGenConfig config;
+  config.num_movies = 60000;
+  config.num_directors = 6000;
+  config.num_actors = 25000;
+  config.num_theatres = 300;
+  config.plays_per_theatre = 50;
+  if (const char* env = std::getenv("QP_BENCH_MOVIES")) {
+    config.num_movies = std::strtoull(env, nullptr, 10);
+    config.num_directors = std::max<size_t>(config.num_movies / 12, 100);
+    config.num_actors = std::max<size_t>(config.num_movies / 3, 500);
+  }
+  return config;
+}
+
+/// Smaller database for the simulated-user benches (they run 14 users x 5
+/// queries x 2 algorithms, each building a latent model).
+inline datagen::MovieGenConfig StudyDbConfig() {
+  datagen::MovieGenConfig config;
+  config.num_movies = 4000;
+  config.num_directors = 400;
+  config.num_actors = 1500;
+  config.num_theatres = 60;
+  config.plays_per_theatre = 30;
+  if (const char* env = std::getenv("QP_STUDY_MOVIES")) {
+    config.num_movies = std::strtoull(env, nullptr, 10);
+  }
+  return config;
+}
+
+/// Wall-clock seconds of `fn()`.
+template <typename Fn>
+double TimeSeconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(reproduces %s)\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace qp::bench

@@ -1,0 +1,146 @@
+// Feedback loop: learning a user's ranking philosophy from their tuple
+// ratings (the paper's Section 6.3 proposal), storing it in the profile,
+// and serving context-aware, descriptor-filtered answers with it.
+//
+//   ./feedback_loop
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/context_policy.h"
+#include "core/learn_ranking.h"
+#include "core/personalizer.h"
+#include "datagen/moviegen.h"
+#include "datagen/profilegen.h"
+#include "sim/simuser.h"
+#include "sql/parser.h"
+
+using namespace qp;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  auto db_config = datagen::MovieGenConfig::TestScale();
+  db_config.num_movies = 3000;
+  auto db = datagen::GenerateMovieDatabase(db_config);
+  if (!db.ok()) return Fail(db.status());
+
+  datagen::ProfileGenConfig pg;
+  pg.seed = 4242;
+  pg.num_presence = 10;
+  pg.num_elastic = 2;
+  pg.db_config = db_config;
+  auto profile = datagen::GenerateProfile(pg);
+  if (!profile.ok()) return Fail(profile.status());
+
+  auto personalizer = core::Personalizer::Make(&*db, &*profile);
+  if (!personalizer.ok()) return Fail(personalizer.status());
+  auto parsed = sql::ParseQuery("select mid, title from movie");
+  if (!parsed.ok()) return Fail(parsed.status());
+  const sql::SelectQuery& query = (*parsed)->single();
+
+  // Round 1: personalize with the default (inflationary) function.
+  core::PersonalizeOptions options;
+  options.k = 0;  // all related preferences
+  options.l = 2;
+  auto round1 = personalizer->Personalize(query, options);
+  if (!round1.ok()) return Fail(round1.status());
+  std::cout << "Round 1 (" << options.ranking.ToString() << "): "
+            << round1->tuples.size() << " tuples.\n";
+
+  // The user rates the tuples they see. This user combines preferences
+  // with a *dominant* philosophy — the system doesn't know that yet.
+  const core::RankingFunction latent = core::RankingFunction::Make(
+      core::CombinationStyle::kDominant, core::MixedStyle::kCountWeighted);
+  Rng noise(7);
+  core::RankingFunctionLearner learner;
+  const size_t rated = std::min<size_t>(30, round1->tuples.size());
+  for (size_t i = 0; i < rated; ++i) {
+    const auto& t = round1->tuples[i];
+    std::vector<double> pos, neg;
+    for (const auto& o : t.satisfied) pos.push_back(std::clamp(o.degree, 0.0, 1.0));
+    for (const auto& o : t.failed) neg.push_back(std::clamp(o.degree, -1.0, 0.0));
+    const double score =
+        std::clamp(10.0 * latent.Rank(pos, neg) + noise.Gaussian(0.0, 0.4),
+                   -10.0, 10.0);
+    if (auto status = learner.AddFeedback(t, score); !status.ok()) {
+      return Fail(status);
+    }
+  }
+  std::cout << "Collected " << learner.num_observations()
+            << " tuple ratings.\n\n";
+
+  // Fit the candidate ranking functions.
+  auto fits = learner.Evaluate();
+  if (!fits.ok()) return Fail(fits.status());
+  std::cout << "Fit of each candidate ranking function (mean |error|):\n";
+  for (const auto& fit : *fits) {
+    std::cout << "  " << core::CombinationStyleName(fit.style) << " + "
+              << core::MixedStyleName(fit.mixed) << ": " << fit.mean_abs_error
+              << "\n";
+  }
+  auto best = learner.Best();
+  if (!best.ok()) return Fail(best.status());
+  std::cout << "\nLearned philosophy: " << best->ToString()
+            << " — storing it in the profile.\n\n";
+  profile->set_preferred_ranking(*best);
+
+  // Round 2: the profile's learned function ranks the answers.
+  options.use_profile_ranking = true;
+  auto round2 = personalizer->Personalize(query, options);
+  if (!round2.ok()) return Fail(round2.status());
+
+  // How well does each round's order agree with the user's own scores?
+  auto disagreement = [&](const core::PersonalizedAnswer& answer) {
+    size_t inversions = 0, pairs = 0;
+    const size_t n = std::min<size_t>(20, answer.tuples.size());
+    std::vector<double> user_score(n);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double> pos, neg;
+      for (const auto& o : answer.tuples[i].satisfied) {
+        pos.push_back(std::clamp(o.degree, 0.0, 1.0));
+      }
+      for (const auto& o : answer.tuples[i].failed) {
+        neg.push_back(std::clamp(o.degree, -1.0, 0.0));
+      }
+      user_score[i] = latent.Rank(pos, neg);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        ++pairs;
+        if (user_score[i] < user_score[j] - 1e-9) ++inversions;
+      }
+    }
+    return pairs == 0 ? 0.0 : static_cast<double>(inversions) / pairs;
+  };
+  std::cout << "Ranking disagreement with the user's taste (lower is "
+               "better):\n";
+  std::cout << "  round 1 (default function): " << disagreement(*round1)
+            << "\n";
+  std::cout << "  round 2 (learned function): " << disagreement(*round2)
+            << "\n\n";
+
+  // Context-aware delivery: the same user on a phone, on the go, asking for
+  // only good answers.
+  core::QueryEnvironment env;
+  env.device = core::QueryEnvironment::Device::kMobile;
+  env.on_the_go = true;
+  core::PersonalizeOptions mobile =
+      core::KLPolicy::Derive(env, profile->NumPreferences());
+  mobile.use_profile_ranking = true;
+  mobile.descriptor = "fair";
+  auto focused = personalizer->Personalize(query, mobile);
+  if (!focused.ok()) return Fail(focused.status());
+  std::cout << "Mobile, on the go, descriptor 'fair' (K=" << mobile.k
+            << ", L=" << mobile.l << "): " << focused->tuples.size()
+            << " tuples, all with doi >= 0.3:\n"
+            << focused->ToString(5);
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Interactive shell over the synthetic movie database.
+//
+//   ./sql_shell                 # interactive (reads stdin)
+//   echo "select ..." | ./sql_shell
+//
+// Plain SQL executes through the engine. Meta commands:
+//   \tables                      list tables with row counts
+//   \profile                     show the active profile
+//   \load <file>                 load a profile from its text format
+//   \personalize [K] [L] <sql>   personalized answer (PPA) for the query
+//   \spa [K] [L] <sql>           SPA answer
+//   \explain <n>                 explanation for tuple n of the last answer
+//   \plan <sql>                  physical plan the executor takes
+//   \savedb <dir>                persist the database (manifest + CSVs)
+//   \quit
+//
+// The shell starts with Al's profile (paper Figure 2) loaded.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/personalizer.h"
+#include "datagen/moviegen.h"
+#include "datagen/profilegen.h"
+#include "exec/executor.h"
+#include "sql/parser.h"
+#include "storage/catalog_io.h"
+
+using namespace qp;
+
+namespace {
+
+struct Shell {
+  storage::Database* db;
+  core::UserProfile profile;
+  std::optional<core::PersonalizedAnswer> last_answer;
+
+  void ListTables() {
+    for (const auto& name : db->TableNames()) {
+      auto table = db->GetTable(name);
+      std::cout << "  " << name << " (" << (*table)->num_rows() << " rows): "
+                << (*table)->schema().ToString() << "\n";
+    }
+  }
+
+  void RunSql(const std::string& sql) {
+    exec::Executor executor(db);
+    auto rows = executor.ExecuteSql(sql);
+    if (!rows.ok()) {
+      std::cout << rows.status() << "\n";
+      return;
+    }
+    std::cout << rows->ToString(15) << "(" << rows->num_rows() << " rows)\n";
+  }
+
+  void Personalize(const std::string& args, core::AnswerAlgorithm algorithm) {
+    std::istringstream in(args);
+    core::PersonalizeOptions options;
+    options.algorithm = algorithm;
+    if (!(in >> options.k >> options.l)) {
+      std::cout << "usage: \\personalize <K> <L> <sql>\n";
+      return;
+    }
+    std::string sql;
+    std::getline(in, sql);
+    auto personalizer = core::Personalizer::Make(db, &profile);
+    if (!personalizer.ok()) {
+      std::cout << personalizer.status() << "\n";
+      return;
+    }
+    auto answer = personalizer->Personalize(std::string(Trim(sql)), options);
+    if (!answer.ok()) {
+      std::cout << answer.status() << "\n";
+      return;
+    }
+    std::cout << answer->ToString(15) << "(" << answer->tuples.size()
+              << " tuples; K=" << answer->preferences.size()
+              << " preferences; " << answer->stats.generation_seconds * 1e3
+              << " ms";
+    if (algorithm == core::AnswerAlgorithm::kPpa) {
+      std::cout << ", first after "
+                << answer->stats.first_response_seconds * 1e3 << " ms";
+    }
+    std::cout << ")\n";
+    last_answer = std::move(answer).value();
+  }
+
+  void Plan(const std::string& sql) {
+    exec::Executor executor(db);
+    auto plan = executor.ExplainSql(sql);
+    if (!plan.ok()) {
+      std::cout << plan.status() << "\n";
+      return;
+    }
+    std::cout << *plan;
+  }
+
+  void SaveDb(const std::string& dir) {
+    auto status = storage::SaveDatabase(*db, dir);
+    if (status.ok()) {
+      std::cout << "saved to " << dir << "\n";
+    } else {
+      std::cout << status << "\n";
+    }
+  }
+
+  void Explain(const std::string& args) {
+    if (!last_answer.has_value()) {
+      std::cout << "no personalized answer yet\n";
+      return;
+    }
+    const size_t n = std::strtoull(args.c_str(), nullptr, 10);
+    if (n >= last_answer->tuples.size()) {
+      std::cout << "tuple index out of range (have "
+                << last_answer->tuples.size() << ")\n";
+      return;
+    }
+    std::cout << last_answer->ExplainTuple(n) << "\n";
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  datagen::MovieGenConfig config;
+  config.num_movies = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
+  auto db = datagen::GenerateMovieDatabase(config);
+  if (!db.ok()) {
+    std::cerr << "error: " << db.status() << "\n";
+    return 1;
+  }
+  auto al = datagen::AlsProfile();
+  if (!al.ok()) {
+    std::cerr << "error: " << al.status() << "\n";
+    return 1;
+  }
+
+  Shell shell{&*db, std::move(al).value(), std::nullopt};
+  std::cout << "Movie database ready (" << config.num_movies
+            << " movies). Type \\tables, \\personalize 5 2 select mid, title "
+               "from movie, or plain SQL. \\quit exits.\n";
+
+  std::string line;
+  while (true) {
+    std::cout << "qp> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    const std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+    if (trimmed[0] == '\\') {
+      const size_t space = trimmed.find(' ');
+      const std::string cmd = trimmed.substr(0, space);
+      const std::string args =
+          space == std::string::npos ? "" : trimmed.substr(space + 1);
+      if (cmd == "\\quit" || cmd == "\\q") break;
+      if (cmd == "\\tables") {
+        shell.ListTables();
+      } else if (cmd == "\\profile") {
+        std::cout << shell.profile.Serialize();
+      } else if (cmd == "\\load") {
+        auto loaded = core::UserProfile::Load(std::string(Trim(args)));
+        if (loaded.ok()) {
+          shell.profile = std::move(loaded).value();
+          std::cout << "loaded " << shell.profile.NumPreferences()
+                    << " preferences\n";
+        } else {
+          std::cout << loaded.status() << "\n";
+        }
+      } else if (cmd == "\\personalize") {
+        shell.Personalize(args, core::AnswerAlgorithm::kPpa);
+      } else if (cmd == "\\spa") {
+        shell.Personalize(args, core::AnswerAlgorithm::kSpa);
+      } else if (cmd == "\\explain") {
+        shell.Explain(args);
+      } else if (cmd == "\\plan") {
+        shell.Plan(std::string(Trim(args)));
+      } else if (cmd == "\\savedb") {
+        shell.SaveDb(std::string(Trim(args)));
+      } else {
+        std::cout << "unknown command " << cmd << "\n";
+      }
+    } else {
+      shell.RunSql(trimmed);
+    }
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace qp {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  double x = UniformDouble(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> out(n);
+  std::iota(out.begin(), out.end(), size_t{0});
+  std::shuffle(out.begin(), out.end(), engine_);
+  return out;
+}
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  assert(n > 0);
+  cumulative_.resize(n);
+  double acc = 0.0;
+  for (size_t rank = 1; rank <= n; ++rank) {
+    acc += 1.0 / std::pow(static_cast<double>(rank), s);
+    cumulative_[rank - 1] = acc;
+  }
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  double x = rng.UniformDouble(0.0, cumulative_.back());
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), x);
+  return static_cast<size_t>(it - cumulative_.begin()) + 1;
+}
+
+}  // namespace qp

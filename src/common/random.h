@@ -1,0 +1,65 @@
+// Deterministic pseudo-random generation used by the data/profile generators
+// and the simulated-user harness. All experiment code seeds explicitly so
+// benchmark rows are reproducible run-to-run.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace qp {
+
+/// \brief Seeded random source with the distributions the generators need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Gaussian draw.
+  double Gaussian(double mean, double stddev);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Returns a random element index of a container of size n (n > 0).
+  size_t Index(size_t n) {
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Fisher-Yates shuffles indices [0, n) and returns them.
+  std::vector<size_t> Permutation(size_t n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// \brief Zipf(s) sampler over ranks 1..n. Rank 1 is the most frequent.
+///
+/// Uses the classic inverse-CDF method over precomputed cumulative weights;
+/// O(log n) per sample.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  /// Samples a rank in [1, n].
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace qp

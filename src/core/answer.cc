@@ -1,0 +1,52 @@
+#include "core/answer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace qp::core {
+
+std::string PersonalizedAnswer::ExplainTuple(size_t i) const {
+  const PersonalizedTuple& t = tuples[i];
+  std::string out = "(";
+  for (size_t c = 0; c < t.values.size(); ++c) {
+    if (c > 0) out += ", ";
+    out += t.values[c].ToString();
+  }
+  out += ")  doi=" + FormatDouble(t.doi, 4);
+  if (!t.satisfied.empty() || !t.failed.empty()) {
+    out += "\n  satisfies:";
+    if (t.satisfied.empty()) out += " (none)";
+    for (const auto& o : t.satisfied) {
+      out += "\n    [" + FormatDouble(o.degree, 3) + "] " +
+             preferences[o.pref_index].pref.ConditionString();
+    }
+    out += "\n  fails:";
+    if (t.failed.empty()) out += " (none)";
+    for (const auto& o : t.failed) {
+      out += "\n    [" + FormatDouble(o.degree, 3) + "] " +
+             preferences[o.pref_index].pref.ConditionString();
+    }
+  }
+  return out;
+}
+
+std::string PersonalizedAnswer::ToString(size_t max_rows) const {
+  exec::RowSet rs(columns);
+  std::vector<exec::OutputColumn> cols = columns;
+  cols.push_back({"", "doi"});
+  exec::RowSet view(cols);
+  const size_t shown = std::min(max_rows, tuples.size());
+  for (size_t i = 0; i < shown; ++i) {
+    storage::Row row = tuples[i].values;
+    row.push_back(storage::Value(tuples[i].doi));
+    view.Add(std::move(row));
+  }
+  std::string out = view.ToString(max_rows);
+  if (shown < tuples.size()) {
+    out += "... (" + std::to_string(tuples.size() - shown) + " more)\n";
+  }
+  return out;
+}
+
+}  // namespace qp::core

@@ -1,0 +1,64 @@
+// Personalized answers: ranked tuples annotated with the preferences they
+// satisfy and fail (the paper's "self-explanatory" requirement, Section 5).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/select_top_k.h"
+#include "exec/row_set.h"
+
+namespace qp::core {
+
+/// How one preference turned out for one tuple.
+struct PreferenceOutcome {
+  /// Index into the answer's `preferences` vector.
+  size_t pref_index = 0;
+  /// The tuple's degree for that preference (elastic-aware): >= 0 when
+  /// satisfied, <= 0 when failed.
+  double degree = 0.0;
+};
+
+/// \brief One tuple of a personalized answer.
+struct PersonalizedTuple {
+  /// The base query's projected values.
+  storage::Row values;
+  /// Overall degree of interest (ranking-function output).
+  double doi = 0.0;
+  /// Outcomes per preference. SPA answers leave these empty (the paper
+  /// notes SPA is not self-explanatory); PPA fills both.
+  std::vector<PreferenceOutcome> satisfied;
+  std::vector<PreferenceOutcome> failed;
+};
+
+/// Wall-clock and work statistics for one personalization run.
+struct AnswerStats {
+  double selection_seconds = 0.0;
+  double generation_seconds = 0.0;
+  /// Seconds until the first tuple was emitted (PPA; equals
+  /// generation_seconds for SPA, which emits only at the end).
+  double first_response_seconds = 0.0;
+  size_t queries_executed = 0;
+  size_t tuples_returned = 0;
+};
+
+/// \brief A complete personalized answer.
+struct PersonalizedAnswer {
+  /// Output column names (the base query's select list).
+  std::vector<exec::OutputColumn> columns;
+  /// Tuples in decreasing doi.
+  std::vector<PersonalizedTuple> tuples;
+  /// The top-K preferences that shaped the answer.
+  std::vector<SelectedPreference> preferences;
+  AnswerStats stats;
+
+  /// Renders tuple `i` with its doi and (when available) the satisfied /
+  /// failed preference conditions — the self-explanation of Section 5.
+  std::string ExplainTuple(size_t i) const;
+
+  /// Renders the whole answer as a table (capped at `max_rows`).
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+}  // namespace qp::core

@@ -1,0 +1,168 @@
+#include "core/conflict.h"
+
+#include <cmath>
+#include <limits>
+
+namespace qp::core {
+
+using sql::BinaryOp;
+using storage::Value;
+
+QueryContext QueryContext::FromQuery(const sql::SelectQuery& query) {
+  QueryContext ctx;
+  for (const auto& ref : query.from) {
+    if (ref.derived == nullptr) ctx.relations.push_back(ref.table);
+  }
+  for (const auto& conjunct : sql::ConjunctsOf(query.where)) {
+    storage::AttributeRef attr;
+    BinaryOp op;
+    Value value;
+    if (conjunct->IsSelectionAtom(&attr, &op, &value)) {
+      ctx.atoms.push_back({std::move(attr), op, std::move(value)});
+    }
+  }
+  return ctx;
+}
+
+bool QueryContext::MentionsRelation(const std::string& relation) const {
+  for (const auto& r : relations) {
+    if (r == relation) return true;
+  }
+  return false;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Numeric interval with open/closed endpoints.
+struct Interval {
+  double lo = -kInf;
+  double hi = kInf;
+  bool lo_closed = false;
+  bool hi_closed = false;
+
+  bool Empty() const {
+    if (lo < hi) return false;
+    if (lo > hi) return true;
+    return !(lo_closed && hi_closed);
+  }
+
+  Interval Intersect(const Interval& other) const {
+    Interval out;
+    if (lo > other.lo) {
+      out.lo = lo;
+      out.lo_closed = lo_closed;
+    } else if (lo < other.lo) {
+      out.lo = other.lo;
+      out.lo_closed = other.lo_closed;
+    } else {
+      out.lo = lo;
+      out.lo_closed = lo_closed && other.lo_closed;
+    }
+    if (hi < other.hi) {
+      out.hi = hi;
+      out.hi_closed = hi_closed;
+    } else if (hi > other.hi) {
+      out.hi = other.hi;
+      out.hi_closed = other.hi_closed;
+    } else {
+      out.hi = hi;
+      out.hi_closed = hi_closed && other.hi_closed;
+    }
+    return out;
+  }
+};
+
+/// Interval of values satisfying `op x` against constant v. Returns false
+/// for operators without an interval form (<>).
+bool ToInterval(BinaryOp op, double v, Interval* out) {
+  switch (op) {
+    case BinaryOp::kEq:
+      *out = {v, v, true, true};
+      return true;
+    case BinaryOp::kLt:
+      *out = {-kInf, v, false, false};
+      return true;
+    case BinaryOp::kLe:
+      *out = {-kInf, v, false, true};
+      return true;
+    case BinaryOp::kGt:
+      *out = {v, kInf, false, false};
+      return true;
+    case BinaryOp::kGe:
+      *out = {v, kInf, true, false};
+      return true;
+    case BinaryOp::kNe:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ConditionsContradict(const SelectionCondition& a,
+                          const SelectionCondition& b) {
+  if (!(a.attr == b.attr)) return false;
+  const Value& va = a.value;
+  const Value& vb = b.value;
+
+  // String (or mixed) comparisons: only = / <> combinations decide.
+  if (!va.is_numeric() || !vb.is_numeric()) {
+    if (a.op == BinaryOp::kEq && b.op == BinaryOp::kEq) return va != vb;
+    if (a.op == BinaryOp::kEq && b.op == BinaryOp::kNe) return va == vb;
+    if (a.op == BinaryOp::kNe && b.op == BinaryOp::kEq) return va == vb;
+    return false;
+  }
+
+  // Numeric: intersect intervals; <> only contradicts an equality on the
+  // same point.
+  const double xa = va.ToNumeric();
+  const double xb = vb.ToNumeric();
+  if (a.op == BinaryOp::kNe || b.op == BinaryOp::kNe) {
+    if (a.op == BinaryOp::kNe && b.op == BinaryOp::kEq) return xa == xb;
+    if (a.op == BinaryOp::kEq && b.op == BinaryOp::kNe) return xa == xb;
+    return false;
+  }
+  Interval ia, ib;
+  if (!ToInterval(a.op, xa, &ia) || !ToInterval(b.op, xb, &ib)) return false;
+  return ia.Intersect(ib).Empty();
+}
+
+bool ConflictsWithQuery(const SelectionPreference& pref,
+                        const QueryContext& ctx) {
+  // Build the satisfaction condition. Elastic presence preferences satisfy
+  // within the satisfaction branch's support range.
+  const bool satisfied_when_true = pref.doi.SatisfiedWhenTrue();
+  const DoiFunction& branch =
+      satisfied_when_true ? pref.doi.d_true() : pref.doi.d_false();
+
+  std::vector<SelectionCondition> satisfaction;
+  if (satisfied_when_true) {
+    if (branch.is_elastic()) {
+      satisfaction.push_back({pref.condition.attr, sql::BinaryOp::kGe,
+                              Value(branch.support_lo())});
+      satisfaction.push_back({pref.condition.attr, sql::BinaryOp::kLe,
+                              Value(branch.support_hi())});
+    } else {
+      satisfaction.push_back(pref.condition);
+    }
+  } else {
+    // Satisfaction is the *failure* of q. The negation of an interval is
+    // not an interval, so elastic absence preferences are conservatively
+    // conflict-free; exact ones negate the operator.
+    if (pref.doi.d_true().is_elastic()) return false;
+    SelectionCondition negated = pref.condition;
+    negated.op = sql::NegateOp(pref.condition.op);
+    satisfaction.push_back(std::move(negated));
+  }
+
+  for (const auto& atom : ctx.atoms) {
+    for (const auto& cond : satisfaction) {
+      if (ConditionsContradict(cond, atom)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace qp::core

@@ -1,0 +1,41 @@
+// Conflict detection between a preference and the query it would extend
+// (FakeCrit step 1.1: "If ACi does not conflict with Q"). A preference
+// conflicts when its satisfaction condition cannot hold together with the
+// query's own conditions on the same attribute — integrating it would build
+// a subquery that returns nothing.
+
+#pragma once
+
+#include <vector>
+
+#include "core/preference.h"
+#include "sql/query.h"
+
+namespace qp::core {
+
+/// \brief The parts of a query the selection algorithms need: which
+/// relations it references and its atomic selection conditions.
+struct QueryContext {
+  /// Lower-cased relation names in the FROM clause (base tables only).
+  std::vector<std::string> relations;
+  /// Atomic `attr op literal` conditions from the WHERE conjunction.
+  std::vector<SelectionCondition> atoms;
+
+  /// Extracts the context from a select block.
+  static QueryContext FromQuery(const sql::SelectQuery& query);
+
+  bool MentionsRelation(const std::string& relation) const;
+};
+
+/// True when two atomic conditions on the same attribute cannot both hold.
+/// Conditions on different attributes never conflict. Unsupported operator
+/// combinations conservatively return false.
+bool ConditionsContradict(const SelectionCondition& a,
+                          const SelectionCondition& b);
+
+/// True when the satisfaction condition of `pref` contradicts some query
+/// atom. Elastic preferences use their satisfaction support range.
+bool ConflictsWithQuery(const SelectionPreference& pref,
+                        const QueryContext& ctx);
+
+}  // namespace qp::core

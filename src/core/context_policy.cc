@@ -1,0 +1,49 @@
+#include "core/context_policy.h"
+
+#include <algorithm>
+
+namespace qp::core {
+
+PersonalizeOptions KLPolicy::Derive(const QueryEnvironment& environment,
+                                    size_t related_estimate) {
+  PersonalizeOptions options;
+  size_t k = 0;
+  size_t l = 1;
+  switch (environment.device) {
+    case QueryEnvironment::Device::kDesktop:
+      k = 20;
+      l = 1;
+      break;
+    case QueryEnvironment::Device::kMobile:
+      k = 10;
+      l = 2;
+      break;
+    case QueryEnvironment::Device::kVoice:
+      // A voice answer reads out a handful of items; demand strong matches.
+      k = 5;
+      l = 3;
+      break;
+  }
+  if (environment.on_the_go) {
+    // Less attention available: tighten further.
+    l += 1;
+  }
+  if (related_estimate > 0) {
+    k = std::min(k, related_estimate);
+  }
+  l = std::min(l, std::max<size_t>(k, 1));
+  options.k = k;
+  options.l = l;
+  // Tight time budgets favour progressive delivery; an unconstrained
+  // desktop can afford either algorithm, and PPA's explanations are
+  // worth having by default.
+  options.algorithm = AnswerAlgorithm::kPpa;
+  if (environment.time_budget_seconds > 0.0 &&
+      environment.time_budget_seconds < 1.0) {
+    // No time to browse: only the strongest matches.
+    options.l = std::max<size_t>(options.l, std::min<size_t>(k, 2));
+  }
+  return options;
+}
+
+}  // namespace qp::core

@@ -1,0 +1,41 @@
+// Context-driven personalization parameters (Sections 1 and 7): "Parameters
+// K and L can be specified directly by the user or derived based on various
+// criteria on the query context, such as user location, time, device" — and
+// the conclusions list combining preferences with query context as ongoing
+// work.
+//
+// KLPolicy encodes the natural derivation: constrained devices and
+// on-the-go use want smaller, more focused answers (smaller K, larger L,
+// progressive delivery); a desktop session with time to browse gets the
+// widest net.
+
+#pragma once
+
+#include "core/personalizer.h"
+
+namespace qp::core {
+
+/// \brief The query-context signals the paper mentions.
+struct QueryEnvironment {
+  enum class Device {
+    kDesktop,
+    kMobile,
+    kVoice,
+  };
+  Device device = Device::kDesktop;
+  /// Location signal: away from the desk (commuting, in town).
+  bool on_the_go = false;
+  /// Soft time budget for the answer in seconds (0 = unconstrained).
+  double time_budget_seconds = 0.0;
+};
+
+/// \brief Derives K, L, the answer algorithm and result caps from context.
+class KLPolicy {
+ public:
+  /// `related_estimate` is an upper bound on the preferences that relate to
+  /// the query (e.g. the profile size); K never exceeds it.
+  static PersonalizeOptions Derive(const QueryEnvironment& environment,
+                                   size_t related_estimate);
+};
+
+}  // namespace qp::core

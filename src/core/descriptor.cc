@@ -1,0 +1,59 @@
+#include "core/descriptor.h"
+
+#include "common/string_util.h"
+
+namespace qp::core {
+
+DescriptorRegistry DescriptorRegistry::Default() {
+  DescriptorRegistry r;
+  (void)r.Define("best", 0.85, 1.0);
+  (void)r.Define("good", 0.6, 1.0);
+  (void)r.Define("fair", 0.3, 1.0);
+  (void)r.Define("weak", 0.0, 0.3);
+  (void)r.Define("unwanted", -1.0, 0.0);
+  return r;
+}
+
+Status DescriptorRegistry::Define(const std::string& name, double lo,
+                                  double hi) {
+  if (name.empty()) {
+    return Status::InvalidArgument("descriptor name must be non-empty");
+  }
+  if (!(lo <= hi) || lo < -1.0 || hi > 1.0) {
+    return Status::InvalidArgument(
+        "descriptor interval must satisfy -1 <= lo <= hi <= 1");
+  }
+  intervals_[ToLower(name)] = {lo, hi};
+  return Status::OK();
+}
+
+Result<DoiInterval> DescriptorRegistry::Lookup(const std::string& name) const {
+  auto it = intervals_.find(ToLower(name));
+  if (it == intervals_.end()) {
+    return Status::NotFound("unknown descriptor '" + name + "'");
+  }
+  return it->second;
+}
+
+std::string DescriptorRegistry::Describe(double doi) const {
+  std::string best;
+  double best_width = 3.0;
+  for (const auto& [name, interval] : intervals_) {
+    if (!interval.Contains(doi)) continue;
+    const double width = interval.hi - interval.lo;
+    if (width < best_width) {
+      best_width = width;
+      best = name;
+    }
+  }
+  return best;
+}
+
+std::vector<std::string> DescriptorRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(intervals_.size());
+  for (const auto& [name, interval] : intervals_) out.push_back(name);
+  return out;
+}
+
+}  // namespace qp::core

@@ -1,0 +1,54 @@
+// Qualitative descriptors (Section 2): "an application may use qualitative
+// descriptors for preferences and desired results defined in terms of
+// intervals of degrees of interest. E.g., a 'best' descriptor could map to
+// degrees between 0.9 and 1; then a user could ask for 'best' answers."
+//
+// A DescriptorRegistry names doi intervals; the Personalizer accepts a
+// descriptor in place of a numeric target and filters/labels answers with
+// it.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qp::core {
+
+/// \brief A closed interval of degrees of interest.
+struct DoiInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  bool Contains(double doi) const { return doi >= lo && doi <= hi; }
+  bool operator==(const DoiInterval&) const = default;
+};
+
+/// \brief Named doi intervals ("best" -> [0.9, 1]).
+class DescriptorRegistry {
+ public:
+  /// The built-in vocabulary:
+  ///   best [0.85, 1], good [0.6, 1], fair [0.3, 1], weak [0, 0.3),
+  ///   unwanted [-1, 0).
+  static DescriptorRegistry Default();
+
+  /// Defines (or redefines) a descriptor. Fails unless -1 <= lo <= hi <= 1.
+  Status Define(const std::string& name, double lo, double hi);
+
+  /// Interval for `name` (case-insensitive); NotFound if absent.
+  Result<DoiInterval> Lookup(const std::string& name) const;
+
+  /// The most specific (narrowest) descriptor containing `doi`, or "" if
+  /// none does.
+  std::string Describe(double doi) const;
+
+  /// All descriptor names, alphabetically.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, DoiInterval> intervals_;
+};
+
+}  // namespace qp::core

@@ -1,0 +1,182 @@
+#include "core/doi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace qp::core {
+
+namespace {
+
+Status CheckDegree(double d) {
+  if (std::isnan(d) || d < -1.0 || d > 1.0) {
+    return Status::InvalidArgument("degree of interest " + FormatDouble(d) +
+                                   " outside [-1, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DoiFunction> DoiFunction::Constant(double d) {
+  QP_RETURN_IF_ERROR(CheckDegree(d));
+  DoiFunction f;
+  f.shape_ = DoiShape::kConstant;
+  f.degree_ = d;
+  return f;
+}
+
+Result<DoiFunction> DoiFunction::Triangular(double d, double center,
+                                            double half_width) {
+  QP_RETURN_IF_ERROR(CheckDegree(d));
+  if (half_width <= 0) {
+    return Status::InvalidArgument("triangular half_width must be positive");
+  }
+  DoiFunction f;
+  f.shape_ = DoiShape::kTriangular;
+  f.degree_ = d;
+  f.support_lo_ = center - half_width;
+  f.support_hi_ = center + half_width;
+  f.core_lo_ = f.core_hi_ = center;
+  return f;
+}
+
+Result<DoiFunction> DoiFunction::Trapezoidal(double d, double support_lo,
+                                             double core_lo, double core_hi,
+                                             double support_hi) {
+  QP_RETURN_IF_ERROR(CheckDegree(d));
+  if (!(support_lo <= core_lo && core_lo <= core_hi &&
+        core_hi <= support_hi)) {
+    return Status::InvalidArgument(
+        "trapezoid requires support_lo <= core_lo <= core_hi <= support_hi");
+  }
+  if (support_lo == support_hi) {
+    return Status::InvalidArgument("trapezoid support must be non-degenerate");
+  }
+  DoiFunction f;
+  f.shape_ = DoiShape::kTrapezoidal;
+  f.degree_ = d;
+  f.support_lo_ = support_lo;
+  f.support_hi_ = support_hi;
+  f.core_lo_ = core_lo;
+  f.core_hi_ = core_hi;
+  return f;
+}
+
+double DoiFunction::Eval(double u) const {
+  switch (shape_) {
+    case DoiShape::kConstant:
+      return degree_;
+    case DoiShape::kTriangular:
+    case DoiShape::kTrapezoidal: {
+      if (u <= support_lo_ || u >= support_hi_) {
+        // Zero at the open boundary unless the core touches it.
+        if (u < support_lo_ || u > support_hi_) return 0.0;
+        if (u == support_lo_ && core_lo_ == support_lo_) return degree_;
+        if (u == support_hi_ && core_hi_ == support_hi_) return degree_;
+        return 0.0;
+      }
+      if (u >= core_lo_ && u <= core_hi_) return degree_;
+      if (u < core_lo_) {
+        return degree_ * (u - support_lo_) / (core_lo_ - support_lo_);
+      }
+      return degree_ * (support_hi_ - u) / (support_hi_ - core_hi_);
+    }
+  }
+  return 0.0;
+}
+
+double DoiFunction::Eval(const storage::Value& v) const {
+  if (v.is_null()) return 0.0;
+  if (shape_ == DoiShape::kConstant) return degree_;
+  if (!v.is_numeric()) return 0.0;
+  return Eval(v.ToNumeric());
+}
+
+std::string DoiFunction::ToString() const {
+  switch (shape_) {
+    case DoiShape::kConstant:
+      return FormatDouble(degree_);
+    case DoiShape::kTriangular: {
+      const double center = core_lo_;
+      return "e(" + FormatDouble(degree_) + ")[center=" + FormatDouble(center) +
+             ",w=" + FormatDouble(support_hi_ - center) + "]";
+    }
+    case DoiShape::kTrapezoidal:
+      return "e(" + FormatDouble(degree_) + ")[" + FormatDouble(support_lo_) +
+             "," + FormatDouble(core_lo_) + "," + FormatDouble(core_hi_) + "," +
+             FormatDouble(support_hi_) + "]";
+  }
+  return "?";
+}
+
+Result<DoiPair> DoiPair::Make(DoiFunction d_true, DoiFunction d_false) {
+  // Sign condition dT(u) * dF(u) <= 0: since each function has one sign,
+  // it reduces to sign(dT) * sign(dF) <= 0 on their characteristic degrees.
+  if (d_true.degree() * d_false.degree() > 0.0) {
+    return Status::InvalidArgument(
+        "invalid preference: dT and dF must not have the same sign (dT=" +
+        FormatDouble(d_true.degree()) + ", dF=" +
+        FormatDouble(d_false.degree()) + ")");
+  }
+  DoiPair p;
+  p.d_true_ = std::move(d_true);
+  p.d_false_ = std::move(d_false);
+  return p;
+}
+
+Result<DoiPair> DoiPair::Exact(double d_true, double d_false) {
+  QP_ASSIGN_OR_RETURN(DoiFunction t, DoiFunction::Constant(d_true));
+  QP_ASSIGN_OR_RETURN(DoiFunction f, DoiFunction::Constant(d_false));
+  return Make(std::move(t), std::move(f));
+}
+
+double DoiPair::SatisfactionDegree() const {
+  return std::max({d_true_.degree(), d_false_.degree(), 0.0});
+}
+
+double DoiPair::FailureDegree() const {
+  return std::min({d_true_.degree(), d_false_.degree(), 0.0});
+}
+
+bool DoiPair::SatisfiedWhenTrue() const {
+  // The satisfaction side is the branch achieving d0+ (paper Section 3.3:
+  // satisfaction of <q, doi> means q true if dT >= 0, q false if dF >= 0).
+  // For a pure-negative preference (dT < 0, dF = 0) satisfaction is q false
+  // with degree 0.
+  return d_true_.degree() >= d_false_.degree();
+}
+
+DoiPair DoiPair::Scaled(double factor) const {
+  DoiPair p = *this;
+  // Scale characteristic degrees while keeping shapes.
+  auto scale = [factor](DoiFunction f) {
+    // Rebuild with scaled degree; shapes/supports preserved.
+    switch (f.shape()) {
+      case DoiShape::kConstant:
+        return *DoiFunction::Constant(f.degree() * factor);
+      case DoiShape::kTriangular: {
+        const double center = f.core_lo();
+        if (f.degree() * factor == 0.0) return DoiFunction();
+        return *DoiFunction::Triangular(f.degree() * factor, center,
+                                        f.support_hi() - center);
+      }
+      case DoiShape::kTrapezoidal:
+        if (f.degree() * factor == 0.0) return DoiFunction();
+        return *DoiFunction::Trapezoidal(f.degree() * factor, f.support_lo(),
+                                         f.core_lo(), f.core_hi(),
+                                         f.support_hi());
+    }
+    return DoiFunction();
+  };
+  p.d_true_ = scale(d_true_);
+  p.d_false_ = scale(d_false_);
+  return p;
+}
+
+std::string DoiPair::ToString() const {
+  return "(" + d_true_.ToString() + ", " + d_false_.ToString() + ")";
+}
+
+}  // namespace qp::core

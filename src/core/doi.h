@@ -1,0 +1,129 @@
+// Degrees of interest (Section 3.1 of the paper).
+//
+// An atomic selection preference <q, doi(q)> carries doi(q) = (dT(u), dF(u)):
+// dT is the user's interest in the *presence* of values u satisfying q, dF
+// the interest in their *absence*. Each of dT/dF is a DoiFunction — constant
+// for exact (categorical) preferences, elastic over a numeric interval for
+// fuzzy ones ("duration around 2h"). Elastic shapes follow Figure 1:
+// triangular and trapezoidal, of a single sign.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace qp::core {
+
+/// Shape of a doi function.
+enum class DoiShape {
+  kConstant,
+  kTriangular,
+  kTrapezoidal,
+};
+
+/// \brief One degree-of-interest function d(u) in [-1, 1].
+///
+/// A DoiFunction has a single sign: its characteristic degree `d` (the
+/// subscript in the paper's e(d) notation) is the extreme value it attains;
+/// elastic forms interpolate between 0 (outside the support) and d.
+class DoiFunction {
+ public:
+  /// Zero function (indifference).
+  DoiFunction() = default;
+
+  /// Constant degree (exact preferences). d in [-1, 1].
+  static Result<DoiFunction> Constant(double d);
+
+  /// Triangular elastic function: |d| peaks at `center`, linearly decaying
+  /// to 0 at center +/- half_width (Figure 1(a)).
+  static Result<DoiFunction> Triangular(double d, double center,
+                                        double half_width);
+
+  /// Trapezoidal elastic function: full degree d on [core_lo, core_hi],
+  /// linear shoulders down to 0 at support_lo / support_hi.
+  static Result<DoiFunction> Trapezoidal(double d, double support_lo,
+                                         double core_lo, double core_hi,
+                                         double support_hi);
+
+  DoiShape shape() const { return shape_; }
+  bool is_elastic() const { return shape_ != DoiShape::kConstant; }
+  bool is_zero() const { return degree_ == 0.0; }
+
+  /// The characteristic (extreme) degree d.
+  double degree() const { return degree_; }
+
+  /// Evaluates d(u). For constants this is `degree()` everywhere; for
+  /// elastic functions it is 0 outside [support_lo, support_hi].
+  double Eval(double u) const;
+
+  /// Evaluates over a Value: numeric values use Eval(double); non-numeric
+  /// values return the constant degree (exact match semantics handled by
+  /// the enclosing condition).
+  double Eval(const storage::Value& v) const;
+
+  /// Interval where the function is non-zero (elastic only; constants
+  /// return (-inf, +inf) conceptually, reported as lo > hi sentinel).
+  double support_lo() const { return support_lo_; }
+  double support_hi() const { return support_hi_; }
+  double core_lo() const { return core_lo_; }
+  double core_hi() const { return core_hi_; }
+
+  /// Renders "0.7", "e(0.7)[center=120,w=30]" or the trapezoid form.
+  std::string ToString() const;
+
+  bool operator==(const DoiFunction&) const = default;
+
+ private:
+  DoiShape shape_ = DoiShape::kConstant;
+  double degree_ = 0.0;
+  double support_lo_ = 0.0, support_hi_ = 0.0;
+  double core_lo_ = 0.0, core_hi_ = 0.0;
+};
+
+/// \brief The pair doi(q) = (dT, dF) with the validity condition
+/// dT(u) * dF(u) <= 0 for all u ("normal users", Section 3.1).
+class DoiPair {
+ public:
+  DoiPair() = default;
+
+  /// Builds a pair; fails if the sign condition is violated.
+  static Result<DoiPair> Make(DoiFunction d_true, DoiFunction d_false);
+
+  /// Shorthand for constant pairs (exact preferences).
+  static Result<DoiPair> Exact(double d_true, double d_false);
+
+  const DoiFunction& d_true() const { return d_true_; }
+  const DoiFunction& d_false() const { return d_false_; }
+
+  /// d0+ = max_u max(dT(u), dF(u)): the degree of interest in the
+  /// preference's satisfaction (always >= 0 under the sign condition).
+  double SatisfactionDegree() const;
+
+  /// d0- = min_u min(dT(u), dF(u)): the degree of interest in the
+  /// preference's failure (always <= 0).
+  double FailureDegree() const;
+
+  /// True when the satisfaction event is q evaluating to TRUE (presence
+  /// semantics); false when satisfaction means q is FALSE (absence).
+  bool SatisfiedWhenTrue() const;
+
+  /// True if both components are zero (such preferences are not stored).
+  bool IsIndifferent() const {
+    return d_true_.is_zero() && d_false_.is_zero();
+  }
+
+  /// Scales both components by `factor` in [0, 1] (implicit-preference
+  /// composition, Section 3.2).
+  DoiPair Scaled(double factor) const;
+
+  std::string ToString() const;
+
+  bool operator==(const DoiPair&) const = default;
+
+ private:
+  DoiFunction d_true_, d_false_;
+};
+
+}  // namespace qp::core

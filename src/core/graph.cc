@@ -1,0 +1,125 @@
+#include "core/graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace qp::core {
+
+Result<PersonalizationGraph> PersonalizationGraph::Build(
+    const storage::Database* db, const UserProfile* profile) {
+  QP_RETURN_IF_ERROR(profile->Validate(*db));
+  PersonalizationGraph g;
+  g.db_ = db;
+  g.profile_ = profile;
+  g.RefreshDerivedStats();
+  return g;
+}
+
+const std::vector<const SelectionPreference*>&
+PersonalizationGraph::SelectionEdges(const std::string& relation) const {
+  static const std::vector<const SelectionPreference*> kEmpty;
+  auto it = selections_by_relation_.find(relation);
+  return it == selections_by_relation_.end() ? kEmpty : it->second;
+}
+
+const std::vector<const JoinPreference*>& PersonalizationGraph::JoinEdges(
+    const std::string& relation) const {
+  static const std::vector<const JoinPreference*> kEmpty;
+  auto it = joins_by_relation_.find(relation);
+  return it == joins_by_relation_.end() ? kEmpty : it->second;
+}
+
+double PersonalizationGraph::FakeCriticality(const JoinPreference* edge) const {
+  auto it = fake_criticality_.find(edge);
+  return it == fake_criticality_.end() ? 0.0 : it->second;
+}
+
+size_t PersonalizationGraph::PathCount(const JoinPreference* edge) const {
+  auto it = path_count_.find(edge);
+  return it == path_count_.end() ? 0 : it->second;
+}
+
+void PersonalizationGraph::RefreshDerivedStats() {
+  // Rebuild the adjacency indexes (preference vectors may have grown or
+  // reallocated), kept in decreasing criticality so expansion naturally
+  // enumerates candidates best-first (FakeCrit step 2.3).
+  selections_by_relation_.clear();
+  joins_by_relation_.clear();
+  for (const auto& p : profile_->selections()) {
+    selections_by_relation_[p.condition.attr.table].push_back(&p);
+  }
+  for (const auto& p : profile_->joins()) {
+    joins_by_relation_[p.from.table].push_back(&p);
+  }
+  for (auto& [rel, edges] : selections_by_relation_) {
+    std::sort(edges.begin(), edges.end(),
+              [](const SelectionPreference* a, const SelectionPreference* b) {
+                return a->Criticality() > b->Criticality();
+              });
+  }
+  for (auto& [rel, edges] : joins_by_relation_) {
+    std::sort(edges.begin(), edges.end(),
+              [](const JoinPreference* a, const JoinPreference* b) {
+                return a->Criticality() > b->Criticality();
+              });
+  }
+
+  fake_criticality_.clear();
+  path_count_.clear();
+  for (const auto& join : profile_->joins()) {
+    // fc = max criticality among edges following this one; following joins
+    // count double (an atomic selection has criticality at most 2, so
+    // 2 * c_join bounds any selection path through that join; Section 4.1).
+    double fc = 0.0;
+    const std::string& target = join.to.table;
+    for (const SelectionPreference* sel : SelectionEdges(target)) {
+      fc = std::max(fc, sel->Criticality());
+    }
+    for (const JoinPreference* next : JoinEdges(target)) {
+      if (next == &join) continue;
+      fc = std::max(fc, 2.0 * next->Criticality());
+    }
+    fake_criticality_[&join] = fc;
+
+    std::vector<std::string> visited = {join.from.table, join.to.table};
+    path_count_[&join] = CountPaths(&join, visited);
+  }
+}
+
+size_t PersonalizationGraph::CountPaths(
+    const JoinPreference* edge, std::vector<std::string>& visited) const {
+  const std::string& target = edge->to.table;
+  size_t count = SelectionEdges(target).size();
+  for (const JoinPreference* next : JoinEdges(target)) {
+    if (std::find(visited.begin(), visited.end(), next->to.table) !=
+        visited.end()) {
+      continue;
+    }
+    visited.push_back(next->to.table);
+    count += CountPaths(next, visited);
+    visited.pop_back();
+  }
+  return count;
+}
+
+size_t PersonalizationGraph::NumRelationNodes() const {
+  return db_->TableNames().size();
+}
+
+size_t PersonalizationGraph::NumAttributeNodes() const {
+  size_t count = 0;
+  for (const auto& name : db_->TableNames()) {
+    count += (*db_->GetTable(name))->schema().num_columns();
+  }
+  return count;
+}
+
+size_t PersonalizationGraph::NumValueNodes() const {
+  std::set<std::pair<std::string, std::string>> values;
+  for (const auto& p : profile_->selections()) {
+    values.emplace(p.condition.attr.ToString(), p.condition.value.ToString());
+  }
+  return values.size();
+}
+
+}  // namespace qp::core

@@ -1,0 +1,87 @@
+// The personalization graph (Section 3.1, Figure 3): a directed extension of
+// the database schema graph with relation, attribute and value nodes, where
+// selection edges (attribute -> value) and join edges (attribute ->
+// attribute) carry the profile's degrees of interest.
+//
+// The graph also maintains the two derived statistics the selection
+// algorithms need (Section 4.1/4.2):
+//  - fake criticality fc per join edge: max criticality of the edges that
+//    can follow it, join criticalities doubled (cheap upper bound on the
+//    criticality of any implicit selection extending the edge);
+//  - path count per join edge: how many selection paths the edge expands to
+//    (periodically refreshed, used to estimate N in doi-target selection).
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/profile.h"
+#include "storage/database.h"
+
+namespace qp::core {
+
+/// \brief Traversal view of a profile over a database schema.
+///
+/// The graph borrows the profile and database; both must outlive it.
+class PersonalizationGraph {
+ public:
+  /// Validates `profile` against `db` and builds the adjacency indexes.
+  static Result<PersonalizationGraph> Build(const storage::Database* db,
+                                            const UserProfile* profile);
+
+  const storage::Database& db() const { return *db_; }
+  const UserProfile& profile() const { return *profile_; }
+
+  /// Selection edges anchored at `relation` (preferences on its attributes).
+  const std::vector<const SelectionPreference*>& SelectionEdges(
+      const std::string& relation) const;
+
+  /// Join edges leaving `relation`.
+  const std::vector<const JoinPreference*>& JoinEdges(
+      const std::string& relation) const;
+
+  /// Fake criticality of a join edge (1.0 is the selection-edge value; join
+  /// edges get the max-following rule). Asserts the edge belongs to the
+  /// graph's profile.
+  double FakeCriticality(const JoinPreference* edge) const;
+
+  /// Number of selection paths `edge` expands to (refreshed statistic).
+  size_t PathCount(const JoinPreference* edge) const;
+
+  /// Recomputes fake criticalities and path counts. Called by Build; call
+  /// again after the underlying profile changes ("periodic updates",
+  /// Section 4.2).
+  void RefreshDerivedStats();
+
+  // --- Formal graph structure (for inspection and tests). ---
+
+  /// Relation nodes: every schema relation.
+  size_t NumRelationNodes() const;
+  /// Attribute nodes: every attribute of every relation.
+  size_t NumAttributeNodes() const;
+  /// Value nodes: one per distinct value of interest in the profile.
+  size_t NumValueNodes() const;
+  /// Selection / join edge counts.
+  size_t NumSelectionEdges() const { return profile_->selections().size(); }
+  size_t NumJoinEdges() const { return profile_->joins().size(); }
+
+ private:
+  PersonalizationGraph() = default;
+
+  size_t CountPaths(const JoinPreference* edge,
+                    std::vector<std::string>& visited) const;
+
+  const storage::Database* db_ = nullptr;
+  const UserProfile* profile_ = nullptr;
+
+  std::map<std::string, std::vector<const SelectionPreference*>>
+      selections_by_relation_;
+  std::map<std::string, std::vector<const JoinPreference*>> joins_by_relation_;
+  std::map<const JoinPreference*, double> fake_criticality_;
+  std::map<const JoinPreference*, size_t> path_count_;
+};
+
+}  // namespace qp::core

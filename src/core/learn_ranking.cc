@@ -1,0 +1,70 @@
+#include "core/learn_ranking.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qp::core {
+
+Status RankingFunctionLearner::AddFeedback(RankingFeedback feedback) {
+  for (double d : feedback.satisfied_degrees) {
+    if (d < 0.0 || d > 1.0) {
+      return Status::InvalidArgument("satisfied degree outside [0, 1]");
+    }
+  }
+  for (double d : feedback.failed_degrees) {
+    if (d < -1.0 || d > 0.0) {
+      return Status::InvalidArgument("failed degree outside [-1, 0]");
+    }
+  }
+  if (feedback.reported_interest < -1.0 || feedback.reported_interest > 1.0) {
+    return Status::InvalidArgument("reported interest outside [-1, 1]");
+  }
+  feedback_.push_back(std::move(feedback));
+  return Status::OK();
+}
+
+Status RankingFunctionLearner::AddFeedback(const PersonalizedTuple& tuple,
+                                           double reported_score) {
+  RankingFeedback feedback;
+  for (const auto& o : tuple.satisfied) {
+    feedback.satisfied_degrees.push_back(std::clamp(o.degree, 0.0, 1.0));
+  }
+  for (const auto& o : tuple.failed) {
+    feedback.failed_degrees.push_back(std::clamp(o.degree, -1.0, 0.0));
+  }
+  feedback.reported_interest = std::clamp(reported_score / 10.0, -1.0, 1.0);
+  return AddFeedback(std::move(feedback));
+}
+
+Result<std::vector<RankingFunctionLearner::Fit>>
+RankingFunctionLearner::Evaluate() const {
+  if (feedback_.empty()) {
+    return Status::NotFound("no feedback collected");
+  }
+  std::vector<Fit> fits;
+  for (auto style : {CombinationStyle::kInflationary,
+                     CombinationStyle::kDominant,
+                     CombinationStyle::kReserved}) {
+    for (auto mixed : {MixedStyle::kSum, MixedStyle::kCountWeighted}) {
+      const RankingFunction ranking(style, style, mixed);
+      double error = 0.0;
+      for (const auto& f : feedback_) {
+        const double predicted =
+            ranking.Rank(f.satisfied_degrees, f.failed_degrees);
+        error += std::fabs(predicted - f.reported_interest);
+      }
+      fits.push_back({style, mixed, error / feedback_.size()});
+    }
+  }
+  std::stable_sort(fits.begin(), fits.end(), [](const Fit& a, const Fit& b) {
+    return a.mean_abs_error < b.mean_abs_error;
+  });
+  return fits;
+}
+
+Result<RankingFunction> RankingFunctionLearner::Best() const {
+  QP_ASSIGN_OR_RETURN(std::vector<Fit> fits, Evaluate());
+  return RankingFunction(fits[0].style, fits[0].style, fits[0].mixed);
+}
+
+}  // namespace qp::core

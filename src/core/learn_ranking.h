@@ -1,0 +1,62 @@
+// Learning the appropriate ranking function per user (Section 6.3):
+// "Overall, experimental results have indicated that the three ranking
+// functions discussed here capture real users' ranking philosophy.
+// Therefore, it seems possible to learn the most appropriate ranking
+// function per user. This information could be stored as part of the
+// user's profile."
+//
+// The learner collects (satisfied degrees, failed degrees, reported
+// interest) feedback — e.g. from the paper's per-tuple questionnaire — and
+// fits the candidate combination styles by mean absolute error.
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/answer.h"
+#include "core/ranking.h"
+
+namespace qp::core {
+
+/// \brief One observation: how interesting the user found a tuple whose
+/// preference outcomes are known.
+struct RankingFeedback {
+  std::vector<double> satisfied_degrees;  ///< each in [0, 1]
+  std::vector<double> failed_degrees;     ///< each in [-1, 0]
+  /// The user's reported interest, normalized to [-1, 1] (divide the
+  /// paper's [-10, 10] questionnaire score by 10).
+  double reported_interest = 0.0;
+};
+
+/// \brief Fits combination styles to per-tuple feedback.
+class RankingFunctionLearner {
+ public:
+  /// Adds one observation; reports InvalidArgument for out-of-range values.
+  Status AddFeedback(RankingFeedback feedback);
+
+  /// Convenience: derives the degree lists from a personalized tuple
+  /// (PPA answers carry them) plus the user's reported score in [-10, 10].
+  Status AddFeedback(const PersonalizedTuple& tuple, double reported_score);
+
+  size_t num_observations() const { return feedback_.size(); }
+
+  /// Goodness of one style/mixed combination over the collected feedback.
+  struct Fit {
+    CombinationStyle style = CombinationStyle::kInflationary;
+    MixedStyle mixed = MixedStyle::kCountWeighted;
+    double mean_abs_error = 0.0;
+  };
+
+  /// Evaluates every (style, mixed) combination, best first. Fails if no
+  /// feedback was collected.
+  Result<std::vector<Fit>> Evaluate() const;
+
+  /// The best-fitting ranking function.
+  Result<RankingFunction> Best() const;
+
+ private:
+  std::vector<RankingFeedback> feedback_;
+};
+
+}  // namespace qp::core

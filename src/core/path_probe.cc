@@ -1,0 +1,142 @@
+#include "core/path_probe.h"
+
+#include <algorithm>
+
+namespace qp::core {
+
+using storage::Row;
+using storage::Table;
+using storage::Value;
+
+Result<PathWalk> PathWalk::Prepare(const storage::Database* db,
+                                   const ImplicitPreference& pref) {
+  PathWalk walk;
+  QP_ASSIGN_OR_RETURN(const Table* anchor,
+                      db->GetTable(pref.AnchorRelation()));
+  walk.anchor_ = anchor;
+  const auto& pk = anchor->schema().primary_key();
+  if (pk.size() != 1) {
+    return Status::InvalidArgument("probe anchor '" + pref.AnchorRelation() +
+                                   "' needs a single-column primary key");
+  }
+  QP_ASSIGN_OR_RETURN(walk.anchor_pk_col_, anchor->schema().ColumnIndex(pk[0]));
+  walk.signature_ = pref.AnchorRelation();
+
+  const Table* current = anchor;
+  for (const JoinPreference& join : pref.joins()) {
+    Hop hop;
+    QP_ASSIGN_OR_RETURN(hop.from_col,
+                        current->schema().ColumnIndex(join.from.column));
+    QP_ASSIGN_OR_RETURN(const Table* target, db->GetTable(join.to.table));
+    hop.table = target;
+    QP_ASSIGN_OR_RETURN(hop.to_col,
+                        target->schema().ColumnIndex(join.to.column));
+    walk.hops_.push_back(hop);
+    current = target;
+    walk.signature_ +=
+        "|" + join.from.ToString() + "=" + join.to.ToString();
+  }
+  return walk;
+}
+
+void PathWalk::Frontier(const Value& anchor_key,
+                        std::vector<const Row*>* out) const {
+  out->clear();
+  {
+    const auto& index = anchor_->HashIndex(anchor_pk_col_);
+    auto [lo, hi] = index.equal_range(anchor_key);
+    for (auto it = lo; it != hi; ++it) {
+      out->push_back(&anchor_->row(it->second));
+    }
+  }
+  std::vector<const Row*> next;
+  for (const Hop& hop : hops_) {
+    if (out->empty()) return;
+    next.clear();
+    const auto& index = hop.table->HashIndex(hop.to_col);
+    for (const Row* row : *out) {
+      const Value& key = (*row)[hop.from_col];
+      if (key.is_null()) continue;
+      auto [lo, hi] = index.equal_range(key);
+      for (auto it = lo; it != hi; ++it) {
+        next.push_back(&hop.table->row(it->second));
+      }
+    }
+    out->swap(next);
+  }
+}
+
+Result<PathCondition> PathCondition::Prepare(const storage::Database* db,
+                                             const ImplicitPreference& pref) {
+  if (!pref.has_selection()) {
+    return Status::InvalidArgument("path probes require a selection path");
+  }
+  const SelectionPreference& sel = pref.selection();
+  QP_ASSIGN_OR_RETURN(const Table* target,
+                      db->GetTable(sel.condition.attr.table));
+  PathCondition cond;
+  QP_ASSIGN_OR_RETURN(cond.condition_col_,
+                      target->schema().ColumnIndex(sel.condition.attr.column));
+  cond.op_ = sel.condition.op;
+  cond.value_ = sel.condition.value;
+  cond.join_product_ = pref.JoinDegreeProduct();
+  cond.d_true_ = sel.doi.d_true();
+  const DoiFunction* elastic = nullptr;
+  if (sel.doi.d_true().is_elastic()) {
+    elastic = &sel.doi.d_true();
+  } else if (sel.doi.d_false().is_elastic()) {
+    elastic = &sel.doi.d_false();
+  }
+  if (elastic != nullptr) {
+    cond.elastic_ = true;
+    cond.support_lo_ = elastic->support_lo();
+    cond.support_hi_ = elastic->support_hi();
+  }
+  return cond;
+}
+
+std::optional<double> PathCondition::TruthDegree(
+    const std::vector<const Row*>& frontier) const {
+  std::optional<double> best;
+  for (const Row* row : frontier) {
+    const Value& u = (*row)[condition_col_];
+    if (u.is_null()) continue;
+    bool truth;
+    if (elastic_) {
+      if (!u.is_numeric()) continue;
+      const double x = u.ToNumeric();
+      truth = x >= support_lo_ && x <= support_hi_;
+    } else {
+      const int cmp = u.Compare(value_);
+      switch (op_) {
+        case sql::BinaryOp::kEq: truth = cmp == 0; break;
+        case sql::BinaryOp::kNe: truth = cmp != 0; break;
+        case sql::BinaryOp::kLt: truth = cmp < 0; break;
+        case sql::BinaryOp::kLe: truth = cmp <= 0; break;
+        case sql::BinaryOp::kGt: truth = cmp > 0; break;
+        case sql::BinaryOp::kGe: truth = cmp >= 0; break;
+        default: truth = false; break;
+      }
+    }
+    if (!truth) continue;
+    const double degree = join_product_ * d_true_.Eval(u);
+    if (!best.has_value() || degree > *best) best = degree;
+  }
+  return best;
+}
+
+Result<PathProbe> PathProbe::Prepare(const storage::Database* db,
+                                     const ImplicitPreference& pref) {
+  PathProbe probe;
+  QP_ASSIGN_OR_RETURN(probe.walk_, PathWalk::Prepare(db, pref));
+  QP_ASSIGN_OR_RETURN(probe.condition_, PathCondition::Prepare(db, pref));
+  return probe;
+}
+
+std::optional<double> PathProbe::TruthDegree(const Value& anchor_key) const {
+  std::vector<const Row*> frontier;
+  walk_.Frontier(anchor_key, &frontier);
+  return condition_.TruthDegree(frontier);
+}
+
+}  // namespace qp::core

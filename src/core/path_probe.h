@@ -1,0 +1,109 @@
+// Prepared execution of PPA's parameterized point queries Q_i^S(t) /
+// Q_i^A(t). A probe asks: does the base-query tuple with id t reach a row
+// making preference P's condition TRUE, and at what degree?
+//
+// Executing each probe as a fresh SQL query pays planning overhead per
+// tuple, and PPA issues |tuples| x K of them. Probes are therefore prepared
+// once per preference: the anchor lookup and every join hop bind to
+// persistent hash indexes, and the final condition compiles to a direct
+// comparison or an elastic-support test. Preferences sharing the same join
+// path (e.g. every director preference walks MOVIE -> DIRECTED -> DIRECTOR)
+// also share the walk itself through PathWalk, the way the paper's union
+// query Q_i(t) shares one scan across its branches. This mirrors what a
+// production engine does with prepared parameterized statements, and is
+// semantically identical to executing the rewriter's satisfaction/violation
+// query with `pk = t` appended (asserted by the probe tests).
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "core/preference.h"
+#include "storage/database.h"
+
+namespace qp::core {
+
+/// \brief The join-path part of a probe: anchor lookup plus a chain of
+/// index hops. Returns the reachable rows of the path's target relation.
+class PathWalk {
+ public:
+  PathWalk() = default;
+
+  /// Prepares a walk for `pref`'s join path. The anchor relation needs a
+  /// single-column primary key.
+  static Result<PathWalk> Prepare(const storage::Database* db,
+                                  const ImplicitPreference& pref);
+
+  /// Rows of the target relation reachable from the anchor tuple with
+  /// primary-key value `anchor_key` (the anchor rows themselves for an
+  /// empty path).
+  void Frontier(const storage::Value& anchor_key,
+                std::vector<const storage::Row*>* out) const;
+
+  /// Key identifying walks that traverse the same join-edge sequence.
+  const std::string& signature() const { return signature_; }
+
+ private:
+  struct Hop {
+    /// Column index of the join key in the *previous* relation's row.
+    size_t from_col = 0;
+    /// Target relation and the column its hash index is built on.
+    const storage::Table* table = nullptr;
+    size_t to_col = 0;
+  };
+
+  const storage::Table* anchor_ = nullptr;
+  size_t anchor_pk_col_ = 0;
+  std::vector<Hop> hops_;
+  std::string signature_;
+};
+
+/// \brief The condition part of a probe: evaluates the preference's
+/// truth-side condition and degree over a walk frontier.
+class PathCondition {
+ public:
+  PathCondition() = default;
+
+  static Result<PathCondition> Prepare(const storage::Database* db,
+                                       const ImplicitPreference& pref);
+
+  /// Returns the tuple's truth-side degree j * dT(u) — maximized over join
+  /// fan-out — when some frontier row makes the condition TRUE, else
+  /// std::nullopt.
+  std::optional<double> TruthDegree(
+      const std::vector<const storage::Row*>& frontier) const;
+
+ private:
+  size_t condition_col_ = 0;
+  sql::BinaryOp op_ = sql::BinaryOp::kEq;
+  storage::Value value_;
+  /// Elastic truth range (used instead of op/value when set).
+  bool elastic_ = false;
+  double support_lo_ = 0.0, support_hi_ = 0.0;
+  DoiFunction d_true_;
+  double join_product_ = 1.0;
+};
+
+/// \brief A standalone compiled probe (walk + condition).
+class PathProbe {
+ public:
+  PathProbe() = default;
+
+  static Result<PathProbe> Prepare(const storage::Database* db,
+                                   const ImplicitPreference& pref);
+
+  /// Evaluates the preference's condition for the anchor tuple whose
+  /// primary-key value is `anchor_key`.
+  std::optional<double> TruthDegree(const storage::Value& anchor_key) const;
+
+  const PathWalk& walk() const { return walk_; }
+  const PathCondition& condition() const { return condition_; }
+
+ private:
+  PathWalk walk_;
+  PathCondition condition_;
+};
+
+}  // namespace qp::core

@@ -1,0 +1,107 @@
+// Personalizer: the library's front door. Wires the three phases of query
+// personalization together (Section 1): preference selection (top-K from the
+// profile), preference integration, and personalized-answer generation
+// satisfying L of the K preferences.
+//
+//   qp::core::Personalizer p(&db, &profile);
+//   auto answer = p.Personalize("select title from movie",
+//                               {.k = 10, .l = 2});
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "core/answer.h"
+#include "core/descriptor.h"
+#include "core/ppa.h"
+#include "core/select_top_k.h"
+#include "core/spa.h"
+#include "stats/table_stats.h"
+
+namespace qp::core {
+
+/// Which answer-generation algorithm to run.
+enum class AnswerAlgorithm {
+  kSpa,
+  kPpa,
+};
+
+/// Which preference-selection algorithm to run.
+enum class SelectionAlgorithm {
+  kFakeCrit,
+  kSps,
+};
+
+/// \brief Everything configurable about one personalization call.
+struct PersonalizeOptions {
+  /// Number of top preferences to select (0 = all related preferences).
+  size_t k = 10;
+  /// Minimum preferences a tuple must satisfy (L <= K).
+  size_t l = 1;
+  /// Criticality threshold c0 (alternative/additional criterion to k).
+  double min_criticality = 0.0;
+  /// Instead of k / min_criticality, select preferences until results are
+  /// guaranteed at least this doi (Section 4.2). Disabled when unset.
+  std::optional<double> target_doi;
+  /// Qualitative descriptor for the desired results ("best", "good", ...;
+  /// Section 2): preferences are selected with the interval's lower bound
+  /// as the doi target and answer tuples are filtered to the interval.
+  /// Looked up in `descriptors` (the default registry when null).
+  std::optional<std::string> descriptor;
+  const DescriptorRegistry* descriptors = nullptr;
+  /// Use the profile's stored ranking philosophy (Section 6.3) instead of
+  /// `ranking` when the profile has one.
+  bool use_profile_ranking = false;
+  /// Return only the best `top_n` tuples (0 = all). PPA stops its remaining
+  /// queries and probes as soon as the top-N have been safely emitted.
+  size_t top_n = 0;
+
+  SelectionAlgorithm selection = SelectionAlgorithm::kFakeCrit;
+  AnswerAlgorithm algorithm = AnswerAlgorithm::kPpa;
+  RankingFunction ranking =
+      RankingFunction::Make(CombinationStyle::kInflationary);
+  /// Progressive emission callback (PPA only).
+  std::function<void(const PersonalizedTuple&)> on_emit;
+};
+
+/// \brief Binds a database and a user profile and answers queries
+/// personally.
+class Personalizer {
+ public:
+  /// Builds the personalization graph eagerly; fails if the profile does
+  /// not validate against the database.
+  static Result<Personalizer> Make(const storage::Database* db,
+                                   const UserProfile* profile);
+
+  /// Runs the full pipeline on a parsed query.
+  Result<PersonalizedAnswer> Personalize(const sql::SelectQuery& query,
+                                         const PersonalizeOptions& options);
+
+  /// Convenience: parses `sql` first. The query must be a single SELECT.
+  Result<PersonalizedAnswer> Personalize(const std::string& sql,
+                                         const PersonalizeOptions& options);
+
+  /// Phase 1 only: the top-K preferences the options would select.
+  Result<std::vector<SelectedPreference>> SelectPreferences(
+      const sql::SelectQuery& query, const PersonalizeOptions& options);
+
+  /// Executes the query unchanged (the non-personalized baseline of the
+  /// paper's user study).
+  Result<exec::RowSet> ExecuteUnchanged(const sql::SelectQuery& query);
+
+  const PersonalizationGraph& graph() const { return graph_; }
+
+ private:
+  Personalizer(const storage::Database* db, const UserProfile* profile,
+               PersonalizationGraph graph)
+      : db_(db), profile_(profile), graph_(std::move(graph)), stats_(db) {}
+
+  const storage::Database* db_;
+  const UserProfile* profile_;
+  PersonalizationGraph graph_;
+  stats::StatsManager stats_;
+};
+
+}  // namespace qp::core

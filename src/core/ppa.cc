@@ -1,0 +1,461 @@
+#include "core/ppa.h"
+
+#include "core/path_probe.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <unordered_set>
+
+namespace qp::core {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprPtr;
+using sql::SelectQuery;
+using storage::Value;
+
+namespace {
+
+/// One planned query (S_i or A_i).
+struct PrefPlan {
+  size_t pref_index = 0;  ///< into the selected-preferences vector
+  PreferenceKind kind = PreferenceKind::kPresence;
+  bool satisfied_when_true = true;
+  double satisfaction_degree = 0.0;
+  double failure_degree = 0.0;
+  SelectQuery query;  ///< full query: base.select + _tid + degree
+  /// Prepared parameterized point query Q_i(t): an index into the shared
+  /// walk table plus the compiled condition. -1 when the preference does
+  /// not anchor at the base query's target relation (the probe then falls
+  /// back to executing `query AND pk = t`).
+  int walk_id = -1;
+  PathCondition condition;
+  double est_selectivity = 1.0;
+};
+
+/// Result of one parameterized probe: did tuple t satisfy the preference,
+/// and with which per-tuple degree.
+struct ProbeOutcome {
+  bool satisfied = false;
+  double degree = 0.0;
+};
+
+/// Working record for one tuple id.
+struct TupleRecord {
+  storage::Row values;  ///< base projection (without _tid / degree)
+  std::vector<PreferenceOutcome> satisfied;
+  std::vector<PreferenceOutcome> failed;
+  double doi = 0.0;
+};
+
+/// Upper bound on the positive combination any subset of `degrees` can
+/// achieve: the inflationary function is monotone in set extension, but
+/// dominant/reserved are bounded by the max element.
+double PositiveUpperBound(const RankingFunction& ranking,
+                          const std::vector<double>& degrees) {
+  if (degrees.empty()) return 0.0;
+  if (ranking.positive_style() == CombinationStyle::kInflationary) {
+    return CombinePositive(CombinationStyle::kInflationary, degrees);
+  }
+  return *std::max_element(degrees.begin(), degrees.end());
+}
+
+}  // namespace
+
+Result<PersonalizedAnswer> PpaGenerator::Generate(
+    const SelectQuery& base, const std::vector<SelectedPreference>& preferences,
+    const Options& options) const {
+  const auto start = std::chrono::steady_clock::now();
+  if (preferences.empty()) {
+    return Status::InvalidArgument("no preferences to integrate");
+  }
+  if (base.from.empty() || base.from[0].derived != nullptr) {
+    return Status::InvalidArgument(
+        "PPA needs a base table as the query's first FROM entry");
+  }
+  for (const auto& item : base.select) {
+    const std::string name = item.OutputName();
+    if (name == "degree" || name == "_tid") {
+      return Status::InvalidArgument("base query projects reserved column '" +
+                                     name + "'");
+    }
+  }
+  const std::string anchor = base.from[0].table;
+  const std::string anchor_alias = QueryRewriter::BaseAlias(base, anchor);
+  QP_ASSIGN_OR_RETURN(const storage::Table* anchor_table,
+                      db_->GetTable(anchor));
+  const auto& pk = anchor_table->schema().primary_key();
+  if (pk.size() != 1) {
+    return Status::InvalidArgument(
+        "PPA needs a single-column primary key on '" + anchor + "'");
+  }
+  const ExprPtr tid_col = Expr::Column(anchor_alias, pk[0]);
+
+  // Base query extended with the tuple id.
+  SelectQuery base2 = base;
+  base2.order_by.clear();
+  base2.limit.reset();
+  base2.select.push_back({tid_col, "_tid"});
+  const size_t n_base_cols = base.select.size();
+
+  // ---- Plan S (presence + 1-1 absence) and A (1-n absence) queries. ----
+  // Preferences sharing a join path share one prepared walk, the way the
+  // branches of the paper's union query Q_i(t) share their scans.
+  std::vector<PathWalk> walks;
+  std::map<std::string, size_t> walk_ids;
+  std::vector<PrefPlan> s_plans, a_plans;
+  for (size_t i = 0; i < preferences.size(); ++i) {
+    const ImplicitPreference& pref = preferences[i].pref;
+    if (!pref.has_selection()) {
+      return Status::InvalidArgument(
+          "PPA integrates selection preferences only");
+    }
+    QP_ASSIGN_OR_RETURN(RewrittenPreference parts,
+                        rewriter_.Rewrite(base2, pref));
+    PrefPlan plan;
+    plan.pref_index = i;
+    plan.kind = parts.kind;
+    plan.satisfied_when_true = parts.satisfied_when_true;
+    plan.satisfaction_degree = parts.satisfaction_degree;
+    plan.failure_degree = parts.failure_degree;
+    if (pref.AnchorRelation() == anchor) {
+      auto walk = PathWalk::Prepare(db_, pref);
+      auto condition = PathCondition::Prepare(db_, pref);
+      if (walk.ok() && condition.ok()) {
+        auto [it, inserted] =
+            walk_ids.try_emplace(walk->signature(), walks.size());
+        if (inserted) walks.push_back(std::move(walk).value());
+        plan.walk_id = static_cast<int>(it->second);
+        plan.condition = std::move(condition).value();
+      }
+    }
+
+    // Estimated selectivity of the underlying atomic condition.
+    const SelectionPreference& sel = pref.selection();
+    double cond_sel = 1.0 / 3.0;
+    if (stats_ != nullptr) {
+      const DoiFunction& dt = sel.doi.d_true();
+      const DoiFunction& df = sel.doi.d_false();
+      const DoiFunction* elastic =
+          dt.is_elastic() ? &dt : (df.is_elastic() ? &df : nullptr);
+      if (elastic != nullptr) {
+        cond_sel = stats_->EstimateRangeSelectivity(
+            sel.condition.attr, elastic->support_lo(), elastic->support_hi());
+      } else {
+        stats::CompareOp op = stats::CompareOp::kEq;
+        switch (sel.condition.op) {
+          case BinaryOp::kEq: op = stats::CompareOp::kEq; break;
+          case BinaryOp::kNe: op = stats::CompareOp::kNe; break;
+          case BinaryOp::kLt: op = stats::CompareOp::kLt; break;
+          case BinaryOp::kLe: op = stats::CompareOp::kLe; break;
+          case BinaryOp::kGt: op = stats::CompareOp::kGt; break;
+          case BinaryOp::kGe: op = stats::CompareOp::kGe; break;
+        }
+        cond_sel = stats_->EstimateSelectivity(sel.condition.attr, op,
+                                               sel.condition.value);
+      }
+    }
+
+    if (parts.kind == PreferenceKind::kAbsenceOneN) {
+      QP_ASSIGN_OR_RETURN(plan.query,
+                          rewriter_.BuildViolationQuery(base2, pref));
+      plan.est_selectivity = cond_sel;
+      a_plans.push_back(std::move(plan));
+    } else {
+      QP_ASSIGN_OR_RETURN(plan.query,
+                          rewriter_.BuildSatisfactionQuery(base2, pref));
+      plan.est_selectivity = parts.kind == PreferenceKind::kAbsenceOneOne
+                                 ? 1.0 - cond_sel
+                                 : cond_sel;
+      s_plans.push_back(std::move(plan));
+    }
+  }
+  std::stable_sort(s_plans.begin(), s_plans.end(),
+                   [](const PrefPlan& a, const PrefPlan& b) {
+                     return a.est_selectivity < b.est_selectivity;
+                   });
+  std::stable_sort(a_plans.begin(), a_plans.end(),
+                   [](const PrefPlan& a, const PrefPlan& b) {
+                     return a.est_selectivity < b.est_selectivity;
+                   });
+
+  exec::Executor executor(db_);
+  PersonalizedAnswer answer;
+  answer.preferences = preferences;
+  for (const auto& item : base.select) {
+    answer.columns.push_back({"", item.OutputName()});
+  }
+
+  // Result bookkeeping.
+  std::unordered_set<Value, storage::ValueHash> seen;
+  std::unordered_set<Value, storage::ValueHash> nids;
+  std::map<double, std::vector<TupleRecord>, std::greater<double>> pending;
+  size_t pending_count = 0;
+  bool first_emitted = false;
+  const auto top_n_reached = [&]() {
+    return options.top_n > 0 && answer.tuples.size() >= options.top_n;
+  };
+  const auto emit_ready = [&](double medi) {
+    while (!pending.empty() && !top_n_reached()) {
+      auto it = pending.begin();
+      if (it->first < medi) break;
+      for (auto& rec : it->second) {
+        if (top_n_reached()) break;
+        PersonalizedTuple t;
+        t.values = std::move(rec.values);
+        t.doi = rec.doi;
+        t.satisfied = std::move(rec.satisfied);
+        t.failed = std::move(rec.failed);
+        if (!first_emitted) {
+          first_emitted = true;
+          answer.stats.first_response_seconds =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+        }
+        if (options.on_emit) options.on_emit(t);
+        answer.tuples.push_back(std::move(t));
+        --pending_count;
+      }
+      pending.erase(it);
+    }
+  };
+
+  // Per-tuple walk frontiers, shared across the preferences probing the
+  // same path. `probe_epoch` invalidates them when the tuple changes.
+  std::vector<std::vector<const storage::Row*>> frontiers(walks.size());
+  std::vector<uint64_t> frontier_epoch(walks.size(), 0);
+  uint64_t probe_epoch = 0;
+
+  // One parameterized probe Q_i(t): the prepared index-walk when available,
+  // otherwise `plan.query AND pk = t` through the executor. Both report the
+  // truth-side hit and degree; satisfaction depends on the preference kind.
+  const auto run_probe = [&](const PrefPlan& plan,
+                             const Value& tid) -> Result<ProbeOutcome> {
+    std::optional<double> truth;
+    if (plan.walk_id >= 0) {
+      const size_t id = static_cast<size_t>(plan.walk_id);
+      if (frontier_epoch[id] != probe_epoch) {
+        walks[id].Frontier(tid, &frontiers[id]);
+        frontier_epoch[id] = probe_epoch;
+      }
+      truth = plan.condition.TruthDegree(frontiers[id]);
+    } else {
+      // The stored query is the satisfaction (S) or violation (A) form; for
+      // 1-1 absence its WHERE holds when the preference is *satisfied*, so
+      // interpret hits accordingly below via `query_hit_is_satisfaction`.
+      SelectQuery q = plan.query;
+      std::vector<ExprPtr> where = sql::ConjunctsOf(q.where);
+      where.push_back(
+          Expr::Compare(BinaryOp::kEq, tid_col, Expr::Literal(tid)));
+      q.where = Expr::AndAll(std::move(where));
+      QP_ASSIGN_OR_RETURN(
+          exec::RowSet rows,
+          executor.Execute(*sql::Query::Single(std::move(q))));
+      // The S/A query's hit corresponds to: satisfaction for S plans,
+      // violation (truth) for A plans. Normalize to truth-side semantics.
+      const bool hit = rows.num_rows() > 0;
+      double best = 0.0;
+      if (hit) {
+        best = rows.row(0).back().is_numeric() ? rows.row(0).back().ToNumeric()
+                                               : 0.0;
+        for (size_t r = 1; r < rows.num_rows(); ++r) {
+          const auto& v = rows.row(r).back();
+          if (v.is_numeric()) best = std::max(best, v.ToNumeric());
+        }
+      }
+      if (plan.kind == PreferenceKind::kAbsenceOneN) {
+        // Violation query: hit == truth.
+        if (hit) return ProbeOutcome{false, best};
+        return ProbeOutcome{true, plan.satisfaction_degree};
+      }
+      // Satisfaction query: hit == satisfied.
+      if (hit) return ProbeOutcome{true, best};
+      return ProbeOutcome{false, plan.failure_degree};
+    }
+    if (plan.satisfied_when_true) {
+      if (truth.has_value()) return ProbeOutcome{true, *truth};
+      return ProbeOutcome{false, plan.failure_degree};
+    }
+    if (truth.has_value()) return ProbeOutcome{false, *truth};
+    return ProbeOutcome{true, plan.satisfaction_degree};
+  };
+
+  // Satisfaction degrees of queries not yet executed (for MEDI).
+  std::vector<double> all_a_degrees;
+  for (const auto& p : a_plans) all_a_degrees.push_back(p.satisfaction_degree);
+  const bool step3_possible = a_plans.size() >= options.L;
+  const double step3_bound =
+      step3_possible ? PositiveUpperBound(options.ranking, all_a_degrees) : 0.0;
+
+  auto medi_after = [&](size_t s_done, size_t a_done) {
+    std::vector<double> remaining;
+    for (size_t k = s_done; k < s_plans.size(); ++k) {
+      remaining.push_back(s_plans[k].satisfaction_degree);
+    }
+    for (size_t k = a_done; k < a_plans.size(); ++k) {
+      remaining.push_back(a_plans[k].satisfaction_degree);
+    }
+    double medi = PositiveUpperBound(options.ranking, remaining);
+    if (options.ranking.mixed_style() == MixedStyle::kCountWeighted &&
+        !remaining.empty()) {
+      // A tuple still unseen after `s_done` presence rounds provably fails
+      // those preferences, so its count-weighted doi is at most
+      // |remaining| * r+(remaining) / K — the bound decays linearly and
+      // enables the paper's early progressive emission.
+      const double k_total =
+          static_cast<double>(s_plans.size() + a_plans.size());
+      if (s_done < s_plans.size()) {
+        medi *= static_cast<double>(remaining.size()) / k_total;
+      } else if (!a_plans.empty()) {
+        // Phase 2: new tuples are ranked on absence preferences only
+        // (Figure 6), and fail every absence query already executed.
+        medi *= static_cast<double>(remaining.size()) /
+                static_cast<double>(a_plans.size());
+      }
+    }
+    // Tuples surfacing only in the final complement step satisfy every 1-n
+    // absence preference; hold their bound until step 3 runs.
+    return std::max(medi, step3_bound);
+  };
+
+  // ---- Phase 1: presence queries. ----
+  for (size_t i = 0; i < s_plans.size(); ++i) {
+    if (top_n_reached()) break;
+    // A tuple first seen here can satisfy at most the remaining presence
+    // queries plus every absence preference.
+    if (s_plans.size() - i + a_plans.size() < options.L) break;
+    QP_ASSIGN_OR_RETURN(exec::RowSet rows,
+                        executor.Execute(*sql::Query::Single(s_plans[i].query)));
+    for (const auto& row : rows.rows()) {
+      const Value& tid = row[n_base_cols];
+      if (tid.is_null() || seen.count(tid) > 0) continue;
+      seen.insert(tid);
+      ++probe_epoch;
+      TupleRecord rec;
+      rec.values.assign(row.begin(), row.begin() + n_base_cols);
+      const double own_degree =
+          row.back().is_numeric() ? row.back().ToNumeric() : 0.0;
+      rec.satisfied.push_back({s_plans[i].pref_index, own_degree});
+      // Presence queries before i would have returned the tuple: failed.
+      for (size_t k = 0; k < i; ++k) {
+        rec.failed.push_back(
+            {s_plans[k].pref_index, s_plans[k].failure_degree});
+      }
+      for (size_t k = i + 1; k < s_plans.size(); ++k) {
+        QP_ASSIGN_OR_RETURN(ProbeOutcome outcome, run_probe(s_plans[k], tid));
+        if (outcome.satisfied) {
+          rec.satisfied.push_back({s_plans[k].pref_index, outcome.degree});
+        } else {
+          rec.failed.push_back({s_plans[k].pref_index, outcome.degree});
+        }
+      }
+      for (const auto& a : a_plans) {
+        QP_ASSIGN_OR_RETURN(ProbeOutcome outcome, run_probe(a, tid));
+        if (outcome.satisfied) {
+          rec.satisfied.push_back({a.pref_index, outcome.degree});
+        } else {
+          rec.failed.push_back({a.pref_index, outcome.degree});
+        }
+      }
+      if (rec.satisfied.size() >= options.L) {
+        std::vector<double> pos, neg;
+        for (const auto& o : rec.satisfied) pos.push_back(o.degree);
+        for (const auto& o : rec.failed) neg.push_back(o.degree);
+        rec.doi = options.ranking.Rank(pos, neg);
+        pending[rec.doi].push_back(std::move(rec));
+        ++pending_count;
+      }
+    }
+    emit_ready(medi_after(i + 1, 0));
+  }
+
+  // ---- Phase 2: absence queries. ----
+  // A tuple first seen here fails at least one absence preference and no
+  // presence query returned it, so it can satisfy at most |A| - 1
+  // preferences. When that cannot reach L, the full absence queries still
+  // run (Nids must be complete for step 3) but per-tuple probing is skipped.
+  const bool phase2_can_qualify =
+      a_plans.size() >= 1 && a_plans.size() - 1 >= options.L;
+  for (size_t i = 0; i < a_plans.size() && !top_n_reached(); ++i) {
+    QP_ASSIGN_OR_RETURN(exec::RowSet rows,
+                        executor.Execute(*sql::Query::Single(a_plans[i].query)));
+    for (const auto& row : rows.rows()) {
+      const Value& tid = row[n_base_cols];
+      if (tid.is_null()) continue;
+      nids.insert(tid);
+      if (!phase2_can_qualify || seen.count(tid) > 0) continue;
+      seen.insert(tid);
+      ++probe_epoch;
+      TupleRecord rec;
+      rec.values.assign(row.begin(), row.begin() + n_base_cols);
+      const double own_degree =
+          row.back().is_numeric() ? row.back().ToNumeric() : 0.0;
+      rec.failed.push_back({a_plans[i].pref_index, own_degree});
+      // Absence queries before i did not return the tuple: satisfied.
+      for (size_t k = 0; k < i; ++k) {
+        rec.satisfied.push_back(
+            {a_plans[k].pref_index, a_plans[k].satisfaction_degree});
+      }
+      for (size_t k = i + 1; k < a_plans.size(); ++k) {
+        QP_ASSIGN_OR_RETURN(ProbeOutcome outcome, run_probe(a_plans[k], tid));
+        if (outcome.satisfied) {
+          rec.satisfied.push_back({a_plans[k].pref_index, outcome.degree});
+        } else {
+          rec.failed.push_back({a_plans[k].pref_index, outcome.degree});
+        }
+      }
+      // Per Figure 6, phase-2 tuples are ranked on absence preferences only.
+      if (rec.satisfied.size() >= options.L) {
+        std::vector<double> pos, neg;
+        for (const auto& o : rec.satisfied) pos.push_back(o.degree);
+        for (const auto& o : rec.failed) neg.push_back(o.degree);
+        rec.doi = options.ranking.Rank(pos, neg);
+        pending[rec.doi].push_back(std::move(rec));
+        ++pending_count;
+      }
+    }
+    emit_ready(medi_after(s_plans.size(), i + 1));
+  }
+
+  // ---- Step 3: tuples never returned by any absence query satisfy every
+  // 1-n absence preference. ----
+  if (step3_possible && !top_n_reached()) {
+    QP_ASSIGN_OR_RETURN(exec::RowSet rows,
+                        executor.Execute(*sql::Query::Single(base2)));
+    for (const auto& row : rows.rows()) {
+      const Value& tid = row[n_base_cols];
+      if (tid.is_null() || seen.count(tid) > 0 || nids.count(tid) > 0) {
+        continue;
+      }
+      seen.insert(tid);
+      TupleRecord rec;
+      rec.values.assign(row.begin(), row.begin() + n_base_cols);
+      std::vector<double> pos;
+      for (const auto& a : a_plans) {
+        rec.satisfied.push_back({a.pref_index, a.satisfaction_degree});
+        pos.push_back(a.satisfaction_degree);
+      }
+      rec.doi = options.ranking.Rank(pos, {});
+      pending[rec.doi].push_back(std::move(rec));
+      ++pending_count;
+    }
+  }
+
+  // ---- Flush everything left, best first. ----
+  emit_ready(-std::numeric_limits<double>::infinity());
+
+  const auto end = std::chrono::steady_clock::now();
+  answer.stats.generation_seconds =
+      std::chrono::duration<double>(end - start).count();
+  if (!first_emitted) {
+    answer.stats.first_response_seconds = answer.stats.generation_seconds;
+  }
+  answer.stats.queries_executed = executor.stats().queries_executed;
+  answer.stats.tuples_returned = answer.tuples.size();
+  return answer;
+}
+
+}  // namespace qp::core

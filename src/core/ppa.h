@@ -1,0 +1,62 @@
+// PPA — Progressive Personalized Answers (Section 5, Figure 6).
+//
+// Presence and 1-1 absence preferences become "presence queries" S_i
+// (a returned tuple satisfies the preference); 1-n absence preferences
+// become "absence queries" A_i in presence form (a returned tuple FAILS the
+// preference). Both sets are ordered by increasing estimated selectivity
+// using histograms. For each newly seen tuple t, parameterized point queries
+// Q_i^S(t) / Q_i^A(t) determine exactly which remaining preferences t
+// satisfies, so results are self-explanatory and can be ranked with any
+// mixed-combination function. Tuples are emitted progressively as soon as
+// their doi meets MEDI, the maximum estimated degree of interest any unseen
+// tuple could still achieve.
+
+#pragma once
+
+#include <functional>
+
+#include "common/status.h"
+#include "core/answer.h"
+#include "core/ranking.h"
+#include "core/rewrite.h"
+#include "exec/executor.h"
+#include "stats/table_stats.h"
+
+namespace qp::core {
+
+/// \brief Generates progressive personalized answers.
+class PpaGenerator {
+ public:
+  struct Options {
+    /// Minimum number of the K preferences a returned tuple must satisfy.
+    size_t L = 1;
+    /// Ranking function for tuple dois and for MEDI.
+    RankingFunction ranking =
+        RankingFunction::Make(CombinationStyle::kInflationary);
+    /// Invoked for each tuple the moment it is safe to emit (doi >= MEDI).
+    std::function<void(const PersonalizedTuple&)> on_emit;
+    /// Stop after this many tuples (0 = all). Because PPA emits in final
+    /// rank order under the MEDI bound, the first N emitted ARE the top-N —
+    /// remaining queries and probes are skipped entirely.
+    size_t top_n = 0;
+  };
+
+  /// `stats` provides the selectivity estimates that order the query sets;
+  /// it may be null (arbitrary order — exercised by the ordering ablation).
+  PpaGenerator(const storage::Database* db, stats::StatsManager* stats)
+      : db_(db), stats_(stats), rewriter_(db) {}
+
+  /// Runs PPA. The base query's first FROM entry is the target relation and
+  /// must have a single-column primary key (the paper's "tuple id").
+  Result<PersonalizedAnswer> Generate(
+      const sql::SelectQuery& base,
+      const std::vector<SelectedPreference>& preferences,
+      const Options& options) const;
+
+ private:
+  const storage::Database* db_;
+  stats::StatsManager* stats_;
+  QueryRewriter rewriter_;
+};
+
+}  // namespace qp::core

@@ -1,0 +1,132 @@
+#include "core/preference.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace qp::core {
+
+std::string SelectionCondition::ToString() const {
+  std::string v = value.is_string() ? "'" + value.as_string() + "'"
+                                    : value.ToString();
+  return attr.ToString() + sql::BinaryOpName(op) + v;
+}
+
+double SelectionPreference::Criticality() const {
+  return doi.SatisfactionDegree() + std::fabs(doi.FailureDegree());
+}
+
+std::string SelectionPreference::ToString() const {
+  return "doi(" + condition.ToString() + ") = " + doi.ToString();
+}
+
+std::string JoinPreference::ToString() const {
+  return "doi(" + from.ToString() + "=" + to.ToString() + ") = (" +
+         FormatDouble(degree) + ")";
+}
+
+ImplicitPreference ImplicitPreference::Selection(SelectionPreference pref) {
+  ImplicitPreference p;
+  p.has_selection_ = true;
+  p.selection_ = std::move(pref);
+  return p;
+}
+
+ImplicitPreference ImplicitPreference::Join(JoinPreference pref) {
+  ImplicitPreference p;
+  p.joins_.push_back(std::move(pref));
+  return p;
+}
+
+Result<ImplicitPreference> ImplicitPreference::ExtendWith(
+    const JoinPreference& edge) const {
+  if (has_selection_) {
+    return Status::InvalidArgument(
+        "cannot extend a selection path with a join edge");
+  }
+  if (!joins_.empty() && joins_.back().to.table != edge.from.table) {
+    return Status::InvalidArgument("join edge from '" + edge.from.ToString() +
+                                   "' is not composable with path ending at '" +
+                                   joins_.back().to.table + "'");
+  }
+  if (Mentions(edge.to.table)) {
+    return Status::InvalidArgument("cycle: relation '" + edge.to.table +
+                                   "' already on the path");
+  }
+  ImplicitPreference out = *this;
+  out.joins_.push_back(edge);
+  return out;
+}
+
+Result<ImplicitPreference> ImplicitPreference::ExtendWith(
+    const SelectionPreference& pref) const {
+  if (has_selection_) {
+    return Status::InvalidArgument("path already ends in a selection");
+  }
+  if (!joins_.empty() &&
+      joins_.back().to.table != pref.condition.attr.table) {
+    return Status::InvalidArgument(
+        "selection on '" + pref.condition.attr.ToString() +
+        "' is not composable with path ending at '" + joins_.back().to.table +
+        "'");
+  }
+  ImplicitPreference out = *this;
+  out.has_selection_ = true;
+  out.selection_ = pref;
+  return out;
+}
+
+const std::string& ImplicitPreference::AnchorRelation() const {
+  if (!joins_.empty()) return joins_.front().from.table;
+  return selection_.condition.attr.table;
+}
+
+const std::string& ImplicitPreference::TargetRelation() const {
+  if (has_selection_) return selection_.condition.attr.table;
+  return joins_.back().to.table;
+}
+
+bool ImplicitPreference::Mentions(const std::string& relation) const {
+  for (const auto& j : joins_) {
+    if (j.from.table == relation || j.to.table == relation) return true;
+  }
+  if (has_selection_ && selection_.condition.attr.table == relation) {
+    return true;
+  }
+  return false;
+}
+
+double ImplicitPreference::JoinDegreeProduct() const {
+  double product = 1.0;
+  for (const auto& j : joins_) product *= j.degree;
+  return product;
+}
+
+DoiPair ImplicitPreference::ComposedDoi() const {
+  return selection_.doi.Scaled(JoinDegreeProduct());
+}
+
+double ImplicitPreference::Criticality() const {
+  const double joins = JoinDegreeProduct();
+  if (!has_selection_) return joins;
+  return joins * selection_.Criticality();
+}
+
+std::string ImplicitPreference::ConditionString() const {
+  std::vector<std::string> parts;
+  for (const auto& j : joins_) {
+    parts.push_back(j.from.ToString() + "=" + j.to.ToString());
+  }
+  if (has_selection_) parts.push_back(selection_.condition.ToString());
+  return ::qp::Join(parts, " and ");
+}
+
+std::string ImplicitPreference::ToString() const {
+  if (has_selection_) {
+    return "doi(" + ConditionString() + ") = " + ComposedDoi().ToString();
+  }
+  return "doi(" + ConditionString() + ") = (" +
+         FormatDouble(JoinDegreeProduct()) + ")";
+}
+
+}  // namespace qp::core

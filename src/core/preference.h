@@ -1,0 +1,126 @@
+// Atomic and implicit preferences (Sections 3.1-3.4).
+//
+// Selection preferences attach a DoiPair to an atomic selection condition
+// `R.A <op> value`; join preferences attach a directed degree in [0,1] to a
+// join condition `R.A = S.B`. Implicit preferences compose join edges (and
+// optionally a final selection edge) along acyclic paths; degrees multiply.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/doi.h"
+#include "sql/expr.h"
+#include "storage/schema.h"
+
+namespace qp::core {
+
+/// \brief An atomic selection condition on one attribute.
+///
+/// Exact conditions use `op` and `value`. Elastic conditions (numeric
+/// "around" preferences) set op = kEq with `value` holding the target; their
+/// effective truth range comes from the doi functions' supports.
+struct SelectionCondition {
+  storage::AttributeRef attr;
+  sql::BinaryOp op = sql::BinaryOp::kEq;
+  storage::Value value;
+
+  std::string ToString() const;
+  bool operator==(const SelectionCondition&) const = default;
+};
+
+/// \brief Atomic selection preference <q, doi(q)>.
+struct SelectionPreference {
+  SelectionCondition condition;
+  DoiPair doi;
+
+  /// Degree of criticality c = d0+ + |d0-| (Formula 7), in [0, 2].
+  double Criticality() const;
+
+  std::string ToString() const;
+  bool operator==(const SelectionPreference&) const = default;
+};
+
+/// \brief Atomic (directed) join preference.
+///
+/// Expresses how much the relation of `from` depends on the relation of
+/// `to` (paper Section 3.1: the left part is the relation already in a
+/// query; the right may be pulled in).
+struct JoinPreference {
+  storage::AttributeRef from;
+  storage::AttributeRef to;
+  double degree = 0.0;  // in [0, 1]
+
+  /// Joins assume failure degree 0, so criticality equals the degree.
+  double Criticality() const { return degree; }
+
+  std::string ToString() const;
+  bool operator==(const JoinPreference&) const = default;
+};
+
+/// \brief An implicit (or atomic) preference: a directed path of join edges
+/// optionally terminated by a selection edge (Section 3.2).
+///
+/// With no joins and a selection, this is an atomic selection preference;
+/// with joins and no selection it is an (implicit) join preference.
+class ImplicitPreference {
+ public:
+  ImplicitPreference() = default;
+
+  /// Atomic selection path.
+  static ImplicitPreference Selection(SelectionPreference pref);
+  /// Atomic join path.
+  static ImplicitPreference Join(JoinPreference pref);
+
+  /// Extends this join path with another composable join edge; fails if
+  /// this path already ends in a selection or the edge is not composable.
+  Result<ImplicitPreference> ExtendWith(const JoinPreference& edge) const;
+  /// Terminates this join path with a selection on the last relation.
+  Result<ImplicitPreference> ExtendWith(const SelectionPreference& pref) const;
+
+  bool has_selection() const { return has_selection_; }
+  const std::vector<JoinPreference>& joins() const { return joins_; }
+  const SelectionPreference& selection() const { return selection_; }
+
+  /// Number of edges in the path.
+  size_t Length() const { return joins_.size() + (has_selection_ ? 1 : 0); }
+
+  /// The relation the path starts from (the query-side anchor).
+  const std::string& AnchorRelation() const;
+
+  /// The relation the path currently ends at (for further composition).
+  const std::string& TargetRelation() const;
+
+  /// True if `relation` appears anywhere along the path.
+  bool Mentions(const std::string& relation) const;
+
+  /// Product of join degrees along the path.
+  double JoinDegreeProduct() const;
+
+  /// The composed doi pair (selection paths only): atomic doi scaled by the
+  /// join degree product (Example 2).
+  DoiPair ComposedDoi() const;
+
+  /// Degree of criticality of the full path: c_S = prod(d_j) * c_sel for
+  /// selection paths, prod(d_j) for join paths. Satisfies c_S <= 2 c_J
+  /// (Formula 8).
+  double Criticality() const;
+
+  /// The conjunction of atomic conditions, e.g.
+  /// "MOVIE.mid=DIRECTED.mid and DIRECTED.did=DIRECTOR.did and
+  /// DIRECTOR.name='W. Allen'".
+  std::string ConditionString() const;
+
+  std::string ToString() const;
+
+  bool operator==(const ImplicitPreference&) const = default;
+
+ private:
+  std::vector<JoinPreference> joins_;
+  bool has_selection_ = false;
+  SelectionPreference selection_;
+};
+
+}  // namespace qp::core

@@ -1,0 +1,404 @@
+#include "core/profile.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace qp::core {
+
+using storage::AttributeRef;
+using storage::Value;
+
+Status UserProfile::AddSelection(SelectionPreference pref) {
+  if (pref.doi.IsIndifferent()) {
+    return Status::InvalidArgument(
+        "indifferent preferences (dT = dF = 0) are not stored");
+  }
+  if ((pref.doi.d_true().is_elastic() || pref.doi.d_false().is_elastic()) &&
+      !pref.condition.value.is_numeric()) {
+    return Status::InvalidArgument(
+        "elastic preference requires a numeric target value: " +
+        pref.condition.ToString());
+  }
+  for (const auto& existing : selections_) {
+    if (existing.condition == pref.condition) {
+      return Status::AlreadyExists("preference on condition '" +
+                                   pref.condition.ToString() +
+                                   "' already stored");
+    }
+  }
+  selections_.push_back(std::move(pref));
+  return Status::OK();
+}
+
+Status UserProfile::AddJoin(JoinPreference pref) {
+  if (pref.degree < 0.0 || pref.degree > 1.0) {
+    return Status::InvalidArgument("join degree must be in [0, 1]");
+  }
+  for (const auto& existing : joins_) {
+    if (existing.from == pref.from && existing.to == pref.to) {
+      return Status::AlreadyExists("join preference '" + pref.ToString() +
+                                   "' already stored");
+    }
+  }
+  joins_.push_back(std::move(pref));
+  return Status::OK();
+}
+
+Status UserProfile::AddSelection(const std::string& attr, sql::BinaryOp op,
+                                 Value value, DoiPair doi) {
+  QP_ASSIGN_OR_RETURN(AttributeRef ref, AttributeRef::Parse(attr));
+  SelectionPreference pref;
+  pref.condition = {std::move(ref), op, std::move(value)};
+  pref.doi = std::move(doi);
+  return AddSelection(std::move(pref));
+}
+
+Status UserProfile::AddJoin(const std::string& from_attr,
+                            const std::string& to_attr, double degree) {
+  QP_ASSIGN_OR_RETURN(AttributeRef from, AttributeRef::Parse(from_attr));
+  QP_ASSIGN_OR_RETURN(AttributeRef to, AttributeRef::Parse(to_attr));
+  return AddJoin({std::move(from), std::move(to), degree});
+}
+
+Status UserProfile::RemoveSelection(const SelectionCondition& condition) {
+  for (auto it = selections_.begin(); it != selections_.end(); ++it) {
+    if (it->condition == condition) {
+      selections_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no preference on condition '" +
+                          condition.ToString() + "'");
+}
+
+Status UserProfile::RemoveJoin(const storage::AttributeRef& from,
+                               const storage::AttributeRef& to) {
+  for (auto it = joins_.begin(); it != joins_.end(); ++it) {
+    if (it->from == from && it->to == to) {
+      joins_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no join preference " + from.ToString() + " -> " +
+                          to.ToString());
+}
+
+std::vector<const SelectionPreference*> UserProfile::SelectionsOn(
+    const std::string& relation) const {
+  std::vector<const SelectionPreference*> out;
+  const std::string rel = ToLower(relation);
+  for (const auto& p : selections_) {
+    if (p.condition.attr.table == rel) out.push_back(&p);
+  }
+  return out;
+}
+
+std::vector<const JoinPreference*> UserProfile::JoinsFrom(
+    const std::string& relation) const {
+  std::vector<const JoinPreference*> out;
+  const std::string rel = ToLower(relation);
+  for (const auto& p : joins_) {
+    if (p.from.table == rel) out.push_back(&p);
+  }
+  return out;
+}
+
+Status UserProfile::Validate(const storage::Database& db) const {
+  for (const auto& p : selections_) {
+    QP_RETURN_IF_ERROR(db.ValidateAttribute(p.condition.attr));
+    if (p.doi.d_true().is_elastic() || p.doi.d_false().is_elastic()) {
+      QP_ASSIGN_OR_RETURN(storage::DataType type,
+                          db.AttributeType(p.condition.attr));
+      if (type != storage::DataType::kInt &&
+          type != storage::DataType::kDouble) {
+        return Status::InvalidArgument(
+            "elastic preference on non-numeric attribute " +
+            p.condition.attr.ToString());
+      }
+    }
+  }
+  for (const auto& p : joins_) {
+    QP_RETURN_IF_ERROR(db.ValidateAttribute(p.from));
+    QP_RETURN_IF_ERROR(db.ValidateAttribute(p.to));
+  }
+  return Status::OK();
+}
+
+std::string UserProfile::Serialize() const {
+  std::string out;
+  if (preferred_ranking_.has_value()) {
+    out += "ranking: ";
+    out += CombinationStyleName(preferred_ranking_->positive_style());
+    out += " ";
+    out += MixedStyleName(preferred_ranking_->mixed_style());
+    out += "\n";
+  }
+  for (const auto& p : selections_) {
+    out += "doi(" + p.condition.attr.ToString() + " " +
+           sql::BinaryOpName(p.condition.op) + " ";
+    out += p.condition.value.is_string()
+               ? "'" + p.condition.value.as_string() + "'"
+               : p.condition.value.ToString();
+    out += ") = (" + SerializeDoiFunction(p.doi.d_true()) + ", " +
+           SerializeDoiFunction(p.doi.d_false()) + ")\n";
+  }
+  for (const auto& p : joins_) {
+    out += "doi(" + p.from.ToString() + " = " + p.to.ToString() + ") = (" +
+           FormatDouble(p.degree) + ")\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Text-format parsing.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Parses "TABLE.column" at the front of `s`, advancing it.
+Result<AttributeRef> TakeAttribute(std::string_view* s) {
+  size_t i = 0;
+  auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  while (i < s->size() && is_ident((*s)[i])) ++i;
+  if (i == s->size() || (*s)[i] != '.') {
+    return Status::ParseError("expected TABLE.column in '" + std::string(*s) +
+                              "'");
+  }
+  size_t j = i + 1;
+  while (j < s->size() && is_ident((*s)[j])) ++j;
+  AttributeRef ref(std::string(s->substr(0, i)),
+                   std::string(s->substr(i + 1, j - i - 1)));
+  s->remove_prefix(j);
+  return ref;
+}
+
+Result<sql::BinaryOp> TakeOperator(std::string_view* s) {
+  *s = Trim(*s);
+  static const std::pair<const char*, sql::BinaryOp> kOps[] = {
+      {"<>", sql::BinaryOp::kNe}, {"<=", sql::BinaryOp::kLe},
+      {">=", sql::BinaryOp::kGe}, {"=", sql::BinaryOp::kEq},
+      {"<", sql::BinaryOp::kLt},  {">", sql::BinaryOp::kGt},
+  };
+  for (const auto& [text, op] : kOps) {
+    if (StartsWith(*s, text)) {
+      s->remove_prefix(std::string_view(text).size());
+      return op;
+    }
+  }
+  return Status::ParseError("expected comparison operator in '" +
+                            std::string(*s) + "'");
+}
+
+/// Parses one doi component: a number, or e(d)[lo,hi] / e(d)[a,b,c,d].
+Result<DoiFunction> ParseDoiFunction(std::string_view text, double target) {
+  text = Trim(text);
+  if (text.empty()) return Status::ParseError("empty doi component");
+  if (text[0] != 'e') {
+    char* end = nullptr;
+    const double d = std::strtod(std::string(text).c_str(), &end);
+    if (end == std::string(text).c_str()) {
+      return Status::ParseError("bad degree '" + std::string(text) + "'");
+    }
+    return DoiFunction::Constant(d);
+  }
+  // e(d)[...]
+  const size_t open = text.find('(');
+  const size_t close = text.find(')');
+  const size_t bopen = text.find('[');
+  const size_t bclose = text.find(']');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      bopen == std::string_view::npos || bclose == std::string_view::npos ||
+      !(open < close && close < bopen && bopen < bclose)) {
+    return Status::ParseError("malformed elastic doi '" + std::string(text) +
+                              "'");
+  }
+  const double d =
+      std::strtod(std::string(text.substr(open + 1, close - open - 1)).c_str(),
+                  nullptr);
+  std::vector<std::string> nums =
+      Split(std::string(text.substr(bopen + 1, bclose - bopen - 1)), ',');
+  std::vector<double> vals;
+  for (const auto& n : nums) vals.push_back(std::strtod(n.c_str(), nullptr));
+  if (vals.size() == 2) {
+    // Triangular centered at the condition's target value; if the target is
+    // not centered, fall back to an asymmetric trapezoid peaked at target.
+    if (target == (vals[0] + vals[1]) / 2.0) {
+      return DoiFunction::Triangular(d, target, (vals[1] - vals[0]) / 2.0);
+    }
+    return DoiFunction::Trapezoidal(d, vals[0], target, target, vals[1]);
+  }
+  if (vals.size() == 4) {
+    // A degenerate symmetric core is a triangle; keep the shape tag stable
+    // across serialize/parse round trips.
+    if (vals[1] == vals[2] && vals[1] - vals[0] == vals[3] - vals[2] &&
+        vals[1] > vals[0]) {
+      return DoiFunction::Triangular(d, vals[1], vals[1] - vals[0]);
+    }
+    return DoiFunction::Trapezoidal(d, vals[0], vals[1], vals[2], vals[3]);
+  }
+  return Status::ParseError("elastic doi needs 2 or 4 interval numbers: '" +
+                            std::string(text) + "'");
+}
+
+/// Splits "(a, b)" or "(a)" contents at the top-level commas (commas inside
+/// e(..)[..] brackets do not count).
+std::vector<std::string> SplitTopLevel(std::string_view s) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::string cur;
+  for (char c : s) {
+    if (c == '(' || c == '[') ++depth;
+    if (c == ')' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+}  // namespace
+
+std::string SerializeDoiFunction(const DoiFunction& f) {
+  if (!f.is_elastic()) return FormatDouble(f.degree());
+  return "e(" + FormatDouble(f.degree()) + ")[" + FormatDouble(f.support_lo()) +
+         "," + FormatDouble(f.core_lo()) + "," + FormatDouble(f.core_hi()) +
+         "," + FormatDouble(f.support_hi()) + "]";
+}
+
+Result<UserProfile> UserProfile::Parse(const std::string& text) {
+  UserProfile profile;
+  std::istringstream in(text);
+  std::string raw;
+  size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const auto fail = [&](const std::string& msg) {
+      return Status::ParseError("profile line " + std::to_string(line_no) +
+                                ": " + msg);
+    };
+    if (StartsWith(line, "ranking:")) {
+      const auto parts = Split(std::string(Trim(line.substr(8))), ' ');
+      if (parts.empty() || parts.size() > 2) {
+        return fail("expected 'ranking: <style> [<mixed>]'");
+      }
+      auto style = ParseCombinationStyle(parts[0]);
+      if (!style.ok()) return fail(style.status().message());
+      MixedStyle mixed = MixedStyle::kCountWeighted;
+      if (parts.size() == 2) {
+        auto parsed = ParseMixedStyle(parts[1]);
+        if (!parsed.ok()) return fail(parsed.status().message());
+        mixed = *parsed;
+      }
+      profile.set_preferred_ranking(RankingFunction::Make(*style, mixed));
+      continue;
+    }
+    if (!StartsWith(line, "doi(")) return fail("expected 'doi('");
+    line.remove_prefix(4);
+    // Condition up to the matching ')'.
+    int depth = 1;
+    size_t end = 0;
+    for (; end < line.size(); ++end) {
+      if (line[end] == '(') ++depth;
+      if (line[end] == ')') {
+        if (--depth == 0) break;
+      }
+    }
+    if (end == line.size()) return fail("unbalanced parentheses");
+    std::string_view cond = Trim(line.substr(0, end));
+    std::string_view rest = Trim(line.substr(end + 1));
+    if (!StartsWith(rest, "=")) return fail("expected '=' after condition");
+    rest = Trim(rest.substr(1));
+    if (rest.empty() || rest.front() != '(' || rest.back() != ')') {
+      return fail("expected parenthesized doi");
+    }
+    std::vector<std::string> doi_parts =
+        SplitTopLevel(rest.substr(1, rest.size() - 2));
+
+    // Condition: attribute, operator, then either attribute (join) or
+    // literal (selection).
+    auto attr_result = TakeAttribute(&cond);
+    if (!attr_result.ok()) return attr_result.status();
+    AttributeRef left = std::move(attr_result).value();
+    auto op_result = TakeOperator(&cond);
+    if (!op_result.ok()) return op_result.status();
+    const sql::BinaryOp op = *op_result;
+    cond = Trim(cond);
+
+    // Join: right side is TABLE.column and doi has a single component.
+    std::string_view probe = cond;
+    auto right_attr = TakeAttribute(&probe);
+    if (right_attr.ok() && Trim(probe).empty()) {
+      if (op != sql::BinaryOp::kEq) return fail("join conditions must use '='");
+      if (doi_parts.size() != 1) return fail("join doi takes one degree");
+      const double degree =
+          std::strtod(std::string(Trim(doi_parts[0])).c_str(), nullptr);
+      QP_RETURN_IF_ERROR(
+          profile.AddJoin({left, std::move(right_attr).value(), degree}));
+      continue;
+    }
+
+    // Selection: parse the literal.
+    Value value;
+    if (!cond.empty() && cond.front() == '\'') {
+      if (cond.size() < 2 || cond.back() != '\'') {
+        return fail("unterminated string literal");
+      }
+      value = Value(std::string(cond.substr(1, cond.size() - 2)));
+    } else {
+      char* endp = nullptr;
+      const std::string num(cond);
+      const double x = std::strtod(num.c_str(), &endp);
+      if (endp == num.c_str() || *endp != '\0') {
+        return fail("bad literal '" + num + "'");
+      }
+      if (num.find('.') == std::string::npos &&
+          num.find('e') == std::string::npos) {
+        value = Value(static_cast<int64_t>(x));
+      } else {
+        value = Value(x);
+      }
+    }
+    if (doi_parts.size() != 2) return fail("selection doi takes (dT, dF)");
+    const double target = value.is_numeric() ? value.ToNumeric() : 0.0;
+    auto dt = ParseDoiFunction(doi_parts[0], target);
+    if (!dt.ok()) return fail(dt.status().message());
+    auto df = ParseDoiFunction(doi_parts[1], target);
+    if (!df.ok()) return fail(df.status().message());
+    auto pair = DoiPair::Make(std::move(dt).value(), std::move(df).value());
+    if (!pair.ok()) return fail(pair.status().message());
+    SelectionPreference pref;
+    pref.condition = {std::move(left), op, std::move(value)};
+    pref.doi = std::move(pair).value();
+    QP_RETURN_IF_ERROR(profile.AddSelection(std::move(pref)));
+  }
+  return profile;
+}
+
+Status UserProfile::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  out << Serialize();
+  return out ? Status::OK() : Status::Internal("error writing '" + path + "'");
+}
+
+Result<UserProfile> UserProfile::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Parse(ss.str());
+}
+
+}  // namespace qp::core

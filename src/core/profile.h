@@ -1,0 +1,112 @@
+// User profiles: the stored set of atomic preferences (Section 3, Figure 2).
+//
+// Profiles serialize to/from a text format mirroring the paper's notation:
+//
+//   # Al's profile
+//   doi(DIRECTOR.name = 'W. Allen') = (0.8, 0)
+//   doi(MOVIE.year < 1980) = (-0.7, 0)
+//   doi(MOVIE.duration = 120) = (e(0.7)[90,150], e(-0.5)[90,150])
+//   doi(MOVIE.mid = DIRECTED.mid) = (1)
+//
+// Elastic components: e(d)[lo,hi] is triangular (peak at the condition's
+// target value, support [lo,hi]); e(d)[a,b,c,d] is trapezoidal.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <optional>
+
+#include "common/status.h"
+#include "core/preference.h"
+#include "core/ranking.h"
+#include "storage/database.h"
+
+namespace qp::core {
+
+/// Renders one doi component in the profile text format: a bare degree for
+/// constants, "e(d)[support_lo,core_lo,core_hi,support_hi]" for elastic.
+std::string SerializeDoiFunction(const DoiFunction& f);
+
+/// \brief A user's stored atomic preferences.
+class UserProfile {
+ public:
+  UserProfile() = default;
+
+  /// Adds a selection preference. Fails on: indifferent doi (the paper does
+  /// not store them), duplicate condition, elastic doi on a non-numeric
+  /// target value.
+  Status AddSelection(SelectionPreference pref);
+
+  /// Adds a join preference. Fails if degree is outside [0, 1] or the
+  /// directed edge already exists.
+  Status AddJoin(JoinPreference pref);
+
+  /// Convenience: parses "TABLE.attr" strings and builds the preference.
+  Status AddSelection(const std::string& attr, sql::BinaryOp op,
+                      storage::Value value, DoiPair doi);
+  Status AddJoin(const std::string& from_attr, const std::string& to_attr,
+                 double degree);
+
+  /// Removes the selection preference with exactly this condition; NotFound
+  /// if absent. Any PersonalizationGraph built over this profile must call
+  /// RefreshDerivedStats() afterwards (its edge pointers are rebuilt there).
+  Status RemoveSelection(const SelectionCondition& condition);
+
+  /// Removes the directed join preference from -> to; NotFound if absent.
+  Status RemoveJoin(const storage::AttributeRef& from,
+                    const storage::AttributeRef& to);
+
+  const std::vector<SelectionPreference>& selections() const {
+    return selections_;
+  }
+  const std::vector<JoinPreference>& joins() const { return joins_; }
+
+  /// Total number of stored atomic preferences (the paper's estimate for N
+  /// in Section 4.2).
+  size_t NumPreferences() const { return selections_.size() + joins_.size(); }
+
+  /// Selection preferences whose attribute belongs to `relation`.
+  std::vector<const SelectionPreference*> SelectionsOn(
+      const std::string& relation) const;
+
+  /// Join preferences leaving `relation`.
+  std::vector<const JoinPreference*> JoinsFrom(
+      const std::string& relation) const;
+
+  /// The user's learned ranking philosophy (Section 6.3 suggests storing
+  /// it in the profile); see core/learn_ranking.h for how it is fit.
+  void set_preferred_ranking(RankingFunction ranking) {
+    preferred_ranking_ = ranking;
+  }
+  void clear_preferred_ranking() { preferred_ranking_.reset(); }
+  const std::optional<RankingFunction>& preferred_ranking() const {
+    return preferred_ranking_;
+  }
+  /// The stored ranking function, or `fallback` when none was learned.
+  RankingFunction PreferredRankingOr(RankingFunction fallback) const {
+    return preferred_ranking_.value_or(fallback);
+  }
+
+  /// Checks every referenced attribute against `db` (existence and, for
+  /// elastic preferences, numeric type).
+  Status Validate(const storage::Database& db) const;
+
+  /// Renders the Figure-2 style text form.
+  std::string Serialize() const;
+
+  /// Parses the text form ('#' starts a comment line).
+  static Result<UserProfile> Parse(const std::string& text);
+
+  /// File I/O wrappers around Serialize/Parse.
+  Status Save(const std::string& path) const;
+  static Result<UserProfile> Load(const std::string& path);
+
+ private:
+  std::vector<SelectionPreference> selections_;
+  std::vector<JoinPreference> joins_;
+  std::optional<RankingFunction> preferred_ranking_;
+};
+
+}  // namespace qp::core

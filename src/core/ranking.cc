@@ -1,0 +1,106 @@
+#include "core/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace qp::core {
+
+const char* CombinationStyleName(CombinationStyle s) {
+  switch (s) {
+    case CombinationStyle::kInflationary:
+      return "inflationary";
+    case CombinationStyle::kDominant:
+      return "dominant";
+    case CombinationStyle::kReserved:
+      return "reserved";
+  }
+  return "?";
+}
+
+const char* MixedStyleName(MixedStyle s) {
+  switch (s) {
+    case MixedStyle::kSum:
+      return "sum";
+    case MixedStyle::kCountWeighted:
+      return "count-weighted";
+  }
+  return "?";
+}
+
+Result<CombinationStyle> ParseCombinationStyle(const std::string& name) {
+  for (auto style : {CombinationStyle::kInflationary,
+                     CombinationStyle::kDominant,
+                     CombinationStyle::kReserved}) {
+    if (EqualsIgnoreCase(name, CombinationStyleName(style))) return style;
+  }
+  return Status::NotFound("unknown combination style '" + name + "'");
+}
+
+Result<MixedStyle> ParseMixedStyle(const std::string& name) {
+  for (auto mixed : {MixedStyle::kSum, MixedStyle::kCountWeighted}) {
+    if (EqualsIgnoreCase(name, MixedStyleName(mixed))) return mixed;
+  }
+  return Status::NotFound("unknown mixed style '" + name + "'");
+}
+
+double CombinePositive(CombinationStyle style,
+                       const std::vector<double>& degrees) {
+  if (degrees.empty()) return 0.0;
+  switch (style) {
+    case CombinationStyle::kInflationary: {
+      double product = 1.0;
+      for (double d : degrees) product *= (1.0 - d);
+      return 1.0 - product;
+    }
+    case CombinationStyle::kDominant:
+      return *std::max_element(degrees.begin(), degrees.end());
+    case CombinationStyle::kReserved: {
+      double product = 1.0;
+      for (double d : degrees) product *= (1.0 - d);
+      return 1.0 - std::pow(product, 1.0 / degrees.size());
+    }
+  }
+  return 0.0;
+}
+
+double CombineNegative(CombinationStyle style,
+                       const std::vector<double>& degrees) {
+  if (degrees.empty()) return 0.0;
+  // Mirror image: negate, combine positively, negate back.
+  std::vector<double> mirrored;
+  mirrored.reserve(degrees.size());
+  for (double d : degrees) mirrored.push_back(-d);
+  return -CombinePositive(style, mirrored);
+}
+
+double RankingFunction::Rank(const std::vector<double>& positive,
+                             const std::vector<double>& negative) const {
+  const double r_pos = CombinePositive(positive_, positive);
+  const double r_neg = CombineNegative(negative_, negative);
+  switch (mixed_) {
+    case MixedStyle::kSum:
+      return r_pos + r_neg;
+    case MixedStyle::kCountWeighted: {
+      const double n_pos = static_cast<double>(positive.size());
+      const double n_neg = static_cast<double>(negative.size());
+      if (n_pos + n_neg == 0.0) return 0.0;
+      return (n_pos * r_pos + n_neg * r_neg) / (n_pos + n_neg);
+    }
+  }
+  return 0.0;
+}
+
+std::string RankingFunction::ToString() const {
+  std::string out = CombinationStyleName(positive_);
+  if (negative_ != positive_) {
+    out += "/";
+    out += CombinationStyleName(negative_);
+  }
+  out += "+";
+  out += MixedStyleName(mixed_);
+  return out;
+}
+
+}  // namespace qp::core

@@ -1,0 +1,92 @@
+// Ranking functions for combinations of preferences (Section 3.3).
+//
+// Positive combinations (all preferences satisfied, degrees >= 0):
+//   inflationary  r1+ = 1 - prod(1 - di)            (Eq. 1; r1+ >= max)
+//   dominant      r+  = max(di)                     (winner-takes-all)
+//   reserved      r2+ = 1 - prod(1 - di)^(1/N)      (Eq. 2; min<=r2+<=max)
+// Negative combinations are the exact mirror images (signs exchanged).
+// Mixed combinations compose r+ over the satisfied set and r- over the
+// failed set:
+//   sum            r = r+ + r-                      (Eq. 5)
+//   count-weighted r = (N+ r+ + N- r-) / (N+ + N-)  (Eq. 6)
+// Both satisfy conditions (3) r- <= r <= r+ and (4) r(d, -d) = 0.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qp::core {
+
+/// Philosophy for combining same-sign degrees.
+enum class CombinationStyle {
+  kInflationary,
+  kDominant,
+  kReserved,
+};
+
+/// Composition of positive and negative parts.
+enum class MixedStyle {
+  kSum,            ///< Eq. 5: r+ + r-.
+  kCountWeighted,  ///< Eq. 6: (N+ r+ + N- r-) / (N+ + N-).
+};
+
+const char* CombinationStyleName(CombinationStyle s);
+const char* MixedStyleName(MixedStyle s);
+
+/// Inverse of the Name functions (case-insensitive); NotFound on unknown
+/// names. Used by the profile text format's `ranking:` line.
+Result<CombinationStyle> ParseCombinationStyle(const std::string& name);
+Result<MixedStyle> ParseMixedStyle(const std::string& name);
+
+/// Combines non-negative satisfaction degrees; empty input yields 0.
+double CombinePositive(CombinationStyle style,
+                       const std::vector<double>& degrees);
+
+/// Combines non-positive failure degrees; empty input yields 0.
+double CombineNegative(CombinationStyle style,
+                       const std::vector<double>& degrees);
+
+/// \brief A fully configured ranking function r(D+, D-).
+///
+/// `positive`/`negative` pick the same-sign philosophy, `mixed` how the two
+/// parts compose. The paper's experiments (Figs. 15-17) vary `positive`
+/// with mixed = kCountWeighted.
+class RankingFunction {
+ public:
+  RankingFunction() = default;
+  RankingFunction(CombinationStyle positive, CombinationStyle negative,
+                  MixedStyle mixed)
+      : positive_(positive), negative_(negative), mixed_(mixed) {}
+
+  /// Shorthand: same style on both signs.
+  static RankingFunction Make(CombinationStyle style,
+                              MixedStyle mixed = MixedStyle::kCountWeighted) {
+    return RankingFunction(style, style, mixed);
+  }
+
+  CombinationStyle positive_style() const { return positive_; }
+  CombinationStyle negative_style() const { return negative_; }
+  MixedStyle mixed_style() const { return mixed_; }
+
+  /// Overall degree of interest for satisfied degrees `positive` (each >= 0)
+  /// and failed degrees `negative` (each <= 0). Either set may be empty.
+  double Rank(const std::vector<double>& positive,
+              const std::vector<double>& negative) const;
+
+  /// Positive-only shorthand.
+  double RankPositive(const std::vector<double>& degrees) const {
+    return CombinePositive(positive_, degrees);
+  }
+
+  std::string ToString() const;
+
+ private:
+  CombinationStyle positive_ = CombinationStyle::kInflationary;
+  CombinationStyle negative_ = CombinationStyle::kInflationary;
+  MixedStyle mixed_ = MixedStyle::kCountWeighted;
+};
+
+}  // namespace qp::core

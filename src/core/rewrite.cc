@@ -1,0 +1,337 @@
+#include "core/rewrite.h"
+
+#include "common/string_util.h"
+
+namespace qp::core {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprPtr;
+using sql::SelectQuery;
+using sql::TableRef;
+using storage::Value;
+
+const char* PreferenceKindName(PreferenceKind k) {
+  switch (k) {
+    case PreferenceKind::kPresence:
+      return "presence";
+    case PreferenceKind::kAbsenceOneOne:
+      return "absence-1-1";
+    case PreferenceKind::kAbsenceOneN:
+      return "absence-1-n";
+  }
+  return "?";
+}
+
+PreferenceKind ClassifyPreference(const ImplicitPreference& pref) {
+  if (pref.selection().doi.SatisfiedWhenTrue()) {
+    return PreferenceKind::kPresence;
+  }
+  return pref.joins().empty() ? PreferenceKind::kAbsenceOneOne
+                              : PreferenceKind::kAbsenceOneN;
+}
+
+std::string QueryRewriter::BaseAlias(const SelectQuery& base,
+                                     const std::string& relation) {
+  for (const auto& ref : base.from) {
+    if (ref.derived == nullptr && EqualsIgnoreCase(ref.table, relation)) {
+      return ToLower(ref.EffectiveAlias());
+    }
+  }
+  return relation;
+}
+
+namespace {
+
+/// The truth range of an elastic condition: the support of the elastic
+/// component (preferring dT).
+const DoiFunction* ElasticComponent(const DoiPair& doi) {
+  if (doi.d_true().is_elastic()) return &doi.d_true();
+  if (doi.d_false().is_elastic()) return &doi.d_false();
+  return nullptr;
+}
+
+/// Truth-form condition of the atomic selection: exact operator, or range
+/// over the elastic support.
+ExprPtr TruthCondition(const SelectionPreference& sel,
+                       const std::string& qualifier) {
+  ExprPtr col = Expr::Column(qualifier, sel.condition.attr.column);
+  const DoiFunction* elastic = ElasticComponent(sel.doi);
+  if (elastic == nullptr) {
+    return Expr::Compare(sel.condition.op, col,
+                         Expr::Literal(sel.condition.value));
+  }
+  return Expr::And(
+      Expr::Compare(BinaryOp::kGe, col, Expr::Literal(Value(elastic->support_lo()))),
+      Expr::Compare(BinaryOp::kLe, col, Expr::Literal(Value(elastic->support_hi()))));
+}
+
+/// Complement of the truth-form condition (1-1 absence satisfaction).
+ExprPtr FalseCondition(const SelectionPreference& sel,
+                       const std::string& qualifier) {
+  ExprPtr col = Expr::Column(qualifier, sel.condition.attr.column);
+  const DoiFunction* elastic = ElasticComponent(sel.doi);
+  if (elastic == nullptr) {
+    return Expr::Compare(sql::NegateOp(sel.condition.op), col,
+                         Expr::Literal(sel.condition.value));
+  }
+  return Expr::Or(
+      Expr::Compare(BinaryOp::kLt, col, Expr::Literal(Value(elastic->support_lo()))),
+      Expr::Compare(BinaryOp::kGt, col, Expr::Literal(Value(elastic->support_hi()))));
+}
+
+/// Per-tuple degree of a tuple making the condition true: j * dT(u).
+ExprPtr TrueDegreeExpr(const SelectionPreference& sel, double join_product,
+                       const std::string& qualifier) {
+  const DoiFunction& d_true = sel.doi.d_true();
+  if (!d_true.is_elastic()) {
+    return Expr::Literal(Value(join_product * d_true.degree()));
+  }
+  DoiFunction fn = d_true;
+  return Expr::ScalarFn(
+      "elastic_doi",
+      [fn, join_product](const Value& v) {
+        return Value(join_product * fn.Eval(v));
+      },
+      Expr::Column(qualifier, sel.condition.attr.column));
+}
+
+}  // namespace
+
+namespace {
+
+/// Column vocabulary of one base-query source.
+struct SourceColumns {
+  std::string alias;
+  std::vector<std::string> columns;
+};
+
+Result<ExprPtr> QualifyExpr(const ExprPtr& e,
+                            const std::vector<SourceColumns>& sources) {
+  if (e == nullptr) return ExprPtr(nullptr);
+  switch (e->kind()) {
+    case sql::ExprKind::kColumnRef: {
+      if (!e->table().empty() || e->column() == "*") return e;
+      const SourceColumns* found = nullptr;
+      for (const auto& src : sources) {
+        for (const auto& col : src.columns) {
+          if (EqualsIgnoreCase(col, e->column())) {
+            if (found != nullptr && found != &src) {
+              return Status::InvalidArgument(
+                  "ambiguous column '" + e->column() + "' in base query");
+            }
+            found = &src;
+          }
+        }
+      }
+      if (found == nullptr) return e;  // e.g. an output-alias reference
+      return Expr::Column(found->alias, e->column());
+    }
+    case sql::ExprKind::kComparison: {
+      QP_ASSIGN_OR_RETURN(ExprPtr l, QualifyExpr(e->left(), sources));
+      QP_ASSIGN_OR_RETURN(ExprPtr r, QualifyExpr(e->right(), sources));
+      return Expr::Compare(e->op(), std::move(l), std::move(r));
+    }
+    case sql::ExprKind::kAnd: {
+      QP_ASSIGN_OR_RETURN(ExprPtr l, QualifyExpr(e->left(), sources));
+      QP_ASSIGN_OR_RETURN(ExprPtr r, QualifyExpr(e->right(), sources));
+      return Expr::And(std::move(l), std::move(r));
+    }
+    case sql::ExprKind::kOr: {
+      QP_ASSIGN_OR_RETURN(ExprPtr l, QualifyExpr(e->left(), sources));
+      QP_ASSIGN_OR_RETURN(ExprPtr r, QualifyExpr(e->right(), sources));
+      return Expr::Or(std::move(l), std::move(r));
+    }
+    case sql::ExprKind::kNot: {
+      QP_ASSIGN_OR_RETURN(ExprPtr x, QualifyExpr(e->operand(), sources));
+      return Expr::Not(std::move(x));
+    }
+    case sql::ExprKind::kInSubquery: {
+      QP_ASSIGN_OR_RETURN(ExprPtr needle, QualifyExpr(e->left(), sources));
+      return Expr::InSubquery(std::move(needle), e->subquery(), e->negated());
+    }
+    case sql::ExprKind::kAggregateCall: {
+      QP_ASSIGN_OR_RETURN(ExprPtr arg, QualifyExpr(e->argument(), sources));
+      return Expr::Aggregate(e->function(), std::move(arg));
+    }
+    default:
+      return e;
+  }
+}
+
+}  // namespace
+
+Result<SelectQuery> QueryRewriter::QualifyColumns(
+    const SelectQuery& base) const {
+  std::vector<SourceColumns> sources;
+  for (const auto& ref : base.from) {
+    SourceColumns src;
+    src.alias = ToLower(ref.EffectiveAlias());
+    if (ref.derived != nullptr) {
+      for (const auto& item : ref.derived->branches().front().select) {
+        src.columns.push_back(item.OutputName());
+      }
+    } else {
+      QP_ASSIGN_OR_RETURN(const storage::Table* table,
+                          db_->GetTable(ref.table));
+      for (const auto& col : table->schema().columns()) {
+        src.columns.push_back(col.name);
+      }
+    }
+    sources.push_back(std::move(src));
+  }
+  SelectQuery out = base;
+  for (auto& item : out.select) {
+    QP_ASSIGN_OR_RETURN(item.expr, QualifyExpr(item.expr, sources));
+  }
+  QP_ASSIGN_OR_RETURN(out.where, QualifyExpr(out.where, sources));
+  for (auto& g : out.group_by) {
+    QP_ASSIGN_OR_RETURN(g, QualifyExpr(g, sources));
+  }
+  QP_ASSIGN_OR_RETURN(out.having, QualifyExpr(out.having, sources));
+  for (auto& o : out.order_by) {
+    QP_ASSIGN_OR_RETURN(o.expr, QualifyExpr(o.expr, sources));
+  }
+  return out;
+}
+
+Result<RewrittenPreference> QueryRewriter::BuildParts(
+    const SelectQuery& base, const ImplicitPreference& pref) const {
+  if (!pref.has_selection()) {
+    return Status::InvalidArgument(
+        "only selection preferences can be integrated into a query");
+  }
+  RewrittenPreference out;
+  out.kind = ClassifyPreference(pref);
+  out.satisfied_when_true = pref.selection().doi.SatisfiedWhenTrue();
+  const double join_product = pref.JoinDegreeProduct();
+  out.satisfaction_degree =
+      join_product * pref.selection().doi.SatisfactionDegree();
+  out.failure_degree = join_product * pref.selection().doi.FailureDegree();
+
+  // Path relations join into the base query; the anchor side uses the base
+  // query's alias for the anchor relation.
+  std::vector<ExprPtr> conditions;
+  for (size_t i = 0; i < pref.joins().size(); ++i) {
+    const JoinPreference& join = pref.joins()[i];
+    const std::string left_qualifier =
+        i == 0 ? BaseAlias(base, join.from.table) : join.from.table;
+    // Guard against alias collisions with the base query.
+    for (const auto& ref : base.from) {
+      if (EqualsIgnoreCase(ref.EffectiveAlias(), join.to.table)) {
+        return Status::InvalidArgument(
+            "path relation '" + join.to.table +
+            "' collides with a base-query alias; cannot integrate preference " +
+            pref.ToString());
+      }
+    }
+    out.extra_from.push_back(TableRef{join.to.table, "", nullptr});
+    conditions.push_back(
+        Expr::Compare(BinaryOp::kEq,
+                      Expr::Column(left_qualifier, join.from.column),
+                      Expr::Column(join.to.table, join.to.column)));
+  }
+
+  const std::string target_qualifier =
+      pref.joins().empty()
+          ? BaseAlias(base, pref.selection().condition.attr.table)
+          : pref.selection().condition.attr.table;
+  conditions.push_back(TruthCondition(pref.selection(), target_qualifier));
+  out.presence_condition = Expr::AndAll(std::move(conditions));
+  out.negated_condition = FalseCondition(pref.selection(), target_qualifier);
+  out.true_degree_expr =
+      TrueDegreeExpr(pref.selection(), join_product, target_qualifier);
+  return out;
+}
+
+Result<RewrittenPreference> QueryRewriter::Rewrite(
+    const SelectQuery& base, const ImplicitPreference& pref) const {
+  return BuildParts(base, pref);
+}
+
+Result<SelectQuery> QueryRewriter::BuildSatisfactionQuery(
+    const SelectQuery& raw_base, const ImplicitPreference& pref) const {
+  QP_ASSIGN_OR_RETURN(SelectQuery base, QualifyColumns(raw_base));
+  QP_ASSIGN_OR_RETURN(RewrittenPreference parts, BuildParts(base, pref));
+  SelectQuery q = base;
+  q.order_by.clear();
+  q.limit.reset();
+
+  switch (parts.kind) {
+    case PreferenceKind::kPresence: {
+      for (auto& ref : parts.extra_from) q.from.push_back(ref);
+      std::vector<ExprPtr> where = sql::ConjunctsOf(q.where);
+      where.push_back(parts.presence_condition);
+      q.where = Expr::AndAll(std::move(where));
+      q.select.push_back({parts.true_degree_expr, "degree"});
+      return q;
+    }
+    case PreferenceKind::kAbsenceOneOne: {
+      std::vector<ExprPtr> where = sql::ConjunctsOf(q.where);
+      where.push_back(parts.negated_condition);
+      q.where = Expr::AndAll(std::move(where));
+      q.select.push_back(
+          {Expr::Literal(Value(parts.satisfaction_degree)), "degree"});
+      return q;
+    }
+    case PreferenceKind::kAbsenceOneN: {
+      // Tuple satisfies the preference iff its anchor key joins to no
+      // violating partner: anchor.pk NOT IN (inner violation query).
+      const std::string& anchor = pref.AnchorRelation();
+      QP_ASSIGN_OR_RETURN(const storage::Table* anchor_table,
+                          db_->GetTable(anchor));
+      const auto& pk = anchor_table->schema().primary_key();
+      if (pk.size() != 1) {
+        return Status::InvalidArgument(
+            "1-n absence preference needs a single-column primary key on '" +
+            anchor + "'");
+      }
+      // Inner query over a fresh copy of the anchor + path relations. The
+      // anchor keeps its table name as alias; path conditions in BuildParts
+      // were anchored against the *base* alias, so rebuild them against a
+      // standalone base.
+      SelectQuery inner_base;
+      inner_base.from.push_back(TableRef{anchor, "", nullptr});
+      inner_base.select.push_back({Expr::Column(anchor, pk[0]), ""});
+      QP_ASSIGN_OR_RETURN(RewrittenPreference inner_parts,
+                          BuildParts(inner_base, pref));
+      SelectQuery inner = inner_base;
+      for (auto& ref : inner_parts.extra_from) inner.from.push_back(ref);
+      inner.where = inner_parts.presence_condition;
+
+      const std::string base_anchor_alias = BaseAlias(base, anchor);
+      std::vector<ExprPtr> where = sql::ConjunctsOf(q.where);
+      where.push_back(Expr::InSubquery(
+          Expr::Column(base_anchor_alias, pk[0]),
+          sql::Query::Single(std::move(inner)), /*negated=*/true));
+      q.where = Expr::AndAll(std::move(where));
+      q.select.push_back(
+          {Expr::Literal(Value(parts.satisfaction_degree)), "degree"});
+      return q;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<SelectQuery> QueryRewriter::BuildViolationQuery(
+    const SelectQuery& raw_base, const ImplicitPreference& pref) const {
+  QP_ASSIGN_OR_RETURN(SelectQuery base, QualifyColumns(raw_base));
+  QP_ASSIGN_OR_RETURN(RewrittenPreference parts, BuildParts(base, pref));
+  if (parts.kind == PreferenceKind::kPresence) {
+    return Status::InvalidArgument(
+        "violation queries are built for absence preferences only");
+  }
+  SelectQuery q = base;
+  q.order_by.clear();
+  q.limit.reset();
+  for (auto& ref : parts.extra_from) q.from.push_back(ref);
+  std::vector<ExprPtr> where = sql::ConjunctsOf(q.where);
+  where.push_back(parts.presence_condition);
+  q.where = Expr::AndAll(std::move(where));
+  // A returned tuple makes the condition true, which for an absence
+  // preference is its failure: degree = j * dT(u) <= 0.
+  q.select.push_back({parts.true_degree_expr, "degree"});
+  return q;
+}
+
+}  // namespace qp::core

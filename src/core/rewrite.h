@@ -1,0 +1,109 @@
+// Preference integration: turning a selected (implicit) preference into the
+// SQL fragments SPA and PPA need (Section 5, Example 6).
+//
+// A preference is classified relative to the query:
+//   presence     — satisfaction means its condition holds (q true);
+//   1-1 absence  — satisfaction means q fails, and the preference sits on a
+//                  query relation itself (no joins), so failure is testable
+//                  tuple-by-tuple with a negated operator;
+//   1-n absence  — satisfaction means q fails but the condition is reached
+//                  through joins; a tuple satisfies it only when *no* join
+//                  partner matches, requiring a NOT IN subquery.
+//
+// Elastic conditions are translated to range predicates over the elastic
+// function's support, and their per-tuple degree is computed by an embedded
+// scalar function, exactly as "the corresponding elastic function provides
+// the doi in each tuple".
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/preference.h"
+#include "sql/query.h"
+#include "storage/database.h"
+
+namespace qp::core {
+
+/// Classification of a selected preference relative to a query.
+enum class PreferenceKind {
+  kPresence,
+  kAbsenceOneOne,
+  kAbsenceOneN,
+};
+
+const char* PreferenceKindName(PreferenceKind k);
+
+/// Classifies by satisfaction branch and path shape.
+PreferenceKind ClassifyPreference(const ImplicitPreference& pref);
+
+/// \brief The SQL building blocks derived from one preference.
+struct RewrittenPreference {
+  PreferenceKind kind = PreferenceKind::kPresence;
+
+  /// FROM additions: the path's relations (presence / 1-n violation form).
+  std::vector<sql::TableRef> extra_from;
+
+  /// Join conditions along the path plus the truth-form (range-translated)
+  /// selection condition; references base-query aliases and path tables.
+  sql::ExprPtr presence_condition;
+
+  /// Condition for satisfaction *by absence* (1-1 only): negated operator,
+  /// or the complement of the elastic range.
+  sql::ExprPtr negated_condition;
+
+  /// Per-tuple degree of a tuple that makes the condition TRUE: a literal,
+  /// or a scalar-function expression for elastic preferences.
+  sql::ExprPtr true_degree_expr;
+
+  /// Composed characteristic degrees (join product applied).
+  double satisfaction_degree = 0.0;  ///< d0+ >= 0
+  double failure_degree = 0.0;       ///< d0- <= 0
+
+  /// True when satisfaction means the condition holds.
+  bool satisfied_when_true = true;
+};
+
+/// \brief Builds subqueries for preference integration.
+class QueryRewriter {
+ public:
+  explicit QueryRewriter(const storage::Database* db) : db_(db) {}
+
+  /// Derives the SQL building blocks for `pref` against `base`. Fails if a
+  /// path relation clashes with a base-query alias.
+  Result<RewrittenPreference> Rewrite(const sql::SelectQuery& base,
+                                      const ImplicitPreference& pref) const;
+
+  /// SPA-style satisfaction subquery: the base query extended so returned
+  /// tuples satisfy `pref`, selecting `base.select` + a degree column
+  /// (Example 6, Q1-Q3).
+  Result<sql::SelectQuery> BuildSatisfactionQuery(
+      const sql::SelectQuery& base, const ImplicitPreference& pref) const;
+
+  /// PPA violation query for absence preferences: returned tuples FAIL
+  /// `pref`. Selects `base.select` + the (negative) per-tuple degree.
+  Result<sql::SelectQuery> BuildViolationQuery(
+      const sql::SelectQuery& base, const ImplicitPreference& pref) const;
+
+  /// Resolves the alias used for `relation` in the base query (the anchor
+  /// side of path conditions), or the relation name if not found.
+  static std::string BaseAlias(const sql::SelectQuery& base,
+                               const std::string& relation);
+
+  /// Qualifies every unqualified column reference in `base` against its
+  /// FROM sources. Required before integration: extending the FROM list
+  /// would otherwise make base columns ambiguous. Fails on names that are
+  /// already ambiguous within the base query.
+  Result<sql::SelectQuery> QualifyColumns(const sql::SelectQuery& base) const;
+
+ private:
+  /// Appends `pref`'s path relations / conditions in truth form.
+  Result<RewrittenPreference> BuildParts(const sql::SelectQuery& base,
+                                         const ImplicitPreference& pref) const;
+
+  const storage::Database* db_;
+};
+
+}  // namespace qp::core

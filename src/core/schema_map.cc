@@ -1,0 +1,101 @@
+#include "core/schema_map.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace qp::core {
+
+using storage::AttributeRef;
+
+Status SchemaMapping::MapRelation(const std::string& logical,
+                                  const std::string& physical) {
+  if (logical.empty() || physical.empty()) {
+    return Status::InvalidArgument("relation names must be non-empty");
+  }
+  if (logical.find('.') != std::string::npos ||
+      physical.find('.') != std::string::npos) {
+    return Status::InvalidArgument(
+        "relation mapping must not contain '.': use MapAttribute");
+  }
+  relations_[ToLower(logical)] = ToLower(physical);
+  return Status::OK();
+}
+
+Status SchemaMapping::MapAttribute(const std::string& logical,
+                                   const std::string& physical) {
+  QP_ASSIGN_OR_RETURN(AttributeRef from, AttributeRef::Parse(logical));
+  QP_ASSIGN_OR_RETURN(AttributeRef to, AttributeRef::Parse(physical));
+  attributes_[from.ToString()] = to;
+  return Status::OK();
+}
+
+AttributeRef SchemaMapping::Resolve(const AttributeRef& logical) const {
+  auto attr_it = attributes_.find(logical.ToString());
+  if (attr_it != attributes_.end()) return attr_it->second;
+  auto rel_it = relations_.find(logical.table);
+  if (rel_it != relations_.end()) {
+    return AttributeRef(rel_it->second, logical.column);
+  }
+  return logical;
+}
+
+Result<UserProfile> SchemaMapping::Apply(
+    const UserProfile& logical_profile) const {
+  UserProfile out;
+  if (logical_profile.preferred_ranking().has_value()) {
+    out.set_preferred_ranking(*logical_profile.preferred_ranking());
+  }
+  for (const auto& p : logical_profile.selections()) {
+    SelectionPreference mapped = p;
+    mapped.condition.attr = Resolve(p.condition.attr);
+    QP_RETURN_IF_ERROR(out.AddSelection(std::move(mapped)));
+  }
+  for (const auto& p : logical_profile.joins()) {
+    JoinPreference mapped = p;
+    mapped.from = Resolve(p.from);
+    mapped.to = Resolve(p.to);
+    QP_RETURN_IF_ERROR(out.AddJoin(std::move(mapped)));
+  }
+  return out;
+}
+
+Result<SchemaMapping> SchemaMapping::Parse(const std::string& text) {
+  SchemaMapping mapping;
+  std::istringstream in(text);
+  std::string raw;
+  size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const size_t arrow = line.find("->");
+    if (arrow == std::string_view::npos) {
+      return Status::ParseError("mapping line " + std::to_string(line_no) +
+                                ": expected 'logical -> physical'");
+    }
+    const std::string logical(Trim(line.substr(0, arrow)));
+    const std::string physical(Trim(line.substr(arrow + 2)));
+    const bool is_attribute = logical.find('.') != std::string::npos;
+    Status status = is_attribute ? mapping.MapAttribute(logical, physical)
+                                 : mapping.MapRelation(logical, physical);
+    if (!status.ok()) {
+      return Status::ParseError("mapping line " + std::to_string(line_no) +
+                                ": " + status.message());
+    }
+  }
+  return mapping;
+}
+
+std::string SchemaMapping::Serialize() const {
+  std::string out;
+  for (const auto& [logical, physical] : relations_) {
+    out += logical + " -> " + physical + "\n";
+  }
+  for (const auto& [logical, physical] : attributes_) {
+    out += logical + " -> " + physical.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace qp::core

@@ -1,0 +1,60 @@
+// Higher-level preference models (Sections 3 and 7): "User preferences may
+// be articulated over a higher level graph model representing the data
+// other than the database schema. This is a useful abstraction for using a
+// profile over multiple databases with similar information but possibly
+// different schemas... In ongoing work, we see how preferences expressed
+// over a higher level model may be transparently mapped to the database
+// schema."
+//
+// A SchemaMapping translates logical relation/attribute names (the higher-
+// level model a profile is written against) to physical ones, so one stored
+// profile personalizes queries over differently named schemas.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "core/profile.h"
+
+namespace qp::core {
+
+/// \brief Logical-to-physical name mapping for relations and attributes.
+class SchemaMapping {
+ public:
+  SchemaMapping() = default;
+
+  /// Maps logical relation `logical` to physical relation `physical`
+  /// (attributes keep their names unless individually mapped).
+  Status MapRelation(const std::string& logical, const std::string& physical);
+
+  /// Maps a single attribute, e.g. "film.runtime" -> "movie.duration".
+  /// Overrides any relation-level mapping for that attribute.
+  Status MapAttribute(const std::string& logical, const std::string& physical);
+
+  /// Resolves a logical attribute reference. Unmapped names pass through
+  /// unchanged, so a mapping only needs to cover what differs.
+  storage::AttributeRef Resolve(const storage::AttributeRef& logical) const;
+
+  /// Rewrites an entire profile from logical to physical names; the result
+  /// should Validate() against the physical database.
+  Result<UserProfile> Apply(const UserProfile& logical_profile) const;
+
+  /// Parses the text form (one mapping per line, '#' comments):
+  ///   film            -> movie
+  ///   film.runtime    -> movie.duration
+  static Result<SchemaMapping> Parse(const std::string& text);
+
+  /// Renders the text form.
+  std::string Serialize() const;
+
+  size_t NumRelationMappings() const { return relations_.size(); }
+  size_t NumAttributeMappings() const { return attributes_.size(); }
+
+ private:
+  std::map<std::string, std::string> relations_;
+  std::map<std::string, storage::AttributeRef> attributes_;
+};
+
+}  // namespace qp::core

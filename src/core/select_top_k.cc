@@ -1,0 +1,308 @@
+#include "core/select_top_k.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace qp::core {
+
+namespace {
+
+/// A queue entry: a path plus its ordering priority.
+struct PathEntry {
+  ImplicitPreference path;
+  double criticality = 0.0;  // true criticality
+  double priority = 0.0;     // ordering key (c for SPS, c*fc for FakeCrit)
+  /// Monotone tiebreaker so ordering is deterministic.
+  size_t sequence = 0;
+};
+
+struct EntryLess {
+  bool operator()(const PathEntry& a, const PathEntry& b) const {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.sequence > b.sequence;  // earlier insertions first
+  }
+};
+
+using PathQueue = std::priority_queue<PathEntry, std::vector<PathEntry>,
+                                      EntryLess>;
+
+void Count(SelectionStats* stats, size_t SelectionStats::* field) {
+  if (stats != nullptr) ++(stats->*field);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FakeCrit (Figure 5)
+// ---------------------------------------------------------------------------
+
+Result<std::vector<SelectedPreference>> PreferenceSelector::SelectFakeCrit(
+    const QueryContext& query, const SelectionCriterion& criterion,
+    SelectionStats* stats) const {
+  std::vector<SelectedPreference> selected;
+  PathQueue queue;
+  size_t sequence = 0;
+
+  auto push_selection = [&](ImplicitPreference path) {
+    PathEntry e;
+    e.criticality = path.Criticality();
+    e.priority = e.criticality;  // fc of a selection edge is 1
+    e.path = std::move(path);
+    e.sequence = sequence++;
+    Count(stats, &SelectionStats::paths_generated);
+    queue.push(std::move(e));
+  };
+  auto push_join = [&](ImplicitPreference path, const JoinPreference* last) {
+    PathEntry e;
+    e.criticality = path.Criticality();
+    e.priority = e.criticality * graph_->FakeCriticality(last);
+    if (criterion.min_criticality > 0.0 &&
+        e.priority < criterion.min_criticality) {
+      return;  // nothing reachable through it can meet c0
+    }
+    e.path = std::move(path);
+    e.sequence = sequence++;
+    Count(stats, &SelectionStats::paths_generated);
+    queue.push(std::move(e));
+  };
+
+  // Step 1: atomic preferences related to Q.
+  for (const auto& rel : query.relations) {
+    for (const SelectionPreference* sel : graph_->SelectionEdges(rel)) {
+      if (ConflictsWithQuery(*sel, query)) continue;
+      push_selection(ImplicitPreference::Selection(*sel));
+    }
+    for (const JoinPreference* join : graph_->JoinEdges(rel)) {
+      if (query.MentionsRelation(join->to.table)) continue;
+      push_join(ImplicitPreference::Join(*join), join);
+    }
+  }
+
+  // Step 2: best-first loop.
+  while (!queue.empty()) {
+    PathEntry entry = queue.top();
+    queue.pop();
+    Count(stats, &SelectionStats::paths_examined);
+
+    if (entry.path.has_selection()) {
+      if (criterion.min_criticality > 0.0 &&
+          entry.criticality < criterion.min_criticality) {
+        break;  // priority-ordered: no remaining path can reach c0
+      }
+      if (criterion.top_k > 0 && selected.size() >= criterion.top_k) break;
+      selected.push_back({std::move(entry.path), entry.criticality});
+      if (criterion.top_k > 0 && selected.size() >= criterion.top_k) break;
+      continue;
+    }
+
+    // Join path: expand with composable atomic elements.
+    if (criterion.min_criticality > 0.0 &&
+        entry.priority < criterion.min_criticality) {
+      break;
+    }
+    Count(stats, &SelectionStats::expansions);
+    const std::string& target = entry.path.TargetRelation();
+    for (const SelectionPreference* sel : graph_->SelectionEdges(target)) {
+      if (ConflictsWithQuery(*sel, query)) continue;
+      auto extended = entry.path.ExtendWith(*sel);
+      if (extended.ok()) push_selection(std::move(extended).value());
+    }
+    for (const JoinPreference* join : graph_->JoinEdges(target)) {
+      if (entry.path.Mentions(join->to.table)) continue;
+      if (query.MentionsRelation(join->to.table)) continue;
+      auto extended = entry.path.ExtendWith(*join);
+      if (extended.ok()) push_join(std::move(extended).value(), join);
+    }
+  }
+  return selected;
+}
+
+// ---------------------------------------------------------------------------
+// SPS: best-first on true criticality with the worst-case mcsu bound.
+// ---------------------------------------------------------------------------
+
+Result<std::vector<SelectedPreference>> PreferenceSelector::SelectSPS(
+    const QueryContext& query, const SelectionCriterion& criterion,
+    SelectionStats* stats) const {
+  std::vector<SelectedPreference> selected;
+  PathQueue selections, joins;
+  size_t sequence = 0;
+
+  auto push = [&](ImplicitPreference path) {
+    PathEntry e;
+    e.criticality = path.Criticality();
+    e.priority = e.criticality;
+    e.path = std::move(path);
+    e.sequence = sequence++;
+    Count(stats, &SelectionStats::paths_generated);
+    (e.path.has_selection() ? selections : joins).push(std::move(e));
+  };
+
+  for (const auto& rel : query.relations) {
+    for (const SelectionPreference* sel : graph_->SelectionEdges(rel)) {
+      if (ConflictsWithQuery(*sel, query)) continue;
+      push(ImplicitPreference::Selection(*sel));
+    }
+    for (const JoinPreference* join : graph_->JoinEdges(rel)) {
+      if (query.MentionsRelation(join->to.table)) continue;
+      push(ImplicitPreference::Join(*join));
+    }
+  }
+
+  while (!selections.empty() || !joins.empty()) {
+    const double best_join_c = joins.empty() ? 0.0 : joins.top().criticality;
+    const bool emit_selection =
+        !selections.empty() &&
+        (joins.empty() || selections.top().criticality >= 2.0 * best_join_c);
+
+    if (emit_selection) {
+      PathEntry entry = selections.top();
+      selections.pop();
+      Count(stats, &SelectionStats::paths_examined);
+      if (criterion.min_criticality > 0.0 &&
+          entry.criticality < criterion.min_criticality) {
+        break;
+      }
+      if (criterion.top_k > 0 && selected.size() >= criterion.top_k) break;
+      selected.push_back({std::move(entry.path), entry.criticality});
+      if (criterion.top_k > 0 && selected.size() >= criterion.top_k) break;
+      continue;
+    }
+
+    // Expand the most critical join to examine longer paths.
+    PathEntry entry = joins.top();
+    joins.pop();
+    Count(stats, &SelectionStats::paths_examined);
+    if (criterion.min_criticality > 0.0 &&
+        2.0 * entry.criticality < criterion.min_criticality) {
+      // No selection through this (or any weaker) join can reach c0, and
+      // pending selections were already below 2 * best_join_c.
+      break;
+    }
+    Count(stats, &SelectionStats::expansions);
+    const std::string& target = entry.path.TargetRelation();
+    for (const SelectionPreference* sel : graph_->SelectionEdges(target)) {
+      if (ConflictsWithQuery(*sel, query)) continue;
+      auto extended = entry.path.ExtendWith(*sel);
+      if (extended.ok()) push(std::move(extended).value());
+    }
+    for (const JoinPreference* join : graph_->JoinEdges(target)) {
+      if (entry.path.Mentions(join->to.table)) continue;
+      if (query.MentionsRelation(join->to.table)) continue;
+      auto extended = entry.path.ExtendWith(*join);
+      if (extended.ok()) push(std::move(extended).value());
+    }
+  }
+  return selected;
+}
+
+// ---------------------------------------------------------------------------
+// Selection by desired interest of results (Section 4.2)
+// ---------------------------------------------------------------------------
+
+Result<std::vector<SelectedPreference>>
+PreferenceSelector::SelectByResultInterest(const QueryContext& query,
+                                           const DoiTargetOptions& options,
+                                           SelectionStats* stats) const {
+  std::vector<SelectedPreference> selected;
+  std::vector<double> satisfaction_degrees;
+
+  // Queue ordered by c * fc, as in FakeCrit. A plain vector keeps the
+  // frontier inspectable for the d_worst bound.
+  std::vector<PathEntry> frontier;
+  size_t sequence = 0;
+  auto push = [&](ImplicitPreference path, const JoinPreference* last_join) {
+    PathEntry e;
+    e.criticality = path.Criticality();
+    e.priority = last_join == nullptr
+                     ? e.criticality
+                     : e.criticality * graph_->FakeCriticality(last_join);
+    e.path = std::move(path);
+    e.sequence = sequence++;
+    Count(stats, &SelectionStats::paths_generated);
+    frontier.push_back(std::move(e));
+    std::push_heap(frontier.begin(), frontier.end(), EntryLess{});
+  };
+
+  // Estimate N: the number of preference paths related to the query.
+  double n_estimate = 0.0;
+  for (const auto& rel : query.relations) {
+    n_estimate += graph_->SelectionEdges(rel).size();
+    for (const JoinPreference* join : graph_->JoinEdges(rel)) {
+      if (query.MentionsRelation(join->to.table)) continue;
+      if (options.use_path_counts) {
+        n_estimate += static_cast<double>(graph_->PathCount(join));
+      }
+    }
+    for (const SelectionPreference* sel : graph_->SelectionEdges(rel)) {
+      if (ConflictsWithQuery(*sel, query)) continue;
+      push(ImplicitPreference::Selection(*sel), nullptr);
+    }
+    for (const JoinPreference* join : graph_->JoinEdges(rel)) {
+      if (query.MentionsRelation(join->to.table)) continue;
+      push(ImplicitPreference::Join(*join), join);
+    }
+  }
+  if (!options.use_path_counts) {
+    n_estimate = static_cast<double>(graph_->profile().NumPreferences());
+  }
+
+  // d_worst over the current frontier: the largest failure magnitude any
+  // unseen preference can have (paper: selections contribute |d-|, join
+  // paths their join degree).
+  auto compute_dworst = [&]() {
+    double worst = 0.0;
+    for (const auto& e : frontier) {
+      if (e.path.has_selection()) {
+        worst = std::max(worst, std::fabs(e.path.ComposedDoi().FailureDegree()));
+      } else {
+        worst = std::max(worst, e.path.JoinDegreeProduct());
+      }
+    }
+    return worst;
+  };
+
+  while (!frontier.empty()) {
+    std::pop_heap(frontier.begin(), frontier.end(), EntryLess{});
+    PathEntry entry = std::move(frontier.back());
+    frontier.pop_back();
+    Count(stats, &SelectionStats::paths_examined);
+
+    if (entry.path.has_selection()) {
+      satisfaction_degrees.push_back(
+          entry.path.ComposedDoi().SatisfactionDegree());
+      selected.push_back({std::move(entry.path), entry.criticality});
+      if (options.max_preferences > 0 &&
+          selected.size() >= options.max_preferences) {
+        break;
+      }
+      // Formula (10): assume every unseen preference fails at d_worst.
+      const double d_worst = compute_dworst();
+      const double remaining =
+          std::max(0.0, n_estimate - static_cast<double>(selected.size()));
+      std::vector<double> failures(static_cast<size_t>(remaining), -d_worst);
+      const double estimate =
+          options.ranking.Rank(satisfaction_degrees, failures);
+      if (estimate >= options.target_doi) break;
+      continue;
+    }
+
+    Count(stats, &SelectionStats::expansions);
+    const std::string& target = entry.path.TargetRelation();
+    for (const SelectionPreference* sel : graph_->SelectionEdges(target)) {
+      if (ConflictsWithQuery(*sel, query)) continue;
+      auto extended = entry.path.ExtendWith(*sel);
+      if (extended.ok()) push(std::move(extended).value(), nullptr);
+    }
+    for (const JoinPreference* join : graph_->JoinEdges(target)) {
+      if (entry.path.Mentions(join->to.table)) continue;
+      if (query.MentionsRelation(join->to.table)) continue;
+      auto extended = entry.path.ExtendWith(*join);
+      if (extended.ok()) push(std::move(extended).value(), join);
+    }
+  }
+  return selected;
+}
+
+}  // namespace qp::core

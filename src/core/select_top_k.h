@@ -1,0 +1,94 @@
+// Preference selection (Section 4): extracting the top-K preferences related
+// to a query, in decreasing degree of criticality.
+//
+// Two criticality-based algorithms are provided:
+//  - SPS (Simple Preference Selection): best-first on true criticality; an
+//    implicit selection is emitted only once it provably precedes the most
+//    critical selection unseen (worst-case bound c_S <= 2 c_J, Formula 8).
+//  - FakeCrit (Figure 5): best-first on c * fc, where the per-edge fake
+//    criticality fc turns the worst-case bound into a tighter, cheaply
+//    maintained one, making every popped selection immediately emittable.
+//
+// Both produce identical result sets in identical order; FakeCrit examines
+// fewer paths (the §4.1 claim reproduced by bench_ablation_sps_vs_fakecrit).
+//
+// Selection by desired result interest (Section 4.2) extends FakeCrit: it
+// stops once results satisfying the selected preferences are guaranteed a
+// doi of at least `target_doi` even if every remaining (unseen) preference
+// fails, using the d_worst bound over the frontier.
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/conflict.h"
+#include "core/graph.h"
+#include "core/ranking.h"
+
+namespace qp::core {
+
+/// Stopping criterion C (Section 4.1): top-K count and/or a criticality
+/// threshold c0. Zero disables a bound.
+struct SelectionCriterion {
+  size_t top_k = 0;
+  double min_criticality = 0.0;
+
+  static SelectionCriterion TopK(size_t k) { return {k, 0.0}; }
+  static SelectionCriterion Threshold(double c0) { return {0, c0}; }
+};
+
+/// One selected (atomic or implicit) preference.
+struct SelectedPreference {
+  ImplicitPreference pref;
+  double criticality = 0.0;
+};
+
+/// Work counters used by the SPS-vs-FakeCrit ablation.
+struct SelectionStats {
+  size_t paths_generated = 0;   ///< queue insertions
+  size_t paths_examined = 0;    ///< queue pops
+  size_t expansions = 0;        ///< join-path expansions
+};
+
+/// \brief Preference-selection algorithms over a personalization graph.
+class PreferenceSelector {
+ public:
+  explicit PreferenceSelector(const PersonalizationGraph* graph)
+      : graph_(graph) {}
+
+  /// SPS: best-first on criticality with the worst-case mcsu bound.
+  Result<std::vector<SelectedPreference>> SelectSPS(
+      const QueryContext& query, const SelectionCriterion& criterion,
+      SelectionStats* stats = nullptr) const;
+
+  /// FakeCrit (Figure 5): best-first on c * fc.
+  Result<std::vector<SelectedPreference>> SelectFakeCrit(
+      const QueryContext& query, const SelectionCriterion& criterion,
+      SelectionStats* stats = nullptr) const;
+
+  /// Options for doi-target selection (Section 4.2).
+  struct DoiTargetOptions {
+    /// Minimum guaranteed doi d_R of returned tuples.
+    double target_doi = 0.8;
+    /// Mixed ranking function used for the estimate (Formula 10).
+    RankingFunction ranking =
+        RankingFunction::Make(CombinationStyle::kInflationary);
+    /// Estimate N from per-join-edge path counts instead of the profile
+    /// size (the paper's "periodic updates" statistic).
+    bool use_path_counts = false;
+    /// Safety valve: stop after this many selections even if the target was
+    /// not reached (0 = none).
+    size_t max_preferences = 0;
+  };
+
+  /// Selection by desired interest of results.
+  Result<std::vector<SelectedPreference>> SelectByResultInterest(
+      const QueryContext& query, const DoiTargetOptions& options,
+      SelectionStats* stats = nullptr) const;
+
+ private:
+  const PersonalizationGraph* graph_;
+};
+
+}  // namespace qp::core

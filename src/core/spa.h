@@ -1,0 +1,44 @@
+// SPA — Simply Personalized Answers (Section 5).
+//
+// The top-K preferences become one sub-query each (Example 6); the
+// personalized query is their UNION ALL, grouped by the original projection,
+// keeping groups with at least L rows (HAVING count(*) >= L) and ranked by a
+// user-defined aggregate r(degree). The whole thing executes as a single
+// query in the underlying engine, which is exactly why SPA cannot emit
+// progressively and pays full price for 1-n absence subqueries.
+
+#pragma once
+
+#include "common/status.h"
+#include "core/answer.h"
+#include "core/ranking.h"
+#include "core/rewrite.h"
+#include "exec/executor.h"
+
+namespace qp::core {
+
+/// \brief Generates personalized answers by query integration.
+class SpaGenerator {
+ public:
+  SpaGenerator(const storage::Database* db, RankingFunction ranking)
+      : db_(db), rewriter_(db), ranking_(ranking) {}
+
+  /// Builds the full personalized query (UNION ALL + outer group/having/
+  /// order) without executing it — exposed for inspection and tests.
+  Result<sql::QueryPtr> BuildPersonalizedQuery(
+      const sql::SelectQuery& base,
+      const std::vector<SelectedPreference>& preferences, size_t L) const;
+
+  /// Executes the personalized query and packages the ranked result.
+  /// `preferences` must be selection preferences (joins are traversal-only).
+  Result<PersonalizedAnswer> Generate(
+      const sql::SelectQuery& base,
+      const std::vector<SelectedPreference>& preferences, size_t L) const;
+
+ private:
+  const storage::Database* db_;
+  QueryRewriter rewriter_;
+  RankingFunction ranking_;
+};
+
+}  // namespace qp::core

@@ -1,0 +1,239 @@
+#include "datagen/profilegen.h"
+
+#include <algorithm>
+#include <set>
+
+namespace qp::datagen {
+
+using core::DoiFunction;
+using core::DoiPair;
+using core::UserProfile;
+using sql::BinaryOp;
+using storage::Value;
+
+namespace {
+
+Status AddJoinSkeleton(UserProfile* profile, Rng& rng) {
+  // Mirrors Al's P7-P10 with light per-profile variation.
+  auto degree = [&rng](double base) {
+    return std::clamp(base + rng.UniformDouble(-0.1, 0.1), 0.1, 1.0);
+  };
+  QP_RETURN_IF_ERROR(
+      profile->AddJoin("movie.mid", "directed.mid", degree(0.95)));
+  QP_RETURN_IF_ERROR(
+      profile->AddJoin("directed.did", "director.did", degree(0.9)));
+  QP_RETURN_IF_ERROR(profile->AddJoin("movie.mid", "genre.mid", degree(0.85)));
+  QP_RETURN_IF_ERROR(profile->AddJoin("movie.mid", "cast.mid", degree(0.7)));
+  QP_RETURN_IF_ERROR(profile->AddJoin("cast.aid", "actor.aid", degree(0.85)));
+  QP_RETURN_IF_ERROR(profile->AddJoin("movie.mid", "play.mid", degree(0.7)));
+  QP_RETURN_IF_ERROR(profile->AddJoin("play.tid", "theatre.tid", degree(0.95)));
+  QP_RETURN_IF_ERROR(profile->AddJoin("theatre.tid", "play.tid", degree(0.95)));
+  QP_RETURN_IF_ERROR(profile->AddJoin("play.mid", "movie.mid", degree(0.95)));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<UserProfile> GenerateProfile(const ProfileGenConfig& config) {
+  UserProfile profile;
+  Rng rng(config.seed);
+  if (config.join_skeleton) {
+    QP_RETURN_IF_ERROR(AddJoinSkeleton(&profile, rng));
+  }
+
+  const auto& genres = GenreNames();
+  const size_t n_genres = std::min(config.db_config.num_genres, genres.size());
+
+  // Positive presence preferences: director names, actor names, genres and
+  // year thresholds, all values that exist in the generated database.
+  // Zipf-rank sampling matches the data skew, so popular entities are
+  // preferred (as for real users).
+  ZipfDistribution director_zipf(config.db_config.num_directors, 1.0);
+  ZipfDistribution actor_zipf(config.db_config.num_actors, 1.0);
+  std::set<std::string> used;
+  size_t added = 0;
+  size_t guard = 0;
+  while (added < config.num_presence && guard++ < config.num_presence * 50) {
+    const double d = rng.UniformDouble(0.3, 1.0);
+    QP_ASSIGN_OR_RETURN(DoiPair doi, DoiPair::Exact(d, 0.0));
+    const int kind = static_cast<int>(
+        rng.UniformInt(0, config.presence_selective_only ? 1 : 3));
+    Status status = Status::OK();
+    switch (kind) {
+      case 0: {
+        // Selective mode samples a mid-popularity band (entity ids equal
+        // Zipf ranks in the generator, so low ids are blockbusters);
+        // otherwise Zipf, matching how real users favour popular entities.
+        const size_t id =
+            config.presence_selective_only
+                ? static_cast<size_t>(rng.UniformInt(
+                      10, std::max<int64_t>(
+                              11, config.db_config.num_directors / 10)))
+                : director_zipf.Sample(rng);
+        const std::string name = "Director " + std::to_string(id);
+        if (!used.insert("d:" + name).second) continue;
+        status = profile.AddSelection("director.name", BinaryOp::kEq,
+                                      Value(name), doi);
+        break;
+      }
+      case 1: {
+        const size_t id =
+            config.presence_selective_only
+                ? static_cast<size_t>(rng.UniformInt(
+                      10, std::max<int64_t>(11,
+                                            config.db_config.num_actors / 10)))
+                : actor_zipf.Sample(rng);
+        const std::string name = "Actor " + std::to_string(id);
+        if (!used.insert("a:" + name).second) continue;
+        status = profile.AddSelection("actor.name", BinaryOp::kEq, Value(name),
+                                      doi);
+        break;
+      }
+      case 2: {
+        const std::string g = genres[rng.Index(n_genres)];
+        if (!used.insert("g:" + g).second) continue;
+        status =
+            profile.AddSelection("genre.genre", BinaryOp::kEq, Value(g), doi);
+        break;
+      }
+      default: {
+        const int64_t year = rng.UniformInt(config.db_config.min_year + 5,
+                                            config.db_config.max_year - 5);
+        if (!used.insert("y:" + std::to_string(year)).second) continue;
+        status = profile.AddSelection(
+            "movie.year", rng.Bernoulli(0.8) ? BinaryOp::kGe : BinaryOp::kEq,
+            Value(year), doi);
+        break;
+      }
+    }
+    if (status.ok()) {
+      ++added;
+    } else if (status.code() != StatusCode::kAlreadyExists) {
+      return status;
+    }
+  }
+
+  // Negative preferences on joined relations (1-n absence when integrated).
+  added = 0;
+  guard = 0;
+  while (added < config.num_negative && guard++ < config.num_negative * 50) {
+    const double d = -rng.UniformDouble(0.3, 1.0);
+    const double d_absent = rng.Bernoulli(0.5) ? rng.UniformDouble(0.0, 0.7)
+                                               : 0.0;
+    QP_ASSIGN_OR_RETURN(DoiPair doi, DoiPair::Exact(d, d_absent));
+    Status status = Status::OK();
+    if (rng.Bernoulli(0.5)) {
+      const std::string g = genres[rng.Index(n_genres)];
+      if (!used.insert("g:" + g).second) continue;
+      status = profile.AddSelection("genre.genre", BinaryOp::kEq, Value(g),
+                                    doi);
+    } else {
+      const std::string name =
+          "Director " + std::to_string(director_zipf.Sample(rng));
+      if (!used.insert("d:" + name).second) continue;
+      status = profile.AddSelection("director.name", BinaryOp::kEq,
+                                    Value(name), doi);
+    }
+    if (status.ok()) {
+      ++added;
+    } else if (status.code() != StatusCode::kAlreadyExists) {
+      return status;
+    }
+  }
+
+  // 1-1 absence preferences: dislike of old movies.
+  added = 0;
+  guard = 0;
+  while (added < config.num_absence_11 &&
+         guard++ < config.num_absence_11 * 50) {
+    const int64_t year = rng.UniformInt(config.db_config.min_year + 5,
+                                        config.db_config.max_year - 5);
+    if (!used.insert("yb:" + std::to_string(year)).second) continue;
+    QP_ASSIGN_OR_RETURN(DoiPair doi,
+                        DoiPair::Exact(-rng.UniformDouble(0.3, 0.9), 0.0));
+    QP_RETURN_IF_ERROR(profile.AddSelection("movie.year", BinaryOp::kLt,
+                                            Value(year), doi));
+    ++added;
+  }
+
+  // Elastic preferences on duration and ticket price.
+  added = 0;
+  guard = 0;
+  while (added < config.num_elastic && guard++ < config.num_elastic * 50) {
+    if (rng.Bernoulli(0.6)) {
+      const double center = static_cast<double>(
+          rng.UniformInt(90, 150));
+      if (!used.insert("dur:" + std::to_string(center)).second) continue;
+      const double width = rng.UniformDouble(15.0, 40.0);
+      QP_ASSIGN_OR_RETURN(
+          DoiFunction dt,
+          DoiFunction::Triangular(rng.UniformDouble(0.4, 0.9), center, width));
+      DoiFunction df;
+      if (rng.Bernoulli(0.5)) {
+        QP_ASSIGN_OR_RETURN(df, DoiFunction::Triangular(
+                                    -rng.UniformDouble(0.2, 0.6), center,
+                                    width));
+      }
+      QP_ASSIGN_OR_RETURN(DoiPair doi, DoiPair::Make(dt, df));
+      QP_RETURN_IF_ERROR(profile.AddSelection(
+          "movie.duration", BinaryOp::kEq,
+          Value(static_cast<int64_t>(center)), doi));
+    } else {
+      const double center = rng.UniformDouble(config.db_config.min_ticket + 1,
+                                              config.db_config.max_ticket - 1);
+      if (!used.insert("tk:" + std::to_string(center)).second) continue;
+      QP_ASSIGN_OR_RETURN(
+          DoiFunction dt,
+          DoiFunction::Triangular(rng.UniformDouble(0.4, 0.9), center, 2.0));
+      QP_ASSIGN_OR_RETURN(DoiPair doi, DoiPair::Make(dt, DoiFunction()));
+      QP_RETURN_IF_ERROR(profile.AddSelection("theatre.ticket", BinaryOp::kEq,
+                                              Value(center), doi));
+    }
+    ++added;
+  }
+  return profile;
+}
+
+Result<UserProfile> AlsProfile() {
+  UserProfile p;
+  // P1: likes Director 1 a lot.
+  QP_ASSIGN_OR_RETURN(DoiPair p1, DoiPair::Exact(0.8, 0.0));
+  QP_RETURN_IF_ERROR(p.AddSelection("director.name", BinaryOp::kEq,
+                                    Value("Director 1"), p1));
+  // P2: ticket prices around 6 euros.
+  QP_ASSIGN_OR_RETURN(DoiFunction p2_dt, DoiFunction::Triangular(0.5, 6.0, 2.0));
+  QP_ASSIGN_OR_RETURN(DoiPair p2, DoiPair::Make(p2_dt, DoiFunction()));
+  QP_RETURN_IF_ERROR(
+      p.AddSelection("theatre.ticket", BinaryOp::kEq, Value(6.0), p2));
+  // P3: dislikes movies released before 1980.
+  QP_ASSIGN_OR_RETURN(DoiPair p3, DoiPair::Exact(-0.7, 0.0));
+  QP_RETURN_IF_ERROR(
+      p.AddSelection("movie.year", BinaryOp::kLt, Value(int64_t{1980}), p3));
+  // P4: only movies with duration around 2h.
+  QP_ASSIGN_OR_RETURN(DoiFunction p4_dt,
+                      DoiFunction::Triangular(0.7, 120.0, 30.0));
+  QP_ASSIGN_OR_RETURN(DoiFunction p4_df,
+                      DoiFunction::Triangular(-0.5, 120.0, 30.0));
+  QP_ASSIGN_OR_RETURN(DoiPair p4, DoiPair::Make(p4_dt, p4_df));
+  QP_RETURN_IF_ERROR(
+      p.AddSelection("movie.duration", BinaryOp::kEq, Value(int64_t{120}), p4));
+  // P5: happy if the movie is not a musical.
+  QP_ASSIGN_OR_RETURN(DoiPair p5, DoiPair::Exact(-0.9, 0.7));
+  QP_RETURN_IF_ERROR(
+      p.AddSelection("genre.genre", BinaryOp::kEq, Value("musical"), p5));
+  // P6: would rather not go to non-downtown theatres.
+  QP_ASSIGN_OR_RETURN(DoiPair p6, DoiPair::Exact(0.7, -0.5));
+  QP_RETURN_IF_ERROR(
+      p.AddSelection("theatre.region", BinaryOp::kEq, Value("downtown"), p6));
+  // P7-P10: join preferences (Figure 2).
+  QP_RETURN_IF_ERROR(p.AddJoin("movie.mid", "directed.mid", 1.0));
+  QP_RETURN_IF_ERROR(p.AddJoin("directed.did", "director.did", 0.9));
+  QP_RETURN_IF_ERROR(p.AddJoin("movie.mid", "genre.mid", 0.8));
+  QP_RETURN_IF_ERROR(p.AddJoin("movie.mid", "play.mid", 0.7));
+  QP_RETURN_IF_ERROR(p.AddJoin("play.tid", "theatre.tid", 1.0));
+  QP_RETURN_IF_ERROR(p.AddJoin("theatre.tid", "play.tid", 1.0));
+  QP_RETURN_IF_ERROR(p.AddJoin("play.mid", "movie.mid", 1.0));
+  return p;
+}
+
+}  // namespace qp::datagen

@@ -1,0 +1,48 @@
+// Synthetic profile generation for experiments: profiles with a controlled
+// mix of preference types over the synthetic movie database (positive
+// presence, negative, absence, elastic), plus the standard join skeleton
+// that lets implicit preferences traverse the schema (mirroring Al's P7-P10).
+
+#pragma once
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/profile.h"
+#include "datagen/moviegen.h"
+
+namespace qp::datagen {
+
+/// \brief Preference-mix knobs.
+struct ProfileGenConfig {
+  uint64_t seed = 7;
+  /// Exact positive presence selection preferences (the Figure 7/8
+  /// workload uses only these).
+  size_t num_presence = 20;
+  /// Negative preferences (dT < 0): satisfaction is the value's absence;
+  /// anchored on joined relations they become 1-n absence preferences.
+  size_t num_negative = 0;
+  /// 1-1 absence preferences on MOVIE.year (e.g. "not before Y").
+  size_t num_absence_11 = 0;
+  /// Elastic preferences on MOVIE.duration / THEATRE.ticket.
+  size_t num_elastic = 0;
+  /// Include the join-preference skeleton (needed for any implicit
+  /// preference to be reachable).
+  bool join_skeleton = true;
+  /// Restrict presence preferences to selective predicates (directors and
+  /// actors, not genres) — used by the timing benches so result sets stay
+  /// comparable across K.
+  bool presence_selective_only = false;
+  /// The database config the values are drawn from.
+  MovieGenConfig db_config;
+};
+
+/// Generates a profile matching `config`. Degrees of interest are drawn
+/// deterministically from the seed; condition values reference entities that
+/// exist in a database generated with `config.db_config`.
+Result<core::UserProfile> GenerateProfile(const ProfileGenConfig& config);
+
+/// The paper's running example: Al's profile (Figure 2), adapted to the
+/// synthetic database's value vocabulary.
+Result<core::UserProfile> AlsProfile();
+
+}  // namespace qp::datagen

@@ -1,0 +1,50 @@
+// Aggregate-function machinery. Built-ins (COUNT, SUM, AVG, MIN, MAX) plus a
+// registry for user-defined aggregates — the paper's SPA ranks groups with a
+// "user-defined aggregate function" r(degree), which the personalization
+// layer registers here.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace qp::exec {
+
+/// \brief Streaming aggregate state: fed one value per group row, then
+/// finalized.
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+  /// Accumulates one input (the evaluated argument, or NULL for COUNT(*)).
+  virtual void Add(const storage::Value& v) = 0;
+  /// Produces the aggregate result.
+  virtual storage::Value Finalize() const = 0;
+};
+
+using AggregatorFactory = std::function<std::unique_ptr<Aggregator>()>;
+
+/// \brief Name -> factory registry consulted by the executor.
+///
+/// Lookup is case-insensitive. Built-ins are implicitly available; a
+/// registered name shadows nothing (built-in names are reserved).
+class AggregateRegistry {
+ public:
+  /// Registers `name`; fails on duplicates or built-in names.
+  Status Register(const std::string& name, AggregatorFactory factory);
+
+  /// Creates an aggregator for `name` (built-in or registered).
+  Result<std::unique_ptr<Aggregator>> Create(const std::string& name) const;
+
+  /// True if `name` resolves to a built-in or registered aggregate.
+  bool Contains(const std::string& name) const;
+
+ private:
+  std::map<std::string, AggregatorFactory> custom_;
+};
+
+}  // namespace qp::exec

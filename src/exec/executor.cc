@@ -1,0 +1,935 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace qp::exec {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+using sql::SelectQuery;
+using sql::TableRef;
+using storage::Row;
+using storage::Value;
+
+namespace {
+
+/// Hash of a full row, for DISTINCT.
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 1469598103934665603ULL;
+    for (const auto& v : row) {
+      h ^= v.Hash();
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+/// One FROM source. Rows are materialized lazily: base tables stay as a
+/// pointer until filtering so equality predicates can use hash indexes.
+struct Source {
+  std::string alias;
+  std::vector<OutputColumn> columns;
+  /// Base table (null for derived sources).
+  const storage::Table* base = nullptr;
+  std::vector<Row> rows;
+  bool materialized = false;
+
+  size_t EstimatedRows() const {
+    return materialized ? rows.size() : base->num_rows();
+  }
+};
+
+/// Collects the source indices referenced by column refs inside `expr`.
+/// Unqualified columns are resolved by searching every source; unknown or
+/// ambiguous names leave `resolvable` false so the conjunct becomes residual
+/// (and fails with a precise error during evaluation).
+void CollectSourceRefs(const Expr& expr, const std::vector<Source>& sources,
+                       std::set<size_t>* refs, bool* resolvable) {
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef: {
+      int found = -1;
+      for (size_t s = 0; s < sources.size(); ++s) {
+        if (!expr.table().empty() &&
+            !EqualsIgnoreCase(sources[s].alias, expr.table())) {
+          continue;
+        }
+        for (const auto& col : sources[s].columns) {
+          if (EqualsIgnoreCase(col.name, expr.column())) {
+            if (found >= 0 && found != static_cast<int>(s)) {
+              *resolvable = false;
+              return;
+            }
+            found = static_cast<int>(s);
+          }
+        }
+      }
+      if (found < 0) {
+        *resolvable = false;
+      } else {
+        refs->insert(static_cast<size_t>(found));
+      }
+      return;
+    }
+    case ExprKind::kComparison:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+      CollectSourceRefs(*expr.left(), sources, refs, resolvable);
+      CollectSourceRefs(*expr.right(), sources, refs, resolvable);
+      return;
+    case ExprKind::kNot:
+    case ExprKind::kScalarFn:
+      CollectSourceRefs(*expr.operand(), sources, refs, resolvable);
+      return;
+    case ExprKind::kInSubquery:
+      // Only the needle references the outer scope.
+      CollectSourceRefs(*expr.left(), sources, refs, resolvable);
+      return;
+    default:
+      return;
+  }
+}
+
+/// A join conjunct annotated with the two sources it connects.
+struct JoinEdge {
+  ExprPtr atom;
+  size_t left_source;
+  size_t right_source;
+  // Column indices local to each source (for hash join).
+  size_t left_col;
+  size_t right_col;
+};
+
+int FindLocalColumn(const Source& src, const std::string& qualifier,
+                    const std::string& name) {
+  if (!qualifier.empty() && !EqualsIgnoreCase(src.alias, qualifier)) return -1;
+  int found = -1;
+  for (size_t i = 0; i < src.columns.size(); ++i) {
+    if (EqualsIgnoreCase(src.columns[i].name, name)) {
+      if (found >= 0) return -1;
+      found = static_cast<int>(i);
+    }
+  }
+  return found;
+}
+
+/// Evaluates expression `e` where aggregate calls are replaced by
+/// precomputed values (keyed by their SQL text).
+class AggregateEnv {
+ public:
+  AggregateEnv(const Scope* scope, const Row* representative,
+               const std::unordered_map<std::string, Value>* agg_values)
+      : scope_(scope), row_(representative), agg_values_(agg_values) {}
+
+  Result<Value> Eval(const Expr& e) const {
+    switch (e.kind()) {
+      case ExprKind::kAggregateCall: {
+        auto it = agg_values_->find(e.ToString());
+        if (it == agg_values_->end()) {
+          return Status::Internal("aggregate not precomputed: " + e.ToString());
+        }
+        return it->second;
+      }
+      case ExprKind::kComparison: {
+        QP_ASSIGN_OR_RETURN(Value l, Eval(*e.left()));
+        QP_ASSIGN_OR_RETURN(Value r, Eval(*e.right()));
+        if (l.is_null() || r.is_null()) return Value::Null();
+        const int cmp = l.Compare(r);
+        bool result = false;
+        switch (e.op()) {
+          case BinaryOp::kEq: result = cmp == 0; break;
+          case BinaryOp::kNe: result = cmp != 0; break;
+          case BinaryOp::kLt: result = cmp < 0; break;
+          case BinaryOp::kLe: result = cmp <= 0; break;
+          case BinaryOp::kGt: result = cmp > 0; break;
+          case BinaryOp::kGe: result = cmp >= 0; break;
+        }
+        return Value(static_cast<int64_t>(result ? 1 : 0));
+      }
+      case ExprKind::kAnd: {
+        QP_ASSIGN_OR_RETURN(Value l, Eval(*e.left()));
+        QP_ASSIGN_OR_RETURN(Value r, Eval(*e.right()));
+        const bool res = !l.is_null() && l.ToNumeric() != 0 && !r.is_null() &&
+                         r.ToNumeric() != 0;
+        return Value(static_cast<int64_t>(res ? 1 : 0));
+      }
+      case ExprKind::kOr: {
+        QP_ASSIGN_OR_RETURN(Value l, Eval(*e.left()));
+        QP_ASSIGN_OR_RETURN(Value r, Eval(*e.right()));
+        const bool res = (!l.is_null() && l.ToNumeric() != 0) ||
+                         (!r.is_null() && r.ToNumeric() != 0);
+        return Value(static_cast<int64_t>(res ? 1 : 0));
+      }
+      case ExprKind::kNot: {
+        QP_ASSIGN_OR_RETURN(Value v, Eval(*e.operand()));
+        if (v.is_null()) return Value::Null();
+        return Value(static_cast<int64_t>(v.ToNumeric() == 0 ? 1 : 0));
+      }
+      default:
+        return EvalScalar(e, *scope_, *row_, nullptr);
+    }
+  }
+
+ private:
+  const Scope* scope_;
+  const Row* row_;
+  const std::unordered_map<std::string, Value>* agg_values_;
+};
+
+void CollectAggregateCalls(const ExprPtr& e,
+                           std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  switch (e->kind()) {
+    case ExprKind::kAggregateCall:
+      out->push_back(e.get());
+      return;
+    case ExprKind::kComparison:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+      CollectAggregateCalls(e->left(), out);
+      CollectAggregateCalls(e->right(), out);
+      return;
+    case ExprKind::kNot:
+    case ExprKind::kScalarFn:
+      CollectAggregateCalls(e->operand(), out);
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+Result<RowSet> Executor::ExecuteSql(const std::string& sql) const {
+  QP_ASSIGN_OR_RETURN(sql::QueryPtr q, sql::ParseQuery(sql));
+  return Execute(*q);
+}
+
+Result<std::string> Executor::Explain(const sql::Query& query) const {
+  std::vector<std::string> lines;
+  trace_ = &lines;
+  trace_indent_.clear();
+  auto result = Execute(query);
+  trace_ = nullptr;
+  QP_RETURN_IF_ERROR(result.status());
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  out += "result: " + std::to_string(result->num_rows()) + " rows\n";
+  return out;
+}
+
+Result<std::string> Executor::ExplainSql(const std::string& sql) const {
+  QP_ASSIGN_OR_RETURN(sql::QueryPtr q, sql::ParseQuery(sql));
+  return Explain(*q);
+}
+
+Result<RowSet> Executor::Execute(const sql::Query& query) const {
+  ++stats_.queries_executed;
+  RowSet out;
+  bool first = true;
+  size_t branch_no = 0;
+  for (const auto& branch : query.branches()) {
+    if (query.is_union()) {
+      Trace("union branch " + std::to_string(++branch_no) + ":");
+      trace_indent_ += "  ";
+    }
+    auto part_result = ExecuteSelect(branch);
+    if (query.is_union() && !trace_indent_.empty()) {
+      trace_indent_.resize(trace_indent_.size() - 2);
+    }
+    QP_ASSIGN_OR_RETURN(RowSet part, std::move(part_result));
+    if (first) {
+      out = std::move(part);
+      first = false;
+    } else {
+      if (part.num_columns() != out.num_columns()) {
+        return Status::InvalidArgument(
+            "UNION ALL branches have different arities (" +
+            std::to_string(out.num_columns()) + " vs " +
+            std::to_string(part.num_columns()) + ")");
+      }
+      for (auto& row : part.rows()) out.Add(std::move(row));
+    }
+  }
+  // rows_output is counted by ExecuteSelect per branch; a union's total is
+  // exactly the sum of its branches.
+  return out;
+}
+
+Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
+  if (q.select.empty()) {
+    return Status::InvalidArgument("empty select list");
+  }
+  if (q.from.empty()) {
+    return Status::InvalidArgument("empty FROM clause");
+  }
+
+  // ---- Resolve sources; derived tables execute eagerly, base tables stay
+  // unmaterialized so equality filters can use hash indexes. ----
+  std::vector<Source> sources;
+  sources.reserve(q.from.size());
+  for (const TableRef& ref : q.from) {
+    Source src;
+    src.alias = ToLower(ref.EffectiveAlias());
+    for (const auto& other : sources) {
+      if (other.alias == src.alias) {
+        return Status::InvalidArgument("duplicate FROM alias '" + src.alias +
+                                       "'");
+      }
+    }
+    if (ref.derived != nullptr) {
+      Trace("derived table '" + src.alias + "':");
+      trace_indent_ += "  ";
+      auto sub_result = Execute(*ref.derived);
+      if (!trace_indent_.empty()) {
+        trace_indent_.resize(trace_indent_.size() - 2);
+      }
+      QP_ASSIGN_OR_RETURN(RowSet sub, std::move(sub_result));
+      for (const auto& col : sub.columns()) {
+        src.columns.push_back({src.alias, col.name});
+      }
+      src.rows = std::move(sub.rows());
+      src.materialized = true;
+      stats_.rows_scanned += src.rows.size();
+    } else {
+      QP_ASSIGN_OR_RETURN(src.base, db_->GetTable(ref.table));
+      for (const auto& col : src.base->schema().columns()) {
+        src.columns.push_back({src.alias, col.name});
+      }
+    }
+    sources.push_back(std::move(src));
+  }
+
+  // ---- Materialize IN-subqueries. ----
+  SubqueryResults subquery_sets;
+  {
+    std::vector<const Expr*> sub_nodes;
+    CollectSubqueries(q.where, &sub_nodes);
+    CollectSubqueries(q.having, &sub_nodes);
+    for (const Expr* node : sub_nodes) {
+      Trace(std::string(node->negated() ? "NOT IN" : "IN") +
+            " subquery (materialized to a hash set):");
+      trace_indent_ += "  ";
+      auto sub_result = Execute(*node->subquery());
+      if (!trace_indent_.empty()) {
+        trace_indent_.resize(trace_indent_.size() - 2);
+      }
+      QP_ASSIGN_OR_RETURN(RowSet sub, std::move(sub_result));
+      if (sub.num_columns() != 1) {
+        return Status::InvalidArgument(
+            "IN-subquery must return exactly one column");
+      }
+      std::unordered_set<Value, storage::ValueHash> set;
+      set.reserve(sub.num_rows());
+      for (const auto& row : sub.rows()) {
+        if (!row[0].is_null()) set.insert(row[0]);
+      }
+      subquery_sets.emplace(node, std::move(set));
+      ++stats_.subqueries_materialized;
+    }
+  }
+
+  // ---- Classify WHERE conjuncts. ----
+  std::vector<std::vector<ExprPtr>> source_filters(sources.size());
+  std::vector<JoinEdge> join_edges;
+  std::vector<ExprPtr> residual;
+  for (const ExprPtr& conjunct : sql::ConjunctsOf(q.where)) {
+    storage::AttributeRef l, r;
+    if (conjunct->IsJoinAtom(&l, &r)) {
+      // Try to pin it to two distinct sources for a hash join.
+      int ls = -1, rs = -1, lc = -1, rc = -1;
+      for (size_t s = 0; s < sources.size(); ++s) {
+        const int cl = FindLocalColumn(sources[s], l.table, l.column);
+        if (cl >= 0 && ls < 0) {
+          ls = static_cast<int>(s);
+          lc = cl;
+        }
+        const int cr = FindLocalColumn(sources[s], r.table, r.column);
+        if (cr >= 0 && rs < 0) {
+          rs = static_cast<int>(s);
+          rc = cr;
+        }
+      }
+      if (ls >= 0 && rs >= 0 && ls != rs) {
+        join_edges.push_back({conjunct, static_cast<size_t>(ls),
+                              static_cast<size_t>(rs), static_cast<size_t>(lc),
+                              static_cast<size_t>(rc)});
+        continue;
+      }
+      if (ls >= 0 && rs >= 0 && ls == rs) {
+        source_filters[ls].push_back(conjunct);
+        continue;
+      }
+      residual.push_back(conjunct);
+      continue;
+    }
+    std::set<size_t> refs;
+    bool resolvable = true;
+    CollectSourceRefs(*conjunct, sources, &refs, &resolvable);
+    if (resolvable && refs.size() <= 1) {
+      const size_t s = refs.empty() ? 0 : *refs.begin();
+      source_filters[s].push_back(conjunct);
+    } else {
+      residual.push_back(conjunct);
+    }
+  }
+
+  // ---- Plan per-source access paths without materializing base tables.
+  // An indexable `col = literal` atom gives both a cheap cardinality
+  // estimate and an index scan; other base filters are applied while
+  // scanning or as join post-filters. Derived sources are filtered in
+  // place. ----
+  struct AccessPath {
+    int index_col = -1;  // point lookup column
+    Value index_key;
+    int range_col = -1;  // ordered-index range column
+    Value range_lo, range_hi;
+    bool has_lo = false, has_hi = false;
+    bool lo_inclusive = false, hi_inclusive = false;
+    size_t estimated_rows = 0;
+  };
+  std::vector<AccessPath> access(sources.size());
+  for (size_t s = 0; s < sources.size(); ++s) {
+    Source& src = sources[s];
+    Scope scope(src.columns);
+    if (src.materialized) {
+      // Derived table: apply filters now.
+      if (!source_filters[s].empty()) {
+        std::vector<Row> kept;
+        for (auto& row : src.rows) {
+          bool pass = true;
+          for (const auto& f : source_filters[s]) {
+            QP_ASSIGN_OR_RETURN(bool ok,
+                                EvalPredicate(*f, scope, row, &subquery_sets));
+            if (!ok) {
+              pass = false;
+              break;
+            }
+          }
+          if (pass) kept.push_back(std::move(row));
+        }
+        src.rows = std::move(kept);
+      }
+      access[s].estimated_rows = src.rows.size();
+      continue;
+    }
+    for (const auto& f : source_filters[s]) {
+      storage::AttributeRef attr;
+      BinaryOp op;
+      Value lit;
+      if (f->IsSelectionAtom(&attr, &op, &lit) && op == BinaryOp::kEq &&
+          !lit.is_null()) {
+        const int col = FindLocalColumn(src, attr.table, attr.column);
+        if (col >= 0) {
+          access[s].index_col = col;
+          access[s].index_key = std::move(lit);
+          break;
+        }
+      }
+    }
+    if (access[s].index_col >= 0) {
+      access[s].estimated_rows = src.base->HashIndex(
+          static_cast<size_t>(access[s].index_col)).count(access[s].index_key);
+      continue;
+    }
+    // No equality atom: try range atoms (elastic preferences translate to
+    // them). Combine the tightest bounds per column, then pick the most
+    // selective column via the ordered index.
+    struct Bounds {
+      Value lo, hi;
+      bool has_lo = false, has_hi = false;
+      bool lo_inclusive = false, hi_inclusive = false;
+    };
+    std::map<int, Bounds> per_column;
+    for (const auto& f : source_filters[s]) {
+      storage::AttributeRef attr;
+      BinaryOp op;
+      Value lit;
+      if (!f->IsSelectionAtom(&attr, &op, &lit) || lit.is_null()) continue;
+      const int col = FindLocalColumn(src, attr.table, attr.column);
+      if (col < 0) continue;
+      Bounds& b = per_column[col];
+      switch (op) {
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          if (!b.has_lo || lit > b.lo ||
+              (lit == b.lo && op == BinaryOp::kGt)) {
+            b.lo = lit;
+            b.has_lo = true;
+            b.lo_inclusive = (op == BinaryOp::kGe);
+          }
+          break;
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+          if (!b.has_hi || lit < b.hi ||
+              (lit == b.hi && op == BinaryOp::kLt)) {
+            b.hi = lit;
+            b.has_hi = true;
+            b.hi_inclusive = (op == BinaryOp::kLe);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    size_t best_count = src.base->num_rows();
+    for (const auto& [col, b] : per_column) {
+      if (!b.has_lo && !b.has_hi) continue;
+      const size_t count = src.base->RangeCount(
+          static_cast<size_t>(col), b.lo, b.lo_inclusive, b.has_lo, b.hi,
+          b.hi_inclusive, b.has_hi);
+      if (count < best_count) {
+        best_count = count;
+        access[s].range_col = col;
+        access[s].range_lo = b.lo;
+        access[s].range_hi = b.hi;
+        access[s].has_lo = b.has_lo;
+        access[s].has_hi = b.has_hi;
+        access[s].lo_inclusive = b.lo_inclusive;
+        access[s].hi_inclusive = b.hi_inclusive;
+      }
+    }
+    access[s].estimated_rows = best_count;
+  }
+
+  // Materializes a base source through its planned access path.
+  const auto materialize = [&](size_t s) -> Status {
+    Source& src = sources[s];
+    if (src.materialized) return Status::OK();
+    Scope scope(src.columns);
+    std::vector<const Row*> candidates;
+    if (access[s].index_col >= 0) {
+      const auto& index =
+          src.base->HashIndex(static_cast<size_t>(access[s].index_col));
+      auto [lo, hi] = index.equal_range(access[s].index_key);
+      for (auto it = lo; it != hi; ++it) {
+        candidates.push_back(&src.base->row(it->second));
+      }
+    } else if (access[s].range_col >= 0) {
+      for (size_t pos : src.base->RangeLookup(
+               static_cast<size_t>(access[s].range_col), access[s].range_lo,
+               access[s].lo_inclusive, access[s].has_lo, access[s].range_hi,
+               access[s].hi_inclusive, access[s].has_hi)) {
+        candidates.push_back(&src.base->row(pos));
+      }
+    } else {
+      candidates.reserve(src.base->num_rows());
+      for (const auto& row : src.base->rows()) candidates.push_back(&row);
+    }
+    stats_.rows_scanned += candidates.size();
+    for (const Row* row : candidates) {
+      bool pass = true;
+      for (const auto& f : source_filters[s]) {
+        QP_ASSIGN_OR_RETURN(bool ok,
+                            EvalPredicate(*f, scope, *row, &subquery_sets));
+        if (!ok) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) src.rows.push_back(*row);
+    }
+    src.materialized = true;
+    return Status::OK();
+  };
+
+  if (trace_ != nullptr) {
+    for (size_t s = 0; s < sources.size(); ++s) {
+      if (sources[s].base == nullptr) continue;
+      std::string how;
+      if (access[s].index_col >= 0) {
+        how = "index lookup on " +
+              sources[s].columns[access[s].index_col].name + " = " +
+              access[s].index_key.ToString();
+      } else if (access[s].range_col >= 0) {
+        how = "range scan on " +
+              sources[s].columns[access[s].range_col].name + " in " +
+              (access[s].has_lo ? (access[s].lo_inclusive ? "[" : "(") +
+                                      access[s].range_lo.ToString()
+                                : "(-inf") +
+              ", " +
+              (access[s].has_hi ? access[s].range_hi.ToString() +
+                                      (access[s].hi_inclusive ? "]" : ")")
+                                : "+inf)");
+      } else {
+        how = "full scan";
+      }
+      Trace("source '" + sources[s].alias + "': " + how + ", ~" +
+            std::to_string(access[s].estimated_rows) + " rows, " +
+            std::to_string(source_filters[s].size()) + " filter(s)");
+    }
+  }
+
+  // ---- Greedy join ordering from the smallest source. ----
+  std::vector<bool> joined(sources.size(), false);
+  size_t start = 0;
+  for (size_t s = 1; s < sources.size(); ++s) {
+    if (access[s].estimated_rows < access[start].estimated_rows) start = s;
+  }
+  QP_RETURN_IF_ERROR(materialize(start));
+  Trace("start from '" + sources[start].alias + "' (" +
+        std::to_string(sources[start].rows.size()) + " rows after filters)");
+  std::vector<OutputColumn> combined_cols = sources[start].columns;
+  std::vector<Row> combined = std::move(sources[start].rows);
+  joined[start] = true;
+  size_t num_joined = 1;
+
+  while (num_joined < sources.size()) {
+    // Candidate edges between joined and unjoined sources.
+    int best_edge = -1;
+    size_t best_size = SIZE_MAX;
+    for (size_t e = 0; e < join_edges.size(); ++e) {
+      const auto& edge = join_edges[e];
+      size_t next;
+      if (joined[edge.left_source] && !joined[edge.right_source]) {
+        next = edge.right_source;
+      } else if (joined[edge.right_source] && !joined[edge.left_source]) {
+        next = edge.left_source;
+      } else {
+        continue;
+      }
+      if (access[next].estimated_rows < best_size) {
+        best_size = access[next].estimated_rows;
+        best_edge = static_cast<int>(e);
+      }
+    }
+
+    size_t next_source;
+    if (best_edge >= 0) {
+      const JoinEdge& edge = join_edges[best_edge];
+      const bool new_on_right = !joined[edge.right_source];
+      next_source = new_on_right ? edge.right_source : edge.left_source;
+      Source& next = sources[next_source];
+
+      // Column index of the join key on the combined side.
+      const storage::AttributeRef probe_attr =
+          [&]() -> storage::AttributeRef {
+        storage::AttributeRef l, r;
+        edge.atom->IsJoinAtom(&l, &r);
+        return new_on_right ? l : r;
+      }();
+      Scope combined_scope(combined_cols);
+      QP_ASSIGN_OR_RETURN(
+          size_t probe_col,
+          combined_scope.Resolve(probe_attr.table, probe_attr.column));
+      const size_t build_col = new_on_right ? edge.right_col : edge.left_col;
+
+      std::vector<Row> result;
+      if (!next.materialized) {
+        // Base table: probe its persistent hash index on the join column
+        // and apply any pending filters only to matched rows. This keeps
+        // PPA's per-tuple point probes O(fan-out) instead of O(table).
+        const auto& index = next.base->HashIndex(build_col);
+        const Scope next_scope(next.columns);
+        const auto& filters = source_filters[next_source];
+        for (const Row& left_row : combined) {
+          const Value& key = left_row[probe_col];
+          if (key.is_null()) continue;
+          auto [lo, hi] = index.equal_range(key);
+          for (auto it = lo; it != hi; ++it) {
+            const Row& right_row = next.base->row(it->second);
+            bool pass = true;
+            for (const auto& f : filters) {
+              QP_ASSIGN_OR_RETURN(
+                  bool ok,
+                  EvalPredicate(*f, next_scope, right_row, &subquery_sets));
+              if (!ok) {
+                pass = false;
+                break;
+              }
+            }
+            if (!pass) continue;
+            Row merged = left_row;
+            merged.insert(merged.end(), right_row.begin(), right_row.end());
+            result.push_back(std::move(merged));
+          }
+        }
+      } else {
+        // Build a transient hash table on the (already filtered) rows.
+        std::unordered_multimap<Value, size_t, storage::ValueHash> build;
+        build.reserve(next.rows.size());
+        for (size_t i = 0; i < next.rows.size(); ++i) {
+          if (!next.rows[i][build_col].is_null()) {
+            build.emplace(next.rows[i][build_col], i);
+          }
+        }
+        for (const Row& left_row : combined) {
+          const Value& key = left_row[probe_col];
+          if (key.is_null()) continue;
+          auto [lo, hi] = build.equal_range(key);
+          for (auto it = lo; it != hi; ++it) {
+            Row merged = left_row;
+            const Row& right_row = next.rows[it->second];
+            merged.insert(merged.end(), right_row.begin(), right_row.end());
+            result.push_back(std::move(merged));
+          }
+        }
+      }
+      stats_.rows_joined += result.size();
+      Trace("join '" + next.alias + "' via " +
+            (next.materialized ? "transient hash on filtered rows"
+                               : "persistent index") +
+            " [" + edge.atom->ToString() + "] -> " +
+            std::to_string(result.size()) + " rows");
+      combined_cols.insert(combined_cols.end(), next.columns.begin(),
+                           next.columns.end());
+      combined = std::move(result);
+    } else {
+      // No connecting edge: cross product with the smallest unjoined source.
+      next_source = SIZE_MAX;
+      for (size_t s = 0; s < sources.size(); ++s) {
+        if (joined[s]) continue;
+        if (next_source == SIZE_MAX ||
+            sources[s].EstimatedRows() < sources[next_source].EstimatedRows()) {
+          next_source = s;
+        }
+      }
+      Source& next = sources[next_source];
+      QP_RETURN_IF_ERROR(materialize(next_source));
+      std::vector<Row> result;
+      result.reserve(combined.size() * next.rows.size());
+      for (const Row& left_row : combined) {
+        for (const Row& right_row : next.rows) {
+          Row merged = left_row;
+          merged.insert(merged.end(), right_row.begin(), right_row.end());
+          result.push_back(std::move(merged));
+        }
+      }
+      stats_.rows_joined += result.size();
+      Trace("cross product with '" + next.alias + "' -> " +
+            std::to_string(result.size()) + " rows");
+      combined_cols.insert(combined_cols.end(), next.columns.begin(),
+                           next.columns.end());
+      combined = std::move(result);
+    }
+    joined[next_source] = true;
+    ++num_joined;
+
+    // Apply any join edges now internal to the combined result (other
+    // atoms between already-joined sources).
+    Scope scope(combined_cols);
+    std::vector<Row> kept;
+    kept.reserve(combined.size());
+    for (auto& row : combined) {
+      bool pass = true;
+      for (const auto& edge : join_edges) {
+        if (!joined[edge.left_source] || !joined[edge.right_source]) continue;
+        QP_ASSIGN_OR_RETURN(
+            bool ok, EvalPredicate(*edge.atom, scope, row, &subquery_sets));
+        if (!ok) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) kept.push_back(std::move(row));
+    }
+    combined = std::move(kept);
+  }
+
+  Scope scope(combined_cols);
+
+  // ---- Residual predicates. ----
+  if (!residual.empty()) {
+    Trace("apply " + std::to_string(residual.size()) +
+          " residual predicate(s)");
+    std::vector<Row> kept;
+    kept.reserve(combined.size());
+    for (auto& row : combined) {
+      bool pass = true;
+      for (const auto& f : residual) {
+        QP_ASSIGN_OR_RETURN(bool ok,
+                            EvalPredicate(*f, scope, row, &subquery_sets));
+        if (!ok) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) kept.push_back(std::move(row));
+    }
+    combined = std::move(kept);
+  }
+
+  // ---- Expand '*' select items. ----
+  std::vector<sql::SelectItem> items;
+  for (const auto& item : q.select) {
+    if (item.expr->kind() == ExprKind::kColumnRef && item.expr->column() == "*") {
+      for (const auto& col : combined_cols) {
+        items.push_back({Expr::Column(col.qualifier, col.name), col.name});
+      }
+    } else {
+      items.push_back(item);
+    }
+  }
+
+  std::vector<OutputColumn> out_cols;
+  out_cols.reserve(items.size());
+  for (const auto& item : items) {
+    out_cols.push_back({"", item.OutputName()});
+  }
+  RowSet out(out_cols);
+
+  AggregateRegistry default_registry;
+  const AggregateRegistry* registry =
+      aggregates_ != nullptr ? aggregates_ : &default_registry;
+
+  if (q.IsAggregate()) {
+    Trace("aggregate: group by " + std::to_string(q.group_by.size()) +
+          " key(s)" + (q.having != nullptr ? ", with HAVING" : ""));
+    // ---- Grouped aggregation. ----
+    std::vector<const Expr*> agg_nodes;
+    for (const auto& item : items) CollectAggregateCalls(item.expr, &agg_nodes);
+    CollectAggregateCalls(q.having, &agg_nodes);
+    for (const auto& o : q.order_by) CollectAggregateCalls(o.expr, &agg_nodes);
+    // Dedupe by SQL text.
+    std::unordered_map<std::string, const Expr*> agg_by_text;
+    for (const Expr* a : agg_nodes) agg_by_text.emplace(a->ToString(), a);
+
+    // Group rows by evaluated GROUP BY keys.
+    std::unordered_map<Row, std::vector<size_t>, RowHash> groups;
+    for (size_t i = 0; i < combined.size(); ++i) {
+      Row key;
+      key.reserve(q.group_by.size());
+      for (const auto& g : q.group_by) {
+        QP_ASSIGN_OR_RETURN(Value v,
+                            EvalScalar(*g, scope, combined[i], &subquery_sets));
+        key.push_back(std::move(v));
+      }
+      groups[std::move(key)].push_back(i);
+    }
+    // A fully aggregated query with no GROUP BY has one (possibly empty)
+    // global group, so COUNT(*) over no rows yields 0.
+    if (q.group_by.empty() && groups.empty()) {
+      groups.emplace(Row{}, std::vector<size_t>{});
+    }
+
+    struct GroupOut {
+      Row out_row;
+      Row sort_keys;
+    };
+    std::vector<GroupOut> group_rows;
+    const Row empty_row(combined_cols.size());
+    for (const auto& [key, indices] : groups) {
+      // Compute each distinct aggregate once.
+      std::unordered_map<std::string, Value> agg_values;
+      for (const auto& [text, node] : agg_by_text) {
+        QP_ASSIGN_OR_RETURN(std::unique_ptr<Aggregator> agg,
+                            registry->Create(node->function()));
+        for (size_t idx : indices) {
+          Value arg = Value::Null();
+          if (node->argument() != nullptr) {
+            QP_ASSIGN_OR_RETURN(
+                arg, EvalScalar(*node->argument(), scope, combined[idx],
+                                &subquery_sets));
+          }
+          agg->Add(arg);
+        }
+        agg_values.emplace(text, agg->Finalize());
+      }
+      const Row& rep = indices.empty() ? empty_row : combined[indices[0]];
+      AggregateEnv env(&scope, &rep, &agg_values);
+      if (q.having != nullptr) {
+        QP_ASSIGN_OR_RETURN(Value hv, env.Eval(*q.having));
+        if (hv.is_null() || hv.ToNumeric() == 0) continue;
+      }
+      GroupOut g;
+      for (const auto& item : items) {
+        QP_ASSIGN_OR_RETURN(Value v, env.Eval(*item.expr));
+        g.out_row.push_back(std::move(v));
+      }
+      for (const auto& o : q.order_by) {
+        QP_ASSIGN_OR_RETURN(Value v, env.Eval(*o.expr));
+        g.sort_keys.push_back(std::move(v));
+      }
+      group_rows.push_back(std::move(g));
+    }
+
+    if (!q.order_by.empty()) {
+      std::stable_sort(group_rows.begin(), group_rows.end(),
+                       [&](const GroupOut& a, const GroupOut& b) {
+                         for (size_t k = 0; k < q.order_by.size(); ++k) {
+                           const int cmp = a.sort_keys[k].Compare(b.sort_keys[k]);
+                           if (cmp != 0) {
+                             return q.order_by[k].ascending ? cmp < 0 : cmp > 0;
+                           }
+                         }
+                         return false;
+                       });
+    }
+    for (auto& g : group_rows) {
+      out.Add(std::move(g.out_row));
+      if (q.limit.has_value() && out.num_rows() >= *q.limit) break;
+    }
+    stats_.rows_output += out.num_rows();
+    return out;
+  }
+
+  // ---- Non-aggregate projection. ----
+  // Sort first (keys may reference non-projected columns), then project.
+  std::vector<size_t> order(combined.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (!q.order_by.empty()) {
+    std::vector<Row> sort_keys(combined.size());
+    for (size_t i = 0; i < combined.size(); ++i) {
+      for (const auto& o : q.order_by) {
+        // Try the combined scope first; fall back to select-item aliases.
+        auto direct = EvalScalar(*o.expr, scope, combined[i], &subquery_sets);
+        if (direct.ok()) {
+          sort_keys[i].push_back(std::move(direct).value());
+          continue;
+        }
+        bool matched = false;
+        if (o.expr->kind() == ExprKind::kColumnRef) {
+          for (const auto& item : items) {
+            if (EqualsIgnoreCase(item.OutputName(), o.expr->column())) {
+              QP_ASSIGN_OR_RETURN(
+                  Value v,
+                  EvalScalar(*item.expr, scope, combined[i], &subquery_sets));
+              sort_keys[i].push_back(std::move(v));
+              matched = true;
+              break;
+            }
+          }
+        }
+        if (!matched) return direct.status();
+      }
+    }
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (size_t k = 0; k < q.order_by.size(); ++k) {
+        const int cmp = sort_keys[a][k].Compare(sort_keys[b][k]);
+        if (cmp != 0) return q.order_by[k].ascending ? cmp < 0 : cmp > 0;
+      }
+      return false;
+    });
+  }
+
+  std::unordered_set<Row, RowHash> seen;
+  for (size_t pos : order) {
+    Row out_row;
+    out_row.reserve(items.size());
+    for (const auto& item : items) {
+      QP_ASSIGN_OR_RETURN(
+          Value v, EvalScalar(*item.expr, scope, combined[pos], &subquery_sets));
+      out_row.push_back(std::move(v));
+    }
+    if (q.distinct) {
+      if (!seen.insert(out_row).second) continue;
+    }
+    out.Add(std::move(out_row));
+    if (q.limit.has_value() && out.num_rows() >= *q.limit) break;
+  }
+  stats_.rows_output += out.num_rows();
+  return out;
+}
+
+}  // namespace qp::exec

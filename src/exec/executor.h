@@ -1,0 +1,67 @@
+// Query executor over an in-memory Database. Supports exactly the query
+// shapes the personalization layer emits: SPJ blocks with conjunctive
+// predicates (greedy hash-join ordering), [NOT] IN subqueries (materialized
+// to hash sets), UNION ALL, GROUP BY / HAVING with built-in and user-defined
+// aggregates, DISTINCT, ORDER BY and LIMIT.
+
+#pragma once
+
+#include "common/status.h"
+#include "exec/aggregate.h"
+#include "exec/evaluator.h"
+#include "exec/row_set.h"
+#include "sql/query.h"
+#include "storage/database.h"
+
+namespace qp::exec {
+
+/// Cumulative execution counters, useful for benchmarks and tests.
+struct ExecStats {
+  size_t queries_executed = 0;
+  size_t rows_scanned = 0;
+  size_t rows_joined = 0;
+  size_t rows_output = 0;
+  size_t subqueries_materialized = 0;
+};
+
+/// \brief Executes queries against a Database.
+///
+/// The executor is stateless per query; an optional AggregateRegistry
+/// provides user-defined aggregates (SPA's ranking function r).
+class Executor {
+ public:
+  explicit Executor(const storage::Database* db,
+                    const AggregateRegistry* aggregates = nullptr)
+      : db_(db), aggregates_(aggregates) {}
+
+  /// Executes a full query (single select or UNION ALL).
+  Result<RowSet> Execute(const sql::Query& query) const;
+
+  /// Parses and executes SQL text.
+  Result<RowSet> ExecuteSql(const std::string& sql) const;
+
+  /// Executes `query` while recording the physical plan actually taken —
+  /// access paths (index lookup vs scan), join order and methods, row
+  /// counts per step — and returns its text description.
+  Result<std::string> Explain(const sql::Query& query) const;
+  Result<std::string> ExplainSql(const std::string& sql) const;
+
+  const ExecStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ExecStats{}; }
+
+ private:
+  Result<RowSet> ExecuteSelect(const sql::SelectQuery& q) const;
+
+  void Trace(const std::string& line) const {
+    if (trace_ != nullptr) trace_->push_back(trace_indent_ + line);
+  }
+
+  const storage::Database* db_;
+  const AggregateRegistry* aggregates_;
+  mutable ExecStats stats_;
+  /// Plan-trace sink; only set during Explain().
+  mutable std::vector<std::string>* trace_ = nullptr;
+  mutable std::string trace_indent_;
+};
+
+}  // namespace qp::exec

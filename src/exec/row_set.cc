@@ -1,0 +1,62 @@
+#include "exec/row_set.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace qp::exec {
+
+int RowSet::FindColumn(const std::string& qualifier,
+                       const std::string& name) const {
+  int found = -1;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!EqualsIgnoreCase(columns_[i].name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(columns_[i].qualifier,
+                                                qualifier)) {
+      continue;
+    }
+    if (found >= 0) return -1;  // ambiguous
+    found = static_cast<int>(i);
+  }
+  return found;
+}
+
+std::string RowSet::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(columns_.size());
+  std::vector<std::string> headers(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    headers[i] = columns_[i].ToString();
+    widths[i] = headers[i].size();
+  }
+  const size_t shown = std::min(max_rows, rows_.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      cells[r][c] = rows_[r][c].ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& vals) {
+    for (size_t c = 0; c < vals.size(); ++c) {
+      out += (c == 0) ? "| " : " | ";
+      out += vals[c];
+      out.append(widths[c] - vals[c].size(), ' ');
+    }
+    out += " |\n";
+  };
+  emit_row(headers);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out += (c == 0) ? "|-" : "-|-";
+    out.append(widths[c], '-');
+  }
+  out += "-|\n";
+  for (size_t r = 0; r < shown; ++r) emit_row(cells[r]);
+  if (shown < rows_.size()) {
+    out += "... (" + std::to_string(rows_.size() - shown) + " more)\n";
+  }
+  return out;
+}
+
+}  // namespace qp::exec

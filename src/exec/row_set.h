@@ -1,0 +1,53 @@
+// Materialized query results: an output schema (qualified column names) plus
+// rows. RowSets flow between executor stages and out to callers.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace qp::exec {
+
+/// \brief One output column: the qualifier (table alias, may be empty for
+/// computed columns) and the column name.
+struct OutputColumn {
+  std::string qualifier;
+  std::string name;
+
+  std::string ToString() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+/// \brief Schema + rows of an intermediate or final result.
+class RowSet {
+ public:
+  RowSet() = default;
+  explicit RowSet(std::vector<OutputColumn> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<OutputColumn>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<storage::Row>& rows() const { return rows_; }
+  std::vector<storage::Row>& rows() { return rows_; }
+  const storage::Row& row(size_t i) const { return rows_[i]; }
+
+  void Add(storage::Row row) { rows_.push_back(std::move(row)); }
+
+  /// Index of the column named `name` (optionally qualified by `qualifier`);
+  /// -1 if absent or ambiguous.
+  int FindColumn(const std::string& qualifier, const std::string& name) const;
+
+  /// Renders an ASCII table (for examples and debugging). `max_rows` caps
+  /// the body; a trailing "... (N more)" line is added when truncated.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::vector<OutputColumn> columns_;
+  std::vector<storage::Row> rows_;
+};
+
+}  // namespace qp::exec

@@ -1,0 +1,232 @@
+#include "sim/simuser.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rewrite.h"
+#include "exec/executor.h"
+
+namespace qp::sim {
+
+using core::ImplicitPreference;
+using core::PreferenceKind;
+using core::QueryRewriter;
+using core::RankingFunction;
+using core::SelectedPreference;
+using sql::SelectQuery;
+using storage::Value;
+
+Result<SimulatedUser> SimulatedUser::Make(const storage::Database* db,
+                                          const core::UserProfile* profile,
+                                          const SelectQuery& base,
+                                          const Config& config) {
+  SimulatedUser user(config);
+  user.latent_ranking_ =
+      RankingFunction(config.latent_style, config.latent_style,
+                      config.latent_mixed);
+
+  // Everything in the profile related to this query, expanded to implicit
+  // preferences, becomes part of the latent taste model.
+  QP_ASSIGN_OR_RETURN(core::PersonalizationGraph graph,
+                      core::PersonalizationGraph::Build(db, profile));
+  core::PreferenceSelector selector(&graph);
+  const core::QueryContext ctx = core::QueryContext::FromQuery(base);
+  QP_ASSIGN_OR_RETURN(std::vector<SelectedPreference> related,
+                      selector.SelectFakeCrit(ctx, {}));
+
+  // The base query's first FROM table provides the tuple id.
+  if (base.from.empty() || base.from[0].derived != nullptr) {
+    return Status::InvalidArgument("simulated user needs a base-table query");
+  }
+  QP_ASSIGN_OR_RETURN(const storage::Table* anchor_table,
+                      db->GetTable(base.from[0].table));
+  const auto& pk = anchor_table->schema().primary_key();
+  if (pk.size() != 1) {
+    return Status::InvalidArgument("anchor table needs a single-column pk");
+  }
+  SelectQuery base2 = base;
+  base2.order_by.clear();
+  base2.limit.reset();
+  base2.select.push_back(
+      {sql::Expr::Column(QueryRewriter::BaseAlias(base, base.from[0].table),
+                         pk[0]),
+       "_tid"});
+
+  QueryRewriter rewriter(db);
+  exec::Executor executor(db);
+  const size_t tid_col = base2.select.size() - 1;
+
+  const auto add_latent = [&](const ImplicitPreference& pref,
+                              double jitter) -> Status {
+    QP_ASSIGN_OR_RETURN(core::RewrittenPreference parts,
+                        rewriter.Rewrite(base2, pref));
+    LatentPreference latent;
+    SelectQuery query;
+    if (parts.kind == PreferenceKind::kAbsenceOneN) {
+      QP_ASSIGN_OR_RETURN(query, rewriter.BuildViolationQuery(base2, pref));
+      latent.map_means_satisfied = false;
+      latent.out_degree = jitter * parts.satisfaction_degree;
+    } else {
+      QP_ASSIGN_OR_RETURN(query, rewriter.BuildSatisfactionQuery(base2, pref));
+      latent.map_means_satisfied = true;
+      latent.out_degree = jitter * parts.failure_degree;
+    }
+    QP_ASSIGN_OR_RETURN(exec::RowSet rows,
+                        executor.Execute(*sql::Query::Single(query)));
+    for (const auto& row : rows.rows()) {
+      const Value& tid = row[tid_col];
+      if (tid.is_null()) continue;
+      const double degree =
+          jitter * (row.back().is_numeric() ? row.back().ToNumeric() : 0.0);
+      auto [it, inserted] = latent.in_map.emplace(tid, degree);
+      if (!inserted) {
+        // Keep the strongest signal across join fan-out.
+        it->second = latent.map_means_satisfied
+                         ? std::max(it->second, degree)
+                         : std::min(it->second, degree);
+      }
+    }
+    user.latent_.push_back(std::move(latent));
+    return Status::OK();
+  };
+
+  for (const auto& selected : related) {
+    // Latent degrees drift multiplicatively from the stated profile. The
+    // upside is capped: mis-stated preferences mostly mean the user cares
+    // less than the profile claims, so noisier (novice) profiles lose more
+    // relevance than they gain.
+    const double jitter = std::clamp(
+        1.0 + user.rng_.Gaussian(0.0, config.degree_noise), 0.35, 1.1);
+    QP_RETURN_IF_ERROR(add_latent(selected.pref, jitter));
+  }
+
+  // Hidden latent preferences: tastes the user never put in the profile.
+  // Sampled as thresholds over the anchor relation's numeric attributes
+  // with values drawn from the data.
+  const auto& anchor_schema = anchor_table->schema();
+  std::vector<size_t> numeric_cols;
+  for (size_t c = 0; c < anchor_schema.num_columns(); ++c) {
+    const bool is_pk = !pk.empty() && anchor_schema.column(c).name == pk[0];
+    const auto type = anchor_schema.column(c).type;
+    if (!is_pk && (type == storage::DataType::kInt ||
+                   type == storage::DataType::kDouble)) {
+      numeric_cols.push_back(c);
+    }
+  }
+  for (size_t h = 0;
+       h < config.num_hidden_preferences && !numeric_cols.empty() &&
+       anchor_table->num_rows() > 0;
+       ++h) {
+    const size_t col = numeric_cols[user.rng_.Index(numeric_cols.size())];
+    const storage::Row& sample =
+        anchor_table->row(user.rng_.Index(anchor_table->num_rows()));
+    if (sample[col].is_null()) continue;
+    core::SelectionPreference hidden;
+    hidden.condition = {
+        storage::AttributeRef(anchor_schema.name(),
+                              anchor_schema.column(col).name),
+        user.rng_.Bernoulli(0.5) ? sql::BinaryOp::kGe : sql::BinaryOp::kLe,
+        sample[col]};
+    const double degree = user.rng_.UniformDouble(0.4, 0.9);
+    auto doi = core::DoiPair::Exact(
+        user.rng_.Bernoulli(0.3) ? -degree : degree, 0.0);
+    if (!doi.ok()) continue;
+    hidden.doi = std::move(doi).value();
+    QP_RETURN_IF_ERROR(
+        add_latent(ImplicitPreference::Selection(std::move(hidden)), 1.0));
+  }
+
+  // Precompute the user's relevant tuples over the base query.
+  QP_ASSIGN_OR_RETURN(exec::RowSet all,
+                      executor.Execute(*sql::Query::Single(base2)));
+  for (const auto& row : all.rows()) {
+    const Value& tid = row[tid_col];
+    if (tid.is_null()) continue;
+    if (user.LatentInterest(tid) >= config.relevance_threshold) {
+      user.relevant_.push_back(tid);
+    }
+  }
+  return user;
+}
+
+double SimulatedUser::LatentInterest(const Value& tid) const {
+  std::vector<double> pos, neg;
+  for (const auto& latent : latent_) {
+    auto it = latent.in_map.find(tid);
+    double degree;
+    if (it != latent.in_map.end()) {
+      degree = it->second;
+    } else {
+      degree = latent.out_degree;
+    }
+    const bool satisfied = it != latent.in_map.end()
+                               ? latent.map_means_satisfied
+                               : !latent.map_means_satisfied;
+    if (satisfied && degree >= 0.0) {
+      pos.push_back(std::min(degree, 1.0));
+    } else {
+      neg.push_back(std::clamp(degree, -1.0, 0.0));
+    }
+  }
+  return std::clamp(latent_ranking_.Rank(pos, neg), -1.0, 1.0);
+}
+
+double SimulatedUser::ReportTupleInterest(const Value& tid) {
+  const double noisy = 10.0 * LatentInterest(tid) +
+                       rng_.Gaussian(0.0, 10.0 * config_.report_noise);
+  return std::clamp(noisy, -10.0, 10.0);
+}
+
+SimulatedUser::AnswerEvaluation SimulatedUser::EvaluateAnswer(
+    const std::vector<Value>& ranked) {
+  AnswerEvaluation eval;
+  const size_t window = std::min(config_.attention_window, ranked.size());
+  if (window == 0) {
+    eval.answer_score = 0.0;
+    eval.difficulty = 5.0;
+    eval.coverage = 0.0;
+    return eval;
+  }
+
+  double sum = 0.0, best = -1.0;
+  size_t first_relevant = window;  // sentinel: none found
+  std::unordered_map<Value, bool, storage::ValueHash> relevant_set;
+  relevant_set.reserve(relevant_.size());
+  for (const auto& tid : relevant_) relevant_set.emplace(tid, true);
+  size_t found_relevant = 0;
+  for (size_t i = 0; i < window; ++i) {
+    const double interest = LatentInterest(ranked[i]);
+    sum += interest;
+    best = std::max(best, interest);
+    if (relevant_set.count(ranked[i]) > 0) {
+      ++found_relevant;
+      if (first_relevant == window) first_relevant = i;
+    }
+  }
+  const double mean = sum / window;
+
+  // Difficulty: how far down the list the first interesting tuple sits;
+  // 5.0 when nothing interesting shows up in the window.
+  eval.difficulty = first_relevant == window
+                        ? 5.0
+                        : std::min(5.0, static_cast<double>(first_relevant) /
+                                            10.0 * 5.0);
+
+  // Coverage: relevant tuples surfaced within the window, over the most the
+  // window could have shown.
+  const size_t max_visible =
+      std::max<size_t>(1, std::min(relevant_.size(),
+                                   config_.attention_window));
+  eval.coverage = relevant_.empty()
+                      ? 1.0
+                      : static_cast<double>(found_relevant) / max_visible;
+
+  // Answer score: mostly the mean examined interest, partly the best find.
+  const double raw = 0.6 * mean + 0.4 * std::max(best, 0.0);
+  eval.answer_score =
+      std::clamp(10.0 * raw + rng_.Gaussian(0.0, 10.0 * config_.report_noise),
+                 -10.0, 10.0);
+  return eval;
+}
+
+}  // namespace qp::sim

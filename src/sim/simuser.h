@@ -1,0 +1,105 @@
+// Simulated users for the effectiveness experiments (Sections 6.2/6.3).
+//
+// The paper evaluates with 14 human subjects. We substitute users with a
+// *latent* ground-truth taste model: the user's stored profile with jittered
+// degrees (stated preferences are imperfect), combined under a latent
+// philosophy (inflationary / dominant / reserved) with bounded reporting
+// noise. The latent model is what the user "really" likes; the stored
+// profile is what the system sees. Personalization helps exactly to the
+// extent the stored profile correlates with latent taste — the mechanism
+// behind Figures 9-14 — and Figures 15-17 compare reported tuple interest
+// against the three candidate ranking functions.
+
+#pragma once
+
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/personalizer.h"
+
+namespace qp::sim {
+
+/// \brief One simulated subject.
+class SimulatedUser {
+ public:
+  struct Config {
+    uint64_t seed = 1;
+    /// The user's latent combination philosophy.
+    core::CombinationStyle latent_style = core::CombinationStyle::kInflationary;
+    core::MixedStyle latent_mixed = core::MixedStyle::kCountWeighted;
+    /// How far latent degrees drift from the stored profile (novices have
+    /// noisier self-knowledge than experts).
+    double degree_noise = 0.1;
+    /// Latent preferences the stored profile does NOT know about (tastes
+    /// the user never articulated). Personalization cannot account for
+    /// them, so more hidden preferences mean a weaker personalization
+    /// signal — the main expert/novice difference in the study.
+    size_t num_hidden_preferences = 0;
+    /// Per-tuple noise when *reporting* interest on the [-10, 10] scale.
+    double report_noise = 0.05;
+    /// Latent doi above which a tuple counts as relevant to the user.
+    double relevance_threshold = 0.25;
+    /// How many tuples of an answer the user examines before giving up
+    /// (drives difficulty and coverage, Figures 12-13).
+    size_t attention_window = 20;
+  };
+
+  /// Builds the latent model: the profile's preferences related to `base`
+  /// (expanded to implicit ones) with jittered degrees, and per-preference
+  /// satisfaction maps over the base query's tuples.
+  static Result<SimulatedUser> Make(const storage::Database* db,
+                                    const core::UserProfile* profile,
+                                    const sql::SelectQuery& base,
+                                    const Config& config);
+
+  /// Latent interest in the base-query tuple with id `tid`, in [-1, 1].
+  double LatentInterest(const storage::Value& tid) const;
+
+  /// Noisy reported interest on the paper's [-10, 10] scale.
+  double ReportTupleInterest(const storage::Value& tid);
+
+  /// Tuple ids the user finds relevant (latent >= threshold).
+  const std::vector<storage::Value>& RelevantTuples() const {
+    return relevant_;
+  }
+
+  /// \brief Scores the paper's per-answer questionnaire for an answer given
+  /// as ranked tuple ids.
+  struct AnswerEvaluation {
+    /// Overall answer score in [-10, 10] (Figures 9-11, 14).
+    double answer_score = 0.0;
+    /// Degree of difficulty to find something interesting (Figure 12):
+    /// 0 (first tuple is relevant) up to 5 (nothing relevant found).
+    double difficulty = 0.0;
+    /// Coverage of the user's need in [0, 1] (Figure 13): relevant tuples
+    /// found within the attention window over all relevant tuples the user
+    /// could hope to see there.
+    double coverage = 0.0;
+  };
+  AnswerEvaluation EvaluateAnswer(const std::vector<storage::Value>& ranked);
+
+  const Config& config() const { return config_; }
+  size_t num_latent_preferences() const { return latent_.size(); }
+
+ private:
+  struct LatentPreference {
+    /// Per-tuple degree when the tuple appears in the map.
+    std::unordered_map<storage::Value, double, storage::ValueHash> in_map;
+    /// Whether map membership means satisfaction (presence) or failure
+    /// (absence preferences map their violators).
+    bool map_means_satisfied = true;
+    /// Degree when the tuple is absent from the map.
+    double out_degree = 0.0;
+  };
+
+  SimulatedUser(Config config) : config_(config), rng_(config.seed) {}
+
+  Config config_;
+  Rng rng_;
+  core::RankingFunction latent_ranking_;
+  std::vector<LatentPreference> latent_;
+  std::vector<storage::Value> relevant_;
+};
+
+}  // namespace qp::sim

@@ -1,0 +1,233 @@
+#include "sim/trials.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sql/parser.h"
+
+namespace qp::sim {
+
+using core::CombinationStyle;
+using core::PersonalizedAnswer;
+using core::Personalizer;
+using core::PersonalizeOptions;
+using core::UserProfile;
+using storage::Value;
+
+const std::vector<std::string>& StudyQueries() {
+  static const std::vector<std::string> kQueries = {
+      "select mid, title from movie",
+      "select mid, title from movie where movie.year >= 1990",
+      "select movie.mid, movie.title from movie, genre "
+      "where movie.mid = genre.mid and genre.genre = 'comedy'",
+      "select tid, name from theatre",
+      "select mid, title from movie where movie.duration <= 120",
+  };
+  return kQueries;
+}
+
+namespace {
+
+/// Ranked tuple ids of an unchanged answer (first projected column).
+std::vector<Value> TidsOf(const exec::RowSet& rows) {
+  std::vector<Value> out;
+  out.reserve(rows.num_rows());
+  for (const auto& row : rows.rows()) out.push_back(row[0]);
+  return out;
+}
+
+std::vector<Value> TidsOf(const PersonalizedAnswer& answer) {
+  std::vector<Value> out;
+  out.reserve(answer.tuples.size());
+  for (const auto& t : answer.tuples) out.push_back(t.values[0]);
+  return out;
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+}
+
+struct Subject {
+  UserProfile profile;
+  SimulatedUser::Config sim_config;
+};
+
+Result<std::vector<Subject>> MakeSubjects(const StudyConfig& config) {
+  std::vector<Subject> subjects;
+  for (size_t u = 0; u < config.num_experts + config.num_novices; ++u) {
+    const bool expert = u < config.num_experts;
+    datagen::ProfileGenConfig pg;
+    pg.seed = config.seed * 1000 + u;
+    pg.num_presence = 8;
+    pg.num_negative = 2;
+    pg.num_absence_11 = 1;
+    pg.num_elastic = 2;
+    pg.db_config = config.db_config;
+    QP_ASSIGN_OR_RETURN(UserProfile profile, datagen::GenerateProfile(pg));
+    Subject s;
+    s.profile = std::move(profile);
+    s.sim_config.seed = config.seed * 7919 + u;
+    s.sim_config.degree_noise =
+        expert ? config.expert_noise : config.novice_noise;
+    s.sim_config.report_noise = expert ? 0.05 : 0.12;
+    // Novices articulate their taste less completely: a good part of it
+    // stays out of the stored profile.
+    s.sim_config.num_hidden_preferences = expert ? 1 : 4;
+    subjects.push_back(std::move(s));
+  }
+  return subjects;
+}
+
+/// Personalizes with L = config.l, falling back to smaller L when fewer
+/// preferences relate to the query.
+Result<PersonalizedAnswer> PersonalizeWithFallback(Personalizer& personalizer,
+                                                   const sql::SelectQuery& q,
+                                                   size_t l) {
+  for (size_t eff = l; eff >= 1; --eff) {
+    PersonalizeOptions options;
+    options.k = 0;  // all related preferences
+    options.l = eff;
+    options.algorithm = core::AnswerAlgorithm::kPpa;
+    auto answer = personalizer.Personalize(q, options);
+    if (answer.ok() || answer.status().code() != StatusCode::kInvalidArgument) {
+      return answer;
+    }
+  }
+  return Status::Internal("personalization failed at every L");
+}
+
+}  // namespace
+
+double Trial1Result::ExpertAvg(bool personalized) const {
+  return Mean(personalized ? expert_personalized : expert_unchanged);
+}
+double Trial1Result::NoviceAvg(bool personalized) const {
+  return Mean(personalized ? novice_personalized : novice_unchanged);
+}
+
+Result<Trial1Result> RunTrial1(const storage::Database* db,
+                               const StudyConfig& config) {
+  QP_ASSIGN_OR_RETURN(std::vector<Subject> subjects, MakeSubjects(config));
+  const auto& queries = StudyQueries();
+
+  Trial1Result result;
+  result.expert_unchanged.assign(queries.size(), 0.0);
+  result.expert_personalized.assign(queries.size(), 0.0);
+  result.novice_unchanged.assign(queries.size(), 0.0);
+  result.novice_personalized.assign(queries.size(), 0.0);
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    QP_ASSIGN_OR_RETURN(sql::QueryPtr parsed, sql::ParseQuery(queries[qi]));
+    const sql::SelectQuery& q = parsed->single();
+    std::vector<double> expert_u, expert_p, novice_u, novice_p;
+    for (size_t u = 0; u < subjects.size(); ++u) {
+      Subject& subject = subjects[u];
+      const bool expert = u < config.num_experts;
+      QP_ASSIGN_OR_RETURN(Personalizer personalizer,
+                          Personalizer::Make(db, &subject.profile));
+      QP_ASSIGN_OR_RETURN(exec::RowSet unchanged,
+                          personalizer.ExecuteUnchanged(q));
+      QP_ASSIGN_OR_RETURN(
+          PersonalizedAnswer personalized,
+          PersonalizeWithFallback(personalizer, q, config.l));
+      QP_ASSIGN_OR_RETURN(
+          SimulatedUser user,
+          SimulatedUser::Make(db, &subject.profile, q, subject.sim_config));
+      const double score_u = user.EvaluateAnswer(TidsOf(unchanged)).answer_score;
+      const double score_p =
+          user.EvaluateAnswer(TidsOf(personalized)).answer_score;
+      (expert ? expert_u : novice_u).push_back(score_u);
+      (expert ? expert_p : novice_p).push_back(score_p);
+    }
+    result.expert_unchanged[qi] = Mean(expert_u);
+    result.expert_personalized[qi] = Mean(expert_p);
+    result.novice_unchanged[qi] = Mean(novice_u);
+    result.novice_personalized[qi] = Mean(novice_p);
+  }
+  return result;
+}
+
+Result<Trial2Result> RunTrial2(const storage::Database* db,
+                               const StudyConfig& config) {
+  QP_ASSIGN_OR_RETURN(std::vector<Subject> subjects, MakeSubjects(config));
+  const auto& queries = StudyQueries();
+
+  std::vector<double> diff_n, diff_p, cov_n, cov_p, score_n, score_p;
+  for (size_t u = 0; u < subjects.size(); ++u) {
+    Subject& subject = subjects[u];
+    // Each subject pursues one concrete need; half get personalization.
+    QP_ASSIGN_OR_RETURN(sql::QueryPtr parsed,
+                        sql::ParseQuery(queries[u % queries.size()]));
+    const sql::SelectQuery& q = parsed->single();
+    const bool personalized = (u % 2) == 0;
+    QP_ASSIGN_OR_RETURN(Personalizer personalizer,
+                        Personalizer::Make(db, &subject.profile));
+    QP_ASSIGN_OR_RETURN(
+        SimulatedUser user,
+        SimulatedUser::Make(db, &subject.profile, q, subject.sim_config));
+    SimulatedUser::AnswerEvaluation eval;
+    if (personalized) {
+      QP_ASSIGN_OR_RETURN(
+          PersonalizedAnswer answer,
+          PersonalizeWithFallback(personalizer, q, config.l));
+      eval = user.EvaluateAnswer(TidsOf(answer));
+      diff_p.push_back(eval.difficulty);
+      cov_p.push_back(eval.coverage);
+      score_p.push_back(eval.answer_score);
+    } else {
+      QP_ASSIGN_OR_RETURN(exec::RowSet rows, personalizer.ExecuteUnchanged(q));
+      eval = user.EvaluateAnswer(TidsOf(rows));
+      diff_n.push_back(eval.difficulty);
+      cov_n.push_back(eval.coverage);
+      score_n.push_back(eval.answer_score);
+    }
+  }
+  Trial2Result result;
+  result.difficulty_nonpers = Mean(diff_n);
+  result.difficulty_pers = Mean(diff_p);
+  result.coverage_nonpers = Mean(cov_n);
+  result.coverage_pers = Mean(cov_p);
+  result.score_nonpers = Mean(score_n);
+  result.score_pers = Mean(score_p);
+  return result;
+}
+
+Result<std::vector<RankingComparisonPoint>> CompareRankingFunctions(
+    const storage::Database* db, const UserProfile* profile,
+    const std::string& query_sql, CombinationStyle latent_style, uint64_t seed,
+    size_t max_tuples) {
+  QP_ASSIGN_OR_RETURN(Personalizer personalizer,
+                      Personalizer::Make(db, profile));
+  QP_ASSIGN_OR_RETURN(sql::QueryPtr parsed, sql::ParseQuery(query_sql));
+  PersonalizeOptions options;
+  options.k = 0;
+  options.l = 2;
+  options.algorithm = core::AnswerAlgorithm::kPpa;
+  QP_ASSIGN_OR_RETURN(PersonalizedAnswer answer,
+                      personalizer.Personalize(parsed->single(), options));
+
+  Rng rng(seed);
+  std::vector<RankingComparisonPoint> points;
+  for (const auto& tuple : answer.tuples) {
+    if (points.size() >= max_tuples) break;
+    std::vector<double> degrees;
+    for (const auto& o : tuple.satisfied) {
+      if (o.degree > 0.0) degrees.push_back(std::min(o.degree, 1.0));
+    }
+    // The three philosophies only differ on combinations; single-preference
+    // tuples would plot three identical curves.
+    if (degrees.size() < 2) continue;
+    RankingComparisonPoint p;
+    p.dominant = CombinePositive(CombinationStyle::kDominant, degrees);
+    p.inflationary = CombinePositive(CombinationStyle::kInflationary, degrees);
+    p.reserved = CombinePositive(CombinationStyle::kReserved, degrees);
+    const double latent = CombinePositive(latent_style, degrees);
+    p.user = std::clamp(latent + rng.Gaussian(0.0, 0.04), 0.0, 1.0);
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace qp::sim

@@ -1,0 +1,214 @@
+#include "sql/expr.h"
+
+#include "common/string_util.h"
+#include "sql/query.h"
+
+namespace qp::sql {
+
+using storage::AttributeRef;
+using storage::Value;
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+BinaryOp NegateOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return BinaryOp::kNe;
+    case BinaryOp::kNe:
+      return BinaryOp::kEq;
+    case BinaryOp::kLt:
+      return BinaryOp::kGe;
+    case BinaryOp::kLe:
+      return BinaryOp::kGt;
+    case BinaryOp::kGt:
+      return BinaryOp::kLe;
+    case BinaryOp::kGe:
+      return BinaryOp::kLt;
+  }
+  return op;
+}
+
+BinaryOp FlipOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // = and <> are symmetric
+  }
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kLiteral));
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Column(std::string table, std::string column) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kColumnRef));
+  e->table_ = ToLower(table);
+  e->column_ = ToLower(column);
+  return e;
+}
+
+ExprPtr Expr::Compare(BinaryOp op, ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kComparison));
+  e->op_ = op;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kAnd));
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+ExprPtr Expr::AndAll(std::vector<ExprPtr> terms) {
+  if (terms.empty()) return Literal(Value(int64_t{1}));
+  ExprPtr acc = terms[0];
+  for (size_t i = 1; i < terms.size(); ++i) acc = And(acc, terms[i]);
+  return acc;
+}
+
+ExprPtr Expr::Or(ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kOr));
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr operand) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kNot));
+  e->left_ = std::move(operand);
+  return e;
+}
+
+ExprPtr Expr::InSubquery(ExprPtr needle,
+                         std::shared_ptr<const Query> subquery,
+                         bool negated) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kInSubquery));
+  e->left_ = std::move(needle);
+  e->subquery_ = std::move(subquery);
+  e->negated_ = negated;
+  return e;
+}
+
+ExprPtr Expr::Aggregate(std::string function, ExprPtr arg) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kAggregateCall));
+  e->function_ = ToLower(function);
+  e->left_ = std::move(arg);
+  return e;
+}
+
+ExprPtr Expr::ScalarFn(std::string name,
+                       std::function<Value(const Value&)> fn, ExprPtr arg) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprKind::kScalarFn));
+  e->function_ = ToLower(name);
+  e->scalar_fn_ = std::move(fn);
+  e->left_ = std::move(arg);
+  return e;
+}
+
+bool Expr::IsSelectionAtom(AttributeRef* attr, BinaryOp* op,
+                           Value* value) const {
+  if (kind_ != ExprKind::kComparison) return false;
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  BinaryOp effective = op_;
+  if (left_->kind() == ExprKind::kColumnRef &&
+      right_->kind() == ExprKind::kLiteral) {
+    col = left_.get();
+    lit = right_.get();
+  } else if (left_->kind() == ExprKind::kLiteral &&
+             right_->kind() == ExprKind::kColumnRef) {
+    col = right_.get();
+    lit = left_.get();
+    effective = FlipOp(op_);
+  } else {
+    return false;
+  }
+  if (attr != nullptr) *attr = AttributeRef(col->table(), col->column());
+  if (op != nullptr) *op = effective;
+  if (value != nullptr) *value = lit->literal();
+  return true;
+}
+
+bool Expr::IsJoinAtom(AttributeRef* left, AttributeRef* right) const {
+  if (kind_ != ExprKind::kComparison || op_ != BinaryOp::kEq) return false;
+  if (left_->kind() != ExprKind::kColumnRef ||
+      right_->kind() != ExprKind::kColumnRef) {
+    return false;
+  }
+  if (left != nullptr) *left = AttributeRef(left_->table(), left_->column());
+  if (right != nullptr) {
+    *right = AttributeRef(right_->table(), right_->column());
+  }
+  return true;
+}
+
+std::vector<ExprPtr> ConjunctsOf(const ExprPtr& expr) {
+  std::vector<ExprPtr> out;
+  if (expr == nullptr) return out;
+  if (expr->kind() == ExprKind::kAnd) {
+    auto l = ConjunctsOf(expr->left());
+    auto r = ConjunctsOf(expr->right());
+    out.insert(out.end(), l.begin(), l.end());
+    out.insert(out.end(), r.begin(), r.end());
+  } else {
+    out.push_back(expr);
+  }
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      if (literal_.is_string()) return "'" + literal_.as_string() + "'";
+      return literal_.ToString();
+    case ExprKind::kColumnRef:
+      return table_.empty() ? column_ : table_ + "." + column_;
+    case ExprKind::kComparison:
+      return left_->ToString() + " " + BinaryOpName(op_) + " " +
+             right_->ToString();
+    case ExprKind::kAnd:
+      return "(" + left_->ToString() + " AND " + right_->ToString() + ")";
+    case ExprKind::kOr:
+      return "(" + left_->ToString() + " OR " + right_->ToString() + ")";
+    case ExprKind::kNot:
+      return "NOT (" + left_->ToString() + ")";
+    case ExprKind::kInSubquery:
+      return left_->ToString() + (negated_ ? " NOT IN (" : " IN (") +
+             subquery_->ToString() + ")";
+    case ExprKind::kAggregateCall:
+      return function_ + "(" + (left_ ? left_->ToString() : "*") + ")";
+    case ExprKind::kScalarFn:
+      return function_ + "(" + left_->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace qp::sql

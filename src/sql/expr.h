@@ -1,0 +1,135 @@
+// Expression AST for the supported SQL subset. Expressions appear in WHERE
+// and HAVING clauses and in select lists (literal doi columns, aggregate
+// calls). The tree is immutable-after-build and deep-clonable, since SPA/PPA
+// derive many parameterized variants of one query.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace qp::sql {
+
+class Query;  // defined in sql/query.h
+
+/// Comparison operators of atomic conditions.
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// Returns the SQL spelling of `op` ("=", "<>", ...).
+const char* BinaryOpName(BinaryOp op);
+
+/// Returns the logical negation, e.g. kLt -> kGe.
+BinaryOp NegateOp(BinaryOp op);
+
+/// Flips operand order, e.g. kLt -> kGt.
+BinaryOp FlipOp(BinaryOp op);
+
+/// Expression node kinds.
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kComparison,
+  kAnd,
+  kOr,
+  kNot,
+  kInSubquery,
+  kAggregateCall,
+  kScalarFn,
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// \brief A node in the expression tree.
+///
+/// Nodes are created through the static factories and shared immutably;
+/// "cloning" is therefore free.
+class Expr {
+ public:
+  static ExprPtr Literal(storage::Value v);
+  /// Column reference; `table` is the table name or alias as written.
+  static ExprPtr Column(std::string table, std::string column);
+  static ExprPtr Compare(BinaryOp op, ExprPtr left, ExprPtr right);
+  static ExprPtr And(ExprPtr left, ExprPtr right);
+  /// Conjunction of `terms` (returns TRUE literal if empty, the sole term
+  /// if singleton).
+  static ExprPtr AndAll(std::vector<ExprPtr> terms);
+  static ExprPtr Or(ExprPtr left, ExprPtr right);
+  static ExprPtr Not(ExprPtr operand);
+  /// `needle [NOT] IN (subquery)`.
+  static ExprPtr InSubquery(ExprPtr needle, std::shared_ptr<const Query> subquery,
+                            bool negated);
+  /// Aggregate call, e.g. COUNT(*) (empty arg) or r(degree).
+  static ExprPtr Aggregate(std::string function, ExprPtr arg);
+  /// Scalar user function applied to one argument, e.g. the per-tuple doi of
+  /// an elastic preference: elastic_doi(movie.duration). `name` is used for
+  /// printing only.
+  static ExprPtr ScalarFn(std::string name,
+                          std::function<storage::Value(const storage::Value&)> fn,
+                          ExprPtr arg);
+
+  ExprKind kind() const { return kind_; }
+
+  // Accessors; valid only for the matching kind.
+  const storage::Value& literal() const { return literal_; }
+  const std::string& table() const { return table_; }
+  const std::string& column() const { return column_; }
+  BinaryOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+  const ExprPtr& operand() const { return left_; }
+  const std::shared_ptr<const Query>& subquery() const {
+    return subquery_;
+  }
+  bool negated() const { return negated_; }
+  const std::string& function() const { return function_; }
+  const ExprPtr& argument() const { return left_; }
+  const std::function<storage::Value(const storage::Value&)>& scalar_fn()
+      const {
+    return scalar_fn_;
+  }
+
+  /// True for an atomic comparison `column <op> literal` (either operand
+  /// order); outputs the normalized pieces if non-null.
+  bool IsSelectionAtom(storage::AttributeRef* attr = nullptr,
+                       BinaryOp* op = nullptr,
+                       storage::Value* value = nullptr) const;
+
+  /// True for `column = column` across two different table occurrences.
+  bool IsJoinAtom(storage::AttributeRef* left = nullptr,
+                  storage::AttributeRef* right = nullptr) const;
+
+  /// Renders SQL text.
+  std::string ToString() const;
+
+ private:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+  ExprKind kind_;
+  storage::Value literal_;
+  std::string table_, column_;
+  BinaryOp op_ = BinaryOp::kEq;
+  ExprPtr left_, right_;
+  std::shared_ptr<const Query> subquery_;
+  bool negated_ = false;
+  std::string function_;
+  std::function<storage::Value(const storage::Value&)> scalar_fn_;
+};
+
+/// Helper: this shared expression (or null) as a conjunct list.
+std::vector<ExprPtr> ConjunctsOf(const ExprPtr& expr);
+
+}  // namespace qp::sql

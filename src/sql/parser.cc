@@ -1,0 +1,306 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/tokenizer.h"
+
+namespace qp::sql {
+
+namespace {
+
+using storage::Value;
+
+/// Stateful token cursor with the grammar's productions as methods.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<QueryPtr> ParseQuery() {
+    QP_ASSIGN_OR_RETURN(SelectQuery first, ParseSelect());
+    std::vector<SelectQuery> branches;
+    branches.push_back(std::move(first));
+    while (Peek().IsKeyword("union")) {
+      Advance();
+      if (!Peek().IsKeyword("all")) {
+        return Error("only UNION ALL is supported");
+      }
+      Advance();
+      QP_ASSIGN_OR_RETURN(SelectQuery next, ParseSelect());
+      branches.push_back(std::move(next));
+    }
+    return Query::UnionAll(std::move(branches));
+  }
+
+  Result<QueryPtr> ParseTopLevel() {
+    QP_ASSIGN_OR_RETURN(QueryPtr q, ParseQuery());
+    QP_RETURN_IF_ERROR(ExpectEnd());
+    return q;
+  }
+
+  Result<ExprPtr> ParseTopLevelExpr() {
+    QP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    QP_RETURN_IF_ERROR(ExpectEnd());
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Accept(TokenKind kind, const std::string& text) {
+    if (Peek().Is(kind, text)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptKeyword(const std::string& kw) {
+    return Accept(TokenKind::kKeyword, kw);
+  }
+  bool AcceptSymbol(const std::string& s) {
+    return Accept(TokenKind::kSymbol, s);
+  }
+  Status Expect(TokenKind kind, const std::string& text) {
+    if (!Accept(kind, text)) {
+      return Status::ParseError("expected '" + text + "' at offset " +
+                                std::to_string(Peek().position) + ", got '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Status ExpectEnd() {
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::ParseError("trailing input at offset " +
+                                std::to_string(Peek().position) + ": '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().position));
+  }
+
+  Result<SelectQuery> ParseSelect() {
+    QP_RETURN_IF_ERROR(Expect(TokenKind::kKeyword, "select"));
+    SelectQuery q;
+    q.distinct = AcceptKeyword("distinct");
+
+    // Select list.
+    do {
+      if (Peek().IsSymbol("*")) {
+        Advance();
+        // '*' is recorded as a column ref with empty table and column "*";
+        // the binder expands it.
+        q.select.push_back({Expr::Column("", "*"), ""});
+        continue;
+      }
+      SelectItem item;
+      QP_ASSIGN_OR_RETURN(item.expr, ParseOperand());
+      if (AcceptKeyword("as")) {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Error("expected alias after AS");
+        }
+        item.alias = Advance().text;
+      } else if (Peek().kind == TokenKind::kIdentifier) {
+        item.alias = Advance().text;
+      }
+      q.select.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+
+    QP_RETURN_IF_ERROR(Expect(TokenKind::kKeyword, "from"));
+    do {
+      TableRef ref;
+      if (AcceptSymbol("(")) {
+        QP_ASSIGN_OR_RETURN(ref.derived, ParseQuery());
+        QP_RETURN_IF_ERROR(Expect(TokenKind::kSymbol, ")"));
+      } else {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Error("expected table name");
+        }
+        ref.table = Advance().text;
+      }
+      if (Peek().kind == TokenKind::kIdentifier) {
+        ref.alias = Advance().text;
+      } else if (ref.derived != nullptr) {
+        ref.alias = "_derived" + std::to_string(q.from.size());
+      }
+      q.from.push_back(std::move(ref));
+    } while (AcceptSymbol(","));
+
+    if (AcceptKeyword("where")) {
+      QP_ASSIGN_OR_RETURN(q.where, ParseExpr());
+    }
+    if (AcceptKeyword("group")) {
+      QP_RETURN_IF_ERROR(Expect(TokenKind::kKeyword, "by"));
+      do {
+        QP_ASSIGN_OR_RETURN(ExprPtr col, ParseOperand());
+        q.group_by.push_back(std::move(col));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("having")) {
+      QP_ASSIGN_OR_RETURN(q.having, ParseExpr());
+    }
+    if (AcceptKeyword("order")) {
+      QP_RETURN_IF_ERROR(Expect(TokenKind::kKeyword, "by"));
+      do {
+        OrderItem item;
+        QP_ASSIGN_OR_RETURN(item.expr, ParseOperand());
+        if (AcceptKeyword("desc")) {
+          item.ascending = false;
+        } else {
+          AcceptKeyword("asc");
+        }
+        q.order_by.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("limit")) {
+      if (Peek().kind != TokenKind::kNumber) {
+        return Error("expected number after LIMIT");
+      }
+      q.limit = static_cast<size_t>(std::strtoull(Advance().text.c_str(),
+                                                  nullptr, 10));
+    }
+    return q;
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    QP_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (AcceptKeyword("or")) {
+      QP_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Expr::Or(left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    QP_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (AcceptKeyword("and")) {
+      QP_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = Expr::And(left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("not")) {
+      QP_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      return Expr::Not(e);
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    if (Peek().IsSymbol("(") && !Peek(1).IsKeyword("select")) {
+      Advance();
+      QP_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      QP_RETURN_IF_ERROR(Expect(TokenKind::kSymbol, ")"));
+      return inner;
+    }
+    QP_ASSIGN_OR_RETURN(ExprPtr left, ParseOperand());
+
+    for (const char* sym : {"=", "<>", "<=", ">=", "<", ">"}) {
+      if (Peek().IsSymbol(sym)) {
+        Advance();
+        QP_ASSIGN_OR_RETURN(ExprPtr right, ParseOperand());
+        BinaryOp op = BinaryOp::kEq;
+        const std::string s = sym;
+        if (s == "=") op = BinaryOp::kEq;
+        else if (s == "<>") op = BinaryOp::kNe;
+        else if (s == "<") op = BinaryOp::kLt;
+        else if (s == "<=") op = BinaryOp::kLe;
+        else if (s == ">") op = BinaryOp::kGt;
+        else if (s == ">=") op = BinaryOp::kGe;
+        return Expr::Compare(op, left, right);
+      }
+    }
+
+    bool negated = false;
+    if (Peek().IsKeyword("not") && Peek(1).IsKeyword("in")) {
+      Advance();
+      negated = true;
+    }
+    if (AcceptKeyword("in")) {
+      QP_RETURN_IF_ERROR(Expect(TokenKind::kSymbol, "("));
+      QP_ASSIGN_OR_RETURN(QueryPtr sub, ParseQuery());
+      QP_RETURN_IF_ERROR(Expect(TokenKind::kSymbol, ")"));
+      return Expr::InSubquery(left, sub, negated);
+    }
+    if (AcceptKeyword("between")) {
+      QP_ASSIGN_OR_RETURN(ExprPtr lo, ParseOperand());
+      QP_RETURN_IF_ERROR(Expect(TokenKind::kKeyword, "and"));
+      QP_ASSIGN_OR_RETURN(ExprPtr hi, ParseOperand());
+      return Expr::And(Expr::Compare(BinaryOp::kGe, left, lo),
+                       Expr::Compare(BinaryOp::kLe, left, hi));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseOperand() {
+    const Token& tok = Peek();
+    if (tok.kind == TokenKind::kNumber) {
+      Advance();
+      if (tok.text.find('.') != std::string::npos) {
+        return Expr::Literal(Value(std::strtod(tok.text.c_str(), nullptr)));
+      }
+      return Expr::Literal(Value(static_cast<int64_t>(
+          std::strtoll(tok.text.c_str(), nullptr, 10))));
+    }
+    if (tok.kind == TokenKind::kString) {
+      Advance();
+      return Expr::Literal(Value(tok.text));
+    }
+    if (tok.IsKeyword("null")) {
+      Advance();
+      return Expr::Literal(Value::Null());
+    }
+    if (tok.kind == TokenKind::kIdentifier) {
+      Advance();
+      // Function call, e.g. count(*) or r(degree).
+      if (Peek().IsSymbol("(")) {
+        Advance();
+        ExprPtr arg;
+        if (AcceptSymbol("*")) {
+          arg = nullptr;
+        } else {
+          QP_ASSIGN_OR_RETURN(arg, ParseOperand());
+        }
+        QP_RETURN_IF_ERROR(Expect(TokenKind::kSymbol, ")"));
+        return Expr::Aggregate(tok.text, arg);
+      }
+      // Qualified or bare column.
+      if (AcceptSymbol(".")) {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Error("expected column name after '.'");
+        }
+        const std::string col = Advance().text;
+        return Expr::Column(tok.text, col);
+      }
+      return Expr::Column("", tok.text);
+    }
+    return Error("expected operand, got '" + tok.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QueryPtr> ParseQuery(const std::string& text) {
+  QP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseTopLevel();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  QP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseTopLevelExpr();
+}
+
+}  // namespace qp::sql

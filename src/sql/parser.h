@@ -1,0 +1,30 @@
+// Recursive-descent parser for the supported SQL subset:
+//
+//   query       := select (UNION ALL select)*
+//   select      := SELECT [DISTINCT] items FROM sources [WHERE expr]
+//                  [GROUP BY columns] [HAVING expr] [ORDER BY keys] [LIMIT n]
+//   item        := * | expr [[AS] ident]
+//   source      := ident [ident] | '(' query ')' [ident]
+//   expr        := or-precedence over AND/OR/NOT, comparisons, BETWEEN
+//                  (desugared to >= AND <=), and [NOT] IN '(' query ')'
+//   operand     := literal | [table.]column | ident '(' (expr | '*') ')'
+//
+// This covers every query the personalization layer emits (see Example 6 and
+// Figure 6 of the paper) plus what the examples need.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/query.h"
+
+namespace qp::sql {
+
+/// Parses a complete query (single select or UNION ALL chain).
+Result<QueryPtr> ParseQuery(const std::string& text);
+
+/// Parses a standalone expression (exposed for tests and profile loading).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace qp::sql

@@ -1,0 +1,117 @@
+#include "sql/query.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace qp::sql {
+
+std::string TableRef::ToString() const {
+  std::string out;
+  if (derived != nullptr) {
+    out = "(" + derived->ToString() + ")";
+  } else {
+    out = table;
+  }
+  if (!alias.empty() && alias != table) {
+    out += " " + alias;
+  }
+  return out;
+}
+
+std::string SelectItem::OutputName() const {
+  if (!alias.empty()) return ToLower(alias);
+  if (expr->kind() == ExprKind::kColumnRef) return expr->column();
+  return ToLower(expr->ToString());
+}
+
+bool ContainsAggregate(const ExprPtr& e) {
+  if (e == nullptr) return false;
+  switch (e->kind()) {
+    case ExprKind::kAggregateCall:
+      return true;
+    case ExprKind::kComparison:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+      return ContainsAggregate(e->left()) || ContainsAggregate(e->right());
+    case ExprKind::kNot:
+      return ContainsAggregate(e->operand());
+    default:
+      return false;
+  }
+}
+
+bool SelectQuery::IsAggregate() const {
+  if (!group_by.empty()) return true;
+  if (ContainsAggregate(having)) return true;
+  for (const auto& item : select) {
+    if (ContainsAggregate(item.expr)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SelectQuery::FromAliases() const {
+  std::vector<std::string> out;
+  out.reserve(from.size());
+  for (const auto& t : from) out.push_back(ToLower(t.EffectiveAlias()));
+  return out;
+}
+
+std::string SelectQuery::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select[i].expr->ToString();
+    if (!select[i].alias.empty()) out += " AS " + select[i].alias;
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].ToString();
+  }
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having != nullptr) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      out += order_by[i].ascending ? " ASC" : " DESC";
+    }
+  }
+  if (limit.has_value()) out += " LIMIT " + std::to_string(*limit);
+  return out;
+}
+
+std::shared_ptr<const Query> Query::Single(SelectQuery q) {
+  auto out = std::make_shared<Query>();
+  out->branches_.push_back(std::move(q));
+  return out;
+}
+
+std::shared_ptr<const Query> Query::UnionAll(
+    std::vector<SelectQuery> branches) {
+  assert(!branches.empty());
+  auto out = std::make_shared<Query>();
+  out->branches_ = std::move(branches);
+  return out;
+}
+
+std::string Query::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < branches_.size(); ++i) {
+    if (i > 0) out += " UNION ALL ";
+    out += branches_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace qp::sql

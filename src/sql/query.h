@@ -1,0 +1,97 @@
+// Query AST for the supported subset: SELECT [DISTINCT] items FROM tables
+// (base or derived) WHERE conjunction [GROUP BY ... HAVING ...]
+// [ORDER BY ...] [LIMIT n], plus UNION ALL compounds. This is exactly the
+// shape of query that SPA and PPA construct (see paper Section 5).
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/expr.h"
+
+namespace qp::sql {
+
+class Query;
+
+/// \brief One FROM-clause entry: a base table or a parenthesized derived
+/// query, with an alias used for column qualification.
+struct TableRef {
+  /// Base table name (empty when `derived` is set).
+  std::string table;
+  /// Alias; defaults to the table name when empty.
+  std::string alias;
+  /// Derived-table subquery, e.g. the UNION ALL in SPA's outer query.
+  std::shared_ptr<const Query> derived;
+
+  /// The name columns of this source are qualified with.
+  const std::string& EffectiveAlias() const {
+    return alias.empty() ? table : alias;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief One select-list item.
+struct SelectItem {
+  ExprPtr expr;
+  /// Output column name; derived from the expression when empty.
+  std::string alias;
+
+  /// The name this item contributes to the output schema.
+  std::string OutputName() const;
+};
+
+/// \brief One ORDER BY key.
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// \brief A single SELECT block.
+class SelectQuery {
+ public:
+  bool distinct = false;
+  std::vector<SelectItem> select;
+  std::vector<TableRef> from;
+  /// WHERE predicate (null = true). The executor exploits conjunctions of
+  /// selection/join atoms; arbitrary residual expressions are filtered.
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  std::optional<size_t> limit;
+
+  /// True if any select item or the HAVING clause contains an aggregate.
+  bool IsAggregate() const;
+
+  /// Names of all tables referenced (via FROM aliases) by this block.
+  std::vector<std::string> FromAliases() const;
+
+  std::string ToString() const;
+};
+
+/// \brief A full query: one SELECT or a UNION ALL of several.
+class Query {
+ public:
+  /// Wraps a single select.
+  static std::shared_ptr<const Query> Single(SelectQuery q);
+  /// UNION ALL of `branches` (at least one).
+  static std::shared_ptr<const Query> UnionAll(std::vector<SelectQuery> branches);
+
+  bool is_union() const { return branches_.size() > 1; }
+  const std::vector<SelectQuery>& branches() const { return branches_; }
+  const SelectQuery& single() const { return branches_.front(); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<SelectQuery> branches_;
+};
+
+/// Convenience for expressions holding subqueries.
+using QueryPtr = std::shared_ptr<const Query>;
+
+}  // namespace qp::sql

@@ -1,0 +1,115 @@
+#include "sql/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace qp::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "select", "distinct", "from",  "where", "and",   "or",    "not",
+      "in",     "between",  "group", "by",    "having", "order", "asc",
+      "desc",   "limit",    "union", "all",   "as",     "null",  "is",
+  };
+  return kKeywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      std::string word = ToLower(input.substr(i, j - i));
+      const bool is_kw = Keywords().count(word) > 0;
+      tokens.push_back({is_kw ? TokenKind::kKeyword : TokenKind::kIdentifier,
+                        std::move(word), start});
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i + 1;
+      bool saw_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       (!saw_dot && input[j] == '.' && j + 1 < n &&
+                        std::isdigit(static_cast<unsigned char>(input[j + 1]))))) {
+        if (input[j] == '.') saw_dot = true;
+        ++j;
+      }
+      tokens.push_back({TokenKind::kNumber, input.substr(i, j - i), start});
+      i = j;
+    } else if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {
+            text += '\'';
+            j += 2;
+          } else {
+            closed = true;
+            ++j;
+            break;
+          }
+        } else {
+          text += input[j];
+          ++j;
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenKind::kString, std::move(text), start});
+      i = j;
+    } else if (c == '<') {
+      if (i + 1 < n && (input[i + 1] == '=' || input[i + 1] == '>')) {
+        tokens.push_back({TokenKind::kSymbol, input.substr(i, 2), start});
+        i += 2;
+      } else {
+        tokens.push_back({TokenKind::kSymbol, "<", start});
+        ++i;
+      }
+    } else if (c == '>') {
+      if (i + 1 < n && input[i + 1] == '=') {
+        tokens.push_back({TokenKind::kSymbol, ">=", start});
+        i += 2;
+      } else {
+        tokens.push_back({TokenKind::kSymbol, ">", start});
+        ++i;
+      }
+    } else if (c == '!' && i + 1 < n && input[i + 1] == '=') {
+      tokens.push_back({TokenKind::kSymbol, "<>", start});
+      i += 2;
+    } else if (c == '(' || c == ')' || c == ',' || c == '.' || c == '=' ||
+               c == '*') {
+      tokens.push_back({TokenKind::kSymbol, std::string(1, c), start});
+      ++i;
+    } else {
+      return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                "' at offset " + std::to_string(start));
+    }
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace qp::sql

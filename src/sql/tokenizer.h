@@ -1,0 +1,44 @@
+// SQL tokenizer for the supported subset. Keywords are case-insensitive;
+// strings use single quotes with '' escapes.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qp::sql {
+
+enum class TokenKind {
+  kIdentifier,
+  kKeyword,
+  kNumber,
+  kString,
+  kSymbol,  // ( ) , . = <> < <= > >= *
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Keyword/identifier text is lower-cased; symbols keep their spelling;
+  /// strings are unescaped contents.
+  std::string text;
+  /// Byte offset in the input, for error messages.
+  size_t position = 0;
+
+  bool Is(TokenKind k, const std::string& t) const {
+    return kind == k && text == t;
+  }
+  bool IsKeyword(const std::string& kw) const {
+    return Is(TokenKind::kKeyword, kw);
+  }
+  bool IsSymbol(const std::string& s) const {
+    return Is(TokenKind::kSymbol, s);
+  }
+};
+
+/// Splits `input` into tokens; the last token is always kEnd.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace qp::sql

@@ -1,0 +1,152 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace qp::stats {
+
+using storage::Value;
+
+ColumnHistogram ColumnHistogram::Build(const std::vector<Value>& values,
+                                       size_t num_buckets, size_t num_mcv) {
+  ColumnHistogram h;
+  h.total_count_ = values.size();
+
+  std::vector<double> numerics;
+  std::unordered_map<std::string, size_t> freq;
+  bool any_string = false;
+  for (const auto& v : values) {
+    if (v.is_null()) {
+      ++h.null_count_;
+    } else if (v.is_numeric()) {
+      numerics.push_back(v.ToNumeric());
+    } else {
+      any_string = true;
+      ++freq[v.as_string()];
+    }
+  }
+
+  if (!any_string && !numerics.empty()) {
+    h.is_numeric_ = true;
+    auto [mn, mx] = std::minmax_element(numerics.begin(), numerics.end());
+    h.min_ = *mn;
+    h.max_ = *mx;
+    h.buckets_.assign(std::max<size_t>(num_buckets, 1), 0);
+    const double width = (h.max_ - h.min_);
+    for (double x : numerics) {
+      size_t b = 0;
+      if (width > 0) {
+        b = static_cast<size_t>((x - h.min_) / width * h.buckets_.size());
+        if (b >= h.buckets_.size()) b = h.buckets_.size() - 1;
+      }
+      ++h.buckets_[b];
+    }
+    std::set<double> distinct(numerics.begin(), numerics.end());
+    h.distinct_count_ = distinct.size();
+  } else {
+    h.is_numeric_ = false;
+    h.distinct_count_ = freq.size();
+    // Keep the num_mcv most frequent values.
+    std::vector<std::pair<std::string, size_t>> entries(freq.begin(),
+                                                        freq.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (entries.size() > num_mcv) entries.resize(num_mcv);
+    for (auto& [k, c] : entries) {
+      h.mcv_covered_ += c;
+      h.mcv_.emplace(std::move(k), c);
+    }
+  }
+  return h;
+}
+
+double ColumnHistogram::EstimateRange(double lo, double hi) const {
+  if (!is_numeric_ || total_count_ == 0 || buckets_.empty()) return 0.0;
+  if (hi < lo) return 0.0;
+  if (max_ == min_) {
+    return (lo <= min_ && min_ <= hi)
+               ? static_cast<double>(total_count_ - null_count_) / total_count_
+               : 0.0;
+  }
+  const double width = (max_ - min_) / buckets_.size();
+  double rows = 0.0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    const double b_lo = min_ + b * width;
+    const double b_hi = b_lo + width;
+    const double olap_lo = std::max(lo, b_lo);
+    const double olap_hi = std::min(hi, b_hi);
+    if (olap_hi <= olap_lo) continue;
+    rows += buckets_[b] * (olap_hi - olap_lo) / width;
+  }
+  return std::min(1.0, rows / total_count_);
+}
+
+double ColumnHistogram::EstimateSelectivity(CompareOp op,
+                                            const Value& literal) const {
+  if (total_count_ == 0) return 0.0;
+  if (literal.is_null()) return 0.0;
+
+  if (is_numeric_ && literal.is_numeric()) {
+    const double x = literal.ToNumeric();
+    switch (op) {
+      case CompareOp::kEq: {
+        if (distinct_count_ == 0) return 0.0;
+        if (x < min_ || x > max_) return 0.0;
+        return 1.0 / distinct_count_;
+      }
+      case CompareOp::kNe:
+        return 1.0 - EstimateSelectivity(CompareOp::kEq, literal);
+      case CompareOp::kLt:
+        return EstimateRange(min_ - 1.0, std::nexttoward(x, -1e300));
+      case CompareOp::kLe:
+        return EstimateRange(min_ - 1.0, x);
+      case CompareOp::kGt:
+        return EstimateRange(std::nexttoward(x, 1e300), max_ + 1.0);
+      case CompareOp::kGe:
+        return EstimateRange(x, max_ + 1.0);
+    }
+    return 0.0;
+  }
+
+  // String statistics: only equality/inequality are meaningful; range
+  // operators fall back to 1/3 (the classic textbook default).
+  if (!is_numeric_) {
+    if (op == CompareOp::kEq || op == CompareOp::kNe) {
+      double eq;
+      auto it = literal.is_string() ? mcv_.find(literal.as_string())
+                                    : mcv_.end();
+      if (it != mcv_.end()) {
+        eq = static_cast<double>(it->second) / total_count_;
+      } else {
+        // Uniform share of the non-MCV remainder.
+        const size_t rest_rows = total_count_ - null_count_ - mcv_covered_;
+        const size_t rest_distinct =
+            distinct_count_ > mcv_.size() ? distinct_count_ - mcv_.size() : 1;
+        eq = rest_rows == 0 ? 0.0
+                            : static_cast<double>(rest_rows) / rest_distinct /
+                                  total_count_;
+      }
+      return op == CompareOp::kEq ? eq : 1.0 - eq;
+    }
+    return 1.0 / 3.0;
+  }
+  return 1.0 / 3.0;
+}
+
+std::string ColumnHistogram::ToString() const {
+  std::string out = "hist(total=" + std::to_string(total_count_) +
+                    ", nulls=" + std::to_string(null_count_) +
+                    ", distinct=" + std::to_string(distinct_count_);
+  if (is_numeric_) {
+    out += ", range=[" + FormatDouble(min_) + ", " + FormatDouble(max_) + "]";
+  } else {
+    out += ", mcv=" + std::to_string(mcv_.size());
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace qp::stats

@@ -1,0 +1,71 @@
+// Per-column statistics: "simple histograms" exactly as the paper uses them
+// (Section 5, PPA): PPA orders presence/absence queries by estimated
+// selectivity. Numeric columns get equi-width bucket histograms; string
+// columns get most-common-value statistics with a uniform tail estimate.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace qp::stats {
+
+/// Comparison operators the estimator understands.
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// \brief Statistics for one column.
+///
+/// Numeric columns: equi-width histogram over [min, max] plus distinct
+/// count. String columns: exact frequencies for the most common values,
+/// uniform assumption for the rest.
+class ColumnHistogram {
+ public:
+  /// Builds statistics from a column of values. NULLs are counted but not
+  /// bucketed. `num_buckets` applies to numeric columns, `num_mcv` caps the
+  /// most-common-value list for strings.
+  static ColumnHistogram Build(const std::vector<storage::Value>& values,
+                               size_t num_buckets = 32, size_t num_mcv = 64);
+
+  /// Estimated fraction of rows satisfying `col <op> literal`, in [0, 1].
+  double EstimateSelectivity(CompareOp op, const storage::Value& literal) const;
+
+  /// Estimated fraction of rows with lo <= col <= hi.
+  double EstimateRange(double lo, double hi) const;
+
+  size_t total_count() const { return total_count_; }
+  size_t null_count() const { return null_count_; }
+  size_t distinct_count() const { return distinct_count_; }
+  bool is_numeric() const { return is_numeric_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  std::string ToString() const;
+
+ private:
+  bool is_numeric_ = false;
+  size_t total_count_ = 0;
+  size_t null_count_ = 0;
+  size_t distinct_count_ = 0;
+
+  // Numeric representation.
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<size_t> buckets_;
+
+  // String representation.
+  std::unordered_map<std::string, size_t> mcv_;
+  size_t mcv_covered_ = 0;  // rows covered by mcv_
+};
+
+}  // namespace qp::stats

@@ -1,0 +1,44 @@
+#include "stats/table_stats.h"
+
+namespace qp::stats {
+
+using storage::AttributeRef;
+using storage::Table;
+using storage::Value;
+
+Result<const ColumnHistogram*> StatsManager::GetHistogram(
+    const AttributeRef& attr) {
+  const auto key = std::make_pair(attr.table, attr.column);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return &it->second;
+
+  QP_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(attr.table));
+  QP_ASSIGN_OR_RETURN(size_t col, table->schema().ColumnIndex(attr.column));
+  std::vector<Value> values;
+  values.reserve(table->num_rows());
+  for (const auto& row : table->rows()) values.push_back(row[col]);
+  it = cache_.emplace(key, ColumnHistogram::Build(values)).first;
+  return &it->second;
+}
+
+double StatsManager::EstimateSelectivity(const AttributeRef& attr,
+                                         CompareOp op, const Value& literal) {
+  auto hist = GetHistogram(attr);
+  if (!hist.ok()) return 1.0 / 3.0;
+  return (*hist)->EstimateSelectivity(op, literal);
+}
+
+double StatsManager::EstimateRangeSelectivity(const AttributeRef& attr,
+                                              double lo, double hi) {
+  auto hist = GetHistogram(attr);
+  if (!hist.ok()) return 1.0 / 3.0;
+  return (*hist)->EstimateRange(lo, hi);
+}
+
+size_t StatsManager::TableRows(const std::string& table) const {
+  auto t = db_->GetTable(table);
+  if (!t.ok()) return 0;
+  return (*t)->num_rows();
+}
+
+}  // namespace qp::stats

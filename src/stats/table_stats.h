@@ -1,0 +1,45 @@
+// Database-wide statistics manager: lazily builds and caches per-column
+// histograms, and answers selectivity questions about atomic predicates.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "stats/histogram.h"
+#include "storage/database.h"
+
+namespace qp::stats {
+
+/// \brief Caches ColumnHistograms per (table, column) over one Database.
+///
+/// The cache is built on demand; call Invalidate() after bulk loads.
+class StatsManager {
+ public:
+  explicit StatsManager(const storage::Database* db) : db_(db) {}
+
+  /// Histogram for `attr` (built on first request).
+  Result<const ColumnHistogram*> GetHistogram(
+      const storage::AttributeRef& attr);
+
+  /// Estimated selectivity of `attr <op> literal` in [0, 1]; returns 1/3 if
+  /// the attribute cannot be resolved (conservative default).
+  double EstimateSelectivity(const storage::AttributeRef& attr, CompareOp op,
+                             const storage::Value& literal);
+
+  /// Estimated selectivity of lo <= attr <= hi.
+  double EstimateRangeSelectivity(const storage::AttributeRef& attr, double lo,
+                                  double hi);
+
+  /// Row count of `attr`'s table (0 if unknown).
+  size_t TableRows(const std::string& table) const;
+
+  void Invalidate() { cache_.clear(); }
+
+ private:
+  const storage::Database* db_;
+  std::map<std::pair<std::string, std::string>, ColumnHistogram> cache_;
+};
+
+}  // namespace qp::stats

@@ -1,0 +1,136 @@
+#include "storage/catalog_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "storage/csv.h"
+
+namespace qp::storage {
+
+std::string SerializeSchema(const TableSchema& schema) {
+  std::string out = schema.name() + " (";
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.column(i).name;
+    out += ":";
+    out += DataTypeName(schema.column(i).type);
+  }
+  out += ")";
+  if (!schema.primary_key().empty()) {
+    out += " pk(" + Join(schema.primary_key(), ", ") + ")";
+  }
+  return out;
+}
+
+namespace {
+
+Result<DataType> ParseDataType(std::string_view name) {
+  if (EqualsIgnoreCase(name, "INT")) return DataType::kInt;
+  if (EqualsIgnoreCase(name, "DOUBLE")) return DataType::kDouble;
+  if (EqualsIgnoreCase(name, "STRING")) return DataType::kString;
+  return Status::ParseError("unknown data type '" + std::string(name) + "'");
+}
+
+}  // namespace
+
+Result<TableSchema> ParseSchema(const std::string& line) {
+  const size_t open = line.find('(');
+  const size_t close = line.find(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    return Status::ParseError("malformed schema line: " + line);
+  }
+  const std::string name(Trim(line.substr(0, open)));
+  if (name.empty() || name.find(' ') != std::string::npos) {
+    return Status::ParseError("bad table name in schema line: " + line);
+  }
+  std::vector<Column> columns;
+  for (const auto& part : Split(line.substr(open + 1, close - open - 1), ',')) {
+    const auto pieces = Split(std::string(Trim(part)), ':');
+    if (pieces.size() != 2) {
+      return Status::ParseError("bad column spec '" + part + "'");
+    }
+    QP_ASSIGN_OR_RETURN(DataType type, ParseDataType(Trim(pieces[1])));
+    columns.push_back({std::string(Trim(pieces[0])), type});
+  }
+  std::vector<std::string> pk;
+  const size_t pk_pos = line.find("pk(", close);
+  if (pk_pos != std::string::npos) {
+    const size_t pk_close = line.find(')', pk_pos);
+    if (pk_close == std::string::npos) {
+      return Status::ParseError("unterminated pk(...) in: " + line);
+    }
+    for (const auto& part :
+         Split(line.substr(pk_pos + 3, pk_close - pk_pos - 3), ',')) {
+      pk.push_back(std::string(Trim(part)));
+    }
+  }
+  return TableSchema(name, std::move(columns), std::move(pk));
+}
+
+Status SaveDatabase(const Database& db, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory '" + directory +
+                            "': " + ec.message());
+  }
+  std::ofstream manifest(directory + "/catalog.txt");
+  if (!manifest) {
+    return Status::Internal("cannot write manifest in '" + directory + "'");
+  }
+  for (const auto& name : db.TableNames()) {
+    QP_ASSIGN_OR_RETURN(const Table* table, db.GetTable(name));
+    manifest << "table " << SerializeSchema(table->schema()) << "\n";
+    QP_RETURN_IF_ERROR(WriteCsv(*table, directory + "/" + name + ".csv"));
+  }
+  for (const auto& link : db.join_links()) {
+    manifest << "link " << link.left.ToString() << " = "
+             << link.right.ToString() << "\n";
+  }
+  if (!manifest) {
+    return Status::Internal("error writing manifest in '" + directory + "'");
+  }
+  return Status::OK();
+}
+
+Result<Database> LoadDatabase(const std::string& directory) {
+  std::ifstream manifest(directory + "/catalog.txt");
+  if (!manifest) {
+    return Status::NotFound("no catalog.txt in '" + directory + "'");
+  }
+  Database db;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(manifest, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (StartsWith(trimmed, "table ")) {
+      QP_ASSIGN_OR_RETURN(TableSchema schema,
+                          ParseSchema(std::string(trimmed.substr(6))));
+      const std::string name = schema.name();
+      QP_ASSIGN_OR_RETURN(Table * table, db.CreateTable(std::move(schema)));
+      QP_RETURN_IF_ERROR(ReadCsv(table, directory + "/" + name + ".csv"));
+    } else if (StartsWith(trimmed, "link ")) {
+      const auto sides = Split(std::string(trimmed.substr(5)), '=');
+      if (sides.size() != 2) {
+        return Status::ParseError("bad link at manifest line " +
+                                  std::to_string(line_no));
+      }
+      QP_ASSIGN_OR_RETURN(AttributeRef left,
+                          AttributeRef::Parse(std::string(Trim(sides[0]))));
+      QP_ASSIGN_OR_RETURN(AttributeRef right,
+                          AttributeRef::Parse(std::string(Trim(sides[1]))));
+      QP_RETURN_IF_ERROR(db.AddJoinLink(left, right));
+    } else {
+      return Status::ParseError("unrecognized manifest line " +
+                                std::to_string(line_no) + ": " + line);
+    }
+  }
+  return db;
+}
+
+}  // namespace qp::storage

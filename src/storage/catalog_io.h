@@ -1,0 +1,31 @@
+// Whole-database persistence: a directory with a text manifest (schemas,
+// primary keys, join links) plus one CSV per table. Lets examples and tools
+// snapshot a generated database and reload it without regeneration.
+//
+// Manifest format (catalog.txt):
+//   table movie (mid:INT, title:STRING, year:INT, duration:INT) pk(mid)
+//   link movie.mid = genre.mid
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace qp::storage {
+
+/// Serializes one schema to its manifest line (without the "table " prefix).
+std::string SerializeSchema(const TableSchema& schema);
+
+/// Parses a manifest schema line (the part after "table ").
+Result<TableSchema> ParseSchema(const std::string& line);
+
+/// Writes `db` to `directory` (created if missing): catalog.txt plus
+/// <table>.csv files.
+Status SaveDatabase(const Database& db, const std::string& directory);
+
+/// Reads a database previously written by SaveDatabase.
+Result<Database> LoadDatabase(const std::string& directory);
+
+}  // namespace qp::storage

@@ -1,0 +1,114 @@
+#include "storage/csv.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace qp::storage {
+
+std::string EscapeCsvField(const std::string& field) {
+  const bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quote in CSV line: " + line);
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  const auto& schema = table.schema();
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) out << ',';
+    out << EscapeCsvField(schema.column(i).name);
+  }
+  out << '\n';
+  for (const auto& row : table.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << EscapeCsvField(row[i].ToString());
+    }
+    out << '\n';
+  }
+  if (!out) return Status::Internal("error writing '" + path + "'");
+  return Status::OK();
+}
+
+Status ReadCsv(Table* table, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "' for reading");
+  const auto& schema = table->schema();
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("empty CSV file: " + path);
+  }
+  QP_ASSIGN_OR_RETURN(std::vector<std::string> header, ParseCsvLine(line));
+  if (header.size() != schema.num_columns()) {
+    return Status::ParseError("CSV header arity mismatch in " + path);
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (!EqualsIgnoreCase(header[i], schema.column(i).name)) {
+      return Status::ParseError("CSV header column '" + header[i] +
+                                "' != schema column '" + schema.column(i).name +
+                                "'");
+    }
+  }
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    QP_ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseCsvLine(line));
+    if (fields.size() != schema.num_columns()) {
+      return Status::ParseError("CSV arity mismatch at line " +
+                                std::to_string(line_no) + " in " + path);
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      QP_ASSIGN_OR_RETURN(Value v,
+                          Value::Parse(fields[i], schema.column(i).type));
+      row.push_back(std::move(v));
+    }
+    QP_RETURN_IF_ERROR(table->Append(std::move(row)));
+  }
+  return Status::OK();
+}
+
+}  // namespace qp::storage

@@ -1,0 +1,29 @@
+// CSV import/export so example datasets can be persisted and inspected.
+// The dialect is minimal: comma separator, double-quote quoting with ""
+// escapes, first line is the header.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace qp::storage {
+
+/// Writes `table` to `path` (header + one line per row). NULL is written as
+/// the literal NULL.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads rows from `path` into `table`. The header must match the schema's
+/// column names (case-insensitive, same order). Values are parsed using the
+/// schema's column types.
+Status ReadCsv(Table* table, const std::string& path);
+
+/// Parses a single CSV line into fields (exposed for testing).
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+/// Escapes one field for CSV output (exposed for testing).
+std::string EscapeCsvField(const std::string& field);
+
+}  // namespace qp::storage

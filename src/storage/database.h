@@ -1,0 +1,68 @@
+// The database catalog: named tables plus declared join links between
+// attributes. Join links let the personalization layer know which joins are
+// meaningful (the schema graph the personalization graph extends).
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace qp::storage {
+
+/// \brief A declared joinable attribute pair (undirected at schema level).
+struct JoinLink {
+  AttributeRef left;
+  AttributeRef right;
+
+  bool operator==(const JoinLink&) const = default;
+};
+
+/// \brief Named collection of tables with schema-level join metadata.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Creates an empty table; fails on duplicate name.
+  Result<Table*> CreateTable(TableSchema schema);
+
+  /// Looks up a table (case-insensitive); NotFound if absent.
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// All table names in creation order.
+  std::vector<std::string> TableNames() const { return table_order_; }
+
+  /// Declares `left` and `right` as joinable; both attributes must exist.
+  Status AddJoinLink(const AttributeRef& left, const AttributeRef& right);
+
+  const std::vector<JoinLink>& join_links() const { return join_links_; }
+
+  /// True if a join link between the two attributes exists in either
+  /// orientation.
+  bool AreJoinable(const AttributeRef& a, const AttributeRef& b) const;
+
+  /// Resolves an attribute reference; fails if table or column is missing.
+  Status ValidateAttribute(const AttributeRef& attr) const;
+
+  /// Type of the referenced attribute.
+  Result<DataType> AttributeType(const AttributeRef& attr) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> table_order_;
+  std::vector<JoinLink> join_links_;
+};
+
+}  // namespace qp::storage

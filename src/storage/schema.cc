@@ -1,0 +1,44 @@
+#include "storage/schema.h"
+
+#include "common/string_util.h"
+
+namespace qp::storage {
+
+AttributeRef::AttributeRef(std::string t, std::string c)
+    : table(ToLower(t)), column(ToLower(c)) {}
+
+Result<AttributeRef> AttributeRef::Parse(const std::string& qualified) {
+  const size_t dot = qualified.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == qualified.size()) {
+    return Status::ParseError("expected TABLE.column, got '" + qualified + "'");
+  }
+  return AttributeRef(qualified.substr(0, dot), qualified.substr(dot + 1));
+}
+
+TableSchema::TableSchema(std::string name, std::vector<Column> columns,
+                         std::vector<std::string> primary_key)
+    : name_(ToLower(name)), columns_(std::move(columns)) {
+  for (auto& c : columns_) c.name = ToLower(c.name);
+  for (auto& k : primary_key) primary_key_.push_back(ToLower(k));
+}
+
+Result<size_t> TableSchema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return Status::NotFound("no column '" + name + "' in table '" + name_ + "'");
+}
+
+std::string TableSchema::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += DataTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace qp::storage

@@ -1,0 +1,85 @@
+// Table schemas: named, typed columns with an optional primary key, plus
+// qualified column identifiers used throughout the SQL and preference layers.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace qp::storage {
+
+/// \brief A single column definition.
+struct Column {
+  std::string name;
+  DataType type = DataType::kString;
+
+  bool operator==(const Column&) const = default;
+};
+
+/// \brief A fully qualified attribute reference, e.g. MOVIE.year.
+///
+/// Names are stored lower-cased so lookups are case-insensitive, matching
+/// common SQL behaviour.
+struct AttributeRef {
+  std::string table;
+  std::string column;
+
+  AttributeRef() = default;
+  AttributeRef(std::string t, std::string c);
+
+  /// Parses "TABLE.column"; fails if there is no dot.
+  static Result<AttributeRef> Parse(const std::string& qualified);
+
+  std::string ToString() const { return table + "." + column; }
+
+  bool operator==(const AttributeRef&) const = default;
+  bool operator<(const AttributeRef& o) const {
+    if (table != o.table) return table < o.table;
+    return column < o.column;
+  }
+};
+
+struct AttributeRefHash {
+  size_t operator()(const AttributeRef& a) const {
+    return std::hash<std::string>{}(a.table) * 1315423911u ^
+           std::hash<std::string>{}(a.column);
+  }
+};
+
+/// \brief Schema of one relation: name, columns, optional primary key.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  /// `primary_key` columns must be a subset of `columns` (checked lazily by
+  /// Database::CreateTable).
+  TableSchema(std::string name, std::vector<Column> columns,
+              std::vector<std::string> primary_key = {});
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<std::string>& primary_key() const { return primary_key_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of column `name` (case-insensitive), or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  bool HasColumn(const std::string& name) const {
+    return ColumnIndex(name).ok();
+  }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Renders "name(col:TYPE, ...)".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<std::string> primary_key_;
+};
+
+}  // namespace qp::storage

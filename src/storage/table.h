@@ -1,0 +1,76 @@
+// Row-oriented in-memory tables with optional per-column hash indexes used
+// by the executor to accelerate equality joins and point lookups.
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace qp::storage {
+
+/// A row is a vector of values positionally matching a schema.
+using Row = std::vector<Value>;
+
+/// \brief In-memory relation: schema + rows (+ lazily built hash indexes).
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  const Row& row(size_t i) const { return rows_[i]; }
+
+  /// Appends a row; fails if arity or value types do not match the schema
+  /// (NULL is accepted in any column).
+  Status Append(Row row);
+
+  /// Appends without type checks — used by bulk generators that construct
+  /// rows directly from the schema.
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Returns (building on first use) a hash index over column `col_idx`:
+  /// value -> row positions.
+  const std::unordered_multimap<Value, size_t, ValueHash>& HashIndex(
+      size_t col_idx) const;
+
+  /// Returns (building on first use) an ordered index over column
+  /// `col_idx`: (value, row position) pairs sorted by value, NULLs
+  /// excluded. Serves range predicates from elastic preferences.
+  const std::vector<std::pair<Value, size_t>>& OrderedIndex(
+      size_t col_idx) const;
+
+  /// Row positions with lo <= value <= hi in column `col_idx` (either bound
+  /// may be open via `has_lo` / `has_hi`; open bounds still exclude NULLs).
+  std::vector<size_t> RangeLookup(size_t col_idx, const Value& lo,
+                                  bool lo_inclusive, bool has_lo,
+                                  const Value& hi, bool hi_inclusive,
+                                  bool has_hi) const;
+
+  /// Number of rows RangeLookup would return, without materializing them.
+  size_t RangeCount(size_t col_idx, const Value& lo, bool lo_inclusive,
+                    bool has_lo, const Value& hi, bool hi_inclusive,
+                    bool has_hi) const;
+
+  /// Drops any built indexes (call after bulk mutation).
+  void InvalidateIndexes() const {
+    indexes_.clear();
+    ordered_indexes_.clear();
+  }
+
+ private:
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  mutable std::unordered_map<size_t,
+                             std::unordered_multimap<Value, size_t, ValueHash>>
+      indexes_;
+  mutable std::unordered_map<size_t, std::vector<std::pair<Value, size_t>>>
+      ordered_indexes_;
+};
+
+}  // namespace qp::storage

@@ -1,0 +1,92 @@
+// Typed runtime values. The engine supports NULL, 64-bit integers, doubles
+// and strings — enough for the paper's movie schema and the SPJ query
+// subset the personalization algorithms emit.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace qp::storage {
+
+/// Column/value data types.
+enum class DataType {
+  kNull,
+  kInt,
+  kDouble,
+  kString,
+};
+
+/// Returns a stable name ("INT", "DOUBLE", ...) for a DataType.
+const char* DataTypeName(DataType t);
+
+/// \brief A dynamically typed scalar value.
+///
+/// Values order NULL first, then numerics (INT and DOUBLE compare by
+/// numeric value), then strings. Cross-type numeric comparison is supported
+/// because elastic preferences translate into range predicates over numeric
+/// columns whose literals may be doubles.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  DataType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+
+  /// Numeric view of an INT or DOUBLE value.
+  double ToNumeric() const;
+
+  /// Three-way comparison: negative, zero or positive. NULL sorts first;
+  /// values of incomparable types order by type tag (stable but arbitrary).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Hash consistent with operator== (numeric INT/DOUBLE with equal value
+  /// hash identically).
+  size_t Hash() const;
+
+  /// Renders the value for display ("NULL", "42", "3.5", "abc").
+  std::string ToString() const;
+
+  /// Parses `text` as a value of type `type` ("NULL" yields NULL).
+  static Result<Value> Parse(const std::string& text, DataType type);
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace qp::storage

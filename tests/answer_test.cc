@@ -1,0 +1,279 @@
+// Tests for SPA and PPA answer generation, including the SPA/PPA agreement
+// property (both must return the same qualifying tuple sets).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/personalizer.h"
+#include "datagen/moviegen.h"
+#include "datagen/profilegen.h"
+#include "sql/parser.h"
+
+namespace qp::core {
+namespace {
+
+using sql::BinaryOp;
+using storage::Value;
+
+class AnswerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db =
+        datagen::GenerateMovieDatabase(datagen::MovieGenConfig::TestScale());
+    ASSERT_TRUE(db.ok());
+    db_ = new storage::Database(std::move(db).value());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  sql::SelectQuery Parse(const std::string& sql) {
+    auto q = sql::ParseQuery(sql);
+    EXPECT_TRUE(q.ok());
+    return (*q)->single();
+  }
+
+  /// A profile with presence, absence-1-1 and absence-1-n preferences that
+  /// all relate to movie queries.
+  UserProfile MixedProfile() {
+    UserProfile p;
+    EXPECT_TRUE(p.AddJoin("movie.mid", "genre.mid", 0.8).ok());
+    EXPECT_TRUE(p.AddJoin("movie.mid", "directed.mid", 1.0).ok());
+    EXPECT_TRUE(p.AddJoin("directed.did", "director.did", 0.9).ok());
+    EXPECT_TRUE(p.AddSelection("genre.genre", BinaryOp::kEq, Value("comedy"),
+                               *DoiPair::Exact(0.9, 0)).ok());
+    EXPECT_TRUE(p.AddSelection("genre.genre", BinaryOp::kEq, Value("drama"),
+                               *DoiPair::Exact(0.6, 0)).ok());
+    EXPECT_TRUE(p.AddSelection("movie.year", BinaryOp::kGe,
+                               Value(int64_t{1990}), *DoiPair::Exact(0.5, 0))
+                    .ok());
+    EXPECT_TRUE(p.AddSelection("movie.year", BinaryOp::kLt,
+                               Value(int64_t{1965}), *DoiPair::Exact(-0.7, 0))
+                    .ok());
+    EXPECT_TRUE(p.AddSelection("genre.genre", BinaryOp::kEq, Value("musical"),
+                               *DoiPair::Exact(-0.9, 0.7)).ok());
+    return p;
+  }
+
+  static storage::Database* db_;
+};
+
+storage::Database* AnswerTest::db_ = nullptr;
+
+TEST_F(AnswerTest, SpaBuildsExampleShapedQuery) {
+  UserProfile profile = MixedProfile();
+  auto personalizer = Personalizer::Make(db_, &profile);
+  ASSERT_TRUE(personalizer.ok());
+  const sql::SelectQuery base = Parse("select title from movie");
+  PersonalizeOptions options;
+  options.k = 3;
+  options.l = 2;
+  auto prefs = personalizer->SelectPreferences(base, options);
+  ASSERT_TRUE(prefs.ok());
+  ASSERT_EQ(prefs->size(), 3u);
+
+  SpaGenerator spa(db_, options.ranking);
+  auto query = spa.BuildPersonalizedQuery(base, *prefs, options.l);
+  ASSERT_TRUE(query.ok());
+  const std::string sql = (*query)->ToString();
+  EXPECT_NE(sql.find("UNION ALL"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("GROUP BY"), std::string::npos);
+  EXPECT_NE(sql.find("count(*) >= 2"), std::string::npos);
+  EXPECT_NE(sql.find("rank(u.degree)"), std::string::npos);
+  EXPECT_NE(sql.find("ORDER BY rank(u.degree) DESC"), std::string::npos);
+}
+
+TEST_F(AnswerTest, SpaAnswerSatisfiesL) {
+  UserProfile profile = MixedProfile();
+  auto personalizer = Personalizer::Make(db_, &profile);
+  ASSERT_TRUE(personalizer.ok());
+  PersonalizeOptions options;
+  options.k = 4;
+  options.l = 2;
+  options.algorithm = AnswerAlgorithm::kSpa;
+  auto answer = personalizer->Personalize(Parse("select title from movie"),
+                                          options);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_GT(answer->tuples.size(), 0u);
+  // Ranked by decreasing doi.
+  for (size_t i = 1; i < answer->tuples.size(); ++i) {
+    EXPECT_GE(answer->tuples[i - 1].doi, answer->tuples[i].doi);
+  }
+  // SPA answers are not self-explanatory (paper Section 5).
+  EXPECT_TRUE(answer->tuples[0].satisfied.empty());
+}
+
+TEST_F(AnswerTest, PpaAnswerIsSelfExplanatory) {
+  UserProfile profile = MixedProfile();
+  auto personalizer = Personalizer::Make(db_, &profile);
+  ASSERT_TRUE(personalizer.ok());
+  PersonalizeOptions options;
+  options.k = 4;
+  options.l = 2;
+  options.algorithm = AnswerAlgorithm::kPpa;
+  auto answer = personalizer->Personalize(Parse("select mid, title from movie"),
+                                          options);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  ASSERT_GT(answer->tuples.size(), 0u);
+  for (const auto& t : answer->tuples) {
+    EXPECT_GE(t.satisfied.size(), options.l);
+    // Outcomes reference valid preferences.
+    for (const auto& o : t.satisfied) {
+      EXPECT_LT(o.pref_index, answer->preferences.size());
+      EXPECT_GE(o.degree, 0.0);
+    }
+    for (const auto& o : t.failed) {
+      EXPECT_LT(o.pref_index, answer->preferences.size());
+      EXPECT_LE(o.degree, 0.0);
+    }
+  }
+  // Explanation text mentions conditions.
+  const std::string explain = answer->ExplainTuple(0);
+  EXPECT_NE(explain.find("satisfies:"), std::string::npos);
+  EXPECT_NE(explain.find("doi="), std::string::npos);
+}
+
+TEST_F(AnswerTest, PpaRanksByDecreasingDoi) {
+  UserProfile profile = MixedProfile();
+  auto personalizer = Personalizer::Make(db_, &profile);
+  ASSERT_TRUE(personalizer.ok());
+  PersonalizeOptions options;
+  options.k = 5;
+  options.l = 1;
+  auto answer = personalizer->Personalize(Parse("select mid, title from movie"),
+                                          options);
+  ASSERT_TRUE(answer.ok());
+  for (size_t i = 1; i < answer->tuples.size(); ++i) {
+    EXPECT_GE(answer->tuples[i - 1].doi, answer->tuples[i].doi - 1e-9);
+  }
+}
+
+TEST_F(AnswerTest, PpaEmitsProgressively) {
+  UserProfile profile = MixedProfile();
+  auto personalizer = Personalizer::Make(db_, &profile);
+  ASSERT_TRUE(personalizer.ok());
+  PersonalizeOptions options;
+  options.k = 4;
+  options.l = 1;
+  std::vector<double> emitted_dois;
+  options.on_emit = [&](const PersonalizedTuple& t) {
+    emitted_dois.push_back(t.doi);
+  };
+  auto answer = personalizer->Personalize(Parse("select mid, title from movie"),
+                                          options);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_EQ(emitted_dois.size(), answer->tuples.size());
+  // Progressive emission preserves the ranking order.
+  for (size_t i = 1; i < emitted_dois.size(); ++i) {
+    EXPECT_GE(emitted_dois[i - 1], emitted_dois[i] - 1e-9);
+  }
+  EXPECT_LE(answer->stats.first_response_seconds,
+            answer->stats.generation_seconds + 1e-9);
+}
+
+/// The central agreement property: SPA and PPA must qualify the same tuples
+/// (same tids) for the same K preferences and L.
+TEST_F(AnswerTest, SpaAndPpaAgreeOnQualifyingTuples) {
+  UserProfile profile = MixedProfile();
+  auto personalizer = Personalizer::Make(db_, &profile);
+  ASSERT_TRUE(personalizer.ok());
+  const sql::SelectQuery base = Parse("select mid, title from movie");
+  for (size_t l : {size_t{1}, size_t{2}, size_t{3}}) {
+    PersonalizeOptions options;
+    options.k = 5;
+    options.l = l;
+    options.algorithm = AnswerAlgorithm::kSpa;
+    auto spa = personalizer->Personalize(base, options);
+    ASSERT_TRUE(spa.ok()) << spa.status();
+    options.algorithm = AnswerAlgorithm::kPpa;
+    auto ppa = personalizer->Personalize(base, options);
+    ASSERT_TRUE(ppa.ok()) << ppa.status();
+
+    std::set<std::string> spa_ids, ppa_ids;
+    for (const auto& t : spa->tuples) spa_ids.insert(t.values[0].ToString());
+    for (const auto& t : ppa->tuples) ppa_ids.insert(t.values[0].ToString());
+    EXPECT_EQ(spa_ids, ppa_ids) << "L=" << l;
+  }
+}
+
+TEST_F(AnswerTest, LExceedingSelectedPreferencesFails) {
+  UserProfile profile = MixedProfile();
+  auto personalizer = Personalizer::Make(db_, &profile);
+  ASSERT_TRUE(personalizer.ok());
+  PersonalizeOptions options;
+  options.k = 2;
+  options.l = 5;
+  EXPECT_FALSE(
+      personalizer->Personalize(Parse("select title from movie"), options)
+          .ok());
+}
+
+TEST_F(AnswerTest, EmptyProfileYieldsNotFound) {
+  UserProfile empty;
+  auto personalizer = Personalizer::Make(db_, &empty);
+  ASSERT_TRUE(personalizer.ok());
+  PersonalizeOptions options;
+  auto answer =
+      personalizer->Personalize(Parse("select title from movie"), options);
+  EXPECT_EQ(answer.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(AnswerTest, PersonalizeFromSqlString) {
+  UserProfile profile = MixedProfile();
+  auto personalizer = Personalizer::Make(db_, &profile);
+  ASSERT_TRUE(personalizer.ok());
+  PersonalizeOptions options;
+  options.k = 3;
+  options.l = 1;
+  auto answer =
+      personalizer->Personalize(std::string("select mid, title from movie"),
+                                options);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_GT(answer->tuples.size(), 0u);
+  EXPECT_FALSE(
+      personalizer->Personalize(std::string("not sql at all"), options).ok());
+}
+
+TEST_F(AnswerTest, BaseQueryWithExistingConditionsIsRespected) {
+  UserProfile profile = MixedProfile();
+  auto personalizer = Personalizer::Make(db_, &profile);
+  ASSERT_TRUE(personalizer.ok());
+  PersonalizeOptions options;
+  options.k = 4;
+  options.l = 1;
+  auto answer = personalizer->Personalize(
+      Parse("select mid, title, year from movie where movie.year >= 1990"),
+      options);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  for (const auto& t : answer->tuples) {
+    EXPECT_GE(t.values[2].ToNumeric(), 1990);
+  }
+}
+
+TEST_F(AnswerTest, DoiTargetSelectionEndToEnd) {
+  UserProfile profile = MixedProfile();
+  auto personalizer = Personalizer::Make(db_, &profile);
+  ASSERT_TRUE(personalizer.ok());
+  PersonalizeOptions options;
+  options.target_doi = 0.5;
+  options.l = 1;
+  auto answer = personalizer->Personalize(Parse("select mid, title from movie"),
+                                          options);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_GT(answer->tuples.size(), 0u);
+}
+
+TEST_F(AnswerTest, UnchangedBaselineReturnsAllRows) {
+  UserProfile profile = MixedProfile();
+  auto personalizer = Personalizer::Make(db_, &profile);
+  ASSERT_TRUE(personalizer.ok());
+  auto rows = personalizer->ExecuteUnchanged(Parse("select title from movie"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->num_rows(),
+            (*db_->GetTable("movie"))->num_rows());
+}
+
+}  // namespace
+}  // namespace qp::core

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/moviegen.h"
+#include "exec/executor.h"
+#include "storage/catalog_io.h"
+
+namespace qp::storage {
+namespace {
+
+TEST(SchemaSerializationTest, RoundTrip) {
+  TableSchema schema("movie",
+                     {{"mid", DataType::kInt},
+                      {"title", DataType::kString},
+                      {"rating", DataType::kDouble}},
+                     {"mid"});
+  const std::string line = SerializeSchema(schema);
+  EXPECT_EQ(line, "movie (mid:INT, title:STRING, rating:DOUBLE) pk(mid)");
+  auto parsed = ParseSchema(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->name(), "movie");
+  EXPECT_EQ(parsed->num_columns(), 3u);
+  EXPECT_EQ(parsed->column(2).type, DataType::kDouble);
+  EXPECT_EQ(parsed->primary_key(), std::vector<std::string>{"mid"});
+}
+
+TEST(SchemaSerializationTest, NoPrimaryKey) {
+  TableSchema schema("genre",
+                     {{"mid", DataType::kInt}, {"genre", DataType::kString}});
+  auto parsed = ParseSchema(SerializeSchema(schema));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->primary_key().empty());
+}
+
+TEST(SchemaSerializationTest, CompositePrimaryKey) {
+  TableSchema schema("play",
+                     {{"tid", DataType::kInt}, {"mid", DataType::kInt}},
+                     {"tid", "mid"});
+  auto parsed = ParseSchema(SerializeSchema(schema));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->primary_key().size(), 2u);
+}
+
+TEST(SchemaSerializationTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseSchema("no parens").ok());
+  EXPECT_FALSE(ParseSchema("movie (mid INT)").ok());
+  EXPECT_FALSE(ParseSchema("movie (mid:BOGUS)").ok());
+  EXPECT_FALSE(ParseSchema("two words (mid:INT)").ok());
+  EXPECT_FALSE(ParseSchema("movie (mid:INT) pk(mid").ok());
+}
+
+TEST(DatabasePersistenceTest, SaveLoadRoundTrip) {
+  auto original =
+      datagen::GenerateMovieDatabase(datagen::MovieGenConfig::TestScale());
+  ASSERT_TRUE(original.ok());
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "qp_db_roundtrip").string();
+  ASSERT_TRUE(SaveDatabase(*original, dir).ok());
+
+  auto loaded = LoadDatabase(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->TableNames(), original->TableNames());
+  EXPECT_EQ(loaded->join_links().size(), original->join_links().size());
+  for (const auto& name : original->TableNames()) {
+    const Table* a = *original->GetTable(name);
+    const Table* b = *loaded->GetTable(name);
+    ASSERT_EQ(a->num_rows(), b->num_rows()) << name;
+    EXPECT_EQ(a->schema().primary_key(), b->schema().primary_key()) << name;
+    for (size_t i = 0; i < std::min<size_t>(a->num_rows(), 50); ++i) {
+      EXPECT_EQ(a->row(i), b->row(i)) << name << " row " << i;
+    }
+  }
+
+  // Queries over the reloaded database behave identically.
+  exec::Executor ea(&*original), eb(&*loaded);
+  const char* sql =
+      "select movie.title from movie, genre where movie.mid = genre.mid "
+      "and genre.genre = 'drama' order by movie.title limit 10";
+  auto ra = ea.ExecuteSql(sql);
+  auto rb = eb.ExecuteSql(sql);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra->num_rows(), rb->num_rows());
+  for (size_t i = 0; i < ra->num_rows(); ++i) {
+    EXPECT_EQ(ra->row(i), rb->row(i));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatabasePersistenceTest, LoadFailsWithoutManifest) {
+  EXPECT_FALSE(LoadDatabase("/nonexistent/qp_dir").ok());
+}
+
+TEST(DatabasePersistenceTest, LoadRejectsBadManifest) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "qp_db_bad").string();
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream manifest(dir + "/catalog.txt");
+    manifest << "gibberish line\n";
+  }
+  EXPECT_FALSE(LoadDatabase(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace qp::storage

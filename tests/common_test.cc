@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace qp {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing table");
+  EXPECT_EQ(s.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Doubler(Result<int> in) {
+  QP_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_EQ(Doubler(Status::NotFound("nope")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(StringUtilTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("MoViE"), "movie");
+  EXPECT_EQ(ToUpper("MoViE"), "MOVIE");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Movie", "MOVIE"));
+  EXPECT_FALSE(EqualsIgnoreCase("Movie", "Movies"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "b"));
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, JoinRoundTrips) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, TrimStripsWhitespace) {
+  EXPECT_EQ(Trim("  x \t"), "x");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, FormatDoubleIsCompact) {
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(-0.7), "-0.7");
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(5);
+  size_t hits = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.WeightedIndex({9.0, 1.0}) == 0) ++hits;
+  }
+  EXPECT_GT(hits, 1600u);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(3);
+  auto p = rng.Permutation(20);
+  std::sort(p.begin(), p.end());
+  for (size_t i = 0; i < 20; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(ZipfTest, Rank1IsMostFrequent) {
+  Rng rng(11);
+  ZipfDistribution zipf(50, 1.1);
+  std::vector<size_t> counts(51, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[1], counts[50]);
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  Rng rng(12);
+  ZipfDistribution zipf(5, 2.0);
+  for (int i = 0; i < 1000; ++i) {
+    const size_t rank = zipf.Sample(rng);
+    EXPECT_GE(rank, 1u);
+    EXPECT_LE(rank, 5u);
+  }
+}
+
+}  // namespace
+}  // namespace qp

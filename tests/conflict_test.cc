@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "core/conflict.h"
+#include "sql/parser.h"
+
+namespace qp::core {
+namespace {
+
+using sql::BinaryOp;
+using storage::AttributeRef;
+using storage::Value;
+
+SelectionCondition Cond(const char* attr, BinaryOp op, Value v) {
+  return {*AttributeRef::Parse(attr), op, std::move(v)};
+}
+
+TEST(QueryContextTest, ExtractsRelationsAndAtoms) {
+  auto q = sql::ParseQuery(
+      "select m.title from movie m, genre g "
+      "where m.mid = g.mid and g.genre = 'comedy' and m.year >= 1990");
+  ASSERT_TRUE(q.ok());
+  const QueryContext ctx = QueryContext::FromQuery((*q)->single());
+  EXPECT_EQ(ctx.relations, (std::vector<std::string>{"movie", "genre"}));
+  ASSERT_EQ(ctx.atoms.size(), 2u);  // join atom excluded
+  EXPECT_TRUE(ctx.MentionsRelation("movie"));
+  EXPECT_FALSE(ctx.MentionsRelation("theatre"));
+}
+
+TEST(ContradictionTest, DifferentAttributesNeverConflict) {
+  EXPECT_FALSE(ConditionsContradict(
+      Cond("m.year", BinaryOp::kEq, Value(int64_t{1990})),
+      Cond("m.duration", BinaryOp::kEq, Value(int64_t{1990}))));
+}
+
+TEST(ContradictionTest, StringEqualities) {
+  EXPECT_TRUE(ConditionsContradict(
+      Cond("g.genre", BinaryOp::kEq, Value("comedy")),
+      Cond("g.genre", BinaryOp::kEq, Value("musical"))));
+  EXPECT_FALSE(ConditionsContradict(
+      Cond("g.genre", BinaryOp::kEq, Value("comedy")),
+      Cond("g.genre", BinaryOp::kEq, Value("comedy"))));
+  EXPECT_TRUE(ConditionsContradict(
+      Cond("g.genre", BinaryOp::kEq, Value("comedy")),
+      Cond("g.genre", BinaryOp::kNe, Value("comedy"))));
+  EXPECT_FALSE(ConditionsContradict(
+      Cond("g.genre", BinaryOp::kNe, Value("comedy")),
+      Cond("g.genre", BinaryOp::kNe, Value("drama"))));
+}
+
+TEST(ContradictionTest, NumericIntervals) {
+  // year < 1980 vs year >= 1990: empty intersection.
+  EXPECT_TRUE(ConditionsContradict(
+      Cond("m.year", BinaryOp::kLt, Value(int64_t{1980})),
+      Cond("m.year", BinaryOp::kGe, Value(int64_t{1990}))));
+  // year < 1980 vs year < 1990: fine.
+  EXPECT_FALSE(ConditionsContradict(
+      Cond("m.year", BinaryOp::kLt, Value(int64_t{1980})),
+      Cond("m.year", BinaryOp::kLt, Value(int64_t{1990}))));
+  // year <= 1980 vs year >= 1980: single point, fine.
+  EXPECT_FALSE(ConditionsContradict(
+      Cond("m.year", BinaryOp::kLe, Value(int64_t{1980})),
+      Cond("m.year", BinaryOp::kGe, Value(int64_t{1980}))));
+  // year < 1980 vs year >= 1980: empty.
+  EXPECT_TRUE(ConditionsContradict(
+      Cond("m.year", BinaryOp::kLt, Value(int64_t{1980})),
+      Cond("m.year", BinaryOp::kGe, Value(int64_t{1980}))));
+  // Equality against interval.
+  EXPECT_TRUE(ConditionsContradict(
+      Cond("m.year", BinaryOp::kEq, Value(int64_t{1975})),
+      Cond("m.year", BinaryOp::kGt, Value(int64_t{1980}))));
+  EXPECT_FALSE(ConditionsContradict(
+      Cond("m.year", BinaryOp::kEq, Value(int64_t{1985})),
+      Cond("m.year", BinaryOp::kGt, Value(int64_t{1980}))));
+  // <> only contradicts = on the same point.
+  EXPECT_TRUE(ConditionsContradict(
+      Cond("m.year", BinaryOp::kNe, Value(int64_t{1985})),
+      Cond("m.year", BinaryOp::kEq, Value(int64_t{1985}))));
+  EXPECT_FALSE(ConditionsContradict(
+      Cond("m.year", BinaryOp::kNe, Value(int64_t{1985})),
+      Cond("m.year", BinaryOp::kLt, Value(int64_t{1990}))));
+}
+
+QueryContext CtxFor(const std::string& sql) {
+  auto q = sql::ParseQuery(sql);
+  EXPECT_TRUE(q.ok());
+  return QueryContext::FromQuery((*q)->single());
+}
+
+TEST(ConflictsWithQueryTest, PresencePreferenceAgainstQueryAtom) {
+  SelectionPreference pref;
+  pref.condition = Cond("genre.genre", BinaryOp::kEq, Value("musical"));
+  pref.doi = *DoiPair::Exact(0.8, 0.0);  // positive presence
+  EXPECT_TRUE(ConflictsWithQuery(
+      pref, CtxFor("select mid from genre where genre.genre = 'comedy'")));
+  EXPECT_FALSE(ConflictsWithQuery(
+      pref, CtxFor("select mid from genre where genre.genre = 'musical'")));
+  EXPECT_FALSE(ConflictsWithQuery(pref, CtxFor("select mid from genre")));
+}
+
+TEST(ConflictsWithQueryTest, AbsencePreferenceUsesNegatedCondition) {
+  // "Dislikes pre-1980 movies": satisfaction is year >= 1980, which
+  // contradicts a query asking for year < 1970.
+  SelectionPreference pref;
+  pref.condition = Cond("movie.year", BinaryOp::kLt, Value(int64_t{1980}));
+  pref.doi = *DoiPair::Exact(-0.7, 0.0);
+  EXPECT_TRUE(ConflictsWithQuery(
+      pref, CtxFor("select title from movie where movie.year < 1970")));
+  EXPECT_FALSE(ConflictsWithQuery(
+      pref, CtxFor("select title from movie where movie.year > 1990")));
+}
+
+TEST(ConflictsWithQueryTest, ElasticPresenceUsesSupportRange) {
+  SelectionPreference pref;
+  pref.condition = Cond("movie.duration", BinaryOp::kEq, Value(int64_t{120}));
+  pref.doi = *DoiPair::Make(*DoiFunction::Triangular(0.7, 120, 30),
+                            DoiFunction());
+  // Support is [90, 150]; a query for duration > 200 conflicts.
+  EXPECT_TRUE(ConflictsWithQuery(
+      pref, CtxFor("select title from movie where movie.duration > 200")));
+  EXPECT_FALSE(ConflictsWithQuery(
+      pref, CtxFor("select title from movie where movie.duration > 100")));
+}
+
+TEST(ConflictsWithQueryTest, ElasticAbsenceIsConservativelyKept) {
+  SelectionPreference pref;
+  pref.condition = Cond("movie.duration", BinaryOp::kEq, Value(int64_t{120}));
+  pref.doi = *DoiPair::Make(*DoiFunction::Triangular(-0.7, 120, 30),
+                            DoiFunction());
+  EXPECT_FALSE(ConflictsWithQuery(
+      pref, CtxFor("select title from movie where movie.duration = 120")));
+}
+
+}  // namespace
+}  // namespace qp::core

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/moviegen.h"
+#include "datagen/profilegen.h"
+#include "exec/executor.h"
+
+namespace qp::datagen {
+namespace {
+
+using storage::Value;
+
+TEST(MovieGenTest, SchemaMatchesThePaper) {
+  storage::Database db;
+  ASSERT_TRUE(CreateMovieSchema(&db).ok());
+  const std::vector<std::string> expected = {"theatre", "play",  "genre",
+                                             "movie",   "cast",  "actor",
+                                             "directed", "director"};
+  EXPECT_EQ(db.TableNames(), expected);
+  EXPECT_EQ((*db.GetTable("movie"))->schema().num_columns(), 4u);
+  EXPECT_EQ((*db.GetTable("theatre"))->schema().num_columns(), 5u);
+  EXPECT_EQ(db.join_links().size(), 7u);
+  EXPECT_TRUE(db.AreJoinable(storage::AttributeRef("movie", "mid"),
+                             storage::AttributeRef("genre", "mid")));
+}
+
+TEST(MovieGenTest, GeneratesConfiguredCardinalities) {
+  const MovieGenConfig config = MovieGenConfig::TestScale();
+  auto db = GenerateMovieDatabase(config);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db->GetTable("movie"))->num_rows(), config.num_movies);
+  EXPECT_EQ((*db->GetTable("director"))->num_rows(), config.num_directors);
+  EXPECT_EQ((*db->GetTable("actor"))->num_rows(), config.num_actors);
+  EXPECT_EQ((*db->GetTable("theatre"))->num_rows(), config.num_theatres);
+  EXPECT_EQ((*db->GetTable("directed"))->num_rows(), config.num_movies);
+  EXPECT_EQ((*db->GetTable("play"))->num_rows(),
+            config.num_theatres * config.plays_per_theatre);
+  EXPECT_GE((*db->GetTable("genre"))->num_rows(), config.num_movies);
+  EXPECT_GE((*db->GetTable("cast"))->num_rows(),
+            config.num_movies * config.min_cast);
+}
+
+TEST(MovieGenTest, DeterministicForSameSeed) {
+  auto a = GenerateMovieDatabase(MovieGenConfig::TestScale());
+  auto b = GenerateMovieDatabase(MovieGenConfig::TestScale());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const auto& ra = (*a->GetTable("movie"))->rows();
+  const auto& rb = (*b->GetTable("movie"))->rows();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) EXPECT_EQ(ra[i], rb[i]);
+}
+
+TEST(MovieGenTest, ValuesWithinConfiguredRanges) {
+  const MovieGenConfig config = MovieGenConfig::TestScale();
+  auto db = GenerateMovieDatabase(config);
+  ASSERT_TRUE(db.ok());
+  for (const auto& row : (*db->GetTable("movie"))->rows()) {
+    EXPECT_GE(row[2].as_int(), config.min_year);
+    EXPECT_LE(row[2].as_int(), config.max_year);
+    EXPECT_GE(row[3].as_int(), config.min_duration);
+    EXPECT_LE(row[3].as_int(), config.max_duration);
+  }
+  const auto& regions = RegionNames();
+  for (const auto& row : (*db->GetTable("theatre"))->rows()) {
+    EXPECT_NE(std::find(regions.begin(), regions.end(), row[3].as_string()),
+              regions.end());
+    EXPECT_GE(row[4].as_double(), config.min_ticket);
+    EXPECT_LE(row[4].as_double(), config.max_ticket);
+  }
+}
+
+TEST(MovieGenTest, GenresAreZipfSkewed) {
+  auto db = GenerateMovieDatabase(MovieGenConfig::TestScale());
+  ASSERT_TRUE(db.ok());
+  exec::Executor executor(&*db);
+  auto rows = executor.ExecuteSql(
+      "select genre, count(*) as n from genre group by genre "
+      "order by count(*) desc");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_GE(rows->num_rows(), 3u);
+  // The top genre should dominate the tail clearly.
+  EXPECT_GT(rows->row(0)[1].ToNumeric(),
+            2 * rows->row(rows->num_rows() - 1)[1].ToNumeric());
+}
+
+TEST(MovieGenTest, ReferentialIntegrity) {
+  auto db = GenerateMovieDatabase(MovieGenConfig::TestScale());
+  ASSERT_TRUE(db.ok());
+  std::set<int64_t> mids, dids, aids;
+  for (const auto& row : (*db->GetTable("movie"))->rows()) {
+    mids.insert(row[0].as_int());
+  }
+  for (const auto& row : (*db->GetTable("director"))->rows()) {
+    dids.insert(row[0].as_int());
+  }
+  for (const auto& row : (*db->GetTable("actor"))->rows()) {
+    aids.insert(row[0].as_int());
+  }
+  for (const auto& row : (*db->GetTable("directed"))->rows()) {
+    EXPECT_TRUE(mids.count(row[0].as_int()));
+    EXPECT_TRUE(dids.count(row[1].as_int()));
+  }
+  for (const auto& row : (*db->GetTable("cast"))->rows()) {
+    EXPECT_TRUE(mids.count(row[0].as_int()));
+    EXPECT_TRUE(aids.count(row[1].as_int()));
+  }
+  for (const auto& row : (*db->GetTable("play"))->rows()) {
+    EXPECT_TRUE(mids.count(row[1].as_int()));
+  }
+}
+
+TEST(ProfileGenTest, GeneratesRequestedMix) {
+  ProfileGenConfig config;
+  config.num_presence = 15;
+  config.num_negative = 4;
+  config.num_absence_11 = 2;
+  config.num_elastic = 3;
+  config.db_config = MovieGenConfig::TestScale();
+  auto profile = GenerateProfile(config);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->selections().size(), 24u);
+  EXPECT_EQ(profile->joins().size(), 9u);  // the join skeleton
+
+  size_t positives = 0, negatives = 0, elastics = 0;
+  for (const auto& p : profile->selections()) {
+    if (p.doi.d_true().is_elastic() || p.doi.d_false().is_elastic()) {
+      ++elastics;
+    } else if (p.doi.d_true().degree() > 0) {
+      ++positives;
+    } else {
+      ++negatives;
+    }
+  }
+  EXPECT_EQ(positives, 15u);
+  EXPECT_EQ(negatives, 6u);  // negative + absence-1-1
+  EXPECT_EQ(elastics, 3u);
+}
+
+TEST(ProfileGenTest, ValidatesAgainstGeneratedDatabase) {
+  auto db = GenerateMovieDatabase(MovieGenConfig::TestScale());
+  ASSERT_TRUE(db.ok());
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    ProfileGenConfig config;
+    config.seed = seed;
+    config.num_presence = 10;
+    config.num_negative = 2;
+    config.num_elastic = 2;
+    config.db_config = MovieGenConfig::TestScale();
+    auto profile = GenerateProfile(config);
+    ASSERT_TRUE(profile.ok());
+    EXPECT_TRUE(profile->Validate(*db).ok());
+  }
+}
+
+TEST(ProfileGenTest, PresencePreferencesMatchExistingEntities) {
+  auto db = GenerateMovieDatabase(MovieGenConfig::TestScale());
+  ASSERT_TRUE(db.ok());
+  ProfileGenConfig config;
+  config.num_presence = 10;
+  config.db_config = MovieGenConfig::TestScale();
+  auto profile = GenerateProfile(config);
+  ASSERT_TRUE(profile.ok());
+  exec::Executor executor(&*db);
+  // Director/actor preferences must reference names that exist.
+  for (const auto& p : profile->selections()) {
+    if (p.condition.attr.table != "director") continue;
+    auto rows = executor.ExecuteSql(
+        "select did from director where director.name = '" +
+        p.condition.value.as_string() + "'");
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows->num_rows(), 1u) << p.condition.value.as_string();
+  }
+}
+
+TEST(ProfileGenTest, AlsProfileMatchesFigure2) {
+  auto al = AlsProfile();
+  ASSERT_TRUE(al.ok());
+  EXPECT_EQ(al->selections().size(), 6u);  // P1-P6
+  EXPECT_EQ(al->joins().size(), 7u);       // P7-P10
+  storage::Database db;
+  ASSERT_TRUE(CreateMovieSchema(&db).ok());
+  EXPECT_TRUE(al->Validate(db).ok());
+}
+
+}  // namespace
+}  // namespace qp::datagen

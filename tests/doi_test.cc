@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "core/doi.h"
+
+namespace qp::core {
+namespace {
+
+using storage::Value;
+
+TEST(DoiFunctionTest, ConstantEvaluatesEverywhere) {
+  auto f = DoiFunction::Constant(0.8);
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(f->is_elastic());
+  EXPECT_EQ(f->Eval(0.0), 0.8);
+  EXPECT_EQ(f->Eval(-1000.0), 0.8);
+  EXPECT_EQ(f->degree(), 0.8);
+}
+
+TEST(DoiFunctionTest, RejectsOutOfRangeDegrees) {
+  EXPECT_FALSE(DoiFunction::Constant(1.5).ok());
+  EXPECT_FALSE(DoiFunction::Constant(-1.5).ok());
+  EXPECT_TRUE(DoiFunction::Constant(1.0).ok());
+  EXPECT_TRUE(DoiFunction::Constant(-1.0).ok());
+}
+
+TEST(DoiFunctionTest, TriangularShape) {
+  auto f = DoiFunction::Triangular(0.7, 120.0, 30.0);
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->is_elastic());
+  EXPECT_DOUBLE_EQ(f->Eval(120.0), 0.7);            // peak
+  EXPECT_DOUBLE_EQ(f->Eval(105.0), 0.35);           // halfway up
+  EXPECT_DOUBLE_EQ(f->Eval(135.0), 0.35);           // symmetric
+  EXPECT_DOUBLE_EQ(f->Eval(90.0), 0.0);             // support edge
+  EXPECT_DOUBLE_EQ(f->Eval(150.0), 0.0);
+  EXPECT_DOUBLE_EQ(f->Eval(60.0), 0.0);             // outside
+  EXPECT_EQ(f->support_lo(), 90.0);
+  EXPECT_EQ(f->support_hi(), 150.0);
+}
+
+TEST(DoiFunctionTest, NegativeTriangular) {
+  auto f = DoiFunction::Triangular(-0.5, 120.0, 30.0);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->Eval(120.0), -0.5);
+  EXPECT_DOUBLE_EQ(f->Eval(105.0), -0.25);
+  EXPECT_DOUBLE_EQ(f->Eval(151.0), 0.0);
+}
+
+TEST(DoiFunctionTest, TrapezoidalShape) {
+  auto f = DoiFunction::Trapezoidal(0.6, 0.0, 10.0, 20.0, 40.0);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->Eval(15.0), 0.6);   // core
+  EXPECT_DOUBLE_EQ(f->Eval(10.0), 0.6);   // core edge
+  EXPECT_DOUBLE_EQ(f->Eval(5.0), 0.3);    // left shoulder
+  EXPECT_DOUBLE_EQ(f->Eval(30.0), 0.3);   // right shoulder
+  EXPECT_DOUBLE_EQ(f->Eval(40.0), 0.0);
+  EXPECT_DOUBLE_EQ(f->Eval(45.0), 0.0);
+}
+
+TEST(DoiFunctionTest, TrapezoidTouchingSupportEdgeKeepsFullDegree) {
+  // Open-shoulder form of Figure 1(b): full degree from the left edge.
+  auto f = DoiFunction::Trapezoidal(0.9, 0.0, 0.0, 5.0, 10.0);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ(f->Eval(0.0), 0.9);
+  EXPECT_DOUBLE_EQ(f->Eval(7.5), 0.45);
+}
+
+TEST(DoiFunctionTest, RejectsMalformedShapes) {
+  EXPECT_FALSE(DoiFunction::Triangular(0.5, 0.0, 0.0).ok());
+  EXPECT_FALSE(DoiFunction::Triangular(0.5, 0.0, -1.0).ok());
+  EXPECT_FALSE(DoiFunction::Trapezoidal(0.5, 10.0, 0.0, 20.0, 40.0).ok());
+  EXPECT_FALSE(DoiFunction::Trapezoidal(0.5, 0.0, 0.0, 0.0, 0.0).ok());
+}
+
+TEST(DoiFunctionTest, EvalOverValues) {
+  auto elastic = DoiFunction::Triangular(0.7, 100.0, 10.0);
+  ASSERT_TRUE(elastic.ok());
+  EXPECT_DOUBLE_EQ(elastic->Eval(Value(int64_t{100})), 0.7);
+  EXPECT_DOUBLE_EQ(elastic->Eval(Value(100.0)), 0.7);
+  EXPECT_DOUBLE_EQ(elastic->Eval(Value("abc")), 0.0);
+  EXPECT_DOUBLE_EQ(elastic->Eval(Value::Null()), 0.0);
+  auto constant = DoiFunction::Constant(0.4);
+  EXPECT_DOUBLE_EQ(constant->Eval(Value("anything")), 0.4);
+}
+
+TEST(DoiPairTest, SignConditionEnforced) {
+  EXPECT_TRUE(DoiPair::Exact(0.8, 0.0).ok());
+  EXPECT_TRUE(DoiPair::Exact(0.7, -0.5).ok());
+  EXPECT_TRUE(DoiPair::Exact(-0.9, 0.7).ok());
+  EXPECT_TRUE(DoiPair::Exact(0.0, 0.0).ok());
+  EXPECT_FALSE(DoiPair::Exact(0.5, 0.5).ok());
+  EXPECT_FALSE(DoiPair::Exact(-0.5, -0.5).ok());
+}
+
+TEST(DoiPairTest, SatisfactionAndFailureDegrees) {
+  // The paper's examples (Example 4): P1 (0.8, 0), P4 (e(0.7), e(-0.5)),
+  // P5 (-0.9, 0.7).
+  auto p1 = DoiPair::Exact(0.8, 0.0);
+  EXPECT_DOUBLE_EQ(p1->SatisfactionDegree(), 0.8);
+  EXPECT_DOUBLE_EQ(p1->FailureDegree(), 0.0);
+
+  auto p5 = DoiPair::Exact(-0.9, 0.7);
+  EXPECT_DOUBLE_EQ(p5->SatisfactionDegree(), 0.7);
+  EXPECT_DOUBLE_EQ(p5->FailureDegree(), -0.9);
+
+  auto dt = DoiFunction::Triangular(0.7, 120, 30);
+  auto df = DoiFunction::Triangular(-0.5, 120, 30);
+  auto p4 = DoiPair::Make(*dt, *df);
+  ASSERT_TRUE(p4.ok());
+  EXPECT_DOUBLE_EQ(p4->SatisfactionDegree(), 0.7);
+  EXPECT_DOUBLE_EQ(p4->FailureDegree(), -0.5);
+}
+
+TEST(DoiPairTest, SatisfiedWhenTrue) {
+  EXPECT_TRUE(DoiPair::Exact(0.8, 0.0)->SatisfiedWhenTrue());
+  EXPECT_TRUE(DoiPair::Exact(0.7, -0.5)->SatisfiedWhenTrue());
+  EXPECT_FALSE(DoiPair::Exact(-0.9, 0.7)->SatisfiedWhenTrue());
+  EXPECT_FALSE(DoiPair::Exact(-0.7, 0.0)->SatisfiedWhenTrue());
+}
+
+TEST(DoiPairTest, ScaledMultipliesDegrees) {
+  auto p = DoiPair::Exact(0.8, -0.5);
+  DoiPair scaled = p->Scaled(0.9);
+  EXPECT_DOUBLE_EQ(scaled.d_true().degree(), 0.72);
+  EXPECT_DOUBLE_EQ(scaled.d_false().degree(), -0.45);
+}
+
+TEST(DoiPairTest, ScaledPreservesElasticShape) {
+  auto dt = DoiFunction::Triangular(0.7, 120, 30);
+  auto p = DoiPair::Make(*dt, DoiFunction());
+  DoiPair scaled = p->Scaled(0.5);
+  EXPECT_TRUE(scaled.d_true().is_elastic());
+  EXPECT_DOUBLE_EQ(scaled.d_true().degree(), 0.35);
+  EXPECT_DOUBLE_EQ(scaled.d_true().Eval(120.0), 0.35);
+  EXPECT_DOUBLE_EQ(scaled.d_true().support_lo(), 90.0);
+}
+
+TEST(DoiPairTest, IndifferentDetection) {
+  EXPECT_TRUE(DoiPair().IsIndifferent());
+  EXPECT_TRUE(DoiPair::Exact(0.0, 0.0)->IsIndifferent());
+  EXPECT_FALSE(DoiPair::Exact(0.1, 0.0)->IsIndifferent());
+}
+
+TEST(DoiPairTest, ToStringShowsBothComponents) {
+  EXPECT_EQ(DoiPair::Exact(0.8, 0.0)->ToString(), "(0.8, 0)");
+}
+
+/// Property sweep: for every valid (dT, dF) combination the satisfaction
+/// degree is >= 0 and the failure degree <= 0 (paper Section 3.3 says the
+/// doi in satisfaction is max(dT, dF), in failure min(dT, dF)).
+class DoiPairPropertyTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(DoiPairPropertyTest, SatisfactionNonNegativeFailureNonPositive) {
+  const auto [dt, df] = GetParam();
+  auto pair = DoiPair::Exact(dt, df);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_GE(pair->SatisfactionDegree(), 0.0);
+  EXPECT_LE(pair->FailureDegree(), 0.0);
+  EXPECT_DOUBLE_EQ(pair->SatisfactionDegree(), std::max({dt, df, 0.0}));
+  EXPECT_DOUBLE_EQ(pair->FailureDegree(), std::min({dt, df, 0.0}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ValidPairs, DoiPairPropertyTest,
+    ::testing::Values(std::pair{0.8, 0.0}, std::pair{0.0, 0.8},
+                      std::pair{0.7, -0.5}, std::pair{-0.5, 0.7},
+                      std::pair{-0.9, 0.0}, std::pair{0.0, -0.9},
+                      std::pair{1.0, -1.0}, std::pair{0.0, 0.0}));
+
+}  // namespace
+}  // namespace qp::core

@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "sql/parser.h"
+#include "storage/database.h"
+
+namespace qp::exec {
+namespace {
+
+using sql::ParseQuery;
+using storage::Column;
+using storage::Database;
+using storage::DataType;
+using storage::TableSchema;
+using storage::Value;
+
+/// Small fixture database: movies with genres and directors.
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto movie = db_.CreateTable(TableSchema(
+        "movie",
+        {{"mid", DataType::kInt}, {"title", DataType::kString},
+         {"year", DataType::kInt}, {"duration", DataType::kInt}},
+        {"mid"}));
+    ASSERT_TRUE(movie.ok());
+    auto genre = db_.CreateTable(TableSchema(
+        "genre", {{"mid", DataType::kInt}, {"genre", DataType::kString}}));
+    ASSERT_TRUE(genre.ok());
+    auto add_movie = [&](int64_t mid, const char* title, int64_t year,
+                         int64_t duration) {
+      ASSERT_TRUE((*movie)->Append({Value(mid), Value(title), Value(year),
+                                    Value(duration)}).ok());
+    };
+    add_movie(1, "Alpha", 1975, 120);
+    add_movie(2, "Beta", 1985, 95);
+    add_movie(3, "Gamma", 1995, 130);
+    add_movie(4, "Delta", 2001, 110);
+    auto add_genre = [&](int64_t mid, const char* g) {
+      ASSERT_TRUE((*genre)->Append({Value(mid), Value(g)}).ok());
+    };
+    add_genre(1, "comedy");
+    add_genre(1, "musical");
+    add_genre(2, "comedy");
+    add_genre(3, "drama");
+    add_genre(4, "comedy");
+  }
+
+  Result<RowSet> Run(const std::string& sql) {
+    Executor executor(&db_);
+    return executor.ExecuteSql(sql);
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, FullScan) {
+  auto rows = Run("select title from movie");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->num_rows(), 4u);
+  EXPECT_EQ(rows->columns()[0].name, "title");
+}
+
+TEST_F(ExecutorTest, FilterComparisons) {
+  EXPECT_EQ(Run("select title from movie where year >= 1990")->num_rows(), 2u);
+  EXPECT_EQ(Run("select title from movie where year < 1980")->num_rows(), 1u);
+  EXPECT_EQ(Run("select title from movie where title = 'Beta'")->num_rows(),
+            1u);
+  EXPECT_EQ(Run("select title from movie where year <> 1985")->num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, AndOrNot) {
+  EXPECT_EQ(
+      Run("select title from movie where year > 1980 and duration < 120")
+          ->num_rows(),
+      2u);
+  EXPECT_EQ(
+      Run("select title from movie where year < 1980 or year > 2000")
+          ->num_rows(),
+      2u);
+  EXPECT_EQ(Run("select title from movie where not year < 1980")->num_rows(),
+            3u);
+}
+
+TEST_F(ExecutorTest, HashJoin) {
+  auto rows = Run(
+      "select movie.title, genre.genre from movie, genre "
+      "where movie.mid = genre.mid and genre.genre = 'comedy'");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, JoinWithAliases) {
+  auto rows = Run(
+      "select m.title from movie m, genre g "
+      "where m.mid = g.mid and g.genre = 'musical'");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->num_rows(), 1u);
+  EXPECT_EQ(rows->row(0)[0], Value("Alpha"));
+}
+
+TEST_F(ExecutorTest, SelfJoinThroughTwoOccurrences) {
+  // Movies sharing a genre with Beta (including Beta itself).
+  auto rows = Run(
+      "select distinct m2.title from genre g1, genre g2, movie m2 "
+      "where g1.genre = g2.genre and g2.mid = m2.mid and g1.mid = 2");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->num_rows(), 3u);  // Alpha, Beta, Delta share 'comedy'
+}
+
+TEST_F(ExecutorTest, NotInSubquery) {
+  auto rows = Run(
+      "select title from movie where movie.mid not in "
+      "(select mid from genre where genre.genre = 'musical')");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->num_rows(), 3u);  // all but Alpha
+}
+
+TEST_F(ExecutorTest, InSubquery) {
+  auto rows = Run(
+      "select title from movie where movie.mid in "
+      "(select mid from genre where genre.genre = 'comedy')");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, UnionAll) {
+  auto rows = Run(
+      "select title from movie where year < 1980 union all "
+      "select title from movie where year > 2000");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->num_rows(), 2u);
+}
+
+TEST_F(ExecutorTest, UnionArityMismatchFails) {
+  EXPECT_FALSE(Run("select title from movie union all "
+                   "select title, year from movie")
+                   .ok());
+}
+
+TEST_F(ExecutorTest, OrderByAndLimit) {
+  auto rows = Run("select title from movie order by year desc limit 2");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->num_rows(), 2u);
+  EXPECT_EQ(rows->row(0)[0], Value("Delta"));
+  EXPECT_EQ(rows->row(1)[0], Value("Gamma"));
+}
+
+TEST_F(ExecutorTest, OrderByNonProjectedColumn) {
+  auto rows = Run("select title from movie order by duration asc");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->row(0)[0], Value("Beta"));
+}
+
+TEST_F(ExecutorTest, Distinct) {
+  auto rows = Run("select distinct genre from genre");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, GroupByCountHaving) {
+  auto rows = Run(
+      "select genre, count(*) as n from genre group by genre "
+      "having count(*) >= 2 order by genre asc");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->num_rows(), 1u);
+  EXPECT_EQ(rows->row(0)[0], Value("comedy"));
+  EXPECT_EQ(rows->row(0)[1], Value(int64_t{3}));
+}
+
+TEST_F(ExecutorTest, GlobalAggregates) {
+  auto rows = Run(
+      "select count(*) as n, min(year) as lo, max(year) as hi, "
+      "avg(duration) as avg_d, sum(duration) as sum_d from movie");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->num_rows(), 1u);
+  EXPECT_EQ(rows->row(0)[0], Value(int64_t{4}));
+  EXPECT_EQ(rows->row(0)[1], Value(int64_t{1975}));
+  EXPECT_EQ(rows->row(0)[2], Value(int64_t{2001}));
+  EXPECT_EQ(rows->row(0)[3], Value((120 + 95 + 130 + 110) / 4.0));
+  EXPECT_EQ(rows->row(0)[4], Value(120.0 + 95 + 130 + 110));
+}
+
+TEST_F(ExecutorTest, GlobalAggregateOverEmptyInput) {
+  auto rows = Run("select count(*) as n from movie where year > 3000");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->num_rows(), 1u);
+  EXPECT_EQ(rows->row(0)[0], Value(int64_t{0}));
+}
+
+TEST_F(ExecutorTest, DerivedTableWithOuterAggregation) {
+  auto rows = Run(
+      "select title, count(*) as n from "
+      "(select movie.title title from movie, genre "
+      " where movie.mid = genre.mid) u "
+      "group by title having count(*) >= 2");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->num_rows(), 1u);
+  EXPECT_EQ(rows->row(0)[0], Value("Alpha"));
+}
+
+TEST_F(ExecutorTest, LiteralSelectItems) {
+  auto rows = Run("select title, 0.7 degree from movie where mid = 1");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->num_rows(), 1u);
+  EXPECT_EQ(rows->row(0)[1], Value(0.7));
+}
+
+TEST_F(ExecutorTest, CustomAggregateRegistry) {
+  // A product aggregate: prod(x) over the group.
+  class Product : public Aggregator {
+   public:
+    void Add(const Value& v) override {
+      if (v.is_numeric()) product_ *= v.ToNumeric();
+    }
+    Value Finalize() const override { return Value(product_); }
+
+   private:
+    double product_ = 1.0;
+  };
+  AggregateRegistry registry;
+  ASSERT_TRUE(registry.Register("prod", [] {
+    return std::unique_ptr<Aggregator>(new Product());
+  }).ok());
+  EXPECT_FALSE(registry.Register("count", nullptr).ok());
+  EXPECT_FALSE(registry.Register("prod", nullptr).ok());
+  EXPECT_TRUE(registry.Contains("PROD"));
+  EXPECT_FALSE(registry.Contains("nope"));
+
+  Executor executor(&db_, &registry);
+  auto rows = executor.ExecuteSql(
+      "select prod(duration) as p from movie where year > 1990");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->row(0)[0], Value(130.0 * 110.0));
+}
+
+TEST_F(ExecutorTest, UnknownAggregateFails) {
+  EXPECT_FALSE(Run("select bogus(year) from movie").ok());
+}
+
+TEST_F(ExecutorTest, UnknownTableAndColumnFail) {
+  EXPECT_FALSE(Run("select title from nosuch").ok());
+  EXPECT_FALSE(Run("select nosuch from movie").ok());
+  EXPECT_FALSE(Run("select title from movie where nosuch = 1").ok());
+}
+
+TEST_F(ExecutorTest, AmbiguousColumnFails) {
+  EXPECT_FALSE(Run("select mid from movie, genre "
+                   "where movie.mid = genre.mid").ok());
+}
+
+TEST_F(ExecutorTest, DuplicateAliasFails) {
+  EXPECT_FALSE(Run("select m.title from movie m, genre m").ok());
+}
+
+TEST_F(ExecutorTest, IndexedPointLookupUsesLessScanning) {
+  Executor executor(&db_);
+  auto rows = executor.ExecuteSql("select title from movie where mid = 3");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->num_rows(), 1u);
+  // Index lookup: only matching candidates are scanned, not the full table.
+  EXPECT_LE(executor.stats().rows_scanned, 1u);
+}
+
+TEST_F(ExecutorTest, NullsNeverMatchComparisons) {
+  auto table = db_.GetTable("movie");
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(
+      (*table)->Append({Value(int64_t{9}), Value("Nully"), Value::Null(),
+                        Value::Null()}).ok());
+  EXPECT_EQ(Run("select title from movie where year < 3000")->num_rows(), 4u);
+  EXPECT_EQ(Run("select title from movie where year >= 0")->num_rows(), 4u);
+  EXPECT_EQ(Run("select title from movie where not year < 3000")->num_rows(),
+            0u);
+}
+
+TEST_F(ExecutorTest, ScalarFnExpressionsEvaluatePerRow) {
+  // Build `select title, half(duration) from movie` programmatically (the
+  // same mechanism elastic preferences use for per-tuple degrees).
+  sql::SelectQuery q;
+  q.from.push_back(sql::TableRef{"movie", "", nullptr});
+  q.select.push_back({sql::Expr::Column("movie", "title"), ""});
+  q.select.push_back(
+      {sql::Expr::ScalarFn(
+           "half",
+           [](const Value& v) {
+             return v.is_numeric() ? Value(v.ToNumeric() / 2.0) : Value::Null();
+           },
+           sql::Expr::Column("movie", "duration")),
+       "half_duration"});
+  Executor executor(&db_);
+  auto rows = executor.Execute(*sql::Query::Single(q));
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->num_rows(), 4u);
+  EXPECT_EQ(rows->columns()[1].name, "half_duration");
+  for (const auto& row : rows->rows()) {
+    EXPECT_TRUE(row[1].is_double());
+  }
+}
+
+TEST_F(ExecutorTest, OrderByOutputAliasOfComputedColumn) {
+  // `degree` only exists as a select alias; ORDER BY must fall back to it.
+  auto rows = Run(
+      "select title, duration degree from movie order by degree desc");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->num_rows(), 4u);
+  EXPECT_EQ(rows->row(0)[0], Value("Gamma"));  // duration 130
+}
+
+TEST_F(ExecutorTest, LimitAppliesToAggregateOutput) {
+  auto rows = Run(
+      "select genre, count(*) n from genre group by genre "
+      "order by genre asc limit 2");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->num_rows(), 2u);
+}
+
+TEST_F(ExecutorTest, StatsCountersAdvance) {
+  Executor executor(&db_);
+  ASSERT_TRUE(executor.ExecuteSql("select title from movie").ok());
+  const auto after_scan = executor.stats();
+  EXPECT_EQ(after_scan.queries_executed, 1u);
+  EXPECT_GE(after_scan.rows_scanned, 4u);
+  EXPECT_EQ(after_scan.rows_output, 4u);
+  ASSERT_TRUE(executor
+                  .ExecuteSql("select title from movie where movie.mid in "
+                              "(select mid from genre)")
+                  .ok());
+  EXPECT_EQ(executor.stats().subqueries_materialized, 1u);
+  executor.ResetStats();
+  EXPECT_EQ(executor.stats().queries_executed, 0u);
+}
+
+TEST(ScopeTest, ResolveQualifiedAndAmbiguous) {
+  Scope scope({{"m", "mid"}, {"g", "mid"}, {"g", "genre"}});
+  EXPECT_EQ(*scope.Resolve("m", "mid"), 0u);
+  EXPECT_EQ(*scope.Resolve("g", "mid"), 1u);
+  EXPECT_EQ(*scope.Resolve("", "genre"), 2u);
+  EXPECT_FALSE(scope.Resolve("", "mid").ok());   // ambiguous
+  EXPECT_FALSE(scope.Resolve("x", "mid").ok());  // unknown qualifier
+}
+
+TEST(RowSetTest, FindColumnAndToString) {
+  RowSet rs({{"m", "title"}, {"", "degree"}});
+  rs.Add({Value("Alpha"), Value(0.7)});
+  EXPECT_EQ(rs.FindColumn("m", "title"), 0);
+  EXPECT_EQ(rs.FindColumn("", "degree"), 1);
+  EXPECT_EQ(rs.FindColumn("", "nope"), -1);
+  const std::string table = rs.ToString();
+  EXPECT_NE(table.find("m.title"), std::string::npos);
+  EXPECT_NE(table.find("Alpha"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qp::exec

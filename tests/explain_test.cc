@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "datagen/moviegen.h"
+#include "exec/executor.h"
+
+namespace qp::exec {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db =
+        datagen::GenerateMovieDatabase(datagen::MovieGenConfig::TestScale());
+    ASSERT_TRUE(db.ok());
+    db_ = new storage::Database(std::move(db).value());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  std::string Plan(const std::string& sql) {
+    Executor executor(db_);
+    auto plan = executor.ExplainSql(sql);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    return plan.value_or("");
+  }
+
+  static storage::Database* db_;
+};
+
+storage::Database* ExplainTest::db_ = nullptr;
+
+TEST_F(ExplainTest, FullScanIsReported) {
+  const std::string plan = Plan("select title from movie");
+  EXPECT_NE(plan.find("full scan"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("result: 400 rows"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainTest, IndexLookupIsReported) {
+  const std::string plan = Plan("select title from movie where mid = 7");
+  EXPECT_NE(plan.find("index lookup on mid = 7"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("result: 1 rows"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainTest, RangeScanIsReported) {
+  const std::string plan =
+      Plan("select title from movie where movie.year >= 2000 and "
+           "movie.year <= 2002");
+  EXPECT_NE(plan.find("range scan on year in [2000, 2002]"),
+            std::string::npos)
+      << plan;
+}
+
+TEST_F(ExplainTest, OpenRangeScanIsReported) {
+  const std::string plan =
+      Plan("select title from movie where movie.duration > 200");
+  EXPECT_NE(plan.find("range scan on duration in (200, +inf)"),
+            std::string::npos)
+      << plan;
+}
+
+TEST_F(ExplainTest, JoinOrderStartsFromSmallestSource) {
+  const std::string plan = Plan(
+      "select m.title from movie m, genre g "
+      "where m.mid = g.mid and m.mid = 3");
+  // The point-filtered movie source (1 row) must be the start.
+  EXPECT_NE(plan.find("start from 'm'"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("join 'g' via persistent index"), std::string::npos)
+      << plan;
+}
+
+TEST_F(ExplainTest, SubqueryAndUnionAppearIndented) {
+  const std::string plan = Plan(
+      "select title from movie where movie.mid not in "
+      "(select mid from genre where genre.genre = 'musical') "
+      "union all select title from movie where movie.year < 1955");
+  EXPECT_NE(plan.find("union branch 1:"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("union branch 2:"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("NOT IN subquery"), std::string::npos) << plan;
+  // Indented nested lines.
+  EXPECT_NE(plan.find("\n  "), std::string::npos) << plan;
+}
+
+TEST_F(ExplainTest, AggregationIsReported) {
+  const std::string plan = Plan(
+      "select genre, count(*) n from genre group by genre "
+      "having count(*) >= 5");
+  EXPECT_NE(plan.find("aggregate: group by 1 key(s), with HAVING"),
+            std::string::npos)
+      << plan;
+}
+
+TEST_F(ExplainTest, ResidualPredicatesAreReported) {
+  // A disjunction across two sources cannot be pushed to either.
+  const std::string plan = Plan(
+      "select m.title from movie m, genre g "
+      "where m.mid = g.mid and (m.year < 1960 or g.genre = 'war')");
+  EXPECT_NE(plan.find("residual predicate"), std::string::npos) << plan;
+}
+
+TEST_F(ExplainTest, ExplainOfInvalidQueryFails) {
+  Executor executor(db_);
+  EXPECT_FALSE(executor.ExplainSql("select nosuch from movie").ok());
+  EXPECT_FALSE(executor.ExplainSql("not sql").ok());
+}
+
+TEST_F(ExplainTest, ExecutionWithoutExplainProducesNoTrace) {
+  // Plain execution must not pay for or leak trace state.
+  Executor executor(db_);
+  auto rows = executor.ExecuteSql("select title from movie where mid = 3");
+  ASSERT_TRUE(rows.ok());
+  auto plan = executor.ExplainSql("select title from movie where mid = 4");
+  ASSERT_TRUE(plan.ok());
+  // Two traces in sequence don't accumulate.
+  auto plan2 = executor.ExplainSql("select title from movie where mid = 5");
+  ASSERT_TRUE(plan2.ok());
+  EXPECT_EQ(std::count(plan2->begin(), plan2->end(), '\n'),
+            std::count(plan->begin(), plan->end(), '\n'));
+}
+
+}  // namespace
+}  // namespace qp::exec

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+#include "datagen/moviegen.h"
+#include "datagen/profilegen.h"
+
+namespace qp::core {
+namespace {
+
+using sql::BinaryOp;
+using storage::Value;
+
+class GraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(datagen::CreateMovieSchema(&db_).ok());
+    auto al = datagen::AlsProfile();
+    ASSERT_TRUE(al.ok());
+    profile_ = std::move(al).value();
+  }
+
+  storage::Database db_;
+  UserProfile profile_;
+};
+
+TEST_F(GraphTest, BuildValidatesProfile) {
+  auto graph = PersonalizationGraph::Build(&db_, &profile_);
+  ASSERT_TRUE(graph.ok());
+
+  UserProfile bad;
+  ASSERT_TRUE(bad.AddSelection("zzz.attr", BinaryOp::kEq, Value("x"),
+                               *DoiPair::Exact(0.5, 0)).ok());
+  EXPECT_FALSE(PersonalizationGraph::Build(&db_, &bad).ok());
+}
+
+TEST_F(GraphTest, NodeAndEdgeCountsMatchFormalDefinition) {
+  auto graph = PersonalizationGraph::Build(&db_, &profile_);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->NumRelationNodes(), 8u);  // the paper's schema
+  EXPECT_EQ(graph->NumAttributeNodes(), 24u);
+  // Al's profile: 6 selection preferences -> 6 value nodes, 7 join edges.
+  EXPECT_EQ(graph->NumValueNodes(), 6u);
+  EXPECT_EQ(graph->NumSelectionEdges(), 6u);
+  EXPECT_EQ(graph->NumJoinEdges(), 7u);
+}
+
+TEST_F(GraphTest, AdjacencySortedByCriticality) {
+  auto graph = PersonalizationGraph::Build(&db_, &profile_);
+  ASSERT_TRUE(graph.ok());
+  const auto& movie_sels = graph->SelectionEdges("movie");
+  ASSERT_EQ(movie_sels.size(), 2u);  // year, duration
+  EXPECT_GE(movie_sels[0]->Criticality(), movie_sels[1]->Criticality());
+  const auto& movie_joins = graph->JoinEdges("movie");
+  ASSERT_GE(movie_joins.size(), 2u);
+  for (size_t i = 1; i < movie_joins.size(); ++i) {
+    EXPECT_GE(movie_joins[i - 1]->Criticality(), movie_joins[i]->Criticality());
+  }
+  EXPECT_TRUE(graph->SelectionEdges("play").empty());
+  EXPECT_TRUE(graph->JoinEdges("actor").empty());
+}
+
+TEST_F(GraphTest, FakeCriticalityFollowsTheRule) {
+  auto graph = PersonalizationGraph::Build(&db_, &profile_);
+  ASSERT_TRUE(graph.ok());
+  // Edge movie->directed: followed only by join directed->director (0.9),
+  // doubled => fc = 1.8.
+  const JoinPreference* to_directed = nullptr;
+  const JoinPreference* to_director = nullptr;
+  const JoinPreference* to_genre = nullptr;
+  for (const auto* j : graph->JoinEdges("movie")) {
+    if (j->to.table == "directed") to_directed = j;
+    if (j->to.table == "genre") to_genre = j;
+  }
+  for (const auto* j : graph->JoinEdges("directed")) {
+    if (j->to.table == "director") to_director = j;
+  }
+  ASSERT_NE(to_directed, nullptr);
+  ASSERT_NE(to_director, nullptr);
+  ASSERT_NE(to_genre, nullptr);
+  EXPECT_DOUBLE_EQ(graph->FakeCriticality(to_directed), 2.0 * 0.9);
+  // directed->director is followed by the selection on director.name
+  // (criticality 0.8).
+  EXPECT_DOUBLE_EQ(graph->FakeCriticality(to_director), 0.8);
+  // movie->genre is followed by the musical selection (criticality 1.6).
+  EXPECT_DOUBLE_EQ(graph->FakeCriticality(to_genre), 1.6);
+}
+
+TEST_F(GraphTest, PathCounts) {
+  auto graph = PersonalizationGraph::Build(&db_, &profile_);
+  ASSERT_TRUE(graph.ok());
+  const JoinPreference* to_directed = nullptr;
+  for (const auto* j : graph->JoinEdges("movie")) {
+    if (j->to.table == "directed") to_directed = j;
+  }
+  ASSERT_NE(to_directed, nullptr);
+  // movie->directed expands to exactly one selection path (director.name).
+  EXPECT_EQ(graph->PathCount(to_directed), 1u);
+
+  const JoinPreference* to_play = nullptr;
+  for (const auto* j : graph->JoinEdges("movie")) {
+    if (j->to.table == "play") to_play = j;
+  }
+  ASSERT_NE(to_play, nullptr);
+  // movie->play->theatre reaches ticket and region selections.
+  EXPECT_EQ(graph->PathCount(to_play), 2u);
+}
+
+TEST_F(GraphTest, RefreshAfterProfileChange) {
+  auto graph = PersonalizationGraph::Build(&db_, &profile_);
+  ASSERT_TRUE(graph.ok());
+  const JoinPreference* to_directed = nullptr;
+  for (const auto* j : graph->JoinEdges("movie")) {
+    if (j->to.table == "directed") to_directed = j;
+  }
+  const size_t before = graph->PathCount(to_directed);
+  // Add another selection on director; stats update only after refresh
+  // (the paper's "periodic updates").
+  ASSERT_TRUE(profile_.AddSelection("director.name", BinaryOp::kEq,
+                                    Value("Someone Else"),
+                                    *DoiPair::Exact(0.6, 0)).ok());
+  EXPECT_EQ(graph->PathCount(to_directed), before);
+  graph->RefreshDerivedStats();
+  EXPECT_EQ(graph->PathCount(to_directed), before + 1);
+}
+
+TEST_F(GraphTest, UnknownEdgeYieldsZeroStats) {
+  auto graph = PersonalizationGraph::Build(&db_, &profile_);
+  JoinPreference foreign{*storage::AttributeRef::Parse("a.x"),
+                         *storage::AttributeRef::Parse("b.y"), 0.5};
+  EXPECT_EQ(graph->FakeCriticality(&foreign), 0.0);
+  EXPECT_EQ(graph->PathCount(&foreign), 0u);
+}
+
+TEST_F(GraphTest, GeneratedProfilesBuildGraphs) {
+  auto db = datagen::GenerateMovieDatabase(datagen::MovieGenConfig::TestScale());
+  ASSERT_TRUE(db.ok());
+  datagen::ProfileGenConfig pg;
+  pg.num_presence = 10;
+  pg.num_negative = 3;
+  pg.num_elastic = 2;
+  pg.num_absence_11 = 1;
+  pg.db_config = datagen::MovieGenConfig::TestScale();
+  auto profile = datagen::GenerateProfile(pg);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_GE(profile->selections().size(), 14u);
+  auto graph = PersonalizationGraph::Build(&*db, &*profile);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+}
+
+}  // namespace
+}  // namespace qp::core

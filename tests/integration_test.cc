@@ -1,0 +1,280 @@
+// End-to-end integration tests: the full pipeline over generated data,
+// cross-algorithm invariants, persistence round trips, and the paper's
+// worked examples executed against a database rather than checked as text.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "core/personalizer.h"
+#include "datagen/moviegen.h"
+#include "datagen/profilegen.h"
+#include "sql/parser.h"
+#include "storage/csv.h"
+
+namespace qp {
+namespace {
+
+using core::AnswerAlgorithm;
+using core::PersonalizeOptions;
+using core::Personalizer;
+using storage::Value;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db =
+        datagen::GenerateMovieDatabase(datagen::MovieGenConfig::TestScale());
+    ASSERT_TRUE(db.ok());
+    db_ = new storage::Database(std::move(db).value());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  sql::SelectQuery Parse(const std::string& sql) {
+    auto q = sql::ParseQuery(sql);
+    EXPECT_TRUE(q.ok()) << sql;
+    return (*q)->single();
+  }
+
+  static storage::Database* db_;
+};
+
+storage::Database* IntegrationTest::db_ = nullptr;
+
+TEST_F(IntegrationTest, AlsProfileEndToEnd) {
+  auto profile = datagen::AlsProfile();
+  ASSERT_TRUE(profile.ok());
+  auto personalizer = Personalizer::Make(db_, &*profile);
+  ASSERT_TRUE(personalizer.ok());
+  PersonalizeOptions options;
+  options.k = 5;
+  options.l = 2;
+  auto answer = personalizer->Personalize(
+      Parse("select mid, title, year, duration from movie"), options);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  ASSERT_GT(answer->tuples.size(), 0u);
+  // Every tuple satisfies at least two preferences with non-negative
+  // degrees, and explanations reference real conditions.
+  for (const auto& t : answer->tuples) {
+    EXPECT_GE(t.satisfied.size(), 2u);
+  }
+  EXPECT_EQ(answer->preferences.size(), 5u);
+}
+
+TEST_F(IntegrationTest, PersonalizedAnswersAreSubsetOfUnchanged) {
+  datagen::ProfileGenConfig pg;
+  pg.num_presence = 8;
+  pg.num_negative = 2;
+  pg.db_config = datagen::MovieGenConfig::TestScale();
+  auto profile = datagen::GenerateProfile(pg);
+  ASSERT_TRUE(profile.ok());
+  auto personalizer = Personalizer::Make(db_, &*profile);
+  ASSERT_TRUE(personalizer.ok());
+
+  const sql::SelectQuery base =
+      Parse("select mid, title from movie where movie.year >= 1975");
+  auto unchanged = personalizer->ExecuteUnchanged(base);
+  ASSERT_TRUE(unchanged.ok());
+  std::set<std::string> all_ids;
+  for (const auto& row : unchanged->rows()) {
+    all_ids.insert(row[0].ToString());
+  }
+
+  PersonalizeOptions options;
+  options.k = 6;
+  options.l = 1;
+  auto answer = personalizer->Personalize(base, options);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  for (const auto& t : answer->tuples) {
+    EXPECT_TRUE(all_ids.count(t.values[0].ToString()))
+        << "personalized tuple not in the unchanged answer";
+  }
+  // Personalization focuses the answer (the paper's 'smaller answers').
+  EXPECT_LE(answer->tuples.size(), all_ids.size());
+}
+
+TEST_F(IntegrationTest, HigherLNeverGrowsTheAnswer) {
+  datagen::ProfileGenConfig pg;
+  pg.num_presence = 8;
+  pg.db_config = datagen::MovieGenConfig::TestScale();
+  auto profile = datagen::GenerateProfile(pg);
+  ASSERT_TRUE(profile.ok());
+  auto personalizer = Personalizer::Make(db_, &*profile);
+  ASSERT_TRUE(personalizer.ok());
+  const sql::SelectQuery base = Parse("select mid, title from movie");
+  size_t previous = SIZE_MAX;
+  for (size_t l = 1; l <= 4; ++l) {
+    PersonalizeOptions options;
+    options.k = 8;
+    options.l = l;
+    auto answer = personalizer->Personalize(base, options);
+    ASSERT_TRUE(answer.ok()) << "L=" << l << ": " << answer.status();
+    EXPECT_LE(answer->tuples.size(), previous) << "L=" << l;
+    previous = answer->tuples.size();
+    for (const auto& t : answer->tuples) {
+      EXPECT_GE(t.satisfied.size(), l);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, SpaPpaAgreementOnGeneratedProfiles) {
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    datagen::ProfileGenConfig pg;
+    pg.seed = seed;
+    pg.num_presence = 6;
+    pg.num_negative = 2;
+    pg.num_absence_11 = 1;
+    pg.num_elastic = 1;
+    pg.db_config = datagen::MovieGenConfig::TestScale();
+    auto profile = datagen::GenerateProfile(pg);
+    ASSERT_TRUE(profile.ok());
+    auto personalizer = Personalizer::Make(db_, &*profile);
+    ASSERT_TRUE(personalizer.ok());
+    const sql::SelectQuery base = Parse("select mid, title from movie");
+    PersonalizeOptions options;
+    options.k = 8;
+    options.l = 2;
+    options.algorithm = AnswerAlgorithm::kSpa;
+    auto spa = personalizer->Personalize(base, options);
+    ASSERT_TRUE(spa.ok()) << spa.status();
+    options.algorithm = AnswerAlgorithm::kPpa;
+    auto ppa = personalizer->Personalize(base, options);
+    ASSERT_TRUE(ppa.ok()) << ppa.status();
+    std::set<std::string> spa_ids, ppa_ids;
+    for (const auto& t : spa->tuples) spa_ids.insert(t.values[0].ToString());
+    for (const auto& t : ppa->tuples) ppa_ids.insert(t.values[0].ToString());
+    EXPECT_EQ(spa_ids, ppa_ids) << "seed=" << seed;
+  }
+}
+
+TEST_F(IntegrationTest, PpaTupleDoiMatchesRankingFunction) {
+  auto profile = datagen::AlsProfile();
+  ASSERT_TRUE(profile.ok());
+  auto personalizer = Personalizer::Make(db_, &*profile);
+  ASSERT_TRUE(personalizer.ok());
+  PersonalizeOptions options;
+  options.k = 5;
+  options.l = 1;
+  auto answer = personalizer->Personalize(Parse("select mid from movie"),
+                                          options);
+  ASSERT_TRUE(answer.ok());
+  for (const auto& t : answer->tuples) {
+    std::vector<double> pos, neg;
+    for (const auto& o : t.satisfied) pos.push_back(o.degree);
+    for (const auto& o : t.failed) neg.push_back(o.degree);
+    EXPECT_NEAR(t.doi, options.ranking.Rank(pos, neg), 1e-9);
+  }
+}
+
+TEST_F(IntegrationTest, ProfilePersistenceRoundTripPreservesAnswers) {
+  auto profile = datagen::AlsProfile();
+  ASSERT_TRUE(profile.ok());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qp_integration_profile.txt")
+          .string();
+  ASSERT_TRUE(profile->Save(path).ok());
+  auto reloaded = core::UserProfile::Load(path);
+  ASSERT_TRUE(reloaded.ok());
+  std::remove(path.c_str());
+
+  auto p1 = Personalizer::Make(db_, &*profile);
+  auto p2 = Personalizer::Make(db_, &*reloaded);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  PersonalizeOptions options;
+  options.k = 5;
+  options.l = 1;
+  const sql::SelectQuery base = Parse("select mid, title from movie");
+  auto a1 = p1->Personalize(base, options);
+  auto a2 = p2->Personalize(base, options);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  ASSERT_EQ(a1->tuples.size(), a2->tuples.size());
+  for (size_t i = 0; i < a1->tuples.size(); ++i) {
+    EXPECT_EQ(a1->tuples[i].values, a2->tuples[i].values) << i;
+    EXPECT_NEAR(a1->tuples[i].doi, a2->tuples[i].doi, 1e-12) << i;
+  }
+}
+
+TEST_F(IntegrationTest, CsvExportReimportPreservesQueries) {
+  // Persist two tables, reload into a second database, compare answers.
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string movie_csv = (dir / "qp_movie.csv").string();
+  const std::string genre_csv = (dir / "qp_genre.csv").string();
+  ASSERT_TRUE(storage::WriteCsv(**db_->GetTable("movie"), movie_csv).ok());
+  ASSERT_TRUE(storage::WriteCsv(**db_->GetTable("genre"), genre_csv).ok());
+
+  storage::Database copy;
+  ASSERT_TRUE(datagen::CreateMovieSchema(&copy).ok());
+  ASSERT_TRUE(storage::ReadCsv(*copy.GetTable("movie"), movie_csv).ok());
+  ASSERT_TRUE(storage::ReadCsv(*copy.GetTable("genre"), genre_csv).ok());
+  std::remove(movie_csv.c_str());
+  std::remove(genre_csv.c_str());
+
+  exec::Executor original(db_);
+  exec::Executor reloaded(&copy);
+  const char* sql =
+      "select movie.title from movie, genre "
+      "where movie.mid = genre.mid and genre.genre = 'comedy' "
+      "order by movie.title limit 25";
+  auto a = original.ExecuteSql(sql);
+  auto b = reloaded.ExecuteSql(sql);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  for (size_t i = 0; i < a->num_rows(); ++i) {
+    EXPECT_EQ(a->row(i), b->row(i));
+  }
+}
+
+TEST_F(IntegrationTest, TheatreAnchoredPersonalization) {
+  auto profile = datagen::AlsProfile();
+  ASSERT_TRUE(profile.ok());
+  auto personalizer = Personalizer::Make(db_, &*profile);
+  ASSERT_TRUE(personalizer.ok());
+  PersonalizeOptions options;
+  options.k = 6;
+  options.l = 1;
+  auto answer = personalizer->Personalize(
+      Parse("select tid, name, region from theatre"), options);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_GT(answer->tuples.size(), 0u);
+  // Al prefers downtown; the top theatre should satisfy the region
+  // preference unless it loses on everything else.
+  const auto& top = answer->tuples[0];
+  bool saw_region_outcome = false;
+  for (const auto& o : top.satisfied) {
+    if (answer->preferences[o.pref_index].pref.ConditionString().find(
+            "region") != std::string::npos) {
+      saw_region_outcome = true;
+    }
+  }
+  EXPECT_TRUE(saw_region_outcome);
+}
+
+TEST_F(IntegrationTest, CriticalityThresholdSelectsFewerForHigherC0) {
+  auto profile = datagen::AlsProfile();
+  ASSERT_TRUE(profile.ok());
+  auto personalizer = Personalizer::Make(db_, &*profile);
+  ASSERT_TRUE(personalizer.ok());
+  const sql::SelectQuery base = Parse("select mid, title from movie");
+  size_t previous = SIZE_MAX;
+  for (double c0 : {0.2, 0.8, 1.25}) {
+    PersonalizeOptions options;
+    options.k = 0;
+    options.min_criticality = c0;
+    auto prefs = personalizer->SelectPreferences(base, options);
+    ASSERT_TRUE(prefs.ok());
+    EXPECT_LE(prefs->size(), previous);
+    previous = prefs->size();
+    for (const auto& p : *prefs) EXPECT_GE(p.criticality, c0);
+  }
+}
+
+}  // namespace
+}  // namespace qp

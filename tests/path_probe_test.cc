@@ -1,0 +1,222 @@
+// PathProbe correctness: prepared probes must agree exactly with executing
+// the rewriter's satisfaction/violation query with `pk = t` appended — the
+// equivalence PPA's fast path relies on.
+
+#include <gtest/gtest.h>
+
+#include "core/path_probe.h"
+#include "core/rewrite.h"
+#include "datagen/moviegen.h"
+#include "exec/executor.h"
+#include "sql/parser.h"
+
+namespace qp::core {
+namespace {
+
+using sql::BinaryOp;
+using storage::Value;
+
+class PathProbeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db =
+        datagen::GenerateMovieDatabase(datagen::MovieGenConfig::TestScale());
+    ASSERT_TRUE(db.ok());
+    db_ = new storage::Database(std::move(db).value());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  SelectionPreference Sel(const char* attr, BinaryOp op, Value v, double dt,
+                          double df) {
+    SelectionPreference p;
+    p.condition = {*storage::AttributeRef::Parse(attr), op, std::move(v)};
+    p.doi = *DoiPair::Exact(dt, df);
+    return p;
+  }
+
+  JoinPreference Join(const char* from, const char* to, double d) {
+    return {*storage::AttributeRef::Parse(from),
+            *storage::AttributeRef::Parse(to), d};
+  }
+
+  /// Reference implementation: execute the truth-form query with pk = t and
+  /// return the max degree.
+  std::optional<double> SqlTruthDegree(const ImplicitPreference& pref,
+                                       int64_t mid) {
+    QueryRewriter rewriter(db_);
+    auto base = sql::ParseQuery("select mid from movie");
+    sql::SelectQuery query;
+    const bool absent = !pref.selection().doi.SatisfiedWhenTrue();
+    // Truth form: violation query for absence preferences, satisfaction
+    // query for presence ones.
+    if (absent && !pref.joins().empty()) {
+      query = *rewriter.BuildViolationQuery((*base)->single(), pref);
+    } else if (absent) {
+      // 1-1 absence: build the presence-form manually via violation.
+      query = *rewriter.BuildViolationQuery((*base)->single(), pref);
+    } else {
+      query = *rewriter.BuildSatisfactionQuery((*base)->single(), pref);
+    }
+    std::vector<sql::ExprPtr> where = sql::ConjunctsOf(query.where);
+    where.push_back(sql::Expr::Compare(
+        BinaryOp::kEq, sql::Expr::Column("movie", "mid"),
+        sql::Expr::Literal(Value(mid))));
+    query.where = sql::Expr::AndAll(std::move(where));
+    exec::Executor executor(db_);
+    auto rows = executor.Execute(*sql::Query::Single(std::move(query)));
+    EXPECT_TRUE(rows.ok()) << rows.status();
+    if (rows->num_rows() == 0) return std::nullopt;
+    double best = rows->row(0).back().ToNumeric();
+    for (size_t r = 1; r < rows->num_rows(); ++r) {
+      best = std::max(best, rows->row(r).back().ToNumeric());
+    }
+    return best;
+  }
+
+  void ExpectAgreement(const ImplicitPreference& pref) {
+    auto probe = PathProbe::Prepare(db_, pref);
+    ASSERT_TRUE(probe.ok()) << probe.status();
+    size_t hits = 0;
+    for (int64_t mid = 1; mid <= 200; ++mid) {
+      const auto fast = probe->TruthDegree(Value(mid));
+      const auto reference = SqlTruthDegree(pref, mid);
+      ASSERT_EQ(fast.has_value(), reference.has_value())
+          << pref.ConditionString() << " mid=" << mid;
+      if (fast.has_value()) {
+        ++hits;
+        EXPECT_NEAR(*fast, *reference, 1e-12)
+            << pref.ConditionString() << " mid=" << mid;
+      }
+    }
+    // The fixtures below are chosen so some tuples hit and some miss.
+    EXPECT_GT(hits, 0u) << pref.ConditionString();
+    EXPECT_LT(hits, 200u) << pref.ConditionString();
+  }
+
+  static storage::Database* db_;
+};
+
+storage::Database* PathProbeTest::db_ = nullptr;
+
+TEST_F(PathProbeTest, DirectAttributeCondition) {
+  ExpectAgreement(ImplicitPreference::Selection(
+      Sel("movie.year", BinaryOp::kGe, Value(int64_t{1990}), 0.8, 0)));
+}
+
+TEST_F(PathProbeTest, DirectNegativeCondition) {
+  ExpectAgreement(ImplicitPreference::Selection(
+      Sel("movie.year", BinaryOp::kLt, Value(int64_t{1980}), -0.7, 0)));
+}
+
+TEST_F(PathProbeTest, OneHopGenreCondition) {
+  ExpectAgreement(*ImplicitPreference::Join(Join("movie.mid", "genre.mid", 0.8))
+                       .ExtendWith(Sel("genre.genre", BinaryOp::kEq,
+                                       Value("comedy"), 0.9, 0)));
+}
+
+TEST_F(PathProbeTest, OneHopAbsenceCondition) {
+  ExpectAgreement(*ImplicitPreference::Join(Join("movie.mid", "genre.mid", 1.0))
+                       .ExtendWith(Sel("genre.genre", BinaryOp::kEq,
+                                       Value("drama"), -0.9, 0.7)));
+}
+
+TEST_F(PathProbeTest, TwoHopDirectorCondition) {
+  ExpectAgreement(
+      *(*ImplicitPreference::Join(Join("movie.mid", "directed.mid", 1.0))
+             .ExtendWith(Join("directed.did", "director.did", 0.9)))
+           .ExtendWith(Sel("director.name", BinaryOp::kEq,
+                           Value("Director 1"), 0.8, 0)));
+}
+
+TEST_F(PathProbeTest, ElasticCondition) {
+  SelectionPreference elastic;
+  elastic.condition = {*storage::AttributeRef::Parse("movie.duration"),
+                       BinaryOp::kEq, Value(int64_t{120})};
+  elastic.doi = *DoiPair::Make(*DoiFunction::Triangular(0.7, 120, 25),
+                               DoiFunction());
+  ExpectAgreement(ImplicitPreference::Selection(elastic));
+}
+
+TEST_F(PathProbeTest, ElasticDegreesScaleWithJoinProduct) {
+  SelectionPreference elastic;
+  elastic.condition = {*storage::AttributeRef::Parse("theatre.ticket"),
+                       BinaryOp::kEq, Value(6.0)};
+  elastic.doi = *DoiPair::Make(*DoiFunction::Triangular(0.5, 6.0, 2.0),
+                               DoiFunction());
+  auto pref = *(*ImplicitPreference::Join(Join("movie.mid", "play.mid", 0.7))
+                     .ExtendWith(Join("play.tid", "theatre.tid", 1.0)))
+                   .ExtendWith(elastic);
+  auto probe = PathProbe::Prepare(db_, pref);
+  ASSERT_TRUE(probe.ok());
+  for (int64_t mid = 1; mid <= 100; ++mid) {
+    const auto degree = probe->TruthDegree(Value(mid));
+    if (degree.has_value()) {
+      EXPECT_LE(*degree, 0.7 * 0.5 + 1e-12);  // join product * peak
+      EXPECT_GE(*degree, 0.0);
+    }
+  }
+}
+
+TEST_F(PathProbeTest, MissingAnchorKeyReturnsNothing) {
+  auto probe = PathProbe::Prepare(
+      db_, ImplicitPreference::Selection(
+               Sel("movie.year", BinaryOp::kGe, Value(int64_t{1900}), 0.5, 0)));
+  ASSERT_TRUE(probe.ok());
+  EXPECT_FALSE(probe->TruthDegree(Value(int64_t{999999})).has_value());
+  EXPECT_FALSE(probe->TruthDegree(Value::Null()).has_value());
+}
+
+TEST_F(PathProbeTest, PrepareRejectsBadInputs) {
+  // Join-only path: no condition to probe.
+  EXPECT_FALSE(PathProbe::Prepare(
+                   db_, ImplicitPreference::Join(
+                            Join("movie.mid", "genre.mid", 1.0)))
+                   .ok());
+  // Anchor without a single-column primary key.
+  EXPECT_FALSE(PathProbe::Prepare(
+                   db_, ImplicitPreference::Selection(Sel(
+                            "genre.genre", BinaryOp::kEq, Value("x"), 0.5, 0)))
+                   .ok());
+  // Unknown relation.
+  EXPECT_FALSE(PathProbe::Prepare(
+                   db_, ImplicitPreference::Selection(Sel(
+                            "nosuch.attr", BinaryOp::kEq, Value("x"), 0.5, 0)))
+                   .ok());
+}
+
+TEST_F(PathProbeTest, SharedWalksMatchStandaloneProbes) {
+  // Two preferences over the same path must see identical frontiers.
+  auto comedy = *ImplicitPreference::Join(Join("movie.mid", "genre.mid", 0.8))
+                     .ExtendWith(Sel("genre.genre", BinaryOp::kEq,
+                                     Value("comedy"), 0.9, 0));
+  auto drama = *ImplicitPreference::Join(Join("movie.mid", "genre.mid", 0.8))
+                    .ExtendWith(Sel("genre.genre", BinaryOp::kEq,
+                                    Value("drama"), 0.6, 0));
+  auto walk_a = PathWalk::Prepare(db_, comedy);
+  auto walk_b = PathWalk::Prepare(db_, drama);
+  ASSERT_TRUE(walk_a.ok());
+  ASSERT_TRUE(walk_b.ok());
+  EXPECT_EQ(walk_a->signature(), walk_b->signature());
+
+  auto cond_comedy = PathCondition::Prepare(db_, comedy);
+  auto cond_drama = PathCondition::Prepare(db_, drama);
+  ASSERT_TRUE(cond_comedy.ok());
+  ASSERT_TRUE(cond_drama.ok());
+  auto probe_comedy = PathProbe::Prepare(db_, comedy);
+  auto probe_drama = PathProbe::Prepare(db_, drama);
+
+  std::vector<const storage::Row*> frontier;
+  for (int64_t mid = 1; mid <= 100; ++mid) {
+    walk_a->Frontier(Value(mid), &frontier);
+    EXPECT_EQ(cond_comedy->TruthDegree(frontier),
+              probe_comedy->TruthDegree(Value(mid)));
+    EXPECT_EQ(cond_drama->TruthDegree(frontier),
+              probe_drama->TruthDegree(Value(mid)));
+  }
+}
+
+}  // namespace
+}  // namespace qp::core

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/preference.h"
+
+namespace qp::core {
+namespace {
+
+using sql::BinaryOp;
+using storage::AttributeRef;
+using storage::Value;
+
+SelectionPreference MakeSelection(const char* attr, BinaryOp op, Value value,
+                                  double dt, double df) {
+  SelectionPreference p;
+  p.condition = {*AttributeRef::Parse(attr), op, std::move(value)};
+  p.doi = *DoiPair::Exact(dt, df);
+  return p;
+}
+
+JoinPreference MakeJoin(const char* from, const char* to, double degree) {
+  return {*AttributeRef::Parse(from), *AttributeRef::Parse(to), degree};
+}
+
+TEST(CriticalityTest, MatchesExample4) {
+  // Example 4: P5 (c=1.6), P4 (c=1.2), P1 (c=0.8).
+  const auto p1 =
+      MakeSelection("director.name", BinaryOp::kEq, Value("W. Allen"), 0.8, 0);
+  EXPECT_DOUBLE_EQ(p1.Criticality(), 0.8);
+
+  SelectionPreference p4;
+  p4.condition = {*AttributeRef::Parse("movie.duration"), BinaryOp::kEq,
+                  Value(int64_t{120})};
+  p4.doi = *DoiPair::Make(*DoiFunction::Triangular(0.7, 120, 30),
+                          *DoiFunction::Triangular(-0.5, 120, 30));
+  EXPECT_DOUBLE_EQ(p4.Criticality(), 1.2);
+
+  const auto p5 =
+      MakeSelection("genre.genre", BinaryOp::kEq, Value("musical"), -0.9, 0.7);
+  EXPECT_DOUBLE_EQ(p5.Criticality(), 1.6);
+}
+
+TEST(CriticalityTest, JoinCriticalityEqualsDegree) {
+  EXPECT_DOUBLE_EQ(MakeJoin("movie.mid", "genre.mid", 0.8).Criticality(), 0.8);
+}
+
+TEST(ImplicitPreferenceTest, Example2Composition) {
+  // P7 (1) . (0.9) . P1 (0.8, 0) => doi (0.72, 0).
+  auto path = ImplicitPreference::Join(MakeJoin("movie.mid", "directed.mid", 1.0));
+  auto extended = path.ExtendWith(MakeJoin("directed.did", "director.did", 0.9));
+  ASSERT_TRUE(extended.ok());
+  auto full = extended->ExtendWith(MakeSelection(
+      "director.name", BinaryOp::kEq, Value("W. Allen"), 0.8, 0));
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(full->has_selection());
+  EXPECT_EQ(full->Length(), 3u);
+  EXPECT_NEAR(full->ComposedDoi().SatisfactionDegree(), 0.72, 1e-12);
+  EXPECT_DOUBLE_EQ(full->ComposedDoi().FailureDegree(), 0.0);
+  EXPECT_EQ(full->ConditionString(),
+            "movie.mid=directed.mid and directed.did=director.did and "
+            "director.name='W. Allen'");
+  EXPECT_EQ(full->AnchorRelation(), "movie");
+  EXPECT_EQ(full->TargetRelation(), "director");
+}
+
+TEST(ImplicitPreferenceTest, CompositionRules) {
+  auto path = ImplicitPreference::Join(MakeJoin("movie.mid", "genre.mid", 0.8));
+  // Non-composable join (wrong source relation).
+  EXPECT_FALSE(path.ExtendWith(MakeJoin("play.tid", "theatre.tid", 1.0)).ok());
+  // Non-composable selection.
+  EXPECT_FALSE(path.ExtendWith(MakeSelection("director.name", BinaryOp::kEq,
+                                             Value("x"), 0.5, 0))
+                   .ok());
+  // Cycle back to the anchor relation.
+  EXPECT_FALSE(path.ExtendWith(MakeJoin("genre.mid", "movie.mid", 1.0)).ok());
+  // A selection path cannot be extended further.
+  auto sel_path = ImplicitPreference::Selection(
+      MakeSelection("movie.year", BinaryOp::kLt, Value(int64_t{1980}), -0.7, 0));
+  EXPECT_FALSE(sel_path.ExtendWith(MakeJoin("movie.mid", "genre.mid", 1.0)).ok());
+  EXPECT_FALSE(sel_path
+                   .ExtendWith(MakeSelection("movie.year", BinaryOp::kGt,
+                                             Value(int64_t{1990}), 0.5, 0))
+                   .ok());
+}
+
+TEST(ImplicitPreferenceTest, AtomicSelectionPath) {
+  auto path = ImplicitPreference::Selection(
+      MakeSelection("movie.year", BinaryOp::kLt, Value(int64_t{1980}), -0.7, 0));
+  EXPECT_EQ(path.Length(), 1u);
+  EXPECT_EQ(path.AnchorRelation(), "movie");
+  EXPECT_EQ(path.TargetRelation(), "movie");
+  EXPECT_DOUBLE_EQ(path.Criticality(), 0.7);
+  EXPECT_DOUBLE_EQ(path.JoinDegreeProduct(), 1.0);
+}
+
+TEST(ImplicitPreferenceTest, JoinDegreeProductDecreasesAlongPath) {
+  auto path = ImplicitPreference::Join(MakeJoin("movie.mid", "play.mid", 0.7));
+  EXPECT_DOUBLE_EQ(path.JoinDegreeProduct(), 0.7);
+  auto longer = path.ExtendWith(MakeJoin("play.tid", "theatre.tid", 0.9));
+  ASSERT_TRUE(longer.ok());
+  EXPECT_DOUBLE_EQ(longer->JoinDegreeProduct(), 0.63);
+  EXPECT_LE(longer->Criticality(), path.Criticality());
+}
+
+TEST(ImplicitPreferenceTest, MentionsTracksAllRelations) {
+  auto path = *ImplicitPreference::Join(MakeJoin("movie.mid", "directed.mid", 1))
+                   .ExtendWith(MakeJoin("directed.did", "director.did", 0.9));
+  EXPECT_TRUE(path.Mentions("movie"));
+  EXPECT_TRUE(path.Mentions("directed"));
+  EXPECT_TRUE(path.Mentions("director"));
+  EXPECT_FALSE(path.Mentions("genre"));
+}
+
+/// Property (Formula 8): for random selection preferences appended to random
+/// join paths, c_S <= 2 * c_J.
+TEST(CriticalityPropertyTest, ImplicitSelectionBoundedByTwiceJoin) {
+  Rng rng(55);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double join_degree = rng.UniformDouble(0.05, 1.0);
+    auto path =
+        ImplicitPreference::Join(MakeJoin("movie.mid", "genre.mid", join_degree));
+    const double c_j = path.Criticality();
+    // Random valid doi pair.
+    double dt = rng.UniformDouble(-1.0, 1.0);
+    double df = rng.UniformDouble(0.0, 1.0);
+    if (dt > 0) df = -df;
+    auto full = path.ExtendWith(
+        MakeSelection("genre.genre", BinaryOp::kEq, Value("g"), dt, df));
+    ASSERT_TRUE(full.ok());
+    EXPECT_LE(full->Criticality(), 2.0 * c_j + 1e-12);
+  }
+}
+
+TEST(PreferenceToStringTest, ReadableForms) {
+  const auto sel =
+      MakeSelection("movie.year", BinaryOp::kLt, Value(int64_t{1980}), -0.7, 0);
+  EXPECT_EQ(sel.ToString(), "doi(movie.year<1980) = (-0.7, 0)");
+  EXPECT_EQ(MakeJoin("movie.mid", "genre.mid", 0.8).ToString(),
+            "doi(movie.mid=genre.mid) = (0.8)");
+}
+
+}  // namespace
+}  // namespace qp::core

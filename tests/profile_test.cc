@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/profile.h"
+#include "datagen/moviegen.h"
+#include "datagen/profilegen.h"
+
+namespace qp::core {
+namespace {
+
+using sql::BinaryOp;
+using storage::Value;
+
+TEST(ProfileTest, AddAndQuerySelections) {
+  UserProfile p;
+  ASSERT_TRUE(p.AddSelection("movie.year", BinaryOp::kLt, Value(int64_t{1980}),
+                             *DoiPair::Exact(-0.7, 0)).ok());
+  ASSERT_TRUE(p.AddSelection("genre.genre", BinaryOp::kEq, Value("musical"),
+                             *DoiPair::Exact(-0.9, 0.7)).ok());
+  EXPECT_EQ(p.selections().size(), 2u);
+  EXPECT_EQ(p.SelectionsOn("movie").size(), 1u);
+  EXPECT_EQ(p.SelectionsOn("MOVIE").size(), 1u);
+  EXPECT_EQ(p.SelectionsOn("theatre").size(), 0u);
+  EXPECT_EQ(p.NumPreferences(), 2u);
+}
+
+TEST(ProfileTest, RejectsDuplicatesAndIndifference) {
+  UserProfile p;
+  ASSERT_TRUE(p.AddSelection("movie.year", BinaryOp::kLt, Value(int64_t{1980}),
+                             *DoiPair::Exact(-0.7, 0)).ok());
+  EXPECT_EQ(p.AddSelection("movie.year", BinaryOp::kLt, Value(int64_t{1980}),
+                           *DoiPair::Exact(0.5, 0)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(p.AddSelection("movie.year", BinaryOp::kGt, Value(int64_t{1990}),
+                           *DoiPair::Exact(0.0, 0.0)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProfileTest, RejectsElasticOnNonNumericTarget) {
+  UserProfile p;
+  SelectionPreference pref;
+  pref.condition = {*storage::AttributeRef::Parse("genre.genre"),
+                    BinaryOp::kEq, Value("comedy")};
+  pref.doi = *DoiPair::Make(*DoiFunction::Triangular(0.5, 1, 1), DoiFunction());
+  EXPECT_FALSE(p.AddSelection(std::move(pref)).ok());
+}
+
+TEST(ProfileTest, JoinValidation) {
+  UserProfile p;
+  ASSERT_TRUE(p.AddJoin("movie.mid", "genre.mid", 0.8).ok());
+  EXPECT_EQ(p.AddJoin("movie.mid", "genre.mid", 0.5).code(),
+            StatusCode::kAlreadyExists);
+  // Opposite direction is a different preference.
+  EXPECT_TRUE(p.AddJoin("genre.mid", "movie.mid", 0.5).ok());
+  EXPECT_FALSE(p.AddJoin("a.x", "b.y", 1.5).ok());
+  EXPECT_FALSE(p.AddJoin("a.x", "b.y", -0.1).ok());
+  EXPECT_EQ(p.JoinsFrom("movie").size(), 1u);
+  EXPECT_EQ(p.JoinsFrom("genre").size(), 1u);
+}
+
+TEST(ProfileTest, ValidateAgainstDatabase) {
+  storage::Database db;
+  ASSERT_TRUE(datagen::CreateMovieSchema(&db).ok());
+  auto al = datagen::AlsProfile();
+  ASSERT_TRUE(al.ok());
+  EXPECT_TRUE(al->Validate(db).ok());
+
+  UserProfile bad;
+  ASSERT_TRUE(bad.AddSelection("nosuch.attr", BinaryOp::kEq, Value("x"),
+                               *DoiPair::Exact(0.5, 0)).ok());
+  EXPECT_FALSE(bad.Validate(db).ok());
+
+  // Elastic preference on a string attribute fails validation.
+  UserProfile elastic_on_string;
+  SelectionPreference pref;
+  pref.condition = {*storage::AttributeRef::Parse("movie.title"),
+                    BinaryOp::kEq, Value(int64_t{5})};
+  pref.doi = *DoiPair::Make(*DoiFunction::Triangular(0.5, 5, 2), DoiFunction());
+  ASSERT_TRUE(elastic_on_string.AddSelection(std::move(pref)).ok());
+  EXPECT_FALSE(elastic_on_string.Validate(db).ok());
+}
+
+TEST(ProfileTest, SerializeParseRoundTrip) {
+  auto al = datagen::AlsProfile();
+  ASSERT_TRUE(al.ok());
+  const std::string text = al->Serialize();
+  auto parsed = UserProfile::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+  EXPECT_EQ(parsed->selections().size(), al->selections().size());
+  EXPECT_EQ(parsed->joins().size(), al->joins().size());
+  for (size_t i = 0; i < al->selections().size(); ++i) {
+    EXPECT_EQ(parsed->selections()[i], al->selections()[i]) << i;
+  }
+  for (size_t i = 0; i < al->joins().size(); ++i) {
+    EXPECT_EQ(parsed->joins()[i], al->joins()[i]) << i;
+  }
+}
+
+TEST(ProfileTest, ParsePaperNotation) {
+  auto p = UserProfile::Parse(
+      "# Al's profile\n"
+      "doi(DIRECTOR.name = 'W. Allen') = (0.8, 0)\n"
+      "doi(MOVIE.year < 1980) = (-0.7, 0)\n"
+      "doi(MOVIE.duration = 120) = (e(0.7)[90,150], e(-0.5)[90,150])\n"
+      "\n"
+      "doi(MOVIE.mid = DIRECTED.mid) = (1)\n");
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(p->selections().size(), 3u);
+  ASSERT_EQ(p->joins().size(), 1u);
+  EXPECT_EQ(p->selections()[0].condition.attr.ToString(), "director.name");
+  EXPECT_EQ(p->selections()[0].doi.d_true().degree(), 0.8);
+  EXPECT_EQ(p->selections()[1].condition.op, BinaryOp::kLt);
+  EXPECT_TRUE(p->selections()[2].doi.d_true().is_elastic());
+  EXPECT_DOUBLE_EQ(p->selections()[2].doi.d_true().Eval(120.0), 0.7);
+  EXPECT_DOUBLE_EQ(p->selections()[2].doi.d_true().Eval(90.0), 0.0);
+  EXPECT_DOUBLE_EQ(p->joins()[0].degree, 1.0);
+}
+
+TEST(ProfileTest, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(UserProfile::Parse("nonsense").ok());
+  EXPECT_FALSE(UserProfile::Parse("doi(movie.year < 1980) = 0.7\n").ok());
+  EXPECT_FALSE(UserProfile::Parse("doi(movie.year) = (0.7, 0)\n").ok());
+  EXPECT_FALSE(
+      UserProfile::Parse("doi(movie.year < 1980) = (0.7, 0, 1)\n").ok());
+  EXPECT_FALSE(
+      UserProfile::Parse("doi(a.x = b.y) = (0.5, 0.5)\n").ok());
+  // Sign-condition violation surfaces as a parse error.
+  EXPECT_FALSE(
+      UserProfile::Parse("doi(movie.year < 1980) = (0.7, 0.5)\n").ok());
+}
+
+TEST(ProfileTest, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qp_profile_test.txt")
+          .string();
+  auto al = datagen::AlsProfile();
+  ASSERT_TRUE(al->Save(path).ok());
+  auto loaded = UserProfile::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumPreferences(), al->NumPreferences());
+  std::remove(path.c_str());
+  EXPECT_FALSE(UserProfile::Load("/nonexistent/path.txt").ok());
+}
+
+}  // namespace
+}  // namespace qp::core

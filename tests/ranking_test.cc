@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/ranking.h"
+
+namespace qp::core {
+namespace {
+
+TEST(PositiveCombinationTest, EmptyInputIsZero) {
+  for (auto style : {CombinationStyle::kInflationary,
+                     CombinationStyle::kDominant,
+                     CombinationStyle::kReserved}) {
+    EXPECT_EQ(CombinePositive(style, {}), 0.0);
+  }
+}
+
+TEST(PositiveCombinationTest, SingletonIsIdentity) {
+  for (auto style : {CombinationStyle::kInflationary,
+                     CombinationStyle::kDominant,
+                     CombinationStyle::kReserved}) {
+    EXPECT_NEAR(CombinePositive(style, {0.6}), 0.6, 1e-12);
+  }
+}
+
+TEST(PositiveCombinationTest, InflationaryMatchesFormula1) {
+  // r1 = 1 - (1-0.5)(1-0.4) = 0.7
+  EXPECT_NEAR(CombinePositive(CombinationStyle::kInflationary, {0.5, 0.4}),
+              0.7, 1e-12);
+}
+
+TEST(PositiveCombinationTest, DominantTakesMax) {
+  EXPECT_EQ(CombinePositive(CombinationStyle::kDominant, {0.2, 0.9, 0.5}),
+            0.9);
+}
+
+TEST(PositiveCombinationTest, ReservedMatchesFormula2) {
+  // r2 = 1 - ((1-0.5)(1-0.4))^(1/2) = 1 - sqrt(0.3)
+  EXPECT_NEAR(CombinePositive(CombinationStyle::kReserved, {0.5, 0.4}),
+              1.0 - std::sqrt(0.3), 1e-12);
+}
+
+TEST(NegativeCombinationTest, MirrorsPositive) {
+  EXPECT_NEAR(CombineNegative(CombinationStyle::kInflationary, {-0.5, -0.4}),
+              -0.7, 1e-12);
+  EXPECT_EQ(CombineNegative(CombinationStyle::kDominant, {-0.2, -0.9}), -0.9);
+  EXPECT_NEAR(CombineNegative(CombinationStyle::kReserved, {-0.5, -0.4}),
+              -(1.0 - std::sqrt(0.3)), 1e-12);
+}
+
+TEST(MixedTest, SumMatchesFormula5) {
+  RankingFunction r(CombinationStyle::kInflationary,
+                    CombinationStyle::kInflationary, MixedStyle::kSum);
+  EXPECT_NEAR(r.Rank({0.5, 0.4}, {-0.3}), 0.7 - 0.3, 1e-12);
+}
+
+TEST(MixedTest, CountWeightedMatchesFormula6) {
+  RankingFunction r(CombinationStyle::kInflationary,
+                    CombinationStyle::kInflationary,
+                    MixedStyle::kCountWeighted);
+  // (2*0.7 + 1*(-0.3)) / 3
+  EXPECT_NEAR(r.Rank({0.5, 0.4}, {-0.3}), (2 * 0.7 - 0.3) / 3.0, 1e-12);
+  EXPECT_EQ(r.Rank({}, {}), 0.0);
+}
+
+TEST(RankingFunctionTest, ToStringNamesTheParts) {
+  EXPECT_EQ(RankingFunction::Make(CombinationStyle::kDominant).ToString(),
+            "dominant+count-weighted");
+  EXPECT_EQ(RankingFunction(CombinationStyle::kInflationary,
+                            CombinationStyle::kDominant, MixedStyle::kSum)
+                .ToString(),
+            "inflationary/dominant+sum");
+}
+
+// ---------------------------------------------------------------------------
+// Property tests over random degree sets (the paper's defining conditions).
+// ---------------------------------------------------------------------------
+
+struct RankingCase {
+  CombinationStyle style;
+  MixedStyle mixed;
+};
+
+class RankingPropertyTest : public ::testing::TestWithParam<RankingCase> {
+ protected:
+  std::vector<double> RandomDegrees(Rng& rng, size_t max_n, bool negative) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(1, max_n));
+    std::vector<double> out;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = rng.UniformDouble(0.001, 1.0);
+      out.push_back(negative ? -d : d);
+    }
+    return out;
+  }
+};
+
+/// Inflationary: r >= max; dominant: r == max; reserved: min <= r <= max.
+TEST_P(RankingPropertyTest, PositiveCombinationPhilosophy) {
+  Rng rng(101);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto degrees = RandomDegrees(rng, 8, false);
+    const double r = CombinePositive(GetParam().style, degrees);
+    const double mx = *std::max_element(degrees.begin(), degrees.end());
+    const double mn = *std::min_element(degrees.begin(), degrees.end());
+    switch (GetParam().style) {
+      case CombinationStyle::kInflationary:
+        EXPECT_GE(r, mx - 1e-12);
+        break;
+      case CombinationStyle::kDominant:
+        EXPECT_EQ(r, mx);
+        break;
+      case CombinationStyle::kReserved:
+        EXPECT_GE(r, mn - 1e-12);
+        EXPECT_LE(r, mx + 1e-12);
+        break;
+    }
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0 + 1e-12);
+  }
+}
+
+/// Condition (3): r-(D-) <= r(D+, D-) <= r+(D+).
+TEST_P(RankingPropertyTest, MixedBoundedByPureCombinations) {
+  Rng rng(202);
+  RankingFunction ranking(GetParam().style, GetParam().style,
+                          GetParam().mixed);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto pos = RandomDegrees(rng, 6, false);
+    const auto neg = RandomDegrees(rng, 6, true);
+    const double r = ranking.Rank(pos, neg);
+    EXPECT_LE(r, CombinePositive(GetParam().style, pos) + 1e-12);
+    EXPECT_GE(r, CombineNegative(GetParam().style, neg) - 1e-12);
+  }
+}
+
+/// Condition (4): r(d, -d) = 0.
+TEST_P(RankingPropertyTest, SymmetricPairCancels) {
+  Rng rng(303);
+  RankingFunction ranking(GetParam().style, GetParam().style,
+                          GetParam().mixed);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double d = rng.UniformDouble(0.0, 1.0);
+    EXPECT_NEAR(ranking.Rank({d}, {-d}), 0.0, 1e-12);
+  }
+}
+
+/// Negative combination is the exact mirror of the positive one.
+TEST_P(RankingPropertyTest, NegativeMirrorsPositive) {
+  Rng rng(404);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto pos = RandomDegrees(rng, 8, false);
+    std::vector<double> neg;
+    for (double d : pos) neg.push_back(-d);
+    EXPECT_NEAR(CombineNegative(GetParam().style, neg),
+                -CombinePositive(GetParam().style, pos), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStyles, RankingPropertyTest,
+    ::testing::Values(
+        RankingCase{CombinationStyle::kInflationary, MixedStyle::kSum},
+        RankingCase{CombinationStyle::kInflationary,
+                    MixedStyle::kCountWeighted},
+        RankingCase{CombinationStyle::kDominant, MixedStyle::kSum},
+        RankingCase{CombinationStyle::kDominant, MixedStyle::kCountWeighted},
+        RankingCase{CombinationStyle::kReserved, MixedStyle::kSum},
+        RankingCase{CombinationStyle::kReserved,
+                    MixedStyle::kCountWeighted}));
+
+}  // namespace
+}  // namespace qp::core

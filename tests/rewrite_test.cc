@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "core/rewrite.h"
+#include "datagen/moviegen.h"
+#include "datagen/profilegen.h"
+#include "exec/executor.h"
+#include "sql/parser.h"
+
+namespace qp::core {
+namespace {
+
+using sql::BinaryOp;
+using storage::Value;
+
+class RewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(datagen::CreateMovieSchema(&db_).ok());
+  }
+
+  sql::SelectQuery Parse(const std::string& sql) {
+    auto q = sql::ParseQuery(sql);
+    EXPECT_TRUE(q.ok());
+    return (*q)->single();
+  }
+
+  SelectionPreference Sel(const char* attr, BinaryOp op, Value v, double dt,
+                          double df) {
+    SelectionPreference p;
+    p.condition = {*storage::AttributeRef::Parse(attr), op, std::move(v)};
+    p.doi = *DoiPair::Exact(dt, df);
+    return p;
+  }
+
+  JoinPreference Join(const char* from, const char* to, double d) {
+    return {*storage::AttributeRef::Parse(from),
+            *storage::AttributeRef::Parse(to), d};
+  }
+
+  storage::Database db_;
+};
+
+TEST_F(RewriteTest, ClassifyKinds) {
+  // Presence: positive on the condition's truth.
+  auto presence = ImplicitPreference::Selection(
+      Sel("movie.year", BinaryOp::kGe, Value(int64_t{1990}), 0.8, 0));
+  EXPECT_EQ(ClassifyPreference(presence), PreferenceKind::kPresence);
+  // 1-1 absence: satisfaction by failure, no joins.
+  auto abs11 = ImplicitPreference::Selection(
+      Sel("movie.year", BinaryOp::kLt, Value(int64_t{1980}), -0.7, 0));
+  EXPECT_EQ(ClassifyPreference(abs11), PreferenceKind::kAbsenceOneOne);
+  // 1-n absence: satisfaction by failure through a join.
+  auto abs1n = *ImplicitPreference::Join(Join("movie.mid", "genre.mid", 0.8))
+                    .ExtendWith(Sel("genre.genre", BinaryOp::kEq,
+                                    Value("musical"), -0.9, 0.7));
+  EXPECT_EQ(ClassifyPreference(abs1n), PreferenceKind::kAbsenceOneN);
+  // Presence through joins stays presence.
+  auto presence_join =
+      *ImplicitPreference::Join(Join("movie.mid", "genre.mid", 0.8))
+           .ExtendWith(
+               Sel("genre.genre", BinaryOp::kEq, Value("comedy"), 0.9, 0));
+  EXPECT_EQ(ClassifyPreference(presence_join), PreferenceKind::kPresence);
+}
+
+TEST_F(RewriteTest, PresenceSubqueryMatchesExample6Q1) {
+  // W. Allen through DIRECTED/DIRECTOR with join degrees 1 and 0.9.
+  auto pref = *(*ImplicitPreference::Join(Join("movie.mid", "directed.mid", 1.0))
+                     .ExtendWith(Join("directed.did", "director.did", 0.9)))
+                   .ExtendWith(Sel("director.name", BinaryOp::kEq,
+                                   Value("W. Allen"), 0.8, 0));
+  QueryRewriter rewriter(&db_);
+  auto q = rewriter.BuildSatisfactionQuery(Parse("select title from movie"),
+                                           pref);
+  ASSERT_TRUE(q.ok()) << q.status();
+  const std::string sql = q->ToString();
+  EXPECT_NE(sql.find("FROM movie, directed, director"), std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("movie.mid = directed.mid"), std::string::npos);
+  EXPECT_NE(sql.find("directed.did = director.did"), std::string::npos);
+  EXPECT_NE(sql.find("director.name = 'W. Allen'"), std::string::npos);
+  // Composed degree 1 * 0.9 * 0.8 = 0.72 (Example 2).
+  EXPECT_NE(sql.find("0.72"), std::string::npos);
+  ASSERT_EQ(q->select.size(), 2u);
+  EXPECT_EQ(q->select.back().OutputName(), "degree");
+}
+
+TEST_F(RewriteTest, Absence11SubqueryMatchesExample6Q2) {
+  auto pref = ImplicitPreference::Selection(
+      Sel("movie.year", BinaryOp::kLt, Value(int64_t{1980}), -0.7, 0));
+  QueryRewriter rewriter(&db_);
+  auto q = rewriter.BuildSatisfactionQuery(Parse("select title from movie"),
+                                           pref);
+  ASSERT_TRUE(q.ok());
+  const std::string sql = q->ToString();
+  // Negated operator, degree 0 (the satisfaction side of (-0.7, 0)).
+  EXPECT_NE(sql.find("movie.year >= 1980"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("SELECT movie.title, 0 AS degree"), std::string::npos)
+      << sql;
+}
+
+TEST_F(RewriteTest, Absence1NSubqueryMatchesExample6Q3) {
+  auto pref = *ImplicitPreference::Join(Join("movie.mid", "genre.mid", 1.0))
+                   .ExtendWith(Sel("genre.genre", BinaryOp::kEq,
+                                   Value("musical"), -0.9, 0.7));
+  QueryRewriter rewriter(&db_);
+  auto q = rewriter.BuildSatisfactionQuery(Parse("select title from movie"),
+                                           pref);
+  ASSERT_TRUE(q.ok()) << q.status();
+  const std::string sql = q->ToString();
+  EXPECT_NE(sql.find("NOT IN"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("genre.genre = 'musical'"), std::string::npos);
+  // Satisfaction degree 1.0 * 0.7.
+  EXPECT_NE(sql.find("0.7 AS degree"), std::string::npos) << sql;
+}
+
+TEST_F(RewriteTest, ViolationQueryForAbsencePreference) {
+  auto pref = *ImplicitPreference::Join(Join("movie.mid", "genre.mid", 1.0))
+                   .ExtendWith(Sel("genre.genre", BinaryOp::kEq,
+                                   Value("musical"), -0.9, 0.7));
+  QueryRewriter rewriter(&db_);
+  auto q =
+      rewriter.BuildViolationQuery(Parse("select title from movie"), pref);
+  ASSERT_TRUE(q.ok());
+  const std::string sql = q->ToString();
+  // Presence form: join + condition, degree is the (negative) dT.
+  EXPECT_EQ(sql.find("NOT IN"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("genre.genre = 'musical'"), std::string::npos);
+  EXPECT_NE(sql.find("-0.9"), std::string::npos);
+  // Violation queries are only defined for absence preferences.
+  auto presence = ImplicitPreference::Selection(
+      Sel("movie.year", BinaryOp::kGe, Value(int64_t{1990}), 0.8, 0));
+  EXPECT_FALSE(
+      rewriter.BuildViolationQuery(Parse("select title from movie"), presence)
+          .ok());
+}
+
+TEST_F(RewriteTest, ElasticPresenceBecomesRangeWithScalarDegree) {
+  SelectionPreference sel;
+  sel.condition = {*storage::AttributeRef::Parse("movie.duration"),
+                   BinaryOp::kEq, Value(int64_t{120})};
+  sel.doi = *DoiPair::Make(*DoiFunction::Triangular(0.7, 120, 30),
+                           DoiFunction());
+  auto pref = ImplicitPreference::Selection(sel);
+  QueryRewriter rewriter(&db_);
+  auto q = rewriter.BuildSatisfactionQuery(Parse("select title from movie"),
+                                           pref);
+  ASSERT_TRUE(q.ok());
+  const std::string sql = q->ToString();
+  EXPECT_NE(sql.find("movie.duration >= 90"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("movie.duration <= 150"), std::string::npos);
+  EXPECT_NE(sql.find("elastic_doi(movie.duration)"), std::string::npos);
+}
+
+TEST_F(RewriteTest, ElasticAbsence11BecomesComplementRange) {
+  SelectionPreference sel;
+  sel.condition = {*storage::AttributeRef::Parse("movie.duration"),
+                   BinaryOp::kEq, Value(int64_t{120})};
+  sel.doi = *DoiPair::Make(*DoiFunction::Triangular(-0.6, 120, 30),
+                           *DoiFunction::Constant(0.3));
+  auto pref = ImplicitPreference::Selection(sel);
+  QueryRewriter rewriter(&db_);
+  auto q = rewriter.BuildSatisfactionQuery(Parse("select title from movie"),
+                                           pref);
+  ASSERT_TRUE(q.ok());
+  const std::string sql = q->ToString();
+  EXPECT_NE(sql.find("movie.duration < 90"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("movie.duration > 150"), std::string::npos);
+  EXPECT_NE(sql.find(" OR "), std::string::npos);
+}
+
+TEST_F(RewriteTest, RespectsBaseQueryAliases) {
+  auto pref = *ImplicitPreference::Join(Join("movie.mid", "genre.mid", 0.8))
+                   .ExtendWith(Sel("genre.genre", BinaryOp::kEq,
+                                   Value("comedy"), 0.9, 0));
+  QueryRewriter rewriter(&db_);
+  auto q = rewriter.BuildSatisfactionQuery(
+      Parse("select m.title from movie m where m.year > 1990"), pref);
+  ASSERT_TRUE(q.ok());
+  const std::string sql = q->ToString();
+  EXPECT_NE(sql.find("m.mid = genre.mid"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("m.year > 1990"), std::string::npos);
+}
+
+TEST_F(RewriteTest, AliasCollisionIsRejected) {
+  auto pref = *ImplicitPreference::Join(Join("movie.mid", "genre.mid", 0.8))
+                   .ExtendWith(Sel("genre.genre", BinaryOp::kEq,
+                                   Value("comedy"), 0.9, 0));
+  QueryRewriter rewriter(&db_);
+  // The base query aliases some table as "genre", colliding with the path.
+  EXPECT_FALSE(
+      rewriter
+          .BuildSatisfactionQuery(Parse("select genre.title from movie genre"),
+                                  pref)
+          .ok());
+}
+
+TEST_F(RewriteTest, JoinOnlyPathsCannotBeIntegrated) {
+  auto join_only = ImplicitPreference::Join(Join("movie.mid", "genre.mid", 1));
+  QueryRewriter rewriter(&db_);
+  EXPECT_FALSE(
+      rewriter.BuildSatisfactionQuery(Parse("select title from movie"),
+                                      join_only)
+          .ok());
+}
+
+TEST_F(RewriteTest, ExecutedSubqueriesReturnExpectedDegrees) {
+  auto db = datagen::GenerateMovieDatabase(datagen::MovieGenConfig::TestScale());
+  ASSERT_TRUE(db.ok());
+  // Elastic duration preference executed end to end.
+  SelectionPreference sel;
+  sel.condition = {*storage::AttributeRef::Parse("movie.duration"),
+                   BinaryOp::kEq, Value(int64_t{120})};
+  sel.doi = *DoiPair::Make(*DoiFunction::Triangular(0.8, 120, 40),
+                           DoiFunction());
+  auto pref = ImplicitPreference::Selection(sel);
+  QueryRewriter rewriter(&*db);
+  auto q = rewriter.BuildSatisfactionQuery(
+      Parse("select mid, duration from movie"), pref);
+  ASSERT_TRUE(q.ok());
+  exec::Executor executor(&*db);
+  auto rows = executor.Execute(*sql::Query::Single(*q));
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_GT(rows->num_rows(), 0u);
+  for (const auto& row : rows->rows()) {
+    const double duration = row[1].ToNumeric();
+    const double degree = row[2].ToNumeric();
+    EXPECT_GE(duration, 80);
+    EXPECT_LE(duration, 160);
+    EXPECT_NEAR(degree, 0.8 * (1.0 - std::abs(duration - 120.0) / 40.0), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace qp::core

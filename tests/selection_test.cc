@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "core/select_top_k.h"
+#include "datagen/moviegen.h"
+#include "datagen/profilegen.h"
+#include "sql/parser.h"
+
+namespace qp::core {
+namespace {
+
+using sql::BinaryOp;
+using storage::Value;
+
+class SelectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(datagen::CreateMovieSchema(&db_).ok());
+    auto al = datagen::AlsProfile();
+    ASSERT_TRUE(al.ok());
+    profile_ = std::move(al).value();
+    auto graph = PersonalizationGraph::Build(&db_, &profile_);
+    ASSERT_TRUE(graph.ok());
+    graph_ = std::make_unique<PersonalizationGraph>(std::move(graph).value());
+  }
+
+  QueryContext Ctx(const std::string& sql) {
+    auto q = sql::ParseQuery(sql);
+    EXPECT_TRUE(q.ok());
+    return QueryContext::FromQuery((*q)->single());
+  }
+
+  storage::Database db_;
+  UserProfile profile_;
+  std::unique_ptr<PersonalizationGraph> graph_;
+};
+
+TEST_F(SelectionTest, FakeCritFindsAllPreferencesRelatedToMovies) {
+  PreferenceSelector selector(graph_.get());
+  auto selected = selector.SelectFakeCrit(Ctx("select title from movie"), {});
+  ASSERT_TRUE(selected.ok());
+  // From MOVIE, Al's reachable selection preferences: year, duration (on
+  // movie itself), musical (via genre), W. Allen (via directed, director),
+  // ticket and region (via play, theatre).
+  EXPECT_EQ(selected->size(), 6u);
+  // Decreasing criticality.
+  for (size_t i = 1; i < selected->size(); ++i) {
+    EXPECT_GE((*selected)[i - 1].criticality, (*selected)[i].criticality);
+  }
+}
+
+TEST_F(SelectionTest, MostCriticalIsTheMusicalPreference) {
+  PreferenceSelector selector(graph_.get());
+  auto selected =
+      selector.SelectFakeCrit(Ctx("select title from movie"),
+                              SelectionCriterion::TopK(1));
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected->size(), 1u);
+  // P5 has atomic criticality 1.6; via the 0.8 genre join: 1.28, larger
+  // than duration (1.2) and year (0.7).
+  EXPECT_NEAR((*selected)[0].criticality, 1.28, 1e-12);
+  EXPECT_EQ((*selected)[0].pref.TargetRelation(), "genre");
+}
+
+TEST_F(SelectionTest, TopKStopsEarly) {
+  PreferenceSelector selector(graph_.get());
+  auto selected = selector.SelectFakeCrit(Ctx("select title from movie"),
+                                          SelectionCriterion::TopK(3));
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 3u);
+}
+
+TEST_F(SelectionTest, ThresholdCriterion) {
+  PreferenceSelector selector(graph_.get());
+  auto selected = selector.SelectFakeCrit(Ctx("select title from movie"),
+                                          SelectionCriterion::Threshold(1.0));
+  ASSERT_TRUE(selected.ok());
+  for (const auto& s : *selected) {
+    EXPECT_GE(s.criticality, 1.0);
+  }
+  // musical (1.28) and duration (1.2) qualify.
+  EXPECT_EQ(selected->size(), 2u);
+}
+
+TEST_F(SelectionTest, TheatreQueryReachesMoviePreferences) {
+  PreferenceSelector selector(graph_.get());
+  auto selected = selector.SelectFakeCrit(Ctx("select name from theatre"), {});
+  ASSERT_TRUE(selected.ok());
+  // ticket, region on theatre itself; year/duration via play->movie;
+  // musical and W. Allen via longer paths.
+  EXPECT_EQ(selected->size(), 6u);
+}
+
+TEST_F(SelectionTest, ConflictingPreferencesAreSkipped) {
+  PreferenceSelector selector(graph_.get());
+  // Query already asks for pre-1960 movies; Al's "year < 1980 is bad"
+  // preference (satisfaction year >= 1980) conflicts and must be dropped.
+  auto selected = selector.SelectFakeCrit(
+      Ctx("select title from movie where movie.year < 1960"), {});
+  ASSERT_TRUE(selected.ok());
+  for (const auto& s : *selected) {
+    EXPECT_NE(s.pref.ConditionString().find("year"), 0u);
+  }
+  EXPECT_EQ(selected->size(), 5u);
+}
+
+TEST_F(SelectionTest, SpsAndFakeCritAgree) {
+  PreferenceSelector selector(graph_.get());
+  for (const char* sql :
+       {"select title from movie", "select name from theatre",
+        "select name from director"}) {
+    for (size_t k : {size_t{1}, size_t{2}, size_t{4}, size_t{0}}) {
+      auto a = selector.SelectFakeCrit(Ctx(sql), SelectionCriterion::TopK(k));
+      auto b = selector.SelectSPS(Ctx(sql), SelectionCriterion::TopK(k));
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ASSERT_EQ(a->size(), b->size()) << sql << " k=" << k;
+      for (size_t i = 0; i < a->size(); ++i) {
+        EXPECT_EQ((*a)[i].pref.ConditionString(),
+                  (*b)[i].pref.ConditionString())
+            << sql << " k=" << k << " i=" << i;
+        EXPECT_DOUBLE_EQ((*a)[i].criticality, (*b)[i].criticality);
+      }
+    }
+  }
+}
+
+TEST_F(SelectionTest, SpsAndFakeCritAgreeOnGeneratedProfiles) {
+  auto db =
+      datagen::GenerateMovieDatabase(datagen::MovieGenConfig::TestScale());
+  ASSERT_TRUE(db.ok());
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    datagen::ProfileGenConfig pg;
+    pg.seed = seed;
+    pg.num_presence = 12;
+    pg.num_negative = 3;
+    pg.num_elastic = 2;
+    pg.num_absence_11 = 2;
+    pg.db_config = datagen::MovieGenConfig::TestScale();
+    auto profile = datagen::GenerateProfile(pg);
+    ASSERT_TRUE(profile.ok());
+    auto graph = PersonalizationGraph::Build(&*db, &*profile);
+    ASSERT_TRUE(graph.ok());
+    PreferenceSelector selector(&*graph);
+    auto q = sql::ParseQuery("select title from movie");
+    const QueryContext ctx = QueryContext::FromQuery((*q)->single());
+    auto a = selector.SelectFakeCrit(ctx, SelectionCriterion::TopK(10));
+    auto b = selector.SelectSPS(ctx, SelectionCriterion::TopK(10));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size()) << "seed=" << seed;
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_DOUBLE_EQ((*a)[i].criticality, (*b)[i].criticality)
+          << "seed=" << seed << " i=" << i;
+    }
+  }
+}
+
+TEST_F(SelectionTest, FakeCritExaminesFewerPaths) {
+  auto db =
+      datagen::GenerateMovieDatabase(datagen::MovieGenConfig::TestScale());
+  ASSERT_TRUE(db.ok());
+  datagen::ProfileGenConfig pg;
+  pg.num_presence = 20;
+  pg.num_negative = 5;
+  pg.db_config = datagen::MovieGenConfig::TestScale();
+  auto profile = datagen::GenerateProfile(pg);
+  ASSERT_TRUE(profile.ok());
+  auto graph = PersonalizationGraph::Build(&*db, &*profile);
+  ASSERT_TRUE(graph.ok());
+  PreferenceSelector selector(&*graph);
+  auto q = sql::ParseQuery("select title from movie");
+  const QueryContext ctx = QueryContext::FromQuery((*q)->single());
+  SelectionStats fake_stats, sps_stats;
+  ASSERT_TRUE(selector
+                  .SelectFakeCrit(ctx, SelectionCriterion::TopK(5),
+                                  &fake_stats)
+                  .ok());
+  ASSERT_TRUE(selector.SelectSPS(ctx, SelectionCriterion::TopK(5), &sps_stats)
+                  .ok());
+  // The paper's efficiency claim (Section 4.1): FakeCrit beats SPS.
+  EXPECT_LE(fake_stats.paths_examined, sps_stats.paths_examined);
+  EXPECT_LE(fake_stats.expansions, sps_stats.expansions);
+}
+
+TEST_F(SelectionTest, NoRelatedPreferences) {
+  UserProfile empty;
+  auto graph = PersonalizationGraph::Build(&db_, &empty);
+  ASSERT_TRUE(graph.ok());
+  PreferenceSelector selector(&*graph);
+  auto selected = selector.SelectFakeCrit(Ctx("select title from movie"), {});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_TRUE(selected->empty());
+}
+
+TEST_F(SelectionTest, DoiTargetSelection) {
+  PreferenceSelector selector(graph_.get());
+  PreferenceSelector::DoiTargetOptions options;
+  options.target_doi = 0.5;
+  options.ranking = RankingFunction::Make(CombinationStyle::kInflationary);
+  SelectionStats stats;
+  auto selected = selector.SelectByResultInterest(
+      Ctx("select title from movie"), options, &stats);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_FALSE(selected->empty());
+  // A laxer target needs no more preferences than a stricter one.
+  options.target_doi = 0.95;
+  auto stricter = selector.SelectByResultInterest(
+      Ctx("select title from movie"), options);
+  ASSERT_TRUE(stricter.ok());
+  EXPECT_GE(stricter->size(), selected->size());
+}
+
+TEST_F(SelectionTest, DoiTargetWithPathCounts) {
+  PreferenceSelector selector(graph_.get());
+  PreferenceSelector::DoiTargetOptions options;
+  options.target_doi = 0.6;
+  options.use_path_counts = true;
+  auto selected = selector.SelectByResultInterest(
+      Ctx("select title from movie"), options);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_FALSE(selected->empty());
+  // The tighter N estimate never selects more than the profile-size bound.
+  options.use_path_counts = false;
+  auto coarse = selector.SelectByResultInterest(
+      Ctx("select title from movie"), options);
+  ASSERT_TRUE(coarse.ok());
+  EXPECT_LE(selected->size(), coarse->size());
+}
+
+TEST_F(SelectionTest, DoiTargetMaxPreferencesCap) {
+  PreferenceSelector selector(graph_.get());
+  PreferenceSelector::DoiTargetOptions options;
+  options.target_doi = 1.0;  // unreachable with failures assumed
+  options.max_preferences = 2;
+  auto selected = selector.SelectByResultInterest(
+      Ctx("select title from movie"), options);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 2u);
+}
+
+}  // namespace
+}  // namespace qp::core

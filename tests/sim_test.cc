@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "sim/trials.h"
+#include "sql/parser.h"
+
+namespace qp::sim {
+namespace {
+
+using core::CombinationStyle;
+using storage::Value;
+
+class SimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db = datagen::GenerateMovieDatabase(
+        datagen::MovieGenConfig::TestScale());
+    ASSERT_TRUE(db.ok());
+    db_ = new storage::Database(std::move(db).value());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static storage::Database* db_;
+};
+
+storage::Database* SimTest::db_ = nullptr;
+
+core::UserProfile TestProfile(uint64_t seed) {
+  datagen::ProfileGenConfig config;
+  config.seed = seed;
+  config.num_presence = 8;
+  config.num_negative = 2;
+  config.num_elastic = 1;
+  config.db_config = datagen::MovieGenConfig::TestScale();
+  auto profile = datagen::GenerateProfile(config);
+  EXPECT_TRUE(profile.ok());
+  return std::move(profile).value();
+}
+
+TEST_F(SimTest, LatentModelBuildsAndScoresInRange) {
+  core::UserProfile profile = TestProfile(3);
+  auto q = sql::ParseQuery("select mid, title from movie");
+  ASSERT_TRUE(q.ok());
+  SimulatedUser::Config config;
+  config.seed = 9;
+  auto user = SimulatedUser::Make(db_, &profile, (*q)->single(), config);
+  ASSERT_TRUE(user.ok()) << user.status();
+  EXPECT_GT(user->num_latent_preferences(), 0u);
+  for (int64_t mid = 1; mid <= 50; ++mid) {
+    const double latent = user->LatentInterest(Value(mid));
+    EXPECT_GE(latent, -1.0);
+    EXPECT_LE(latent, 1.0);
+    const double reported = user->ReportTupleInterest(Value(mid));
+    EXPECT_GE(reported, -10.0);
+    EXPECT_LE(reported, 10.0);
+  }
+}
+
+TEST_F(SimTest, RelevantTuplesHaveHighLatentInterest) {
+  core::UserProfile profile = TestProfile(4);
+  auto q = sql::ParseQuery("select mid, title from movie");
+  SimulatedUser::Config config;
+  auto user = SimulatedUser::Make(db_, &profile, (*q)->single(), config);
+  ASSERT_TRUE(user.ok());
+  for (const auto& tid : user->RelevantTuples()) {
+    EXPECT_GE(user->LatentInterest(tid), config.relevance_threshold);
+  }
+}
+
+TEST_F(SimTest, RankedRelevantAnswersScoreHigherThanArbitrary) {
+  core::UserProfile profile = TestProfile(5);
+  auto q = sql::ParseQuery("select mid, title from movie");
+  SimulatedUser::Config config;
+  config.seed = 42;
+  auto user = SimulatedUser::Make(db_, &profile, (*q)->single(), config);
+  ASSERT_TRUE(user.ok());
+  ASSERT_GT(user->RelevantTuples().size(), 0u);
+
+  // "Personalized": the user's relevant tuples, best first.
+  std::vector<Value> good = user->RelevantTuples();
+  std::sort(good.begin(), good.end(), [&](const Value& a, const Value& b) {
+    return user->LatentInterest(a) > user->LatentInterest(b);
+  });
+  // "Unchanged": arbitrary id order.
+  std::vector<Value> arbitrary;
+  for (int64_t mid = 1; mid <= 400; ++mid) arbitrary.emplace_back(mid);
+
+  const auto eval_good = user->EvaluateAnswer(good);
+  const auto eval_arbitrary = user->EvaluateAnswer(arbitrary);
+  EXPECT_GT(eval_good.answer_score, eval_arbitrary.answer_score);
+  EXPECT_LE(eval_good.difficulty, eval_arbitrary.difficulty);
+  EXPECT_GE(eval_good.coverage, eval_arbitrary.coverage);
+}
+
+TEST_F(SimTest, EmptyAnswerIsWorstCase) {
+  core::UserProfile profile = TestProfile(6);
+  auto q = sql::ParseQuery("select mid, title from movie");
+  auto user = SimulatedUser::Make(db_, &profile, (*q)->single(), {});
+  ASSERT_TRUE(user.ok());
+  const auto eval = user->EvaluateAnswer({});
+  EXPECT_EQ(eval.answer_score, 0.0);
+  EXPECT_EQ(eval.difficulty, 5.0);
+  EXPECT_EQ(eval.coverage, 0.0);
+}
+
+TEST_F(SimTest, StudyQueriesAllParseAndProjectTupleIds) {
+  for (const auto& sql : StudyQueries()) {
+    auto q = sql::ParseQuery(sql);
+    ASSERT_TRUE(q.ok()) << sql;
+    const auto& s = (*q)->single();
+    ASSERT_GE(s.select.size(), 1u);
+    // First column is the anchor primary key.
+    EXPECT_TRUE(s.select[0].OutputName() == "mid" ||
+                s.select[0].OutputName() == "tid")
+        << sql;
+  }
+}
+
+TEST_F(SimTest, Trial1PersonalizationHelps) {
+  StudyConfig config;
+  config.num_experts = 3;
+  config.num_novices = 2;
+  config.db_config = datagen::MovieGenConfig::TestScale();
+  auto result = RunTrial1(db_, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->expert_unchanged.size(), StudyQueries().size());
+  // The paper's headline effect: personalized answers score higher on
+  // average for both groups.
+  EXPECT_GT(result->ExpertAvg(true), result->ExpertAvg(false));
+  EXPECT_GT(result->NoviceAvg(true), result->NoviceAvg(false));
+}
+
+TEST_F(SimTest, Trial2PersonalizationReducesDifficulty) {
+  // More subjects and data than the shared fixture: trial 2 assigns only
+  // half the subjects to each arm, so small samples are noisy.
+  datagen::MovieGenConfig db_config = datagen::MovieGenConfig::TestScale();
+  db_config.num_movies = 2000;
+  auto db = datagen::GenerateMovieDatabase(db_config);
+  ASSERT_TRUE(db.ok());
+  StudyConfig config;
+  config.num_experts = 6;
+  config.num_novices = 6;
+  config.db_config = db_config;
+  auto result = RunTrial2(&*db, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LT(result->difficulty_pers, result->difficulty_nonpers);
+  EXPECT_GT(result->coverage_pers, result->coverage_nonpers);
+  EXPECT_GT(result->score_pers, result->score_nonpers);
+}
+
+TEST_F(SimTest, RankingComparisonTracksLatentStyle) {
+  core::UserProfile profile = TestProfile(7);
+  for (auto style : {CombinationStyle::kInflationary,
+                     CombinationStyle::kDominant,
+                     CombinationStyle::kReserved}) {
+    auto points = CompareRankingFunctions(
+        db_, &profile, "select mid, title from movie", style, 11);
+    ASSERT_TRUE(points.ok()) << points.status();
+    ASSERT_GT(points->size(), 3u);
+    // The user's reported interest must be closest (in mean absolute
+    // error) to the latent style's own function, up to the reporting-noise
+    // level (two functions can nearly coincide on a given degree set).
+    double err_dom = 0, err_inf = 0, err_res = 0;
+    for (const auto& p : *points) {
+      err_dom += std::abs(p.user - p.dominant);
+      err_inf += std::abs(p.user - p.inflationary);
+      err_res += std::abs(p.user - p.reserved);
+    }
+    const double n = static_cast<double>(points->size());
+    const double tolerance = 0.02 * n;
+    switch (style) {
+      case CombinationStyle::kDominant:
+        EXPECT_LE(err_dom, err_inf + tolerance);
+        EXPECT_LE(err_dom, err_res + tolerance);
+        break;
+      case CombinationStyle::kInflationary:
+        EXPECT_LE(err_inf, err_dom + tolerance);
+        EXPECT_LE(err_inf, err_res + tolerance);
+        break;
+      case CombinationStyle::kReserved:
+        EXPECT_LE(err_res, err_dom + tolerance);
+        EXPECT_LE(err_res, err_inf + tolerance);
+        break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qp::sim

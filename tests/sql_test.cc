@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/tokenizer.h"
+
+namespace qp::sql {
+namespace {
+
+using storage::Value;
+
+TEST(TokenizerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT title FROM movie WHERE year >= 1990");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 9u);  // incl. kEnd
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdentifier);
+  EXPECT_TRUE((*tokens)[6].IsSymbol(">="));
+  EXPECT_EQ((*tokens)[7].text, "1990");
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(TokenizerTest, StringsWithEscapes) {
+  auto tokens = Tokenize("'W. Allen' 'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "W. Allen");
+  EXPECT_EQ((*tokens)[1].text, "it's");
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(TokenizerTest, OperatorsAndNumbers) {
+  auto tokens = Tokenize("a <> 1 b != 2.5 c <= -3");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[1].IsSymbol("<>"));
+  EXPECT_TRUE((*tokens)[4].IsSymbol("<>"));  // != normalizes
+  EXPECT_EQ((*tokens)[5].text, "2.5");
+  EXPECT_EQ((*tokens)[8].text, "-3");
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto q = ParseQuery("select title from movie");
+  ASSERT_TRUE(q.ok());
+  const SelectQuery& s = (*q)->single();
+  ASSERT_EQ(s.select.size(), 1u);
+  EXPECT_EQ(s.select[0].OutputName(), "title");
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "movie");
+  EXPECT_EQ(s.where, nullptr);
+}
+
+TEST(ParserTest, JoinsAliasesAndWhere) {
+  auto q = ParseQuery(
+      "select M.title from movie M, genre G "
+      "where M.mid = G.mid and G.genre = 'comedy'");
+  ASSERT_TRUE(q.ok());
+  const SelectQuery& s = (*q)->single();
+  EXPECT_EQ(s.from[0].EffectiveAlias(), "m");
+  auto conjuncts = ConjunctsOf(s.where);
+  ASSERT_EQ(conjuncts.size(), 2u);
+  storage::AttributeRef l, r;
+  EXPECT_TRUE(conjuncts[0]->IsJoinAtom(&l, &r));
+  EXPECT_EQ(l.ToString(), "m.mid");
+  storage::AttributeRef attr;
+  BinaryOp op;
+  Value v;
+  EXPECT_TRUE(conjuncts[1]->IsSelectionAtom(&attr, &op, &v));
+  EXPECT_EQ(attr.ToString(), "g.genre");
+  EXPECT_EQ(op, BinaryOp::kEq);
+  EXPECT_EQ(v, Value("comedy"));
+}
+
+TEST(ParserTest, BetweenDesugars) {
+  auto q = ParseQuery("select a from t where a between 2 and 5");
+  ASSERT_TRUE(q.ok());
+  auto conjuncts = ConjunctsOf((*q)->single().where);
+  ASSERT_EQ(conjuncts.size(), 2u);
+  BinaryOp op1, op2;
+  EXPECT_TRUE(conjuncts[0]->IsSelectionAtom(nullptr, &op1, nullptr));
+  EXPECT_TRUE(conjuncts[1]->IsSelectionAtom(nullptr, &op2, nullptr));
+  EXPECT_EQ(op1, BinaryOp::kGe);
+  EXPECT_EQ(op2, BinaryOp::kLe);
+}
+
+TEST(ParserTest, NotInSubquery) {
+  auto q = ParseQuery(
+      "select title from movie where movie.mid not in "
+      "(select mid from genre where genre.genre = 'musical')");
+  ASSERT_TRUE(q.ok());
+  auto conjuncts = ConjunctsOf((*q)->single().where);
+  ASSERT_EQ(conjuncts.size(), 1u);
+  EXPECT_EQ(conjuncts[0]->kind(), ExprKind::kInSubquery);
+  EXPECT_TRUE(conjuncts[0]->negated());
+  EXPECT_EQ(conjuncts[0]->subquery()->single().from[0].table, "genre");
+}
+
+TEST(ParserTest, UnionAllGroupHavingOrder) {
+  auto q = ParseQuery(
+      "select title, r(degree) as doi from "
+      "(select title, 0.7 degree from movie union all "
+      " select title, 0.5 degree from movie) u "
+      "group by title having count(*) >= 2 order by r(degree) desc limit 10");
+  ASSERT_TRUE(q.ok());
+  const SelectQuery& s = (*q)->single();
+  ASSERT_EQ(s.from.size(), 1u);
+  ASSERT_NE(s.from[0].derived, nullptr);
+  EXPECT_TRUE(s.from[0].derived->is_union());
+  EXPECT_EQ(s.from[0].alias, "u");
+  EXPECT_TRUE(s.IsAggregate());
+  ASSERT_EQ(s.order_by.size(), 1u);
+  EXPECT_FALSE(s.order_by[0].ascending);
+  EXPECT_EQ(s.limit, size_t{10});
+  EXPECT_NE(s.having, nullptr);
+}
+
+TEST(ParserTest, DistinctAndStar) {
+  auto q = ParseQuery("select distinct * from movie");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE((*q)->single().distinct);
+  EXPECT_EQ((*q)->single().select[0].expr->column(), "*");
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseQuery("select from").ok());
+  EXPECT_FALSE(ParseQuery("select a movie").ok());
+  EXPECT_FALSE(ParseQuery("select a from t where").ok());
+  EXPECT_FALSE(ParseQuery("select a from t union select a from t").ok());
+  EXPECT_FALSE(ParseQuery("select a from t extra_tokens !!").ok());
+}
+
+TEST(ParserTest, ExpressionRoundTripsThroughToString) {
+  const char* sql =
+      "select m.title from movie m where (m.year >= 1990 or m.year < 1960) "
+      "and not m.duration > 200";
+  auto q = ParseQuery(sql);
+  ASSERT_TRUE(q.ok());
+  auto reparsed = ParseQuery((*q)->ToString());
+  ASSERT_TRUE(reparsed.ok()) << (*q)->ToString();
+  EXPECT_EQ((*reparsed)->ToString(), (*q)->ToString());
+}
+
+TEST(ParserTest, ParseExpressionStandalone) {
+  auto e = ParseExpression("movie.year < 1980");
+  ASSERT_TRUE(e.ok());
+  storage::AttributeRef attr;
+  BinaryOp op;
+  Value v;
+  EXPECT_TRUE((*e)->IsSelectionAtom(&attr, &op, &v));
+  EXPECT_EQ(op, BinaryOp::kLt);
+  EXPECT_FALSE(ParseExpression("movie.year <").ok());
+}
+
+TEST(ExprTest, FactoriesAndPredicates) {
+  ExprPtr cmp = Expr::Compare(BinaryOp::kEq, Expr::Column("m", "mid"),
+                              Expr::Column("g", "mid"));
+  EXPECT_TRUE(cmp->IsJoinAtom());
+  EXPECT_FALSE(cmp->IsSelectionAtom());
+  ExprPtr sel = Expr::Compare(BinaryOp::kLt, Expr::Literal(Value(int64_t{5})),
+                              Expr::Column("m", "year"));
+  storage::AttributeRef attr;
+  BinaryOp op;
+  EXPECT_TRUE(sel->IsSelectionAtom(&attr, &op, nullptr));
+  EXPECT_EQ(op, BinaryOp::kGt);  // flipped
+}
+
+TEST(ExprTest, AndAllFlattens) {
+  std::vector<ExprPtr> terms = {
+      Expr::Compare(BinaryOp::kEq, Expr::Column("", "a"),
+                    Expr::Literal(Value(int64_t{1}))),
+      Expr::Compare(BinaryOp::kEq, Expr::Column("", "b"),
+                    Expr::Literal(Value(int64_t{2}))),
+      Expr::Compare(BinaryOp::kEq, Expr::Column("", "c"),
+                    Expr::Literal(Value(int64_t{3}))),
+  };
+  ExprPtr all = Expr::AndAll(terms);
+  EXPECT_EQ(ConjunctsOf(all).size(), 3u);
+  EXPECT_EQ(ConjunctsOf(nullptr).size(), 0u);
+  EXPECT_EQ(Expr::AndAll({})->kind(), ExprKind::kLiteral);
+}
+
+TEST(ExprTest, OpHelpers) {
+  EXPECT_EQ(NegateOp(BinaryOp::kLt), BinaryOp::kGe);
+  EXPECT_EQ(NegateOp(BinaryOp::kEq), BinaryOp::kNe);
+  EXPECT_EQ(FlipOp(BinaryOp::kLe), BinaryOp::kGe);
+  EXPECT_EQ(FlipOp(BinaryOp::kEq), BinaryOp::kEq);
+  EXPECT_STREQ(BinaryOpName(BinaryOp::kNe), "<>");
+}
+
+}  // namespace
+}  // namespace qp::sql

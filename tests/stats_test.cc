@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "stats/table_stats.h"
+#include "storage/database.h"
+
+namespace qp::stats {
+namespace {
+
+using storage::DataType;
+using storage::TableSchema;
+using storage::Value;
+
+std::vector<Value> Ints(std::initializer_list<int64_t> xs) {
+  std::vector<Value> out;
+  for (int64_t x : xs) out.emplace_back(x);
+  return out;
+}
+
+TEST(HistogramTest, NumericBasics) {
+  std::vector<Value> values;
+  for (int64_t i = 1; i <= 100; ++i) values.emplace_back(i);
+  auto h = ColumnHistogram::Build(values);
+  EXPECT_TRUE(h.is_numeric());
+  EXPECT_EQ(h.total_count(), 100u);
+  EXPECT_EQ(h.distinct_count(), 100u);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 100.0);
+}
+
+TEST(HistogramTest, RangeEstimateIsProportional) {
+  std::vector<Value> values;
+  for (int64_t i = 1; i <= 1000; ++i) values.emplace_back(i);
+  auto h = ColumnHistogram::Build(values);
+  EXPECT_NEAR(h.EstimateRange(1, 500), 0.5, 0.05);
+  EXPECT_NEAR(h.EstimateRange(900, 2000), 0.1, 0.05);
+  EXPECT_EQ(h.EstimateRange(5000, 6000), 0.0);
+  EXPECT_EQ(h.EstimateRange(10, 5), 0.0);
+}
+
+TEST(HistogramTest, ComparisonSelectivities) {
+  std::vector<Value> values;
+  for (int64_t i = 1; i <= 1000; ++i) values.emplace_back(i);
+  auto h = ColumnHistogram::Build(values);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kLt, Value(int64_t{250})), 0.25,
+              0.05);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kGe, Value(int64_t{750})), 0.25,
+              0.05);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kEq, Value(int64_t{5})), 0.001,
+              0.0005);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kNe, Value(int64_t{5})), 0.999,
+              0.0005);
+  EXPECT_EQ(h.EstimateSelectivity(CompareOp::kEq, Value(int64_t{5000})), 0.0);
+}
+
+TEST(HistogramTest, ConstantColumn) {
+  auto h = ColumnHistogram::Build(Ints({7, 7, 7, 7}));
+  EXPECT_EQ(h.distinct_count(), 1u);
+  EXPECT_NEAR(h.EstimateRange(7, 7), 1.0, 1e-9);
+  EXPECT_EQ(h.EstimateRange(8, 9), 0.0);
+}
+
+TEST(HistogramTest, NullsCountedSeparately) {
+  std::vector<Value> values = Ints({1, 2, 3});
+  values.push_back(Value::Null());
+  auto h = ColumnHistogram::Build(values);
+  EXPECT_EQ(h.total_count(), 4u);
+  EXPECT_EQ(h.null_count(), 1u);
+  EXPECT_EQ(h.EstimateSelectivity(CompareOp::kEq, Value::Null()), 0.0);
+}
+
+TEST(HistogramTest, StringMcvFrequencies) {
+  std::vector<Value> values;
+  for (int i = 0; i < 70; ++i) values.emplace_back("comedy");
+  for (int i = 0; i < 20; ++i) values.emplace_back("drama");
+  for (int i = 0; i < 10; ++i) values.emplace_back("war");
+  auto h = ColumnHistogram::Build(values);
+  EXPECT_FALSE(h.is_numeric());
+  EXPECT_EQ(h.distinct_count(), 3u);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kEq, Value("comedy")), 0.7,
+              1e-9);
+  EXPECT_NEAR(h.EstimateSelectivity(CompareOp::kNe, Value("comedy")), 0.3,
+              1e-9);
+  EXPECT_EQ(h.EstimateSelectivity(CompareOp::kEq, Value("nope")), 0.0);
+}
+
+TEST(HistogramTest, StringTailUsesUniformAssumption) {
+  // 100 distinct strings but only 64 MCV slots: the rest share the tail.
+  std::vector<Value> values;
+  for (int i = 0; i < 100; ++i) {
+    values.emplace_back("s" + std::to_string(i));
+    values.emplace_back("s" + std::to_string(i));
+  }
+  auto h = ColumnHistogram::Build(values, 32, 64);
+  const double sel = h.EstimateSelectivity(CompareOp::kEq, Value("zzz-tail"));
+  EXPECT_GT(sel, 0.0);
+  EXPECT_LT(sel, 0.05);
+}
+
+TEST(StatsManagerTest, CachesAndEstimates) {
+  storage::Database db;
+  auto table = db.CreateTable(TableSchema(
+      "movie", {{"mid", DataType::kInt}, {"year", DataType::kInt}}, {"mid"}));
+  ASSERT_TRUE(table.ok());
+  for (int64_t i = 1; i <= 200; ++i) {
+    ASSERT_TRUE((*table)->Append({Value(i), Value(1900 + i % 100)}).ok());
+  }
+  StatsManager stats(&db);
+  storage::AttributeRef year("movie", "year");
+  EXPECT_NEAR(stats.EstimateSelectivity(year, CompareOp::kLt,
+                                        Value(int64_t{1950})),
+              0.5, 0.08);
+  EXPECT_NEAR(stats.EstimateRangeSelectivity(year, 1900, 1924), 0.25, 0.08);
+  EXPECT_EQ(stats.TableRows("movie"), 200u);
+  EXPECT_EQ(stats.TableRows("nosuch"), 0u);
+  // Unknown attribute: conservative default.
+  EXPECT_NEAR(stats.EstimateSelectivity(storage::AttributeRef("x", "y"),
+                                        CompareOp::kEq, Value(int64_t{1})),
+              1.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qp::stats
