@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mixed_functions.dir/bench_ablation_mixed_functions.cpp.o"
+  "CMakeFiles/bench_ablation_mixed_functions.dir/bench_ablation_mixed_functions.cpp.o.d"
+  "bench_ablation_mixed_functions"
+  "bench_ablation_mixed_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mixed_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sps_vs_fakecrit.dir/bench_ablation_sps_vs_fakecrit.cpp.o"
+  "CMakeFiles/bench_ablation_sps_vs_fakecrit.dir/bench_ablation_sps_vs_fakecrit.cpp.o.d"
+  "bench_ablation_sps_vs_fakecrit"
+  "bench_ablation_sps_vs_fakecrit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sps_vs_fakecrit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

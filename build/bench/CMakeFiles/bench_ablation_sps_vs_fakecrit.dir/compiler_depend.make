@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_sps_vs_fakecrit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_common.dir/random.cc.o"
+  "CMakeFiles/qp_common.dir/random.cc.o.d"
+  "CMakeFiles/qp_common.dir/status.cc.o"
+  "CMakeFiles/qp_common.dir/status.cc.o.d"
+  "CMakeFiles/qp_common.dir/string_util.cc.o"
+  "CMakeFiles/qp_common.dir/string_util.cc.o.d"
+  "libqp_common.a"
+  "libqp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/answer.cc" "src/core/CMakeFiles/qp_core.dir/answer.cc.o" "gcc" "src/core/CMakeFiles/qp_core.dir/answer.cc.o.d"
+  "/root/repo/src/core/conflict.cc" "src/core/CMakeFiles/qp_core.dir/conflict.cc.o" "gcc" "src/core/CMakeFiles/qp_core.dir/conflict.cc.o.d"
+  "/root/repo/src/core/context_policy.cc" "src/core/CMakeFiles/qp_core.dir/context_policy.cc.o" "gcc" "src/core/CMakeFiles/qp_core.dir/context_policy.cc.o.d"
+  "/root/repo/src/core/descriptor.cc" "src/core/CMakeFiles/qp_core.dir/descriptor.cc.o" "gcc" "src/core/CMakeFiles/qp_core.dir/descriptor.cc.o.d"
+  "/root/repo/src/core/doi.cc" "src/core/CMakeFiles/qp_core.dir/doi.cc.o" "gcc" "src/core/CMakeFiles/qp_core.dir/doi.cc.o.d"
+  "/root/repo/src/core/graph.cc" "src/core/CMakeFiles/qp_core.dir/graph.cc.o" "gcc" "src/core/CMakeFiles/qp_core.dir/graph.cc.o.d"
+  "/root/repo/src/core/learn_ranking.cc" "src/core/CMakeFiles/qp_core.dir/learn_ranking.cc.o" "gcc" "src/core/CMakeFiles/qp_core.dir/learn_ranking.cc.o.d"
+  "/root/repo/src/core/path_probe.cc" "src/core/CMakeFiles/qp_core.dir/path_probe.cc.o" "gcc" "src/core/CMakeFiles/qp_core.dir/path_probe.cc.o.d"
+  "/root/repo/src/core/personalizer.cc" "src/core/CMakeFiles/qp_core.dir/personalizer.cc.o" "gcc" "src/core/CMakeFiles/qp_core.dir/personalizer.cc.o.d"
+  "/root/repo/src/core/ppa.cc" "src/core/CMakeFiles/qp_core.dir/ppa.cc.o" "gcc" "src/core/CMakeFiles/qp_core.dir/ppa.cc.o.d"
+  "/root/repo/src/core/preference.cc" "src/core/CMakeFiles/qp_core.dir/preference.cc.o" "gcc" "src/core/CMakeFiles/qp_core.dir/preference.cc.o.d"
+  "/root/repo/src/core/profile.cc" "src/core/CMakeFiles/qp_core.dir/profile.cc.o" "gcc" "src/core/CMakeFiles/qp_core.dir/profile.cc.o.d"
+  "/root/repo/src/core/ranking.cc" "src/core/CMakeFiles/qp_core.dir/ranking.cc.o" "gcc" "src/core/CMakeFiles/qp_core.dir/ranking.cc.o.d"
+  "/root/repo/src/core/rewrite.cc" "src/core/CMakeFiles/qp_core.dir/rewrite.cc.o" "gcc" "src/core/CMakeFiles/qp_core.dir/rewrite.cc.o.d"
+  "/root/repo/src/core/schema_map.cc" "src/core/CMakeFiles/qp_core.dir/schema_map.cc.o" "gcc" "src/core/CMakeFiles/qp_core.dir/schema_map.cc.o.d"
+  "/root/repo/src/core/select_top_k.cc" "src/core/CMakeFiles/qp_core.dir/select_top_k.cc.o" "gcc" "src/core/CMakeFiles/qp_core.dir/select_top_k.cc.o.d"
+  "/root/repo/src/core/spa.cc" "src/core/CMakeFiles/qp_core.dir/spa.cc.o" "gcc" "src/core/CMakeFiles/qp_core.dir/spa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/qp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/qp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_datagen.dir/moviegen.cc.o"
+  "CMakeFiles/qp_datagen.dir/moviegen.cc.o.d"
+  "CMakeFiles/qp_datagen.dir/profilegen.cc.o"
+  "CMakeFiles/qp_datagen.dir/profilegen.cc.o.d"
+  "libqp_datagen.a"
+  "libqp_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

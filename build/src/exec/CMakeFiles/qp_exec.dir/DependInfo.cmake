@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/aggregate.cc" "src/exec/CMakeFiles/qp_exec.dir/aggregate.cc.o" "gcc" "src/exec/CMakeFiles/qp_exec.dir/aggregate.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "src/exec/CMakeFiles/qp_exec.dir/evaluator.cc.o" "gcc" "src/exec/CMakeFiles/qp_exec.dir/evaluator.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/qp_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/qp_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/row_set.cc" "src/exec/CMakeFiles/qp_exec.dir/row_set.cc.o" "gcc" "src/exec/CMakeFiles/qp_exec.dir/row_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/qp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_exec.dir/aggregate.cc.o"
+  "CMakeFiles/qp_exec.dir/aggregate.cc.o.d"
+  "CMakeFiles/qp_exec.dir/evaluator.cc.o"
+  "CMakeFiles/qp_exec.dir/evaluator.cc.o.d"
+  "CMakeFiles/qp_exec.dir/executor.cc.o"
+  "CMakeFiles/qp_exec.dir/executor.cc.o.d"
+  "CMakeFiles/qp_exec.dir/row_set.cc.o"
+  "CMakeFiles/qp_exec.dir/row_set.cc.o.d"
+  "libqp_exec.a"
+  "libqp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_sim.dir/simuser.cc.o"
+  "CMakeFiles/qp_sim.dir/simuser.cc.o.d"
+  "CMakeFiles/qp_sim.dir/trials.cc.o"
+  "CMakeFiles/qp_sim.dir/trials.cc.o.d"
+  "libqp_sim.a"
+  "libqp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/expr.cc" "src/sql/CMakeFiles/qp_sql.dir/expr.cc.o" "gcc" "src/sql/CMakeFiles/qp_sql.dir/expr.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/qp_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/qp_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/query.cc" "src/sql/CMakeFiles/qp_sql.dir/query.cc.o" "gcc" "src/sql/CMakeFiles/qp_sql.dir/query.cc.o.d"
+  "/root/repo/src/sql/tokenizer.cc" "src/sql/CMakeFiles/qp_sql.dir/tokenizer.cc.o" "gcc" "src/sql/CMakeFiles/qp_sql.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/qp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_sql.dir/expr.cc.o"
+  "CMakeFiles/qp_sql.dir/expr.cc.o.d"
+  "CMakeFiles/qp_sql.dir/parser.cc.o"
+  "CMakeFiles/qp_sql.dir/parser.cc.o.d"
+  "CMakeFiles/qp_sql.dir/query.cc.o"
+  "CMakeFiles/qp_sql.dir/query.cc.o.d"
+  "CMakeFiles/qp_sql.dir/tokenizer.cc.o"
+  "CMakeFiles/qp_sql.dir/tokenizer.cc.o.d"
+  "libqp_sql.a"
+  "libqp_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_stats.dir/histogram.cc.o"
+  "CMakeFiles/qp_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/qp_stats.dir/table_stats.cc.o"
+  "CMakeFiles/qp_stats.dir/table_stats.cc.o.d"
+  "libqp_stats.a"
+  "libqp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qp_storage.dir/catalog_io.cc.o"
+  "CMakeFiles/qp_storage.dir/catalog_io.cc.o.d"
+  "CMakeFiles/qp_storage.dir/csv.cc.o"
+  "CMakeFiles/qp_storage.dir/csv.cc.o.d"
+  "CMakeFiles/qp_storage.dir/database.cc.o"
+  "CMakeFiles/qp_storage.dir/database.cc.o.d"
+  "CMakeFiles/qp_storage.dir/schema.cc.o"
+  "CMakeFiles/qp_storage.dir/schema.cc.o.d"
+  "CMakeFiles/qp_storage.dir/table.cc.o"
+  "CMakeFiles/qp_storage.dir/table.cc.o.d"
+  "CMakeFiles/qp_storage.dir/value.cc.o"
+  "CMakeFiles/qp_storage.dir/value.cc.o.d"
+  "libqp_storage.a"
+  "libqp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_differential_test.dir/exec_differential_test.cc.o"
+  "CMakeFiles/exec_differential_test.dir/exec_differential_test.cc.o.d"
+  "exec_differential_test"
+  "exec_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

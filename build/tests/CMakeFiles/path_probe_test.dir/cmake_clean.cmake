@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_probe_test.dir/path_probe_test.cc.o"
+  "CMakeFiles/path_probe_test.dir/path_probe_test.cc.o.d"
+  "path_probe_test"
+  "path_probe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

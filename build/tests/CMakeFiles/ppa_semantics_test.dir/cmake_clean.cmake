@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_semantics_test.dir/ppa_semantics_test.cc.o"
+  "CMakeFiles/ppa_semantics_test.dir/ppa_semantics_test.cc.o.d"
+  "ppa_semantics_test"
+  "ppa_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
