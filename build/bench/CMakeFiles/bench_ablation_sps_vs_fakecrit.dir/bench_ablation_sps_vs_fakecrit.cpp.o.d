@@ -251,9 +251,11 @@ bench/CMakeFiles/bench_ablation_sps_vs_fakecrit.dir/bench_ablation_sps_vs_fakecr
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/variant \
- /root/repo/src/storage/table.h /root/repo/src/datagen/profilegen.h \
- /root/repo/src/core/profile.h /root/repo/src/core/preference.h \
- /root/repo/src/core/doi.h /root/repo/src/sql/expr.h \
- /root/repo/src/core/ranking.h /root/repo/src/core/select_top_k.h \
- /root/repo/src/core/conflict.h /root/repo/src/sql/query.h \
- /root/repo/src/core/graph.h /root/repo/src/sql/parser.h
+ /root/repo/src/storage/table.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/datagen/profilegen.h /root/repo/src/core/profile.h \
+ /root/repo/src/core/preference.h /root/repo/src/core/doi.h \
+ /root/repo/src/sql/expr.h /root/repo/src/core/ranking.h \
+ /root/repo/src/core/select_top_k.h /root/repo/src/core/conflict.h \
+ /root/repo/src/sql/query.h /root/repo/src/core/graph.h \
+ /root/repo/src/sql/parser.h

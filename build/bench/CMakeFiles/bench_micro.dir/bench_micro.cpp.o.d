@@ -222,12 +222,14 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/storage/schema.h /root/repo/src/storage/database.h \
- /root/repo/src/storage/table.h /root/repo/src/core/select_top_k.h \
- /root/repo/src/core/conflict.h /root/repo/src/sql/query.h \
- /root/repo/src/core/graph.h /root/repo/src/core/profile.h \
- /root/repo/src/core/ranking.h /root/repo/src/datagen/moviegen.h \
- /root/repo/src/common/random.h /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/storage/table.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/core/select_top_k.h /root/repo/src/core/conflict.h \
+ /root/repo/src/sql/query.h /root/repo/src/core/graph.h \
+ /root/repo/src/core/profile.h /root/repo/src/core/ranking.h \
+ /root/repo/src/datagen/moviegen.h /root/repo/src/common/random.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -255,8 +257,17 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/datagen/profilegen.h /root/repo/src/exec/executor.h \
- /root/repo/src/exec/aggregate.h /root/repo/src/exec/evaluator.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/exec/aggregate.h \
+ /root/repo/src/exec/evaluator.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/exec/row_set.h \
  /root/repo/src/sql/parser.h /root/repo/src/stats/table_stats.h \
  /root/repo/src/stats/histogram.h

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_parallel_speedup.cpp" "bench/CMakeFiles/bench_parallel_speedup.dir/bench_parallel_speedup.cpp.o" "gcc" "bench/CMakeFiles/bench_parallel_speedup.dir/bench_parallel_speedup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/qp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/qp_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/qp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/qp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -224,11 +224,24 @@ examples/CMakeFiles/movie_night.dir/movie_night.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/core/profile.h \
  /root/repo/src/core/ranking.h /root/repo/src/storage/database.h \
- /root/repo/src/storage/table.h /root/repo/src/exec/row_set.h \
+ /root/repo/src/storage/table.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/exec/row_set.h \
  /root/repo/src/core/descriptor.h /root/repo/src/core/ppa.h \
  /root/repo/src/core/rewrite.h /root/repo/src/exec/executor.h \
- /root/repo/src/exec/aggregate.h /root/repo/src/exec/evaluator.h \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/atomic /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/exec/aggregate.h \
+ /root/repo/src/exec/evaluator.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/stats/table_stats.h /root/repo/src/stats/histogram.h \
  /root/repo/src/core/spa.h /root/repo/src/datagen/moviegen.h \
@@ -243,8 +256,7 @@ examples/CMakeFiles/movie_night.dir/movie_night.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/qp_common.dir/status.cc.o.d"
   "CMakeFiles/qp_common.dir/string_util.cc.o"
   "CMakeFiles/qp_common.dir/string_util.cc.o.d"
+  "CMakeFiles/qp_common.dir/thread_pool.cc.o"
+  "CMakeFiles/qp_common.dir/thread_pool.cc.o.d"
   "libqp_common.a"
   "libqp_common.pdb"
 )

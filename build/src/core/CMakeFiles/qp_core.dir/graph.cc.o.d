@@ -221,6 +221,9 @@ src/core/CMakeFiles/qp_core.dir/graph.cc.o: /root/repo/src/core/graph.cc \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/storage/schema.h /root/repo/src/core/ranking.h \
  /root/repo/src/storage/database.h /root/repo/src/storage/table.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/set \

@@ -221,4 +221,7 @@ src/core/CMakeFiles/qp_core.dir/rewrite.cc.o: \
  /root/repo/src/storage/database.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/table.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/common/string_util.h

@@ -221,6 +221,9 @@ src/core/CMakeFiles/qp_core.dir/schema_map.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/storage/schema.h /root/repo/src/core/ranking.h \
  /root/repo/src/storage/database.h /root/repo/src/storage/table.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/string_util.h

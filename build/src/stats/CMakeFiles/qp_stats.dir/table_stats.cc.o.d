@@ -218,4 +218,7 @@ src/stats/CMakeFiles/qp_stats.dir/table_stats.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/storage/schema.h /root/repo/src/storage/table.h
+ /root/repo/src/storage/schema.h /root/repo/src/storage/table.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h

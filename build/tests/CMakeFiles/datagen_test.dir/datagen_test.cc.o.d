@@ -323,11 +323,22 @@ tests/CMakeFiles/datagen_test.dir/datagen_test.cc.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/common/status.h /root/repo/src/storage/database.h \
  /root/repo/src/storage/schema.h /root/repo/src/storage/value.h \
- /root/repo/src/storage/table.h /root/repo/src/datagen/profilegen.h \
- /root/repo/src/core/profile.h /root/repo/src/core/preference.h \
- /root/repo/src/core/doi.h /root/repo/src/sql/expr.h \
- /root/repo/src/core/ranking.h /root/repo/src/exec/executor.h \
- /root/repo/src/exec/aggregate.h /root/repo/src/exec/evaluator.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/storage/table.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/datagen/profilegen.h /root/repo/src/core/profile.h \
+ /root/repo/src/core/preference.h /root/repo/src/core/doi.h \
+ /root/repo/src/sql/expr.h /root/repo/src/core/ranking.h \
+ /root/repo/src/exec/executor.h /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/exec/aggregate.h \
+ /root/repo/src/exec/evaluator.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/exec/row_set.h \
  /root/repo/src/sql/query.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_parallel_test.dir/ppa_parallel_test.cc.o"
+  "CMakeFiles/ppa_parallel_test.dir/ppa_parallel_test.cc.o.d"
+  "ppa_parallel_test"
+  "ppa_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -300,6 +300,8 @@ tests/CMakeFiles/selection_test.dir/selection_test.cc.o: \
  /root/repo/src/sql/query.h /root/repo/src/core/graph.h \
  /root/repo/src/core/profile.h /root/repo/src/core/ranking.h \
  /root/repo/src/storage/database.h /root/repo/src/storage/table.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/datagen/moviegen.h /root/repo/src/common/random.h \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -296,4 +296,6 @@ tests/CMakeFiles/stats_test.dir/stats_test.cc.o: \
  /root/repo/src/stats/table_stats.h /root/repo/src/common/status.h \
  /root/repo/src/stats/histogram.h /root/repo/src/storage/value.h \
  /root/repo/src/storage/database.h /root/repo/src/storage/schema.h \
- /root/repo/src/storage/table.h
+ /root/repo/src/storage/table.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h

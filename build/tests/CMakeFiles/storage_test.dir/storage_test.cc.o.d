@@ -298,5 +298,6 @@ tests/CMakeFiles/storage_test.dir/storage_test.cc.o: \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /root/repo/src/storage/csv.h /root/repo/src/common/status.h \
- /root/repo/src/storage/table.h /root/repo/src/storage/schema.h \
+ /root/repo/src/storage/table.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/storage/schema.h \
  /root/repo/src/storage/value.h /root/repo/src/storage/database.h

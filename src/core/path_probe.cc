@@ -19,7 +19,9 @@ Result<PathWalk> PathWalk::Prepare(const storage::Database* db,
     return Status::InvalidArgument("probe anchor '" + pref.AnchorRelation() +
                                    "' needs a single-column primary key");
   }
-  QP_ASSIGN_OR_RETURN(walk.anchor_pk_col_, anchor->schema().ColumnIndex(pk[0]));
+  QP_ASSIGN_OR_RETURN(size_t anchor_pk_col,
+                      anchor->schema().ColumnIndex(pk[0]));
+  walk.anchor_index_ = &anchor->HashIndex(anchor_pk_col);
   walk.signature_ = pref.AnchorRelation();
 
   const Table* current = anchor;
@@ -29,8 +31,9 @@ Result<PathWalk> PathWalk::Prepare(const storage::Database* db,
                         current->schema().ColumnIndex(join.from.column));
     QP_ASSIGN_OR_RETURN(const Table* target, db->GetTable(join.to.table));
     hop.table = target;
-    QP_ASSIGN_OR_RETURN(hop.to_col,
+    QP_ASSIGN_OR_RETURN(size_t to_col,
                         target->schema().ColumnIndex(join.to.column));
+    hop.index = &target->HashIndex(to_col);
     walk.hops_.push_back(hop);
     current = target;
     walk.signature_ +=
@@ -43,8 +46,7 @@ void PathWalk::Frontier(const Value& anchor_key,
                         std::vector<const Row*>* out) const {
   out->clear();
   {
-    const auto& index = anchor_->HashIndex(anchor_pk_col_);
-    auto [lo, hi] = index.equal_range(anchor_key);
+    auto [lo, hi] = anchor_index_->equal_range(anchor_key);
     for (auto it = lo; it != hi; ++it) {
       out->push_back(&anchor_->row(it->second));
     }
@@ -53,11 +55,10 @@ void PathWalk::Frontier(const Value& anchor_key,
   for (const Hop& hop : hops_) {
     if (out->empty()) return;
     next.clear();
-    const auto& index = hop.table->HashIndex(hop.to_col);
     for (const Row* row : *out) {
       const Value& key = (*row)[hop.from_col];
       if (key.is_null()) continue;
-      auto [lo, hi] = index.equal_range(key);
+      auto [lo, hi] = hop.index->equal_range(key);
       for (auto it = lo; it != hi; ++it) {
         next.push_back(&hop.table->row(it->second));
       }

@@ -38,7 +38,9 @@ class PathWalk {
 
   /// Rows of the target relation reachable from the anchor tuple with
   /// primary-key value `anchor_key` (the anchor rows themselves for an
-  /// empty path).
+  /// empty path). Thread-safe: the hash indexes are bound at Prepare time,
+  /// so concurrent probes over one walk read shared immutable state only —
+  /// PPA fans point probes out across a pool on exactly this path.
   void Frontier(const storage::Value& anchor_key,
                 std::vector<const storage::Row*>* out) const;
 
@@ -46,16 +48,20 @@ class PathWalk {
   const std::string& signature() const { return signature_; }
 
  private:
+  using HashIndex =
+      std::unordered_multimap<storage::Value, size_t, storage::ValueHash>;
+
   struct Hop {
     /// Column index of the join key in the *previous* relation's row.
     size_t from_col = 0;
-    /// Target relation and the column its hash index is built on.
+    /// Target relation and its hash index on the join column, bound at
+    /// Prepare time (keeps Frontier lock-free).
     const storage::Table* table = nullptr;
-    size_t to_col = 0;
+    const HashIndex* index = nullptr;
   };
 
   const storage::Table* anchor_ = nullptr;
-  size_t anchor_pk_col_ = 0;
+  const HashIndex* anchor_index_ = nullptr;
   std::vector<Hop> hops_;
   std::string signature_;
 };

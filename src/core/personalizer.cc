@@ -86,7 +86,9 @@ Result<PersonalizedAnswer> Personalizer::Personalize(
                       ResolveOptions(options, *profile_));
   Result<PersonalizedAnswer> answer = Status::Internal("unset");
   if (options.algorithm == AnswerAlgorithm::kSpa) {
-    SpaGenerator spa(db_, resolved.ranking);
+    exec::ExecOptions exec_options;
+    exec_options.num_threads = options.num_threads;
+    SpaGenerator spa(db_, resolved.ranking, exec_options);
     answer = spa.Generate(query, preferences, options.l);
     if (answer.ok() && options.top_n > 0 &&
         answer->tuples.size() > options.top_n) {
@@ -100,6 +102,7 @@ Result<PersonalizedAnswer> Personalizer::Personalize(
     ppa_options.ranking = resolved.ranking;
     ppa_options.on_emit = options.on_emit;
     ppa_options.top_n = options.top_n;
+    ppa_options.num_threads = options.num_threads;
     answer = ppa.Generate(query, preferences, ppa_options);
   }
   if (!answer.ok()) return answer.status();

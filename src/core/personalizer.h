@@ -57,6 +57,11 @@ struct PersonalizeOptions {
   /// Return only the best `top_n` tuples (0 = all). PPA stops its remaining
   /// queries and probes as soon as the top-N have been safely emitted.
   size_t top_n = 0;
+  /// Parallelism for answer generation: morsel-driven execution of SPA's
+  /// integrated query, and of PPA's S/A queries plus its batched point
+  /// probes. Results and emission order are identical at every value;
+  /// 1 (the default) runs fully serial.
+  size_t num_threads = 1;
 
   SelectionAlgorithm selection = SelectionAlgorithm::kFakeCrit;
   AnswerAlgorithm algorithm = AnswerAlgorithm::kPpa;

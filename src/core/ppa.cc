@@ -6,7 +6,10 @@
 #include <chrono>
 #include <limits>
 #include <map>
+#include <memory>
 #include <unordered_set>
+
+#include "common/thread_pool.h"
 
 namespace qp::core {
 
@@ -49,6 +52,49 @@ struct TupleRecord {
   std::vector<PreferenceOutcome> failed;
   double doi = 0.0;
 };
+
+/// Per-task probe scratch: the walk frontiers for one tuple, shared across
+/// the preferences probing the same path. Each concurrent probe task owns
+/// its own context, so frontier reuse needs no synchronization.
+struct ProbeContext {
+  std::vector<std::vector<const storage::Row*>> frontiers;
+  std::vector<char> valid;
+
+  explicit ProbeContext(size_t walk_count)
+      : frontiers(walk_count), valid(walk_count, 0) {}
+
+  /// Invalidates cached frontiers when the context moves to a new tuple.
+  void Reset() { std::fill(valid.begin(), valid.end(), 0); }
+};
+
+/// Runs `fn(j, ctx)` for j in [0, n): serially with one reused context when
+/// no pool is given (or the batch is trivial), otherwise as independent pool
+/// tasks with a context each. Reports the lowest-index failure — exactly the
+/// error a serial loop would have hit first.
+Status RunProbeTasks(common::ThreadPool* pool, size_t walk_count, size_t n,
+                     const std::function<Status(size_t, ProbeContext&)>& fn) {
+  if (pool == nullptr || n <= 1) {
+    ProbeContext ctx(walk_count);
+    for (size_t j = 0; j < n; ++j) {
+      QP_RETURN_IF_ERROR(fn(j, ctx));
+    }
+    return Status::OK();
+  }
+  std::vector<Status> statuses(n);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(n);
+  for (size_t j = 0; j < n; ++j) {
+    tasks.emplace_back([&, j]() {
+      ProbeContext ctx(walk_count);
+      statuses[j] = fn(j, ctx);
+    });
+  }
+  pool->RunAll(std::move(tasks));
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
 
 /// Upper bound on the positive combination any subset of `degrees` can
 /// achieve: the inflationary function is monotone in set extension, but
@@ -181,7 +227,13 @@ Result<PersonalizedAnswer> PpaGenerator::Generate(
                      return a.est_selectivity < b.est_selectivity;
                    });
 
-  exec::Executor executor(db_);
+  exec::ExecOptions exec_options;
+  exec_options.num_threads = options.num_threads;
+  exec::Executor executor(db_, nullptr, exec_options);
+  std::unique_ptr<common::ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<common::ThreadPool>(options.num_threads - 1);
+  }
   PersonalizedAnswer answer;
   answer.preferences = preferences;
   for (const auto& item : base.select) {
@@ -223,25 +275,22 @@ Result<PersonalizedAnswer> PpaGenerator::Generate(
     }
   };
 
-  // Per-tuple walk frontiers, shared across the preferences probing the
-  // same path. `probe_epoch` invalidates them when the tuple changes.
-  std::vector<std::vector<const storage::Row*>> frontiers(walks.size());
-  std::vector<uint64_t> frontier_epoch(walks.size(), 0);
-  uint64_t probe_epoch = 0;
-
   // One parameterized probe Q_i(t): the prepared index-walk when available,
   // otherwise `plan.query AND pk = t` through the executor. Both report the
   // truth-side hit and degree; satisfaction depends on the preference kind.
-  const auto run_probe = [&](const PrefPlan& plan,
-                             const Value& tid) -> Result<ProbeOutcome> {
+  // `ctx` caches walk frontiers for the current tuple; it belongs to the
+  // calling task, so concurrent probes never share mutable state (the walks
+  // and executor are safe for concurrent readers).
+  const auto run_probe = [&](const PrefPlan& plan, const Value& tid,
+                             ProbeContext& ctx) -> Result<ProbeOutcome> {
     std::optional<double> truth;
     if (plan.walk_id >= 0) {
       const size_t id = static_cast<size_t>(plan.walk_id);
-      if (frontier_epoch[id] != probe_epoch) {
-        walks[id].Frontier(tid, &frontiers[id]);
-        frontier_epoch[id] = probe_epoch;
+      if (!ctx.valid[id]) {
+        walks[id].Frontier(tid, &ctx.frontiers[id]);
+        ctx.valid[id] = 1;
       }
-      truth = plan.condition.TruthDegree(frontiers[id]);
+      truth = plan.condition.TruthDegree(ctx.frontiers[id]);
     } else {
       // The stored query is the satisfaction (S) or violation (A) form; for
       // 1-1 absence its WHERE holds when the preference is *satisfied*, so
@@ -321,7 +370,23 @@ Result<PersonalizedAnswer> PpaGenerator::Generate(
     return std::max(medi, step3_bound);
   };
 
+  // Ranks a completed record and queues it when it meets L. Serial only:
+  // pending insertion order is part of the emission contract.
+  const auto queue_record = [&](TupleRecord&& rec) {
+    if (rec.satisfied.size() < options.L) return;
+    std::vector<double> pos, neg;
+    for (const auto& o : rec.satisfied) pos.push_back(o.degree);
+    for (const auto& o : rec.failed) neg.push_back(o.degree);
+    rec.doi = options.ranking.Rank(pos, neg);
+    pending[rec.doi].push_back(std::move(rec));
+    ++pending_count;
+  };
+
   // ---- Phase 1: presence queries. ----
+  // Each round: claim fresh tuple ids serially in row order, probe the
+  // claimed tuples' remaining preferences as independent pool tasks (each
+  // writes its own record slot), then queue records serially in that same
+  // row order — byte-identical to the serial walk at every thread count.
   for (size_t i = 0; i < s_plans.size(); ++i) {
     if (top_n_reached()) break;
     // A tuple first seen here can satisfy at most the remaining presence
@@ -329,46 +394,50 @@ Result<PersonalizedAnswer> PpaGenerator::Generate(
     if (s_plans.size() - i + a_plans.size() < options.L) break;
     QP_ASSIGN_OR_RETURN(exec::RowSet rows,
                         executor.Execute(*sql::Query::Single(s_plans[i].query)));
+    std::vector<const storage::Row*> fresh;
     for (const auto& row : rows.rows()) {
       const Value& tid = row[n_base_cols];
       if (tid.is_null() || seen.count(tid) > 0) continue;
       seen.insert(tid);
-      ++probe_epoch;
-      TupleRecord rec;
-      rec.values.assign(row.begin(), row.begin() + n_base_cols);
-      const double own_degree =
-          row.back().is_numeric() ? row.back().ToNumeric() : 0.0;
-      rec.satisfied.push_back({s_plans[i].pref_index, own_degree});
-      // Presence queries before i would have returned the tuple: failed.
-      for (size_t k = 0; k < i; ++k) {
-        rec.failed.push_back(
-            {s_plans[k].pref_index, s_plans[k].failure_degree});
-      }
-      for (size_t k = i + 1; k < s_plans.size(); ++k) {
-        QP_ASSIGN_OR_RETURN(ProbeOutcome outcome, run_probe(s_plans[k], tid));
-        if (outcome.satisfied) {
-          rec.satisfied.push_back({s_plans[k].pref_index, outcome.degree});
-        } else {
-          rec.failed.push_back({s_plans[k].pref_index, outcome.degree});
-        }
-      }
-      for (const auto& a : a_plans) {
-        QP_ASSIGN_OR_RETURN(ProbeOutcome outcome, run_probe(a, tid));
-        if (outcome.satisfied) {
-          rec.satisfied.push_back({a.pref_index, outcome.degree});
-        } else {
-          rec.failed.push_back({a.pref_index, outcome.degree});
-        }
-      }
-      if (rec.satisfied.size() >= options.L) {
-        std::vector<double> pos, neg;
-        for (const auto& o : rec.satisfied) pos.push_back(o.degree);
-        for (const auto& o : rec.failed) neg.push_back(o.degree);
-        rec.doi = options.ranking.Rank(pos, neg);
-        pending[rec.doi].push_back(std::move(rec));
-        ++pending_count;
-      }
+      fresh.push_back(&row);
     }
+    std::vector<TupleRecord> recs(fresh.size());
+    QP_RETURN_IF_ERROR(RunProbeTasks(
+        pool.get(), walks.size(), fresh.size(),
+        [&](size_t j, ProbeContext& ctx) -> Status {
+          ctx.Reset();
+          const storage::Row& row = *fresh[j];
+          const Value& tid = row[n_base_cols];
+          TupleRecord& rec = recs[j];
+          rec.values.assign(row.begin(), row.begin() + n_base_cols);
+          const double own_degree =
+              row.back().is_numeric() ? row.back().ToNumeric() : 0.0;
+          rec.satisfied.push_back({s_plans[i].pref_index, own_degree});
+          // Presence queries before i would have returned the tuple: failed.
+          for (size_t k = 0; k < i; ++k) {
+            rec.failed.push_back(
+                {s_plans[k].pref_index, s_plans[k].failure_degree});
+          }
+          for (size_t k = i + 1; k < s_plans.size(); ++k) {
+            QP_ASSIGN_OR_RETURN(ProbeOutcome outcome,
+                                run_probe(s_plans[k], tid, ctx));
+            if (outcome.satisfied) {
+              rec.satisfied.push_back({s_plans[k].pref_index, outcome.degree});
+            } else {
+              rec.failed.push_back({s_plans[k].pref_index, outcome.degree});
+            }
+          }
+          for (const auto& a : a_plans) {
+            QP_ASSIGN_OR_RETURN(ProbeOutcome outcome, run_probe(a, tid, ctx));
+            if (outcome.satisfied) {
+              rec.satisfied.push_back({a.pref_index, outcome.degree});
+            } else {
+              rec.failed.push_back({a.pref_index, outcome.degree});
+            }
+          }
+          return Status::OK();
+        }));
+    for (TupleRecord& rec : recs) queue_record(std::move(rec));
     emit_ready(medi_after(i + 1, 0));
   }
 
@@ -382,41 +451,45 @@ Result<PersonalizedAnswer> PpaGenerator::Generate(
   for (size_t i = 0; i < a_plans.size() && !top_n_reached(); ++i) {
     QP_ASSIGN_OR_RETURN(exec::RowSet rows,
                         executor.Execute(*sql::Query::Single(a_plans[i].query)));
+    std::vector<const storage::Row*> fresh;
     for (const auto& row : rows.rows()) {
       const Value& tid = row[n_base_cols];
       if (tid.is_null()) continue;
       nids.insert(tid);
       if (!phase2_can_qualify || seen.count(tid) > 0) continue;
       seen.insert(tid);
-      ++probe_epoch;
-      TupleRecord rec;
-      rec.values.assign(row.begin(), row.begin() + n_base_cols);
-      const double own_degree =
-          row.back().is_numeric() ? row.back().ToNumeric() : 0.0;
-      rec.failed.push_back({a_plans[i].pref_index, own_degree});
-      // Absence queries before i did not return the tuple: satisfied.
-      for (size_t k = 0; k < i; ++k) {
-        rec.satisfied.push_back(
-            {a_plans[k].pref_index, a_plans[k].satisfaction_degree});
-      }
-      for (size_t k = i + 1; k < a_plans.size(); ++k) {
-        QP_ASSIGN_OR_RETURN(ProbeOutcome outcome, run_probe(a_plans[k], tid));
-        if (outcome.satisfied) {
-          rec.satisfied.push_back({a_plans[k].pref_index, outcome.degree});
-        } else {
-          rec.failed.push_back({a_plans[k].pref_index, outcome.degree});
-        }
-      }
-      // Per Figure 6, phase-2 tuples are ranked on absence preferences only.
-      if (rec.satisfied.size() >= options.L) {
-        std::vector<double> pos, neg;
-        for (const auto& o : rec.satisfied) pos.push_back(o.degree);
-        for (const auto& o : rec.failed) neg.push_back(o.degree);
-        rec.doi = options.ranking.Rank(pos, neg);
-        pending[rec.doi].push_back(std::move(rec));
-        ++pending_count;
-      }
+      fresh.push_back(&row);
     }
+    std::vector<TupleRecord> recs(fresh.size());
+    QP_RETURN_IF_ERROR(RunProbeTasks(
+        pool.get(), walks.size(), fresh.size(),
+        [&](size_t j, ProbeContext& ctx) -> Status {
+          ctx.Reset();
+          const storage::Row& row = *fresh[j];
+          const Value& tid = row[n_base_cols];
+          TupleRecord& rec = recs[j];
+          rec.values.assign(row.begin(), row.begin() + n_base_cols);
+          const double own_degree =
+              row.back().is_numeric() ? row.back().ToNumeric() : 0.0;
+          rec.failed.push_back({a_plans[i].pref_index, own_degree});
+          // Absence queries before i did not return the tuple: satisfied.
+          for (size_t k = 0; k < i; ++k) {
+            rec.satisfied.push_back(
+                {a_plans[k].pref_index, a_plans[k].satisfaction_degree});
+          }
+          for (size_t k = i + 1; k < a_plans.size(); ++k) {
+            QP_ASSIGN_OR_RETURN(ProbeOutcome outcome,
+                                run_probe(a_plans[k], tid, ctx));
+            if (outcome.satisfied) {
+              rec.satisfied.push_back({a_plans[k].pref_index, outcome.degree});
+            } else {
+              rec.failed.push_back({a_plans[k].pref_index, outcome.degree});
+            }
+          }
+          return Status::OK();
+        }));
+    // Per Figure 6, phase-2 tuples are ranked on absence preferences only.
+    for (TupleRecord& rec : recs) queue_record(std::move(rec));
     emit_ready(medi_after(s_plans.size(), i + 1));
   }
 

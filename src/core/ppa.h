@@ -39,6 +39,13 @@ class PpaGenerator {
     /// rank order under the MEDI bound, the first N emitted ARE the top-N —
     /// remaining queries and probes are skipped entirely.
     size_t top_n = 0;
+    /// Parallelism for the S/A queries (morsel-driven inside the executor)
+    /// and for the per-tuple point probes, which are independent and fan out
+    /// across a shared pool. Emission order — and hence every MEDI
+    /// progressiveness guarantee — is identical at every thread count:
+    /// probes compute into per-tuple slots and tuples enter the pending
+    /// queue serially in base-row order.
+    size_t num_threads = 1;
   };
 
   /// `stats` provides the selectivity estimates that order the query sets;

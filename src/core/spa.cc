@@ -99,7 +99,7 @@ Result<PersonalizedAnswer> SpaGenerator::Generate(
   QP_RETURN_IF_ERROR(registry.Register("rank", [ranking]() {
     return std::unique_ptr<exec::Aggregator>(new RankAggregator(ranking));
   }));
-  exec::Executor executor(db_, &registry);
+  exec::Executor executor(db_, &registry, exec_options_);
   QP_ASSIGN_OR_RETURN(exec::RowSet rows, executor.Execute(*query));
 
   PersonalizedAnswer answer;

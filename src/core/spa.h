@@ -20,8 +20,15 @@ namespace qp::core {
 /// \brief Generates personalized answers by query integration.
 class SpaGenerator {
  public:
-  SpaGenerator(const storage::Database* db, RankingFunction ranking)
-      : db_(db), rewriter_(db), ranking_(ranking) {}
+  /// `exec_options` configures the executor that runs the integrated query
+  /// (SPA's whole cost is that one query, so morsel parallelism applies to
+  /// its scans, joins and aggregation directly).
+  SpaGenerator(const storage::Database* db, RankingFunction ranking,
+               exec::ExecOptions exec_options = {})
+      : db_(db),
+        rewriter_(db),
+        ranking_(ranking),
+        exec_options_(exec_options) {}
 
   /// Builds the full personalized query (UNION ALL + outer group/having/
   /// order) without executing it — exposed for inspection and tests.
@@ -39,6 +46,7 @@ class SpaGenerator {
   const storage::Database* db_;
   QueryRewriter rewriter_;
   RankingFunction ranking_;
+  exec::ExecOptions exec_options_;
 };
 
 }  // namespace qp::core

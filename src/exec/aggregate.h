@@ -32,6 +32,13 @@ using AggregatorFactory = std::function<std::unique_ptr<Aggregator>()>;
 ///
 /// Lookup is case-insensitive. Built-ins are implicitly available; a
 /// registered name shadows nothing (built-in names are reserved).
+///
+/// Thread-safety contract: once a registry is handed to an Executor, it is
+/// read-only — Create()/Contains() may be called concurrently from worker
+/// threads, so registered factories must be safe to invoke concurrently and
+/// the Aggregator instances they return are used by one thread each (the
+/// morsel-parallel GROUP BY path creates an independent set of aggregators
+/// per group). Register() must finish before execution starts.
 class AggregateRegistry {
  public:
   /// Registers `name`; fails on duplicates or built-in names.

@@ -1,6 +1,8 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <functional>
+#include <optional>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
@@ -234,8 +236,30 @@ Result<std::string> Executor::ExplainSql(const std::string& sql) const {
   return Explain(*q);
 }
 
+Status Executor::RunTasks(std::vector<std::function<Status()>> tasks) const {
+  if (tasks.empty()) return Status::OK();
+  std::vector<Status> statuses(tasks.size());
+  if (pool_ == nullptr || tasks.size() == 1) {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      statuses[i] = tasks[i]();
+      if (!statuses[i].ok()) return statuses[i];
+    }
+    return Status::OK();
+  }
+  std::vector<std::function<void()>> wrapped;
+  wrapped.reserve(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    wrapped.emplace_back([&tasks, &statuses, i] { statuses[i] = tasks[i](); });
+  }
+  pool_->RunAll(std::move(wrapped));
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
 Result<RowSet> Executor::Execute(const sql::Query& query) const {
-  ++stats_.queries_executed;
+  queries_executed_.fetch_add(1, std::memory_order_relaxed);
   RowSet out;
   bool first = true;
   size_t branch_no = 0;
@@ -259,7 +283,7 @@ Result<RowSet> Executor::Execute(const sql::Query& query) const {
             std::to_string(out.num_columns()) + " vs " +
             std::to_string(part.num_columns()) + ")");
       }
-      for (auto& row : part.rows()) out.Add(std::move(row));
+      out.Append(std::move(part));
     }
   }
   // rows_output is counted by ExecuteSelect per branch; a union's total is
@@ -301,7 +325,7 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
       }
       src.rows = std::move(sub.rows());
       src.materialized = true;
-      stats_.rows_scanned += src.rows.size();
+      rows_scanned_.fetch_add(src.rows.size(), std::memory_order_relaxed);
     } else {
       QP_ASSIGN_OR_RETURN(src.base, db_->GetTable(ref.table));
       for (const auto& col : src.base->schema().columns()) {
@@ -311,32 +335,61 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
     sources.push_back(std::move(src));
   }
 
-  // ---- Materialize IN-subqueries. ----
+  // ---- Materialize IN-subqueries. Independent subqueries execute
+  // concurrently across the pool; each one's hash set is built inside its
+  // task and slotted by subquery index, so the resulting sets (and the
+  // lowest-index error, if any) never depend on scheduling. ----
   SubqueryResults subquery_sets;
   {
     std::vector<const Expr*> sub_nodes;
     CollectSubqueries(q.where, &sub_nodes);
     CollectSubqueries(q.having, &sub_nodes);
-    for (const Expr* node : sub_nodes) {
-      Trace(std::string(node->negated() ? "NOT IN" : "IN") +
-            " subquery (materialized to a hash set):");
-      trace_indent_ += "  ";
-      auto sub_result = Execute(*node->subquery());
-      if (!trace_indent_.empty()) {
-        trace_indent_.resize(trace_indent_.size() - 2);
+    if (ParallelEnabled() && sub_nodes.size() > 1) {
+      std::vector<std::unordered_set<Value, storage::ValueHash>> sets(
+          sub_nodes.size());
+      std::vector<std::function<Status()>> tasks;
+      tasks.reserve(sub_nodes.size());
+      for (size_t n = 0; n < sub_nodes.size(); ++n) {
+        tasks.emplace_back([this, &sub_nodes, &sets, n]() -> Status {
+          QP_ASSIGN_OR_RETURN(RowSet sub, Execute(*sub_nodes[n]->subquery()));
+          if (sub.num_columns() != 1) {
+            return Status::InvalidArgument(
+                "IN-subquery must return exactly one column");
+          }
+          sets[n].reserve(sub.num_rows());
+          for (const auto& row : sub.rows()) {
+            if (!row[0].is_null()) sets[n].insert(row[0]);
+          }
+          return Status::OK();
+        });
       }
-      QP_ASSIGN_OR_RETURN(RowSet sub, std::move(sub_result));
-      if (sub.num_columns() != 1) {
-        return Status::InvalidArgument(
-            "IN-subquery must return exactly one column");
+      QP_RETURN_IF_ERROR(RunTasks(std::move(tasks)));
+      for (size_t n = 0; n < sub_nodes.size(); ++n) {
+        subquery_sets.emplace(sub_nodes[n], std::move(sets[n]));
+        subqueries_materialized_.fetch_add(1, std::memory_order_relaxed);
       }
-      std::unordered_set<Value, storage::ValueHash> set;
-      set.reserve(sub.num_rows());
-      for (const auto& row : sub.rows()) {
-        if (!row[0].is_null()) set.insert(row[0]);
+    } else {
+      for (const Expr* node : sub_nodes) {
+        Trace(std::string(node->negated() ? "NOT IN" : "IN") +
+              " subquery (materialized to a hash set):");
+        trace_indent_ += "  ";
+        auto sub_result = Execute(*node->subquery());
+        if (!trace_indent_.empty()) {
+          trace_indent_.resize(trace_indent_.size() - 2);
+        }
+        QP_ASSIGN_OR_RETURN(RowSet sub, std::move(sub_result));
+        if (sub.num_columns() != 1) {
+          return Status::InvalidArgument(
+              "IN-subquery must return exactly one column");
+        }
+        std::unordered_set<Value, storage::ValueHash> set;
+        set.reserve(sub.num_rows());
+        for (const auto& row : sub.rows()) {
+          if (!row[0].is_null()) set.insert(row[0]);
+        }
+        subquery_sets.emplace(node, std::move(set));
+        subqueries_materialized_.fetch_add(1, std::memory_order_relaxed);
       }
-      subquery_sets.emplace(node, std::move(set));
-      ++stats_.subqueries_materialized;
     }
   }
 
@@ -503,11 +556,14 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
     access[s].estimated_rows = best_count;
   }
 
-  // Materializes a base source through its planned access path.
+  // Materializes a base source through its planned access path. The filter
+  // pass is morsel-parallel: each morsel evaluates the filters over its
+  // candidate range with a private Scope (the resolution memo is not
+  // thread-safe to share) into a private output, and outputs are spliced in
+  // morsel order — identical row order and first-error at any thread count.
   const auto materialize = [&](size_t s) -> Status {
     Source& src = sources[s];
     if (src.materialized) return Status::OK();
-    Scope scope(src.columns);
     std::vector<const Row*> candidates;
     if (access[s].index_col >= 0) {
       const auto& index =
@@ -527,18 +583,51 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
       candidates.reserve(src.base->num_rows());
       for (const auto& row : src.base->rows()) candidates.push_back(&row);
     }
-    stats_.rows_scanned += candidates.size();
-    for (const Row* row : candidates) {
-      bool pass = true;
-      for (const auto& f : source_filters[s]) {
-        QP_ASSIGN_OR_RETURN(bool ok,
-                            EvalPredicate(*f, scope, *row, &subquery_sets));
-        if (!ok) {
-          pass = false;
-          break;
-        }
+    rows_scanned_.fetch_add(candidates.size(), std::memory_order_relaxed);
+    const auto morsels = MorselsFor(candidates.size());
+    if (ParallelEnabled() && morsels.size() > 1) {
+      std::vector<std::vector<Row>> kept(morsels.size());
+      std::vector<std::function<Status()>> tasks;
+      tasks.reserve(morsels.size());
+      for (size_t m = 0; m < morsels.size(); ++m) {
+        tasks.emplace_back([&, m]() -> Status {
+          Scope local_scope(src.columns);
+          for (size_t i = morsels[m].first; i < morsels[m].second; ++i) {
+            bool pass = true;
+            for (const auto& f : source_filters[s]) {
+              QP_ASSIGN_OR_RETURN(
+                  bool ok,
+                  EvalPredicate(*f, local_scope, *candidates[i],
+                                &subquery_sets));
+              if (!ok) {
+                pass = false;
+                break;
+              }
+            }
+            if (pass) kept[m].push_back(*candidates[i]);
+          }
+          return Status::OK();
+        });
       }
-      if (pass) src.rows.push_back(*row);
+      QP_RETURN_IF_ERROR(RunTasks(std::move(tasks)));
+      for (auto& part : kept) {
+        src.rows.insert(src.rows.end(), std::make_move_iterator(part.begin()),
+                        std::make_move_iterator(part.end()));
+      }
+    } else {
+      Scope scope(src.columns);
+      for (const Row* row : candidates) {
+        bool pass = true;
+        for (const auto& f : source_filters[s]) {
+          QP_ASSIGN_OR_RETURN(bool ok,
+                              EvalPredicate(*f, scope, *row, &subquery_sets));
+          if (!ok) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) src.rows.push_back(*row);
+      }
     }
     src.materialized = true;
     return Status::OK();
@@ -565,9 +654,18 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
       } else {
         how = "full scan";
       }
+      std::string par;
+      if (options_.num_threads > 1) {
+        // Tracing serializes execution, but report the morsel split the
+        // configured parallelism would use on this input.
+        par = ", parallel filter: " +
+              std::to_string(MorselsFor(access[s].estimated_rows).size()) +
+              " morsel(s) x " + std::to_string(options_.num_threads) +
+              " threads";
+      }
       Trace("source '" + sources[s].alias + "': " + how + ", ~" +
             std::to_string(access[s].estimated_rows) + " rows, " +
-            std::to_string(source_filters[s].size()) + " filter(s)");
+            std::to_string(source_filters[s].size()) + " filter(s)" + par);
     }
   }
 
@@ -626,62 +724,160 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
       const size_t build_col = new_on_right ? edge.right_col : edge.left_col;
 
       std::vector<Row> result;
+      const auto probe_morsels = MorselsFor(combined.size());
+      const bool parallel_probe =
+          ParallelEnabled() && probe_morsels.size() > 1;
       if (!next.materialized) {
         // Base table: probe its persistent hash index on the join column
         // and apply any pending filters only to matched rows. This keeps
         // PPA's per-tuple point probes O(fan-out) instead of O(table).
+        // The probe side is morsel-parallel over `combined`; matches per
+        // left row keep index order and morsel outputs are spliced in
+        // morsel order, so the joined row order is scheduling-independent.
         const auto& index = next.base->HashIndex(build_col);
-        const Scope next_scope(next.columns);
         const auto& filters = source_filters[next_source];
-        for (const Row& left_row : combined) {
-          const Value& key = left_row[probe_col];
-          if (key.is_null()) continue;
-          auto [lo, hi] = index.equal_range(key);
-          for (auto it = lo; it != hi; ++it) {
-            const Row& right_row = next.base->row(it->second);
-            bool pass = true;
-            for (const auto& f : filters) {
-              QP_ASSIGN_OR_RETURN(
-                  bool ok,
-                  EvalPredicate(*f, next_scope, right_row, &subquery_sets));
-              if (!ok) {
-                pass = false;
-                break;
+        const auto probe_range = [&](size_t lo_row, size_t hi_row,
+                                     const Scope& next_scope,
+                                     std::vector<Row>* out) -> Status {
+          for (size_t r = lo_row; r < hi_row; ++r) {
+            const Row& left_row = combined[r];
+            const Value& key = left_row[probe_col];
+            if (key.is_null()) continue;
+            auto [lo, hi] = index.equal_range(key);
+            for (auto it = lo; it != hi; ++it) {
+              const Row& right_row = next.base->row(it->second);
+              bool pass = true;
+              for (const auto& f : filters) {
+                QP_ASSIGN_OR_RETURN(
+                    bool ok,
+                    EvalPredicate(*f, next_scope, right_row, &subquery_sets));
+                if (!ok) {
+                  pass = false;
+                  break;
+                }
               }
+              if (!pass) continue;
+              Row merged = left_row;
+              merged.insert(merged.end(), right_row.begin(), right_row.end());
+              out->push_back(std::move(merged));
             }
-            if (!pass) continue;
-            Row merged = left_row;
-            merged.insert(merged.end(), right_row.begin(), right_row.end());
-            result.push_back(std::move(merged));
           }
+          return Status::OK();
+        };
+        if (parallel_probe) {
+          std::vector<std::vector<Row>> parts(probe_morsels.size());
+          std::vector<std::function<Status()>> tasks;
+          tasks.reserve(probe_morsels.size());
+          for (size_t m = 0; m < probe_morsels.size(); ++m) {
+            tasks.emplace_back([&, m]() -> Status {
+              const Scope local_scope(next.columns);
+              return probe_range(probe_morsels[m].first,
+                                 probe_morsels[m].second, local_scope,
+                                 &parts[m]);
+            });
+          }
+          QP_RETURN_IF_ERROR(RunTasks(std::move(tasks)));
+          for (auto& part : parts) {
+            result.insert(result.end(), std::make_move_iterator(part.begin()),
+                          std::make_move_iterator(part.end()));
+          }
+        } else {
+          const Scope next_scope(next.columns);
+          QP_RETURN_IF_ERROR(
+              probe_range(0, combined.size(), next_scope, &result));
         }
       } else {
-        // Build a transient hash table on the (already filtered) rows.
-        std::unordered_multimap<Value, size_t, storage::ValueHash> build;
-        build.reserve(next.rows.size());
-        for (size_t i = 0; i < next.rows.size(); ++i) {
-          if (!next.rows[i][build_col].is_null()) {
-            build.emplace(next.rows[i][build_col], i);
+        // Build a transient hash table on the (already filtered) rows:
+        // key -> build-row positions in ascending order, so probe matches
+        // replay in build order regardless of how the table was built.
+        using BuildMap =
+            std::unordered_map<Value, std::vector<size_t>, storage::ValueHash>;
+        BuildMap build;
+        const auto build_morsels = MorselsFor(next.rows.size());
+        if (ParallelEnabled() && build_morsels.size() > 1) {
+          // Partitioned build: every morsel builds a partial map over its
+          // row range; partials merge in morsel order, which preserves the
+          // ascending row order inside every key's match list.
+          std::vector<BuildMap> partial(build_morsels.size());
+          std::vector<std::function<Status()>> tasks;
+          tasks.reserve(build_morsels.size());
+          for (size_t m = 0; m < build_morsels.size(); ++m) {
+            tasks.emplace_back([&, m]() -> Status {
+              for (size_t i = build_morsels[m].first;
+                   i < build_morsels[m].second; ++i) {
+                if (!next.rows[i][build_col].is_null()) {
+                  partial[m][next.rows[i][build_col]].push_back(i);
+                }
+              }
+              return Status::OK();
+            });
+          }
+          QP_RETURN_IF_ERROR(RunTasks(std::move(tasks)));
+          build.reserve(next.rows.size());
+          for (auto& part : partial) {
+            for (auto& [key, positions] : part) {
+              auto& dst = build[key];
+              if (dst.empty()) {
+                dst = std::move(positions);
+              } else {
+                dst.insert(dst.end(), positions.begin(), positions.end());
+              }
+            }
+          }
+        } else {
+          build.reserve(next.rows.size());
+          for (size_t i = 0; i < next.rows.size(); ++i) {
+            if (!next.rows[i][build_col].is_null()) {
+              build[next.rows[i][build_col]].push_back(i);
+            }
           }
         }
-        for (const Row& left_row : combined) {
-          const Value& key = left_row[probe_col];
-          if (key.is_null()) continue;
-          auto [lo, hi] = build.equal_range(key);
-          for (auto it = lo; it != hi; ++it) {
-            Row merged = left_row;
-            const Row& right_row = next.rows[it->second];
-            merged.insert(merged.end(), right_row.begin(), right_row.end());
-            result.push_back(std::move(merged));
+        const auto probe_range = [&](size_t lo_row, size_t hi_row,
+                                     std::vector<Row>* out) {
+          for (size_t r = lo_row; r < hi_row; ++r) {
+            const Row& left_row = combined[r];
+            const Value& key = left_row[probe_col];
+            if (key.is_null()) continue;
+            const auto it = build.find(key);
+            if (it == build.end()) continue;
+            for (size_t pos : it->second) {
+              Row merged = left_row;
+              const Row& right_row = next.rows[pos];
+              merged.insert(merged.end(), right_row.begin(), right_row.end());
+              out->push_back(std::move(merged));
+            }
           }
+        };
+        if (parallel_probe) {
+          std::vector<std::vector<Row>> parts(probe_morsels.size());
+          std::vector<std::function<Status()>> tasks;
+          tasks.reserve(probe_morsels.size());
+          for (size_t m = 0; m < probe_morsels.size(); ++m) {
+            tasks.emplace_back([&, m]() -> Status {
+              probe_range(probe_morsels[m].first, probe_morsels[m].second,
+                          &parts[m]);
+              return Status::OK();
+            });
+          }
+          QP_RETURN_IF_ERROR(RunTasks(std::move(tasks)));
+          for (auto& part : parts) {
+            result.insert(result.end(), std::make_move_iterator(part.begin()),
+                          std::make_move_iterator(part.end()));
+          }
+        } else {
+          probe_range(0, combined.size(), &result);
         }
       }
-      stats_.rows_joined += result.size();
+      rows_joined_.fetch_add(result.size(), std::memory_order_relaxed);
       Trace("join '" + next.alias + "' via " +
             (next.materialized ? "transient hash on filtered rows"
                                : "persistent index") +
             " [" + edge.atom->ToString() + "] -> " +
-            std::to_string(result.size()) + " rows");
+            std::to_string(result.size()) + " rows" +
+            (options_.num_threads > 1
+                 ? ", parallel probe: " +
+                       std::to_string(probe_morsels.size()) + " morsel(s)"
+                 : ""));
       combined_cols.insert(combined_cols.end(), next.columns.begin(),
                            next.columns.end());
       combined = std::move(result);
@@ -706,7 +902,7 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
           result.push_back(std::move(merged));
         }
       }
-      stats_.rows_joined += result.size();
+      rows_joined_.fetch_add(result.size(), std::memory_order_relaxed);
       Trace("cross product with '" + next.alias + "' -> " +
             std::to_string(result.size()) + " rows");
       combined_cols.insert(combined_cols.end(), next.columns.begin(),
@@ -717,45 +913,100 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
     ++num_joined;
 
     // Apply any join edges now internal to the combined result (other
-    // atoms between already-joined sources).
-    Scope scope(combined_cols);
+    // atoms between already-joined sources). Morsel-parallel like every
+    // other per-row filter pass.
+    const auto edge_filter = [&](size_t lo_row, size_t hi_row,
+                                 const Scope& row_scope,
+                                 std::vector<Row>* out) -> Status {
+      for (size_t r = lo_row; r < hi_row; ++r) {
+        bool pass = true;
+        for (const auto& edge : join_edges) {
+          if (!joined[edge.left_source] || !joined[edge.right_source]) {
+            continue;
+          }
+          QP_ASSIGN_OR_RETURN(bool ok,
+                              EvalPredicate(*edge.atom, row_scope, combined[r],
+                                            &subquery_sets));
+          if (!ok) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) out->push_back(std::move(combined[r]));
+      }
+      return Status::OK();
+    };
+    const auto filter_morsels = MorselsFor(combined.size());
     std::vector<Row> kept;
     kept.reserve(combined.size());
-    for (auto& row : combined) {
-      bool pass = true;
-      for (const auto& edge : join_edges) {
-        if (!joined[edge.left_source] || !joined[edge.right_source]) continue;
-        QP_ASSIGN_OR_RETURN(
-            bool ok, EvalPredicate(*edge.atom, scope, row, &subquery_sets));
-        if (!ok) {
-          pass = false;
-          break;
-        }
+    if (ParallelEnabled() && filter_morsels.size() > 1) {
+      std::vector<std::vector<Row>> parts(filter_morsels.size());
+      std::vector<std::function<Status()>> tasks;
+      tasks.reserve(filter_morsels.size());
+      for (size_t m = 0; m < filter_morsels.size(); ++m) {
+        tasks.emplace_back([&, m]() -> Status {
+          const Scope local_scope(combined_cols);
+          return edge_filter(filter_morsels[m].first, filter_morsels[m].second,
+                             local_scope, &parts[m]);
+        });
       }
-      if (pass) kept.push_back(std::move(row));
+      QP_RETURN_IF_ERROR(RunTasks(std::move(tasks)));
+      for (auto& part : parts) {
+        kept.insert(kept.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+      }
+    } else {
+      const Scope scope(combined_cols);
+      QP_RETURN_IF_ERROR(edge_filter(0, combined.size(), scope, &kept));
     }
     combined = std::move(kept);
   }
 
   Scope scope(combined_cols);
 
-  // ---- Residual predicates. ----
+  // ---- Residual predicates (morsel-parallel filter pass). ----
   if (!residual.empty()) {
     Trace("apply " + std::to_string(residual.size()) +
           " residual predicate(s)");
+    const auto residual_filter = [&](size_t lo_row, size_t hi_row,
+                                     const Scope& row_scope,
+                                     std::vector<Row>* out) -> Status {
+      for (size_t r = lo_row; r < hi_row; ++r) {
+        bool pass = true;
+        for (const auto& f : residual) {
+          QP_ASSIGN_OR_RETURN(
+              bool ok,
+              EvalPredicate(*f, row_scope, combined[r], &subquery_sets));
+          if (!ok) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) out->push_back(std::move(combined[r]));
+      }
+      return Status::OK();
+    };
+    const auto morsels = MorselsFor(combined.size());
     std::vector<Row> kept;
     kept.reserve(combined.size());
-    for (auto& row : combined) {
-      bool pass = true;
-      for (const auto& f : residual) {
-        QP_ASSIGN_OR_RETURN(bool ok,
-                            EvalPredicate(*f, scope, row, &subquery_sets));
-        if (!ok) {
-          pass = false;
-          break;
-        }
+    if (ParallelEnabled() && morsels.size() > 1) {
+      std::vector<std::vector<Row>> parts(morsels.size());
+      std::vector<std::function<Status()>> tasks;
+      tasks.reserve(morsels.size());
+      for (size_t m = 0; m < morsels.size(); ++m) {
+        tasks.emplace_back([&, m]() -> Status {
+          const Scope local_scope(combined_cols);
+          return residual_filter(morsels[m].first, morsels[m].second,
+                                 local_scope, &parts[m]);
+        });
       }
-      if (pass) kept.push_back(std::move(row));
+      QP_RETURN_IF_ERROR(RunTasks(std::move(tasks)));
+      for (auto& part : parts) {
+        kept.insert(kept.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+      }
+    } else {
+      QP_RETURN_IF_ERROR(residual_filter(0, combined.size(), scope, &kept));
     }
     combined = std::move(kept);
   }
@@ -795,17 +1046,45 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
     std::unordered_map<std::string, const Expr*> agg_by_text;
     for (const Expr* a : agg_nodes) agg_by_text.emplace(a->ToString(), a);
 
-    // Group rows by evaluated GROUP BY keys.
+    // Group rows by evaluated GROUP BY keys. Key extraction writes into
+    // per-row slots so it parallelizes without any ordering concern; the
+    // grouping insertion itself stays serial in row order, which keeps the
+    // group iteration order (and hence ungrouped output order) identical at
+    // every thread count.
+    std::vector<Row> group_keys(combined.size());
+    {
+      const auto eval_keys = [&](size_t lo_row, size_t hi_row,
+                                 const Scope& row_scope) -> Status {
+        for (size_t i = lo_row; i < hi_row; ++i) {
+          Row key;
+          key.reserve(q.group_by.size());
+          for (const auto& g : q.group_by) {
+            QP_ASSIGN_OR_RETURN(
+                Value v, EvalScalar(*g, row_scope, combined[i], &subquery_sets));
+            key.push_back(std::move(v));
+          }
+          group_keys[i] = std::move(key);
+        }
+        return Status::OK();
+      };
+      const auto morsels = MorselsFor(combined.size());
+      if (ParallelEnabled() && morsels.size() > 1 && !q.group_by.empty()) {
+        std::vector<std::function<Status()>> tasks;
+        tasks.reserve(morsels.size());
+        for (size_t m = 0; m < morsels.size(); ++m) {
+          tasks.emplace_back([&, m]() -> Status {
+            const Scope local_scope(combined_cols);
+            return eval_keys(morsels[m].first, morsels[m].second, local_scope);
+          });
+        }
+        QP_RETURN_IF_ERROR(RunTasks(std::move(tasks)));
+      } else {
+        QP_RETURN_IF_ERROR(eval_keys(0, combined.size(), scope));
+      }
+    }
     std::unordered_map<Row, std::vector<size_t>, RowHash> groups;
     for (size_t i = 0; i < combined.size(); ++i) {
-      Row key;
-      key.reserve(q.group_by.size());
-      for (const auto& g : q.group_by) {
-        QP_ASSIGN_OR_RETURN(Value v,
-                            EvalScalar(*g, scope, combined[i], &subquery_sets));
-        key.push_back(std::move(v));
-      }
-      groups[std::move(key)].push_back(i);
+      groups[std::move(group_keys[i])].push_back(i);
     }
     // A fully aggregated query with no GROUP BY has one (possibly empty)
     // global group, so COUNT(*) over no rows yields 0.
@@ -817,41 +1096,75 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
       Row out_row;
       Row sort_keys;
     };
-    std::vector<GroupOut> group_rows;
+    // Snapshot the groups in iteration order, then aggregate each group
+    // independently: every group's partial state (its aggregators) lives in
+    // its task and the finished GroupOut lands in the group's slot, merged
+    // back in group order — the parallel analogue of a partial-aggregate
+    // merge, exact at any thread count. HAVING rejections leave an empty
+    // slot.
+    std::vector<const std::vector<size_t>*> group_indices;
+    group_indices.reserve(groups.size());
+    for (const auto& [key, indices] : groups) group_indices.push_back(&indices);
+    std::vector<std::optional<GroupOut>> group_slots(group_indices.size());
     const Row empty_row(combined_cols.size());
-    for (const auto& [key, indices] : groups) {
-      // Compute each distinct aggregate once.
-      std::unordered_map<std::string, Value> agg_values;
-      for (const auto& [text, node] : agg_by_text) {
-        QP_ASSIGN_OR_RETURN(std::unique_ptr<Aggregator> agg,
-                            registry->Create(node->function()));
-        for (size_t idx : indices) {
-          Value arg = Value::Null();
-          if (node->argument() != nullptr) {
-            QP_ASSIGN_OR_RETURN(
-                arg, EvalScalar(*node->argument(), scope, combined[idx],
-                                &subquery_sets));
+    const auto aggregate_groups = [&](size_t lo_group, size_t hi_group,
+                                      const Scope& row_scope) -> Status {
+      for (size_t g_idx = lo_group; g_idx < hi_group; ++g_idx) {
+        const std::vector<size_t>& indices = *group_indices[g_idx];
+        // Compute each distinct aggregate once.
+        std::unordered_map<std::string, Value> agg_values;
+        for (const auto& [text, node] : agg_by_text) {
+          QP_ASSIGN_OR_RETURN(std::unique_ptr<Aggregator> agg,
+                              registry->Create(node->function()));
+          for (size_t idx : indices) {
+            Value arg = Value::Null();
+            if (node->argument() != nullptr) {
+              QP_ASSIGN_OR_RETURN(
+                  arg, EvalScalar(*node->argument(), row_scope, combined[idx],
+                                  &subquery_sets));
+            }
+            agg->Add(arg);
           }
-          agg->Add(arg);
+          agg_values.emplace(text, agg->Finalize());
         }
-        agg_values.emplace(text, agg->Finalize());
+        const Row& rep = indices.empty() ? empty_row : combined[indices[0]];
+        AggregateEnv env(&row_scope, &rep, &agg_values);
+        if (q.having != nullptr) {
+          QP_ASSIGN_OR_RETURN(Value hv, env.Eval(*q.having));
+          if (hv.is_null() || hv.ToNumeric() == 0) continue;
+        }
+        GroupOut g;
+        for (const auto& item : items) {
+          QP_ASSIGN_OR_RETURN(Value v, env.Eval(*item.expr));
+          g.out_row.push_back(std::move(v));
+        }
+        for (const auto& o : q.order_by) {
+          QP_ASSIGN_OR_RETURN(Value v, env.Eval(*o.expr));
+          g.sort_keys.push_back(std::move(v));
+        }
+        group_slots[g_idx] = std::move(g);
       }
-      const Row& rep = indices.empty() ? empty_row : combined[indices[0]];
-      AggregateEnv env(&scope, &rep, &agg_values);
-      if (q.having != nullptr) {
-        QP_ASSIGN_OR_RETURN(Value hv, env.Eval(*q.having));
-        if (hv.is_null() || hv.ToNumeric() == 0) continue;
+      return Status::OK();
+    };
+    const auto group_morsels = MorselsFor(group_indices.size());
+    if (ParallelEnabled() && group_morsels.size() > 1) {
+      std::vector<std::function<Status()>> tasks;
+      tasks.reserve(group_morsels.size());
+      for (size_t m = 0; m < group_morsels.size(); ++m) {
+        tasks.emplace_back([&, m]() -> Status {
+          const Scope local_scope(combined_cols);
+          return aggregate_groups(group_morsels[m].first,
+                                  group_morsels[m].second, local_scope);
+        });
       }
-      GroupOut g;
-      for (const auto& item : items) {
-        QP_ASSIGN_OR_RETURN(Value v, env.Eval(*item.expr));
-        g.out_row.push_back(std::move(v));
-      }
-      for (const auto& o : q.order_by) {
-        QP_ASSIGN_OR_RETURN(Value v, env.Eval(*o.expr));
-        g.sort_keys.push_back(std::move(v));
-      }
-      group_rows.push_back(std::move(g));
+      QP_RETURN_IF_ERROR(RunTasks(std::move(tasks)));
+    } else {
+      QP_RETURN_IF_ERROR(aggregate_groups(0, group_indices.size(), scope));
+    }
+    std::vector<GroupOut> group_rows;
+    group_rows.reserve(group_indices.size());
+    for (auto& slot : group_slots) {
+      if (slot.has_value()) group_rows.push_back(std::move(*slot));
     }
 
     if (!q.order_by.empty()) {
@@ -870,39 +1183,61 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
       out.Add(std::move(g.out_row));
       if (q.limit.has_value() && out.num_rows() >= *q.limit) break;
     }
-    stats_.rows_output += out.num_rows();
+    rows_output_.fetch_add(out.num_rows(), std::memory_order_relaxed);
     return out;
   }
 
   // ---- Non-aggregate projection. ----
   // Sort first (keys may reference non-projected columns), then project.
+  // Sort-key extraction fills per-row slots, so it is morsel-parallel; the
+  // stable sort itself stays serial and sees identical inputs either way.
   std::vector<size_t> order(combined.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   if (!q.order_by.empty()) {
     std::vector<Row> sort_keys(combined.size());
-    for (size_t i = 0; i < combined.size(); ++i) {
-      for (const auto& o : q.order_by) {
-        // Try the combined scope first; fall back to select-item aliases.
-        auto direct = EvalScalar(*o.expr, scope, combined[i], &subquery_sets);
-        if (direct.ok()) {
-          sort_keys[i].push_back(std::move(direct).value());
-          continue;
-        }
-        bool matched = false;
-        if (o.expr->kind() == ExprKind::kColumnRef) {
-          for (const auto& item : items) {
-            if (EqualsIgnoreCase(item.OutputName(), o.expr->column())) {
-              QP_ASSIGN_OR_RETURN(
-                  Value v,
-                  EvalScalar(*item.expr, scope, combined[i], &subquery_sets));
-              sort_keys[i].push_back(std::move(v));
-              matched = true;
-              break;
+    const auto eval_sort_keys = [&](size_t lo_row, size_t hi_row,
+                                    const Scope& row_scope) -> Status {
+      for (size_t i = lo_row; i < hi_row; ++i) {
+        for (const auto& o : q.order_by) {
+          // Try the combined scope first; fall back to select-item aliases.
+          auto direct =
+              EvalScalar(*o.expr, row_scope, combined[i], &subquery_sets);
+          if (direct.ok()) {
+            sort_keys[i].push_back(std::move(direct).value());
+            continue;
+          }
+          bool matched = false;
+          if (o.expr->kind() == ExprKind::kColumnRef) {
+            for (const auto& item : items) {
+              if (EqualsIgnoreCase(item.OutputName(), o.expr->column())) {
+                QP_ASSIGN_OR_RETURN(
+                    Value v, EvalScalar(*item.expr, row_scope, combined[i],
+                                        &subquery_sets));
+                sort_keys[i].push_back(std::move(v));
+                matched = true;
+                break;
+              }
             }
           }
+          if (!matched) return direct.status();
         }
-        if (!matched) return direct.status();
       }
+      return Status::OK();
+    };
+    const auto morsels = MorselsFor(combined.size());
+    if (ParallelEnabled() && morsels.size() > 1) {
+      std::vector<std::function<Status()>> tasks;
+      tasks.reserve(morsels.size());
+      for (size_t m = 0; m < morsels.size(); ++m) {
+        tasks.emplace_back([&, m]() -> Status {
+          const Scope local_scope(combined_cols);
+          return eval_sort_keys(morsels[m].first, morsels[m].second,
+                                local_scope);
+        });
+      }
+      QP_RETURN_IF_ERROR(RunTasks(std::move(tasks)));
+    } else {
+      QP_RETURN_IF_ERROR(eval_sort_keys(0, combined.size(), scope));
     }
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
       for (size_t k = 0; k < q.order_by.size(); ++k) {
@@ -913,22 +1248,55 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
     });
   }
 
-  std::unordered_set<Row, RowHash> seen;
-  for (size_t pos : order) {
-    Row out_row;
-    out_row.reserve(items.size());
+  // Projection fills per-row slots in sorted order; DISTINCT and LIMIT stay
+  // serial over the slots, so their row selection is order-dependent yet
+  // thread-count independent. With a LIMIT the serial path stops early
+  // instead of projecting rows it would discard.
+  const auto project_row = [&](size_t pos, const Scope& row_scope,
+                               Row* out_row) -> Status {
+    out_row->reserve(items.size());
     for (const auto& item : items) {
-      QP_ASSIGN_OR_RETURN(
-          Value v, EvalScalar(*item.expr, scope, combined[pos], &subquery_sets));
-      out_row.push_back(std::move(v));
+      QP_ASSIGN_OR_RETURN(Value v, EvalScalar(*item.expr, row_scope,
+                                              combined[pos], &subquery_sets));
+      out_row->push_back(std::move(v));
     }
-    if (q.distinct) {
-      if (!seen.insert(out_row).second) continue;
+    return Status::OK();
+  };
+  const auto project_morsels = MorselsFor(order.size());
+  if (ParallelEnabled() && project_morsels.size() > 1 && !q.limit.has_value()) {
+    std::vector<Row> projected(order.size());
+    std::vector<std::function<Status()>> tasks;
+    tasks.reserve(project_morsels.size());
+    for (size_t m = 0; m < project_morsels.size(); ++m) {
+      tasks.emplace_back([&, m]() -> Status {
+        const Scope local_scope(combined_cols);
+        for (size_t i = project_morsels[m].first;
+             i < project_morsels[m].second; ++i) {
+          QP_RETURN_IF_ERROR(
+              project_row(order[i], local_scope, &projected[i]));
+        }
+        return Status::OK();
+      });
     }
-    out.Add(std::move(out_row));
-    if (q.limit.has_value() && out.num_rows() >= *q.limit) break;
+    QP_RETURN_IF_ERROR(RunTasks(std::move(tasks)));
+    std::unordered_set<Row, RowHash> seen;
+    for (Row& out_row : projected) {
+      if (q.distinct && !seen.insert(out_row).second) continue;
+      out.Add(std::move(out_row));
+    }
+  } else {
+    std::unordered_set<Row, RowHash> seen;
+    for (size_t pos : order) {
+      Row out_row;
+      QP_RETURN_IF_ERROR(project_row(pos, scope, &out_row));
+      if (q.distinct) {
+        if (!seen.insert(out_row).second) continue;
+      }
+      out.Add(std::move(out_row));
+      if (q.limit.has_value() && out.num_rows() >= *q.limit) break;
+    }
   }
-  stats_.rows_output += out.num_rows();
+  rows_output_.fetch_add(out.num_rows(), std::memory_order_relaxed);
   return out;
 }
 

@@ -3,10 +3,23 @@
 // predicates (greedy hash-join ordering), [NOT] IN subqueries (materialized
 // to hash sets), UNION ALL, GROUP BY / HAVING with built-in and user-defined
 // aggregates, DISTINCT, ORDER BY and LIMIT.
+//
+// Execution is morsel-driven when ExecOptions::num_threads > 1: base-table
+// scan+filter, hash-join build (partitioned) and probe, IN-subquery
+// materialization, grouping-key extraction, per-group aggregation, sort-key
+// extraction and projection all split their input into index-ordered row
+// ranges ("morsels") fanned out over a ThreadPool. Morsel outputs are merged
+// in morsel order, so results — row order, ORDER BY tie-breaking, error
+// reporting and ExecStats totals included — are byte-for-byte identical at
+// every thread count; num_threads = 1 is exactly the serial engine.
 
 #pragma once
 
+#include <atomic>
+#include <memory>
+
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "exec/aggregate.h"
 #include "exec/evaluator.h"
 #include "exec/row_set.h"
@@ -15,24 +28,47 @@
 
 namespace qp::exec {
 
-/// Cumulative execution counters, useful for benchmarks and tests.
+/// \brief Parallelism knobs for one Executor instance.
+struct ExecOptions {
+  /// Total parallelism (callers + workers). 1 runs everything inline on the
+  /// calling thread; N > 1 spawns a pool of N - 1 workers that the calling
+  /// thread joins during parallel regions. Never changes query results.
+  size_t num_threads = 1;
+  /// Minimum rows per morsel; inputs smaller than this run inline even when
+  /// a pool exists. Tests shrink it to force concurrency on tiny tables.
+  size_t morsel_rows = 1024;
+};
+
+/// Cumulative execution counters, useful for benchmarks and tests. Obtained
+/// as a snapshot via Executor::stats(); totals are exact and identical for
+/// every num_threads (accumulation is per-worker, merged in bulk).
 struct ExecStats {
   size_t queries_executed = 0;
   size_t rows_scanned = 0;
   size_t rows_joined = 0;
   size_t rows_output = 0;
   size_t subqueries_materialized = 0;
+
+  bool operator==(const ExecStats&) const = default;
 };
 
 /// \brief Executes queries against a Database.
 ///
 /// The executor is stateless per query; an optional AggregateRegistry
-/// provides user-defined aggregates (SPA's ranking function r).
+/// provides user-defined aggregates (SPA's ranking function r). Execute()
+/// is const and safe to call concurrently from several threads on one
+/// instance (PPA batches point probes this way): counters are atomic and
+/// all per-query state is local to the call.
 class Executor {
  public:
   explicit Executor(const storage::Database* db,
-                    const AggregateRegistry* aggregates = nullptr)
-      : db_(db), aggregates_(aggregates) {}
+                    const AggregateRegistry* aggregates = nullptr,
+                    ExecOptions options = {})
+      : db_(db), aggregates_(aggregates), options_(options) {
+    if (options_.num_threads > 1) {
+      pool_ = std::make_unique<common::ThreadPool>(options_.num_threads - 1);
+    }
+  }
 
   /// Executes a full query (single select or UNION ALL).
   Result<RowSet> Execute(const sql::Query& query) const;
@@ -42,15 +78,51 @@ class Executor {
 
   /// Executes `query` while recording the physical plan actually taken —
   /// access paths (index lookup vs scan), join order and methods, row
-  /// counts per step — and returns its text description.
+  /// counts per step, and how each step would be split into morsels — and
+  /// returns its text description. Tracing serializes execution (the trace
+  /// sink is unsynchronized) but still reports the parallel plan shape.
   Result<std::string> Explain(const sql::Query& query) const;
   Result<std::string> ExplainSql(const std::string& sql) const;
 
-  const ExecStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ExecStats{}; }
+  const ExecOptions& options() const { return options_; }
+
+  /// Snapshot of the cumulative counters.
+  ExecStats stats() const {
+    ExecStats s;
+    s.queries_executed = queries_executed_.load(std::memory_order_relaxed);
+    s.rows_scanned = rows_scanned_.load(std::memory_order_relaxed);
+    s.rows_joined = rows_joined_.load(std::memory_order_relaxed);
+    s.rows_output = rows_output_.load(std::memory_order_relaxed);
+    s.subqueries_materialized =
+        subqueries_materialized_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    queries_executed_.store(0, std::memory_order_relaxed);
+    rows_scanned_.store(0, std::memory_order_relaxed);
+    rows_joined_.store(0, std::memory_order_relaxed);
+    rows_output_.store(0, std::memory_order_relaxed);
+    subqueries_materialized_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   Result<RowSet> ExecuteSelect(const sql::SelectQuery& q) const;
+
+  /// True when parallel regions may actually fan out: a pool exists and no
+  /// trace is being recorded (the trace vector is not thread-safe, and
+  /// serial tracing keeps Explain output deterministic).
+  bool ParallelEnabled() const { return pool_ != nullptr && trace_ == nullptr; }
+
+  /// Deterministic morsel split for an n-row input under current options.
+  std::vector<std::pair<size_t, size_t>> MorselsFor(size_t n) const {
+    return common::MorselRanges(n, options_.morsel_rows,
+                                4 * options_.num_threads);
+  }
+
+  /// Runs `tasks` across the pool (calling thread included); each task
+  /// returns its own Status. Returns the lowest-index failure — the same
+  /// error a serial loop over the tasks would have reported first.
+  Status RunTasks(std::vector<std::function<Status()>> tasks) const;
 
   void Trace(const std::string& line) const {
     if (trace_ != nullptr) trace_->push_back(trace_indent_ + line);
@@ -58,7 +130,16 @@ class Executor {
 
   const storage::Database* db_;
   const AggregateRegistry* aggregates_;
-  mutable ExecStats stats_;
+  ExecOptions options_;
+  std::unique_ptr<common::ThreadPool> pool_;
+  /// Counters are atomic so concurrent Execute() calls and parallel morsels
+  /// accumulate exactly; increments are bulk (per region / per worker
+  /// merge), never per-row.
+  mutable std::atomic<size_t> queries_executed_{0};
+  mutable std::atomic<size_t> rows_scanned_{0};
+  mutable std::atomic<size_t> rows_joined_{0};
+  mutable std::atomic<size_t> rows_output_{0};
+  mutable std::atomic<size_t> subqueries_materialized_{0};
   /// Plan-trace sink; only set during Explain().
   mutable std::vector<std::string>* trace_ = nullptr;
   mutable std::string trace_indent_;

@@ -37,6 +37,18 @@ class RowSet {
 
   void Add(storage::Row row) { rows_.push_back(std::move(row)); }
 
+  /// Moves all of `other`'s rows onto the end of this set (schemas are the
+  /// caller's responsibility; UNION ALL merges per-branch results this way).
+  void Append(RowSet&& other) {
+    if (rows_.empty()) {
+      rows_ = std::move(other.rows_);
+    } else {
+      rows_.insert(rows_.end(), std::make_move_iterator(other.rows_.begin()),
+                   std::make_move_iterator(other.rows_.end()));
+    }
+    other.rows_.clear();
+  }
+
   /// Index of the column named `name` (optionally qualified by `qualifier`);
   /// -1 if absent or ambiguous.
   int FindColumn(const std::string& qualifier, const std::string& name) const;

@@ -28,6 +28,7 @@ Status Table::Append(Row row) {
 
 const std::vector<std::pair<Value, size_t>>& Table::OrderedIndex(
     size_t col_idx) const {
+  std::lock_guard<std::mutex> lock(index_mu_);
   auto it = ordered_indexes_.find(col_idx);
   if (it == ordered_indexes_.end()) {
     std::vector<std::pair<Value, size_t>> index;
@@ -103,6 +104,7 @@ RangeSlice(const std::vector<std::pair<Value, size_t>>& index, const Value& lo,
 
 const std::unordered_multimap<Value, size_t, ValueHash>& Table::HashIndex(
     size_t col_idx) const {
+  std::lock_guard<std::mutex> lock(index_mu_);
   auto it = indexes_.find(col_idx);
   if (it == indexes_.end()) {
     std::unordered_multimap<Value, size_t, ValueHash> index;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -35,7 +36,11 @@ class Table {
   void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
 
   /// Returns (building on first use) a hash index over column `col_idx`:
-  /// value -> row positions.
+  /// value -> row positions. Lazy construction is serialized on an internal
+  /// mutex, so concurrent readers (parallel executor morsels, PPA probe
+  /// workers) may race to the first use safely; once built, an index is
+  /// immutable until InvalidateIndexes(), and the returned reference can be
+  /// used lock-free. Mutating the table while queries run is not supported.
   const std::unordered_multimap<Value, size_t, ValueHash>& HashIndex(
       size_t col_idx) const;
 
@@ -57,8 +62,10 @@ class Table {
                     bool has_lo, const Value& hi, bool hi_inclusive,
                     bool has_hi) const;
 
-  /// Drops any built indexes (call after bulk mutation).
+  /// Drops any built indexes (call after bulk mutation). Not safe while
+  /// queries hold references to the dropped indexes.
   void InvalidateIndexes() const {
+    std::lock_guard<std::mutex> lock(index_mu_);
     indexes_.clear();
     ordered_indexes_.clear();
   }
@@ -66,6 +73,9 @@ class Table {
  private:
   TableSchema schema_;
   std::vector<Row> rows_;
+  /// Guards lazy index construction (tables are stored behind unique_ptr in
+  /// the Database catalog, so a non-movable member is fine).
+  mutable std::mutex index_mu_;
   mutable std::unordered_map<size_t,
                              std::unordered_multimap<Value, size_t, ValueHash>>
       indexes_;
