@@ -1,0 +1,125 @@
+// Serving-layer warm-vs-cold: how much of a Personalize call the qp::serve
+// caches remove, verified against the counters so the "warm" numbers are
+// honestly warm (graph build, preference selection and plan construction
+// all skipped), and against SameAnswerPayload so caching never changes the
+// answer — including right after a profile mutation, where the epoch bump
+// must force a full cold-equivalent rebuild.
+//
+// Output: per algorithm (PPA / SPA), cold vs warm wall-clock and speedup,
+// then the post-mutation rebuild time. QP_BENCH_MOVIES scales the database.
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+#include "bench_util.h"
+#include "qp.h"
+
+using namespace qp;
+
+namespace {
+
+constexpr int kWarmIters = 20;
+
+void Die(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Serving layer: cold vs warm Personalize",
+                     "the qp::serve cache design; not a paper figure");
+
+  auto config = bench::BenchDbConfig();
+  std::printf("database: %zu movies\n", config.num_movies);
+  auto db = datagen::GenerateMovieDatabase(config);
+  if (!db.ok()) Die(db.status());
+
+  datagen::ProfileGenConfig profile_config;
+  profile_config.seed = 17;
+  profile_config.num_presence = 6;
+  profile_config.num_negative = 2;
+  profile_config.num_absence_11 = 1;
+  profile_config.num_elastic = 2;
+  profile_config.db_config = config;
+  auto profile = datagen::GenerateProfile(profile_config);
+  if (!profile.ok()) Die(profile.status());
+
+  const std::string sql = "select mid, title, year from movie";
+  std::printf("query: %s\nwarm iterations: %d\n\n", sql.c_str(), kWarmIters);
+  std::printf("%-6s %12s %12s %9s  %s\n", "alg", "cold", "warm/call",
+              "speedup", "warm path verified by counters");
+
+  for (auto algorithm : {core::AnswerAlgorithm::kPpa,
+                         core::AnswerAlgorithm::kSpa}) {
+    core::PersonalizeOptions options;
+    options.k = 6;
+    options.l = 2;
+    options.algorithm = algorithm;
+    const char* name =
+        algorithm == core::AnswerAlgorithm::kPpa ? "PPA" : "SPA";
+
+    // Cold: a fresh Personalizer per call, as an unsessioned caller pays it.
+    std::optional<core::PersonalizedAnswer> cold_answer;
+    const double cold_seconds = bench::TimeSeconds([&] {
+      auto personalizer = core::Personalizer::Make(&*db, &*profile);
+      if (!personalizer.ok()) Die(personalizer.status());
+      auto answer = personalizer->Personalize(sql, options);
+      if (!answer.ok()) Die(answer.status());
+      cold_answer = std::move(*answer);
+    });
+
+    serve::ServingContext ctx(&*db);
+    auto session = ctx.OpenSession(name, *profile);
+    if (!session.ok()) Die(session.status());
+    auto first = (*session)->Personalize(sql, options);  // populate caches
+    if (!first.ok()) Die(first.status());
+
+    bool identical = core::SameAnswerPayload(*cold_answer, *first);
+    const double warm_seconds = bench::TimeSeconds([&] {
+      for (int i = 0; i < kWarmIters; ++i) {
+        auto answer = (*session)->Personalize(sql, options);
+        if (!answer.ok()) Die(answer.status());
+        identical = identical && core::SameAnswerPayload(*cold_answer, *answer);
+      }
+    });
+
+    const serve::ServeCounters c = ctx.counters();
+    const bool honest = c.graph_builds == 1 &&
+                        c.selection_cache_misses == 1 &&
+                        c.plan_cache_misses == 1 &&
+                        c.selection_cache_hits == kWarmIters &&
+                        c.plan_cache_hits == kWarmIters;
+    std::printf("%-6s %11.3fms %11.3fms %8.1fx  %s, answers %s\n", name,
+                cold_seconds * 1e3, warm_seconds / kWarmIters * 1e3,
+                cold_seconds / (warm_seconds / kWarmIters),
+                honest ? "graph/selection/plan all skipped" : "!!CACHE MISSED",
+                identical ? "identical" : "!!DIFFER");
+
+    // Mutate the profile mid-session: the next call must rebuild everything
+    // and still match a fresh cold run over the mutated profile.
+    auto& live = (*session)->mutable_profile();
+    auto added = live.AddSelection("movie.year", sql::BinaryOp::kGe,
+                                   storage::Value(int64_t{1990}),
+                                   *core::DoiPair::Exact(0.7, 0));
+    if (!added.ok()) Die(added);
+    std::optional<core::PersonalizedAnswer> rebuilt;
+    const double rebuild_seconds = bench::TimeSeconds([&] {
+      auto answer = (*session)->Personalize(sql, options);
+      if (!answer.ok()) Die(answer.status());
+      rebuilt = std::move(*answer);
+    });
+    auto fresh = core::Personalizer::Make(&*db, &(*session)->profile());
+    if (!fresh.ok()) Die(fresh.status());
+    auto fresh_answer = fresh->Personalize(sql, options);
+    if (!fresh_answer.ok()) Die(fresh_answer.status());
+    std::printf("       after profile mutation: %.3fms, %s fresh cold run\n",
+                rebuild_seconds * 1e3,
+                core::SameAnswerPayload(*rebuilt, *fresh_answer)
+                    ? "matches"
+                    : "!!DIFFERS from");
+  }
+  return 0;
+}

@@ -9,11 +9,10 @@
 
 #include "core/context_policy.h"
 #include "core/learn_ranking.h"
-#include "core/personalizer.h"
 #include "datagen/moviegen.h"
 #include "datagen/profilegen.h"
+#include "qp.h"
 #include "sim/simuser.h"
-#include "sql/parser.h"
 
 using namespace qp;
 

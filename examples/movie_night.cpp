@@ -7,9 +7,8 @@
 
 #include <iostream>
 
-#include "core/personalizer.h"
 #include "datagen/moviegen.h"
-#include "sql/parser.h"
+#include "qp.h"
 
 using namespace qp;
 

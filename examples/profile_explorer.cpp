@@ -12,10 +12,9 @@
 #include <fstream>
 #include <iostream>
 
-#include "core/personalizer.h"
 #include "datagen/moviegen.h"
 #include "datagen/profilegen.h"
-#include "sql/parser.h"
+#include "qp.h"
 
 using namespace qp;
 

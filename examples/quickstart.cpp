@@ -10,10 +10,9 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/personalizer.h"
 #include "datagen/moviegen.h"
 #include "datagen/profilegen.h"
-#include "sql/parser.h"
+#include "qp.h"
 
 using namespace qp;
 
@@ -84,5 +83,25 @@ int main(int argc, char** argv) {
             << " ms, first tuple after "
             << answer->stats.first_response_seconds * 1e3 << " ms, "
             << answer->stats.queries_executed << " queries executed.\n";
+
+  // The serving layer: open a session for Al and ask twice. The second call
+  // reuses the cached graph, preference selection and integration plan, and
+  // its answer is byte-identical to the first (and to the cold run above).
+  ServingContext ctx(&*db);
+  auto session = ctx.OpenSession("al", *profile);
+  if (!session.ok()) return Fail(session.status());
+  auto cold = (*session)->Personalize(sql, options);
+  if (!cold.ok()) return Fail(cold.status());
+  auto warm = (*session)->Personalize(sql, options);
+  if (!warm.ok()) return Fail(warm.status());
+  const ServeCounters counters = ctx.counters();
+  std::cout << "\nServing layer: " << counters.personalize_calls
+            << " calls, " << counters.graph_builds << " graph build(s), "
+            << counters.selection_cache_hits << " selection cache hit(s), "
+            << counters.plan_cache_hits << " plan cache hit(s); warm answer "
+            << (core::SameAnswerPayload(*cold, *warm) ? "identical"
+                                                      : "DIFFERS")
+            << ", generation " << warm->stats.generation_seconds * 1e3
+            << " ms.\n";
   return 0;
 }

@@ -21,11 +21,9 @@
 #include <string>
 
 #include "common/string_util.h"
-#include "core/personalizer.h"
 #include "datagen/moviegen.h"
 #include "datagen/profilegen.h"
-#include "exec/executor.h"
-#include "sql/parser.h"
+#include "qp.h"
 #include "storage/catalog_io.h"
 
 using namespace qp;

@@ -20,8 +20,20 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kInvalidQuery:
+      return "InvalidQuery";
+    case StatusCode::kProfileValidation:
+      return "ProfileValidation";
+    case StatusCode::kExecution:
+      return "Execution";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
   }
   return "Unknown";
+}
+
+bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kExecution || code == StatusCode::kInternal;
 }
 
 std::string Status::ToString() const {

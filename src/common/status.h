@@ -22,10 +22,29 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kParseError,
+  /// The query (or its combination with the personalization options) is not
+  /// a valid personalization target: not a single SELECT, projects reserved
+  /// columns, L exceeds the selected preferences, ...
+  kInvalidQuery,
+  /// A stored profile failed validation against the database schema.
+  kProfileValidation,
+  /// The engine failed while executing a (sub)query — data-dependent
+  /// runtime failures, as opposed to statically invalid plans.
+  kExecution,
+  /// The request is valid but outside the supported subset (e.g. PPA over a
+  /// relation without a single-column primary key).
+  kUnsupported,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
 const char* StatusCodeName(StatusCode code);
+
+/// True for failures a serving layer may transparently retry (engine-side /
+/// transient: kExecution, kInternal); false for caller bugs (bad query,
+/// options or profile) where a retry would deterministically fail again.
+/// OK is not retryable. This is the contract qp::serve uses to map failures
+/// without string-matching messages.
+bool IsRetryable(StatusCode code);
 
 /// \brief Outcome of an operation that can fail without a payload.
 ///
@@ -61,8 +80,22 @@ class Status {
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
+  static Status InvalidQuery(std::string msg) {
+    return Status(StatusCode::kInvalidQuery, std::move(msg));
+  }
+  static Status ProfileValidation(std::string msg) {
+    return Status(StatusCode::kProfileValidation, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecution, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// See qp::IsRetryable(StatusCode).
+  bool IsRetryable() const { return ::qp::IsRetryable(code_); }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -49,4 +49,12 @@ std::string PersonalizedAnswer::ToString(size_t max_rows) const {
   return out;
 }
 
+bool SameAnswerPayload(const PersonalizedAnswer& a,
+                       const PersonalizedAnswer& b) {
+  return a.columns == b.columns && a.tuples == b.tuples &&
+         a.preferences == b.preferences &&
+         a.stats.queries_executed == b.stats.queries_executed &&
+         a.stats.tuples_returned == b.stats.tuples_returned;
+}
+
 }  // namespace qp::core

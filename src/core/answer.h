@@ -18,6 +18,8 @@ struct PreferenceOutcome {
   /// The tuple's degree for that preference (elastic-aware): >= 0 when
   /// satisfied, <= 0 when failed.
   double degree = 0.0;
+
+  bool operator==(const PreferenceOutcome&) const = default;
 };
 
 /// \brief One tuple of a personalized answer.
@@ -30,6 +32,8 @@ struct PersonalizedTuple {
   /// notes SPA is not self-explanatory); PPA fills both.
   std::vector<PreferenceOutcome> satisfied;
   std::vector<PreferenceOutcome> failed;
+
+  bool operator==(const PersonalizedTuple&) const = default;
 };
 
 /// Wall-clock and work statistics for one personalization run.
@@ -60,5 +64,12 @@ struct PersonalizedAnswer {
   /// Renders the whole answer as a table (capped at `max_rows`).
   std::string ToString(size_t max_rows = 20) const;
 };
+
+/// True when two answers carry the same payload: columns, tuples (values,
+/// dois, explanations, order), selected preferences, and the deterministic
+/// work counters (queries_executed, tuples_returned). Wall-clock timing
+/// fields are excluded — they are the only thing allowed to differ between
+/// a warm serve-cache hit and a fresh cold run.
+bool SameAnswerPayload(const PersonalizedAnswer& a, const PersonalizedAnswer& b);
 
 }  // namespace qp::core

@@ -2,8 +2,6 @@
 
 #include <chrono>
 
-#include "sql/parser.h"
-
 namespace qp::core {
 
 Result<Personalizer> Personalizer::Make(const storage::Database* db,
@@ -13,120 +11,38 @@ Result<Personalizer> Personalizer::Make(const storage::Database* db,
   return Personalizer(db, profile, std::move(graph));
 }
 
-namespace {
-
-/// Resolves the options' ranking function (profile override) and, when a
-/// descriptor is set, the target interval.
-struct ResolvedOptions {
-  RankingFunction ranking;
-  std::optional<DoiInterval> interval;
-};
-
-Result<ResolvedOptions> ResolveOptions(const PersonalizeOptions& options,
-                                       const UserProfile& profile) {
-  ResolvedOptions out;
-  out.ranking = options.use_profile_ranking
-                    ? profile.PreferredRankingOr(options.ranking)
-                    : options.ranking;
-  if (options.descriptor.has_value()) {
-    const DescriptorRegistry default_registry = DescriptorRegistry::Default();
-    const DescriptorRegistry* registry = options.descriptors != nullptr
-                                             ? options.descriptors
-                                             : &default_registry;
-    QP_ASSIGN_OR_RETURN(out.interval, registry->Lookup(*options.descriptor));
-  }
-  return out;
-}
-
-}  // namespace
-
 Result<std::vector<SelectedPreference>> Personalizer::SelectPreferences(
     const sql::SelectQuery& query, const PersonalizeOptions& options) {
-  QP_ASSIGN_OR_RETURN(ResolvedOptions resolved,
-                      ResolveOptions(options, *profile_));
-  const QueryContext ctx = QueryContext::FromQuery(query);
-  PreferenceSelector selector(&graph_);
-  std::optional<double> target = options.target_doi;
-  if (!target.has_value() && resolved.interval.has_value()) {
-    target = std::max(0.0, resolved.interval->lo);
-  }
-  if (target.has_value()) {
-    PreferenceSelector::DoiTargetOptions doi_options;
-    doi_options.target_doi = *target;
-    doi_options.ranking = resolved.ranking;
-    return selector.SelectByResultInterest(ctx, doi_options);
-  }
-  SelectionCriterion criterion{options.k, options.min_criticality};
-  if (options.selection == SelectionAlgorithm::kSps) {
-    return selector.SelectSPS(ctx, criterion);
-  }
-  return selector.SelectFakeCrit(ctx, criterion);
+  QP_ASSIGN_OR_RETURN(ResolvedPersonalization resolved,
+                      ResolvePersonalization(options, *profile_));
+  return RunSelection(graph_, query, options, resolved);
 }
 
 Result<PersonalizedAnswer> Personalizer::Personalize(
     const sql::SelectQuery& query, const PersonalizeOptions& options) {
+  QP_ASSIGN_OR_RETURN(ResolvedPersonalization resolved,
+                      ResolvePersonalization(options, *profile_));
   const auto select_start = std::chrono::steady_clock::now();
   QP_ASSIGN_OR_RETURN(std::vector<SelectedPreference> preferences,
-                      SelectPreferences(query, options));
+                      RunSelection(graph_, query, options, resolved));
   const double selection_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     select_start)
           .count();
-  if (preferences.empty()) {
-    return Status::NotFound(
-        "no preferences in the profile relate to this query");
-  }
-  if (options.l > preferences.size()) {
-    return Status::InvalidArgument(
-        "L = " + std::to_string(options.l) + " exceeds the " +
-        std::to_string(preferences.size()) + " selected preferences");
-  }
-
-  QP_ASSIGN_OR_RETURN(ResolvedOptions resolved,
-                      ResolveOptions(options, *profile_));
-  Result<PersonalizedAnswer> answer = Status::Internal("unset");
-  if (options.algorithm == AnswerAlgorithm::kSpa) {
-    exec::ExecOptions exec_options;
-    exec_options.num_threads = options.num_threads;
-    SpaGenerator spa(db_, resolved.ranking, exec_options);
-    answer = spa.Generate(query, preferences, options.l);
-    if (answer.ok() && options.top_n > 0 &&
-        answer->tuples.size() > options.top_n) {
-      answer->tuples.resize(options.top_n);
-      answer->stats.tuples_returned = answer->tuples.size();
-    }
-  } else {
-    PpaGenerator ppa(db_, &stats_);
-    PpaGenerator::Options ppa_options;
-    ppa_options.L = options.l;
-    ppa_options.ranking = resolved.ranking;
-    ppa_options.on_emit = options.on_emit;
-    ppa_options.top_n = options.top_n;
-    ppa_options.num_threads = options.num_threads;
-    answer = ppa.Generate(query, preferences, ppa_options);
-  }
-  if (!answer.ok()) return answer.status();
-  answer->stats.selection_seconds = selection_seconds;
-  if (resolved.interval.has_value()) {
-    // Keep only tuples whose doi falls in the descriptor's interval.
-    std::vector<PersonalizedTuple> kept;
-    for (auto& t : answer->tuples) {
-      if (resolved.interval->Contains(t.doi)) kept.push_back(std::move(t));
-    }
-    answer->tuples = std::move(kept);
-    answer->stats.tuples_returned = answer->tuples.size();
-  }
+  QP_RETURN_IF_ERROR(ValidateSelection(preferences, options));
+  QP_ASSIGN_OR_RETURN(
+      IntegrationPlan plan,
+      BuildIntegrationPlan(db_, &stats_, query, preferences, options));
+  QP_ASSIGN_OR_RETURN(PersonalizedAnswer answer,
+                      ExecuteIntegrationPlan(db_, plan, options, resolved));
+  FinalizeAnswer(resolved, selection_seconds, answer);
   return answer;
 }
 
 Result<PersonalizedAnswer> Personalizer::Personalize(
     const std::string& sql, const PersonalizeOptions& options) {
-  QP_ASSIGN_OR_RETURN(sql::QueryPtr query, sql::ParseQuery(sql));
-  if (query->is_union()) {
-    return Status::InvalidArgument(
-        "personalization applies to a single SELECT block");
-  }
-  return Personalize(query->single(), options);
+  QP_ASSIGN_OR_RETURN(sql::SelectQuery query, ParseSingleSelect(sql));
+  return Personalize(query, options);
 }
 
 Result<exec::RowSet> Personalizer::ExecuteUnchanged(

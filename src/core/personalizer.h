@@ -1,7 +1,9 @@
-// Personalizer: the library's front door. Wires the three phases of query
-// personalization together (Section 1): preference selection (top-K from the
-// profile), preference integration, and personalized-answer generation
-// satisfying L of the K preferences.
+// Personalizer: the library's cold-path front door. Wires the three phases
+// of query personalization together (Section 1): preference selection
+// (top-K from the profile), preference integration, and personalized-answer
+// generation satisfying L of the K preferences. Every call runs the full
+// pipeline from scratch; qp::serve wraps the same pipeline stages with
+// per-user caching (see core/pipeline.h and serve/serving_context.h).
 //
 //   qp::core::Personalizer p(&db, &profile);
 //   auto answer = p.Personalize("select title from movie",
@@ -15,61 +17,13 @@
 #include "common/status.h"
 #include "core/answer.h"
 #include "core/descriptor.h"
+#include "core/pipeline.h"
 #include "core/ppa.h"
 #include "core/select_top_k.h"
 #include "core/spa.h"
 #include "stats/table_stats.h"
 
 namespace qp::core {
-
-/// Which answer-generation algorithm to run.
-enum class AnswerAlgorithm {
-  kSpa,
-  kPpa,
-};
-
-/// Which preference-selection algorithm to run.
-enum class SelectionAlgorithm {
-  kFakeCrit,
-  kSps,
-};
-
-/// \brief Everything configurable about one personalization call.
-struct PersonalizeOptions {
-  /// Number of top preferences to select (0 = all related preferences).
-  size_t k = 10;
-  /// Minimum preferences a tuple must satisfy (L <= K).
-  size_t l = 1;
-  /// Criticality threshold c0 (alternative/additional criterion to k).
-  double min_criticality = 0.0;
-  /// Instead of k / min_criticality, select preferences until results are
-  /// guaranteed at least this doi (Section 4.2). Disabled when unset.
-  std::optional<double> target_doi;
-  /// Qualitative descriptor for the desired results ("best", "good", ...;
-  /// Section 2): preferences are selected with the interval's lower bound
-  /// as the doi target and answer tuples are filtered to the interval.
-  /// Looked up in `descriptors` (the default registry when null).
-  std::optional<std::string> descriptor;
-  const DescriptorRegistry* descriptors = nullptr;
-  /// Use the profile's stored ranking philosophy (Section 6.3) instead of
-  /// `ranking` when the profile has one.
-  bool use_profile_ranking = false;
-  /// Return only the best `top_n` tuples (0 = all). PPA stops its remaining
-  /// queries and probes as soon as the top-N have been safely emitted.
-  size_t top_n = 0;
-  /// Parallelism for answer generation: morsel-driven execution of SPA's
-  /// integrated query, and of PPA's S/A queries plus its batched point
-  /// probes. Results and emission order are identical at every value;
-  /// 1 (the default) runs fully serial.
-  size_t num_threads = 1;
-
-  SelectionAlgorithm selection = SelectionAlgorithm::kFakeCrit;
-  AnswerAlgorithm algorithm = AnswerAlgorithm::kPpa;
-  RankingFunction ranking =
-      RankingFunction::Make(CombinationStyle::kInflationary);
-  /// Progressive emission callback (PPA only).
-  std::function<void(const PersonalizedTuple&)> on_emit;
-};
 
 /// \brief Binds a database and a user profile and answers queries
 /// personally.
@@ -84,7 +38,8 @@ class Personalizer {
   Result<PersonalizedAnswer> Personalize(const sql::SelectQuery& query,
                                          const PersonalizeOptions& options);
 
-  /// Convenience: parses `sql` first. The query must be a single SELECT.
+  /// Convenience: parses `sql` first. The query must be a single SELECT
+  /// (kInvalidQuery otherwise).
   Result<PersonalizedAnswer> Personalize(const std::string& sql,
                                          const PersonalizeOptions& options);
 

@@ -19,10 +19,8 @@ using sql::ExprPtr;
 using sql::SelectQuery;
 using storage::Value;
 
-namespace {
-
 /// One planned query (S_i or A_i).
-struct PrefPlan {
+struct PpaPrefPlan {
   size_t pref_index = 0;  ///< into the selected-preferences vector
   PreferenceKind kind = PreferenceKind::kPresence;
   bool satisfied_when_true = true;
@@ -37,6 +35,25 @@ struct PrefPlan {
   PathCondition condition;
   double est_selectivity = 1.0;
 };
+
+/// The immutable plan behind PpaGenerator::Plan: everything Generate used to
+/// derive up front — the id-extended base query, the S/A query sets already
+/// in selectivity order, and the prepared walks the point probes share.
+/// Walks hold pointers into table hash indexes and the ordering bakes in
+/// histogram estimates, so a cached rep must be dropped when the stats epoch
+/// moves.
+struct PpaPlanRep {
+  SelectQuery base2;            ///< base query extended with the _tid column
+  ExprPtr tid_col;              ///< anchor-table primary-key column
+  size_t n_base_cols = 0;       ///< projection width without _tid/degree
+  std::vector<std::string> column_names;  ///< base projection output names
+  std::vector<SelectedPreference> preferences;
+  std::vector<PathWalk> walks;
+  std::vector<PpaPrefPlan> s_plans;  ///< presence + 1-1 absence, asc. sel.
+  std::vector<PpaPrefPlan> a_plans;  ///< 1-n absence, ascending selectivity
+};
+
+namespace {
 
 /// Result of one parameterized probe: did tuple t satisfy the preference,
 /// and with which per-tuple degree.
@@ -110,22 +127,21 @@ double PositiveUpperBound(const RankingFunction& ranking,
 
 }  // namespace
 
-Result<PersonalizedAnswer> PpaGenerator::Generate(
-    const SelectQuery& base, const std::vector<SelectedPreference>& preferences,
-    const Options& options) const {
-  const auto start = std::chrono::steady_clock::now();
+Result<PpaGenerator::Plan> PpaGenerator::BuildPlan(
+    const SelectQuery& base,
+    const std::vector<SelectedPreference>& preferences) const {
   if (preferences.empty()) {
-    return Status::InvalidArgument("no preferences to integrate");
+    return Status::InvalidQuery("no preferences to integrate");
   }
   if (base.from.empty() || base.from[0].derived != nullptr) {
-    return Status::InvalidArgument(
+    return Status::InvalidQuery(
         "PPA needs a base table as the query's first FROM entry");
   }
   for (const auto& item : base.select) {
     const std::string name = item.OutputName();
     if (name == "degree" || name == "_tid") {
-      return Status::InvalidArgument("base query projects reserved column '" +
-                                     name + "'");
+      return Status::InvalidQuery("base query projects reserved column '" +
+                                  name + "'");
     }
   }
   const std::string anchor = base.from[0].table;
@@ -134,33 +150,36 @@ Result<PersonalizedAnswer> PpaGenerator::Generate(
                       db_->GetTable(anchor));
   const auto& pk = anchor_table->schema().primary_key();
   if (pk.size() != 1) {
-    return Status::InvalidArgument(
-        "PPA needs a single-column primary key on '" + anchor + "'");
+    return Status::Unsupported("PPA needs a single-column primary key on '" +
+                               anchor + "'");
   }
-  const ExprPtr tid_col = Expr::Column(anchor_alias, pk[0]);
+
+  auto rep = std::make_shared<PpaPlanRep>();
+  rep->tid_col = Expr::Column(anchor_alias, pk[0]);
 
   // Base query extended with the tuple id.
-  SelectQuery base2 = base;
-  base2.order_by.clear();
-  base2.limit.reset();
-  base2.select.push_back({tid_col, "_tid"});
-  const size_t n_base_cols = base.select.size();
+  rep->base2 = base;
+  rep->base2.order_by.clear();
+  rep->base2.limit.reset();
+  rep->base2.select.push_back({rep->tid_col, "_tid"});
+  rep->n_base_cols = base.select.size();
+  for (const auto& item : base.select) {
+    rep->column_names.push_back(item.OutputName());
+  }
+  rep->preferences = preferences;
 
   // ---- Plan S (presence + 1-1 absence) and A (1-n absence) queries. ----
   // Preferences sharing a join path share one prepared walk, the way the
   // branches of the paper's union query Q_i(t) share their scans.
-  std::vector<PathWalk> walks;
   std::map<std::string, size_t> walk_ids;
-  std::vector<PrefPlan> s_plans, a_plans;
   for (size_t i = 0; i < preferences.size(); ++i) {
     const ImplicitPreference& pref = preferences[i].pref;
     if (!pref.has_selection()) {
-      return Status::InvalidArgument(
-          "PPA integrates selection preferences only");
+      return Status::Unsupported("PPA integrates selection preferences only");
     }
     QP_ASSIGN_OR_RETURN(RewrittenPreference parts,
-                        rewriter_.Rewrite(base2, pref));
-    PrefPlan plan;
+                        rewriter_.Rewrite(rep->base2, pref));
+    PpaPrefPlan plan;
     plan.pref_index = i;
     plan.kind = parts.kind;
     plan.satisfied_when_true = parts.satisfied_when_true;
@@ -171,8 +190,8 @@ Result<PersonalizedAnswer> PpaGenerator::Generate(
       auto condition = PathCondition::Prepare(db_, pref);
       if (walk.ok() && condition.ok()) {
         auto [it, inserted] =
-            walk_ids.try_emplace(walk->signature(), walks.size());
-        if (inserted) walks.push_back(std::move(walk).value());
+            walk_ids.try_emplace(walk->signature(), rep->walks.size());
+        if (inserted) rep->walks.push_back(std::move(walk).value());
         plan.walk_id = static_cast<int>(it->second);
         plan.condition = std::move(condition).value();
       }
@@ -206,38 +225,67 @@ Result<PersonalizedAnswer> PpaGenerator::Generate(
 
     if (parts.kind == PreferenceKind::kAbsenceOneN) {
       QP_ASSIGN_OR_RETURN(plan.query,
-                          rewriter_.BuildViolationQuery(base2, pref));
+                          rewriter_.BuildViolationQuery(rep->base2, pref));
       plan.est_selectivity = cond_sel;
-      a_plans.push_back(std::move(plan));
+      rep->a_plans.push_back(std::move(plan));
     } else {
       QP_ASSIGN_OR_RETURN(plan.query,
-                          rewriter_.BuildSatisfactionQuery(base2, pref));
+                          rewriter_.BuildSatisfactionQuery(rep->base2, pref));
       plan.est_selectivity = parts.kind == PreferenceKind::kAbsenceOneOne
                                  ? 1.0 - cond_sel
                                  : cond_sel;
-      s_plans.push_back(std::move(plan));
+      rep->s_plans.push_back(std::move(plan));
     }
   }
-  std::stable_sort(s_plans.begin(), s_plans.end(),
-                   [](const PrefPlan& a, const PrefPlan& b) {
+  std::stable_sort(rep->s_plans.begin(), rep->s_plans.end(),
+                   [](const PpaPrefPlan& a, const PpaPrefPlan& b) {
                      return a.est_selectivity < b.est_selectivity;
                    });
-  std::stable_sort(a_plans.begin(), a_plans.end(),
-                   [](const PrefPlan& a, const PrefPlan& b) {
+  std::stable_sort(rep->a_plans.begin(), rep->a_plans.end(),
+                   [](const PpaPrefPlan& a, const PpaPrefPlan& b) {
                      return a.est_selectivity < b.est_selectivity;
                    });
 
-  exec::ExecOptions exec_options;
-  exec_options.num_threads = options.num_threads;
-  exec::Executor executor(db_, nullptr, exec_options);
-  std::unique_ptr<common::ThreadPool> pool;
-  if (options.num_threads > 1) {
-    pool = std::make_unique<common::ThreadPool>(options.num_threads - 1);
+  Plan plan;
+  plan.rep_ = std::move(rep);
+  return plan;
+}
+
+Result<PersonalizedAnswer> PpaGenerator::Generate(
+    const SelectQuery& base, const std::vector<SelectedPreference>& preferences,
+    const Options& options) const {
+  QP_ASSIGN_OR_RETURN(Plan plan, BuildPlan(base, preferences));
+  return GenerateWithPlan(plan, options);
+}
+
+Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
+    const Plan& plan, const Options& options) const {
+  if (!plan.valid()) {
+    return Status::InvalidArgument("PPA plan is empty (default-constructed)");
   }
+  const PpaPlanRep& rep = *plan.rep_;
+  const auto start = std::chrono::steady_clock::now();
+
+  const exec::ExecOptions exec_options = options.EffectiveExec();
+  exec::Executor executor(db_, nullptr, exec_options);
+  // Point probes fan out over the same pool the executor uses: the shared
+  // one when injected, else a pool owned by this call.
+  common::ThreadPool* probe_pool = nullptr;
+  std::unique_ptr<common::ThreadPool> owned_pool;
+  if (exec_options.parallelism() > 1) {
+    if (exec_options.pool != nullptr) {
+      probe_pool = exec_options.pool;
+    } else {
+      owned_pool =
+          std::make_unique<common::ThreadPool>(exec_options.num_threads - 1);
+      probe_pool = owned_pool.get();
+    }
+  }
+
   PersonalizedAnswer answer;
-  answer.preferences = preferences;
-  for (const auto& item : base.select) {
-    answer.columns.push_back({"", item.OutputName()});
+  answer.preferences = rep.preferences;
+  for (const auto& name : rep.column_names) {
+    answer.columns.push_back({"", name});
   }
 
   // Result bookkeeping.
@@ -281,24 +329,24 @@ Result<PersonalizedAnswer> PpaGenerator::Generate(
   // `ctx` caches walk frontiers for the current tuple; it belongs to the
   // calling task, so concurrent probes never share mutable state (the walks
   // and executor are safe for concurrent readers).
-  const auto run_probe = [&](const PrefPlan& plan, const Value& tid,
+  const auto run_probe = [&](const PpaPrefPlan& pplan, const Value& tid,
                              ProbeContext& ctx) -> Result<ProbeOutcome> {
     std::optional<double> truth;
-    if (plan.walk_id >= 0) {
-      const size_t id = static_cast<size_t>(plan.walk_id);
+    if (pplan.walk_id >= 0) {
+      const size_t id = static_cast<size_t>(pplan.walk_id);
       if (!ctx.valid[id]) {
-        walks[id].Frontier(tid, &ctx.frontiers[id]);
+        rep.walks[id].Frontier(tid, &ctx.frontiers[id]);
         ctx.valid[id] = 1;
       }
-      truth = plan.condition.TruthDegree(ctx.frontiers[id]);
+      truth = pplan.condition.TruthDegree(ctx.frontiers[id]);
     } else {
       // The stored query is the satisfaction (S) or violation (A) form; for
       // 1-1 absence its WHERE holds when the preference is *satisfied*, so
       // interpret hits accordingly below via `query_hit_is_satisfaction`.
-      SelectQuery q = plan.query;
+      SelectQuery q = pplan.query;
       std::vector<ExprPtr> where = sql::ConjunctsOf(q.where);
       where.push_back(
-          Expr::Compare(BinaryOp::kEq, tid_col, Expr::Literal(tid)));
+          Expr::Compare(BinaryOp::kEq, rep.tid_col, Expr::Literal(tid)));
       q.where = Expr::AndAll(std::move(where));
       QP_ASSIGN_OR_RETURN(
           exec::RowSet rows,
@@ -315,24 +363,27 @@ Result<PersonalizedAnswer> PpaGenerator::Generate(
           if (v.is_numeric()) best = std::max(best, v.ToNumeric());
         }
       }
-      if (plan.kind == PreferenceKind::kAbsenceOneN) {
+      if (pplan.kind == PreferenceKind::kAbsenceOneN) {
         // Violation query: hit == truth.
         if (hit) return ProbeOutcome{false, best};
-        return ProbeOutcome{true, plan.satisfaction_degree};
+        return ProbeOutcome{true, pplan.satisfaction_degree};
       }
       // Satisfaction query: hit == satisfied.
       if (hit) return ProbeOutcome{true, best};
-      return ProbeOutcome{false, plan.failure_degree};
+      return ProbeOutcome{false, pplan.failure_degree};
     }
-    if (plan.satisfied_when_true) {
+    if (pplan.satisfied_when_true) {
       if (truth.has_value()) return ProbeOutcome{true, *truth};
-      return ProbeOutcome{false, plan.failure_degree};
+      return ProbeOutcome{false, pplan.failure_degree};
     }
     if (truth.has_value()) return ProbeOutcome{false, *truth};
-    return ProbeOutcome{true, plan.satisfaction_degree};
+    return ProbeOutcome{true, pplan.satisfaction_degree};
   };
 
   // Satisfaction degrees of queries not yet executed (for MEDI).
+  const std::vector<PpaPrefPlan>& s_plans = rep.s_plans;
+  const std::vector<PpaPrefPlan>& a_plans = rep.a_plans;
+  const size_t n_base_cols = rep.n_base_cols;
   std::vector<double> all_a_degrees;
   for (const auto& p : a_plans) all_a_degrees.push_back(p.satisfaction_degree);
   const bool step3_possible = a_plans.size() >= options.L;
@@ -403,7 +454,7 @@ Result<PersonalizedAnswer> PpaGenerator::Generate(
     }
     std::vector<TupleRecord> recs(fresh.size());
     QP_RETURN_IF_ERROR(RunProbeTasks(
-        pool.get(), walks.size(), fresh.size(),
+        probe_pool, rep.walks.size(), fresh.size(),
         [&](size_t j, ProbeContext& ctx) -> Status {
           ctx.Reset();
           const storage::Row& row = *fresh[j];
@@ -462,7 +513,7 @@ Result<PersonalizedAnswer> PpaGenerator::Generate(
     }
     std::vector<TupleRecord> recs(fresh.size());
     QP_RETURN_IF_ERROR(RunProbeTasks(
-        pool.get(), walks.size(), fresh.size(),
+        probe_pool, rep.walks.size(), fresh.size(),
         [&](size_t j, ProbeContext& ctx) -> Status {
           ctx.Reset();
           const storage::Row& row = *fresh[j];
@@ -497,7 +548,7 @@ Result<PersonalizedAnswer> PpaGenerator::Generate(
   // 1-n absence preference. ----
   if (step3_possible && !top_n_reached()) {
     QP_ASSIGN_OR_RETURN(exec::RowSet rows,
-                        executor.Execute(*sql::Query::Single(base2)));
+                        executor.Execute(*sql::Query::Single(rep.base2)));
     for (const auto& row : rows.rows()) {
       const Value& tid = row[n_base_cols];
       if (tid.is_null() || seen.count(tid) > 0 || nids.count(tid) > 0) {

@@ -10,10 +10,19 @@
 // mixed-combination function. Tuples are emitted progressively as soon as
 // their doi meets MEDI, the maximum estimated degree of interest any unseen
 // tuple could still achieve.
+//
+// Planning and execution are split: BuildPlan derives the S/A query sets,
+// their selectivity ordering and the prepared index walks once, and
+// GenerateWithPlan runs the progressive algorithm over the (immutable,
+// shareable) plan. The serving layer caches plans per query/preference-set
+// and invalidates them via the profile and stats epochs: a plan embeds
+// histogram-derived ordering and pointers into table hash indexes, so it is
+// only valid while profile and data stay unchanged.
 
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "common/status.h"
 #include "core/answer.h"
@@ -23,6 +32,9 @@
 #include "stats/table_stats.h"
 
 namespace qp::core {
+
+/// Internal representation of a built PPA plan (defined in ppa.cc).
+struct PpaPlanRep;
 
 /// \brief Generates progressive personalized answers.
 class PpaGenerator {
@@ -39,13 +51,39 @@ class PpaGenerator {
     /// rank order under the MEDI bound, the first N emitted ARE the top-N —
     /// remaining queries and probes are skipped entirely.
     size_t top_n = 0;
-    /// Parallelism for the S/A queries (morsel-driven inside the executor)
-    /// and for the per-tuple point probes, which are independent and fan out
-    /// across a shared pool. Emission order — and hence every MEDI
-    /// progressiveness guarantee — is identical at every thread count:
-    /// probes compute into per-tuple slots and tuples enter the pending
-    /// queue serially in base-row order.
+    /// Unified execution options: morsel-driven parallelism for the S/A
+    /// queries and for the per-tuple point probes, which are independent
+    /// and fan out across a (possibly shared) pool. Emission order — and
+    /// hence every MEDI progressiveness guarantee — is identical at every
+    /// thread count: probes compute into per-tuple slots and tuples enter
+    /// the pending queue serially in base-row order.
+    exec::ExecOptions exec;
+    /// \deprecated Alias for exec.num_threads, honored only while
+    /// exec.num_threads is left at its default of 1. Kept for one release;
+    /// use `exec` instead.
     size_t num_threads = 1;
+
+    /// The options actually applied: `exec` with the deprecated alias
+    /// folded in.
+    exec::ExecOptions EffectiveExec() const {
+      exec::ExecOptions e = exec;
+      if (e.num_threads == 1 && num_threads > 1) e.num_threads = num_threads;
+      return e;
+    }
+  };
+
+  /// \brief An immutable, reusable PPA plan: rewritten S/A query sets in
+  /// selectivity order, prepared walks and probe conditions, and the
+  /// id-extended base query. Cheap to copy (shared representation); safe to
+  /// execute concurrently.
+  class Plan {
+   public:
+    Plan() = default;
+    bool valid() const { return rep_ != nullptr; }
+
+   private:
+    friend class PpaGenerator;
+    std::shared_ptr<const PpaPlanRep> rep_;
   };
 
   /// `stats` provides the selectivity estimates that order the query sets;
@@ -53,8 +91,18 @@ class PpaGenerator {
   PpaGenerator(const storage::Database* db, stats::StatsManager* stats)
       : db_(db), stats_(stats), rewriter_(db) {}
 
-  /// Runs PPA. The base query's first FROM entry is the target relation and
-  /// must have a single-column primary key (the paper's "tuple id").
+  /// Plans PPA for `base` under `preferences`. The base query's first FROM
+  /// entry is the target relation and must have a single-column primary key
+  /// (the paper's "tuple id").
+  Result<Plan> BuildPlan(const sql::SelectQuery& base,
+                         const std::vector<SelectedPreference>& preferences)
+      const;
+
+  /// Runs the progressive algorithm over a previously built plan.
+  Result<PersonalizedAnswer> GenerateWithPlan(const Plan& plan,
+                                              const Options& options) const;
+
+  /// BuildPlan + GenerateWithPlan in one shot (the cold path).
   Result<PersonalizedAnswer> Generate(
       const sql::SelectQuery& base,
       const std::vector<SelectedPreference>& preferences,

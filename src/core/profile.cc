@@ -31,6 +31,7 @@ Status UserProfile::AddSelection(SelectionPreference pref) {
     }
   }
   selections_.push_back(std::move(pref));
+  ++epoch_;
   return Status::OK();
 }
 
@@ -45,6 +46,7 @@ Status UserProfile::AddJoin(JoinPreference pref) {
     }
   }
   joins_.push_back(std::move(pref));
+  ++epoch_;
   return Status::OK();
 }
 
@@ -68,6 +70,7 @@ Status UserProfile::RemoveSelection(const SelectionCondition& condition) {
   for (auto it = selections_.begin(); it != selections_.end(); ++it) {
     if (it->condition == condition) {
       selections_.erase(it);
+      ++epoch_;
       return Status::OK();
     }
   }
@@ -80,6 +83,7 @@ Status UserProfile::RemoveJoin(const storage::AttributeRef& from,
   for (auto it = joins_.begin(); it != joins_.end(); ++it) {
     if (it->from == from && it->to == to) {
       joins_.erase(it);
+      ++epoch_;
       return Status::OK();
     }
   }

@@ -79,8 +79,21 @@ class UserProfile {
   /// it in the profile); see core/learn_ranking.h for how it is fit.
   void set_preferred_ranking(RankingFunction ranking) {
     preferred_ranking_ = ranking;
+    ++epoch_;
   }
-  void clear_preferred_ranking() { preferred_ranking_.reset(); }
+  void clear_preferred_ranking() {
+    preferred_ranking_.reset();
+    ++epoch_;
+  }
+
+  /// Monotonic mutation counter: bumped by every successful profile change
+  /// (add/remove preference, ranking-philosophy update). Consumers that
+  /// derive state from the profile — the personalization graph, selected
+  /// preference sets, rewritten query plans — record the epoch they were
+  /// built under and treat a mismatch as invalidation (qp::serve does
+  /// exactly this). Copies carry the source's epoch and keep counting
+  /// independently from there.
+  uint64_t epoch() const { return epoch_; }
   const std::optional<RankingFunction>& preferred_ranking() const {
     return preferred_ranking_;
   }
@@ -107,6 +120,7 @@ class UserProfile {
   std::vector<SelectionPreference> selections_;
   std::vector<JoinPreference> joins_;
   std::optional<RankingFunction> preferred_ranking_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace qp::core

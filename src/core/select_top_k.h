@@ -42,6 +42,8 @@ struct SelectionCriterion {
 struct SelectedPreference {
   ImplicitPreference pref;
   double criticality = 0.0;
+
+  bool operator==(const SelectedPreference&) const = default;
 };
 
 /// Work counters used by the SPS-vs-FakeCrit ablation.

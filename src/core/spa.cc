@@ -14,11 +14,11 @@ Result<sql::QueryPtr> SpaGenerator::BuildPersonalizedQuery(
     const SelectQuery& base, const std::vector<SelectedPreference>& preferences,
     size_t L) const {
   if (preferences.empty()) {
-    return Status::InvalidArgument("no preferences to integrate");
+    return Status::InvalidQuery("no preferences to integrate");
   }
   for (const auto& item : base.select) {
     if (item.OutputName() == "degree") {
-      return Status::InvalidArgument(
+      return Status::InvalidQuery(
           "base query already projects a column named 'degree'");
     }
   }
@@ -87,12 +87,27 @@ class RankAggregator : public exec::Aggregator {
 
 }  // namespace
 
+Result<SpaGenerator::Plan> SpaGenerator::BuildPlan(
+    const SelectQuery& base, const std::vector<SelectedPreference>& preferences,
+    size_t L) const {
+  Plan plan;
+  QP_ASSIGN_OR_RETURN(plan.query, BuildPersonalizedQuery(base, preferences, L));
+  plan.preferences = preferences;
+  return plan;
+}
+
 Result<PersonalizedAnswer> SpaGenerator::Generate(
     const SelectQuery& base, const std::vector<SelectedPreference>& preferences,
     size_t L) const {
+  QP_ASSIGN_OR_RETURN(Plan plan, BuildPlan(base, preferences, L));
+  return GenerateWithPlan(plan);
+}
+
+Result<PersonalizedAnswer> SpaGenerator::GenerateWithPlan(
+    const Plan& plan) const {
   const auto start = std::chrono::steady_clock::now();
-  QP_ASSIGN_OR_RETURN(sql::QueryPtr query,
-                      BuildPersonalizedQuery(base, preferences, L));
+  const sql::QueryPtr& query = plan.query;
+  const std::vector<SelectedPreference>& preferences = plan.preferences;
 
   exec::AggregateRegistry registry;
   const RankingFunction* ranking = &ranking_;

@@ -6,6 +6,11 @@
 // user-defined aggregate r(degree). The whole thing executes as a single
 // query in the underlying engine, which is exactly why SPA cannot emit
 // progressively and pays full price for 1-n absence subqueries.
+//
+// Planning (building the personalized query) and execution are split so a
+// serving layer can cache the plan per (query, preferences, L) and re-run
+// it: the plan depends only on those inputs, never on the ranking function
+// or threading options, which bind at execution time.
 
 #pragma once
 
@@ -20,9 +25,18 @@ namespace qp::core {
 /// \brief Generates personalized answers by query integration.
 class SpaGenerator {
  public:
-  /// `exec_options` configures the executor that runs the integrated query
+  /// \brief A reusable integration plan: the personalized query plus the
+  /// preferences it integrates. Immutable once built; safe to execute
+  /// concurrently from several threads / generator instances.
+  struct Plan {
+    sql::QueryPtr query;
+    std::vector<SelectedPreference> preferences;
+  };
+
+  /// `exec_options` configures the executor that runs the personalized query
   /// (SPA's whole cost is that one query, so morsel parallelism applies to
-  /// its scans, joins and aggregation directly).
+  /// its scans, joins and aggregation directly). Callers normally leave it
+  /// defaulted and plumb PersonalizeOptions::exec through Personalizer.
   SpaGenerator(const storage::Database* db, RankingFunction ranking,
                exec::ExecOptions exec_options = {})
       : db_(db),
@@ -36,8 +50,16 @@ class SpaGenerator {
       const sql::SelectQuery& base,
       const std::vector<SelectedPreference>& preferences, size_t L) const;
 
-  /// Executes the personalized query and packages the ranked result.
+  /// Builds the reusable plan for `base` under `preferences` and `L`.
   /// `preferences` must be selection preferences (joins are traversal-only).
+  Result<Plan> BuildPlan(const sql::SelectQuery& base,
+                         const std::vector<SelectedPreference>& preferences,
+                         size_t L) const;
+
+  /// Executes a previously built plan and packages the ranked result.
+  Result<PersonalizedAnswer> GenerateWithPlan(const Plan& plan) const;
+
+  /// BuildPlan + GenerateWithPlan in one shot (the cold path).
   Result<PersonalizedAnswer> Generate(
       const sql::SelectQuery& base,
       const std::vector<SelectedPreference>& preferences, size_t L) const;

@@ -239,7 +239,8 @@ Result<std::string> Executor::ExplainSql(const std::string& sql) const {
 Status Executor::RunTasks(std::vector<std::function<Status()>> tasks) const {
   if (tasks.empty()) return Status::OK();
   std::vector<Status> statuses(tasks.size());
-  if (pool_ == nullptr || tasks.size() == 1) {
+  common::ThreadPool* pool = ActivePool();
+  if (pool == nullptr || tasks.size() == 1) {
     for (size_t i = 0; i < tasks.size(); ++i) {
       statuses[i] = tasks[i]();
       if (!statuses[i].ok()) return statuses[i];
@@ -251,7 +252,7 @@ Status Executor::RunTasks(std::vector<std::function<Status()>> tasks) const {
   for (size_t i = 0; i < tasks.size(); ++i) {
     wrapped.emplace_back([&tasks, &statuses, i] { statuses[i] = tasks[i](); });
   }
-  pool_->RunAll(std::move(wrapped));
+  pool->RunAll(std::move(wrapped));
   for (const Status& s : statuses) {
     if (!s.ok()) return s;
   }
@@ -655,12 +656,12 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
         how = "full scan";
       }
       std::string par;
-      if (options_.num_threads > 1) {
+      if (options_.parallelism() > 1) {
         // Tracing serializes execution, but report the morsel split the
         // configured parallelism would use on this input.
         par = ", parallel filter: " +
               std::to_string(MorselsFor(access[s].estimated_rows).size()) +
-              " morsel(s) x " + std::to_string(options_.num_threads) +
+              " morsel(s) x " + std::to_string(options_.parallelism()) +
               " threads";
       }
       Trace("source '" + sources[s].alias + "': " + how + ", ~" +
@@ -874,7 +875,7 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
                                : "persistent index") +
             " [" + edge.atom->ToString() + "] -> " +
             std::to_string(result.size()) + " rows" +
-            (options_.num_threads > 1
+            (options_.parallelism() > 1
                  ? ", parallel probe: " +
                        std::to_string(probe_morsels.size()) + " morsel(s)"
                  : ""));

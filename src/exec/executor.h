@@ -29,14 +29,30 @@
 namespace qp::exec {
 
 /// \brief Parallelism knobs for one Executor instance.
+///
+/// This is the single threading/exec configuration for the whole library:
+/// PersonalizeOptions carries one, PPA and SPA plumb it down, and the
+/// serving layer injects its shared pool through it.
 struct ExecOptions {
   /// Total parallelism (callers + workers). 1 runs everything inline on the
   /// calling thread; N > 1 spawns a pool of N - 1 workers that the calling
   /// thread joins during parallel regions. Never changes query results.
+  /// Ignored when `pool` is set.
   size_t num_threads = 1;
   /// Minimum rows per morsel; inputs smaller than this run inline even when
   /// a pool exists. Tests shrink it to force concurrency on tiny tables.
   size_t morsel_rows = 1024;
+  /// Borrowed shared worker pool (not owned; must outlive every consumer).
+  /// When set, parallel regions fan out over it instead of a per-call pool
+  /// — this is how qp::serve runs many sessions over one ThreadPool — and
+  /// the effective parallelism is pool->workers() + 1. Results are
+  /// byte-identical either way.
+  common::ThreadPool* pool = nullptr;
+
+  /// The parallelism degree these options resolve to.
+  size_t parallelism() const {
+    return pool != nullptr ? pool->workers() + 1 : num_threads;
+  }
 };
 
 /// Cumulative execution counters, useful for benchmarks and tests. Obtained
@@ -65,7 +81,7 @@ class Executor {
                     const AggregateRegistry* aggregates = nullptr,
                     ExecOptions options = {})
       : db_(db), aggregates_(aggregates), options_(options) {
-    if (options_.num_threads > 1) {
+    if (options_.pool == nullptr && options_.num_threads > 1) {
       pool_ = std::make_unique<common::ThreadPool>(options_.num_threads - 1);
     }
   }
@@ -108,15 +124,24 @@ class Executor {
  private:
   Result<RowSet> ExecuteSelect(const sql::SelectQuery& q) const;
 
-  /// True when parallel regions may actually fan out: a pool exists and no
+  /// The pool parallel regions run on: the injected shared pool when the
+  /// options carry one, else the per-instance pool (null when serial).
+  common::ThreadPool* ActivePool() const {
+    return options_.pool != nullptr ? options_.pool : pool_.get();
+  }
+
+  /// True when parallel regions may actually fan out: a pool exists, it can
+  /// actually add parallelism (a 0-worker shared pool is serial), and no
   /// trace is being recorded (the trace vector is not thread-safe, and
   /// serial tracing keeps Explain output deterministic).
-  bool ParallelEnabled() const { return pool_ != nullptr && trace_ == nullptr; }
+  bool ParallelEnabled() const {
+    return options_.parallelism() > 1 && trace_ == nullptr;
+  }
 
   /// Deterministic morsel split for an n-row input under current options.
   std::vector<std::pair<size_t, size_t>> MorselsFor(size_t n) const {
     return common::MorselRanges(n, options_.morsel_rows,
-                                4 * options_.num_threads);
+                                4 * options_.parallelism());
   }
 
   /// Runs `tasks` across the pool (calling thread included); each task

@@ -19,6 +19,8 @@ struct OutputColumn {
   std::string ToString() const {
     return qualifier.empty() ? name : qualifier + "." + name;
   }
+
+  bool operator==(const OutputColumn&) const = default;
 };
 
 /// \brief Schema + rows of an intermediate or final result.

@@ -1,0 +1,41 @@
+// qp.h — the library's public surface in one include.
+//
+// Pulls in the two front doors and everything their signatures mention:
+//
+//   qp::core::Personalizer        cold path: full pipeline per call
+//   qp::core::PersonalizeOptions  one options struct for both paths
+//   qp::core::PersonalizedAnswer  ranked, self-explanatory result tuples
+//   qp::serve::ServingContext     warm path: cached multi-user serving
+//   qp::serve::Session            per-user cache (graph, selections, plans)
+//   qp::Status / qp::Result<T>    error handling (Status codes classify
+//                                 caller bugs vs retryable failures)
+//
+// plus the supporting vocabulary types they expose: UserProfile, DoiPair,
+// RankingFunction, DescriptorRegistry, SelectQuery / ParseQuery, and the
+// exec::ExecOptions threading knobs. Tools that generate data or simulate
+// users keep including datagen/ and sim/ headers directly — those are
+// internal to the experiments, not part of the serving surface.
+
+#pragma once
+
+#include "common/status.h"
+#include "core/personalizer.h"
+#include "core/pipeline.h"
+#include "serve/serving_context.h"
+#include "sql/parser.h"
+
+namespace qp {
+
+// Convenience aliases so applications can write qp::Personalizer without
+// caring which layer a name lives in.
+using core::AnswerAlgorithm;
+using core::PersonalizedAnswer;
+using core::PersonalizeOptions;
+using core::Personalizer;
+using core::SelectionAlgorithm;
+using core::UserProfile;
+using serve::ServeCounters;
+using serve::ServingContext;
+using serve::Session;
+
+}  // namespace qp

@@ -1,0 +1,227 @@
+#include "serve/serving_context.h"
+
+#include <chrono>
+#include <utility>
+
+namespace qp::serve {
+
+using core::PersonalizeOptions;
+using core::PersonalizedAnswer;
+using core::ResolvedPersonalization;
+using core::SelectedPreference;
+
+namespace {
+
+/// Cache key for a selected-preference set: the canonical query text plus
+/// every option that feeds selection. The ranking styles enter because
+/// doi-target selection combines degrees with the *resolved* ranking, so
+/// two calls resolving to different rankings must not share an entry.
+std::string SelectionKey(const sql::SelectQuery& query,
+                         const PersonalizeOptions& options,
+                         const ResolvedPersonalization& resolved) {
+  std::string key = query.ToString();
+  key += "|k=" + std::to_string(options.k);
+  key += "|l=" + std::to_string(options.l);
+  key += "|c0=" + std::to_string(options.min_criticality);
+  key += "|target=";
+  key += options.target_doi.has_value() ? std::to_string(*options.target_doi)
+                                        : std::string("-");
+  key += "|desc=" + options.descriptor.value_or("-");
+  key += "|sel=" + std::to_string(static_cast<int>(options.selection));
+  key += "|rank=" +
+         std::to_string(static_cast<int>(resolved.ranking.positive_style())) +
+         "," +
+         std::to_string(static_cast<int>(resolved.ranking.negative_style())) +
+         "," +
+         std::to_string(static_cast<int>(resolved.ranking.mixed_style()));
+  return key;
+}
+
+/// Plan cache key: the selection key (which already pins L) plus the answer
+/// algorithm. Stats validity is carried by State::stats_epoch, not the key.
+std::string PlanKey(const std::string& selection_key,
+                    const PersonalizeOptions& options) {
+  return selection_key +
+         "|alg=" + std::to_string(static_cast<int>(options.algorithm));
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const Session::State>> Session::CurrentState(
+    uint64_t profile_epoch, uint64_t stats_epoch) {
+  std::shared_ptr<const State> state = state_.load(std::memory_order_acquire);
+  if (state != nullptr && state->profile_epoch == profile_epoch &&
+      state->stats_epoch == stats_epoch) {
+    return state;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  state = state_.load(std::memory_order_acquire);
+  if (state != nullptr && state->profile_epoch == profile_epoch &&
+      state->stats_epoch == stats_epoch) {
+    return state;
+  }
+  auto next = std::make_shared<State>();
+  next->profile_epoch = profile_epoch;
+  next->stats_epoch = stats_epoch;
+  if (state != nullptr && state->profile_epoch == profile_epoch) {
+    // Data changed but the profile did not: the graph and the selected
+    // preference sets stay valid (they never look at table contents); only
+    // the integration plans — selectivity ordering, prepared index walks —
+    // must go.
+    next->snapshot = state->snapshot;
+    next->selections = state->selections;
+    ctx_->epoch_invalidations_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    if (state != nullptr) {
+      ctx_->epoch_invalidations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    auto snapshot = std::make_shared<ProfileSnapshot>(profile_);
+    QP_ASSIGN_OR_RETURN(
+        core::PersonalizationGraph graph,
+        core::PersonalizationGraph::Build(ctx_->db_, &snapshot->profile));
+    snapshot->graph.emplace(std::move(graph));
+    ctx_->graph_builds_.fetch_add(1, std::memory_order_relaxed);
+    next->snapshot = std::move(snapshot);
+  }
+  state_.store(next, std::memory_order_release);
+  return std::shared_ptr<const State>(std::move(next));
+}
+
+void Session::StoreSelection(
+    const std::shared_ptr<const State>& based_on, const std::string& key,
+    std::shared_ptr<const std::vector<SelectedPreference>> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const State> cur = state_.load(std::memory_order_acquire);
+  if (cur == nullptr || cur->profile_epoch != based_on->profile_epoch ||
+      cur->stats_epoch != based_on->stats_epoch) {
+    return;  // epochs moved underneath us: the artifact is stale, drop it
+  }
+  if (cur->selections.count(key) > 0) return;
+  auto next = std::make_shared<State>(*cur);
+  next->selections[key] = std::move(value);
+  state_.store(next, std::memory_order_release);
+}
+
+void Session::StorePlan(const std::shared_ptr<const State>& based_on,
+                        const std::string& key,
+                        std::shared_ptr<const core::IntegrationPlan> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const State> cur = state_.load(std::memory_order_acquire);
+  if (cur == nullptr || cur->profile_epoch != based_on->profile_epoch ||
+      cur->stats_epoch != based_on->stats_epoch) {
+    return;
+  }
+  if (cur->plans.count(key) > 0) return;
+  auto next = std::make_shared<State>(*cur);
+  next->plans[key] = std::move(value);
+  state_.store(next, std::memory_order_release);
+}
+
+Result<PersonalizedAnswer> Session::Personalize(
+    const sql::SelectQuery& query, const PersonalizeOptions& options) {
+  ctx_->personalize_calls_.fetch_add(1, std::memory_order_relaxed);
+
+  // Fold the deprecated alias in once, then inject the context's shared
+  // pool: every session's queries and probes fan out over the same workers.
+  PersonalizeOptions opts = options;
+  opts.exec = options.EffectiveExec();
+  opts.num_threads = 1;
+  if (ctx_->pool_ != nullptr) opts.exec.pool = ctx_->pool_.get();
+
+  const uint64_t profile_epoch = profile_.epoch();
+  const uint64_t stats_epoch = ctx_->stats_.Epoch();
+  QP_ASSIGN_OR_RETURN(std::shared_ptr<const State> state,
+                      CurrentState(profile_epoch, stats_epoch));
+
+  // Resolve against the snapshot's profile (== live profile at this epoch),
+  // so the ranking override and the caches observe the same profile state.
+  QP_ASSIGN_OR_RETURN(
+      ResolvedPersonalization resolved,
+      core::ResolvePersonalization(opts, state->snapshot->profile));
+
+  const std::string selection_key = SelectionKey(query, opts, resolved);
+  std::shared_ptr<const std::vector<SelectedPreference>> preferences;
+  double selection_seconds = 0.0;
+  if (auto it = state->selections.find(selection_key);
+      it != state->selections.end()) {
+    preferences = it->second;
+    ctx_->selection_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ctx_->selection_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    const auto select_start = std::chrono::steady_clock::now();
+    QP_ASSIGN_OR_RETURN(std::vector<SelectedPreference> selected,
+                        core::RunSelection(*state->snapshot->graph, query,
+                                           opts, resolved));
+    selection_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      select_start)
+            .count();
+    preferences = std::make_shared<const std::vector<SelectedPreference>>(
+        std::move(selected));
+    StoreSelection(state, selection_key, preferences);
+  }
+  QP_RETURN_IF_ERROR(core::ValidateSelection(*preferences, opts));
+
+  const std::string plan_key = PlanKey(selection_key, opts);
+  std::shared_ptr<const core::IntegrationPlan> plan;
+  if (auto it = state->plans.find(plan_key); it != state->plans.end()) {
+    plan = it->second;
+    ctx_->plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ctx_->plan_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    QP_ASSIGN_OR_RETURN(core::IntegrationPlan built,
+                        core::BuildIntegrationPlan(ctx_->db_, &ctx_->stats_,
+                                                   query, *preferences, opts));
+    plan = std::make_shared<const core::IntegrationPlan>(std::move(built));
+    StorePlan(state, plan_key, plan);
+  }
+
+  QP_ASSIGN_OR_RETURN(PersonalizedAnswer answer,
+                      core::ExecuteIntegrationPlan(ctx_->db_, *plan, opts,
+                                                   resolved));
+  core::FinalizeAnswer(resolved, selection_seconds, answer);
+  return answer;
+}
+
+Result<PersonalizedAnswer> Session::Personalize(
+    const std::string& sql, const PersonalizeOptions& options) {
+  QP_ASSIGN_OR_RETURN(sql::SelectQuery query, core::ParseSingleSelect(sql));
+  return Personalize(query, options);
+}
+
+Result<Session*> ServingContext::OpenSession(const std::string& user_id,
+                                             const core::UserProfile& profile) {
+  Status valid = profile.Validate(*db_);
+  if (!valid.ok()) {
+    return Status::ProfileValidation(valid.message());
+  }
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(user_id);
+  if (it != sessions_.end()) {
+    return Status::AlreadyExists("session already open for user '" + user_id +
+                                 "'");
+  }
+  auto session =
+      std::unique_ptr<Session>(new Session(this, user_id, profile));
+  Session* out = session.get();
+  sessions_.emplace(user_id, std::move(session));
+  return out;
+}
+
+Session* ServingContext::FindSession(const std::string& user_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(user_id);
+  return it != sessions_.end() ? it->second.get() : nullptr;
+}
+
+Status ServingContext::CloseSession(const std::string& user_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(user_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session for user '" + user_id + "'");
+  }
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace qp::serve

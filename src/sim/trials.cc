@@ -91,7 +91,9 @@ Result<PersonalizedAnswer> PersonalizeWithFallback(Personalizer& personalizer,
     options.l = eff;
     options.algorithm = core::AnswerAlgorithm::kPpa;
     auto answer = personalizer.Personalize(q, options);
-    if (answer.ok() || answer.status().code() != StatusCode::kInvalidArgument) {
+    // "L exceeds the selected preferences" is a caller bug (kInvalidQuery):
+    // fall back to a smaller L rather than giving up.
+    if (answer.ok() || answer.status().code() != StatusCode::kInvalidQuery) {
       return answer;
     }
   }

@@ -6,8 +6,9 @@ using storage::AttributeRef;
 using storage::Table;
 using storage::Value;
 
-Result<const ColumnHistogram*> StatsManager::GetHistogram(
+Result<const ColumnHistogram*> StatsManager::GetHistogramLocked(
     const AttributeRef& attr) {
+  RefreshLocked();
   const auto key = std::make_pair(attr.table, attr.column);
   auto it = cache_.find(key);
   if (it != cache_.end()) return &it->second;
@@ -21,16 +22,24 @@ Result<const ColumnHistogram*> StatsManager::GetHistogram(
   return &it->second;
 }
 
+Result<const ColumnHistogram*> StatsManager::GetHistogram(
+    const AttributeRef& attr) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return GetHistogramLocked(attr);
+}
+
 double StatsManager::EstimateSelectivity(const AttributeRef& attr,
                                          CompareOp op, const Value& literal) {
-  auto hist = GetHistogram(attr);
+  std::lock_guard<std::mutex> lock(*mu_);
+  auto hist = GetHistogramLocked(attr);
   if (!hist.ok()) return 1.0 / 3.0;
   return (*hist)->EstimateSelectivity(op, literal);
 }
 
 double StatsManager::EstimateRangeSelectivity(const AttributeRef& attr,
                                               double lo, double hi) {
-  auto hist = GetHistogram(attr);
+  std::lock_guard<std::mutex> lock(*mu_);
+  auto hist = GetHistogramLocked(attr);
   if (!hist.ok()) return 1.0 / 3.0;
   return (*hist)->EstimateRange(lo, hi);
 }

@@ -3,7 +3,10 @@
 
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -14,7 +17,17 @@ namespace qp::stats {
 
 /// \brief Caches ColumnHistograms per (table, column) over one Database.
 ///
-/// The cache is built on demand; call Invalidate() after bulk loads.
+/// The cache is built on demand and versioned by an *epoch*: every
+/// invalidation — explicit via Invalidate(), or automatic when the
+/// database's data version changed since the histograms were built — bumps
+/// it. Consumers that derive state from selectivity estimates (PPA's query
+/// ordering, the serving layer's plan caches) key that state by the epoch,
+/// so a bulk load or table mutation invalidates exactly the derived entries.
+///
+/// All estimate entry points are serialized on an internal mutex, so one
+/// manager may be shared by concurrent planners (serve sessions). Histogram
+/// pointers returned by GetHistogram stay valid until the next
+/// invalidation; do not mutate tables while planning runs.
 class StatsManager {
  public:
   explicit StatsManager(const storage::Database* db) : db_(db) {}
@@ -35,10 +48,44 @@ class StatsManager {
   /// Row count of `attr`'s table (0 if unknown).
   size_t TableRows(const std::string& table) const;
 
-  void Invalidate() { cache_.clear(); }
+  void Invalidate() {
+    std::lock_guard<std::mutex> lock(*mu_);
+    InvalidateLocked();
+  }
+
+  /// The histogram epoch after syncing with the database's data version:
+  /// if tables changed since the cache was built, the cache is dropped and
+  /// the epoch bumped. Derived state built under an older epoch is stale.
+  uint64_t Epoch() {
+    std::lock_guard<std::mutex> lock(*mu_);
+    RefreshLocked();
+    return epoch_;
+  }
 
  private:
+  void InvalidateLocked() {
+    cache_.clear();
+    ++epoch_;
+  }
+
+  /// Drops the cache when the database mutated underneath it.
+  void RefreshLocked() {
+    const uint64_t v = db_->DataVersion();
+    if (v != built_data_version_) {
+      built_data_version_ = v;
+      InvalidateLocked();
+    }
+  }
+
+  Result<const ColumnHistogram*> GetHistogramLocked(
+      const storage::AttributeRef& attr);
+
   const storage::Database* db_;
+  /// Behind a unique_ptr so the manager (and Personalizer, which holds one
+  /// by value inside a Result-returning factory) stays movable.
+  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+  uint64_t epoch_ = 0;
+  uint64_t built_data_version_ = 0;
   std::map<std::pair<std::string, std::string>, ColumnHistogram> cache_;
 };
 

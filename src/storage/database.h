@@ -59,6 +59,16 @@ class Database {
   /// Type of the referenced attribute.
   Result<DataType> AttributeType(const AttributeRef& attr) const;
 
+  /// Monotonic catalog-wide data version: grows whenever a table is created
+  /// or mutated (see Table::data_version). The stats manager compares this
+  /// to decide when its histograms went stale; the serving layer keys plan
+  /// caches by the derived stats epoch.
+  uint64_t DataVersion() const {
+    uint64_t v = table_order_.size();
+    for (const auto& entry : tables_) v += entry.second->data_version();
+    return v;
+  }
+
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<std::string> table_order_;

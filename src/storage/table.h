@@ -33,7 +33,18 @@ class Table {
 
   /// Appends without type checks — used by bulk generators that construct
   /// rows directly from the schema.
-  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+  void AppendUnchecked(Row row) {
+    rows_.push_back(std::move(row));
+    ++data_version_;
+  }
+
+  /// Monotonic mutation counter: bumped on every append (and on explicit
+  /// index invalidation). The stats layer and the serving layer's plan
+  /// caches compare versions to detect that histograms, selectivity
+  /// orderings and prepared index walks went stale. Like all mutation,
+  /// bumps are not synchronized with concurrent queries — mutate between
+  /// serving calls only.
+  uint64_t data_version() const { return data_version_; }
 
   /// Returns (building on first use) a hash index over column `col_idx`:
   /// value -> row positions. Lazy construction is serialized on an internal
@@ -64,15 +75,17 @@ class Table {
 
   /// Drops any built indexes (call after bulk mutation). Not safe while
   /// queries hold references to the dropped indexes.
-  void InvalidateIndexes() const {
+  void InvalidateIndexes() {
     std::lock_guard<std::mutex> lock(index_mu_);
     indexes_.clear();
     ordered_indexes_.clear();
+    ++data_version_;
   }
 
  private:
   TableSchema schema_;
   std::vector<Row> rows_;
+  uint64_t data_version_ = 0;
   /// Guards lazy index construction (tables are stored behind unique_ptr in
   /// the Database catalog, so a non-movable member is fine).
   mutable std::mutex index_mu_;

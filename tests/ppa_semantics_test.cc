@@ -254,7 +254,7 @@ TEST_F(PpaSemanticsTest, ErrorsOnMissingPrimaryKeyAnchor) {
   options.algorithm = AnswerAlgorithm::kPpa;
   auto answer = personalizer->Personalize((*query)->single(), options);
   EXPECT_FALSE(answer.ok());
-  EXPECT_EQ(answer.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(answer.status().code(), StatusCode::kUnsupported);
 }
 
 TEST_F(PpaSemanticsTest, ReservedColumnNamesRejected) {

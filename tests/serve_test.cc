@@ -1,0 +1,375 @@
+// qp::serve property tests: across database/profile seeds and both answer
+// algorithms, a warm Session answer must equal (SameAnswerPayload — all but
+// wall-clock timing) a cold core::Personalizer run over the same inputs;
+// every profile mutation (add/remove preference, doi change, ranking
+// philosophy swap) and every data mutation (table append) must bump the
+// relevant epoch so the next call equals a FRESH cold run, never a stale
+// cached one. The concurrency test drives >= 4 sessions over one shared
+// ServingContext/ThreadPool; the whole file runs under the `sanitizer`
+// CTest label for QP_SANITIZE=thread builds.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/moviegen.h"
+#include "datagen/profilegen.h"
+#include "qp.h"
+
+namespace qp::serve {
+namespace {
+
+using core::AnswerAlgorithm;
+using core::CombinationStyle;
+using core::DoiPair;
+using core::PersonalizeOptions;
+using core::PersonalizedAnswer;
+using core::Personalizer;
+using core::RankingFunction;
+using core::SameAnswerPayload;
+using core::UserProfile;
+using sql::BinaryOp;
+using storage::Value;
+
+/// A cold run: fresh Personalizer, full pipeline, no caches anywhere.
+Result<PersonalizedAnswer> ColdAnswer(const storage::Database& db,
+                                      const UserProfile& profile,
+                                      const std::string& sql,
+                                      const PersonalizeOptions& options) {
+  QP_ASSIGN_OR_RETURN(Personalizer personalizer,
+                      Personalizer::Make(&db, &profile));
+  return personalizer.Personalize(sql, options);
+}
+
+datagen::ProfileGenConfig SmallConfig(uint64_t seed) {
+  datagen::ProfileGenConfig config;
+  config.seed = seed;
+  config.num_presence = 4;
+  config.num_negative = 2;
+  config.num_absence_11 = 1;
+  config.num_elastic = 1;
+  config.db_config.num_movies = 80;
+  config.db_config.num_directors = 15;
+  config.db_config.num_actors = 40;
+  config.db_config.num_theatres = 6;
+  config.db_config.plays_per_theatre = 8;
+  return config;
+}
+
+TEST(ServeTest, WarmMatchesColdAcrossSeedsAndAlgorithms) {
+  const std::string sql = "select mid, title from movie";
+  for (uint64_t seed : {3u, 21u, 77u}) {
+    const auto config = SmallConfig(seed);
+    auto db = datagen::GenerateMovieDatabase(config.db_config);
+    ASSERT_TRUE(db.ok());
+    auto profile = datagen::GenerateProfile(config);
+    ASSERT_TRUE(profile.ok()) << profile.status();
+    for (AnswerAlgorithm algorithm :
+         {AnswerAlgorithm::kPpa, AnswerAlgorithm::kSpa}) {
+      PersonalizeOptions options;
+      options.k = 6;
+      options.l = 1;
+      options.algorithm = algorithm;
+      auto cold = ColdAnswer(*db, *profile, sql, options);
+      ASSERT_TRUE(cold.ok()) << cold.status();
+
+      ServingContext ctx(&*db);
+      auto session = ctx.OpenSession("u" + std::to_string(seed), *profile);
+      ASSERT_TRUE(session.ok()) << session.status();
+      auto first = (*session)->Personalize(sql, options);
+      ASSERT_TRUE(first.ok()) << first.status();
+      auto warm = (*session)->Personalize(sql, options);
+      ASSERT_TRUE(warm.ok()) << warm.status();
+      EXPECT_TRUE(SameAnswerPayload(*cold, *first))
+          << "seed=" << seed << " cold vs first serve call";
+      EXPECT_TRUE(SameAnswerPayload(*cold, *warm))
+          << "seed=" << seed << " cold vs warm serve call";
+    }
+  }
+}
+
+TEST(ServeTest, CountersProveWarmPathSkipsWork) {
+  const auto config = SmallConfig(11);
+  auto db = datagen::GenerateMovieDatabase(config.db_config);
+  ASSERT_TRUE(db.ok());
+  auto profile = datagen::GenerateProfile(config);
+  ASSERT_TRUE(profile.ok());
+
+  ServingContext ctx(&*db);
+  auto session = ctx.OpenSession("al", *profile);
+  ASSERT_TRUE(session.ok());
+  PersonalizeOptions options;
+  options.k = 5;
+  options.l = 1;
+  const std::string sql = "select mid, title from movie";
+  for (int i = 0; i < 3; ++i) {
+    auto answer = (*session)->Personalize(sql, options);
+    ASSERT_TRUE(answer.ok()) << answer.status();
+  }
+  const ServeCounters c = ctx.counters();
+  EXPECT_EQ(c.personalize_calls, 3u);
+  EXPECT_EQ(c.graph_builds, 1u);
+  EXPECT_EQ(c.selection_cache_misses, 1u);
+  EXPECT_EQ(c.selection_cache_hits, 2u);
+  EXPECT_EQ(c.plan_cache_misses, 1u);
+  EXPECT_EQ(c.plan_cache_hits, 2u);
+  EXPECT_EQ(c.epoch_invalidations, 0u);
+
+  // A different L is a different selection key: one more miss, no hit lost.
+  options.l = 2;
+  auto other = (*session)->Personalize(sql, options);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(ctx.counters().selection_cache_misses, 2u);
+}
+
+TEST(ServeTest, ProfileMutationsInvalidateAndMatchFreshCold) {
+  const auto config = SmallConfig(29);
+  auto db = datagen::GenerateMovieDatabase(config.db_config);
+  ASSERT_TRUE(db.ok());
+  auto profile = datagen::GenerateProfile(config);
+  ASSERT_TRUE(profile.ok());
+
+  ServingContext ctx(&*db);
+  auto session = ctx.OpenSession("al", *profile);
+  ASSERT_TRUE(session.ok());
+  PersonalizeOptions options;
+  options.k = 0;  // all related preferences, so mutations show up
+  options.l = 1;
+  const std::string sql = "select mid, title, year from movie";
+
+  // Warm the caches.
+  ASSERT_TRUE((*session)->Personalize(sql, options).ok());
+  ASSERT_TRUE((*session)->Personalize(sql, options).ok());
+  const ServeCounters before = ctx.counters();
+
+  // (1) Add a preference: next answer must equal a fresh cold run over the
+  // mutated profile (which the session exposes as profile()).
+  UserProfile& live = (*session)->mutable_profile();
+  ASSERT_TRUE(live.AddSelection("movie.year", BinaryOp::kGe,
+                                Value(int64_t{1995}), *DoiPair::Exact(0.85, 0))
+                  .ok());
+  auto after_add = (*session)->Personalize(sql, options);
+  ASSERT_TRUE(after_add.ok()) << after_add.status();
+  auto cold_add = ColdAnswer(*db, (*session)->profile(), sql, options);
+  ASSERT_TRUE(cold_add.ok());
+  EXPECT_TRUE(SameAnswerPayload(*cold_add, *after_add));
+  const ServeCounters after_add_c = ctx.counters();
+  EXPECT_EQ(after_add_c.graph_builds, before.graph_builds + 1);
+  EXPECT_EQ(after_add_c.epoch_invalidations, before.epoch_invalidations + 1);
+  EXPECT_EQ(after_add_c.selection_cache_misses,
+            before.selection_cache_misses + 1);
+
+  // (2) Change that preference's doi (remove + re-add): same guarantee.
+  ASSERT_TRUE(
+      live.RemoveSelection(live.selections().back().condition).ok());
+  ASSERT_TRUE(live.AddSelection("movie.year", BinaryOp::kGe,
+                                Value(int64_t{1995}), *DoiPair::Exact(0.25, 0))
+                  .ok());
+  auto after_doi = (*session)->Personalize(sql, options);
+  ASSERT_TRUE(after_doi.ok()) << after_doi.status();
+  auto cold_doi = ColdAnswer(*db, (*session)->profile(), sql, options);
+  ASSERT_TRUE(cold_doi.ok());
+  EXPECT_TRUE(SameAnswerPayload(*cold_doi, *after_doi));
+  EXPECT_FALSE(SameAnswerPayload(*after_add, *after_doi))
+      << "doi change should alter the answer's degrees";
+
+  // (3) Swap the ranking philosophy stored in the profile: with
+  // use_profile_ranking the resolved ranking changes, and the epoch bump
+  // forces the swap to be observed.
+  options.use_profile_ranking = true;
+  live.set_preferred_ranking(RankingFunction::Make(CombinationStyle::kDominant));
+  auto after_rank = (*session)->Personalize(sql, options);
+  ASSERT_TRUE(after_rank.ok()) << after_rank.status();
+  auto cold_rank = ColdAnswer(*db, (*session)->profile(), sql, options);
+  ASSERT_TRUE(cold_rank.ok());
+  EXPECT_TRUE(SameAnswerPayload(*cold_rank, *after_rank));
+}
+
+TEST(ServeTest, DataMutationDropsPlansButKeepsSelections) {
+  const auto config = SmallConfig(47);
+  auto db = datagen::GenerateMovieDatabase(config.db_config);
+  ASSERT_TRUE(db.ok());
+  auto profile = datagen::GenerateProfile(config);
+  ASSERT_TRUE(profile.ok());
+
+  ServingContext ctx(&*db);
+  auto session = ctx.OpenSession("al", *profile);
+  ASSERT_TRUE(session.ok());
+  PersonalizeOptions options;
+  options.k = 6;
+  options.l = 1;
+  const std::string sql = "select mid, title from movie";
+  ASSERT_TRUE((*session)->Personalize(sql, options).ok());
+  ASSERT_TRUE((*session)->Personalize(sql, options).ok());
+  const ServeCounters before = ctx.counters();
+
+  // Append a movie: the stats epoch moves, cached plans (selectivity
+  // ordering + index walks) are stale, but the selected preferences are
+  // profile-derived and survive.
+  auto movie = db->GetTable("movie");
+  ASSERT_TRUE(movie.ok());
+  ASSERT_TRUE((*movie)
+                  ->Append({Value(int64_t{1000001}), Value("fresh row"),
+                            Value(int64_t{2004}), Value(int64_t{101})})
+                  .ok());
+
+  auto after = (*session)->Personalize(sql, options);
+  ASSERT_TRUE(after.ok()) << after.status();
+  auto cold = ColdAnswer(*db, (*session)->profile(), sql, options);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE(SameAnswerPayload(*cold, *after));
+
+  const ServeCounters c = ctx.counters();
+  EXPECT_EQ(c.graph_builds, before.graph_builds) << "graph survives data churn";
+  EXPECT_EQ(c.epoch_invalidations, before.epoch_invalidations + 1);
+  EXPECT_EQ(c.selection_cache_hits, before.selection_cache_hits + 1)
+      << "selection stays cached across a data-only epoch bump";
+  EXPECT_EQ(c.plan_cache_misses, before.plan_cache_misses + 1)
+      << "plans must be rebuilt against the new data";
+}
+
+TEST(ServeTest, ConcurrentSessionsShareOneContextAndPool) {
+  const auto base = SmallConfig(61);
+  auto db = datagen::GenerateMovieDatabase(base.db_config);
+  ASSERT_TRUE(db.ok());
+
+  constexpr size_t kUsers = 4;
+  constexpr int kRounds = 5;
+  const std::string queries[] = {"select mid, title from movie",
+                                 "select mid, title, year from movie"};
+  PersonalizeOptions options;
+  options.k = 5;
+  options.l = 1;
+
+  // Per-user profile and the expected (cold, serial) answers.
+  std::vector<UserProfile> profiles;
+  std::vector<std::vector<PersonalizedAnswer>> expected(kUsers);
+  for (size_t u = 0; u < kUsers; ++u) {
+    auto config = SmallConfig(100 + 7 * u);
+    auto profile = datagen::GenerateProfile(config);
+    ASSERT_TRUE(profile.ok());
+    profiles.push_back(std::move(*profile));
+    for (const auto& sql : queries) {
+      auto cold = ColdAnswer(*db, profiles.back(), sql, options);
+      ASSERT_TRUE(cold.ok()) << "user " << u << ": " << cold.status();
+      expected[u].push_back(std::move(*cold));
+    }
+  }
+
+  ServingContext::Options ctx_options;
+  ctx_options.num_threads = 4;  // one shared pool under all sessions
+  ServingContext ctx(&*db, ctx_options);
+  std::vector<Session*> sessions;
+  for (size_t u = 0; u < kUsers; ++u) {
+    auto session = ctx.OpenSession("user" + std::to_string(u), profiles[u]);
+    ASSERT_TRUE(session.ok());
+    sessions.push_back(*session);
+  }
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t u = 0; u < kUsers; ++u) {
+    threads.emplace_back([&, u]() {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t q = 0; q < 2; ++q) {
+          auto answer = sessions[u]->Personalize(queries[q], options);
+          if (!answer.ok()) {
+            failures.fetch_add(1);
+          } else if (!SameAnswerPayload(*answer, expected[u][q])) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const ServeCounters c = ctx.counters();
+  EXPECT_EQ(c.personalize_calls, kUsers * kRounds * 2);
+  EXPECT_EQ(c.graph_builds, kUsers);
+  // Each (user, query) pair misses at most once; everything else hits.
+  EXPECT_EQ(c.selection_cache_misses + c.selection_cache_hits,
+            kUsers * kRounds * 2);
+  EXPECT_LE(c.selection_cache_misses, kUsers * 2);
+  EXPECT_LE(c.plan_cache_misses, kUsers * 2);
+}
+
+TEST(ServeTest, StatusCodesClassifyFailures) {
+  const auto config = SmallConfig(5);
+  auto db = datagen::GenerateMovieDatabase(config.db_config);
+  ASSERT_TRUE(db.ok());
+  auto profile = datagen::GenerateProfile(config);
+  ASSERT_TRUE(profile.ok());
+
+  ServingContext ctx(&*db);
+
+  // Profile that doesn't validate against the schema -> kProfileValidation.
+  UserProfile bad;
+  ASSERT_TRUE(bad.AddSelection("movie.no_such_column", BinaryOp::kEq,
+                               Value(int64_t{1}), *DoiPair::Exact(0.5, 0))
+                  .ok());
+  auto rejected = ctx.OpenSession("bad", bad);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kProfileValidation);
+  EXPECT_FALSE(rejected.status().IsRetryable());
+
+  auto session = ctx.OpenSession("al", *profile);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(ctx.OpenSession("al", *profile).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(ctx.FindSession("al"), *session);
+  EXPECT_EQ(ctx.FindSession("nobody"), nullptr);
+
+  PersonalizeOptions options;
+  options.k = 4;
+  options.l = 1;
+  // Not a single SELECT -> kInvalidQuery (caller bug, not retryable).
+  auto union_q = (*session)->Personalize(
+      "select mid from movie union all select mid from movie", options);
+  ASSERT_FALSE(union_q.ok());
+  EXPECT_EQ(union_q.status().code(), StatusCode::kInvalidQuery);
+  EXPECT_FALSE(union_q.status().IsRetryable());
+
+  // L larger than any selectable preference count -> kInvalidQuery.
+  options.l = 50;
+  auto too_deep =
+      (*session)->Personalize("select mid, title from movie", options);
+  ASSERT_FALSE(too_deep.ok());
+  EXPECT_EQ(too_deep.status().code(), StatusCode::kInvalidQuery);
+
+  // PPA on an anchor without a single-column primary key -> kUnsupported.
+  UserProfile genre_profile;
+  ASSERT_TRUE(genre_profile
+                  .AddSelection("genre.genre", BinaryOp::kEq, Value("comedy"),
+                                *DoiPair::Exact(0.9, 0))
+                  .ok());
+  auto genre_session = ctx.OpenSession("genre-fan", genre_profile);
+  ASSERT_TRUE(genre_session.ok());
+  options.l = 1;
+  options.algorithm = AnswerAlgorithm::kPpa;
+  auto no_pk = (*genre_session)->Personalize("select genre from genre",
+                                             options);
+  ASSERT_FALSE(no_pk.ok());
+  EXPECT_EQ(no_pk.status().code(), StatusCode::kUnsupported);
+
+  // Retryability is a property of the code, not the message.
+  EXPECT_TRUE(IsRetryable(StatusCode::kExecution));
+  EXPECT_TRUE(IsRetryable(StatusCode::kInternal));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInvalidQuery));
+  EXPECT_FALSE(IsRetryable(StatusCode::kProfileValidation));
+  EXPECT_FALSE(IsRetryable(StatusCode::kUnsupported));
+  EXPECT_FALSE(IsRetryable(StatusCode::kNotFound));
+
+  EXPECT_TRUE(ctx.CloseSession("al").ok());
+  EXPECT_EQ(ctx.CloseSession("al").code(), StatusCode::kNotFound);
+  EXPECT_EQ(ctx.FindSession("al"), nullptr);
+}
+
+}  // namespace
+}  // namespace qp::serve
