@@ -61,6 +61,12 @@ int main() {
     (void)personalizer->Personalize(base, warm);
   }
 
+  bench::BenchReport report("fig7_times_vs_k");
+  report.Config("movies", static_cast<double>(db_config.num_movies));
+  report.Config("presence_preferences", static_cast<double>(pg.num_presence));
+  report.Config("l", 1.0);
+  report.Config("ranking", "dominant/dominant/sum");
+
   std::printf("%4s  %14s  %10s  %10s  %16s\n", "K", "selection (s)",
               "SPA (s)", "PPA (s)", "PPA first (s)");
   for (size_t k : {2, 10, 20, 40}) {
@@ -97,7 +103,17 @@ int main() {
                 ppa->stats.generation_seconds,
                 ppa->stats.first_response_seconds, spa->tuples.size(),
                 ppa->tuples.size());
+    report.BeginPoint();
+    report.Metric("k", static_cast<double>(k));
+    report.Metric("selection_seconds", selection_s);
+    report.Metric("spa_seconds", spa->stats.generation_seconds);
+    report.Metric("ppa_seconds", ppa->stats.generation_seconds);
+    report.Metric("ppa_first_response_seconds",
+                  ppa->stats.first_response_seconds);
+    report.Metric("spa_tuples", static_cast<double>(spa->tuples.size()));
+    report.Metric("ppa_tuples", static_cast<double>(ppa->tuples.size()));
   }
+  report.Write();
   std::printf(
       "\nExpected shape (paper): selection time is negligible; both SPA and\n"
       "PPA grow with K; PPA's overall time stays below SPA's and its first\n"

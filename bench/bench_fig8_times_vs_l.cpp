@@ -45,6 +45,12 @@ int main() {
     (void)personalizer->Personalize(base, warm);
   }
 
+  bench::BenchReport report("fig8_times_vs_l");
+  report.Config("movies", static_cast<double>(db_config.num_movies));
+  report.Config("presence_preferences", static_cast<double>(pg.num_presence));
+  report.Config("k", 30.0);
+  report.Config("ranking", "dominant/dominant/sum");
+
   std::printf("%4s  %10s  %10s  %16s\n", "L", "SPA (s)", "PPA (s)",
               "PPA first (s)");
   for (size_t l : {1, 10, 20, 30}) {
@@ -71,7 +77,16 @@ int main() {
                 ppa->stats.generation_seconds,
                 ppa->stats.first_response_seconds, spa->tuples.size(),
                 ppa->tuples.size());
+    report.BeginPoint();
+    report.Metric("l", static_cast<double>(l));
+    report.Metric("spa_seconds", spa->stats.generation_seconds);
+    report.Metric("ppa_seconds", ppa->stats.generation_seconds);
+    report.Metric("ppa_first_response_seconds",
+                  ppa->stats.first_response_seconds);
+    report.Metric("spa_tuples", static_cast<double>(spa->tuples.size()));
+    report.Metric("ppa_tuples", static_cast<double>(ppa->tuples.size()));
   }
+  report.Write();
   std::printf(
       "\nExpected shape (paper): SPA is flat in L; PPA's overall and first-\n"
       "response times decrease as L increases (it stops executing queries\n"

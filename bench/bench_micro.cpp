@@ -104,6 +104,77 @@ void BM_ExecutorHashJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecutorHashJoin);
 
+// Metrics-off vs metrics-on on the same scan+join: the pair bounds the cost
+// of mirroring executor counters into a registry (ISSUE budget: < 5%). The
+// query is the BM_ExecutorHashJoin one, so the first of the pair also
+// cross-checks that adding a registry does not change the baseline.
+void BM_ExecutorMetricsOff(benchmark::State& state) {
+  const auto& db = SharedDb();
+  exec::Executor executor(&db);
+  auto query = sql::ParseQuery(
+      "select movie.title from movie, genre "
+      "where movie.mid = genre.mid and genre.genre = 'comedy'");
+  for (auto _ : state) {
+    auto rows = executor.Execute(**query);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_ExecutorMetricsOff);
+
+void BM_ExecutorMetricsOn(benchmark::State& state) {
+  const auto& db = SharedDb();
+  static obs::MetricsRegistry* registry = new obs::MetricsRegistry();
+  exec::ExecOptions options;
+  options.metrics = registry;
+  exec::Executor executor(&db, nullptr, options);
+  auto query = sql::ParseQuery(
+      "select movie.title from movie, genre "
+      "where movie.mid = genre.mid and genre.genre = 'comedy'");
+  for (auto _ : state) {
+    auto rows = executor.Execute(**query);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_ExecutorMetricsOn);
+
+void BM_ExecutorTracedExplainAnalyze(benchmark::State& state) {
+  // Full span-tree construction per call — the EXPLAIN ANALYZE price, paid
+  // only when a trace sink is attached.
+  const auto& db = SharedDb();
+  exec::Executor executor(&db);
+  auto query = sql::ParseQuery(
+      "select movie.title from movie, genre "
+      "where movie.mid = genre.mid and genre.genre = 'comedy'");
+  for (auto _ : state) {
+    obs::TraceSpan root("query");
+    auto rows = executor.Execute(**query, &root);
+    benchmark::DoNotOptimize(rows);
+    benchmark::DoNotOptimize(root);
+  }
+}
+BENCHMARK(BM_ExecutorTracedExplainAnalyze);
+
+void BM_MetricsCounterIncrement(benchmark::State& state) {
+  static obs::MetricsRegistry* registry = new obs::MetricsRegistry();
+  obs::Counter* counter = registry->GetCounter("bench_counter_total");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+}
+BENCHMARK(BM_MetricsCounterIncrement);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  static obs::MetricsRegistry* registry = new obs::MetricsRegistry();
+  obs::Histogram* histogram = registry->GetHistogram(
+      "bench_latency_seconds", obs::DefaultLatencyBuckets());
+  double v = 1e-6;
+  for (auto _ : state) {
+    histogram->Observe(v);
+    v = v < 1.0 ? v * 1.7 : 1e-6;
+  }
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
 void BM_ExecutorPointProbe(benchmark::State& state) {
   const auto& db = SharedDb();
   exec::Executor executor(&db);

@@ -52,6 +52,11 @@ int main() {
   std::printf("%-6s %12s %12s %9s  %s\n", "alg", "cold", "warm/call",
               "speedup", "warm path verified by counters");
 
+  bench::BenchReport report("serve_warm_vs_cold");
+  report.Config("movies", static_cast<double>(config.num_movies));
+  report.Config("query", sql);
+  report.Config("warm_iters", static_cast<double>(kWarmIters));
+
   for (auto algorithm : {core::AnswerAlgorithm::kPpa,
                          core::AnswerAlgorithm::kSpa}) {
     core::PersonalizeOptions options;
@@ -120,6 +125,20 @@ int main() {
                 core::SameAnswerPayload(*rebuilt, *fresh_answer)
                     ? "matches"
                     : "!!DIFFERS from");
+
+    report.BeginPoint();
+    report.Metric("algorithm", name);
+    report.Metric("cold_seconds", cold_seconds);
+    report.Metric("warm_seconds_per_call", warm_seconds / kWarmIters);
+    report.Metric("speedup", cold_seconds / (warm_seconds / kWarmIters));
+    report.Metric("rebuild_seconds", rebuild_seconds);
+    report.Metric("honest_warm_path", honest ? 1.0 : 0.0);
+    report.Metric("answers_identical", identical ? 1.0 : 0.0);
+    report.Metric("graph_builds", static_cast<double>(c.graph_builds));
+    report.Metric("selection_cache_hits",
+                  static_cast<double>(c.selection_cache_hits));
+    report.Metric("plan_cache_hits", static_cast<double>(c.plan_cache_hits));
   }
+  report.Write();
   return 0;
 }

@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "datagen/moviegen.h"
 #include "datagen/profilegen.h"
@@ -65,5 +67,110 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
   std::printf("(reproduces %s)\n", paper_ref);
   std::printf("==============================================================\n");
 }
+
+/// Machine-readable bench output. A bench collects its configuration and a
+/// series of data points (one per x-axis value), then Write() emits
+/// BENCH_<name>.json into the working directory so plots and regression
+/// dashboards consume the numbers without scraping stdout:
+///
+///   {"bench": "...", "config": {...}, "points": [{...}, ...]}
+///
+/// Set QP_BENCH_JSON_DIR to redirect the file, QP_BENCH_JSON=0 to disable.
+/// Values keep insertion order; keys may repeat across points but should be
+/// unique within one.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Config(const std::string& key, double value) {
+    config_.emplace_back(key, JsonNumber(value));
+  }
+  void Config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, JsonString(value));
+  }
+
+  /// Starts a new data point; subsequent Metric() calls attach to it.
+  void BeginPoint() { points_.emplace_back(); }
+  void Metric(const std::string& key, double value) {
+    points_.back().emplace_back(key, JsonNumber(value));
+  }
+  void Metric(const std::string& key, const std::string& value) {
+    points_.back().emplace_back(key, JsonString(value));
+  }
+
+  /// Writes BENCH_<name>.json and prints its path. Returns false (with a
+  /// stderr note) when the file cannot be written; benches treat that as
+  /// non-fatal so a read-only CWD never fails a timing run.
+  bool Write() const {
+    if (const char* env = std::getenv("QP_BENCH_JSON");
+        env != nullptr && env[0] == '0') {
+      return true;
+    }
+    std::string dir = ".";
+    if (const char* env = std::getenv("QP_BENCH_JSON_DIR")) dir = env;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "note: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string out = "{\"bench\":";
+    out += JsonString(name_);
+    out += ",\"config\":";
+    AppendObject(config_, out);
+    out += ",\"points\":[";
+    for (size_t i = 0; i < points_.size(); ++i) {
+      if (i > 0) out += ',';
+      AppendObject(points_[i], out);
+    }
+    out += "]}\n";
+    std::fputs(out.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  static std::string JsonString(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string JsonNumber(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+  }
+
+  static void AppendObject(const Fields& fields, std::string& out) {
+    out += '{';
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out += ',';
+      out += JsonString(fields[i].first);
+      out += ':';
+      out += fields[i].second;
+    }
+    out += '}';
+  }
+
+  std::string name_;
+  Fields config_;
+  std::vector<Fields> points_;
+};
 
 }  // namespace qp::bench

@@ -11,6 +11,7 @@
 //   \spa [K] [L] <sql>           SPA answer
 //   \explain <n>                 explanation for tuple n of the last answer
 //   \plan <sql>                  physical plan the executor takes
+//   \analyze <sql>               EXPLAIN ANALYZE: plan + row counts + times
 //   \savedb <dir>                persist the database (manifest + CSVs)
 //   \quit
 //
@@ -88,6 +89,16 @@ struct Shell {
   void Plan(const std::string& sql) {
     exec::Executor executor(db);
     auto plan = executor.ExplainSql(sql);
+    if (!plan.ok()) {
+      std::cout << plan.status() << "\n";
+      return;
+    }
+    std::cout << *plan;
+  }
+
+  void Analyze(const std::string& sql) {
+    exec::Executor executor(db);
+    auto plan = executor.ExplainAnalyzeSql(sql);
     if (!plan.ok()) {
       std::cout << plan.status() << "\n";
       return;
@@ -173,6 +184,8 @@ int main(int argc, char** argv) {
         shell.Explain(args);
       } else if (cmd == "\\plan") {
         shell.Plan(std::string(Trim(args)));
+      } else if (cmd == "\\analyze") {
+        shell.Analyze(std::string(Trim(args)));
       } else if (cmd == "\\savedb") {
         shell.SaveDb(std::string(Trim(args)));
       } else {

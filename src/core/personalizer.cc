@@ -23,16 +23,31 @@ Result<PersonalizedAnswer> Personalizer::Personalize(
   QP_ASSIGN_OR_RETURN(ResolvedPersonalization resolved,
                       ResolvePersonalization(options, *profile_));
   const auto select_start = std::chrono::steady_clock::now();
+  obs::TraceSpan* select_span =
+      options.trace != nullptr ? options.trace->AddChild("selection")
+                               : nullptr;
   QP_ASSIGN_OR_RETURN(std::vector<SelectedPreference> preferences,
                       RunSelection(graph_, query, options, resolved));
   const double selection_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     select_start)
           .count();
+  if (select_span != nullptr) {
+    select_span->AddAttr("preferences", preferences.size());
+    select_span->set_seconds(selection_seconds);
+  }
   QP_RETURN_IF_ERROR(ValidateSelection(preferences, options));
+  obs::TraceSpan* plan_span =
+      options.trace != nullptr ? options.trace->AddChild("plan") : nullptr;
+  obs::SpanTimer plan_timer(plan_span);
   QP_ASSIGN_OR_RETURN(
       IntegrationPlan plan,
       BuildIntegrationPlan(db_, &stats_, query, preferences, options));
+  plan_timer.Stop();
+  if (plan_span != nullptr) {
+    plan_span->AddAttr(
+        "algorithm", plan.algorithm == AnswerAlgorithm::kSpa ? "spa" : "ppa");
+  }
   QP_ASSIGN_OR_RETURN(PersonalizedAnswer answer,
                       ExecuteIntegrationPlan(db_, plan, options, resolved));
   FinalizeAnswer(resolved, selection_seconds, answer);

@@ -83,13 +83,24 @@ Result<PersonalizedAnswer> ExecuteIntegrationPlan(
     const storage::Database* db, const IntegrationPlan& plan,
     const PersonalizeOptions& options,
     const ResolvedPersonalization& resolved) {
+  obs::TraceSpan* exec_span =
+      options.trace != nullptr
+          ? options.trace->AddChild(
+                plan.algorithm == AnswerAlgorithm::kSpa ? "execute: spa"
+                                                        : "execute: ppa")
+          : nullptr;
+  obs::SpanTimer exec_timer(exec_span);
   if (plan.algorithm == AnswerAlgorithm::kSpa) {
     SpaGenerator spa(db, resolved.ranking, options.EffectiveExec());
     QP_ASSIGN_OR_RETURN(PersonalizedAnswer answer,
-                        spa.GenerateWithPlan(plan.spa));
+                        spa.GenerateWithPlan(plan.spa, exec_span));
     if (options.top_n > 0 && answer.tuples.size() > options.top_n) {
       answer.tuples.resize(options.top_n);
       answer.stats.tuples_returned = answer.tuples.size();
+    }
+    exec_timer.Stop();
+    if (exec_span != nullptr) {
+      exec_span->AddAttr("tuples", answer.tuples.size());
     }
     return answer;
   }
@@ -101,7 +112,14 @@ Result<PersonalizedAnswer> ExecuteIntegrationPlan(
   ppa_options.on_emit = options.on_emit;
   ppa_options.top_n = options.top_n;
   ppa_options.exec = options.EffectiveExec();
-  return ppa.GenerateWithPlan(plan.ppa, ppa_options);
+  ppa_options.trace = exec_span;
+  QP_ASSIGN_OR_RETURN(PersonalizedAnswer answer,
+                      ppa.GenerateWithPlan(plan.ppa, ppa_options));
+  exec_timer.Stop();
+  if (exec_span != nullptr) {
+    exec_span->AddAttr("tuples", answer.tuples.size());
+  }
+  return answer;
 }
 
 void FinalizeAnswer(const ResolvedPersonalization& resolved,

@@ -71,9 +71,16 @@ struct PersonalizeOptions {
   /// through `exec.pool`. Results and emission order are identical at every
   /// parallelism; the default runs fully serial.
   exec::ExecOptions exec;
+  /// Optional per-call trace sink. Each pipeline stage (graph/selection,
+  /// planning, execution) records a span under it; the execution span nests
+  /// the algorithm's own spans (PPA S/A query rounds + "first_response",
+  /// SPA union branches). Everything except the wall times is deterministic
+  /// across thread counts. Not owned; must not be shared with a concurrent
+  /// call.
+  obs::TraceSpan* trace = nullptr;
   /// \deprecated Alias for exec.num_threads, honored only while
-  /// exec.num_threads is left at its default of 1. Kept for one release;
-  /// use `exec` instead.
+  /// exec.num_threads is left at its default of 1. Kept for one release and
+  /// read nowhere but EffectiveExec(); use `exec` instead.
   size_t num_threads = 1;
 
   SelectionAlgorithm selection = SelectionAlgorithm::kFakeCrit;

@@ -443,8 +443,16 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
     // A tuple first seen here can satisfy at most the remaining presence
     // queries plus every absence preference.
     if (s_plans.size() - i + a_plans.size() < options.L) break;
-    QP_ASSIGN_OR_RETURN(exec::RowSet rows,
-                        executor.Execute(*sql::Query::Single(s_plans[i].query)));
+    obs::TraceSpan* round_span =
+        options.trace != nullptr
+            ? options.trace->AddChild(
+                  "S query " + std::to_string(i + 1) + "/" +
+                  std::to_string(s_plans.size()))
+            : nullptr;
+    obs::SpanTimer round_timer(round_span);
+    QP_ASSIGN_OR_RETURN(
+        exec::RowSet rows,
+        executor.Execute(*sql::Query::Single(s_plans[i].query), round_span));
     std::vector<const storage::Row*> fresh;
     for (const auto& row : rows.rows()) {
       const Value& tid = row[n_base_cols];
@@ -490,6 +498,13 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
         }));
     for (TupleRecord& rec : recs) queue_record(std::move(rec));
     emit_ready(medi_after(i + 1, 0));
+    round_timer.Stop();
+    if (round_span != nullptr) {
+      round_span->AddAttr("pref", s_plans[i].pref_index);
+      round_span->AddAttr("est_selectivity", s_plans[i].est_selectivity);
+      round_span->AddAttr("rows", rows.num_rows());
+      round_span->AddAttr("fresh", fresh.size());
+    }
   }
 
   // ---- Phase 2: absence queries. ----
@@ -500,8 +515,16 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
   const bool phase2_can_qualify =
       a_plans.size() >= 1 && a_plans.size() - 1 >= options.L;
   for (size_t i = 0; i < a_plans.size() && !top_n_reached(); ++i) {
-    QP_ASSIGN_OR_RETURN(exec::RowSet rows,
-                        executor.Execute(*sql::Query::Single(a_plans[i].query)));
+    obs::TraceSpan* round_span =
+        options.trace != nullptr
+            ? options.trace->AddChild(
+                  "A query " + std::to_string(i + 1) + "/" +
+                  std::to_string(a_plans.size()))
+            : nullptr;
+    obs::SpanTimer round_timer(round_span);
+    QP_ASSIGN_OR_RETURN(
+        exec::RowSet rows,
+        executor.Execute(*sql::Query::Single(a_plans[i].query), round_span));
     std::vector<const storage::Row*> fresh;
     for (const auto& row : rows.rows()) {
       const Value& tid = row[n_base_cols];
@@ -542,13 +565,27 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
     // Per Figure 6, phase-2 tuples are ranked on absence preferences only.
     for (TupleRecord& rec : recs) queue_record(std::move(rec));
     emit_ready(medi_after(s_plans.size(), i + 1));
+    round_timer.Stop();
+    if (round_span != nullptr) {
+      round_span->AddAttr("pref", a_plans[i].pref_index);
+      round_span->AddAttr("est_selectivity", a_plans[i].est_selectivity);
+      round_span->AddAttr("rows", rows.num_rows());
+      round_span->AddAttr("fresh", fresh.size());
+    }
   }
 
   // ---- Step 3: tuples never returned by any absence query satisfy every
   // 1-n absence preference. ----
   if (step3_possible && !top_n_reached()) {
-    QP_ASSIGN_OR_RETURN(exec::RowSet rows,
-                        executor.Execute(*sql::Query::Single(rep.base2)));
+    obs::TraceSpan* step3_span =
+        options.trace != nullptr
+            ? options.trace->AddChild("complement scan (step 3)")
+            : nullptr;
+    obs::SpanTimer step3_timer(step3_span);
+    QP_ASSIGN_OR_RETURN(
+        exec::RowSet rows,
+        executor.Execute(*sql::Query::Single(rep.base2), step3_span));
+    size_t complement_fresh = 0;
     for (const auto& row : rows.rows()) {
       const Value& tid = row[n_base_cols];
       if (tid.is_null() || seen.count(tid) > 0 || nids.count(tid) > 0) {
@@ -565,6 +602,12 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
       rec.doi = options.ranking.Rank(pos, {});
       pending[rec.doi].push_back(std::move(rec));
       ++pending_count;
+      ++complement_fresh;
+    }
+    step3_timer.Stop();
+    if (step3_span != nullptr) {
+      step3_span->AddAttr("rows", rows.num_rows());
+      step3_span->AddAttr("fresh", complement_fresh);
     }
   }
 
@@ -579,6 +622,12 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
   }
   answer.stats.queries_executed = executor.stats().queries_executed;
   answer.stats.tuples_returned = answer.tuples.size();
+  if (options.trace != nullptr) {
+    // Always the last child regardless of when emission actually happened,
+    // so the span tree's shape does not depend on timing.
+    obs::TraceSpan* fr = options.trace->AddChild("first_response");
+    fr->set_seconds(answer.stats.first_response_seconds);
+  }
   return answer;
 }
 

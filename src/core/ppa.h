@@ -58,9 +58,16 @@ class PpaGenerator {
     /// thread count: probes compute into per-tuple slots and tuples enter
     /// the pending queue serially in base-row order.
     exec::ExecOptions exec;
+    /// Optional trace sink. Each S/A query round records one span (with the
+    /// executor's plan as children and pref/selectivity/rows/fresh attrs),
+    /// the complement scan records one, and a final "first_response" span
+    /// carries AnswerStats::first_response_seconds. Everything but the
+    /// timings is deterministic across thread counts. Not owned; must not
+    /// be shared with a concurrent generation.
+    obs::TraceSpan* trace = nullptr;
     /// \deprecated Alias for exec.num_threads, honored only while
-    /// exec.num_threads is left at its default of 1. Kept for one release;
-    /// use `exec` instead.
+    /// exec.num_threads is left at its default of 1. Kept for one release
+    /// and read nowhere but EffectiveExec(); use `exec` instead.
     size_t num_threads = 1;
 
     /// The options actually applied: `exec` with the deprecated alias

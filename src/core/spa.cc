@@ -104,7 +104,7 @@ Result<PersonalizedAnswer> SpaGenerator::Generate(
 }
 
 Result<PersonalizedAnswer> SpaGenerator::GenerateWithPlan(
-    const Plan& plan) const {
+    const Plan& plan, obs::TraceSpan* trace) const {
   const auto start = std::chrono::steady_clock::now();
   const sql::QueryPtr& query = plan.query;
   const std::vector<SelectedPreference>& preferences = plan.preferences;
@@ -115,7 +115,7 @@ Result<PersonalizedAnswer> SpaGenerator::GenerateWithPlan(
     return std::unique_ptr<exec::Aggregator>(new RankAggregator(ranking));
   }));
   exec::Executor executor(db_, &registry, exec_options_);
-  QP_ASSIGN_OR_RETURN(exec::RowSet rows, executor.Execute(*query));
+  QP_ASSIGN_OR_RETURN(exec::RowSet rows, executor.Execute(*query, trace));
 
   PersonalizedAnswer answer;
   answer.preferences = preferences;

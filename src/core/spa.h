@@ -56,8 +56,12 @@ class SpaGenerator {
                          const std::vector<SelectedPreference>& preferences,
                          size_t L) const;
 
-  /// Executes a previously built plan and packages the ranked result.
-  Result<PersonalizedAnswer> GenerateWithPlan(const Plan& plan) const;
+  /// Executes a previously built plan and packages the ranked result. When
+  /// `trace` is non-null, the integrated query's physical plan is recorded
+  /// under it — one "union branch N:" span per preference sub-query, each
+  /// with its row count — identically at every thread count.
+  Result<PersonalizedAnswer> GenerateWithPlan(
+      const Plan& plan, obs::TraceSpan* trace = nullptr) const;
 
   /// BuildPlan + GenerateWithPlan in one shot (the cold path).
   Result<PersonalizedAnswer> Generate(

@@ -1,6 +1,8 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <functional>
 #include <optional>
 #include <set>
@@ -186,6 +188,12 @@ class AggregateEnv {
   const std::unordered_map<std::string, Value>* agg_values_;
 };
 
+/// Wall time since `t0` in seconds (trace timing only).
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 void CollectAggregateCalls(const ExprPtr& e,
                            std::vector<const Expr*>* out) {
   if (e == nullptr) return;
@@ -216,24 +224,33 @@ Result<RowSet> Executor::ExecuteSql(const std::string& sql) const {
 }
 
 Result<std::string> Executor::Explain(const sql::Query& query) const {
-  std::vector<std::string> lines;
-  trace_ = &lines;
-  trace_indent_.clear();
-  auto result = Execute(query);
-  trace_ = nullptr;
-  QP_RETURN_IF_ERROR(result.status());
-  std::string out;
-  for (const auto& line : lines) {
-    out += line;
-    out += '\n';
-  }
-  out += "result: " + std::to_string(result->num_rows()) + " rows\n";
+  obs::TraceSpan root("explain");
+  QP_ASSIGN_OR_RETURN(RowSet result, Execute(query, &root));
+  std::string out = root.RenderChildren(/*analyze=*/false);
+  out += "result: " + std::to_string(result.num_rows()) + " rows\n";
   return out;
 }
 
 Result<std::string> Executor::ExplainSql(const std::string& sql) const {
   QP_ASSIGN_OR_RETURN(sql::QueryPtr q, sql::ParseQuery(sql));
   return Explain(*q);
+}
+
+Result<std::string> Executor::ExplainAnalyze(const sql::Query& query) const {
+  obs::TraceSpan root("explain analyze");
+  const auto t0 = std::chrono::steady_clock::now();
+  QP_ASSIGN_OR_RETURN(RowSet result, Execute(query, &root));
+  const double total = SecondsSince(t0);
+  std::string out = root.RenderChildren(/*analyze=*/true);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " [%.3f ms]", total * 1e3);
+  out += "result: " + std::to_string(result.num_rows()) + " rows" + buf + "\n";
+  return out;
+}
+
+Result<std::string> Executor::ExplainAnalyzeSql(const std::string& sql) const {
+  QP_ASSIGN_OR_RETURN(sql::QueryPtr q, sql::ParseQuery(sql));
+  return ExplainAnalyze(*q);
 }
 
 Status Executor::RunTasks(std::vector<std::function<Status()>> tasks) const {
@@ -259,21 +276,25 @@ Status Executor::RunTasks(std::vector<std::function<Status()>> tasks) const {
   return Status::OK();
 }
 
-Result<RowSet> Executor::Execute(const sql::Query& query) const {
-  queries_executed_.fetch_add(1, std::memory_order_relaxed);
+Result<RowSet> Executor::Execute(const sql::Query& query,
+                                 obs::TraceSpan* trace) const {
+  BumpQueries();
   RowSet out;
   bool first = true;
   size_t branch_no = 0;
   for (const auto& branch : query.branches()) {
-    if (query.is_union()) {
-      Trace("union branch " + std::to_string(++branch_no) + ":");
-      trace_indent_ += "  ";
+    obs::TraceSpan* branch_span = nullptr;
+    if (query.is_union() && trace != nullptr) {
+      branch_span =
+          trace->AddChild("union branch " + std::to_string(branch_no + 1) + ":");
     }
-    auto part_result = ExecuteSelect(branch);
-    if (query.is_union() && !trace_indent_.empty()) {
-      trace_indent_.resize(trace_indent_.size() - 2);
-    }
+    ++branch_no;
+    obs::SpanTimer branch_timer(branch_span);
+    auto part_result =
+        ExecuteSelect(branch, query.is_union() ? branch_span : trace);
+    branch_timer.Stop();
     QP_ASSIGN_OR_RETURN(RowSet part, std::move(part_result));
+    if (branch_span != nullptr) branch_span->AddAttr("rows", part.num_rows());
     if (first) {
       out = std::move(part);
       first = false;
@@ -292,7 +313,8 @@ Result<RowSet> Executor::Execute(const sql::Query& query) const {
   return out;
 }
 
-Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
+Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q,
+                                       obs::TraceSpan* span) const {
   if (q.select.empty()) {
     return Status::InvalidArgument("empty select list");
   }
@@ -314,19 +336,22 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
       }
     }
     if (ref.derived != nullptr) {
-      Trace("derived table '" + src.alias + "':");
-      trace_indent_ += "  ";
-      auto sub_result = Execute(*ref.derived);
-      if (!trace_indent_.empty()) {
-        trace_indent_.resize(trace_indent_.size() - 2);
-      }
+      obs::TraceSpan* derived_span =
+          span != nullptr ? span->AddChild("derived table '" + src.alias + "':")
+                          : nullptr;
+      obs::SpanTimer derived_timer(derived_span);
+      auto sub_result = Execute(*ref.derived, derived_span);
+      derived_timer.Stop();
       QP_ASSIGN_OR_RETURN(RowSet sub, std::move(sub_result));
       for (const auto& col : sub.columns()) {
         src.columns.push_back({src.alias, col.name});
       }
       src.rows = std::move(sub.rows());
       src.materialized = true;
-      rows_scanned_.fetch_add(src.rows.size(), std::memory_order_relaxed);
+      if (derived_span != nullptr) {
+        derived_span->AddAttr("rows", src.rows.size());
+      }
+      BumpRowsScanned(src.rows.size());
     } else {
       QP_ASSIGN_OR_RETURN(src.base, db_->GetTable(ref.table));
       for (const auto& col : src.base->schema().columns()) {
@@ -345,14 +370,32 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
     std::vector<const Expr*> sub_nodes;
     CollectSubqueries(q.where, &sub_nodes);
     CollectSubqueries(q.having, &sub_nodes);
+    const auto subquery_span_name = [](const Expr* node) {
+      return std::string(node->negated() ? "NOT IN" : "IN") +
+             " subquery (materialized to a hash set):";
+    };
     if (ParallelEnabled() && sub_nodes.size() > 1) {
       std::vector<std::unordered_set<Value, storage::ValueHash>> sets(
           sub_nodes.size());
+      // Each task records into its own preallocated span slot; slots are
+      // adopted in index order after the join, so the trace tree matches the
+      // serial path exactly.
+      std::vector<obs::TraceSpan> slots =
+          obs::TraceSpan::MakeSlots(span != nullptr ? sub_nodes.size() : 0);
       std::vector<std::function<Status()>> tasks;
       tasks.reserve(sub_nodes.size());
       for (size_t n = 0; n < sub_nodes.size(); ++n) {
-        tasks.emplace_back([this, &sub_nodes, &sets, n]() -> Status {
-          QP_ASSIGN_OR_RETURN(RowSet sub, Execute(*sub_nodes[n]->subquery()));
+        tasks.emplace_back(
+            [this, &sub_nodes, &sets, &slots, &subquery_span_name, span,
+             n]() -> Status {
+          obs::TraceSpan* sub_span = span != nullptr ? &slots[n] : nullptr;
+          if (sub_span != nullptr) {
+            sub_span->set_name(subquery_span_name(sub_nodes[n]));
+          }
+          obs::SpanTimer sub_timer(sub_span);
+          QP_ASSIGN_OR_RETURN(RowSet sub,
+                              Execute(*sub_nodes[n]->subquery(), sub_span));
+          sub_timer.Stop();
           if (sub.num_columns() != 1) {
             return Status::InvalidArgument(
                 "IN-subquery must return exactly one column");
@@ -361,23 +404,24 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
           for (const auto& row : sub.rows()) {
             if (!row[0].is_null()) sets[n].insert(row[0]);
           }
+          if (sub_span != nullptr) sub_span->AddAttr("rows", sets[n].size());
           return Status::OK();
         });
       }
       QP_RETURN_IF_ERROR(RunTasks(std::move(tasks)));
       for (size_t n = 0; n < sub_nodes.size(); ++n) {
+        if (span != nullptr) span->Adopt(std::move(slots[n]));
         subquery_sets.emplace(sub_nodes[n], std::move(sets[n]));
-        subqueries_materialized_.fetch_add(1, std::memory_order_relaxed);
       }
+      BumpSubqueries(sub_nodes.size());
     } else {
       for (const Expr* node : sub_nodes) {
-        Trace(std::string(node->negated() ? "NOT IN" : "IN") +
-              " subquery (materialized to a hash set):");
-        trace_indent_ += "  ";
-        auto sub_result = Execute(*node->subquery());
-        if (!trace_indent_.empty()) {
-          trace_indent_.resize(trace_indent_.size() - 2);
-        }
+        obs::TraceSpan* sub_span =
+            span != nullptr ? span->AddChild(subquery_span_name(node))
+                            : nullptr;
+        obs::SpanTimer sub_timer(sub_span);
+        auto sub_result = Execute(*node->subquery(), sub_span);
+        sub_timer.Stop();
         QP_ASSIGN_OR_RETURN(RowSet sub, std::move(sub_result));
         if (sub.num_columns() != 1) {
           return Status::InvalidArgument(
@@ -388,8 +432,9 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
         for (const auto& row : sub.rows()) {
           if (!row[0].is_null()) set.insert(row[0]);
         }
+        if (sub_span != nullptr) sub_span->AddAttr("rows", set.size());
         subquery_sets.emplace(node, std::move(set));
-        subqueries_materialized_.fetch_add(1, std::memory_order_relaxed);
+        BumpSubqueries(1);
       }
     }
   }
@@ -584,7 +629,7 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
       candidates.reserve(src.base->num_rows());
       for (const auto& row : src.base->rows()) candidates.push_back(&row);
     }
-    rows_scanned_.fetch_add(candidates.size(), std::memory_order_relaxed);
+    BumpRowsScanned(candidates.size());
     const auto morsels = MorselsFor(candidates.size());
     if (ParallelEnabled() && morsels.size() > 1) {
       std::vector<std::vector<Row>> kept(morsels.size());
@@ -634,14 +679,16 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
     return Status::OK();
   };
 
-  if (trace_ != nullptr) {
+  if (span != nullptr) {
     for (size_t s = 0; s < sources.size(); ++s) {
       if (sources[s].base == nullptr) continue;
       std::string how;
+      const char* access_kind;
       if (access[s].index_col >= 0) {
         how = "index lookup on " +
               sources[s].columns[access[s].index_col].name + " = " +
               access[s].index_key.ToString();
+        access_kind = "index";
       } else if (access[s].range_col >= 0) {
         how = "range scan on " +
               sources[s].columns[access[s].range_col].name + " in " +
@@ -652,21 +699,22 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
               (access[s].has_hi ? access[s].range_hi.ToString() +
                                       (access[s].hi_inclusive ? "]" : ")")
                                 : "+inf)");
+        access_kind = "range";
       } else {
         how = "full scan";
+        access_kind = "scan";
       }
-      std::string par;
-      if (options_.parallelism() > 1) {
-        // Tracing serializes execution, but report the morsel split the
-        // configured parallelism would use on this input.
-        par = ", parallel filter: " +
-              std::to_string(MorselsFor(access[s].estimated_rows).size()) +
-              " morsel(s) x " + std::to_string(options_.parallelism()) +
-              " threads";
-      }
-      Trace("source '" + sources[s].alias + "': " + how + ", ~" +
-            std::to_string(access[s].estimated_rows) + " rows, " +
-            std::to_string(source_filters[s].size()) + " filter(s)" + par);
+      // Morsel counts and thread counts are parallelism-dependent, so they
+      // are deliberately absent: the span tree must be identical at every
+      // thread count.
+      obs::TraceSpan* source_span =
+          span->AddChild("source '" + sources[s].alias + "': " + how + ", ~" +
+                         std::to_string(access[s].estimated_rows) + " rows, " +
+                         std::to_string(source_filters[s].size()) +
+                         " filter(s)");
+      source_span->AddAttr("access", access_kind);
+      source_span->AddAttr("est_rows", access[s].estimated_rows);
+      source_span->AddAttr("filters", source_filters[s].size());
     }
   }
 
@@ -676,15 +724,24 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
   for (size_t s = 1; s < sources.size(); ++s) {
     if (access[s].estimated_rows < access[start].estimated_rows) start = s;
   }
+  std::chrono::steady_clock::time_point start_t0;
+  if (span != nullptr) start_t0 = std::chrono::steady_clock::now();
   QP_RETURN_IF_ERROR(materialize(start));
-  Trace("start from '" + sources[start].alias + "' (" +
+  if (span != nullptr) {
+    obs::TraceSpan* start_span = span->AddChild(
+        "start from '" + sources[start].alias + "' (" +
         std::to_string(sources[start].rows.size()) + " rows after filters)");
+    start_span->AddAttr("rows", sources[start].rows.size());
+    start_span->set_seconds(SecondsSince(start_t0));
+  }
   std::vector<OutputColumn> combined_cols = sources[start].columns;
   std::vector<Row> combined = std::move(sources[start].rows);
   joined[start] = true;
   size_t num_joined = 1;
 
   while (num_joined < sources.size()) {
+    std::chrono::steady_clock::time_point step_t0;
+    if (span != nullptr) step_t0 = std::chrono::steady_clock::now();
     // Candidate edges between joined and unjoined sources.
     int best_edge = -1;
     size_t best_size = SIZE_MAX;
@@ -869,16 +926,20 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
           probe_range(0, combined.size(), &result);
         }
       }
-      rows_joined_.fetch_add(result.size(), std::memory_order_relaxed);
-      Trace("join '" + next.alias + "' via " +
+      BumpRowsJoined(result.size());
+      if (span != nullptr) {
+        // The morsel split is parallelism-dependent and therefore omitted.
+        obs::TraceSpan* join_span = span->AddChild(
+            "join '" + next.alias + "' via " +
             (next.materialized ? "transient hash on filtered rows"
                                : "persistent index") +
             " [" + edge.atom->ToString() + "] -> " +
-            std::to_string(result.size()) + " rows" +
-            (options_.parallelism() > 1
-                 ? ", parallel probe: " +
-                       std::to_string(probe_morsels.size()) + " morsel(s)"
-                 : ""));
+            std::to_string(result.size()) + " rows");
+        join_span->AddAttr(
+            "method", next.materialized ? "transient_hash" : "persistent_index");
+        join_span->AddAttr("rows", result.size());
+        join_span->set_seconds(SecondsSince(step_t0));
+      }
       combined_cols.insert(combined_cols.end(), next.columns.begin(),
                            next.columns.end());
       combined = std::move(result);
@@ -903,9 +964,15 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
           result.push_back(std::move(merged));
         }
       }
-      rows_joined_.fetch_add(result.size(), std::memory_order_relaxed);
-      Trace("cross product with '" + next.alias + "' -> " +
-            std::to_string(result.size()) + " rows");
+      BumpRowsJoined(result.size());
+      if (span != nullptr) {
+        obs::TraceSpan* cross_span =
+            span->AddChild("cross product with '" + next.alias + "' -> " +
+                           std::to_string(result.size()) + " rows");
+        cross_span->AddAttr("method", "cross_product");
+        cross_span->AddAttr("rows", result.size());
+        cross_span->set_seconds(SecondsSince(step_t0));
+      }
       combined_cols.insert(combined_cols.end(), next.columns.begin(),
                            next.columns.end());
       combined = std::move(result);
@@ -967,8 +1034,12 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
 
   // ---- Residual predicates (morsel-parallel filter pass). ----
   if (!residual.empty()) {
-    Trace("apply " + std::to_string(residual.size()) +
-          " residual predicate(s)");
+    obs::TraceSpan* residual_span =
+        span != nullptr ? span->AddChild("apply " +
+                                         std::to_string(residual.size()) +
+                                         " residual predicate(s)")
+                        : nullptr;
+    obs::SpanTimer residual_timer(residual_span);
     const auto residual_filter = [&](size_t lo_row, size_t hi_row,
                                      const Scope& row_scope,
                                      std::vector<Row>* out) -> Status {
@@ -1010,6 +1081,10 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
       QP_RETURN_IF_ERROR(residual_filter(0, combined.size(), scope, &kept));
     }
     combined = std::move(kept);
+    residual_timer.Stop();
+    if (residual_span != nullptr) {
+      residual_span->AddAttr("rows", combined.size());
+    }
   }
 
   // ---- Expand '*' select items. ----
@@ -1036,8 +1111,13 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
       aggregates_ != nullptr ? aggregates_ : &default_registry;
 
   if (q.IsAggregate()) {
-    Trace("aggregate: group by " + std::to_string(q.group_by.size()) +
-          " key(s)" + (q.having != nullptr ? ", with HAVING" : ""));
+    obs::TraceSpan* agg_span =
+        span != nullptr
+            ? span->AddChild("aggregate: group by " +
+                             std::to_string(q.group_by.size()) + " key(s)" +
+                             (q.having != nullptr ? ", with HAVING" : ""))
+            : nullptr;
+    obs::SpanTimer agg_timer(agg_span);
     // ---- Grouped aggregation. ----
     std::vector<const Expr*> agg_nodes;
     for (const auto& item : items) CollectAggregateCalls(item.expr, &agg_nodes);
@@ -1184,7 +1264,12 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
       out.Add(std::move(g.out_row));
       if (q.limit.has_value() && out.num_rows() >= *q.limit) break;
     }
-    rows_output_.fetch_add(out.num_rows(), std::memory_order_relaxed);
+    agg_timer.Stop();
+    if (agg_span != nullptr) {
+      agg_span->AddAttr("groups", group_indices.size());
+      agg_span->AddAttr("rows", out.num_rows());
+    }
+    BumpRowsOutput(out.num_rows());
     return out;
   }
 
@@ -1297,7 +1382,7 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q) const {
       if (q.limit.has_value() && out.num_rows() >= *q.limit) break;
     }
   }
-  rows_output_.fetch_add(out.num_rows(), std::memory_order_relaxed);
+  BumpRowsOutput(out.num_rows());
   return out;
 }
 

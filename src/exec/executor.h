@@ -12,6 +12,16 @@
 // in morsel order, so results — row order, ORDER BY tie-breaking, error
 // reporting and ExecStats totals included — are byte-for-byte identical at
 // every thread count; num_threads = 1 is exactly the serial engine.
+//
+// Observability: Execute() optionally records an obs::TraceSpan tree of the
+// physical plan it actually took (one span per source / join / residual /
+// aggregate step, with row counts as attrs and wall times). Tracing works
+// at full parallelism — parallel fan-outs record into preallocated per-task
+// span slots adopted in index order — so the span tree (everything but the
+// timings) is identical at every thread count. Explain() renders the tree
+// in the legacy plan-text format; ExplainAnalyze() adds attrs and timings.
+// ExecOptions::metrics additionally mirrors ExecStats into registry
+// counters (qp_exec_*_total) at the same bulk accumulation points.
 
 #pragma once
 
@@ -23,6 +33,8 @@
 #include "exec/aggregate.h"
 #include "exec/evaluator.h"
 #include "exec/row_set.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/query.h"
 #include "storage/database.h"
 
@@ -48,6 +60,11 @@ struct ExecOptions {
   /// the effective parallelism is pool->workers() + 1. Results are
   /// byte-identical either way.
   common::ThreadPool* pool = nullptr;
+  /// Optional metrics registry (not owned; must outlive the executor).
+  /// When set, the executor mirrors its ExecStats accumulation into
+  /// qp_exec_*_total counters resolved once at construction — the hot path
+  /// pays one null check plus a relaxed atomic add per bulk boundary.
+  obs::MetricsRegistry* metrics = nullptr;
 
   /// The parallelism degree these options resolve to.
   size_t parallelism() const {
@@ -73,8 +90,9 @@ struct ExecStats {
 /// The executor is stateless per query; an optional AggregateRegistry
 /// provides user-defined aggregates (SPA's ranking function r). Execute()
 /// is const and safe to call concurrently from several threads on one
-/// instance (PPA batches point probes this way): counters are atomic and
-/// all per-query state is local to the call.
+/// instance (PPA batches point probes this way): counters are atomic, all
+/// per-query state is local to the call, and each call records into its own
+/// caller-provided trace span — there is no shared trace sink.
 class Executor {
  public:
   explicit Executor(const storage::Database* db,
@@ -84,21 +102,45 @@ class Executor {
     if (options_.pool == nullptr && options_.num_threads > 1) {
       pool_ = std::make_unique<common::ThreadPool>(options_.num_threads - 1);
     }
+    if (options_.metrics != nullptr) {
+      m_queries_ = options_.metrics->GetCounter("qp_exec_queries_total",
+                                                "Queries executed");
+      m_rows_scanned_ = options_.metrics->GetCounter(
+          "qp_exec_rows_scanned_total", "Base/derived rows scanned");
+      m_rows_joined_ = options_.metrics->GetCounter(
+          "qp_exec_rows_joined_total", "Rows produced by join steps");
+      m_rows_output_ = options_.metrics->GetCounter(
+          "qp_exec_rows_output_total", "Rows returned to callers");
+      m_subqueries_ = options_.metrics->GetCounter(
+          "qp_exec_subqueries_materialized_total",
+          "IN-subqueries materialized to hash sets");
+    }
   }
 
-  /// Executes a full query (single select or UNION ALL).
-  Result<RowSet> Execute(const sql::Query& query) const;
+  /// Executes a full query (single select or UNION ALL). When `trace` is
+  /// non-null, the physical plan taken is recorded as children of it (one
+  /// span per operator step; for unions, one "union branch N:" span per
+  /// branch). The span tree is deterministic across thread counts except
+  /// for the per-span wall times. `trace` must not be shared with any
+  /// concurrent Execute() call.
+  Result<RowSet> Execute(const sql::Query& query,
+                         obs::TraceSpan* trace = nullptr) const;
 
   /// Parses and executes SQL text.
   Result<RowSet> ExecuteSql(const std::string& sql) const;
 
   /// Executes `query` while recording the physical plan actually taken —
   /// access paths (index lookup vs scan), join order and methods, row
-  /// counts per step, and how each step would be split into morsels — and
-  /// returns its text description. Tracing serializes execution (the trace
-  /// sink is unsynchronized) but still reports the parallel plan shape.
+  /// counts per step — and returns its text description. Runs at full
+  /// parallelism; the output is identical at every thread count.
   Result<std::string> Explain(const sql::Query& query) const;
   Result<std::string> ExplainSql(const std::string& sql) const;
+
+  /// EXPLAIN ANALYZE: like Explain(), but each plan line additionally
+  /// carries its key/value attributes (row counts, estimates) and measured
+  /// wall time. Everything except the timings is deterministic.
+  Result<std::string> ExplainAnalyze(const sql::Query& query) const;
+  Result<std::string> ExplainAnalyzeSql(const std::string& sql) const;
 
   const ExecOptions& options() const { return options_; }
 
@@ -122,7 +164,8 @@ class Executor {
   }
 
  private:
-  Result<RowSet> ExecuteSelect(const sql::SelectQuery& q) const;
+  Result<RowSet> ExecuteSelect(const sql::SelectQuery& q,
+                               obs::TraceSpan* span) const;
 
   /// The pool parallel regions run on: the injected shared pool when the
   /// options carry one, else the per-instance pool (null when serial).
@@ -130,13 +173,11 @@ class Executor {
     return options_.pool != nullptr ? options_.pool : pool_.get();
   }
 
-  /// True when parallel regions may actually fan out: a pool exists, it can
-  /// actually add parallelism (a 0-worker shared pool is serial), and no
-  /// trace is being recorded (the trace vector is not thread-safe, and
-  /// serial tracing keeps Explain output deterministic).
-  bool ParallelEnabled() const {
-    return options_.parallelism() > 1 && trace_ == nullptr;
-  }
+  /// True when parallel regions may actually fan out: a pool exists and it
+  /// can actually add parallelism (a 0-worker shared pool is serial).
+  /// Tracing no longer forces serial execution — every fan-out records into
+  /// per-task span slots merged in index order.
+  bool ParallelEnabled() const { return options_.parallelism() > 1; }
 
   /// Deterministic morsel split for an n-row input under current options.
   std::vector<std::pair<size_t, size_t>> MorselsFor(size_t n) const {
@@ -149,8 +190,27 @@ class Executor {
   /// error a serial loop over the tasks would have reported first.
   Status RunTasks(std::vector<std::function<Status()>> tasks) const;
 
-  void Trace(const std::string& line) const {
-    if (trace_ != nullptr) trace_->push_back(trace_indent_ + line);
+  /// Bulk counter accumulation, mirrored into the metrics registry when one
+  /// is configured. Called at region boundaries, never per row.
+  void BumpQueries() const {
+    queries_executed_.fetch_add(1, std::memory_order_relaxed);
+    if (m_queries_ != nullptr) m_queries_->Increment();
+  }
+  void BumpRowsScanned(size_t n) const {
+    rows_scanned_.fetch_add(n, std::memory_order_relaxed);
+    if (m_rows_scanned_ != nullptr) m_rows_scanned_->Increment(n);
+  }
+  void BumpRowsJoined(size_t n) const {
+    rows_joined_.fetch_add(n, std::memory_order_relaxed);
+    if (m_rows_joined_ != nullptr) m_rows_joined_->Increment(n);
+  }
+  void BumpRowsOutput(size_t n) const {
+    rows_output_.fetch_add(n, std::memory_order_relaxed);
+    if (m_rows_output_ != nullptr) m_rows_output_->Increment(n);
+  }
+  void BumpSubqueries(size_t n) const {
+    subqueries_materialized_.fetch_add(n, std::memory_order_relaxed);
+    if (m_subqueries_ != nullptr) m_subqueries_->Increment(n);
   }
 
   const storage::Database* db_;
@@ -165,9 +225,12 @@ class Executor {
   mutable std::atomic<size_t> rows_joined_{0};
   mutable std::atomic<size_t> rows_output_{0};
   mutable std::atomic<size_t> subqueries_materialized_{0};
-  /// Plan-trace sink; only set during Explain().
-  mutable std::vector<std::string>* trace_ = nullptr;
-  mutable std::string trace_indent_;
+  /// Registry mirrors of the counters above (null when no registry).
+  obs::Counter* m_queries_ = nullptr;
+  obs::Counter* m_rows_scanned_ = nullptr;
+  obs::Counter* m_rows_joined_ = nullptr;
+  obs::Counter* m_rows_output_ = nullptr;
+  obs::Counter* m_subqueries_ = nullptr;
 };
 
 }  // namespace qp::exec

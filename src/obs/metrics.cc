@@ -1,0 +1,220 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qp::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Splits a series name `base{labels}` into its base and the brace-wrapped
+/// label block ("" when the name carries no labels).
+void SplitSeries(const std::string& name, std::string* base,
+                 std::string* labels) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+  } else {
+    *base = name.substr(0, brace);
+    *labels = name.substr(brace);
+  }
+}
+
+/// Re-wraps a series' label block with an extra label appended (used for
+/// histogram `le` buckets): `{a="b"}` + `le="0.1"` -> `{a="b",le="0.1"}`.
+std::string WithLabel(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  return labels.substr(0, labels.size() - 1) + "," + extra + "}";
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      count_(0),
+      sum_bits_(0) {}
+
+size_t Histogram::BucketFor(double value) const {
+  return static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+}
+
+void Histogram::Observe(double value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    double old_sum;
+    static_assert(sizeof(old_sum) == sizeof(old_bits));
+    __builtin_memcpy(&old_sum, &old_bits, sizeof(old_sum));
+    double new_sum = old_sum + value;
+    uint64_t new_bits;
+    __builtin_memcpy(&new_bits, &new_sum, sizeof(new_bits));
+    if (sum_bits_.compare_exchange_weak(old_bits, new_bits,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.buckets.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    snap.buckets.push_back(b.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  __builtin_memcpy(&snap.sum, &bits, sizeof(snap.sum));
+  return snap;
+}
+
+std::vector<double> DefaultLatencyBuckets() {
+  // 1e-5s .. 10s, x10 per decade with 1/2.5/5 sub-steps.
+  std::vector<double> bounds;
+  for (double decade = 1e-5; decade < 10.0; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.5);
+    bounds.push_back(decade * 5.0);
+  }
+  bounds.push_back(10.0);
+  return bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : counters_) {
+    if (entry.name == name) return entry.counter.get();
+  }
+  counters_.push_back({name, help, std::make_unique<Counter>()});
+  return counters_.back().counter.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : histograms_) {
+    if (entry.name == name) return entry.histogram.get();
+  }
+  histograms_.push_back(
+      {name, help, std::make_unique<Histogram>(std::move(bounds))});
+  return histograms_.back().histogram.get();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string base, labels;
+  std::string last_header;
+  for (const auto& entry : counters_) {
+    SplitSeries(entry.name, &base, &labels);
+    if (base != last_header) {
+      if (!entry.help.empty()) {
+        out += "# HELP " + base + " " + entry.help + "\n";
+      }
+      out += "# TYPE " + base + " counter\n";
+      last_header = base;
+    }
+    out += base + labels + " " + std::to_string(entry.counter->Value()) + "\n";
+  }
+  last_header.clear();
+  for (const auto& entry : histograms_) {
+    SplitSeries(entry.name, &base, &labels);
+    if (base != last_header) {
+      if (!entry.help.empty()) {
+        out += "# HELP " + base + " " + entry.help + "\n";
+      }
+      out += "# TYPE " + base + " histogram\n";
+      last_header = base;
+    }
+    Histogram::Snapshot snap = entry.histogram->snapshot();
+    const std::vector<double>& bounds = entry.histogram->bounds();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+      cumulative += snap.buckets[i];
+      std::string le =
+          i < bounds.size() ? FormatDouble(bounds[i]) : std::string("+Inf");
+      out += base + "_bucket" + WithLabel(labels, "le=\"" + le + "\"") + " " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += base + "_sum" + labels + " " + FormatDouble(snap.sum) + "\n";
+    out += base + "_count" + labels + " " + std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendJsonString(counters_[i].name, &out);
+    out += ":";
+    out += std::to_string(counters_[i].counter->Value());
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < histograms_.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendJsonString(histograms_[i].name, &out);
+    Histogram::Snapshot snap = histograms_[i].histogram->snapshot();
+    out += ":{\"count\":";
+    out += std::to_string(snap.count);
+    out += ",\"sum\":";
+    out += FormatDouble(snap.sum);
+    out += ",\"bounds\":[";
+    const std::vector<double>& bounds = histograms_[i].histogram->bounds();
+    for (size_t j = 0; j < bounds.size(); ++j) {
+      if (j > 0) out += ",";
+      out += FormatDouble(bounds[j]);
+    }
+    out += "],\"buckets\":[";
+    for (size_t j = 0; j < snap.buckets.size(); ++j) {
+      if (j > 0) out += ",";
+      out += std::to_string(snap.buckets[j]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string RenderText(const MetricsRegistry& registry) {
+  return registry.RenderText();
+}
+
+std::string RenderJson(const MetricsRegistry& registry) {
+  return registry.RenderJson();
+}
+
+}  // namespace qp::obs

@@ -1,0 +1,132 @@
+// Process-wide metrics primitives: named lock-free counters and
+// fixed-bucket histograms behind a registry, with Prometheus-style text
+// exposition (RenderText) and a JSON snapshot (RenderJson).
+//
+// Naming scheme (see DESIGN.md "Observability"): snake_case with a
+// component prefix and a unit/`_total` suffix — `qp_exec_rows_scanned_total`,
+// `qp_serve_personalize_seconds`. A series may carry a fixed label set by
+// registering the full series name `base{key="value"}`; series sharing a
+// base name are grouped under one # TYPE header in the exposition.
+//
+// Concurrency: Counter::Increment and Histogram::Observe are lock-free
+// (relaxed atomics — totals are exact, cross-metric ordering is not
+// promised). Registration takes a mutex but returns stable pointers, so
+// hot paths resolve a metric once and update it without ever touching the
+// registry again. Renders read concurrently with updates and may observe a
+// histogram mid-update (bucket totals are each exact; count/sum can be
+// momentarily ahead of the buckets).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qp::obs {
+
+/// \brief Monotonic lock-free counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Fixed-bucket histogram with lock-free observation.
+///
+/// Buckets follow the Prometheus convention: bucket i counts observations
+/// `<= bounds[i]` (cumulative rendering happens at exposition time; storage
+/// is per-bucket), with an implicit +Inf bucket at the end.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing upper bounds; an empty vector
+  /// leaves only the +Inf bucket.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  /// Index of the bucket `value` lands in (the first bound >= value, or
+  /// the +Inf bucket). Exposed for the bucket-math tests.
+  size_t BucketFor(double value) const;
+
+  size_t num_buckets() const { return buckets_.size(); }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// A consistent-enough snapshot for rendering: per-bucket counts, total
+  /// count and sum.
+  struct Snapshot {
+    std::vector<uint64_t> buckets;  ///< per-bucket (non-cumulative) counts
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  /// Sum of observations, stored as raw double bits and accumulated with a
+  /// CAS loop (portable, unlike atomic<double>::fetch_add).
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+/// Default latency buckets for wall-clock seconds: exponential from 10us
+/// to ~10s, the range a Personalize call or an executor query can span.
+std::vector<double> DefaultLatencyBuckets();
+
+/// \brief Name -> metric registry with stable pointers.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  /// `help` is recorded on creation (later calls may pass ""). Pointers
+  /// stay valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+
+  /// Returns the histogram registered under `name`, creating it with
+  /// `bounds` on first use (later calls reuse the existing buckets).
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
+                          const std::string& help = "");
+
+  /// Prometheus text exposition of every registered series, in
+  /// registration order, grouped by base name.
+  std::string RenderText() const;
+
+  /// JSON snapshot: {"counters": {name: value, ...},
+  /// "histograms": {name: {"count": n, "sum": s, "buckets": [...],
+  /// "bounds": [...]}, ...}}.
+  std::string RenderJson() const;
+
+ private:
+  struct CounterEntry {
+    std::string name;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+  };
+  struct HistogramEntry {
+    std::string name;
+    std::string help;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<CounterEntry> counters_;
+  std::vector<HistogramEntry> histograms_;
+};
+
+/// Free-function spellings of the renders (the canonical API surface).
+std::string RenderText(const MetricsRegistry& registry);
+std::string RenderJson(const MetricsRegistry& registry);
+
+}  // namespace qp::obs

@@ -1,0 +1,94 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace qp::obs {
+
+namespace {
+
+/// Deterministic double formatting: shortest %g that keeps six significant
+/// digits, so the same value always renders the same string.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void TraceSpan::AddAttr(std::string key, std::string value) {
+  attrs_.emplace_back(std::move(key), std::move(value));
+}
+
+void TraceSpan::AddAttr(std::string key, const char* value) {
+  attrs_.emplace_back(std::move(key), std::string(value));
+}
+
+void TraceSpan::AddAttr(std::string key, size_t value) {
+  attrs_.emplace_back(std::move(key), std::to_string(value));
+}
+
+void TraceSpan::AddAttr(std::string key, double value) {
+  attrs_.emplace_back(std::move(key), FormatDouble(value));
+}
+
+TraceSpan* TraceSpan::AddChild(std::string name) {
+  children_.push_back(std::make_unique<TraceSpan>(std::move(name)));
+  return children_.back().get();
+}
+
+TraceSpan* TraceSpan::Adopt(TraceSpan&& child) {
+  children_.push_back(std::make_unique<TraceSpan>(std::move(child)));
+  return children_.back().get();
+}
+
+void TraceSpan::Render(bool analyze, int indent, std::string* out) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(name_);
+  if (analyze) {
+    if (!attrs_.empty()) {
+      out->append(" (");
+      for (size_t i = 0; i < attrs_.size(); ++i) {
+        if (i > 0) out->append(", ");
+        out->append(attrs_[i].first);
+        out->append("=");
+        out->append(attrs_[i].second);
+      }
+      out->append(")");
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " [%.3f ms]", seconds_ * 1e3);
+    out->append(buf);
+  }
+  out->append("\n");
+  for (const auto& child : children_) {
+    child->Render(analyze, indent + 1, out);
+  }
+}
+
+std::string TraceSpan::ToString(bool analyze) const {
+  std::string out;
+  Render(analyze, 0, &out);
+  return out;
+}
+
+std::string TraceSpan::RenderChildren(bool analyze) const {
+  std::string out;
+  for (const auto& child : children_) {
+    child->Render(analyze, 0, &out);
+  }
+  return out;
+}
+
+bool TraceSpan::SameShape(const TraceSpan& other) const {
+  if (name_ != other.name_ || attrs_ != other.attrs_ ||
+      children_.size() != other.children_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->SameShape(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace qp::obs

@@ -11,16 +11,20 @@
 //                                 caller bugs vs retryable failures)
 //
 // plus the supporting vocabulary types they expose: UserProfile, DoiPair,
-// RankingFunction, DescriptorRegistry, SelectQuery / ParseQuery, and the
-// exec::ExecOptions threading knobs. Tools that generate data or simulate
-// users keep including datagen/ and sim/ headers directly — those are
-// internal to the experiments, not part of the serving surface.
+// RankingFunction, DescriptorRegistry, SelectQuery / ParseQuery, the
+// exec::ExecOptions threading knobs, and the qp::obs observability
+// primitives (TraceSpan for per-call tracing / EXPLAIN ANALYZE,
+// MetricsRegistry behind ServingContext::MetricsText). Tools that generate
+// data or simulate users keep including datagen/ and sim/ headers directly
+// — those are internal to the experiments, not part of the serving surface.
 
 #pragma once
 
 #include "common/status.h"
 #include "core/personalizer.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/serving_context.h"
 #include "sql/parser.h"
 
@@ -34,6 +38,8 @@ using core::PersonalizeOptions;
 using core::Personalizer;
 using core::SelectionAlgorithm;
 using core::UserProfile;
+using obs::MetricsRegistry;
+using obs::TraceSpan;
 using serve::ServeCounters;
 using serve::ServingContext;
 using serve::Session;

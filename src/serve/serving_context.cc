@@ -47,6 +47,40 @@ std::string PlanKey(const std::string& selection_key,
 
 }  // namespace
 
+ServingContext::ServingContext(const storage::Database* db)
+    : ServingContext(db, Options()) {}
+
+ServingContext::ServingContext(const storage::Database* db, Options options)
+    : db_(db), stats_(db) {
+  if (options.num_threads > 1) {
+    pool_ = std::make_unique<common::ThreadPool>(options.num_threads - 1);
+  }
+  personalize_calls_ = metrics_.GetCounter("qp_serve_personalize_calls_total",
+                                           "Personalize calls served");
+  graph_builds_ = metrics_.GetCounter(
+      "qp_serve_graph_builds_total",
+      "Personalization-graph constructions (cold sessions + invalidations)");
+  selection_cache_hits_ = metrics_.GetCounter(
+      "qp_serve_selection_cache_hits_total", "Selection cache hits");
+  selection_cache_misses_ = metrics_.GetCounter(
+      "qp_serve_selection_cache_misses_total", "Selection cache misses");
+  plan_cache_hits_ =
+      metrics_.GetCounter("qp_serve_plan_cache_hits_total", "Plan cache hits");
+  plan_cache_misses_ = metrics_.GetCounter("qp_serve_plan_cache_misses_total",
+                                           "Plan cache misses");
+  epoch_invalidations_ = metrics_.GetCounter(
+      "qp_serve_epoch_invalidations_total",
+      "Snapshot rebuilds forced by a profile- or stats-epoch change");
+}
+
+Session::Session(ServingContext* ctx, std::string user_id,
+                 core::UserProfile profile)
+    : ctx_(ctx), user_id_(std::move(user_id)), profile_(std::move(profile)) {
+  latency_ = ctx_->metrics_.GetHistogram(
+      "qp_serve_personalize_seconds{user=\"" + user_id_ + "\"}",
+      obs::DefaultLatencyBuckets(), "Per-user personalize latency");
+}
+
 Result<std::shared_ptr<const Session::State>> Session::CurrentState(
     uint64_t profile_epoch, uint64_t stats_epoch) {
   std::shared_ptr<const State> state = state_.load(std::memory_order_acquire);
@@ -70,17 +104,17 @@ Result<std::shared_ptr<const Session::State>> Session::CurrentState(
     // must go.
     next->snapshot = state->snapshot;
     next->selections = state->selections;
-    ctx_->epoch_invalidations_.fetch_add(1, std::memory_order_relaxed);
+    ctx_->epoch_invalidations_->Increment();
   } else {
     if (state != nullptr) {
-      ctx_->epoch_invalidations_.fetch_add(1, std::memory_order_relaxed);
+      ctx_->epoch_invalidations_->Increment();
     }
     auto snapshot = std::make_shared<ProfileSnapshot>(profile_);
     QP_ASSIGN_OR_RETURN(
         core::PersonalizationGraph graph,
         core::PersonalizationGraph::Build(ctx_->db_, &snapshot->profile));
     snapshot->graph.emplace(std::move(graph));
-    ctx_->graph_builds_.fetch_add(1, std::memory_order_relaxed);
+    ctx_->graph_builds_->Increment();
     next->snapshot = std::move(snapshot);
   }
   state_.store(next, std::memory_order_release);
@@ -119,19 +153,30 @@ void Session::StorePlan(const std::shared_ptr<const State>& based_on,
 
 Result<PersonalizedAnswer> Session::Personalize(
     const sql::SelectQuery& query, const PersonalizeOptions& options) {
-  ctx_->personalize_calls_.fetch_add(1, std::memory_order_relaxed);
+  ctx_->personalize_calls_->Increment();
+  const auto call_start = std::chrono::steady_clock::now();
 
   // Fold the deprecated alias in once, then inject the context's shared
-  // pool: every session's queries and probes fan out over the same workers.
+  // pool and registry: every session's queries and probes fan out over the
+  // same workers, and every executor reports into the same qp_exec_* series.
   PersonalizeOptions opts = options;
   opts.exec = options.EffectiveExec();
   opts.num_threads = 1;
   if (ctx_->pool_ != nullptr) opts.exec.pool = ctx_->pool_.get();
+  if (opts.exec.metrics == nullptr) opts.exec.metrics = &ctx_->metrics_;
 
   const uint64_t profile_epoch = profile_.epoch();
   const uint64_t stats_epoch = ctx_->stats_.Epoch();
+  obs::TraceSpan* state_span =
+      opts.trace != nullptr ? opts.trace->AddChild("session state") : nullptr;
+  obs::SpanTimer state_timer(state_span);
   QP_ASSIGN_OR_RETURN(std::shared_ptr<const State> state,
                       CurrentState(profile_epoch, stats_epoch));
+  state_timer.Stop();
+  if (state_span != nullptr) {
+    state_span->AddAttr("profile_epoch", static_cast<size_t>(profile_epoch));
+    state_span->AddAttr("stats_epoch", static_cast<size_t>(stats_epoch));
+  }
 
   // Resolve against the snapshot's profile (== live profile at this epoch),
   // so the ranking override and the caches observe the same profile state.
@@ -142,12 +187,14 @@ Result<PersonalizedAnswer> Session::Personalize(
   const std::string selection_key = SelectionKey(query, opts, resolved);
   std::shared_ptr<const std::vector<SelectedPreference>> preferences;
   double selection_seconds = 0.0;
+  bool selection_cached = true;
   if (auto it = state->selections.find(selection_key);
       it != state->selections.end()) {
     preferences = it->second;
-    ctx_->selection_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    ctx_->selection_cache_hits_->Increment();
   } else {
-    ctx_->selection_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    selection_cached = false;
+    ctx_->selection_cache_misses_->Increment();
     const auto select_start = std::chrono::steady_clock::now();
     QP_ASSIGN_OR_RETURN(std::vector<SelectedPreference> selected,
                         core::RunSelection(*state->snapshot->graph, query,
@@ -160,26 +207,48 @@ Result<PersonalizedAnswer> Session::Personalize(
         std::move(selected));
     StoreSelection(state, selection_key, preferences);
   }
+  if (opts.trace != nullptr) {
+    obs::TraceSpan* select_span = opts.trace->AddChild("selection");
+    select_span->AddAttr("cached", selection_cached ? "true" : "false");
+    select_span->AddAttr("preferences", preferences->size());
+    select_span->set_seconds(selection_seconds);
+  }
   QP_RETURN_IF_ERROR(core::ValidateSelection(*preferences, opts));
 
   const std::string plan_key = PlanKey(selection_key, opts);
   std::shared_ptr<const core::IntegrationPlan> plan;
+  bool plan_cached = true;
+  obs::TraceSpan* plan_span =
+      opts.trace != nullptr ? opts.trace->AddChild("plan") : nullptr;
+  obs::SpanTimer plan_timer(plan_span);
   if (auto it = state->plans.find(plan_key); it != state->plans.end()) {
     plan = it->second;
-    ctx_->plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    ctx_->plan_cache_hits_->Increment();
   } else {
-    ctx_->plan_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    plan_cached = false;
+    ctx_->plan_cache_misses_->Increment();
     QP_ASSIGN_OR_RETURN(core::IntegrationPlan built,
                         core::BuildIntegrationPlan(ctx_->db_, &ctx_->stats_,
                                                    query, *preferences, opts));
     plan = std::make_shared<const core::IntegrationPlan>(std::move(built));
     StorePlan(state, plan_key, plan);
   }
+  plan_timer.Stop();
+  if (plan_span != nullptr) {
+    plan_span->AddAttr("cached", plan_cached ? "true" : "false");
+    plan_span->AddAttr(
+        "algorithm",
+        plan->algorithm == core::AnswerAlgorithm::kSpa ? "spa" : "ppa");
+  }
 
   QP_ASSIGN_OR_RETURN(PersonalizedAnswer answer,
                       core::ExecuteIntegrationPlan(ctx_->db_, *plan, opts,
                                                    resolved));
   core::FinalizeAnswer(resolved, selection_seconds, answer);
+  latency_->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    call_start)
+          .count());
   return answer;
 }
 

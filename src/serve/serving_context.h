@@ -52,13 +52,17 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 #include "stats/table_stats.h"
 
 namespace qp::serve {
 
 /// Snapshot of a ServingContext's cumulative cache/work counters. The
 /// warm-vs-cold bench asserts on these: a fully warm call increments only
-/// personalize_calls and the two hit counters.
+/// personalize_calls and the two hit counters. Since the obs layer landed
+/// this is a *view* over the context's MetricsRegistry (the qp_serve_*
+/// series), not separate storage — counters() and MetricsText() can never
+/// disagree.
 struct ServeCounters {
   size_t personalize_calls = 0;
   /// Personalization-graph constructions (cold sessions + invalidations).
@@ -126,8 +130,7 @@ class Session {
     std::map<std::string, std::shared_ptr<const core::IntegrationPlan>> plans;
   };
 
-  Session(ServingContext* ctx, std::string user_id, core::UserProfile profile)
-      : ctx_(ctx), user_id_(std::move(user_id)), profile_(std::move(profile)) {}
+  Session(ServingContext* ctx, std::string user_id, core::UserProfile profile);
 
   /// Returns a state whose epochs match (profile_epoch, stats_epoch),
   /// rebuilding the graph and/or dropping caches as needed.
@@ -146,6 +149,10 @@ class Session {
   ServingContext* ctx_;
   const std::string user_id_;
   core::UserProfile profile_;
+  /// This user's personalize-latency series in the context registry
+  /// (qp_serve_personalize_seconds{user="<id>"}), resolved once at session
+  /// open so the per-call cost is one Observe().
+  obs::Histogram* latency_ = nullptr;
 
   /// Lock-free read path; writers swap under mu_.
   std::atomic<std::shared_ptr<const State>> state_{nullptr};
@@ -183,18 +190,27 @@ class ServingContext {
   /// Shared morsel pool (null when Options::num_threads == 1).
   common::ThreadPool* pool() { return pool_.get(); }
 
+  /// The context's metrics registry: the qp_serve_* counters, the per-user
+  /// qp_serve_personalize_seconds histograms, and the qp_exec_* counters of
+  /// every executor sessions run. Callers may register their own series.
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+
+  /// Prometheus text exposition of every metric in the registry — what a
+  /// /metrics endpoint would serve.
+  std::string MetricsText() const { return metrics_.RenderText(); }
+  /// JSON snapshot of the same registry.
+  std::string MetricsJson() const { return metrics_.RenderJson(); }
+
+  /// Snapshot view over the registry's qp_serve_* counters.
   ServeCounters counters() const {
     ServeCounters c;
-    c.personalize_calls = personalize_calls_.load(std::memory_order_relaxed);
-    c.graph_builds = graph_builds_.load(std::memory_order_relaxed);
-    c.selection_cache_hits =
-        selection_cache_hits_.load(std::memory_order_relaxed);
-    c.selection_cache_misses =
-        selection_cache_misses_.load(std::memory_order_relaxed);
-    c.plan_cache_hits = plan_cache_hits_.load(std::memory_order_relaxed);
-    c.plan_cache_misses = plan_cache_misses_.load(std::memory_order_relaxed);
-    c.epoch_invalidations =
-        epoch_invalidations_.load(std::memory_order_relaxed);
+    c.personalize_calls = personalize_calls_->Value();
+    c.graph_builds = graph_builds_->Value();
+    c.selection_cache_hits = selection_cache_hits_->Value();
+    c.selection_cache_misses = selection_cache_misses_->Value();
+    c.plan_cache_hits = plan_cache_hits_->Value();
+    c.plan_cache_misses = plan_cache_misses_->Value();
+    c.epoch_invalidations = epoch_invalidations_->Value();
     return c;
   }
 
@@ -204,28 +220,19 @@ class ServingContext {
   const storage::Database* db_;
   stats::StatsManager stats_;
   std::unique_ptr<common::ThreadPool> pool_;
+  obs::MetricsRegistry metrics_;
 
   std::mutex sessions_mu_;
   std::map<std::string, std::unique_ptr<Session>> sessions_;
 
-  std::atomic<size_t> personalize_calls_{0};
-  std::atomic<size_t> graph_builds_{0};
-  std::atomic<size_t> selection_cache_hits_{0};
-  std::atomic<size_t> selection_cache_misses_{0};
-  std::atomic<size_t> plan_cache_hits_{0};
-  std::atomic<size_t> plan_cache_misses_{0};
-  std::atomic<size_t> epoch_invalidations_{0};
+  /// Views into metrics_ (stable pointers), resolved once at construction.
+  obs::Counter* personalize_calls_ = nullptr;
+  obs::Counter* graph_builds_ = nullptr;
+  obs::Counter* selection_cache_hits_ = nullptr;
+  obs::Counter* selection_cache_misses_ = nullptr;
+  obs::Counter* plan_cache_hits_ = nullptr;
+  obs::Counter* plan_cache_misses_ = nullptr;
+  obs::Counter* epoch_invalidations_ = nullptr;
 };
-
-inline ServingContext::ServingContext(const storage::Database* db)
-    : ServingContext(db, Options()) {}
-
-inline ServingContext::ServingContext(const storage::Database* db,
-                                      Options options)
-    : db_(db), stats_(db) {
-  if (options.num_threads > 1) {
-    pool_ = std::make_unique<common::ThreadPool>(options.num_threads - 1);
-  }
-}
 
 }  // namespace qp::serve

@@ -1,0 +1,229 @@
+// qp::obs unit tests: histogram bucket math, concurrent registry updates
+// under a real ThreadPool (exact totals — the counters are lock-free but
+// must not lose increments), and the Prometheus/JSON exposition formats.
+// Runs under TSan/ASan via the `sanitizer` CTest label.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace qp::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(HistogramTest, BucketForFollowsPrometheusLeConvention) {
+  Histogram h({1.0, 2.0, 5.0});
+  ASSERT_EQ(h.num_buckets(), 4u);  // three bounds + the +Inf bucket
+  EXPECT_EQ(h.BucketFor(0.5), 0u);
+  EXPECT_EQ(h.BucketFor(1.0), 0u);  // le="1" is inclusive
+  EXPECT_EQ(h.BucketFor(1.1), 1u);
+  EXPECT_EQ(h.BucketFor(2.0), 1u);
+  EXPECT_EQ(h.BucketFor(5.0), 2u);
+  EXPECT_EQ(h.BucketFor(5.1), 3u);
+  EXPECT_EQ(h.BucketFor(std::numeric_limits<double>::infinity()), 3u);
+}
+
+TEST(HistogramTest, EmptyBoundsLeaveOnlyInfBucket) {
+  Histogram h({});
+  ASSERT_EQ(h.num_buckets(), 1u);
+  h.Observe(0.0);
+  h.Observe(1e9);
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+}
+
+TEST(HistogramTest, SnapshotTracksCountAndSum) {
+  Histogram h({1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(0.5);
+  h.Observe(7.0);
+  h.Observe(100.0);
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 108.0);
+  ASSERT_EQ(snap.buckets.size(), 3u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+}
+
+TEST(HistogramTest, DefaultLatencyBucketsAreStrictlyIncreasing) {
+  const std::vector<double> bounds = DefaultLatencyBuckets();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "at index " << i;
+  }
+  EXPECT_LE(bounds.front(), 1e-4);  // covers sub-100us executor queries
+  EXPECT_GE(bounds.back(), 1.0);    // covers paper-scale Personalize calls
+}
+
+TEST(RegistryTest, GetReturnsStablePointersAndReusesNames) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("qp_test_total", "help");
+  Counter* b = registry.GetCounter("qp_test_total");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = registry.GetHistogram("qp_test_seconds", {1.0, 2.0});
+  Histogram* h2 = registry.GetHistogram("qp_test_seconds", {9.0});
+  EXPECT_EQ(h1, h2);
+  // First registration wins: the bounds are not replaced.
+  EXPECT_EQ(h2->bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(RegistryTest, ConcurrentUpdatesAreExact) {
+  // Hammer one shared counter, per-thread counters and one shared histogram
+  // from a real pool; every increment must land (lock-free != lossy). Under
+  // -L sanitizer this also proves the hot paths are race-free.
+  MetricsRegistry registry;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerTask = 10000;
+  common::ThreadPool pool(kThreads - 1);
+  std::vector<std::function<void()>> tasks;
+  for (size_t t = 0; t < kThreads; ++t) {
+    tasks.push_back([&registry, t] {
+      // Mixing registration into the loop exercises the registry mutex
+      // against concurrent lock-free updates.
+      Counter* shared = registry.GetCounter("qp_shared_total");
+      Counter* mine =
+          registry.GetCounter("qp_task_total{task=\"" + std::to_string(t) +
+                              "\"}");
+      Histogram* lat =
+          registry.GetHistogram("qp_lat_seconds", DefaultLatencyBuckets());
+      for (size_t i = 0; i < kPerTask; ++i) {
+        shared->Increment();
+        mine->Increment();
+        lat->Observe(1e-4 * static_cast<double>(i % 7));
+      }
+    });
+  }
+  pool.RunAll(std::move(tasks));
+  EXPECT_EQ(registry.GetCounter("qp_shared_total")->Value(),
+            kThreads * kPerTask);
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry
+                  .GetCounter("qp_task_total{task=\"" + std::to_string(t) +
+                              "\"}")
+                  ->Value(),
+              kPerTask);
+  }
+  const Histogram::Snapshot snap =
+      registry.GetHistogram("qp_lat_seconds", {})->snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerTask);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(RegistryTest, RenderTextFollowsPrometheusExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("qp_calls_total", "Calls served")->Increment(3);
+  registry.GetCounter("qp_hits_total{kind=\"plan\"}")->Increment(2);
+  registry.GetCounter("qp_hits_total{kind=\"selection\"}")->Increment(5);
+  Histogram* h = registry.GetHistogram("qp_lat_seconds", {0.1, 1.0}, "Latency");
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(2.0);
+
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("# HELP qp_calls_total Calls served\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE qp_calls_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("qp_calls_total 3\n"), std::string::npos);
+  // Labeled series share one TYPE header under the base name.
+  EXPECT_EQ(text.find("# TYPE qp_hits_total counter"),
+            text.rfind("# TYPE qp_hits_total counter"));
+  EXPECT_NE(text.find("qp_hits_total{kind=\"plan\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("qp_hits_total{kind=\"selection\"} 5\n"),
+            std::string::npos);
+  // Histogram: cumulative buckets, +Inf == count, then _sum and _count.
+  EXPECT_NE(text.find("# TYPE qp_lat_seconds histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("qp_lat_seconds_bucket{le=\"0.1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("qp_lat_seconds_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("qp_lat_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("qp_lat_seconds_count 3\n"), std::string::npos);
+}
+
+TEST(RegistryTest, RenderJsonRoundTripsValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("qp_a_total")->Increment(7);
+  Histogram* h = registry.GetHistogram("qp_b_seconds", {1.0});
+  h->Observe(0.5);
+  h->Observe(3.0);
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"qp_a_total\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":3.5"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\":[1]"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[1,1]"), std::string::npos);
+  // Free-function spellings match the members.
+  EXPECT_EQ(RenderText(registry), registry.RenderText());
+  EXPECT_EQ(RenderJson(registry), registry.RenderJson());
+}
+
+TEST(TraceSpanTest, BuildRenderAndShape) {
+  TraceSpan root("query");
+  TraceSpan* scan = root.AddChild("scan movie");
+  scan->AddAttr("rows", size_t{60});
+  scan->set_seconds(0.25);
+  root.AddChild("join genre");
+
+  const std::string plain = root.ToString(false);
+  EXPECT_EQ(plain, "query\n  scan movie\n  join genre\n");
+  const std::string analyzed = root.ToString(true);
+  EXPECT_NE(analyzed.find("scan movie (rows=60) [250.000 ms]"),
+            std::string::npos);
+  // RenderChildren drops the synthetic root line; children start at
+  // indent 0 (the legacy Explain top-level lines).
+  EXPECT_EQ(root.RenderChildren(false), "scan movie\njoin genre\n");
+
+  TraceSpan other("query");
+  TraceSpan* s2 = other.AddChild("scan movie");
+  s2->AddAttr("rows", size_t{60});
+  s2->set_seconds(99.0);  // timings must not affect shape
+  other.AddChild("join genre");
+  EXPECT_TRUE(root.SameShape(other));
+  other.AddChild("extra");
+  EXPECT_FALSE(root.SameShape(other));
+}
+
+TEST(TraceSpanTest, SlotsAdoptInIndexOrder) {
+  // The parallel fan-out discipline: record into preallocated slots, adopt
+  // in index order — the tree is identical to a serial loop's.
+  TraceSpan parallel_root("root");
+  std::vector<TraceSpan> slots = TraceSpan::MakeSlots(3);
+  for (size_t i = 2; i + 1 > 0; --i) {  // "finish" in reverse wall order
+    slots[i].set_name("task " + std::to_string(i));
+    slots[i].AddAttr("rows", i);
+  }
+  for (auto& slot : slots) parallel_root.Adopt(std::move(slot));
+
+  TraceSpan serial_root("root");
+  for (size_t i = 0; i < 3; ++i) {
+    TraceSpan* c = serial_root.AddChild("task " + std::to_string(i));
+    c->AddAttr("rows", i);
+  }
+  EXPECT_TRUE(parallel_root.SameShape(serial_root));
+}
+
+}  // namespace
+}  // namespace qp::obs

@@ -312,18 +312,32 @@ TEST_F(ParallelExecTest, ErrorsAreThreadCountInvariant) {
   }
 }
 
-TEST_F(ParallelExecTest, ExplainStillWorksWithPoolAndReportsMorsels) {
-  Executor executor(db_, nullptr, OptionsFor(8));
-  auto plan = executor.ExplainSql(
+TEST_F(ParallelExecTest, ExplainIsIdenticalAtEveryThreadCount) {
+  // Tracing no longer serializes execution, and the trace carries no
+  // parallelism-dependent content (no morsel or thread counts): the Explain
+  // text must be byte-identical at every thread count.
+  const std::string sql =
       "select m.title from movie m, genre g where m.mid = g.mid "
-      "and m.year >= 1990");
-  ASSERT_TRUE(plan.ok()) << plan.status();
-  EXPECT_NE(plan->find("morsel"), std::string::npos) << *plan;
-  // Tracing serializes execution but the answer must match the parallel run.
-  auto traced = executor.ExecuteSql(
-      "select m.title from movie m, genre g where m.mid = g.mid "
-      "and m.year >= 1990");
-  ASSERT_TRUE(traced.ok());
+      "and m.year >= 1990";
+  std::optional<std::string> serial_plan;
+  for (size_t threads : kThreadCounts) {
+    Executor executor(db_, nullptr, OptionsFor(threads));
+    auto plan = executor.ExplainSql(sql);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    EXPECT_EQ(plan->find("morsel"), std::string::npos) << *plan;
+    if (!serial_plan.has_value()) {
+      serial_plan = *plan;
+    } else {
+      EXPECT_EQ(*plan, *serial_plan) << "threads=" << threads;
+    }
+    // The traced run's answer must match an untraced one exactly.
+    auto traced = executor.ExecuteSql(sql);
+    ASSERT_TRUE(traced.ok());
+    Executor untraced(db_, nullptr, OptionsFor(threads));
+    auto plain = untraced.ExecuteSql(sql);
+    ASSERT_TRUE(plain.ok());
+    EXPECT_EQ(AsSequence(*traced), AsSequence(*plain));
+  }
 }
 
 }  // namespace

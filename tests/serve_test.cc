@@ -125,6 +125,68 @@ TEST(ServeTest, CountersProveWarmPathSkipsWork) {
   EXPECT_EQ(ctx.counters().selection_cache_misses, 2u);
 }
 
+TEST(ServeTest, MetricsTextExposesCountersAndPerUserLatency) {
+  const auto config = SmallConfig(13);
+  auto db = datagen::GenerateMovieDatabase(config.db_config);
+  ASSERT_TRUE(db.ok());
+  auto profile = datagen::GenerateProfile(config);
+  ASSERT_TRUE(profile.ok());
+
+  ServingContext ctx(&*db);
+  auto al = ctx.OpenSession("al", *profile);
+  ASSERT_TRUE(al.ok());
+  auto bea = ctx.OpenSession("bea", *profile);
+  ASSERT_TRUE(bea.ok());
+  PersonalizeOptions options;
+  options.k = 5;
+  options.l = 1;
+  const std::string sql = "select mid, title from movie";
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE((*al)->Personalize(sql, options).ok());
+  }
+  ASSERT_TRUE((*bea)->Personalize(sql, options).ok());
+
+  // counters() is a view over the registry: the exposition must agree.
+  const std::string text = ctx.MetricsText();
+  EXPECT_NE(text.find("# TYPE qp_serve_personalize_calls_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("qp_serve_personalize_calls_total 3\n"),
+            std::string::npos)
+      << text;
+  // Per-user latency series, one histogram per session.
+  EXPECT_NE(
+      text.find("qp_serve_personalize_seconds_count{user=\"al\"} 2\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("qp_serve_personalize_seconds_count{user=\"bea\"} 1\n"),
+      std::string::npos)
+      << text;
+  // Executors report into the same registry.
+  EXPECT_NE(text.find("qp_exec_queries_total"), std::string::npos) << text;
+  // The JSON snapshot carries the same counter.
+  EXPECT_NE(ctx.MetricsJson().find("\"qp_serve_personalize_calls_total\":3"),
+            std::string::npos);
+
+  // Attaching a trace to a serve call records the pipeline stages without
+  // changing the answer.
+  obs::TraceSpan root("personalize");
+  options.trace = &root;
+  auto traced = (*al)->Personalize(sql, options);
+  ASSERT_TRUE(traced.ok());
+  options.trace = nullptr;
+  auto untraced = (*al)->Personalize(sql, options);
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_TRUE(core::SameAnswerPayload(*traced, *untraced));
+  const std::string trace_text = root.ToString(false);
+  EXPECT_NE(trace_text.find("session state"), std::string::npos) << trace_text;
+  EXPECT_NE(trace_text.find("selection"), std::string::npos) << trace_text;
+  EXPECT_NE(trace_text.find("plan"), std::string::npos) << trace_text;
+  EXPECT_NE(trace_text.find("execute: ppa"), std::string::npos) << trace_text;
+  EXPECT_NE(trace_text.find("first_response"), std::string::npos)
+      << trace_text;
+}
+
 TEST(ServeTest, ProfileMutationsInvalidateAndMatchFreshCold) {
   const auto config = SmallConfig(29);
   auto db = datagen::GenerateMovieDatabase(config.db_config);
