@@ -27,6 +27,9 @@ int main() {
   if (!query.ok()) return 1;
   const sql::SelectQuery& base = (*query)->single();
 
+  bench::BenchReport report("ablation_absence_queries");
+  report.Config("movies", static_cast<double>(db_config.num_movies));
+
   std::printf("%9s %3s | %9s %9s %14s | %12s\n", "#absence", "L", "SPA (s)",
               "PPA (s)", "PPA first (s)", "PPA-noord (s)");
   for (size_t absence : {0, 1, 2, 4}) {
@@ -73,9 +76,17 @@ int main() {
                   spa->stats.generation_seconds, ppa->stats.generation_seconds,
                   ppa->stats.first_response_seconds,
                   noord->stats.generation_seconds);
+      report.BeginPoint();
+      report.Metric("absence", static_cast<double>(absence));
+      report.Metric("l", static_cast<double>(l));
+      report.Metric("spa_seconds", spa->stats.generation_seconds);
+      report.Metric("ppa_seconds", ppa->stats.generation_seconds);
+      report.Metric("ppa_first_seconds", ppa->stats.first_response_seconds);
+      report.Metric("ppa_unordered_seconds", noord->stats.generation_seconds);
       if (l == absence + 1 && l == 2) break;  // avoid duplicate row
     }
   }
+  report.Write();
   std::printf(
       "\nExpected shape: SPA's time climbs steeply with the number of 1-n\n"
       "absence preferences (each adds a NOT IN subquery scanning the\n"

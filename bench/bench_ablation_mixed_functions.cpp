@@ -61,6 +61,9 @@ int main() {
   auto query = sql::ParseQuery("select mid, title from movie");
   if (!query.ok()) return 1;
 
+  bench::BenchReport report("ablation_mixed_functions");
+  report.Config("movies", static_cast<double>(db_config.num_movies));
+
   std::printf("%22s | %18s %18s\n", "user's latent form",
               "system Eq.5 (sum)", "system Eq.6 (count)");
   for (auto latent_mixed :
@@ -108,7 +111,12 @@ int main() {
     std::printf("%22s | %17.3f%% %17.3f%%\n",
                 core::MixedStyleName(latent_mixed),
                 100.0 * inv_sum / users, 100.0 * inv_count / users);
+    report.BeginPoint();
+    report.Metric("latent_form", core::MixedStyleName(latent_mixed));
+    report.Metric("inversion_rate_sum", inv_sum / users);
+    report.Metric("inversion_rate_count", inv_count / users);
   }
+  report.Write();
   std::printf(
       "\nReading: each cell is the fraction of tuple pairs the system ranks\n"
       "opposite to the user. The diagonal (system form == user form) should\n"

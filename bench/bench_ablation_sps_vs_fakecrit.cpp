@@ -26,6 +26,9 @@ int main() {
   const core::QueryContext ctx =
       core::QueryContext::FromQuery((*query)->single());
 
+  bench::BenchReport report("ablation_sps_vs_fakecrit");
+  report.Config("movies", static_cast<double>(db_config.num_movies));
+
   std::printf("%9s %4s | %9s %9s %9s | %9s %9s %9s | %6s\n", "|profile|", "K",
               "SPS-gen", "SPS-exam", "SPS-exp", "FC-gen", "FC-exam", "FC-exp",
               "equal");
@@ -60,8 +63,25 @@ int main() {
                   sps_stats.paths_examined, sps_stats.expansions,
                   fc_stats.paths_generated, fc_stats.paths_examined,
                   fc_stats.expansions, equal ? "yes" : "NO!");
+      report.BeginPoint();
+      report.Metric("profile_size",
+                    static_cast<double>(profile->NumPreferences()));
+      report.Metric("k", static_cast<double>(k));
+      report.Metric("sps_paths_generated",
+                    static_cast<double>(sps_stats.paths_generated));
+      report.Metric("sps_paths_examined",
+                    static_cast<double>(sps_stats.paths_examined));
+      report.Metric("sps_expansions",
+                    static_cast<double>(sps_stats.expansions));
+      report.Metric("fc_paths_generated",
+                    static_cast<double>(fc_stats.paths_generated));
+      report.Metric("fc_paths_examined",
+                    static_cast<double>(fc_stats.paths_examined));
+      report.Metric("fc_expansions", static_cast<double>(fc_stats.expansions));
+      report.Metric("equal", equal ? "yes" : "no");
     }
   }
+  report.Write();
   std::printf(
       "\nExpected shape: identical selections; FakeCrit examines no more\n"
       "paths than SPS (its per-edge fake criticalities tighten the\n"

@@ -39,6 +39,19 @@ int main() {
   std::printf("%-34s  %18.2f  %14.2f\n", "Figure 14 - avg answer score",
               result->score_nonpers, result->score_pers);
 
+  bench::BenchReport report("fig12_14_trial2");
+  report.Config("movies", static_cast<double>(config.db_config.num_movies));
+  report.Config("subjects",
+                static_cast<double>(config.num_experts + config.num_novices));
+  report.BeginPoint();
+  report.Metric("difficulty_nonpers", result->difficulty_nonpers);
+  report.Metric("difficulty_pers", result->difficulty_pers);
+  report.Metric("coverage_nonpers", result->coverage_nonpers);
+  report.Metric("coverage_pers", result->coverage_pers);
+  report.Metric("score_nonpers", result->score_nonpers);
+  report.Metric("score_pers", result->score_pers);
+  report.Write();
+
   std::printf(
       "\nExpected shape (paper): personalized searches show lower difficulty,\n"
       "higher coverage and higher scores than non-personalized ones.\n");

@@ -14,7 +14,8 @@ using namespace qp;
 namespace {
 
 void RunOne(const storage::Database* db, const core::UserProfile* profile,
-            core::CombinationStyle style, const char* figure) {
+            core::CombinationStyle style, const char* figure,
+            bench::BenchReport* report) {
   auto points = sim::CompareRankingFunctions(
       db, profile, "select mid, title from movie", style, 1234);
   if (!points.ok()) {
@@ -40,6 +41,12 @@ void RunOne(const storage::Database* db, const core::UserProfile* profile,
       "mean |user - function|: dominant %.3f, inflationary %.3f, "
       "reserved %.3f\n",
       err_dom / n, err_inf / n, err_res / n);
+  report->BeginPoint();
+  report->Metric("user_style", core::CombinationStyleName(style));
+  report->Metric("tuples", n);
+  report->Metric("err_dominant", err_dom / n);
+  report->Metric("err_inflationary", err_inf / n);
+  report->Metric("err_reserved", err_res / n);
 }
 
 }  // namespace
@@ -60,12 +67,16 @@ int main() {
   auto profile = datagen::GenerateProfile(pg);
   if (!profile.ok()) return 1;
 
+  bench::BenchReport report("fig15_17_ranking");
+  report.Config("movies", static_cast<double>(db_config.num_movies));
+  report.Config("seed", 99);
   RunOne(&*db, &*profile, core::CombinationStyle::kInflationary,
-         "Figure 15 (user close to inflationary)");
+         "Figure 15 (user close to inflationary)", &report);
   RunOne(&*db, &*profile, core::CombinationStyle::kDominant,
-         "Figure 16 (user close to dominant)");
+         "Figure 16 (user close to dominant)", &report);
   RunOne(&*db, &*profile, core::CombinationStyle::kReserved,
-         "Figure 17 (user close to reserved)");
+         "Figure 17 (user close to reserved)", &report);
+  report.Write();
 
   std::printf(
       "\nExpected shape (paper): each user's interest curve is closest to\n"

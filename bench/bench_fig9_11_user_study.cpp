@@ -34,6 +34,12 @@ int main() {
     return 1;
   }
 
+  bench::BenchReport report("fig9_11_user_study");
+  report.Config("movies", static_cast<double>(config.db_config.num_movies));
+  report.Config("experts", static_cast<double>(config.num_experts));
+  report.Config("novices", static_cast<double>(config.num_novices));
+  report.Config("l", static_cast<double>(config.l));
+
   const auto& queries = sim::StudyQueries();
   std::printf("Figure 9 — experts, average answer score per query:\n");
   std::printf("%5s  %12s  %14s\n", "query", "unchanged", "personalized");
@@ -53,6 +59,22 @@ int main() {
               result->ExpertAvg(true));
   std::printf("%10s  %12.2f  %14.2f\n", "novices", result->NoviceAvg(false),
               result->NoviceAvg(true));
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    report.BeginPoint();
+    report.Metric("query", "Q" + std::to_string(i + 1));
+    report.Metric("expert_unchanged", result->expert_unchanged[i]);
+    report.Metric("expert_personalized", result->expert_personalized[i]);
+    report.Metric("novice_unchanged", result->novice_unchanged[i]);
+    report.Metric("novice_personalized", result->novice_personalized[i]);
+  }
+  report.BeginPoint();
+  report.Metric("query", "average");
+  report.Metric("expert_unchanged", result->ExpertAvg(false));
+  report.Metric("expert_personalized", result->ExpertAvg(true));
+  report.Metric("novice_unchanged", result->NoviceAvg(false));
+  report.Metric("novice_personalized", result->NoviceAvg(true));
+  report.Write();
 
   std::printf(
       "\nStudy queries:\n");

@@ -15,6 +15,9 @@ using namespace qp;
 int main() {
   bench::PrintHeader("Personalization overhead vs database size",
                      "the Section 6.1 overhead remark");
+  bench::BenchReport report("scaling");
+  report.Config("k", 10);
+  report.Config("l", 2);
 
   std::printf("%9s | %12s | %12s %12s %12s | %8s\n", "movies", "plain (s)",
               "select (s)", "PPA (s)", "total (s)", "tuples");
@@ -63,7 +66,16 @@ int main() {
                 answer->stats.selection_seconds +
                     answer->stats.generation_seconds,
                 answer->tuples.size());
+    report.BeginPoint();
+    report.Metric("movies", static_cast<double>(movies));
+    report.Metric("plain_seconds", plain_s);
+    report.Metric("select_seconds", answer->stats.selection_seconds);
+    report.Metric("ppa_seconds", answer->stats.generation_seconds);
+    report.Metric("total_seconds", answer->stats.selection_seconds +
+                                       answer->stats.generation_seconds);
+    report.Metric("tuples", static_cast<double>(answer->tuples.size()));
   }
+  report.Write();
   std::printf(
       "\nExpected shape: preference selection stays sub-millisecond at every\n"
       "scale (it depends on the profile, not the data); answer generation\n"

@@ -12,11 +12,21 @@
 //   \explain <n>                 explanation for tuple n of the last answer
 //   \plan <sql>                  physical plan the executor takes
 //   \analyze <sql>               EXPLAIN ANALYZE: plan + row counts + times
+//   \log                         structured query log of this session
+//   \flight                      flight recorder: recent spans and errors
+//   \trace <file> <sql>          personalize (PPA) and write a Chrome
+//                                trace-event JSON for ui.perfetto.dev
+//   \metrics                     Prometheus text exposition of all metrics
 //   \savedb <dir>                persist the database (manifest + CSVs)
 //   \quit
 //
+// Personalized answers run through a qp::serve::ServingContext session, so
+// repeated queries hit the selection/plan caches and every request lands in
+// the query log (\log) and the flight recorder (\flight).
+//
 // The shell starts with Al's profile (paper Figure 2) loaded.
 
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -31,9 +41,12 @@ using namespace qp;
 
 namespace {
 
+constexpr char kUser[] = "al";
+
 struct Shell {
   storage::Database* db;
-  core::UserProfile profile;
+  serve::ServingContext* ctx;
+  serve::Session* session;
   std::optional<core::PersonalizedAnswer> last_answer;
 
   void ListTables() {
@@ -54,22 +67,30 @@ struct Shell {
     std::cout << rows->ToString(15) << "(" << rows->num_rows() << " rows)\n";
   }
 
-  void Personalize(const std::string& args, core::AnswerAlgorithm algorithm) {
+  /// Parses "[K] [L] <sql>" into options + the query text; returns false
+  /// (after printing usage) when the prefix is malformed.
+  bool ParsePersonalizeArgs(const std::string& args, const char* usage,
+                            core::PersonalizeOptions* options,
+                            std::string* sql) {
     std::istringstream in(args);
+    if (!(in >> options->k >> options->l)) {
+      std::cout << "usage: " << usage << "\n";
+      return false;
+    }
+    std::getline(in, *sql);
+    *sql = std::string(Trim(*sql));
+    return true;
+  }
+
+  void Personalize(const std::string& args, core::AnswerAlgorithm algorithm) {
     core::PersonalizeOptions options;
     options.algorithm = algorithm;
-    if (!(in >> options.k >> options.l)) {
-      std::cout << "usage: \\personalize <K> <L> <sql>\n";
-      return;
-    }
     std::string sql;
-    std::getline(in, sql);
-    auto personalizer = core::Personalizer::Make(db, &profile);
-    if (!personalizer.ok()) {
-      std::cout << personalizer.status() << "\n";
+    if (!ParsePersonalizeArgs(args, "\\personalize <K> <L> <sql>", &options,
+                              &sql)) {
       return;
     }
-    auto answer = personalizer->Personalize(std::string(Trim(sql)), options);
+    auto answer = session->Personalize(sql, options);
     if (!answer.ok()) {
       std::cout << answer.status() << "\n";
       return;
@@ -106,6 +127,40 @@ struct Shell {
     std::cout << *plan;
   }
 
+  /// \trace <file> <sql>: personalize (PPA) with tracing on and export the
+  /// span tree as Chrome trace-event JSON loadable in ui.perfetto.dev.
+  void Trace(const std::string& args) {
+    std::istringstream in(args);
+    std::string path;
+    if (!(in >> path)) {
+      std::cout << "usage: \\trace <file> <sql>\n";
+      return;
+    }
+    std::string sql;
+    std::getline(in, sql);
+    sql = std::string(Trim(sql));
+    core::PersonalizeOptions options;
+    options.algorithm = core::AnswerAlgorithm::kPpa;
+    obs::TraceSpan root("personalize");
+    options.trace = &root;
+    auto answer = session->Personalize(sql, options);
+    if (!answer.ok()) {
+      std::cout << answer.status() << "\n";
+      return;
+    }
+    root.set_seconds(answer->stats.generation_seconds +
+                     answer->stats.selection_seconds);
+    std::ofstream out(path);
+    if (!out) {
+      std::cout << "cannot write " << path << "\n";
+      return;
+    }
+    out << TraceToChromeJson(root);
+    std::cout << "wrote " << path
+              << " (open in ui.perfetto.dev or chrome://tracing)\n";
+    last_answer = std::move(answer).value();
+  }
+
   void SaveDb(const std::string& dir) {
     auto status = storage::SaveDatabase(*db, dir);
     if (status.ok()) {
@@ -128,6 +183,29 @@ struct Shell {
     }
     std::cout << last_answer->ExplainTuple(n) << "\n";
   }
+
+  /// Replaces the session's profile by reopening the session (the caches
+  /// keyed by the old profile must not survive the swap).
+  void LoadProfile(const std::string& path) {
+    auto loaded = core::UserProfile::Load(path);
+    if (!loaded.ok()) {
+      std::cout << loaded.status() << "\n";
+      return;
+    }
+    auto status = ctx->CloseSession(kUser);
+    if (!status.ok()) {
+      std::cout << status << "\n";
+      return;
+    }
+    auto reopened = ctx->OpenSession(kUser, loaded.value());
+    if (!reopened.ok()) {
+      std::cout << reopened.status() << "\n";
+      return;
+    }
+    session = reopened.value();
+    std::cout << "loaded " << session->profile().NumPreferences()
+              << " preferences\n";
+  }
 };
 
 }  // namespace
@@ -146,7 +224,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Shell shell{&*db, std::move(al).value(), std::nullopt};
+  serve::ServingContext::Options ctx_options;
+  ctx_options.flight = &obs::FlightRecorder::Global();
+  serve::ServingContext ctx(&*db, ctx_options);
+  obs::FlightRecorder::Global().CaptureStatusErrors(true);
+  auto session = ctx.OpenSession(kUser, *al);
+  if (!session.ok()) {
+    std::cerr << "error: " << session.status() << "\n";
+    return 1;
+  }
+
+  Shell shell{&*db, &ctx, session.value(), std::nullopt};
   std::cout << "Movie database ready (" << config.num_movies
             << " movies). Type \\tables, \\personalize 5 2 select mid, title "
                "from movie, or plain SQL. \\quit exits.\n";
@@ -166,16 +254,9 @@ int main(int argc, char** argv) {
       if (cmd == "\\tables") {
         shell.ListTables();
       } else if (cmd == "\\profile") {
-        std::cout << shell.profile.Serialize();
+        std::cout << shell.session->profile().Serialize();
       } else if (cmd == "\\load") {
-        auto loaded = core::UserProfile::Load(std::string(Trim(args)));
-        if (loaded.ok()) {
-          shell.profile = std::move(loaded).value();
-          std::cout << "loaded " << shell.profile.NumPreferences()
-                    << " preferences\n";
-        } else {
-          std::cout << loaded.status() << "\n";
-        }
+        shell.LoadProfile(std::string(Trim(args)));
       } else if (cmd == "\\personalize") {
         shell.Personalize(args, core::AnswerAlgorithm::kPpa);
       } else if (cmd == "\\spa") {
@@ -186,6 +267,14 @@ int main(int argc, char** argv) {
         shell.Plan(std::string(Trim(args)));
       } else if (cmd == "\\analyze") {
         shell.Analyze(std::string(Trim(args)));
+      } else if (cmd == "\\trace") {
+        shell.Trace(args);
+      } else if (cmd == "\\log") {
+        std::cout << shell.ctx->query_log()->Dump();
+      } else if (cmd == "\\flight") {
+        std::cout << obs::FlightRecorder::Global().Dump();
+      } else if (cmd == "\\metrics") {
+        std::cout << shell.ctx->MetricsText();
       } else if (cmd == "\\savedb") {
         shell.SaveDb(std::string(Trim(args)));
       } else {

@@ -1,6 +1,22 @@
 #include "common/status.h"
 
+#include <atomic>
+
 namespace qp {
+
+namespace {
+std::atomic<StatusListener> g_status_listener{nullptr};
+}  // namespace
+
+StatusListener SetStatusListener(StatusListener listener) {
+  return g_status_listener.exchange(listener, std::memory_order_acq_rel);
+}
+
+void NotifyStatusListener(StatusCode code, const std::string& message) {
+  StatusListener listener =
+      g_status_listener.load(std::memory_order_acquire);
+  if (listener != nullptr) listener(code, message);
+}
 
 const char* StatusCodeName(StatusCode code) {
   switch (code) {

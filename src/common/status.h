@@ -46,6 +46,19 @@ const char* StatusCodeName(StatusCode code);
 /// without string-matching messages.
 bool IsRetryable(StatusCode code);
 
+/// Process-wide hook invoked every time a non-OK Status is ORIGINATED (the
+/// code+message constructor; copies and moves do not re-fire). This is the
+/// dependency-inversion seam that lets obs::FlightRecorder capture every
+/// error in the system without common depending on obs. The listener must
+/// be cheap, reentrancy-safe and must not construct error Statuses itself.
+/// Installation is atomic; pass nullptr to uninstall. Returns the previous
+/// listener so wrappers can chain or restore it.
+using StatusListener = void (*)(StatusCode code, const std::string& message);
+StatusListener SetStatusListener(StatusListener listener);
+/// Invokes the installed listener, if any, for a non-OK origination.
+/// Called by the Status constructor; exposed for tests.
+void NotifyStatusListener(StatusCode code, const std::string& message);
+
 /// \brief Outcome of an operation that can fail without a payload.
 ///
 /// A Status is cheap to copy in the OK case (no message allocation) and
@@ -56,7 +69,9 @@ class Status {
   Status() : code_(StatusCode::kOk) {}
 
   Status(StatusCode code, std::string message)
-      : code_(code), message_(std::move(message)) {}
+      : code_(code), message_(std::move(message)) {
+    if (code_ != StatusCode::kOk) NotifyStatusListener(code_, message_);
+  }
 
   static Status OK() { return Status(); }
   static Status InvalidArgument(std::string msg) {

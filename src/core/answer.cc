@@ -54,7 +54,10 @@ bool SameAnswerPayload(const PersonalizedAnswer& a,
   return a.columns == b.columns && a.tuples == b.tuples &&
          a.preferences == b.preferences &&
          a.stats.queries_executed == b.stats.queries_executed &&
-         a.stats.tuples_returned == b.stats.tuples_returned;
+         a.stats.tuples_returned == b.stats.tuples_returned &&
+         a.stats.rows_scanned == b.stats.rows_scanned &&
+         a.stats.rows_joined == b.stats.rows_joined &&
+         a.stats.rows_materialized == b.stats.rows_materialized;
 }
 
 }  // namespace qp::core

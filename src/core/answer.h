@@ -45,6 +45,16 @@ struct AnswerStats {
   double first_response_seconds = 0.0;
   size_t queries_executed = 0;
   size_t tuples_returned = 0;
+  // Resource accounting from the generation executor's ExecStats. Like
+  // queries_executed these are deterministic — identical at every thread
+  // count — so the query log can include them in its deterministic render.
+  size_t rows_scanned = 0;
+  size_t rows_joined = 0;
+  /// Rows materialized into operator outputs (ExecStats::rows_output).
+  size_t rows_materialized = 0;
+  /// Summed task wall time across workers (timing-derived; excluded from
+  /// every determinism comparison).
+  double thread_seconds = 0.0;
 };
 
 /// \brief A complete personalized answer.

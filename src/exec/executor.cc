@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "obs/trace_export.h"
 #include "sql/parser.h"
 
 namespace qp::exec {
@@ -253,13 +254,43 @@ Result<std::string> Executor::ExplainAnalyzeSql(const std::string& sql) const {
   return ExplainAnalyze(*q);
 }
 
+Result<std::string> Executor::ExplainAnalyzeChromeJson(
+    const sql::Query& query) const {
+  obs::TraceSpan root("query");
+  const auto t0 = std::chrono::steady_clock::now();
+  QP_ASSIGN_OR_RETURN(RowSet result, Execute(query, &root));
+  root.set_seconds(SecondsSince(t0));
+  root.AddAttr("rows", result.num_rows());
+  return obs::TraceToChromeJson(root);
+}
+
+Result<std::string> Executor::ExplainAnalyzeChromeJsonSql(
+    const std::string& sql) const {
+  QP_ASSIGN_OR_RETURN(sql::QueryPtr q, sql::ParseQuery(sql));
+  return ExplainAnalyzeChromeJson(*q);
+}
+
+void Executor::AddThreadSeconds(double s) const {
+  uint64_t old_bits = thread_seconds_bits_.load(std::memory_order_relaxed);
+  double old_value, new_value;
+  uint64_t new_bits;
+  do {
+    std::memcpy(&old_value, &old_bits, sizeof(old_value));
+    new_value = old_value + s;
+    std::memcpy(&new_bits, &new_value, sizeof(new_bits));
+  } while (!thread_seconds_bits_.compare_exchange_weak(
+      old_bits, new_bits, std::memory_order_relaxed));
+}
+
 Status Executor::RunTasks(std::vector<std::function<Status()>> tasks) const {
   if (tasks.empty()) return Status::OK();
   std::vector<Status> statuses(tasks.size());
   common::ThreadPool* pool = ActivePool();
   if (pool == nullptr || tasks.size() == 1) {
     for (size_t i = 0; i < tasks.size(); ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
       statuses[i] = tasks[i]();
+      AddThreadSeconds(SecondsSince(t0));
       if (!statuses[i].ok()) return statuses[i];
     }
     return Status::OK();
@@ -267,7 +298,11 @@ Status Executor::RunTasks(std::vector<std::function<Status()>> tasks) const {
   std::vector<std::function<void()>> wrapped;
   wrapped.reserve(tasks.size());
   for (size_t i = 0; i < tasks.size(); ++i) {
-    wrapped.emplace_back([&tasks, &statuses, i] { statuses[i] = tasks[i](); });
+    wrapped.emplace_back([this, &tasks, &statuses, i] {
+      const auto t0 = std::chrono::steady_clock::now();
+      statuses[i] = tasks[i]();
+      AddThreadSeconds(SecondsSince(t0));
+    });
   }
   pool->RunAll(std::move(wrapped));
   for (const Status& s : statuses) {
@@ -410,15 +445,24 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q,
       }
       QP_RETURN_IF_ERROR(RunTasks(std::move(tasks)));
       for (size_t n = 0; n < sub_nodes.size(); ++n) {
-        if (span != nullptr) span->Adopt(std::move(slots[n]));
+        // track n+1: slot n of the fan-out. The serial branch tags the same
+        // way, so the trace shape stays identical across thread counts.
+        if (span != nullptr) {
+          span->Adopt(std::move(slots[n]))->set_track(n + 1);
+        }
         subquery_sets.emplace(sub_nodes[n], std::move(sets[n]));
       }
       BumpSubqueries(sub_nodes.size());
     } else {
+      size_t sub_index = 0;
       for (const Expr* node : sub_nodes) {
         obs::TraceSpan* sub_span =
             span != nullptr ? span->AddChild(subquery_span_name(node))
                             : nullptr;
+        if (sub_span != nullptr && sub_nodes.size() > 1) {
+          sub_span->set_track(sub_index + 1);
+        }
+        ++sub_index;
         obs::SpanTimer sub_timer(sub_span);
         auto sub_result = Execute(*node->subquery(), sub_span);
         sub_timer.Stop();

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstring>
 #include <memory>
 
 #include "common/status.h"
@@ -142,6 +143,13 @@ class Executor {
   Result<std::string> ExplainAnalyze(const sql::Query& query) const;
   Result<std::string> ExplainAnalyzeSql(const std::string& sql) const;
 
+  /// EXPLAIN ANALYZE as Chrome trace-event JSON (obs::TraceToChromeJson):
+  /// runs the query with tracing on and renders the span tree for
+  /// ui.perfetto.dev / chrome://tracing, parallel subquery fan-outs on
+  /// their own tracks.
+  Result<std::string> ExplainAnalyzeChromeJson(const sql::Query& query) const;
+  Result<std::string> ExplainAnalyzeChromeJsonSql(const std::string& sql) const;
+
   const ExecOptions& options() const { return options_; }
 
   /// Snapshot of the cumulative counters.
@@ -161,6 +169,19 @@ class Executor {
     rows_joined_.store(0, std::memory_order_relaxed);
     rows_output_.store(0, std::memory_order_relaxed);
     subqueries_materialized_.store(0, std::memory_order_relaxed);
+    thread_seconds_bits_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Cumulative wall time spent inside RunTasks task bodies, summed across
+  /// all workers — the "thread-seconds" a query burned, as opposed to its
+  /// elapsed time. Deliberately NOT part of ExecStats: it is timing-derived
+  /// and would break ExecStats's cross-thread-count equality contract.
+  double thread_seconds() const {
+    uint64_t bits = thread_seconds_bits_.load(std::memory_order_relaxed);
+    double out;
+    static_assert(sizeof(out) == sizeof(bits));
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
   }
 
  private:
@@ -189,6 +210,10 @@ class Executor {
   /// returns its own Status. Returns the lowest-index failure — the same
   /// error a serial loop over the tasks would have reported first.
   Status RunTasks(std::vector<std::function<Status()>> tasks) const;
+
+  /// Accumulates one task's wall time into thread_seconds() (CAS loop over
+  /// raw double bits; atomic<double>::fetch_add is not portable).
+  void AddThreadSeconds(double s) const;
 
   /// Bulk counter accumulation, mirrored into the metrics registry when one
   /// is configured. Called at region boundaries, never per row.
@@ -225,6 +250,8 @@ class Executor {
   mutable std::atomic<size_t> rows_joined_{0};
   mutable std::atomic<size_t> rows_output_{0};
   mutable std::atomic<size_t> subqueries_materialized_{0};
+  /// Raw double bits of thread_seconds() (see AddThreadSeconds).
+  mutable std::atomic<uint64_t> thread_seconds_bits_{0};
   /// Registry mirrors of the counters above (null when no registry).
   obs::Counter* m_queries_ = nullptr;
   obs::Counter* m_rows_scanned_ = nullptr;

@@ -98,6 +98,27 @@ Histogram::Snapshot Histogram::snapshot() const {
   return snap;
 }
 
+double Histogram::Quantile(double p) const {
+  const Snapshot snap = snapshot();
+  if (snap.count == 0 || bounds_.empty()) return 0.0;
+  p = std::min(1.0, std::max(0.0, p));
+  const double rank = p * static_cast<double>(snap.count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < snap.buckets.size(); ++i) {
+    const double next = cumulative + static_cast<double>(snap.buckets[i]);
+    if (next >= rank && snap.buckets[i] > 0) {
+      if (i >= bounds_.size()) return bounds_.back();  // +Inf bucket
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double within =
+          (rank - cumulative) / static_cast<double>(snap.buckets[i]);
+      return lo + (hi - lo) * within;
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
+
 std::vector<double> DefaultLatencyBuckets() {
   // 1e-5s .. 10s, x10 per decade with 1/2.5/5 sub-steps.
   std::vector<double> bounds;
@@ -110,13 +131,125 @@ std::vector<double> DefaultLatencyBuckets() {
   return bounds;
 }
 
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string LabeledName(const std::string& base,
+                        const std::vector<MetricLabel>& labels) {
+  if (labels.empty()) return base;
+  std::string out = base + "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].key + "=\"" + EscapeLabelValue(labels[i].value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+/// The cardinality-overflow spelling of a labeled series: same keys, every
+/// value replaced by __other__. Parses the escaped label block (the only
+/// unescaped '"' characters are the value delimiters).
+std::string OverflowName(const std::string& name) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) return name;
+  std::string out = name.substr(0, brace + 1);
+  size_t i = brace + 1;
+  while (i < name.size() && name[i] != '}') {
+    const size_t eq = name.find('=', i);
+    if (eq == std::string::npos || name.size() <= eq + 1 ||
+        name[eq + 1] != '"') {
+      return name;  // not a label block we built; leave the name alone
+    }
+    out += name.substr(i, eq - i) + "=\"__other__\"";
+    size_t v = eq + 2;  // skip past the opening quote
+    while (v < name.size() &&
+           !(name[v] == '"' && name[v - 1] != '\\')) {
+      ++v;
+    }
+    i = v + 1;
+    if (i < name.size() && name[i] == ',') {
+      out += ",";
+      ++i;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+size_t MetricsRegistry::LabeledCountLocked(const std::string& base) const {
+  const std::string prefix = base + "{";
+  size_t n = 0;
+  for (const auto& entry : counters_) {
+    if (entry.name.compare(0, prefix.size(), prefix) == 0 &&
+        entry.name != OverflowName(entry.name)) {
+      ++n;
+    }
+  }
+  for (const auto& entry : histograms_) {
+    if (entry.name.compare(0, prefix.size(), prefix) == 0 &&
+        entry.name != OverflowName(entry.name)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string MetricsRegistry::CappedName(const std::string& name,
+                                        bool exists) const {
+  if (exists || label_limit_ == 0) return name;
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) return name;  // unlabeled: never capped
+  const std::string overflow = OverflowName(name);
+  if (overflow == name) return name;  // already the overflow series
+  if (LabeledCountLocked(name.substr(0, brace)) < label_limit_) return name;
+  return overflow;
+}
+
+void MetricsRegistry::SetLabelCardinalityLimit(size_t limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  label_limit_ = limit;
+}
+
+size_t MetricsRegistry::label_cardinality_limit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return label_limit_;
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& entry : counters_) {
     if (entry.name == name) return entry.counter.get();
   }
-  counters_.push_back({name, help, std::make_unique<Counter>()});
+  const std::string capped = CappedName(name, /*exists=*/false);
+  if (capped != name) {
+    for (auto& entry : counters_) {
+      if (entry.name == capped) return entry.counter.get();
+    }
+  }
+  counters_.push_back({capped, help, std::make_unique<Counter>()});
   return counters_.back().counter.get();
 }
 
@@ -127,9 +260,27 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   for (auto& entry : histograms_) {
     if (entry.name == name) return entry.histogram.get();
   }
+  const std::string capped = CappedName(name, /*exists=*/false);
+  if (capped != name) {
+    for (auto& entry : histograms_) {
+      if (entry.name == capped) return entry.histogram.get();
+    }
+  }
   histograms_.push_back(
-      {name, help, std::make_unique<Histogram>(std::move(bounds))});
+      {capped, help, std::make_unique<Histogram>(std::move(bounds))});
   return histograms_.back().histogram.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& base,
+                                     const std::vector<MetricLabel>& labels,
+                                     const std::string& help) {
+  return GetCounter(LabeledName(base, labels), help);
+}
+
+Histogram* MetricsRegistry::GetHistogram(
+    const std::string& base, const std::vector<MetricLabel>& labels,
+    std::vector<double> bounds, const std::string& help) {
+  return GetHistogram(LabeledName(base, labels), std::move(bounds), help);
 }
 
 std::string MetricsRegistry::RenderText() const {

@@ -69,6 +69,14 @@ class Histogram {
   };
   Snapshot snapshot() const;
 
+  /// Estimates the p-quantile (p in [0, 1]) of the observed distribution the
+  /// way Prometheus' histogram_quantile does: find the bucket the rank
+  /// p * count falls in and interpolate linearly inside it (the first
+  /// bucket's lower edge is 0). A rank landing in the +Inf bucket returns
+  /// the highest finite bound; an empty histogram returns 0. This is the
+  /// estimator behind QueryLog's adaptive slow-query threshold.
+  double Quantile(double p) const;
+
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<uint64_t>> buckets_;  ///< bounds_.size() + 1
@@ -81,6 +89,24 @@ class Histogram {
 /// Default latency buckets for wall-clock seconds: exponential from 10us
 /// to ~10s, the range a Personalize call or an executor query can span.
 std::vector<double> DefaultLatencyBuckets();
+
+/// One label of a metric series, held raw (unescaped); escaping happens at
+/// name-construction / exposition time.
+struct MetricLabel {
+  std::string key;
+  std::string value;
+};
+
+/// Escapes a label value for Prometheus text exposition per the spec:
+/// backslash -> \\, double quote -> \", newline -> \n.
+std::string EscapeLabelValue(const std::string& value);
+
+/// Builds the full series name `base{key="value",...}` with every value
+/// escaped. This is THE way to register a series keyed by runtime data
+/// (user ids, table names): raw ids with quotes, backslashes or newlines
+/// would otherwise corrupt the exposition format.
+std::string LabeledName(const std::string& base,
+                        const std::vector<MetricLabel>& labels);
 
 /// \brief Name -> metric registry with stable pointers.
 class MetricsRegistry {
@@ -98,6 +124,27 @@ class MetricsRegistry {
   /// `bounds` on first use (later calls reuse the existing buckets).
   Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
                           const std::string& help = "");
+
+  /// Labeled spellings: the series name is LabeledName(base, labels) (label
+  /// values escaped), and creation is subject to the cardinality cap — once
+  /// `label_cardinality_limit()` distinct labeled series exist under `base`,
+  /// NEW series are rerouted to the overflow series with every label value
+  /// replaced by "__other__" (so a process serving millions of users exposes
+  /// at most limit + 1 series per base, and no sample is ever dropped).
+  /// Existing series keep resolving to their own pointer forever.
+  Counter* GetCounter(const std::string& base,
+                      const std::vector<MetricLabel>& labels,
+                      const std::string& help = "");
+  Histogram* GetHistogram(const std::string& base,
+                          const std::vector<MetricLabel>& labels,
+                          std::vector<double> bounds,
+                          const std::string& help = "");
+
+  /// Per-base cap on distinct labeled series (default 1024). The overflow
+  /// series does not count against the cap. Applies to labeled creations
+  /// through both the labeled API and raw `base{...}` names.
+  void SetLabelCardinalityLimit(size_t limit);
+  size_t label_cardinality_limit() const;
 
   /// Prometheus text exposition of every registered series, in
   /// registration order, grouped by base name.
@@ -120,7 +167,14 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  /// Applies the cardinality cap to `name` (must hold mu_): returns `name`
+  /// unchanged while the base is under the limit or the series already
+  /// exists, else the `__other__` overflow name.
+  std::string CappedName(const std::string& name, bool exists) const;
+  size_t LabeledCountLocked(const std::string& base) const;
+
   mutable std::mutex mu_;
+  size_t label_limit_ = 1024;
   std::vector<CounterEntry> counters_;
   std::vector<HistogramEntry> histograms_;
 };

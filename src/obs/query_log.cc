@@ -1,0 +1,148 @@
+#include "obs/query_log.h"
+
+#include <cstdio>
+#include <limits>
+
+namespace qp::obs {
+
+namespace {
+
+/// FNV-1a over the fingerprint string, then a splitmix64 finalizer over the
+/// combination with the sequence number. Deterministic by construction —
+/// the sampling decision for request #n of a given query is the same on
+/// every run and at every thread count.
+uint64_t MixFingerprintSeq(const std::string& fingerprint, uint64_t seq) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : fingerprint) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  uint64_t z = h ^ (seq + 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+void AppendField(const char* key, const std::string& value,
+                 std::string* out) {
+  if (!out->empty() && out->back() != ' ') out->push_back(' ');
+  out->append(key);
+  out->push_back('=');
+  out->append(value);
+}
+
+void AppendField(const char* key, uint64_t value, std::string* out) {
+  AppendField(key, std::to_string(value), out);
+}
+
+void AppendField(const char* key, bool value, std::string* out) {
+  AppendField(key, std::string(value ? "true" : "false"), out);
+}
+
+void AppendSeconds(const char* key, double value, std::string* out) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  AppendField(key, std::string(buf), out);
+}
+
+}  // namespace
+
+std::string QueryLogRecord::DeterministicString() const {
+  std::string out;
+  AppendField("seq", seq, &out);
+  AppendField("user", user_id, &out);
+  AppendField("fingerprint", fingerprint, &out);
+  AppendField("algorithm", algorithm, &out);
+  AppendField("k", static_cast<uint64_t>(k), &out);
+  AppendField("l", static_cast<uint64_t>(l), &out);
+  AppendField("selected_preferences",
+              static_cast<uint64_t>(selected_preferences), &out);
+  AppendField("state_reused", state_reused, &out);
+  AppendField("selection_cache_hit", selection_cache_hit, &out);
+  AppendField("plan_cache_hit", plan_cache_hit, &out);
+  AppendField("rows_returned", static_cast<uint64_t>(rows_returned), &out);
+  AppendField("subqueries_executed",
+              static_cast<uint64_t>(subqueries_executed), &out);
+  AppendField("rows_scanned", static_cast<uint64_t>(rows_scanned), &out);
+  AppendField("rows_joined", static_cast<uint64_t>(rows_joined), &out);
+  AppendField("rows_materialized", static_cast<uint64_t>(rows_materialized),
+              &out);
+  AppendField("sampled", sampled, &out);
+  return out;
+}
+
+std::string QueryLogRecord::ToString() const {
+  std::string out = DeterministicString();
+  AppendField("slow", slow, &out);
+  AppendSeconds("total_seconds", total_seconds, &out);
+  AppendSeconds("state_seconds", state_seconds, &out);
+  AppendSeconds("selection_seconds", selection_seconds, &out);
+  AppendSeconds("plan_seconds", plan_seconds, &out);
+  AppendSeconds("execute_seconds", execute_seconds, &out);
+  AppendSeconds("thread_seconds", thread_seconds, &out);
+  return out;
+}
+
+QueryLog::QueryLog() : QueryLog(Options()) {}
+
+QueryLog::QueryLog(Options options)
+    : options_(options),
+      latency_(DefaultLatencyBuckets()),
+      ring_(options.capacity) {}
+
+bool QueryLog::WouldSample(const std::string& fingerprint,
+                           uint64_t seq) const {
+  if (options_.sample_rate >= 1.0) return true;
+  if (options_.sample_rate <= 0.0) return false;
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(MixFingerprintSeq(fingerprint, seq) >>
+                                       11) *
+                   0x1.0p-53;
+  return u < options_.sample_rate;
+}
+
+double QueryLog::SlowThreshold() const {
+  if (options_.slow_seconds.has_value()) {
+    // <= 0 means "never slow" (the caller disabled the always-keep path).
+    return *options_.slow_seconds > 0.0
+               ? *options_.slow_seconds
+               : std::numeric_limits<double>::infinity();
+  }
+  const auto snap = latency_.snapshot();
+  if (snap.count < options_.adaptive_min_count) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return latency_.Quantile(options_.adaptive_quantile);
+}
+
+bool QueryLog::Record(QueryLogRecord record) {
+  record.seq = seen_.fetch_add(1, std::memory_order_relaxed);
+  // Threshold is read BEFORE this request's latency is observed, so a
+  // request never raises the bar it is itself judged against.
+  const double threshold = SlowThreshold();
+  latency_.Observe(record.total_seconds);
+  record.sampled = WouldSample(record.fingerprint, record.seq);
+  record.slow = record.total_seconds >= threshold;
+  if (!record.sampled && !record.slow) return false;
+  retained_.fetch_add(1, std::memory_order_relaxed);
+  ring_.Append(std::move(record));
+  return true;
+}
+
+std::vector<QueryLogRecord> QueryLog::Snapshot() const {
+  return ring_.Snapshot();
+}
+
+std::string QueryLog::Dump() const {
+  const std::vector<QueryLogRecord> records = Snapshot();
+  std::string out = "query log: seen=" + std::to_string(seen()) +
+                    " retained=" + std::to_string(retained()) +
+                    " showing=" + std::to_string(records.size()) + "\n";
+  for (const auto& record : records) {
+    out += record.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace qp::obs

@@ -1,0 +1,85 @@
+// Bounded overwrite ring shared by QueryLog and FlightRecorder: a
+// fixed-capacity buffer that keeps the most recent `capacity` entries and
+// silently overwrites the oldest when full — the flight-recorder semantic,
+// not a queue (nothing is ever popped; readers take snapshots).
+//
+// Concurrency: the append path claims a slot with a single atomic
+// fetch_add, so concurrent producers never contend on a shared lock. Each
+// slot carries its own mutex guarding the (non-atomic) payload write; it is
+// uncontended unless two producers collide on the same slot, which requires
+// one of them to lag a full lap of the ring. A writer that discovers the
+// slot already holds a NEWER ticket (it was lapped while stalled) drops its
+// entry rather than clobbering fresher data. Snapshot() locks slots one at
+// a time and orders entries by ticket, so readers never block the whole
+// ring and always see whole entries (payloads are copied under the slot
+// lock — no torn strings).
+
+#pragma once
+
+#include <atomic>
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace qp::obs {
+
+template <typename T>
+class OverwriteRing {
+ public:
+  explicit OverwriteRing(size_t capacity) : capacity_(capacity) {
+    if (capacity_ > 0) slots_ = std::make_unique<Slot[]>(capacity_);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Total entries ever appended (retained + overwritten).
+  uint64_t seen() const { return next_.load(std::memory_order_relaxed); }
+
+  /// Appends `value`, overwriting the oldest entry when full. Returns the
+  /// entry's ticket (0-based admission sequence). No-op when capacity is 0.
+  uint64_t Append(T value) {
+    if (capacity_ == 0) return 0;
+    const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = slots_[ticket % capacity_];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (slot.used && slot.ticket > ticket) return ticket;  // lapped: drop
+    slot.ticket = ticket;
+    slot.used = true;
+    slot.value = std::move(value);
+    return ticket;
+  }
+
+  /// The retained entries, oldest first (by ticket).
+  std::vector<T> Snapshot() const {
+    std::vector<std::pair<uint64_t, T>> entries;
+    entries.reserve(capacity_);
+    for (size_t i = 0; i < capacity_; ++i) {
+      Slot& slot = slots_[i];
+      std::lock_guard<std::mutex> lock(slot.mu);
+      if (slot.used) entries.emplace_back(slot.ticket, slot.value);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<T> out;
+    out.reserve(entries.size());
+    for (auto& e : entries) out.push_back(std::move(e.second));
+    return out;
+  }
+
+ private:
+  struct Slot {
+    mutable std::mutex mu;
+    uint64_t ticket = 0;
+    bool used = false;
+    T value{};
+  };
+
+  const size_t capacity_;
+  std::atomic<uint64_t> next_{0};
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace qp::obs

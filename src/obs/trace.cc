@@ -82,6 +82,7 @@ std::string TraceSpan::RenderChildren(bool analyze) const {
 
 bool TraceSpan::SameShape(const TraceSpan& other) const {
   if (name_ != other.name_ || attrs_ != other.attrs_ ||
+      track_ != other.track_ ||
       children_.size() != other.children_.size()) {
     return false;
   }

@@ -44,6 +44,14 @@ class TraceSpan {
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
+  /// Parallel-track hint for trace export: 0 (the default) renders on the
+  /// parent's track, i > 0 marks this span as slot i of a parallel fan-out
+  /// and TraceToChromeJson gives it its own track (tid). Fan-out sites set
+  /// it from the slot index in BOTH their parallel and serial branches, so
+  /// it is part of the deterministic shape (SameShape compares it).
+  size_t track() const { return track_; }
+  void set_track(size_t track) { track_ = track; }
+
   /// Wall time of the span. Excluded from deterministic renders and from
   /// SameShape — it is the only field allowed to vary between runs.
   double seconds() const { return seconds_; }
@@ -67,6 +75,18 @@ class TraceSpan {
   size_t num_children() const { return children_.size(); }
   const TraceSpan& child(size_t i) const { return *children_[i]; }
   TraceSpan& child(size_t i) { return *children_[i]; }
+
+  /// Transplants this span's children (e.g. from a privately owned root
+  /// into a caller-provided sink): TakeChildren empties this span and
+  /// AdoptChildren appends the batch preserving order. This is how
+  /// serve::Session records a query-log trace and still honors the caller's
+  /// PersonalizeOptions::trace in one pass.
+  std::vector<std::unique_ptr<TraceSpan>> TakeChildren() {
+    return std::move(children_);
+  }
+  void AdoptChildren(std::vector<std::unique_ptr<TraceSpan>> children) {
+    for (auto& child : children) children_.push_back(std::move(child));
+  }
 
   /// Renders the subtree, one line per span, children indented two spaces.
   /// `analyze` additionally prints "(k=v, ...)" attributes and "[x.xxx ms]"
@@ -93,6 +113,7 @@ class TraceSpan {
 
   std::string name_;
   double seconds_ = 0.0;
+  size_t track_ = 0;
   std::vector<std::pair<std::string, std::string>> attrs_;
   std::vector<std::unique_ptr<TraceSpan>> children_;
 };

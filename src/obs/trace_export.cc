@@ -1,0 +1,185 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+namespace qp::obs {
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Microseconds with sub-microsecond precision; Chrome accepts fractional
+/// ts/dur.
+std::string FormatMicros(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+class Exporter {
+ public:
+  explicit Exporter(const ChromeTraceOptions& options) : options_(options) {}
+
+  /// Lays out `span` starting at `ts` (us) on `tid`, emits its event and
+  /// recursively its children's, and returns the span's effective duration
+  /// (its own recorded time, stretched to cover its children's extent).
+  double Layout(const TraceSpan& span, double ts, int tid) {
+    UseTid(tid, tid == 0 ? "main" : "");
+    double cursor = ts;
+    size_t i = 0;
+    while (i < span.num_children()) {
+      const TraceSpan& child = span.child(i);
+      if (child.track() == 0) {
+        cursor += Layout(child, cursor, tid);
+        ++i;
+        continue;
+      }
+      // A maximal consecutive run of parallel slots: all start at the
+      // fan-out point, each on a fresh synthetic thread; the run's extent
+      // is the slowest slot.
+      double run_extent = 0.0;
+      while (i < span.num_children() && span.child(i).track() > 0) {
+        const TraceSpan& slot = span.child(i);
+        const int slot_tid = next_tid_++;
+        UseTid(slot_tid, "slot " + std::to_string(slot.track()));
+        run_extent = std::max(run_extent, Layout(slot, cursor, slot_tid));
+        ++i;
+      }
+      cursor += run_extent;
+    }
+    const double duration = std::max(span.seconds() * 1e6, cursor - ts);
+    EmitComplete(span, ts, duration, tid);
+    return duration;
+  }
+
+  /// Lays out the children of `root` sequentially from ts 0 on tid 0
+  /// without emitting the root itself.
+  void LayoutChildrenOnly(const TraceSpan& root) {
+    double cursor = 0.0;
+    UseTid(0, "main");
+    size_t i = 0;
+    while (i < root.num_children()) {
+      const TraceSpan& child = root.child(i);
+      if (child.track() == 0) {
+        cursor += Layout(child, cursor, 0);
+        ++i;
+        continue;
+      }
+      double run_extent = 0.0;
+      while (i < root.num_children() && root.child(i).track() > 0) {
+        const TraceSpan& slot = root.child(i);
+        const int slot_tid = next_tid_++;
+        UseTid(slot_tid, "slot " + std::to_string(slot.track()));
+        run_extent = std::max(run_extent, Layout(slot, cursor, slot_tid));
+        ++i;
+      }
+      cursor += run_extent;
+    }
+  }
+
+  std::string Finish() {
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    // Metadata first: process name, then one thread_name per tid used.
+    std::string meta = "{\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+                       "\"name\":\"process_name\",\"args\":{\"name\":";
+    AppendJsonString(options_.process_name, &meta);
+    meta += "}}";
+    Append(std::move(meta), &first, &out);
+    for (const auto& [tid, name] : tids_) {
+      std::string event = "{\"ph\":\"M\",\"pid\":1,\"tid\":" +
+                          std::to_string(tid) +
+                          ",\"name\":\"thread_name\",\"args\":{\"name\":";
+      AppendJsonString(name.empty() ? "track " + std::to_string(tid) : name,
+                       &event);
+      event += "}}";
+      Append(std::move(event), &first, &out);
+    }
+    for (auto& event : events_) Append(std::move(event), &first, &out);
+    out += "]}";
+    return out;
+  }
+
+ private:
+  void UseTid(int tid, const std::string& name) {
+    for (auto& entry : tids_) {
+      if (entry.first == tid) return;
+    }
+    tids_.emplace_back(tid, name);
+  }
+
+  void EmitComplete(const TraceSpan& span, double ts, double dur, int tid) {
+    std::string event = "{\"ph\":\"X\",\"pid\":1,\"tid\":" +
+                        std::to_string(tid) + ",\"ts\":" + FormatMicros(ts) +
+                        ",\"dur\":" + FormatMicros(dur) + ",\"name\":";
+    AppendJsonString(span.name(), &event);
+    if (options_.include_attrs && !span.attrs().empty()) {
+      event += ",\"args\":{";
+      for (size_t i = 0; i < span.attrs().size(); ++i) {
+        if (i > 0) event += ",";
+        AppendJsonString(span.attrs()[i].first, &event);
+        event += ":";
+        AppendJsonString(span.attrs()[i].second, &event);
+      }
+      event += "}";
+    }
+    event += "}";
+    events_.push_back(std::move(event));
+  }
+
+  static void Append(std::string event, bool* first, std::string* out) {
+    if (!*first) out->push_back(',');
+    *first = false;
+    out->append(event);
+  }
+
+  const ChromeTraceOptions& options_;
+  int next_tid_ = 1;
+  std::vector<std::pair<int, std::string>> tids_;  ///< tid -> display name
+  std::vector<std::string> events_;
+};
+
+}  // namespace
+
+std::string TraceToChromeJson(const TraceSpan& root,
+                              const ChromeTraceOptions& options) {
+  Exporter exporter(options);
+  if (options.skip_root) {
+    exporter.LayoutChildrenOnly(root);
+  } else {
+    exporter.Layout(root, 0.0, 0);
+  }
+  return exporter.Finish();
+}
+
+}  // namespace qp::obs

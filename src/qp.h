@@ -23,8 +23,11 @@
 #include "common/status.h"
 #include "core/personalizer.h"
 #include "core/pipeline.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "serve/serving_context.h"
 #include "sql/parser.h"
 
@@ -38,8 +41,11 @@ using core::PersonalizeOptions;
 using core::Personalizer;
 using core::SelectionAlgorithm;
 using core::UserProfile;
+using obs::FlightRecorder;
 using obs::MetricsRegistry;
+using obs::QueryLog;
 using obs::TraceSpan;
+using obs::TraceToChromeJson;
 using serve::ServeCounters;
 using serve::ServingContext;
 using serve::Session;

@@ -1,6 +1,7 @@
 #include "serve/serving_context.h"
 
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 namespace qp::serve {
@@ -45,15 +46,38 @@ std::string PlanKey(const std::string& selection_key,
          "|alg=" + std::to_string(static_cast<int>(options.algorithm));
 }
 
+/// Query fingerprint for the query log: FNV-1a of the plan key (canonical
+/// query text + every option that shapes the answer), rendered as 16 hex
+/// digits. Deterministic across runs and thread counts by construction.
+std::string FingerprintOf(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+double SecondsSince(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 ServingContext::ServingContext(const storage::Database* db)
     : ServingContext(db, Options()) {}
 
 ServingContext::ServingContext(const storage::Database* db, Options options)
-    : db_(db), stats_(db) {
+    : db_(db), options_(options), stats_(db) {
   if (options.num_threads > 1) {
     pool_ = std::make_unique<common::ThreadPool>(options.num_threads - 1);
+  }
+  if (options.query_log_enabled) {
+    query_log_ = std::make_unique<obs::QueryLog>(options.query_log);
   }
   personalize_calls_ = metrics_.GetCounter("qp_serve_personalize_calls_total",
                                            "Personalize calls served");
@@ -71,13 +95,37 @@ ServingContext::ServingContext(const storage::Database* db, Options options)
   epoch_invalidations_ = metrics_.GetCounter(
       "qp_serve_epoch_invalidations_total",
       "Snapshot rebuilds forced by a profile- or stats-epoch change");
+  q_rows_scanned_ = metrics_.GetCounter(
+      "qp_query_rows_scanned_total",
+      "Rows scanned during answer generation, summed per request");
+  q_rows_joined_ = metrics_.GetCounter(
+      "qp_query_rows_joined_total",
+      "Rows produced by join steps during answer generation");
+  q_rows_materialized_ = metrics_.GetCounter(
+      "qp_query_rows_materialized_total",
+      "Rows materialized into operator outputs during answer generation");
+  q_subqueries_ = metrics_.GetCounter(
+      "qp_query_subqueries_total",
+      "Subqueries executed during answer generation");
+  q_rows_returned_ = metrics_.GetCounter("qp_query_rows_returned_total",
+                                         "Answer tuples returned to callers");
+  q_log_retained_ = metrics_.GetCounter(
+      "qp_query_log_retained_total",
+      "Query-log records retained (sampled or slow)");
+  q_thread_seconds_ = metrics_.GetHistogram(
+      "qp_query_thread_seconds", obs::DefaultLatencyBuckets(),
+      "Per-request thread-seconds (task wall time summed across workers)");
 }
 
 Session::Session(ServingContext* ctx, std::string user_id,
                  core::UserProfile profile)
     : ctx_(ctx), user_id_(std::move(user_id)), profile_(std::move(profile)) {
+  // Labeled registration: the user id is runtime data, so it goes through
+  // the escaping + cardinality-capped API — a flood of distinct users lands
+  // in the user="__other__" overflow series instead of growing the registry
+  // without bound.
   latency_ = ctx_->metrics_.GetHistogram(
-      "qp_serve_personalize_seconds{user=\"" + user_id_ + "\"}",
+      "qp_serve_personalize_seconds", {{"user", user_id_}},
       obs::DefaultLatencyBuckets(), "Per-user personalize latency");
 }
 
@@ -165,15 +213,70 @@ Result<PersonalizedAnswer> Session::Personalize(
   if (ctx_->pool_ != nullptr) opts.exec.pool = ctx_->pool_.get();
   if (opts.exec.metrics == nullptr) opts.exec.metrics = &ctx_->metrics_;
 
+  // Stage latencies are measured with plain timers inside PersonalizeImpl
+  // (not lifted from a trace tree), so logging never forces the executor to
+  // build its per-operator span tree — that price is paid only when the
+  // caller attaches opts.trace.
+  obs::QueryLog* log = ctx_->query_log_.get();
+  obs::QueryLogRecord record;
+  auto result =
+      PersonalizeImpl(query, opts, log != nullptr ? &record : nullptr);
+  const double total_seconds = SecondsSince(call_start);
+  if (result.ok()) latency_->Observe(total_seconds);
+
+  if (ctx_->options_.flight != nullptr) {
+    ctx_->options_.flight->Record(
+        obs::FlightEventKind::kSpan, "serve",
+        "personalize user=" + user_id_ +
+            (result.ok() ? "" : " -> " + result.status().ToString()),
+        total_seconds);
+  }
+
+  if (log != nullptr) {
+    if (result.ok()) {
+      const core::AnswerStats& stats = result.value().stats;
+      record.user_id = user_id_;
+      record.rows_returned = result.value().tuples.size();
+      record.subqueries_executed = stats.queries_executed;
+      record.rows_scanned = stats.rows_scanned;
+      record.rows_joined = stats.rows_joined;
+      record.rows_materialized = stats.rows_materialized;
+      record.thread_seconds = stats.thread_seconds;
+      record.total_seconds = total_seconds;
+      ctx_->q_rows_scanned_->Increment(stats.rows_scanned);
+      ctx_->q_rows_joined_->Increment(stats.rows_joined);
+      ctx_->q_rows_materialized_->Increment(stats.rows_materialized);
+      ctx_->q_subqueries_->Increment(stats.queries_executed);
+      ctx_->q_rows_returned_->Increment(record.rows_returned);
+      ctx_->q_thread_seconds_->Observe(stats.thread_seconds);
+      if (log->Record(std::move(record))) {
+        ctx_->q_log_retained_->Increment();
+      }
+    }
+  }
+  return result;
+}
+
+Result<PersonalizedAnswer> Session::PersonalizeImpl(
+    const sql::SelectQuery& query, const PersonalizeOptions& options,
+    obs::QueryLogRecord* record) {
+  const PersonalizeOptions& opts = options;
   const uint64_t profile_epoch = profile_.epoch();
   const uint64_t stats_epoch = ctx_->stats_.Epoch();
   obs::TraceSpan* state_span =
       opts.trace != nullptr ? opts.trace->AddChild("session state") : nullptr;
-  obs::SpanTimer state_timer(state_span);
+  const auto state_start = std::chrono::steady_clock::now();
+  const std::shared_ptr<const State> prior =
+      state_.load(std::memory_order_acquire);
   QP_ASSIGN_OR_RETURN(std::shared_ptr<const State> state,
                       CurrentState(profile_epoch, stats_epoch));
-  state_timer.Stop();
+  const double state_seconds = SecondsSince(state_start);
+  if (record != nullptr) {
+    record->state_reused = (state == prior);
+    record->state_seconds = state_seconds;
+  }
   if (state_span != nullptr) {
+    state_span->set_seconds(state_seconds);
     state_span->AddAttr("profile_epoch", static_cast<size_t>(profile_epoch));
     state_span->AddAttr("stats_epoch", static_cast<size_t>(stats_epoch));
   }
@@ -216,11 +319,19 @@ Result<PersonalizedAnswer> Session::Personalize(
   QP_RETURN_IF_ERROR(core::ValidateSelection(*preferences, opts));
 
   const std::string plan_key = PlanKey(selection_key, opts);
+  if (record != nullptr) {
+    record->fingerprint = FingerprintOf(plan_key);
+    record->k = opts.k;
+    record->l = opts.l;
+    record->selected_preferences = preferences->size();
+    record->selection_cache_hit = selection_cached;
+    record->selection_seconds = selection_seconds;
+  }
   std::shared_ptr<const core::IntegrationPlan> plan;
   bool plan_cached = true;
   obs::TraceSpan* plan_span =
       opts.trace != nullptr ? opts.trace->AddChild("plan") : nullptr;
-  obs::SpanTimer plan_timer(plan_span);
+  const auto plan_start = std::chrono::steady_clock::now();
   if (auto it = state->plans.find(plan_key); it != state->plans.end()) {
     plan = it->second;
     ctx_->plan_cache_hits_->Increment();
@@ -233,22 +344,27 @@ Result<PersonalizedAnswer> Session::Personalize(
     plan = std::make_shared<const core::IntegrationPlan>(std::move(built));
     StorePlan(state, plan_key, plan);
   }
-  plan_timer.Stop();
+  const double plan_seconds = SecondsSince(plan_start);
   if (plan_span != nullptr) {
+    plan_span->set_seconds(plan_seconds);
     plan_span->AddAttr("cached", plan_cached ? "true" : "false");
     plan_span->AddAttr(
         "algorithm",
         plan->algorithm == core::AnswerAlgorithm::kSpa ? "spa" : "ppa");
   }
+  if (record != nullptr) {
+    record->plan_cache_hit = plan_cached;
+    record->plan_seconds = plan_seconds;
+    record->algorithm =
+        plan->algorithm == core::AnswerAlgorithm::kSpa ? "spa" : "ppa";
+  }
 
+  const auto execute_start = std::chrono::steady_clock::now();
   QP_ASSIGN_OR_RETURN(PersonalizedAnswer answer,
                       core::ExecuteIntegrationPlan(ctx_->db_, *plan, opts,
                                                    resolved));
+  if (record != nullptr) record->execute_seconds = SecondsSince(execute_start);
   core::FinalizeAnswer(resolved, selection_seconds, answer);
-  latency_->Observe(
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    call_start)
-          .count());
   return answer;
 }
 

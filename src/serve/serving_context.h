@@ -52,7 +52,9 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "stats/table_stats.h"
 
 namespace qp::serve {
@@ -132,6 +134,17 @@ class Session {
 
   Session(ServingContext* ctx, std::string user_id, core::UserProfile profile);
 
+  /// The whole pipeline body of Personalize. Fills the deterministic
+  /// request-identity fields of `record` (fingerprint, algorithm, K/L,
+  /// selected-preference count, cache hit flags) and the per-stage timings
+  /// (measured with plain timers, not trace spans, so logging never forces
+  /// executor span-tree construction) as it goes; the public wrapper adds
+  /// the total/resource fields and hands the record to the context's
+  /// QueryLog.
+  Result<core::PersonalizedAnswer> PersonalizeImpl(
+      const sql::SelectQuery& query, const core::PersonalizeOptions& opts,
+      obs::QueryLogRecord* record);
+
   /// Returns a state whose epochs match (profile_epoch, stats_epoch),
   /// rebuilding the graph and/or dropping caches as needed.
   Result<std::shared_ptr<const State>> CurrentState(uint64_t profile_epoch,
@@ -166,6 +179,17 @@ class ServingContext {
     /// Parallelism of the shared pool all sessions' queries and probes run
     /// on. 1 = serial (no pool); N spawns N - 1 workers that callers join.
     size_t num_threads = 1;
+    /// Structured per-request query log (obs::QueryLog). Enabled by
+    /// default; disabling removes every per-call logging cost (no record
+    /// assembly, no fingerprint hash) for overhead benchmarking.
+    bool query_log_enabled = true;
+    /// Capacity / sampling / slow-threshold knobs of the query log; only
+    /// consulted when query_log_enabled.
+    obs::QueryLog::Options query_log;
+    /// Optional flight recorder (not owned; must outlive the context).
+    /// When set, every Personalize call records a span event into it —
+    /// pair with FlightRecorder::CaptureStatusErrors for error capture.
+    obs::FlightRecorder* flight = nullptr;
   };
 
   explicit ServingContext(const storage::Database* db);
@@ -191,9 +215,19 @@ class ServingContext {
   common::ThreadPool* pool() { return pool_.get(); }
 
   /// The context's metrics registry: the qp_serve_* counters, the per-user
-  /// qp_serve_personalize_seconds histograms, and the qp_exec_* counters of
-  /// every executor sessions run. Callers may register their own series.
+  /// qp_serve_personalize_seconds histograms (cardinality-capped; overflow
+  /// users share the user="__other__" series), the qp_query_* per-request
+  /// resource series, and the qp_exec_* counters of every executor sessions
+  /// run. Callers may register their own series.
   obs::MetricsRegistry* metrics() { return &metrics_; }
+
+  /// The context's query log; null when Options::query_log_enabled is
+  /// false.
+  obs::QueryLog* query_log() { return query_log_.get(); }
+  const obs::QueryLog* query_log() const { return query_log_.get(); }
+
+  /// The flight recorder injected via Options (null when none).
+  obs::FlightRecorder* flight() { return options_.flight; }
 
   /// Prometheus text exposition of every metric in the registry — what a
   /// /metrics endpoint would serve.
@@ -218,9 +252,11 @@ class ServingContext {
   friend class Session;
 
   const storage::Database* db_;
+  Options options_;
   stats::StatsManager stats_;
   std::unique_ptr<common::ThreadPool> pool_;
   obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::QueryLog> query_log_;
 
   std::mutex sessions_mu_;
   std::map<std::string, std::unique_ptr<Session>> sessions_;
@@ -233,6 +269,15 @@ class ServingContext {
   obs::Counter* plan_cache_hits_ = nullptr;
   obs::Counter* plan_cache_misses_ = nullptr;
   obs::Counter* epoch_invalidations_ = nullptr;
+  /// Per-request resource accounting mirrored from each answer's
+  /// AnswerStats (qp_query_*; null only before construction finishes).
+  obs::Counter* q_rows_scanned_ = nullptr;
+  obs::Counter* q_rows_joined_ = nullptr;
+  obs::Counter* q_rows_materialized_ = nullptr;
+  obs::Counter* q_subqueries_ = nullptr;
+  obs::Counter* q_rows_returned_ = nullptr;
+  obs::Counter* q_log_retained_ = nullptr;
+  obs::Histogram* q_thread_seconds_ = nullptr;
 };
 
 }  // namespace qp::serve

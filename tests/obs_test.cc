@@ -11,8 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/ring.h"
 #include "obs/trace.h"
 
 namespace qp::obs {
@@ -223,6 +226,180 @@ TEST(TraceSpanTest, SlotsAdoptInIndexOrder) {
     c->AddAttr("rows", i);
   }
   EXPECT_TRUE(parallel_root.SameShape(serial_root));
+}
+
+TEST(HistogramTest, QuantileInterpolatesKnownDistribution) {
+  Histogram h({1.0, 2.0, 5.0});
+  // 10 observations, all in the first bucket (lower edge 0, upper 1).
+  for (int i = 0; i < 10; ++i) h.Observe(0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+
+  // A spread population: 4 in (1,2], 4 in (2,5], 2 in the +Inf bucket.
+  Histogram spread({1.0, 2.0, 5.0});
+  for (int i = 0; i < 4; ++i) spread.Observe(1.5);
+  for (int i = 0; i < 4; ++i) spread.Observe(3.0);
+  for (int i = 0; i < 2; ++i) spread.Observe(100.0);
+  EXPECT_DOUBLE_EQ(spread.Quantile(0.2), 1.5);   // rank 2 of 4 in (1,2]
+  EXPECT_DOUBLE_EQ(spread.Quantile(0.5), 2.75);  // rank 5 -> 1 into (2,5]
+  // A rank landing in the +Inf bucket reports the highest finite bound.
+  EXPECT_DOUBLE_EQ(spread.Quantile(0.95), 5.0);
+  // p is clamped to [0, 1].
+  EXPECT_DOUBLE_EQ(spread.Quantile(7.0), 5.0);
+  EXPECT_DOUBLE_EQ(spread.Quantile(-1.0), spread.Quantile(0.0));
+
+  Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.99), 0.0);
+}
+
+TEST(RegistryTest, EscapeLabelValueFollowsPrometheusSpec) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeLabelValue("line1\nline2"), "line1\\nline2");
+}
+
+TEST(RegistryTest, LabeledNameBuildsEscapedSeries) {
+  EXPECT_EQ(LabeledName("qp_x_total", {{"user", "alice"}}),
+            "qp_x_total{user=\"alice\"}");
+  EXPECT_EQ(LabeledName("qp_x_total", {{"a", "1"}, {"b", "2"}}),
+            "qp_x_total{a=\"1\",b=\"2\"}");
+  EXPECT_EQ(LabeledName("qp_x_total", {{"user", "a\"b"}}),
+            "qp_x_total{user=\"a\\\"b\"}");
+}
+
+TEST(RegistryTest, LabelCardinalityCapReroutesToOverflow) {
+  MetricsRegistry registry;
+  registry.SetLabelCardinalityLimit(2);
+  Counter* a = registry.GetCounter("qp_u_total", {{"user", "a"}});
+  Counter* b = registry.GetCounter("qp_u_total", {{"user", "b"}});
+  EXPECT_NE(a, b);
+  // The third and fourth distinct users hit the cap and share the
+  // __other__ overflow series.
+  Counter* c = registry.GetCounter("qp_u_total", {{"user", "c"}});
+  Counter* d = registry.GetCounter("qp_u_total", {{"user", "d"}});
+  EXPECT_EQ(c, d);
+  EXPECT_NE(c, a);
+  // Pre-existing series keep resolving to their own pointer forever.
+  EXPECT_EQ(registry.GetCounter("qp_u_total", {{"user", "a"}}), a);
+
+  a->Increment();
+  c->Increment();
+  d->Increment();
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("qp_u_total{user=\"a\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("qp_u_total{user=\"__other__\"} 2\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("user=\"c\""), std::string::npos);
+
+  // Histograms cap the same way, per base name.
+  Histogram* ha = registry.GetHistogram("qp_lat_seconds", {{"user", "a"}},
+                                        {1.0});
+  Histogram* hb = registry.GetHistogram("qp_lat_seconds", {{"user", "b"}},
+                                        {1.0});
+  Histogram* hc = registry.GetHistogram("qp_lat_seconds", {{"user", "c"}},
+                                        {1.0});
+  Histogram* hd = registry.GetHistogram("qp_lat_seconds", {{"user", "d"}},
+                                        {1.0});
+  EXPECT_NE(ha, hb);
+  EXPECT_EQ(hc, hd);
+
+  // Unlabeled names are never capped.
+  EXPECT_NE(registry.GetCounter("qp_plain_one_total"),
+            registry.GetCounter("qp_plain_two_total"));
+}
+
+TEST(RingTest, WrapKeepsNewestByTicket) {
+  OverwriteRing<int> ring(4);
+  for (int i = 0; i < 10; ++i) ring.Append(i);
+  EXPECT_EQ(ring.seen(), 10u);
+  const std::vector<int> snapshot = ring.Snapshot();
+  EXPECT_EQ(snapshot, (std::vector<int>{6, 7, 8, 9}));
+}
+
+TEST(RingTest, ZeroCapacityDropsEverything) {
+  OverwriteRing<int> ring(0);
+  ring.Append(1);
+  EXPECT_TRUE(ring.Snapshot().empty());
+}
+
+TEST(RingTest, ConcurrentAppendsNeverTear) {
+  OverwriteRing<uint64_t> ring(8);
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        ring.Append(t * kPerThread + i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ring.seen(), kThreads * kPerThread);
+  const auto snapshot = ring.Snapshot();
+  EXPECT_LE(snapshot.size(), 8u);
+  for (uint64_t v : snapshot) EXPECT_LT(v, kThreads * kPerThread);
+}
+
+TEST(FlightRecorderTest, RecordsAndDumpsEvents) {
+  FlightRecorder recorder(4);
+  recorder.Record(FlightEventKind::kNote, "test", "hello");
+  recorder.Record(FlightEventKind::kSpan, "serve", "personalize", 0.002);
+  const auto events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ToString(), "note test: hello");
+  EXPECT_EQ(events[1].ToString(), "span serve: personalize [2.000 ms]");
+  const std::string dump = recorder.Dump();
+  EXPECT_NE(dump.find("seen=2"), std::string::npos);
+  EXPECT_NE(dump.find("note test: hello"), std::string::npos);
+  // Bounded: old events fall off, newest survive.
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(FlightEventKind::kNote, "test", std::to_string(i));
+  }
+  const auto bounded = recorder.Snapshot();
+  EXPECT_EQ(bounded.size(), 4u);
+  EXPECT_EQ(bounded.back().detail, "9");
+}
+
+TEST(FlightRecorderTest, CaptureStatusErrorsHooksOrigination) {
+  FlightRecorder recorder(8);
+  recorder.CaptureStatusErrors(true);
+  {
+    Status error = Status::NotFound("no such table 'nowhere'");
+    EXPECT_FALSE(error.ok());
+  }
+  auto events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kError);
+  EXPECT_EQ(events[0].source, "status");
+  EXPECT_NE(events[0].detail.find("no such table 'nowhere'"),
+            std::string::npos);
+
+  // OK statuses never fire the hook.
+  { Status ok; }
+  EXPECT_EQ(recorder.Snapshot().size(), 1u);
+
+  recorder.CaptureStatusErrors(false);
+  { Status error = Status::NotFound("after disable"); }
+  EXPECT_EQ(recorder.Snapshot().size(), 1u);
+}
+
+TEST(FlightRecorderTest, SecondRecorderStealsTheHook) {
+  FlightRecorder first(4);
+  first.CaptureStatusErrors(true);
+  {
+    FlightRecorder second(4);
+    second.CaptureStatusErrors(true);
+    { Status error = Status::NotFound("goes to second"); }
+    EXPECT_EQ(first.Snapshot().size(), 0u);
+    EXPECT_EQ(second.Snapshot().size(), 1u);
+    // second's destructor releases the hook it owns.
+  }
+  { Status error = Status::NotFound("nobody listens"); }
+  EXPECT_EQ(first.Snapshot().size(), 0u);
+  first.CaptureStatusErrors(false);
 }
 
 }  // namespace
