@@ -25,6 +25,11 @@
 // the query log (\log) and the flight recorder (\flight).
 //
 // The shell starts with Al's profile (paper Figure 2) loaded.
+//
+// Exit status: 0 only when every statement and meta-command succeeded;
+// any failed SQL, failed meta-command, or unknown command makes the
+// shell exit 1 (after processing all input), so scripted/CI use can
+// detect broken input instead of silently passing.
 
 #include <fstream>
 #include <iostream>
@@ -49,22 +54,24 @@ struct Shell {
   serve::Session* session;
   std::optional<core::PersonalizedAnswer> last_answer;
 
-  void ListTables() {
+  bool ListTables() {
     for (const auto& name : db->TableNames()) {
       auto table = db->GetTable(name);
       std::cout << "  " << name << " (" << (*table)->num_rows() << " rows): "
                 << (*table)->schema().ToString() << "\n";
     }
+    return true;
   }
 
-  void RunSql(const std::string& sql) {
+  bool RunSql(const std::string& sql) {
     exec::Executor executor(db);
     auto rows = executor.ExecuteSql(sql);
     if (!rows.ok()) {
       std::cout << rows.status() << "\n";
-      return;
+      return false;
     }
     std::cout << rows->ToString(15) << "(" << rows->num_rows() << " rows)\n";
+    return true;
   }
 
   /// Parses "[K] [L] <sql>" into options + the query text; returns false
@@ -82,18 +89,18 @@ struct Shell {
     return true;
   }
 
-  void Personalize(const std::string& args, core::AnswerAlgorithm algorithm) {
+  bool Personalize(const std::string& args, core::AnswerAlgorithm algorithm) {
     core::PersonalizeOptions options;
     options.algorithm = algorithm;
     std::string sql;
     if (!ParsePersonalizeArgs(args, "\\personalize <K> <L> <sql>", &options,
                               &sql)) {
-      return;
+      return false;
     }
     auto answer = session->Personalize(sql, options);
     if (!answer.ok()) {
       std::cout << answer.status() << "\n";
-      return;
+      return false;
     }
     std::cout << answer->ToString(15) << "(" << answer->tuples.size()
               << " tuples; K=" << answer->preferences.size()
@@ -105,36 +112,39 @@ struct Shell {
     }
     std::cout << ")\n";
     last_answer = std::move(answer).value();
+    return true;
   }
 
-  void Plan(const std::string& sql) {
+  bool Plan(const std::string& sql) {
     exec::Executor executor(db);
     auto plan = executor.ExplainSql(sql);
     if (!plan.ok()) {
       std::cout << plan.status() << "\n";
-      return;
+      return false;
     }
     std::cout << *plan;
+    return true;
   }
 
-  void Analyze(const std::string& sql) {
+  bool Analyze(const std::string& sql) {
     exec::Executor executor(db);
     auto plan = executor.ExplainAnalyzeSql(sql);
     if (!plan.ok()) {
       std::cout << plan.status() << "\n";
-      return;
+      return false;
     }
     std::cout << *plan;
+    return true;
   }
 
   /// \trace <file> <sql>: personalize (PPA) with tracing on and export the
   /// span tree as Chrome trace-event JSON loadable in ui.perfetto.dev.
-  void Trace(const std::string& args) {
+  bool Trace(const std::string& args) {
     std::istringstream in(args);
     std::string path;
     if (!(in >> path)) {
       std::cout << "usage: \\trace <file> <sql>\n";
-      return;
+      return false;
     }
     std::string sql;
     std::getline(in, sql);
@@ -146,65 +156,69 @@ struct Shell {
     auto answer = session->Personalize(sql, options);
     if (!answer.ok()) {
       std::cout << answer.status() << "\n";
-      return;
+      return false;
     }
     root.set_seconds(answer->stats.generation_seconds +
                      answer->stats.selection_seconds);
     std::ofstream out(path);
     if (!out) {
       std::cout << "cannot write " << path << "\n";
-      return;
+      return false;
     }
     out << TraceToChromeJson(root);
     std::cout << "wrote " << path
               << " (open in ui.perfetto.dev or chrome://tracing)\n";
     last_answer = std::move(answer).value();
+    return true;
   }
 
-  void SaveDb(const std::string& dir) {
+  bool SaveDb(const std::string& dir) {
     auto status = storage::SaveDatabase(*db, dir);
     if (status.ok()) {
       std::cout << "saved to " << dir << "\n";
     } else {
       std::cout << status << "\n";
     }
+    return status.ok();
   }
 
-  void Explain(const std::string& args) {
+  bool Explain(const std::string& args) {
     if (!last_answer.has_value()) {
       std::cout << "no personalized answer yet\n";
-      return;
+      return false;
     }
     const size_t n = std::strtoull(args.c_str(), nullptr, 10);
     if (n >= last_answer->tuples.size()) {
       std::cout << "tuple index out of range (have "
                 << last_answer->tuples.size() << ")\n";
-      return;
+      return false;
     }
     std::cout << last_answer->ExplainTuple(n) << "\n";
+    return true;
   }
 
   /// Replaces the session's profile by reopening the session (the caches
   /// keyed by the old profile must not survive the swap).
-  void LoadProfile(const std::string& path) {
+  bool LoadProfile(const std::string& path) {
     auto loaded = core::UserProfile::Load(path);
     if (!loaded.ok()) {
       std::cout << loaded.status() << "\n";
-      return;
+      return false;
     }
     auto status = ctx->CloseSession(kUser);
     if (!status.ok()) {
       std::cout << status << "\n";
-      return;
+      return false;
     }
     auto reopened = ctx->OpenSession(kUser, loaded.value());
     if (!reopened.ok()) {
       std::cout << reopened.status() << "\n";
-      return;
+      return false;
     }
     session = reopened.value();
     std::cout << "loaded " << session->profile().NumPreferences()
               << " preferences\n";
+    return true;
   }
 };
 
@@ -239,12 +253,16 @@ int main(int argc, char** argv) {
             << " movies). Type \\tables, \\personalize 5 2 select mid, title "
                "from movie, or plain SQL. \\quit exits.\n";
 
+  // Any failed statement or meta-command flips this; the shell keeps
+  // processing input but exits nonzero so scripted use (CI) sees the break.
+  bool all_ok = true;
   std::string line;
   while (true) {
     std::cout << "qp> " << std::flush;
     if (!std::getline(std::cin, line)) break;
     const std::string trimmed(Trim(line));
     if (trimmed.empty()) continue;
+    bool ok = true;
     if (trimmed[0] == '\\') {
       const size_t space = trimmed.find(' ');
       const std::string cmd = trimmed.substr(0, space);
@@ -252,23 +270,23 @@ int main(int argc, char** argv) {
           space == std::string::npos ? "" : trimmed.substr(space + 1);
       if (cmd == "\\quit" || cmd == "\\q") break;
       if (cmd == "\\tables") {
-        shell.ListTables();
+        ok = shell.ListTables();
       } else if (cmd == "\\profile") {
         std::cout << shell.session->profile().Serialize();
       } else if (cmd == "\\load") {
-        shell.LoadProfile(std::string(Trim(args)));
+        ok = shell.LoadProfile(std::string(Trim(args)));
       } else if (cmd == "\\personalize") {
-        shell.Personalize(args, core::AnswerAlgorithm::kPpa);
+        ok = shell.Personalize(args, core::AnswerAlgorithm::kPpa);
       } else if (cmd == "\\spa") {
-        shell.Personalize(args, core::AnswerAlgorithm::kSpa);
+        ok = shell.Personalize(args, core::AnswerAlgorithm::kSpa);
       } else if (cmd == "\\explain") {
-        shell.Explain(args);
+        ok = shell.Explain(args);
       } else if (cmd == "\\plan") {
-        shell.Plan(std::string(Trim(args)));
+        ok = shell.Plan(std::string(Trim(args)));
       } else if (cmd == "\\analyze") {
-        shell.Analyze(std::string(Trim(args)));
+        ok = shell.Analyze(std::string(Trim(args)));
       } else if (cmd == "\\trace") {
-        shell.Trace(args);
+        ok = shell.Trace(args);
       } else if (cmd == "\\log") {
         std::cout << shell.ctx->query_log()->Dump();
       } else if (cmd == "\\flight") {
@@ -276,14 +294,16 @@ int main(int argc, char** argv) {
       } else if (cmd == "\\metrics") {
         std::cout << shell.ctx->MetricsText();
       } else if (cmd == "\\savedb") {
-        shell.SaveDb(std::string(Trim(args)));
+        ok = shell.SaveDb(std::string(Trim(args)));
       } else {
         std::cout << "unknown command " << cmd << "\n";
+        ok = false;
       }
     } else {
-      shell.RunSql(trimmed);
+      ok = shell.RunSql(trimmed);
     }
+    if (!ok) all_ok = false;
   }
   std::cout << "\n";
-  return 0;
+  return all_ok ? 0 : 1;
 }

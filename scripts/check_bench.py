@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare BENCH_<name>.json files against baselines.
+
+Each baseline under bench/baselines/ pins the MACHINE-INDEPENDENT metrics of
+one bench (deterministic work counters such as subqueries executed or rows
+scanned — never wall-clock timings) and declares per-metric tolerances:
+
+    {
+      "file": "BENCH_load.json",        # produced file to check
+      "match_keys": ["phase", "algorithm"],  # identify points across runs
+      "metrics": {
+        "subqueries_executed": {"rel_tol": 0.0, "abs_tol": 0.0},
+        "rows_scanned":        {"rel_tol": 0.02}
+      },
+      "points": [ {"phase": "calibrate", "algorithm": "ppa",
+                   "subqueries_executed": 42, "rows_scanned": 30267}, ... ]
+    }
+
+For every baseline point, the produced file must contain exactly one point
+with the same match_keys values, and each gated metric must satisfy
+|actual - expected| <= abs_tol + rel_tol * |expected| (both default 0, i.e.
+exact). Extra produced points (e.g. the timing-only sweep points of
+bench_load) are ignored — only what a baseline names is gated.
+
+Failures are hard errors: missing produced file, missing/duplicated point,
+missing metric, or out-of-tolerance value all exit nonzero, which is what
+makes the CI step a blocking gate.
+
+Usage:
+    check_bench.py --baseline-dir bench/baselines --bench-dir artifacts
+    check_bench.py --self-test --baseline-dir ... --bench-dir ...
+
+--self-test is the gate's own negative test: after the real check passes, it
+perturbs every numeric expectation past its tolerance and asserts the check
+now FAILS. A gate that cannot fail is not a gate; CI runs this mode right
+after the blocking step so a silently-broken checker turns the build red.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+from pathlib import Path
+
+
+def fail(errors: list[str], message: str) -> None:
+    errors.append(message)
+
+
+def point_key(point: dict, match_keys: list[str]) -> tuple:
+    return tuple(point.get(k) for k in match_keys)
+
+
+def check_baseline(baseline: dict, baseline_name: str, bench_dir: Path,
+                   errors: list[str]) -> None:
+    produced_path = bench_dir / baseline["file"]
+    if not produced_path.is_file():
+        fail(errors, f"{baseline_name}: produced file {produced_path} missing")
+        return
+    try:
+        produced = json.loads(produced_path.read_text())
+    except json.JSONDecodeError as exc:
+        fail(errors, f"{baseline_name}: {produced_path} is not JSON: {exc}")
+        return
+
+    match_keys = baseline.get("match_keys", [])
+    metrics = baseline.get("metrics", {})
+    produced_points = produced.get("points", [])
+
+    for expected in baseline.get("points", []):
+        key = point_key(expected, match_keys)
+        key_desc = ", ".join(f"{k}={v}" for k, v in zip(match_keys, key))
+        matches = [p for p in produced_points
+                   if point_key(p, match_keys) == key]
+        if not matches:
+            fail(errors, f"{baseline_name}: no produced point with {key_desc}")
+            continue
+        if len(matches) > 1:
+            fail(errors,
+                 f"{baseline_name}: {len(matches)} produced points with "
+                 f"{key_desc}; match_keys must identify points uniquely")
+            continue
+        actual_point = matches[0]
+        for name, tolerance in metrics.items():
+            if name not in expected:
+                continue  # baseline gates this metric only where it pins it
+            if name not in actual_point:
+                fail(errors,
+                     f"{baseline_name} [{key_desc}]: metric {name} missing "
+                     f"from produced point")
+                continue
+            expected_value = expected[name]
+            actual_value = actual_point[name]
+            if isinstance(expected_value, str):
+                if actual_value != expected_value:
+                    fail(errors,
+                         f"{baseline_name} [{key_desc}] {name}: expected "
+                         f"{expected_value!r}, got {actual_value!r}")
+                continue
+            rel_tol = float(tolerance.get("rel_tol", 0.0))
+            abs_tol = float(tolerance.get("abs_tol", 0.0))
+            allowed = abs_tol + rel_tol * abs(float(expected_value))
+            delta = abs(float(actual_value) - float(expected_value))
+            if delta > allowed:
+                fail(errors,
+                     f"{baseline_name} [{key_desc}] {name}: expected "
+                     f"{expected_value} ± {allowed:g}, got {actual_value} "
+                     f"(delta {delta:g})")
+
+
+def run_check(baseline_dir: Path, bench_dir: Path,
+              baselines: dict[str, dict] | None = None) -> list[str]:
+    errors: list[str] = []
+    if baselines is None:
+        baselines = {}
+        files = sorted(baseline_dir.glob("*.json"))
+        if not files:
+            fail(errors, f"no baselines found under {baseline_dir}")
+        for path in files:
+            try:
+                baselines[path.name] = json.loads(path.read_text())
+            except json.JSONDecodeError as exc:
+                fail(errors, f"{path}: not JSON: {exc}")
+    for name, baseline in baselines.items():
+        check_baseline(baseline, name, bench_dir, errors)
+    return errors
+
+
+def perturb(value):
+    """Push a numeric expectation far outside any sane tolerance."""
+    return value * 2 + 1
+
+
+def self_test(baseline_dir: Path, bench_dir: Path) -> int:
+    """Negative test: a perturbed baseline MUST fail the check."""
+    failures = 0
+    for path in sorted(baseline_dir.glob("*.json")):
+        baseline = json.loads(path.read_text())
+        gated = [m for m in baseline.get("metrics", {})
+                 if any(isinstance(p.get(m), (int, float))
+                        for p in baseline.get("points", []))]
+        if not gated:
+            print(f"self-test {path.name}: SKIP (no numeric gated metrics)")
+            continue
+        for metric in gated:
+            broken = copy.deepcopy(baseline)
+            for point in broken["points"]:
+                if isinstance(point.get(metric), (int, float)):
+                    point[metric] = perturb(point[metric])
+            errors = run_check(baseline_dir, bench_dir,
+                               baselines={path.name: broken})
+            if errors:
+                print(f"self-test {path.name}/{metric}: OK "
+                      f"(perturbation detected: {errors[0]})")
+            else:
+                print(f"self-test {path.name}/{metric}: FAIL — perturbed "
+                      f"expectation passed; the gate is not gating")
+                failures += 1
+    if failures:
+        print(f"self-test: {failures} perturbation(s) went undetected",
+              file=sys.stderr)
+        return 1
+    print("self-test: all perturbations detected; the gate can fail")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate bench JSON outputs against pinned baselines.")
+    parser.add_argument("--baseline-dir", default="bench/baselines",
+                        type=Path)
+    parser.add_argument("--bench-dir", default="artifacts", type=Path,
+                        help="directory holding the produced BENCH_*.json")
+    parser.add_argument("--self-test", action="store_true",
+                        help="assert the check FAILS on perturbed baselines")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.baseline_dir, args.bench_dir)
+
+    errors = run_check(args.baseline_dir, args.bench_dir)
+    if errors:
+        for error in errors:
+            print(f"BENCH REGRESSION: {error}", file=sys.stderr)
+        print(f"check_bench: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print("check_bench: all baseline metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+// Cooperative cancellation for long-running work: a CancelToken carries a
+// manual cancel flag, an optional absolute deadline, and an optional forced
+// cut round. Producers (the request scheduler, a caller's Ctrl-C handler)
+// set it; consumers (the executor at morsel boundaries, PPA between its
+// S/A query rounds) poll it and unwind with kCancelled / kDeadlineExceeded.
+//
+// Determinism: deadline- and flag-based cancellation is inherently
+// timing-dependent, so it only ever produces an *error* (or, for PPA, a
+// prefix answer whose cut round is reported). The forced-cut-round hook
+// makes the PPA cut point an explicit input instead: CutAtRound(r) returns
+// true for every round >= the forced round regardless of wall time, which
+// is how the deadline tests replay "the deadline fired at round r" byte-
+// identically at every thread count.
+//
+// Thread safety: all fields are atomics; any thread may set or poll a token
+// concurrently. Tokens are usually owned by the request handle and outlive
+// the work they cancel.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "common/status.h"
+
+namespace qp::common {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cooperative cancellation; consumers observe it at their next
+  /// checkpoint. Irrevocable.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Sets the absolute deadline; work observing a later now() unwinds with
+  /// kDeadlineExceeded (or cuts, for PPA).
+  void SetDeadline(Clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_release);
+  }
+  /// Convenience: deadline `seconds` from now (non-positive = already due).
+  void SetDeadlineAfter(double seconds) {
+    SetDeadline(Clock::now() + std::chrono::nanoseconds(static_cast<int64_t>(
+                                   seconds * 1e9)));
+  }
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_acquire) != kNoDeadline;
+  }
+
+  /// Deterministic test/replay hook: PPA cuts exactly before its `round`-th
+  /// S/A round (0 cuts before any work; >= the plan's round count never
+  /// cuts). Unlike the deadline this is byte-deterministic at every thread
+  /// count.
+  void ForceCutAtRound(size_t round) {
+    forced_cut_round_.store(round, std::memory_order_release);
+  }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  bool deadline_passed() const {
+    const int64_t ns = deadline_ns_.load(std::memory_order_acquire);
+    return ns != kNoDeadline &&
+           Clock::now().time_since_epoch().count() >= ns;
+  }
+  /// True when work should stop for a timing-dependent reason (manual
+  /// cancel or deadline). Does NOT consult the forced cut round.
+  bool ShouldStop() const { return cancel_requested() || deadline_passed(); }
+
+  /// PPA's per-round checkpoint: true when the generator must cut before
+  /// running round `round` (0-based count of rounds completed so far).
+  bool CutAtRound(size_t round) const {
+    return round >= forced_cut_round_.load(std::memory_order_acquire) ||
+           ShouldStop();
+  }
+
+  /// Status spelling of ShouldStop() for QP_RETURN_IF_ERROR call sites:
+  /// OK, kCancelled, or kDeadlineExceeded.
+  Status Check() const {
+    if (cancel_requested()) return Status::Cancelled("cancel requested");
+    if (deadline_passed()) return Status::DeadlineExceeded("deadline passed");
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline =
+      std::numeric_limits<int64_t>::max();
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+  std::atomic<size_t> forced_cut_round_{std::numeric_limits<size_t>::max()};
+};
+
+}  // namespace qp::common

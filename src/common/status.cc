@@ -44,12 +44,24 @@ const char* StatusCodeName(StatusCode code) {
       return "Execution";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }
 
 bool IsRetryable(StatusCode code) {
-  return code == StatusCode::kExecution || code == StatusCode::kInternal;
+  return code == StatusCode::kExecution || code == StatusCode::kInternal ||
+         code == StatusCode::kOverloaded;
+}
+
+bool IsCancellation(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kCancelled;
 }
 
 std::string Status::ToString() const {

@@ -34,17 +34,37 @@ enum class StatusCode {
   /// The request is valid but outside the supported subset (e.g. PPA over a
   /// relation without a single-column primary key).
   kUnsupported,
+  /// The serving layer refused admission: every queue slot for the target
+  /// shard is taken. Retryable — back off and resubmit; the scheduler
+  /// itself never retries admission (that would amplify the overload).
+  kOverloaded,
+  /// The request's deadline passed before (or while) it executed. PPA
+  /// converts an expiring deadline into a partial answer instead whenever a
+  /// progressive prefix exists; this code surfaces when it cannot.
+  kDeadlineExceeded,
+  /// The caller cooperatively cancelled the request (CancelToken). Not
+  /// retryable: the caller asked for the work to stop.
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
 const char* StatusCodeName(StatusCode code);
 
 /// True for failures a serving layer may transparently retry (engine-side /
-/// transient: kExecution, kInternal); false for caller bugs (bad query,
-/// options or profile) where a retry would deterministically fail again.
-/// OK is not retryable. This is the contract qp::serve uses to map failures
-/// without string-matching messages.
+/// transient: kExecution, kInternal) or a *client* may retry after backing
+/// off (kOverloaded — the scheduler never retries its own admission
+/// rejections); false for caller bugs (bad query, options or profile) where
+/// a retry would deterministically fail again, and for kDeadlineExceeded /
+/// kCancelled, where the caller asked for the work to stop. OK is not
+/// retryable. This is the contract qp::serve uses to map failures without
+/// string-matching messages.
 bool IsRetryable(StatusCode code);
+
+/// True for the two cooperative-interruption codes (kDeadlineExceeded,
+/// kCancelled): "the work was stopped", as opposed to "the work failed".
+/// PPA uses this to convert a mid-round interruption into a partial answer
+/// instead of an error.
+bool IsCancellation(StatusCode code);
 
 /// Process-wide hook invoked every time a non-OK Status is ORIGINATED (the
 /// code+message constructor; copies and moves do not re-fire). This is the
@@ -106,6 +126,15 @@ class Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -57,7 +57,9 @@ bool SameAnswerPayload(const PersonalizedAnswer& a,
          a.stats.tuples_returned == b.stats.tuples_returned &&
          a.stats.rows_scanned == b.stats.rows_scanned &&
          a.stats.rows_joined == b.stats.rows_joined &&
-         a.stats.rows_materialized == b.stats.rows_materialized;
+         a.stats.rows_materialized == b.stats.rows_materialized &&
+         a.stats.partial == b.stats.partial &&
+         a.stats.rounds_run == b.stats.rounds_run;
 }
 
 }  // namespace qp::core

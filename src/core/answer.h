@@ -55,6 +55,17 @@ struct AnswerStats {
   /// Summed task wall time across workers (timing-derived; excluded from
   /// every determinism comparison).
   double thread_seconds = 0.0;
+  /// True when a deadline/cancellation cut PPA off between rounds: the
+  /// answer holds the progressive prefix emitted so far instead of the full
+  /// result. Always false for SPA (which has no prefix to return) and for
+  /// uncancelled runs. Given the same cut round, a partial answer is
+  /// byte-identical at every thread count.
+  bool partial = false;
+  /// S/A query rounds (plus the complement scan) PPA actually completed.
+  /// For a partial answer this IS the cut round: exactly `rounds_run`
+  /// rounds ran before the cut, so the tuples equal the full answer's
+  /// prefix as of that round boundary. Deterministic; 0 for SPA.
+  size_t rounds_run = 0;
 };
 
 /// \brief A complete personalized answer.

@@ -91,7 +91,9 @@ Result<PersonalizedAnswer> ExecuteIntegrationPlan(
           : nullptr;
   obs::SpanTimer exec_timer(exec_span);
   if (plan.algorithm == AnswerAlgorithm::kSpa) {
-    SpaGenerator spa(db, resolved.ranking, options.EffectiveExec());
+    exec::ExecOptions spa_exec = options.EffectiveExec();
+    if (spa_exec.cancel == nullptr) spa_exec.cancel = options.cancel;
+    SpaGenerator spa(db, resolved.ranking, spa_exec);
     QP_ASSIGN_OR_RETURN(PersonalizedAnswer answer,
                         spa.GenerateWithPlan(plan.spa, exec_span));
     if (options.top_n > 0 && answer.tuples.size() > options.top_n) {
@@ -113,6 +115,7 @@ Result<PersonalizedAnswer> ExecuteIntegrationPlan(
   ppa_options.top_n = options.top_n;
   ppa_options.exec = options.EffectiveExec();
   ppa_options.trace = exec_span;
+  ppa_options.cancel = options.cancel;
   QP_ASSIGN_OR_RETURN(PersonalizedAnswer answer,
                       ppa.GenerateWithPlan(plan.ppa, ppa_options));
   exec_timer.Stop();

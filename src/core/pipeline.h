@@ -78,6 +78,14 @@ struct PersonalizeOptions {
   /// across thread counts. Not owned; must not be shared with a concurrent
   /// call.
   obs::TraceSpan* trace = nullptr;
+  /// Optional cooperative cancellation / deadline token (not owned), polled
+  /// inside answer generation. For PPA a fired token cuts generation at the
+  /// next S/A round boundary and the call still SUCCEEDS, returning the
+  /// progressive prefix with stats.partial = true (see
+  /// PpaGenerator::Options::cancel for the determinism contract). SPA has
+  /// no prefix to salvage: its single integrated query aborts and the call
+  /// fails with kDeadlineExceeded / kCancelled.
+  const common::CancelToken* cancel = nullptr;
   /// \deprecated Alias for exec.num_threads, honored only while
   /// exec.num_threads is left at its default of 1. Kept for one release and
   /// read nowhere but EffectiveExec(); use `exec` instead.

@@ -266,7 +266,8 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
   const PpaPlanRep& rep = *plan.rep_;
   const auto start = std::chrono::steady_clock::now();
 
-  const exec::ExecOptions exec_options = options.EffectiveExec();
+  exec::ExecOptions exec_options = options.EffectiveExec();
+  if (exec_options.cancel == nullptr) exec_options.cancel = options.cancel;
   exec::Executor executor(db_, nullptr, exec_options);
   // Point probes fan out over the same pool the executor uses: the shared
   // one when injected, else a pool owned by this call.
@@ -287,6 +288,23 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
   for (const auto& name : rep.column_names) {
     answer.columns.push_back({"", name});
   }
+
+  // Deadline / cancellation checkpoints. `rounds_run` counts completed
+  // rounds (each S query, each A query, the complement scan); before each
+  // round the token may cut generation, and a cancellation status surfacing
+  // *inside* a round (the executor's morsel-boundary checks) cuts at the
+  // same boundary — the interrupted round's results are discarded, so the
+  // answer is exactly the prefix emitted after `rounds_run` complete
+  // rounds. Everything about the prefix is deterministic for a given cut
+  // round; only WHICH round a wall-clock deadline lands on is timing.
+  size_t rounds_run = 0;
+  bool cut = false;
+  const auto cut_before_round = [&]() {
+    return options.cancel != nullptr && options.cancel->CutAtRound(rounds_run);
+  };
+  const auto interrupted = [&](const Status& s) {
+    return IsCancellation(s.code());
+  };
 
   // Result bookkeeping.
   std::unordered_set<Value, storage::ValueHash> seen;
@@ -443,6 +461,10 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
     // A tuple first seen here can satisfy at most the remaining presence
     // queries plus every absence preference.
     if (s_plans.size() - i + a_plans.size() < options.L) break;
+    if (cut_before_round()) {
+      cut = true;
+      break;
+    }
     obs::TraceSpan* round_span =
         options.trace != nullptr
             ? options.trace->AddChild(
@@ -450,9 +472,16 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
                   std::to_string(s_plans.size()))
             : nullptr;
     obs::SpanTimer round_timer(round_span);
-    QP_ASSIGN_OR_RETURN(
-        exec::RowSet rows,
-        executor.Execute(*sql::Query::Single(s_plans[i].query), round_span));
+    auto rows_result =
+        executor.Execute(*sql::Query::Single(s_plans[i].query), round_span);
+    if (!rows_result.ok()) {
+      if (interrupted(rows_result.status())) {
+        cut = true;
+        break;
+      }
+      return rows_result.status();
+    }
+    exec::RowSet rows = std::move(rows_result).value();
     std::vector<const storage::Row*> fresh;
     for (const auto& row : rows.rows()) {
       const Value& tid = row[n_base_cols];
@@ -461,9 +490,16 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
       fresh.push_back(&row);
     }
     std::vector<TupleRecord> recs(fresh.size());
-    QP_RETURN_IF_ERROR(RunProbeTasks(
+    const Status probe_status = RunProbeTasks(
         probe_pool, rep.walks.size(), fresh.size(),
         [&](size_t j, ProbeContext& ctx) -> Status {
+          // Deadline/cancel can fire mid-batch; stopping at the next probe
+          // (instead of finishing the batch) bounds the cut latency. The
+          // whole round is discarded on interruption, so this never
+          // changes a successful answer.
+          if (options.cancel != nullptr) {
+            QP_RETURN_IF_ERROR(options.cancel->Check());
+          }
           ctx.Reset();
           const storage::Row& row = *fresh[j];
           const Value& tid = row[n_base_cols];
@@ -495,8 +531,16 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
             }
           }
           return Status::OK();
-        }));
+        });
+    if (!probe_status.ok()) {
+      if (interrupted(probe_status)) {
+        cut = true;
+        break;
+      }
+      return probe_status;
+    }
     for (TupleRecord& rec : recs) queue_record(std::move(rec));
+    ++rounds_run;
     emit_ready(medi_after(i + 1, 0));
     round_timer.Stop();
     if (round_span != nullptr) {
@@ -514,7 +558,11 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
   // run (Nids must be complete for step 3) but per-tuple probing is skipped.
   const bool phase2_can_qualify =
       a_plans.size() >= 1 && a_plans.size() - 1 >= options.L;
-  for (size_t i = 0; i < a_plans.size() && !top_n_reached(); ++i) {
+  for (size_t i = 0; i < a_plans.size() && !top_n_reached() && !cut; ++i) {
+    if (cut_before_round()) {
+      cut = true;
+      break;
+    }
     obs::TraceSpan* round_span =
         options.trace != nullptr
             ? options.trace->AddChild(
@@ -522,9 +570,16 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
                   std::to_string(a_plans.size()))
             : nullptr;
     obs::SpanTimer round_timer(round_span);
-    QP_ASSIGN_OR_RETURN(
-        exec::RowSet rows,
-        executor.Execute(*sql::Query::Single(a_plans[i].query), round_span));
+    auto rows_result =
+        executor.Execute(*sql::Query::Single(a_plans[i].query), round_span);
+    if (!rows_result.ok()) {
+      if (interrupted(rows_result.status())) {
+        cut = true;
+        break;
+      }
+      return rows_result.status();
+    }
+    exec::RowSet rows = std::move(rows_result).value();
     std::vector<const storage::Row*> fresh;
     for (const auto& row : rows.rows()) {
       const Value& tid = row[n_base_cols];
@@ -535,7 +590,7 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
       fresh.push_back(&row);
     }
     std::vector<TupleRecord> recs(fresh.size());
-    QP_RETURN_IF_ERROR(RunProbeTasks(
+    const Status probe_status = RunProbeTasks(
         probe_pool, rep.walks.size(), fresh.size(),
         [&](size_t j, ProbeContext& ctx) -> Status {
           ctx.Reset();
@@ -561,9 +616,17 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
             }
           }
           return Status::OK();
-        }));
+        });
+    if (!probe_status.ok()) {
+      if (interrupted(probe_status)) {
+        cut = true;
+        break;
+      }
+      return probe_status;
+    }
     // Per Figure 6, phase-2 tuples are ranked on absence preferences only.
     for (TupleRecord& rec : recs) queue_record(std::move(rec));
+    ++rounds_run;
     emit_ready(medi_after(s_plans.size(), i + 1));
     round_timer.Stop();
     if (round_span != nullptr) {
@@ -576,43 +639,57 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
 
   // ---- Step 3: tuples never returned by any absence query satisfy every
   // 1-n absence preference. ----
-  if (step3_possible && !top_n_reached()) {
+  if (step3_possible && !top_n_reached() && !cut && cut_before_round()) {
+    cut = true;
+  }
+  if (step3_possible && !top_n_reached() && !cut) {
     obs::TraceSpan* step3_span =
         options.trace != nullptr
             ? options.trace->AddChild("complement scan (step 3)")
             : nullptr;
     obs::SpanTimer step3_timer(step3_span);
-    QP_ASSIGN_OR_RETURN(
-        exec::RowSet rows,
-        executor.Execute(*sql::Query::Single(rep.base2), step3_span));
-    size_t complement_fresh = 0;
-    for (const auto& row : rows.rows()) {
-      const Value& tid = row[n_base_cols];
-      if (tid.is_null() || seen.count(tid) > 0 || nids.count(tid) > 0) {
-        continue;
-      }
-      seen.insert(tid);
-      TupleRecord rec;
-      rec.values.assign(row.begin(), row.begin() + n_base_cols);
-      std::vector<double> pos;
-      for (const auto& a : a_plans) {
-        rec.satisfied.push_back({a.pref_index, a.satisfaction_degree});
-        pos.push_back(a.satisfaction_degree);
-      }
-      rec.doi = options.ranking.Rank(pos, {});
-      pending[rec.doi].push_back(std::move(rec));
-      ++pending_count;
-      ++complement_fresh;
+    auto rows_result =
+        executor.Execute(*sql::Query::Single(rep.base2), step3_span);
+    if (!rows_result.ok() && !interrupted(rows_result.status())) {
+      return rows_result.status();
     }
-    step3_timer.Stop();
-    if (step3_span != nullptr) {
-      step3_span->AddAttr("rows", rows.num_rows());
-      step3_span->AddAttr("fresh", complement_fresh);
+    if (!rows_result.ok()) {
+      cut = true;
+    } else {
+      exec::RowSet rows = std::move(rows_result).value();
+      size_t complement_fresh = 0;
+      for (const auto& row : rows.rows()) {
+        const Value& tid = row[n_base_cols];
+        if (tid.is_null() || seen.count(tid) > 0 || nids.count(tid) > 0) {
+          continue;
+        }
+        seen.insert(tid);
+        TupleRecord rec;
+        rec.values.assign(row.begin(), row.begin() + n_base_cols);
+        std::vector<double> pos;
+        for (const auto& a : a_plans) {
+          rec.satisfied.push_back({a.pref_index, a.satisfaction_degree});
+          pos.push_back(a.satisfaction_degree);
+        }
+        rec.doi = options.ranking.Rank(pos, {});
+        pending[rec.doi].push_back(std::move(rec));
+        ++pending_count;
+        ++complement_fresh;
+      }
+      ++rounds_run;
+      step3_timer.Stop();
+      if (step3_span != nullptr) {
+        step3_span->AddAttr("rows", rows.num_rows());
+        step3_span->AddAttr("fresh", complement_fresh);
+      }
     }
   }
 
   // ---- Flush everything left, best first. ----
-  emit_ready(-std::numeric_limits<double>::infinity());
+  // A cut answer keeps only the MEDI-safe prefix already emitted: flushing
+  // pending tuples here would make the payload depend on where inside a
+  // round the deadline fired.
+  if (!cut) emit_ready(-std::numeric_limits<double>::infinity());
 
   const auto end = std::chrono::steady_clock::now();
   answer.stats.generation_seconds =
@@ -627,6 +704,8 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
   answer.stats.rows_joined = exec_stats.rows_joined;
   answer.stats.rows_materialized = exec_stats.rows_output;
   answer.stats.thread_seconds = executor.thread_seconds();
+  answer.stats.partial = cut;
+  answer.stats.rounds_run = rounds_run;
   if (options.trace != nullptr) {
     // Always the last child regardless of when emission actually happened,
     // so the span tree's shape does not depend on timing.

@@ -24,6 +24,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/answer.h"
 #include "core/ranking.h"
@@ -65,6 +66,17 @@ class PpaGenerator {
     /// timings is deterministic across thread counts. Not owned; must not
     /// be shared with a concurrent generation.
     obs::TraceSpan* trace = nullptr;
+    /// Optional cooperative cancellation / deadline token (not owned).
+    /// Polled at every round boundary — before each S query, each A query
+    /// and the complement scan — and inside the executor at morsel
+    /// boundaries. When it fires, generation stops and returns the
+    /// progressive prefix emitted so far with stats.partial = true and
+    /// stats.rounds_run = the cut round; a prefix cut at round r is
+    /// byte-identical to the full answer's first tuples at every thread
+    /// count (the partial-answer determinism contract). A token whose
+    /// forced cut round is set (CancelToken::ForceCutAtRound) cuts at that
+    /// exact boundary independent of wall time.
+    const common::CancelToken* cancel = nullptr;
     /// \deprecated Alias for exec.num_threads, honored only while
     /// exec.num_threads is left at its default of 1. Kept for one release
     /// and read nowhere but EffectiveExec(); use `exec` instead.

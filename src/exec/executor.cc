@@ -288,9 +288,12 @@ Status Executor::RunTasks(std::vector<std::function<Status()>> tasks) const {
   common::ThreadPool* pool = ActivePool();
   if (pool == nullptr || tasks.size() == 1) {
     for (size_t i = 0; i < tasks.size(); ++i) {
-      const auto t0 = std::chrono::steady_clock::now();
-      statuses[i] = tasks[i]();
-      AddThreadSeconds(SecondsSince(t0));
+      statuses[i] = CheckCancel();
+      if (statuses[i].ok()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        statuses[i] = tasks[i]();
+        AddThreadSeconds(SecondsSince(t0));
+      }
       if (!statuses[i].ok()) return statuses[i];
     }
     return Status::OK();
@@ -299,6 +302,8 @@ Status Executor::RunTasks(std::vector<std::function<Status()>> tasks) const {
   wrapped.reserve(tasks.size());
   for (size_t i = 0; i < tasks.size(); ++i) {
     wrapped.emplace_back([this, &tasks, &statuses, i] {
+      statuses[i] = CheckCancel();
+      if (!statuses[i].ok()) return;
       const auto t0 = std::chrono::steady_clock::now();
       statuses[i] = tasks[i]();
       AddThreadSeconds(SecondsSince(t0));
@@ -350,6 +355,7 @@ Result<RowSet> Executor::Execute(const sql::Query& query,
 
 Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q,
                                        obs::TraceSpan* span) const {
+  QP_RETURN_IF_ERROR(CheckCancel());
   if (q.select.empty()) {
     return Status::InvalidArgument("empty select list");
   }

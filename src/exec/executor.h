@@ -29,6 +29,7 @@
 #include <cstring>
 #include <memory>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "exec/aggregate.h"
@@ -66,6 +67,13 @@ struct ExecOptions {
   /// qp_exec_*_total counters resolved once at construction — the hot path
   /// pays one null check plus a relaxed atomic add per bulk boundary.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional cooperative cancellation token (not owned; must outlive the
+  /// executor). Polled at query entry and at every morsel boundary; when it
+  /// fires, execution unwinds with kCancelled / kDeadlineExceeded instead
+  /// of finishing the query. Null = never cancelled. Cancellation only ever
+  /// turns a result into one of those two errors — it cannot change a
+  /// successful result, so the determinism contract is untouched.
+  const common::CancelToken* cancel = nullptr;
 
   /// The parallelism degree these options resolve to.
   size_t parallelism() const {
@@ -208,8 +216,15 @@ class Executor {
 
   /// Runs `tasks` across the pool (calling thread included); each task
   /// returns its own Status. Returns the lowest-index failure — the same
-  /// error a serial loop over the tasks would have reported first.
+  /// error a serial loop over the tasks would have reported first. Polls
+  /// the cancel token before each task (the morsel-boundary checkpoint).
   Status RunTasks(std::vector<std::function<Status()>> tasks) const;
+
+  /// OK, or the cancellation status when ExecOptions::cancel has fired.
+  Status CheckCancel() const {
+    return options_.cancel == nullptr ? Status::OK()
+                                      : options_.cancel->Check();
+  }
 
   /// Accumulates one task's wall time into thread_seconds() (CAS loop over
   /// raw double bits; atomic<double>::fetch_add is not portable).

@@ -67,6 +67,11 @@ std::string QueryLogRecord::DeterministicString() const {
   AppendField("rows_joined", static_cast<uint64_t>(rows_joined), &out);
   AppendField("rows_materialized", static_cast<uint64_t>(rows_materialized),
               &out);
+  AppendField("partial", partial, &out);
+  AppendField("rounds_run", static_cast<uint64_t>(rounds_run), &out);
+  AppendField("scheduled", scheduled, &out);
+  AppendField("lane", lane, &out);
+  AppendField("shard", static_cast<uint64_t>(shard), &out);
   AppendField("sampled", sampled, &out);
   return out;
 }
@@ -74,6 +79,8 @@ std::string QueryLogRecord::DeterministicString() const {
 std::string QueryLogRecord::ToString() const {
   std::string out = DeterministicString();
   AppendField("slow", slow, &out);
+  AppendField("attempt", static_cast<uint64_t>(attempt), &out);
+  AppendSeconds("queue_seconds", queue_seconds, &out);
   AppendSeconds("total_seconds", total_seconds, &out);
   AppendSeconds("state_seconds", state_seconds, &out);
   AppendSeconds("selection_seconds", selection_seconds, &out);

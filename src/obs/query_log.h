@@ -57,6 +57,23 @@ struct QueryLogRecord {
   size_t rows_scanned = 0;
   size_t rows_joined = 0;
   size_t rows_materialized = 0;
+  /// Deadline/cancellation cut the answer to a progressive prefix
+  /// (AnswerStats::partial); rounds_run is the PPA cut round.
+  bool partial = false;
+  size_t rounds_run = 0;
+
+  // --- admission (filled only for scheduler-dispatched requests) ---
+  /// Request went through serve::Scheduler. Direct Session::Personalize
+  /// calls leave the admission block at its defaults, which render
+  /// identically to pre-scheduler logs.
+  bool scheduled = false;
+  std::string lane;          ///< "interactive" | "normal" | "batch"
+  size_t shard = 0;          ///< worker shard the user hashed to
+  /// 0-based attempt number (>0 means retried). Timing-dependent under
+  /// real failures, so ToString-only — but deterministic in tests that
+  /// script failures.
+  size_t attempt = 0;
+  double queue_seconds = 0.0;  ///< admission -> dispatch wait (timing)
 
   // --- timings (excluded from the deterministic render) ---
   double total_seconds = 0.0;

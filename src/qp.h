@@ -7,6 +7,8 @@
 //   qp::core::PersonalizedAnswer  ranked, self-explanatory result tuples
 //   qp::serve::ServingContext     warm path: cached multi-user serving
 //   qp::serve::Session            per-user cache (graph, selections, plans)
+//   qp::serve::Scheduler          async admission-controlled request queue
+//                                 (lanes, deadlines, partial answers)
 //   qp::Status / qp::Result<T>    error handling (Status codes classify
 //                                 caller bugs vs retryable failures)
 //
@@ -28,6 +30,7 @@
 #include "obs/query_log.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
+#include "serve/scheduler.h"
 #include "serve/serving_context.h"
 #include "sql/parser.h"
 
@@ -46,6 +49,10 @@ using obs::MetricsRegistry;
 using obs::QueryLog;
 using obs::TraceSpan;
 using obs::TraceToChromeJson;
+using common::CancelToken;
+using serve::Lane;
+using serve::RequestHandle;
+using serve::Scheduler;
 using serve::ServeCounters;
 using serve::ServingContext;
 using serve::Session;

@@ -201,6 +201,12 @@ void Session::StorePlan(const std::shared_ptr<const State>& based_on,
 
 Result<PersonalizedAnswer> Session::Personalize(
     const sql::SelectQuery& query, const PersonalizeOptions& options) {
+  return PersonalizeAdmitted(query, options, nullptr);
+}
+
+Result<PersonalizedAnswer> Session::PersonalizeAdmitted(
+    const sql::SelectQuery& query, const PersonalizeOptions& options,
+    const AdmissionInfo* admission) {
   ctx_->personalize_calls_->Increment();
   const auto call_start = std::chrono::steady_clock::now();
 
@@ -241,6 +247,15 @@ Result<PersonalizedAnswer> Session::Personalize(
       record.rows_scanned = stats.rows_scanned;
       record.rows_joined = stats.rows_joined;
       record.rows_materialized = stats.rows_materialized;
+      record.partial = stats.partial;
+      record.rounds_run = stats.rounds_run;
+      if (admission != nullptr) {
+        record.scheduled = true;
+        record.lane = admission->lane;
+        record.shard = admission->shard;
+        record.attempt = admission->attempt;
+        record.queue_seconds = admission->queue_seconds;
+      }
       record.thread_seconds = stats.thread_seconds;
       record.total_seconds = total_seconds;
       ctx_->q_rows_scanned_->Increment(stats.rows_scanned);

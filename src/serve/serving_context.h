@@ -81,6 +81,16 @@ struct ServeCounters {
 
 class ServingContext;
 
+/// How a scheduler-dispatched request was admitted — copied into the query
+/// log so overload behavior is diagnosable per request. Direct Session
+/// calls pass none and log the pre-scheduler defaults.
+struct AdmissionInfo {
+  std::string lane;            ///< "interactive" | "normal" | "batch"
+  size_t shard = 0;            ///< worker shard the user hashed to
+  size_t attempt = 0;          ///< 0-based retry attempt
+  double queue_seconds = 0.0;  ///< admission -> dispatch wait
+};
+
 /// \brief One user's cached personalization state inside a ServingContext.
 class Session {
  public:
@@ -103,6 +113,12 @@ class Session {
   /// Convenience: parses `sql` first (kInvalidQuery unless a single SELECT).
   Result<core::PersonalizedAnswer> Personalize(
       const std::string& sql, const core::PersonalizeOptions& options);
+
+  /// Scheduler entry point: identical to Personalize, plus the admission
+  /// block (`admission` may be null) is stamped onto the query-log record.
+  Result<core::PersonalizedAnswer> PersonalizeAdmitted(
+      const sql::SelectQuery& query, const core::PersonalizeOptions& options,
+      const AdmissionInfo* admission);
 
  private:
   friend class ServingContext;
