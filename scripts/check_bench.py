@@ -96,8 +96,9 @@ def check_baseline(baseline: dict, baseline_name: str, bench_dir: Path,
             if isinstance(expected_value, str):
                 if actual_value != expected_value:
                     fail(errors,
-                         f"{baseline_name} [{key_desc}] {name}: expected "
-                         f"{expected_value!r}, got {actual_value!r}")
+                         f"{baseline_name} [{key_desc}] {name}: baseline "
+                         f"{expected_value!r}, measured {actual_value!r} "
+                         f"(exact string match required)")
                 continue
             rel_tol = float(tolerance.get("rel_tol", 0.0))
             abs_tol = float(tolerance.get("abs_tol", 0.0))
@@ -105,9 +106,10 @@ def check_baseline(baseline: dict, baseline_name: str, bench_dir: Path,
             delta = abs(float(actual_value) - float(expected_value))
             if delta > allowed:
                 fail(errors,
-                     f"{baseline_name} [{key_desc}] {name}: expected "
-                     f"{expected_value} ± {allowed:g}, got {actual_value} "
-                     f"(delta {delta:g})")
+                     f"{baseline_name} [{key_desc}] {name}: baseline "
+                     f"{expected_value}, measured {actual_value}, "
+                     f"delta {delta:g} exceeds tolerance {allowed:g} "
+                     f"(abs_tol={abs_tol:g}, rel_tol={rel_tol:g})")
 
 
 def run_check(baseline_dir: Path, bench_dir: Path,

@@ -5,6 +5,28 @@
 
 namespace qp::core {
 
+namespace {
+
+/// The per-preference slice of UserProfile::Validate — what RepairFrom runs
+/// on just the preferences a delta introduced.
+Status ValidateSelectionPref(const storage::Database& db,
+                             const SelectionPreference& pref) {
+  QP_RETURN_IF_ERROR(db.ValidateAttribute(pref.condition.attr));
+  if (pref.doi.d_true().is_elastic() || pref.doi.d_false().is_elastic()) {
+    QP_ASSIGN_OR_RETURN(storage::DataType type,
+                        db.AttributeType(pref.condition.attr));
+    if (type != storage::DataType::kInt &&
+        type != storage::DataType::kDouble) {
+      return Status::InvalidArgument(
+          "elastic preference on non-numeric attribute " +
+          pref.condition.attr.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<PersonalizationGraph> PersonalizationGraph::Build(
     const storage::Database* db, const UserProfile* profile) {
   QP_RETURN_IF_ERROR(profile->Validate(*db));
@@ -12,6 +34,83 @@ Result<PersonalizationGraph> PersonalizationGraph::Build(
   g.db_ = db;
   g.profile_ = profile;
   g.RefreshDerivedStats();
+  return g;
+}
+
+Result<PersonalizationGraph> PersonalizationGraph::RepairFrom(
+    const PersonalizationGraph& previous, const storage::Database* db,
+    const UserProfile* profile,
+    const std::vector<ProfileMutation>& mutations) {
+  // Validate only what the delta introduced; everything already in
+  // `previous` was validated when that graph was built. A preference added
+  // and removed again within the same delta is simply absent below.
+  std::set<std::string> affected;
+  for (const ProfileMutation& m : mutations) {
+    for (const std::string& rel : m.AffectedRelations()) affected.insert(rel);
+    switch (m.kind) {
+      case ProfileMutationKind::kAddSelection:
+      case ProfileMutationKind::kUpdateSelectionDoi:
+        for (const SelectionPreference& p : profile->selections()) {
+          if (p.condition == m.condition) {
+            QP_RETURN_IF_ERROR(ValidateSelectionPref(*db, p));
+            break;
+          }
+        }
+        break;
+      case ProfileMutationKind::kAddJoin:
+        QP_RETURN_IF_ERROR(db->ValidateAttribute(m.join_from));
+        QP_RETURN_IF_ERROR(db->ValidateAttribute(m.join_to));
+        break;
+      case ProfileMutationKind::kRemoveSelection:
+      case ProfileMutationKind::kRemoveJoin:
+      case ProfileMutationKind::kSetRanking:
+        break;
+    }
+  }
+
+  PersonalizationGraph g;
+  g.db_ = db;
+  g.profile_ = profile;
+  g.RebuildAdjacency();
+
+  // Join edges of the previous graph by identity (from, to) — the pointer
+  // keys are into the OLD profile copy and mean nothing here.
+  std::map<std::pair<std::string, std::string>, const JoinPreference*>
+      prev_edges;
+  for (const JoinPreference& j : previous.profile_->joins()) {
+    prev_edges[{j.from.ToString(), j.to.ToString()}] = &j;
+  }
+
+  for (const JoinPreference& join : profile->joins()) {
+    const JoinPreference* prev = nullptr;
+    if (auto it = prev_edges.find({join.from.ToString(), join.to.ToString()});
+        it != prev_edges.end()) {
+      prev = it->second;
+    }
+    bool copyable = prev != nullptr;
+    if (copyable) {
+      auto reach_it = previous.reach_.find(prev);
+      if (reach_it == previous.reach_.end()) {
+        copyable = false;
+      } else {
+        // The edge's statistics read only the neighborhoods of its reach
+        // set; a delta disjoint from it cannot have changed them.
+        for (const std::string& rel : reach_it->second) {
+          if (affected.count(rel) > 0) {
+            copyable = false;
+            break;
+          }
+        }
+      }
+    }
+    if (copyable) {
+      g.fake_criticality_[&join] = previous.fake_criticality_.at(prev);
+      g.path_count_[&join] = previous.path_count_.at(prev);
+      g.reach_[&join] = previous.reach_.at(prev);
+    } else {
+      g.ComputeEdgeStats(&join);
+    }
+  }
   return g;
 }
 
@@ -40,6 +139,16 @@ size_t PersonalizationGraph::PathCount(const JoinPreference* edge) const {
 }
 
 void PersonalizationGraph::RefreshDerivedStats() {
+  RebuildAdjacency();
+  fake_criticality_.clear();
+  path_count_.clear();
+  reach_.clear();
+  for (const auto& join : profile_->joins()) {
+    ComputeEdgeStats(&join);
+  }
+}
+
+void PersonalizationGraph::RebuildAdjacency() {
   // Rebuild the adjacency indexes (preference vectors may have grown or
   // reallocated), kept in decreasing criticality so expansion naturally
   // enumerates candidates best-first (FakeCrit step 2.3).
@@ -63,31 +172,32 @@ void PersonalizationGraph::RefreshDerivedStats() {
                 return a->Criticality() > b->Criticality();
               });
   }
-
-  fake_criticality_.clear();
-  path_count_.clear();
-  for (const auto& join : profile_->joins()) {
-    // fc = max criticality among edges following this one; following joins
-    // count double (an atomic selection has criticality at most 2, so
-    // 2 * c_join bounds any selection path through that join; Section 4.1).
-    double fc = 0.0;
-    const std::string& target = join.to.table;
-    for (const SelectionPreference* sel : SelectionEdges(target)) {
-      fc = std::max(fc, sel->Criticality());
-    }
-    for (const JoinPreference* next : JoinEdges(target)) {
-      if (next == &join) continue;
-      fc = std::max(fc, 2.0 * next->Criticality());
-    }
-    fake_criticality_[&join] = fc;
-
-    std::vector<std::string> visited = {join.from.table, join.to.table};
-    path_count_[&join] = CountPaths(&join, visited);
-  }
 }
 
-size_t PersonalizationGraph::CountPaths(
-    const JoinPreference* edge, std::vector<std::string>& visited) const {
+void PersonalizationGraph::ComputeEdgeStats(const JoinPreference* join) {
+  // fc = max criticality among edges following this one; following joins
+  // count double (an atomic selection has criticality at most 2, so
+  // 2 * c_join bounds any selection path through that join; Section 4.1).
+  double fc = 0.0;
+  const std::string& target = join->to.table;
+  for (const SelectionPreference* sel : SelectionEdges(target)) {
+    fc = std::max(fc, sel->Criticality());
+  }
+  for (const JoinPreference* next : JoinEdges(target)) {
+    if (next == join) continue;
+    fc = std::max(fc, 2.0 * next->Criticality());
+  }
+  fake_criticality_[join] = fc;
+
+  std::vector<std::string> visited = {join->from.table, join->to.table};
+  std::set<std::string> reach = {target};
+  path_count_[join] = CountPaths(join, visited, &reach);
+  reach_[join] = std::vector<std::string>(reach.begin(), reach.end());
+}
+
+size_t PersonalizationGraph::CountPaths(const JoinPreference* edge,
+                                        std::vector<std::string>& visited,
+                                        std::set<std::string>* reach) const {
   const std::string& target = edge->to.table;
   size_t count = SelectionEdges(target).size();
   for (const JoinPreference* next : JoinEdges(target)) {
@@ -95,11 +205,35 @@ size_t PersonalizationGraph::CountPaths(
         visited.end()) {
       continue;
     }
+    if (reach != nullptr) reach->insert(next->to.table);
     visited.push_back(next->to.table);
-    count += CountPaths(next, visited);
+    count += CountPaths(next, visited, reach);
     visited.pop_back();
   }
   return count;
+}
+
+const std::vector<std::string>& PersonalizationGraph::Reach(
+    const JoinPreference* edge) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = reach_.find(edge);
+  return it == reach_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> PersonalizationGraph::ReachableRelations(
+    const std::vector<std::string>& anchors) const {
+  std::set<std::string> closure(anchors.begin(), anchors.end());
+  std::vector<std::string> frontier(anchors.begin(), anchors.end());
+  while (!frontier.empty()) {
+    const std::string rel = std::move(frontier.back());
+    frontier.pop_back();
+    for (const JoinPreference* join : JoinEdges(rel)) {
+      if (closure.insert(join->to.table).second) {
+        frontier.push_back(join->to.table);
+      }
+    }
+  }
+  return std::vector<std::string>(closure.begin(), closure.end());
 }
 
 size_t PersonalizationGraph::NumRelationNodes() const {

@@ -10,10 +10,22 @@
 //    criticality of any implicit selection extending the edge);
 //  - path count per join edge: how many selection paths the edge expands to
 //    (periodically refreshed, used to estimate N in doi-target selection).
+//
+// Incremental repair: Build is O(profile) validation plus a path-count DFS
+// per join edge. When the profile moved by a known delta (the
+// UserProfile mutation journal), RepairFrom produces the SAME graph a
+// fresh Build would — bit-identical derived statistics — while validating
+// only the added preferences and re-running the DFS only for join edges
+// whose recorded reach set intersects the delta's affected relations;
+// everything else is copied from the previous graph. The reach set of an
+// edge is exactly the set of relations whose selection/join neighborhoods
+// its derived statistics read, so a disjoint delta provably cannot change
+// them.
 
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -31,6 +43,18 @@ class PersonalizationGraph {
   /// Validates `profile` against `db` and builds the adjacency indexes.
   static Result<PersonalizationGraph> Build(const storage::Database* db,
                                             const UserProfile* profile);
+
+  /// Delta-sized rebuild: given the graph built over the previous version
+  /// of this profile and the journal entries that separate the two
+  /// (UserProfile::MutationsSince), produces the graph Build(db, profile)
+  /// would — identical adjacency order and identical derived statistics —
+  /// validating only added/updated preferences and recomputing path counts
+  /// only for join edges that can reach a mutated relation. `previous` may
+  /// point into a DIFFERENT (older) profile copy; it is only read.
+  static Result<PersonalizationGraph> RepairFrom(
+      const PersonalizationGraph& previous, const storage::Database* db,
+      const UserProfile* profile,
+      const std::vector<ProfileMutation>& mutations);
 
   const storage::Database& db() const { return *db_; }
   const UserProfile& profile() const { return *profile_; }
@@ -56,6 +80,19 @@ class PersonalizationGraph {
   /// Section 4.2).
   void RefreshDerivedStats();
 
+  /// The relations a join edge's derived statistics depend on (its DFS
+  /// footprint), sorted. Empty for edges not in the graph.
+  const std::vector<std::string>& Reach(const JoinPreference* edge) const;
+
+  /// Transitive closure of `anchors` under the graph's join edges
+  /// (including the anchors themselves), sorted. Over-approximates the
+  /// relations preference selection for a query anchored there can touch —
+  /// the serving layer keeps a cached selection alive across a profile
+  /// delta when this closure is disjoint from the delta's affected
+  /// relations.
+  std::vector<std::string> ReachableRelations(
+      const std::vector<std::string>& anchors) const;
+
   // --- Formal graph structure (for inspection and tests). ---
 
   /// Relation nodes: every schema relation.
@@ -71,8 +108,17 @@ class PersonalizationGraph {
  private:
   PersonalizationGraph() = default;
 
+  /// Re-derives the by-relation adjacency indexes from the profile
+  /// vectors (cheap pointer work, O(N log N) for the criticality sort).
+  void RebuildAdjacency();
+
+  /// Computes fake criticality, path count, and the reach set of one join
+  /// edge (adjacency indexes must be current).
+  void ComputeEdgeStats(const JoinPreference* edge);
+
   size_t CountPaths(const JoinPreference* edge,
-                    std::vector<std::string>& visited) const;
+                    std::vector<std::string>& visited,
+                    std::set<std::string>* reach) const;
 
   const storage::Database* db_ = nullptr;
   const UserProfile* profile_ = nullptr;
@@ -82,6 +128,9 @@ class PersonalizationGraph {
   std::map<std::string, std::vector<const JoinPreference*>> joins_by_relation_;
   std::map<const JoinPreference*, double> fake_criticality_;
   std::map<const JoinPreference*, size_t> path_count_;
+  /// Per-join-edge DFS footprint (see Reach); what RepairFrom keys its
+  /// copy-vs-recompute decision on.
+  std::map<const JoinPreference*, std::vector<std::string>> reach_;
 };
 
 }  // namespace qp::core

@@ -12,6 +12,86 @@ namespace qp::core {
 using storage::AttributeRef;
 using storage::Value;
 
+std::vector<std::string> ProfileMutation::AffectedRelations() const {
+  switch (kind) {
+    case ProfileMutationKind::kAddSelection:
+    case ProfileMutationKind::kRemoveSelection:
+    case ProfileMutationKind::kUpdateSelectionDoi:
+      return {condition.attr.table};
+    case ProfileMutationKind::kAddJoin:
+    case ProfileMutationKind::kRemoveJoin:
+      if (join_from.table == join_to.table) return {join_from.table};
+      return {join_from.table, join_to.table};
+    case ProfileMutationKind::kSetRanking:
+      return {};
+  }
+  return {};
+}
+
+std::string ProfileMutation::ToString() const {
+  const auto name = [this] {
+    switch (kind) {
+      case ProfileMutationKind::kAddSelection: return "add_selection";
+      case ProfileMutationKind::kRemoveSelection: return "remove_selection";
+      case ProfileMutationKind::kUpdateSelectionDoi: return "update_doi";
+      case ProfileMutationKind::kAddJoin: return "add_join";
+      case ProfileMutationKind::kRemoveJoin: return "remove_join";
+      case ProfileMutationKind::kSetRanking: return "set_ranking";
+    }
+    return "?";
+  }();
+  std::string out = "@" + std::to_string(epoch) + " " + name;
+  switch (kind) {
+    case ProfileMutationKind::kAddSelection:
+    case ProfileMutationKind::kRemoveSelection:
+    case ProfileMutationKind::kUpdateSelectionDoi:
+      out += " " + condition.ToString();
+      break;
+    case ProfileMutationKind::kAddJoin:
+    case ProfileMutationKind::kRemoveJoin:
+      out += " " + join_from.ToString() + " -> " + join_to.ToString();
+      break;
+    case ProfileMutationKind::kSetRanking:
+      break;
+  }
+  return out;
+}
+
+uint64_t UserProfile::NextLineage() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+ProfileMutation& UserProfile::Journal(ProfileMutationKind kind) {
+  ProfileMutation entry;
+  entry.kind = kind;
+  entry.epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  journal_.push_back(std::move(entry));
+  if (journal_.size() > kJournalCapacity) journal_.pop_front();
+  // Publish the epoch AFTER the journal entry exists, so a reader that
+  // observes the new epoch under the external mutex finds its delta.
+  epoch_.store(journal_.back().epoch, std::memory_order_release);
+  return journal_.back();
+}
+
+std::optional<std::vector<ProfileMutation>> UserProfile::MutationsSince(
+    uint64_t since_epoch) const {
+  const uint64_t current = epoch();
+  if (since_epoch > current) return std::nullopt;  // different lineage
+  if (since_epoch == current) return std::vector<ProfileMutation>{};
+  // Epochs advance by exactly 1 per mutation, so the delta is the entries
+  // with epoch in (since_epoch, current] — all of which must still be in
+  // the bounded journal.
+  if (journal_.empty() || journal_.front().epoch > since_epoch + 1) {
+    return std::nullopt;  // journal truncated past the gap
+  }
+  std::vector<ProfileMutation> out;
+  for (const ProfileMutation& m : journal_) {
+    if (m.epoch > since_epoch) out.push_back(m);
+  }
+  return out;
+}
+
 Status UserProfile::AddSelection(SelectionPreference pref) {
   if (pref.doi.IsIndifferent()) {
     return Status::InvalidArgument(
@@ -31,7 +111,8 @@ Status UserProfile::AddSelection(SelectionPreference pref) {
     }
   }
   selections_.push_back(std::move(pref));
-  ++epoch_;
+  Journal(ProfileMutationKind::kAddSelection).condition =
+      selections_.back().condition;
   return Status::OK();
 }
 
@@ -46,7 +127,9 @@ Status UserProfile::AddJoin(JoinPreference pref) {
     }
   }
   joins_.push_back(std::move(pref));
-  ++epoch_;
+  ProfileMutation& entry = Journal(ProfileMutationKind::kAddJoin);
+  entry.join_from = joins_.back().from;
+  entry.join_to = joins_.back().to;
   return Status::OK();
 }
 
@@ -69,8 +152,13 @@ Status UserProfile::AddJoin(const std::string& from_attr,
 Status UserProfile::RemoveSelection(const SelectionCondition& condition) {
   for (auto it = selections_.begin(); it != selections_.end(); ++it) {
     if (it->condition == condition) {
+      // `condition` may alias the element being erased (callers often pass
+      // selections()[i].condition); copy it before the erase shifts the
+      // vector, or the journal would record a neighbouring preference.
+      SelectionCondition removed = it->condition;
       selections_.erase(it);
-      ++epoch_;
+      Journal(ProfileMutationKind::kRemoveSelection).condition =
+          std::move(removed);
       return Status::OK();
     }
   }
@@ -82,13 +170,42 @@ Status UserProfile::RemoveJoin(const storage::AttributeRef& from,
                                const storage::AttributeRef& to) {
   for (auto it = joins_.begin(); it != joins_.end(); ++it) {
     if (it->from == from && it->to == to) {
+      // `from`/`to` may alias the element being erased; copy first (see
+      // RemoveSelection).
+      storage::AttributeRef removed_from = it->from;
+      storage::AttributeRef removed_to = it->to;
       joins_.erase(it);
-      ++epoch_;
+      ProfileMutation& entry = Journal(ProfileMutationKind::kRemoveJoin);
+      entry.join_from = std::move(removed_from);
+      entry.join_to = std::move(removed_to);
       return Status::OK();
     }
   }
   return Status::NotFound("no join preference " + from.ToString() + " -> " +
                           to.ToString());
+}
+
+Status UserProfile::UpdateSelectionDoi(const SelectionCondition& condition,
+                                       DoiPair doi) {
+  if (doi.IsIndifferent()) {
+    return Status::InvalidArgument(
+        "indifferent preferences (dT = dF = 0) are not stored");
+  }
+  if ((doi.d_true().is_elastic() || doi.d_false().is_elastic()) &&
+      !condition.value.is_numeric()) {
+    return Status::InvalidArgument(
+        "elastic preference requires a numeric target value: " +
+        condition.ToString());
+  }
+  for (auto& pref : selections_) {
+    if (pref.condition == condition) {
+      pref.doi = std::move(doi);
+      Journal(ProfileMutationKind::kUpdateSelectionDoi).condition = condition;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no preference on condition '" +
+                          condition.ToString() + "'");
 }
 
 std::vector<const SelectionPreference*> UserProfile::SelectionsOn(

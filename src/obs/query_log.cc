@@ -47,6 +47,32 @@ void AppendSeconds(const char* key, double value, std::string* out) {
 
 }  // namespace
 
+std::string QueryLogRecord::AnswerIdentityString() const {
+  std::string out;
+  AppendField("seq", seq, &out);
+  AppendField("user", user_id, &out);
+  AppendField("fingerprint", fingerprint, &out);
+  AppendField("algorithm", algorithm, &out);
+  AppendField("k", static_cast<uint64_t>(k), &out);
+  AppendField("l", static_cast<uint64_t>(l), &out);
+  AppendField("selected_preferences",
+              static_cast<uint64_t>(selected_preferences), &out);
+  AppendField("rows_returned", static_cast<uint64_t>(rows_returned), &out);
+  AppendField("subqueries_executed",
+              static_cast<uint64_t>(subqueries_executed), &out);
+  AppendField("rows_scanned", static_cast<uint64_t>(rows_scanned), &out);
+  AppendField("rows_joined", static_cast<uint64_t>(rows_joined), &out);
+  AppendField("rows_materialized", static_cast<uint64_t>(rows_materialized),
+              &out);
+  AppendField("partial", partial, &out);
+  AppendField("rounds_run", static_cast<uint64_t>(rounds_run), &out);
+  AppendField("scheduled", scheduled, &out);
+  AppendField("lane", lane, &out);
+  AppendField("shard", static_cast<uint64_t>(shard), &out);
+  AppendField("sampled", sampled, &out);
+  return out;
+}
+
 std::string QueryLogRecord::DeterministicString() const {
   std::string out;
   AppendField("seq", seq, &out);
@@ -58,6 +84,7 @@ std::string QueryLogRecord::DeterministicString() const {
   AppendField("selected_preferences",
               static_cast<uint64_t>(selected_preferences), &out);
   AppendField("state_reused", state_reused, &out);
+  AppendField("state_outcome", state_outcome, &out);
   AppendField("selection_cache_hit", selection_cache_hit, &out);
   AppendField("plan_cache_hit", plan_cache_hit, &out);
   AppendField("rows_returned", static_cast<uint64_t>(rows_returned), &out);

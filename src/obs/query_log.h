@@ -48,6 +48,10 @@ struct QueryLogRecord {
   size_t l = 0;              ///< integration depth L
   size_t selected_preferences = 0;
   bool state_reused = false;        ///< session state epoch still valid
+  /// How the session state was obtained: "reused" | "built" |
+  /// "stats_refresh" | "repaired" | "rebuilt" (serve::StateOutcomeName).
+  /// Distinguishes a delta-sized graph repair from a wholesale rebuild.
+  std::string state_outcome = "reused";
   bool selection_cache_hit = false;
   bool plan_cache_hit = false;
 
@@ -91,6 +95,14 @@ struct QueryLogRecord {
   /// timings and `slow`), one `key=value` pair per field on a single line.
   /// Byte-identical across thread counts for the same request stream.
   std::string DeterministicString() const;
+
+  /// The answer-identity subset of DeterministicString: who asked what and
+  /// what came back — WITHOUT the cache-outcome fields (state_reused,
+  /// state_outcome, cache hits). An incremental session that repairs its
+  /// state and a cold session that rebuilds from scratch must agree on
+  /// this projection byte for byte even though their cache outcomes
+  /// legitimately differ; the churn differential tests diff it.
+  std::string AnswerIdentityString() const;
 
   /// DeterministicString plus the timing fields and retention flags —
   /// the human-facing spelling used by Dump() and the shell's \log.

@@ -305,7 +305,10 @@ void Scheduler::Execute(size_t shard_index, QueuedRequest&& item) {
     if (scripted.has_value()) {
       status = std::move(*scripted);
     } else {
-      Session* session = ctx_->FindSession(item.request.user_id);
+      // Shared ownership: the handle keeps the session alive even if the
+      // context's LRU cap evicts it mid-request.
+      std::shared_ptr<Session> session =
+          ctx_->AcquireSession(item.request.user_id);
       if (session == nullptr) {
         status = Status::NotFound("no session for user '" +
                                   item.request.user_id + "'");

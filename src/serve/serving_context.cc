@@ -2,7 +2,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <set>
 #include <utility>
+
+#include "core/conflict.h"
 
 namespace qp::serve {
 
@@ -66,7 +69,35 @@ double SecondsSince(const std::chrono::steady_clock::time_point& t0) {
       .count();
 }
 
+/// True when the join-closure of `anchors` over `graph` meets `affected` —
+/// i.e. preference selection for a query anchored there could observe the
+/// delta.
+bool ClosureTouches(const core::PersonalizationGraph& graph,
+                    const std::vector<std::string>& anchors,
+                    const std::set<std::string>& affected) {
+  for (const std::string& rel : graph.ReachableRelations(anchors)) {
+    if (affected.count(rel) > 0) return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+const char* StateOutcomeName(StateOutcome outcome) {
+  switch (outcome) {
+    case StateOutcome::kReused:
+      return "reused";
+    case StateOutcome::kBuilt:
+      return "built";
+    case StateOutcome::kStatsRefresh:
+      return "stats_refresh";
+    case StateOutcome::kRepaired:
+      return "repaired";
+    case StateOutcome::kRebuilt:
+      return "rebuilt";
+  }
+  return "unknown";
+}
 
 ServingContext::ServingContext(const storage::Database* db)
     : ServingContext(db, Options()) {}
@@ -83,7 +114,15 @@ ServingContext::ServingContext(const storage::Database* db, Options options)
                                            "Personalize calls served");
   graph_builds_ = metrics_.GetCounter(
       "qp_serve_graph_builds_total",
-      "Personalization-graph constructions (cold sessions + invalidations)");
+      "Wholesale personalization-graph constructions (cold sessions + "
+      "journal-gap fallbacks)");
+  graph_repairs_ = metrics_.GetCounter(
+      "qp_serve_graph_repairs_total",
+      "Delta-sized personalization-graph repairs (mutation journal hits)");
+  wholesale_rebuilds_ = metrics_.GetCounter(
+      "qp_serve_wholesale_rebuilds_total",
+      "Profile invalidations that outran the mutation journal and paid a "
+      "full rebuild");
   selection_cache_hits_ = metrics_.GetCounter(
       "qp_serve_selection_cache_hits_total", "Selection cache hits");
   selection_cache_misses_ = metrics_.GetCounter(
@@ -95,6 +134,21 @@ ServingContext::ServingContext(const storage::Database* db, Options options)
   epoch_invalidations_ = metrics_.GetCounter(
       "qp_serve_epoch_invalidations_total",
       "Snapshot rebuilds forced by a profile- or stats-epoch change");
+  selection_entries_retained_ = metrics_.GetCounter(
+      "qp_serve_selection_entries_retained_total",
+      "Cached selections carried across an epoch transition");
+  selection_entries_dropped_ = metrics_.GetCounter(
+      "qp_serve_selection_entries_dropped_total",
+      "Cached selections dropped by an epoch transition");
+  plan_entries_retained_ =
+      metrics_.GetCounter("qp_serve_plan_entries_retained_total",
+                          "Cached plans carried across an epoch transition");
+  plan_entries_dropped_ =
+      metrics_.GetCounter("qp_serve_plan_entries_dropped_total",
+                          "Cached plans dropped by an epoch transition");
+  sessions_evicted_ =
+      metrics_.GetCounter("qp_serve_sessions_evicted_total",
+                          "Sessions evicted by the LRU capacity cap");
   q_rows_scanned_ = metrics_.GetCounter(
       "qp_query_rows_scanned_total",
       "Rows scanned during answer generation, summed per request");
@@ -129,23 +183,50 @@ Session::Session(ServingContext* ctx, std::string user_id,
       obs::DefaultLatencyBuckets(), "Per-user personalize latency");
 }
 
+Status Session::Mutate(const std::function<Status(core::UserProfile&)>& fn) {
+  std::lock_guard<std::mutex> lock(profile_mu_);
+  return fn(profile_);
+}
+
 Result<std::shared_ptr<const Session::State>> Session::CurrentState(
-    uint64_t profile_epoch, uint64_t stats_epoch) {
+    uint64_t stats_epoch, StateOutcome* outcome) {
+  // Profile epochs are only comparable within one lineage: a wholesale
+  // replacement (mutable_profile() = other) swaps the lineage and makes
+  // every cached artifact stale even if the epoch numbers align.
+  const auto matches = [this, stats_epoch](const State& s) {
+    return s.profile_epoch == profile_.epoch() &&
+           s.snapshot->profile.lineage() == profile_.lineage() &&
+           s.stats_epoch == stats_epoch;
+  };
   std::shared_ptr<const State> state = state_.load(std::memory_order_acquire);
-  if (state != nullptr && state->profile_epoch == profile_epoch &&
-      state->stats_epoch == stats_epoch) {
+  if (state != nullptr && matches(*state)) {
+    *outcome = StateOutcome::kReused;
     return state;
   }
   std::lock_guard<std::mutex> lock(mu_);
   state = state_.load(std::memory_order_acquire);
-  if (state != nullptr && state->profile_epoch == profile_epoch &&
-      state->stats_epoch == stats_epoch) {
+  if (state != nullptr && matches(*state)) {
+    *outcome = StateOutcome::kReused;
     return state;
   }
+
+  // Pin the profile: one copy under the mutation lock. Everything below
+  // reads the copy, so a racing Mutate after this point simply bumps the
+  // epoch again and the NEXT call transitions once more.
+  core::UserProfile profile_copy;
+  {
+    std::lock_guard<std::mutex> plock(profile_mu_);
+    profile_copy = profile_;
+  }
+
   auto next = std::make_shared<State>();
-  next->profile_epoch = profile_epoch;
+  next->profile_epoch = profile_copy.epoch();
   next->stats_epoch = stats_epoch;
-  if (state != nullptr && state->profile_epoch == profile_epoch) {
+
+  const bool same_lineage =
+      state != nullptr &&
+      state->snapshot->profile.lineage() == profile_copy.lineage();
+  if (same_lineage && state->profile_epoch == next->profile_epoch) {
     // Data changed but the profile did not: the graph and the selected
     // preference sets stay valid (they never look at table contents); only
     // the integration plans — selectivity ordering, prepared index walks —
@@ -153,25 +234,103 @@ Result<std::shared_ptr<const Session::State>> Session::CurrentState(
     next->snapshot = state->snapshot;
     next->selections = state->selections;
     ctx_->epoch_invalidations_->Increment();
-  } else {
-    if (state != nullptr) {
-      ctx_->epoch_invalidations_->Increment();
-    }
-    auto snapshot = std::make_shared<ProfileSnapshot>(profile_);
+    ctx_->selection_entries_retained_->Increment(state->selections.size());
+    ctx_->plan_entries_dropped_->Increment(state->plans.size());
+    *outcome = StateOutcome::kStatsRefresh;
+  } else if (state == nullptr) {
+    auto snapshot = std::make_shared<ProfileSnapshot>(std::move(profile_copy));
     QP_ASSIGN_OR_RETURN(
         core::PersonalizationGraph graph,
         core::PersonalizationGraph::Build(ctx_->db_, &snapshot->profile));
     snapshot->graph.emplace(std::move(graph));
     ctx_->graph_builds_->Increment();
     next->snapshot = std::move(snapshot);
+    *outcome = StateOutcome::kBuilt;
+  } else {
+    ctx_->epoch_invalidations_->Increment();
+    // A lineage change means the caller wholesale-replaced the profile:
+    // the new journal describes a different history, so the delta — even
+    // if the epochs look comparable — must not be trusted.
+    const std::optional<std::vector<core::ProfileMutation>> delta =
+        same_lineage ? profile_copy.MutationsSince(state->profile_epoch)
+                     : std::nullopt;
+    if (delta.has_value()) {
+      // Delta repair: patch the graph, then keep every cached artifact the
+      // delta provably cannot have changed.
+      auto snapshot =
+          std::make_shared<ProfileSnapshot>(std::move(profile_copy));
+      QP_ASSIGN_OR_RETURN(core::PersonalizationGraph graph,
+                          core::PersonalizationGraph::RepairFrom(
+                              *state->snapshot->graph, ctx_->db_,
+                              &snapshot->profile, *delta));
+      snapshot->graph.emplace(std::move(graph));
+      ctx_->graph_repairs_->Increment();
+      next->snapshot = std::move(snapshot);
+
+      std::set<std::string> affected;
+      bool count_changed = false;
+      for (const core::ProfileMutation& m : *delta) {
+        for (const std::string& rel : m.AffectedRelations()) {
+          affected.insert(rel);
+        }
+        count_changed = count_changed || m.ChangesPreferenceCount();
+      }
+      for (const auto& [key, entry] : state->selections) {
+        // A doi-target selection's N estimate reads the global preference
+        // count, so any add/remove invalidates it regardless of locality.
+        bool survives = !(entry.doi_target && count_changed);
+        if (survives && !affected.empty()) {
+          // The selection only walked join edges out of the query's anchor
+          // relations; if neither the old nor the new closure meets the
+          // delta, it saw — and would see — nothing different. Both graphs
+          // matter: a removed join shrinks the new closure but widened the
+          // old selection, an added join the other way around.
+          survives = !ClosureTouches(*state->snapshot->graph,
+                                     entry.query_relations, affected) &&
+                     !ClosureTouches(*next->snapshot->graph,
+                                     entry.query_relations, affected);
+        }
+        if (survives) {
+          next->selections.emplace(key, entry);
+          ctx_->selection_entries_retained_->Increment();
+        } else {
+          ctx_->selection_entries_dropped_->Increment();
+        }
+      }
+      const bool stats_unchanged = state->stats_epoch == stats_epoch;
+      for (const auto& [key, entry] : state->plans) {
+        if (stats_unchanged &&
+            next->selections.count(entry.selection_key) > 0) {
+          next->plans.emplace(key, entry);
+          ctx_->plan_entries_retained_->Increment();
+        } else {
+          ctx_->plan_entries_dropped_->Increment();
+        }
+      }
+      *outcome = StateOutcome::kRepaired;
+    } else {
+      // The journal no longer reaches back to the session's epoch (or the
+      // profile was wholesale-replaced): rebuild from scratch.
+      auto snapshot =
+          std::make_shared<ProfileSnapshot>(std::move(profile_copy));
+      QP_ASSIGN_OR_RETURN(
+          core::PersonalizationGraph graph,
+          core::PersonalizationGraph::Build(ctx_->db_, &snapshot->profile));
+      snapshot->graph.emplace(std::move(graph));
+      ctx_->graph_builds_->Increment();
+      ctx_->wholesale_rebuilds_->Increment();
+      ctx_->selection_entries_dropped_->Increment(state->selections.size());
+      ctx_->plan_entries_dropped_->Increment(state->plans.size());
+      next->snapshot = std::move(snapshot);
+      *outcome = StateOutcome::kRebuilt;
+    }
   }
   state_.store(next, std::memory_order_release);
   return std::shared_ptr<const State>(std::move(next));
 }
 
-void Session::StoreSelection(
-    const std::shared_ptr<const State>& based_on, const std::string& key,
-    std::shared_ptr<const std::vector<SelectedPreference>> value) {
+void Session::StoreSelection(const std::shared_ptr<const State>& based_on,
+                             const std::string& key, CachedSelection value) {
   std::lock_guard<std::mutex> lock(mu_);
   std::shared_ptr<const State> cur = state_.load(std::memory_order_acquire);
   if (cur == nullptr || cur->profile_epoch != based_on->profile_epoch ||
@@ -185,8 +344,7 @@ void Session::StoreSelection(
 }
 
 void Session::StorePlan(const std::shared_ptr<const State>& based_on,
-                        const std::string& key,
-                        std::shared_ptr<const core::IntegrationPlan> value) {
+                        const std::string& key, CachedPlan value) {
   std::lock_guard<std::mutex> lock(mu_);
   std::shared_ptr<const State> cur = state_.load(std::memory_order_acquire);
   if (cur == nullptr || cur->profile_epoch != based_on->profile_epoch ||
@@ -207,6 +365,13 @@ Result<PersonalizedAnswer> Session::Personalize(
 Result<PersonalizedAnswer> Session::PersonalizeAdmitted(
     const sql::SelectQuery& query, const PersonalizeOptions& options,
     const AdmissionInfo* admission) {
+  // Pin the session against LRU eviction for the duration of the call.
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  struct InFlightGuard {
+    std::atomic<size_t>* n;
+    ~InFlightGuard() { n->fetch_sub(1, std::memory_order_acq_rel); }
+  } guard{&inflight_};
+
   ctx_->personalize_calls_->Increment();
   const auto call_start = std::chrono::steady_clock::now();
 
@@ -276,23 +441,24 @@ Result<PersonalizedAnswer> Session::PersonalizeImpl(
     const sql::SelectQuery& query, const PersonalizeOptions& options,
     obs::QueryLogRecord* record) {
   const PersonalizeOptions& opts = options;
-  const uint64_t profile_epoch = profile_.epoch();
   const uint64_t stats_epoch = ctx_->stats_.Epoch();
   obs::TraceSpan* state_span =
       opts.trace != nullptr ? opts.trace->AddChild("session state") : nullptr;
   const auto state_start = std::chrono::steady_clock::now();
-  const std::shared_ptr<const State> prior =
-      state_.load(std::memory_order_acquire);
+  StateOutcome outcome = StateOutcome::kReused;
   QP_ASSIGN_OR_RETURN(std::shared_ptr<const State> state,
-                      CurrentState(profile_epoch, stats_epoch));
+                      CurrentState(stats_epoch, &outcome));
   const double state_seconds = SecondsSince(state_start);
   if (record != nullptr) {
-    record->state_reused = (state == prior);
+    record->state_reused = (outcome == StateOutcome::kReused);
+    record->state_outcome = StateOutcomeName(outcome);
     record->state_seconds = state_seconds;
   }
   if (state_span != nullptr) {
     state_span->set_seconds(state_seconds);
-    state_span->AddAttr("profile_epoch", static_cast<size_t>(profile_epoch));
+    state_span->AddAttr("outcome", StateOutcomeName(outcome));
+    state_span->AddAttr("profile_epoch",
+                        static_cast<size_t>(state->profile_epoch));
     state_span->AddAttr("stats_epoch", static_cast<size_t>(stats_epoch));
   }
 
@@ -308,7 +474,7 @@ Result<PersonalizedAnswer> Session::PersonalizeImpl(
   bool selection_cached = true;
   if (auto it = state->selections.find(selection_key);
       it != state->selections.end()) {
-    preferences = it->second;
+    preferences = it->second.prefs;
     ctx_->selection_cache_hits_->Increment();
   } else {
     selection_cached = false;
@@ -323,7 +489,12 @@ Result<PersonalizedAnswer> Session::PersonalizeImpl(
             .count();
     preferences = std::make_shared<const std::vector<SelectedPreference>>(
         std::move(selected));
-    StoreSelection(state, selection_key, preferences);
+    CachedSelection entry;
+    entry.prefs = preferences;
+    entry.query_relations = core::QueryContext::FromQuery(query).relations;
+    entry.doi_target =
+        opts.target_doi.has_value() || resolved.interval.has_value();
+    StoreSelection(state, selection_key, std::move(entry));
   }
   if (opts.trace != nullptr) {
     obs::TraceSpan* select_span = opts.trace->AddChild("selection");
@@ -348,7 +519,7 @@ Result<PersonalizedAnswer> Session::PersonalizeImpl(
       opts.trace != nullptr ? opts.trace->AddChild("plan") : nullptr;
   const auto plan_start = std::chrono::steady_clock::now();
   if (auto it = state->plans.find(plan_key); it != state->plans.end()) {
-    plan = it->second;
+    plan = it->second.plan;
     ctx_->plan_cache_hits_->Increment();
   } else {
     plan_cached = false;
@@ -357,7 +528,7 @@ Result<PersonalizedAnswer> Session::PersonalizeImpl(
                         core::BuildIntegrationPlan(ctx_->db_, &ctx_->stats_,
                                                    query, *preferences, opts));
     plan = std::make_shared<const core::IntegrationPlan>(std::move(built));
-    StorePlan(state, plan_key, plan);
+    StorePlan(state, plan_key, CachedPlan{plan, selection_key});
   }
   const double plan_seconds = SecondsSince(plan_start);
   if (plan_span != nullptr) {
@@ -402,16 +573,46 @@ Result<Session*> ServingContext::OpenSession(const std::string& user_id,
                                  "'");
   }
   auto session =
-      std::unique_ptr<Session>(new Session(this, user_id, profile));
+      std::shared_ptr<Session>(new Session(this, user_id, profile));
+  lru_.push_front(user_id);
+  session->lru_it_ = lru_.begin();
   Session* out = session.get();
   sessions_.emplace(user_id, std::move(session));
+  EvictOverCapLocked();
   return out;
+}
+
+void ServingContext::EvictOverCapLocked() {
+  if (options_.max_sessions == 0) return;
+  // Walk coldest-first; skip sessions with calls in flight (the cap is
+  // soft). The evicted shared_ptr may outlive the map if a caller holds an
+  // AcquireSession handle — destruction then happens on handle release.
+  auto it = lru_.end();
+  while (sessions_.size() > options_.max_sessions && it != lru_.begin()) {
+    --it;
+    auto found = sessions_.find(*it);
+    if (found == sessions_.end() || found->second->InFlight() > 0) continue;
+    it = lru_.erase(it);
+    sessions_.erase(found);
+    sessions_evicted_->Increment();
+  }
 }
 
 Session* ServingContext::FindSession(const std::string& user_id) {
   std::lock_guard<std::mutex> lock(sessions_mu_);
   auto it = sessions_.find(user_id);
-  return it != sessions_.end() ? it->second.get() : nullptr;
+  if (it == sessions_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second->lru_it_);
+  return it->second.get();
+}
+
+std::shared_ptr<Session> ServingContext::AcquireSession(
+    const std::string& user_id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(user_id);
+  if (it == sessions_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second->lru_it_);
+  return it->second;
 }
 
 Status ServingContext::CloseSession(const std::string& user_id) {
@@ -420,8 +621,14 @@ Status ServingContext::CloseSession(const std::string& user_id) {
   if (it == sessions_.end()) {
     return Status::NotFound("no session for user '" + user_id + "'");
   }
+  lru_.erase(it->second->lru_it_);
   sessions_.erase(it);
   return Status::OK();
+}
+
+size_t ServingContext::NumSessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
 }
 
 }  // namespace qp::serve

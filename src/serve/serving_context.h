@@ -25,6 +25,21 @@
 // PPA plans embed histogram-derived ordering and prepared index walks, so
 // they must be dropped when data changes.
 //
+// Incremental invalidation: a profile-epoch bump no longer throws the
+// session state away wholesale. When the profile's mutation journal
+// (UserProfile::MutationsSince) still covers the session's epoch, the next
+// call REPAIRS: the graph is patched via PersonalizationGraph::RepairFrom,
+// a cached selection survives when the join-closure of its query's anchor
+// relations (over the old AND the new graph) is disjoint from the delta's
+// affected relations — doi-target selections additionally require the
+// preference COUNT to be unchanged, because their N estimate is global —
+// and a plan survives when its selection survived and the stats epoch did
+// not move. A repaired state is bit-identical to what a wholesale rebuild
+// would produce (the differential churn tests pin this); the journal
+// falling behind (> UserProfile::kJournalCapacity mutations) falls back to
+// the wholesale rebuild. Stats-only and data-version bumps keep their
+// pre-existing behavior: graph + selections survive, plans drop.
+//
 // Warm calls re-enter the exact pipeline stages a cold core::Personalizer
 // runs (core/pipeline.h), just skipping the stages whose cached inputs are
 // still valid — which is why a warm answer is byte-identical to a cold one
@@ -34,15 +49,22 @@
 // Within one session, concurrent Personalize calls are safe and lock-free
 // on the read path — the session state (graph + caches) is an immutable
 // snapshot behind std::atomic<std::shared_ptr>, and cache inserts
-// copy-on-write the snapshot under a small per-session mutex. Mutating a
-// session's profile (mutable_profile()) requires the same external ordering
-// any database session API requires: don't mutate WHILE a Personalize call
-// on the same session is in flight; the next call after a mutation observes
-// the bumped epoch and rebuilds.
+// copy-on-write the snapshot under a small per-session mutex. Mutating the
+// profile concurrently with in-flight Personalize calls is safe through
+// Session::Mutate (it serializes against the state-rebuild path); touching
+// mutable_profile() directly keeps the historical contract — don't mutate
+// WHILE a call on the same session is in flight.
+//
+// Session lifetime: ServingContext::Options::max_sessions turns on LRU
+// eviction — a soft cap, because sessions with calls in flight are never
+// evicted. Under a cap, hold sessions via AcquireSession (shared ownership)
+// rather than the raw OpenSession/FindSession pointers.
 
 #pragma once
 
 #include <atomic>
+#include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -67,17 +89,44 @@ namespace qp::serve {
 /// disagree.
 struct ServeCounters {
   size_t personalize_calls = 0;
-  /// Personalization-graph constructions (cold sessions + invalidations).
+  /// Wholesale personalization-graph constructions (cold sessions + journal
+  /// fallbacks). Delta repairs count under graph_repairs instead.
   size_t graph_builds = 0;
+  /// Delta-sized graph repairs (PersonalizationGraph::RepairFrom).
+  size_t graph_repairs = 0;
+  /// Profile-epoch invalidations that could NOT use the journal (gap or
+  /// lineage change) and paid a full rebuild.
+  size_t wholesale_rebuilds = 0;
   size_t selection_cache_hits = 0;
   size_t selection_cache_misses = 0;
   size_t plan_cache_hits = 0;
   size_t plan_cache_misses = 0;
   /// Snapshot rebuilds forced by a profile- or stats-epoch change.
   size_t epoch_invalidations = 0;
+  /// Cache entries carried across an epoch transition / dropped by one.
+  size_t selection_entries_retained = 0;
+  size_t selection_entries_dropped = 0;
+  size_t plan_entries_retained = 0;
+  size_t plan_entries_dropped = 0;
+  /// Sessions closed by the LRU cap (Options::max_sessions).
+  size_t sessions_evicted = 0;
 
   bool operator==(const ServeCounters&) const = default;
 };
+
+/// How a Personalize call obtained its session state — the query log's
+/// state_outcome field. Reused/stats_refresh/repaired are the warm paths;
+/// built is a session's first call; rebuilt is the journal-gap fallback.
+enum class StateOutcome {
+  kReused,        ///< epochs matched, state untouched
+  kBuilt,         ///< first call: graph built, caches empty
+  kStatsRefresh,  ///< stats epoch moved: graph + selections kept, plans drop
+  kRepaired,      ///< profile delta: graph patched, caches filtered
+  kRebuilt,       ///< profile moved past the journal: wholesale rebuild
+};
+
+/// Lower-case wire name ("reused", "built", ...).
+const char* StateOutcomeName(StateOutcome outcome);
 
 class ServingContext;
 
@@ -98,11 +147,19 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   /// The live profile. Mutations bump its epoch; the next Personalize call
-  /// rebuilds the graph and drops this session's caches. See the file
-  /// comment for the ordering contract.
+  /// repairs (or rebuilds) the session state. Direct access keeps the
+  /// historical ordering contract (no concurrent Personalize in flight);
+  /// use Mutate() when servers race mutators.
   core::UserProfile& mutable_profile() { return profile_; }
   const core::UserProfile& profile() const { return profile_; }
   const std::string& user_id() const { return user_id_; }
+
+  /// Applies `fn` to the live profile under the session's profile mutex —
+  /// safe to call while Personalize calls on this session are in flight.
+  /// Returns whatever `fn` returns; a failed mutation attempt that left the
+  /// profile untouched (the UserProfile mutators are all-or-nothing)
+  /// invalidates nothing.
+  Status Mutate(const std::function<Status(core::UserProfile&)>& fn);
 
   /// Personalizes `query` for this user, reusing every cached artifact
   /// whose epoch still matches. Byte-identical to a cold
@@ -135,17 +192,32 @@ class Session {
     explicit ProfileSnapshot(core::UserProfile p) : profile(std::move(p)) {}
   };
 
+  /// A cached selected-preference set plus what epoch transitions need to
+  /// decide its survival: the query's anchor relations (closure inputs) and
+  /// whether the doi-target path produced it (whose N estimate reads the
+  /// GLOBAL preference count, so any add/remove kills it).
+  struct CachedSelection {
+    std::shared_ptr<const std::vector<core::SelectedPreference>> prefs;
+    std::vector<std::string> query_relations;
+    bool doi_target = false;
+  };
+
+  /// A cached integration plan plus the selection entry it was derived
+  /// from: a plan survives a profile delta only if that entry did.
+  struct CachedPlan {
+    std::shared_ptr<const core::IntegrationPlan> plan;
+    std::string selection_key;
+  };
+
   /// Immutable session state: swapped wholesale, never mutated in place.
   struct State {
     uint64_t profile_epoch = 0;
     uint64_t stats_epoch = 0;
     std::shared_ptr<const ProfileSnapshot> snapshot;
-    /// Selection key -> selected preferences (valid for profile_epoch).
-    std::map<std::string,
-             std::shared_ptr<const std::vector<core::SelectedPreference>>>
-        selections;
-    /// Plan key -> integration plan (valid for both epochs).
-    std::map<std::string, std::shared_ptr<const core::IntegrationPlan>> plans;
+    /// Selection key -> cached selection (valid for profile_epoch).
+    std::map<std::string, CachedSelection> selections;
+    /// Plan key -> cached plan (valid for both epochs).
+    std::map<std::string, CachedPlan> plans;
   };
 
   Session(ServingContext* ctx, std::string user_id, core::UserProfile profile);
@@ -161,19 +233,24 @@ class Session {
       const sql::SelectQuery& query, const core::PersonalizeOptions& opts,
       obs::QueryLogRecord* record);
 
-  /// Returns a state whose epochs match (profile_epoch, stats_epoch),
-  /// rebuilding the graph and/or dropping caches as needed.
-  Result<std::shared_ptr<const State>> CurrentState(uint64_t profile_epoch,
-                                                    uint64_t stats_epoch);
+  /// Returns a state current for the live profile epoch and `stats_epoch`,
+  /// repairing or rebuilding as needed; `outcome` (required) reports which
+  /// transition ran. Reads the live profile only under profile_mu_, so it
+  /// is safe against concurrent Mutate calls.
+  Result<std::shared_ptr<const State>> CurrentState(uint64_t stats_epoch,
+                                                    StateOutcome* outcome);
 
   /// Copy-on-write cache inserts; no-ops when the state has moved on (a
   /// concurrent epoch bump) so stale artifacts never enter the cache.
-  void StoreSelection(
-      const std::shared_ptr<const State>& based_on, const std::string& key,
-      std::shared_ptr<const std::vector<core::SelectedPreference>> value);
+  void StoreSelection(const std::shared_ptr<const State>& based_on,
+                      const std::string& key, CachedSelection value);
   void StorePlan(const std::shared_ptr<const State>& based_on,
-                 const std::string& key,
-                 std::shared_ptr<const core::IntegrationPlan> value);
+                 const std::string& key, CachedPlan value);
+
+  /// In-flight Personalize calls (eviction guard).
+  size_t InFlight() const {
+    return inflight_.load(std::memory_order_acquire);
+  }
 
   ServingContext* ctx_;
   const std::string user_id_;
@@ -186,6 +263,13 @@ class Session {
   /// Lock-free read path; writers swap under mu_.
   std::atomic<std::shared_ptr<const State>> state_{nullptr};
   std::mutex mu_;
+  /// Serializes profile mutation (Mutate) against the state-rebuild path's
+  /// profile copy. Ordered AFTER mu_ (CurrentState holds mu_ when it takes
+  /// this); Mutate takes it alone.
+  std::mutex profile_mu_;
+  std::atomic<size_t> inflight_{0};
+  /// Position in the context's LRU list (guarded by sessions_mu_).
+  std::list<std::string>::iterator lru_it_;
 };
 
 /// \brief Shared serving state: database, stats, thread pool, sessions.
@@ -195,6 +279,12 @@ class ServingContext {
     /// Parallelism of the shared pool all sessions' queries and probes run
     /// on. 1 = serial (no pool); N spawns N - 1 workers that callers join.
     size_t num_threads = 1;
+    /// Soft cap on concurrently open sessions; 0 = unbounded (historical
+    /// behavior). When OpenSession would exceed the cap, least-recently
+    /// used idle sessions are evicted (qp_serve_sessions_evicted_total);
+    /// sessions with calls in flight are skipped, so the map can
+    /// transiently exceed the cap under load.
+    size_t max_sessions = 0;
     /// Structured per-request query log (obs::QueryLog). Enabled by
     /// default; disabling removes every per-call logging cost (no record
     /// assembly, no fingerprint hash) for overhead benchmarking.
@@ -214,16 +304,26 @@ class ServingContext {
   /// Opens a session for `user_id` with a copy of `profile`; kAlreadyExists
   /// when the user already has one. Fails with kProfileValidation when the
   /// profile does not validate against the database. The returned pointer
-  /// stays valid until CloseSession.
+  /// stays valid until CloseSession — or, under Options::max_sessions,
+  /// until LRU eviction; capped contexts should hold sessions via
+  /// AcquireSession instead.
   Result<Session*> OpenSession(const std::string& user_id,
                                const core::UserProfile& profile);
 
-  /// The user's session, or null.
+  /// The user's session, or null. Marks the session most-recently used.
   Session* FindSession(const std::string& user_id);
+
+  /// Shared-ownership lookup: the returned handle keeps the session alive
+  /// even if it is concurrently evicted or closed, so in-flight work never
+  /// races session destruction. Null when the user has no session.
+  std::shared_ptr<Session> AcquireSession(const std::string& user_id);
 
   /// Destroys the session; kNotFound if absent. No call on the session may
   /// be in flight.
   Status CloseSession(const std::string& user_id);
+
+  /// Open sessions right now (eviction tests).
+  size_t NumSessions() const;
 
   const storage::Database* db() const { return db_; }
   stats::StatsManager* stats() { return &stats_; }
@@ -256,16 +356,27 @@ class ServingContext {
     ServeCounters c;
     c.personalize_calls = personalize_calls_->Value();
     c.graph_builds = graph_builds_->Value();
+    c.graph_repairs = graph_repairs_->Value();
+    c.wholesale_rebuilds = wholesale_rebuilds_->Value();
     c.selection_cache_hits = selection_cache_hits_->Value();
     c.selection_cache_misses = selection_cache_misses_->Value();
     c.plan_cache_hits = plan_cache_hits_->Value();
     c.plan_cache_misses = plan_cache_misses_->Value();
     c.epoch_invalidations = epoch_invalidations_->Value();
+    c.selection_entries_retained = selection_entries_retained_->Value();
+    c.selection_entries_dropped = selection_entries_dropped_->Value();
+    c.plan_entries_retained = plan_entries_retained_->Value();
+    c.plan_entries_dropped = plan_entries_dropped_->Value();
+    c.sessions_evicted = sessions_evicted_->Value();
     return c;
   }
 
  private:
   friend class Session;
+
+  /// Evicts LRU idle sessions until the cap holds (caller holds
+  /// sessions_mu_). Sessions with in-flight calls are skipped.
+  void EvictOverCapLocked();
 
   const storage::Database* db_;
   Options options_;
@@ -274,17 +385,27 @@ class ServingContext {
   obs::MetricsRegistry metrics_;
   std::unique_ptr<obs::QueryLog> query_log_;
 
-  std::mutex sessions_mu_;
-  std::map<std::string, std::unique_ptr<Session>> sessions_;
+  mutable std::mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  /// Most-recently used session ids, front = hottest; each Session keeps
+  /// its own iterator (lru_it_).
+  std::list<std::string> lru_;
 
   /// Views into metrics_ (stable pointers), resolved once at construction.
   obs::Counter* personalize_calls_ = nullptr;
   obs::Counter* graph_builds_ = nullptr;
+  obs::Counter* graph_repairs_ = nullptr;
+  obs::Counter* wholesale_rebuilds_ = nullptr;
   obs::Counter* selection_cache_hits_ = nullptr;
   obs::Counter* selection_cache_misses_ = nullptr;
   obs::Counter* plan_cache_hits_ = nullptr;
   obs::Counter* plan_cache_misses_ = nullptr;
   obs::Counter* epoch_invalidations_ = nullptr;
+  obs::Counter* selection_entries_retained_ = nullptr;
+  obs::Counter* selection_entries_dropped_ = nullptr;
+  obs::Counter* plan_entries_retained_ = nullptr;
+  obs::Counter* plan_entries_dropped_ = nullptr;
+  obs::Counter* sessions_evicted_ = nullptr;
   /// Per-request resource accounting mirrored from each answer's
   /// AnswerStats (qp_query_*; null only before construction finishes).
   obs::Counter* q_rows_scanned_ = nullptr;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/graph.h"
 #include "datagen/moviegen.h"
 #include "datagen/profilegen.h"
@@ -145,6 +147,94 @@ TEST_F(GraphTest, GeneratedProfilesBuildGraphs) {
   EXPECT_GE(profile->selections().size(), 14u);
   auto graph = PersonalizationGraph::Build(&*db, &*profile);
   ASSERT_TRUE(graph.ok()) << graph.status();
+}
+
+TEST_F(GraphTest, RepairFromMatchesBuildUnderRandomChurn) {
+  // Property: after ANY journaled mutation, RepairFrom over the previous
+  // graph yields the same derived statistics a wholesale Build computes —
+  // fake criticality, path count and reach set, edge for edge.
+  auto splitmix = [](uint64_t& s) {
+    s += 0x9e3779b97f4a7c15ull;
+    uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    UserProfile current = profile_;  // Al's profile: joins + selections
+    auto pinned = std::make_unique<UserProfile>(current);
+    auto prev = PersonalizationGraph::Build(&db_, pinned.get());
+    ASSERT_TRUE(prev.ok()) << prev.status();
+    uint64_t rng = seed * 0x9e3779b97f4a7c15ull + 1;
+
+    for (int step = 0; step < 16; ++step) {
+      // One random, always-journaled mutation.
+      switch (splitmix(rng) % 5) {
+        case 0:
+          (void)current.AddSelection(
+              "movie.year", BinaryOp::kGe,
+              Value(int64_t{1950} + static_cast<int64_t>(splitmix(rng) % 50)),
+              *DoiPair::Exact(0.2 + 0.1 * static_cast<double>(
+                                        splitmix(rng) % 8),
+                              0));
+          break;
+        case 1:
+          if (!current.selections().empty()) {
+            (void)current.RemoveSelection(
+                current.selections()[splitmix(rng) %
+                                     current.selections().size()]
+                    .condition);
+          }
+          break;
+        case 2:
+          if (!current.selections().empty()) {
+            (void)current.UpdateSelectionDoi(
+                current.selections()[splitmix(rng) %
+                                     current.selections().size()]
+                    .condition,
+                *DoiPair::Exact(0.15 + 0.1 * static_cast<double>(
+                                           splitmix(rng) % 8),
+                                0));
+          }
+          break;
+        case 3:
+          (void)current.AddJoin("genre.mid", "movie.mid",
+                                0.3 + 0.1 * static_cast<double>(
+                                          splitmix(rng) % 7));
+          break;
+        default:
+          if (!current.joins().empty()) {
+            const auto& j =
+                current.joins()[splitmix(rng) % current.joins().size()];
+            (void)current.RemoveJoin(j.from, j.to);
+          }
+          break;
+      }
+
+      auto delta = current.MutationsSince(pinned->epoch());
+      ASSERT_TRUE(delta.has_value()) << "seed=" << seed << " step=" << step;
+      auto next_pinned = std::make_unique<UserProfile>(current);
+      auto repaired =
+          PersonalizationGraph::RepairFrom(*prev, &db_, next_pinned.get(),
+                                           *delta);
+      ASSERT_TRUE(repaired.ok()) << repaired.status();
+      auto fresh = PersonalizationGraph::Build(&db_, next_pinned.get());
+      ASSERT_TRUE(fresh.ok()) << fresh.status();
+
+      for (const auto& join : next_pinned->joins()) {
+        EXPECT_EQ(repaired->FakeCriticality(&join),
+                  fresh->FakeCriticality(&join))
+            << "seed=" << seed << " step=" << step << " " << join.ToString();
+        EXPECT_EQ(repaired->PathCount(&join), fresh->PathCount(&join))
+            << "seed=" << seed << " step=" << step << " " << join.ToString();
+        EXPECT_EQ(repaired->Reach(&join), fresh->Reach(&join))
+            << "seed=" << seed << " step=" << step << " " << join.ToString();
+      }
+      pinned = std::move(next_pinned);
+      prev = std::move(repaired);  // chain repairs: errors would accumulate
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,278 @@
+// Golden cache-transition matrix: for every invalidation kind the serving
+// layer distinguishes — warm repeat, profile-DELTA (journal hit), profile
+// WHOLESALE (journal gap / lineage swap), stats-only, data-version — this
+// file pins exactly which cached artifacts survive and which drop, via the
+// qp_serve_* counters and the query log's state_outcome field:
+//
+//   transition          | outcome        | graph     | selection | plan
+//   --------------------+----------------+-----------+-----------+------
+//   warm repeat         | reused         | kept      | hit       | hit
+//   delta, disjoint     | repaired       | repaired  | hit       | hit
+//   delta, overlapping  | repaired       | repaired  | miss      | miss
+//   delta, add/remove   | repaired       | repaired  | miss (doi-target
+//                       |                |           | only; top-K with a
+//                       |                |           | disjoint delta hits)
+//   wholesale (gap)     | rebuilt        | rebuilt   | miss      | miss
+//   stats-only          | stats_refresh  | kept      | hit       | miss
+//   data-version        | stats_refresh  | kept      | hit       | miss
+//
+// Future refactors that silently WIDEN invalidation (dropping what could
+// survive) or NARROW it (keeping what must die) fail here.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "datagen/moviegen.h"
+#include "qp.h"
+
+namespace qp::serve {
+namespace {
+
+using core::DoiPair;
+using core::PersonalizeOptions;
+using core::UserProfile;
+using sql::BinaryOp;
+using storage::Value;
+
+storage::Database TestDb() {
+  datagen::MovieGenConfig config;
+  config.num_movies = 40;
+  config.num_directors = 10;
+  config.num_actors = 20;
+  config.num_theatres = 4;
+  config.plays_per_theatre = 4;
+  auto db = datagen::GenerateMovieDatabase(config);
+  EXPECT_TRUE(db.ok());
+  return std::move(db).value();
+}
+
+/// A profile whose reachability is easy to reason about: from `movie` the
+/// join edges reach only `genre`; `director` and `theatre` carry
+/// preferences but are unreachable from the query anchor.
+UserProfile IslandProfile() {
+  UserProfile p;
+  EXPECT_TRUE(p.AddSelection("movie.year", BinaryOp::kGe,
+                             Value(int64_t{1990}), *DoiPair::Exact(0.8, 0))
+                  .ok());
+  EXPECT_TRUE(p.AddSelection("genre.genre", BinaryOp::kEq, Value("comedy"),
+                             *DoiPair::Exact(0.6, 0))
+                  .ok());
+  EXPECT_TRUE(p.AddSelection("director.name", BinaryOp::kEq, Value("nobody"),
+                             *DoiPair::Exact(0.7, 0))
+                  .ok());
+  EXPECT_TRUE(p.AddJoin("movie.mid", "genre.mid", 0.9).ok());
+  return p;
+}
+
+/// state_outcome of the most recent retained query-log record.
+std::string LastOutcome(ServingContext& ctx) {
+  const auto records = ctx.query_log()->Snapshot();
+  EXPECT_FALSE(records.empty());
+  return records.empty() ? "" : records.back().state_outcome;
+}
+
+const std::string kSql = "select mid, title from movie";
+
+PersonalizeOptions TopKOptions() {
+  PersonalizeOptions options;
+  options.k = 0;  // all related preferences
+  options.l = 1;
+  return options;
+}
+
+TEST(InvalidationMatrixTest, WarmRepeatReusesEverything) {
+  auto db = TestDb();
+  ServingContext ctx(&db);
+  auto session = ctx.OpenSession("u", IslandProfile());
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->Personalize(kSql, TopKOptions()).ok());
+  EXPECT_EQ(LastOutcome(ctx), "built");
+  const ServeCounters before = ctx.counters();
+  ASSERT_TRUE((*session)->Personalize(kSql, TopKOptions()).ok());
+  const ServeCounters after = ctx.counters();
+  EXPECT_EQ(LastOutcome(ctx), "reused");
+  EXPECT_EQ(after.graph_builds, before.graph_builds);
+  EXPECT_EQ(after.graph_repairs, before.graph_repairs);
+  EXPECT_EQ(after.selection_cache_hits, before.selection_cache_hits + 1);
+  EXPECT_EQ(after.plan_cache_hits, before.plan_cache_hits + 1);
+  EXPECT_EQ(after.epoch_invalidations, before.epoch_invalidations);
+}
+
+TEST(InvalidationMatrixTest, DisjointDeltaKeepsSelectionAndPlan) {
+  auto db = TestDb();
+  ServingContext ctx(&db);
+  auto session = ctx.OpenSession("u", IslandProfile());
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->Personalize(kSql, TopKOptions()).ok());
+  const ServeCounters before = ctx.counters();
+
+  // director is not reachable from movie: the delta cannot touch anything
+  // the cached selection saw.
+  ASSERT_TRUE((*session)
+                  ->Mutate([](UserProfile& p) {
+                    return p.UpdateSelectionDoi(
+                        core::SelectionCondition{
+                            *storage::AttributeRef::Parse("director.name"),
+                            BinaryOp::kEq, Value("nobody")},
+                        *DoiPair::Exact(0.3, 0));
+                  })
+                  .ok());
+  ASSERT_TRUE((*session)->Personalize(kSql, TopKOptions()).ok());
+  const ServeCounters after = ctx.counters();
+  EXPECT_EQ(LastOutcome(ctx), "repaired");
+  EXPECT_EQ(after.graph_repairs, before.graph_repairs + 1);
+  EXPECT_EQ(after.graph_builds, before.graph_builds);
+  EXPECT_EQ(after.selection_cache_hits, before.selection_cache_hits + 1)
+      << "disjoint delta must keep the cached selection";
+  EXPECT_EQ(after.plan_cache_hits, before.plan_cache_hits + 1)
+      << "plan survives when its selection survived and stats held";
+  EXPECT_EQ(after.selection_entries_retained,
+            before.selection_entries_retained + 1);
+  EXPECT_EQ(after.plan_entries_retained, before.plan_entries_retained + 1);
+}
+
+TEST(InvalidationMatrixTest, OverlappingDeltaDropsSelectionAndPlan) {
+  auto db = TestDb();
+  ServingContext ctx(&db);
+  auto session = ctx.OpenSession("u", IslandProfile());
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->Personalize(kSql, TopKOptions()).ok());
+  const ServeCounters before = ctx.counters();
+
+  // genre IS reachable from movie: the cached selection saw its
+  // neighborhood, so the doi drift invalidates it.
+  ASSERT_TRUE((*session)
+                  ->Mutate([](UserProfile& p) {
+                    return p.UpdateSelectionDoi(
+                        core::SelectionCondition{
+                            *storage::AttributeRef::Parse("genre.genre"),
+                            BinaryOp::kEq, Value("comedy")},
+                        *DoiPair::Exact(0.2, 0));
+                  })
+                  .ok());
+  ASSERT_TRUE((*session)->Personalize(kSql, TopKOptions()).ok());
+  const ServeCounters after = ctx.counters();
+  EXPECT_EQ(LastOutcome(ctx), "repaired");
+  EXPECT_EQ(after.graph_repairs, before.graph_repairs + 1);
+  EXPECT_EQ(after.selection_cache_misses, before.selection_cache_misses + 1);
+  EXPECT_EQ(after.plan_cache_misses, before.plan_cache_misses + 1);
+  EXPECT_EQ(after.selection_entries_dropped,
+            before.selection_entries_dropped + 1);
+  EXPECT_EQ(after.plan_entries_dropped, before.plan_entries_dropped + 1);
+}
+
+TEST(InvalidationMatrixTest, CountChangingDeltaDropsOnlyDoiTargetEntries) {
+  auto db = TestDb();
+  ServingContext ctx(&db);
+  auto session = ctx.OpenSession("u", IslandProfile());
+  ASSERT_TRUE(session.ok());
+  PersonalizeOptions top_k = TopKOptions();
+  PersonalizeOptions doi_target = TopKOptions();
+  doi_target.k = 2;
+  doi_target.target_doi = 0.5;
+  ASSERT_TRUE((*session)->Personalize(kSql, top_k).ok());
+  ASSERT_TRUE((*session)->Personalize(kSql, doi_target).ok());
+  const ServeCounters before = ctx.counters();
+
+  // theatre is unreachable from movie, but ADDING a preference changes the
+  // global preference count — the doi-target selection's N estimate — so
+  // the doi-target entry must die while the plain top-K entry survives.
+  ASSERT_TRUE((*session)
+                  ->Mutate([](UserProfile& p) {
+                    return p.AddSelection("theatre.ticket", BinaryOp::kLt,
+                                          Value(9.0), *DoiPair::Exact(0.4, 0));
+                  })
+                  .ok());
+  ASSERT_TRUE((*session)->Personalize(kSql, top_k).ok());
+  ASSERT_TRUE((*session)->Personalize(kSql, doi_target).ok());
+  const ServeCounters after = ctx.counters();
+  EXPECT_EQ(after.selection_cache_hits, before.selection_cache_hits + 1)
+      << "top-K entry survives the disjoint count change";
+  EXPECT_EQ(after.selection_cache_misses, before.selection_cache_misses + 1)
+      << "doi-target entry dies with the count change";
+  EXPECT_EQ(after.selection_entries_retained,
+            before.selection_entries_retained + 1);
+  EXPECT_EQ(after.selection_entries_dropped,
+            before.selection_entries_dropped + 1);
+}
+
+TEST(InvalidationMatrixTest, JournalGapRebuildsWholesale) {
+  auto db = TestDb();
+  ServingContext ctx(&db);
+  auto session = ctx.OpenSession("u", IslandProfile());
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->Personalize(kSql, TopKOptions()).ok());
+  const ServeCounters before = ctx.counters();
+
+  // Outrun the journal: flip one doi back and forth past the retention
+  // horizon. Every flip touches only the unreachable director island, so a
+  // repair WOULD have kept everything — but the journal can no longer
+  // prove it.
+  ASSERT_TRUE((*session)
+                  ->Mutate([](UserProfile& p) {
+                    const core::SelectionCondition cond{
+                        *storage::AttributeRef::Parse("director.name"),
+                        BinaryOp::kEq, Value("nobody")};
+                    for (size_t i = 0; i < UserProfile::kJournalCapacity + 4;
+                         ++i) {
+                      const double d = (i % 2 == 0) ? 0.3 : 0.7;
+                      QP_RETURN_IF_ERROR(
+                          p.UpdateSelectionDoi(cond, *DoiPair::Exact(d, 0)));
+                    }
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_TRUE((*session)->Personalize(kSql, TopKOptions()).ok());
+  const ServeCounters after = ctx.counters();
+  EXPECT_EQ(LastOutcome(ctx), "rebuilt");
+  EXPECT_EQ(after.wholesale_rebuilds, before.wholesale_rebuilds + 1);
+  EXPECT_EQ(after.graph_builds, before.graph_builds + 1);
+  EXPECT_EQ(after.graph_repairs, before.graph_repairs);
+  EXPECT_EQ(after.selection_cache_misses, before.selection_cache_misses + 1);
+  EXPECT_EQ(after.plan_cache_misses, before.plan_cache_misses + 1);
+}
+
+TEST(InvalidationMatrixTest, StatsOnlyBumpKeepsSelectionsDropsPlans) {
+  auto db = TestDb();
+  ServingContext ctx(&db);
+  auto session = ctx.OpenSession("u", IslandProfile());
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->Personalize(kSql, TopKOptions()).ok());
+  const ServeCounters before = ctx.counters();
+
+  ctx.stats()->Invalidate();
+  ASSERT_TRUE((*session)->Personalize(kSql, TopKOptions()).ok());
+  const ServeCounters after = ctx.counters();
+  EXPECT_EQ(LastOutcome(ctx), "stats_refresh");
+  EXPECT_EQ(after.graph_builds, before.graph_builds);
+  EXPECT_EQ(after.graph_repairs, before.graph_repairs);
+  EXPECT_EQ(after.selection_cache_hits, before.selection_cache_hits + 1);
+  EXPECT_EQ(after.plan_cache_misses, before.plan_cache_misses + 1);
+  EXPECT_EQ(after.plan_entries_dropped, before.plan_entries_dropped + 1);
+}
+
+TEST(InvalidationMatrixTest, DataVersionBumpKeepsSelectionsDropsPlans) {
+  auto db = TestDb();
+  ServingContext ctx(&db);
+  auto session = ctx.OpenSession("u", IslandProfile());
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->Personalize(kSql, TopKOptions()).ok());
+  const ServeCounters before = ctx.counters();
+
+  auto movie = db.GetTable("movie");
+  ASSERT_TRUE(movie.ok());
+  ASSERT_TRUE((*movie)
+                  ->Append({Value(int64_t{1000001}), Value("fresh row"),
+                            Value(int64_t{2004}), Value(int64_t{101})})
+                  .ok());
+  ASSERT_TRUE((*session)->Personalize(kSql, TopKOptions()).ok());
+  const ServeCounters after = ctx.counters();
+  EXPECT_EQ(LastOutcome(ctx), "stats_refresh");
+  EXPECT_EQ(after.graph_builds, before.graph_builds);
+  EXPECT_EQ(after.selection_cache_hits, before.selection_cache_hits + 1);
+  EXPECT_EQ(after.plan_cache_misses, before.plan_cache_misses + 1);
+}
+
+}  // namespace
+}  // namespace qp::serve

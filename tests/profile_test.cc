@@ -144,5 +144,123 @@ TEST(ProfileTest, SaveLoadRoundTrip) {
   EXPECT_FALSE(UserProfile::Load("/nonexistent/path.txt").ok());
 }
 
+TEST(ProfileTest, EpochAdvancesOncePerSuccessfulMutation) {
+  UserProfile p;
+  EXPECT_EQ(p.epoch(), 0u);
+  ASSERT_TRUE(p.AddSelection("movie.year", BinaryOp::kGe, Value(int64_t{1990}),
+                             *DoiPair::Exact(0.8, 0))
+                  .ok());
+  EXPECT_EQ(p.epoch(), 1u);
+  ASSERT_TRUE(p.AddJoin("movie.mid", "genre.mid", 0.9).ok());
+  EXPECT_EQ(p.epoch(), 2u);
+
+  // Failed mutations leave the profile untouched: no epoch bump, no journal
+  // entry the repair path could act on.
+  EXPECT_EQ(p.AddSelection("movie.year", BinaryOp::kGe, Value(int64_t{1990}),
+                           *DoiPair::Exact(0.5, 0))
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(p.AddSelection("movie.title", BinaryOp::kEq, Value("x"),
+                              *DoiPair::Exact(0, 0))
+                   .ok());  // indifferent
+  const SelectionCondition missing{*storage::AttributeRef::Parse("movie.year"),
+                                   BinaryOp::kLt, Value(int64_t{1800})};
+  EXPECT_EQ(p.RemoveSelection(missing).code(), StatusCode::kNotFound);
+  EXPECT_EQ(p.epoch(), 2u);
+  ASSERT_TRUE(p.MutationsSince(0).has_value());
+  EXPECT_EQ(p.MutationsSince(0)->size(), 2u);
+}
+
+TEST(ProfileTest, MutationsSinceReturnsTheExactOrderedDelta) {
+  UserProfile p;
+  ASSERT_TRUE(p.AddSelection("movie.year", BinaryOp::kGe, Value(int64_t{1990}),
+                             *DoiPair::Exact(0.8, 0))
+                  .ok());
+  const uint64_t mark = p.epoch();
+  ASSERT_TRUE(p.AddJoin("movie.mid", "genre.mid", 0.9).ok());
+  const SelectionCondition year{*storage::AttributeRef::Parse("movie.year"),
+                                BinaryOp::kGe, Value(int64_t{1990})};
+  ASSERT_TRUE(p.UpdateSelectionDoi(year, *DoiPair::Exact(0.3, 0)).ok());
+  ASSERT_TRUE(p.RemoveSelection(year).ok());
+
+  EXPECT_EQ(p.MutationsSince(p.epoch())->size(), 0u);
+  auto delta = p.MutationsSince(mark);
+  ASSERT_TRUE(delta.has_value());
+  ASSERT_EQ(delta->size(), 3u);
+  EXPECT_EQ((*delta)[0].kind, ProfileMutationKind::kAddJoin);
+  EXPECT_EQ((*delta)[0].join_from.ToString(), "movie.mid");
+  EXPECT_EQ((*delta)[1].kind, ProfileMutationKind::kUpdateSelectionDoi);
+  EXPECT_EQ((*delta)[1].condition, year);
+  EXPECT_EQ((*delta)[2].kind, ProfileMutationKind::kRemoveSelection);
+  EXPECT_EQ((*delta)[2].condition, year);
+  for (size_t i = 0; i < delta->size(); ++i) {
+    EXPECT_EQ((*delta)[i].epoch, mark + i + 1);
+  }
+  // An epoch from a longer history than ours is not answerable.
+  EXPECT_FALSE(p.MutationsSince(p.epoch() + 1).has_value());
+}
+
+TEST(ProfileTest, JournalTruncationMakesOldEpochsUnanswerable) {
+  UserProfile p;
+  ASSERT_TRUE(p.AddSelection("movie.year", BinaryOp::kGe, Value(int64_t{1990}),
+                             *DoiPair::Exact(0.8, 0))
+                  .ok());
+  const SelectionCondition year{*storage::AttributeRef::Parse("movie.year"),
+                                BinaryOp::kGe, Value(int64_t{1990})};
+  const uint64_t mark = p.epoch();
+  for (size_t i = 0; i < UserProfile::kJournalCapacity + 3; ++i) {
+    ASSERT_TRUE(
+        p.UpdateSelectionDoi(year, *DoiPair::Exact(i % 2 ? 0.3 : 0.7, 0)).ok());
+  }
+  // `mark` fell off the bounded journal; the most recent capacity-sized
+  // window is still answerable.
+  EXPECT_FALSE(p.MutationsSince(mark).has_value());
+  const uint64_t recent = p.epoch() - UserProfile::kJournalCapacity;
+  auto delta = p.MutationsSince(recent);
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_EQ(delta->size(), UserProfile::kJournalCapacity);
+}
+
+TEST(ProfileTest, RemoveJournalsTheRemovedEntryEvenWhenAliased) {
+  // Regression: RemoveSelection/RemoveJoin journal their argument AFTER
+  // erasing from the vector. Callers commonly pass references INTO that
+  // vector (selections()[i].condition); the journal must record the victim,
+  // not whatever shifted into its slot.
+  UserProfile p;
+  ASSERT_TRUE(p.AddSelection("movie.year", BinaryOp::kGe, Value(int64_t{1990}),
+                             *DoiPair::Exact(0.8, 0))
+                  .ok());
+  ASSERT_TRUE(p.AddSelection("genre.genre", BinaryOp::kEq, Value("comedy"),
+                             *DoiPair::Exact(0.6, 0))
+                  .ok());
+  const uint64_t mark = p.epoch();
+  ASSERT_TRUE(p.RemoveSelection(p.selections()[0].condition).ok());
+  auto delta = p.MutationsSince(mark);
+  ASSERT_TRUE(delta.has_value());
+  ASSERT_EQ(delta->size(), 1u);
+  EXPECT_EQ((*delta)[0].condition.attr.ToString(), "movie.year");
+
+  ASSERT_TRUE(p.AddJoin("movie.mid", "genre.mid", 0.9).ok());
+  ASSERT_TRUE(p.AddJoin("movie.mid", "cast.mid", 0.7).ok());
+  const uint64_t join_mark = p.epoch();
+  ASSERT_TRUE(p.RemoveJoin(p.joins()[0].from, p.joins()[0].to).ok());
+  delta = p.MutationsSince(join_mark);
+  ASSERT_TRUE(delta.has_value());
+  ASSERT_EQ(delta->size(), 1u);
+  EXPECT_EQ((*delta)[0].join_to.ToString(), "genre.mid");
+}
+
+TEST(ProfileTest, LineageIdentifiesTheMutationHistory) {
+  UserProfile a;
+  UserProfile b;
+  EXPECT_NE(a.lineage(), b.lineage());  // distinct histories
+  UserProfile copy = a;
+  EXPECT_EQ(copy.lineage(), a.lineage());  // copies continue the history
+  b = a;
+  EXPECT_EQ(b.lineage(), a.lineage());
+  UserProfile moved = std::move(copy);
+  EXPECT_EQ(moved.lineage(), a.lineage());
+}
+
 }  // namespace
 }  // namespace qp::core

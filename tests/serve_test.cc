@@ -219,7 +219,10 @@ TEST(ServeTest, ProfileMutationsInvalidateAndMatchFreshCold) {
   ASSERT_TRUE(cold_add.ok());
   EXPECT_TRUE(SameAnswerPayload(*cold_add, *after_add));
   const ServeCounters after_add_c = ctx.counters();
-  EXPECT_EQ(after_add_c.graph_builds, before.graph_builds + 1);
+  // The journal covers the single add, so the session REPAIRS the graph
+  // instead of rebuilding it wholesale.
+  EXPECT_EQ(after_add_c.graph_builds, before.graph_builds);
+  EXPECT_EQ(after_add_c.graph_repairs, before.graph_repairs + 1);
   EXPECT_EQ(after_add_c.epoch_invalidations, before.epoch_invalidations + 1);
   EXPECT_EQ(after_add_c.selection_cache_misses,
             before.selection_cache_misses + 1);
@@ -431,6 +434,125 @@ TEST(ServeTest, StatusCodesClassifyFailures) {
   EXPECT_TRUE(ctx.CloseSession("al").ok());
   EXPECT_EQ(ctx.CloseSession("al").code(), StatusCode::kNotFound);
   EXPECT_EQ(ctx.FindSession("al"), nullptr);
+}
+
+TEST(ServeTest, ConcurrentChurnServersRaceMutators) {
+  // Sanitizer-facing churn stress (seed 29): per session, one server thread
+  // issues queries while one mutator thread churns the profile through
+  // Session::Mutate. Every call must succeed (a repair racing a mutation is
+  // allowed to serve either epoch, never to fail or crash), and once the
+  // mutators quiesce, the warm answer must equal a cold rebuild over the
+  // final profile.
+  const auto base = SmallConfig(29);
+  auto db = datagen::GenerateMovieDatabase(base.db_config);
+  ASSERT_TRUE(db.ok());
+
+  constexpr size_t kUsers = 4;
+  constexpr int kServerRounds = 40;
+  constexpr int kMutations = 24;
+  PersonalizeOptions options;
+  options.k = 5;
+  options.l = 1;
+  const std::string sql = "select mid, title from movie";
+
+  ServingContext::Options ctx_options;
+  ctx_options.num_threads = 2;
+  ServingContext ctx(&*db, ctx_options);
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (size_t u = 0; u < kUsers; ++u) {
+    auto config = SmallConfig(300 + 11 * u);
+    auto profile = datagen::GenerateProfile(config);
+    ASSERT_TRUE(profile.ok());
+    const std::string user = "churn" + std::to_string(u);
+    ASSERT_TRUE(ctx.OpenSession(user, *profile).ok());
+    sessions.push_back(ctx.AcquireSession(user));
+    ASSERT_NE(sessions.back(), nullptr);
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t u = 0; u < kUsers; ++u) {
+    threads.emplace_back([&, u]() {
+      for (int r = 0; r < kServerRounds; ++r) {
+        auto answer = sessions[u]->Personalize(sql, options);
+        if (!answer.ok()) failures.fetch_add(1);
+      }
+    });
+    threads.emplace_back([&, u]() {
+      for (int m = 0; m < kMutations; ++m) {
+        // Toggle a per-user year preference: add it, then remove it again
+        // next round — every iteration is a journaled epoch bump.
+        const int64_t year = 1950 + static_cast<int64_t>(u);
+        const Status status = sessions[u]->Mutate([&](UserProfile& live) {
+          const Status added =
+              live.AddSelection("movie.year", BinaryOp::kEq, Value(year),
+                                *DoiPair::Exact(0.4, 0));
+          if (added.code() != StatusCode::kAlreadyExists) return added;
+          const core::SelectionCondition cond{
+              *storage::AttributeRef::Parse("movie.year"), BinaryOp::kEq,
+              Value(year)};
+          return live.RemoveSelection(cond);
+        });
+        if (!status.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  for (size_t u = 0; u < kUsers; ++u) {
+    auto warm = sessions[u]->Personalize(sql, options);
+    ASSERT_TRUE(warm.ok()) << warm.status();
+    auto cold = ColdAnswer(*db, sessions[u]->profile(), sql, options);
+    ASSERT_TRUE(cold.ok()) << cold.status();
+    EXPECT_TRUE(SameAnswerPayload(*warm, *cold)) << "user " << u;
+  }
+}
+
+TEST(ServeTest, SessionCapEvictsLeastRecentlyUsed) {
+  const auto config = SmallConfig(31);
+  auto db = datagen::GenerateMovieDatabase(config.db_config);
+  ASSERT_TRUE(db.ok());
+  auto profile = datagen::GenerateProfile(config);
+  ASSERT_TRUE(profile.ok());
+
+  ServingContext::Options ctx_options;
+  ctx_options.max_sessions = 3;
+  ServingContext ctx(&*db, ctx_options);
+  for (int u = 0; u < 3; ++u) {
+    ASSERT_TRUE(ctx.OpenSession("u" + std::to_string(u), *profile).ok());
+  }
+  EXPECT_EQ(ctx.NumSessions(), 3u);
+  EXPECT_EQ(ctx.counters().sessions_evicted, 0u);
+
+  // Touch u0 so u1 becomes least-recently used, then overflow the cap.
+  ASSERT_NE(ctx.FindSession("u0"), nullptr);
+  ASSERT_TRUE(ctx.OpenSession("u3", *profile).ok());
+  EXPECT_EQ(ctx.NumSessions(), 3u);
+  EXPECT_EQ(ctx.counters().sessions_evicted, 1u);
+  EXPECT_EQ(ctx.FindSession("u1"), nullptr);
+  EXPECT_NE(ctx.FindSession("u0"), nullptr);
+
+  // A churning user population stays pinned at the cap.
+  for (int u = 0; u < 20; ++u) {
+    ASSERT_TRUE(ctx.OpenSession("x" + std::to_string(u), *profile).ok());
+    EXPECT_LE(ctx.NumSessions(), 3u);
+  }
+  EXPECT_EQ(ctx.counters().sessions_evicted, 21u);
+
+  // A shared handle keeps an evicted session usable: requests in flight
+  // when the LRU closes a session must not race its destruction.
+  std::shared_ptr<Session> held = ctx.AcquireSession("x19");
+  ASSERT_NE(held, nullptr);
+  for (int u = 0; u < 4; ++u) {
+    ASSERT_TRUE(ctx.OpenSession("y" + std::to_string(u), *profile).ok());
+  }
+  EXPECT_EQ(ctx.FindSession("x19"), nullptr);  // evicted from the map...
+  PersonalizeOptions options;
+  options.k = 4;
+  options.l = 1;
+  auto answer = held->Personalize("select mid, title from movie", options);
+  EXPECT_TRUE(answer.ok()) << answer.status();  // ...but still serving
 }
 
 }  // namespace
