@@ -5,6 +5,8 @@
 //
 // Plain SQL executes through the engine. Meta commands:
 //   \tables                      list tables with row counts
+//   \indexes                     list secondary indexes (kind, entries,
+//                                freshness vs the table's data version)
 //   \profile                     show the active profile
 //   \load <file>                 load a profile from its text format
 //   \personalize [K] [L] <sql>   personalized answer (PPA) for the query
@@ -24,7 +26,10 @@
 // repeated queries hit the selection/plan caches and every request lands in
 // the query log (\log) and the flight recorder (\flight).
 //
-// The shell starts with Al's profile (paper Figure 2) loaded.
+// The shell starts with Al's profile (paper Figure 2) loaded and the
+// default secondary indexes (hash on join/PK columns, B+ trees on the
+// range columns) registered by the generator, so \indexes has entries to
+// show and \plan takes index and range access paths.
 //
 // Exit status: 0 only when every statement and meta-command succeeded;
 // any failed SQL, failed meta-command, or unknown command makes the
@@ -59,6 +64,20 @@ struct Shell {
       auto table = db->GetTable(name);
       std::cout << "  " << name << " (" << (*table)->num_rows() << " rows): "
                 << (*table)->schema().ToString() << "\n";
+    }
+    return true;
+  }
+
+  bool ListIndexes() {
+    const auto infos = db->indexes().List();
+    if (infos.empty()) {
+      std::cout << "  (no indexes)\n";
+      return true;
+    }
+    for (const auto& info : infos) {
+      std::cout << "  " << info.table << "." << info.column << " ["
+                << index::IndexKindName(info.kind) << "] " << info.entries
+                << " entries" << (info.fresh ? "" : " (stale)") << "\n";
     }
     return true;
   }
@@ -250,8 +269,8 @@ int main(int argc, char** argv) {
 
   Shell shell{&*db, &ctx, session.value(), std::nullopt};
   std::cout << "Movie database ready (" << config.num_movies
-            << " movies). Type \\tables, \\personalize 5 2 select mid, title "
-               "from movie, or plain SQL. \\quit exits.\n";
+            << " movies). Type \\tables, \\indexes, \\personalize 5 2 select "
+               "mid, title from movie, or plain SQL. \\quit exits.\n";
 
   // Any failed statement or meta-command flips this; the shell keeps
   // processing input but exits nonzero so scripted use (CI) sees the break.
@@ -271,6 +290,8 @@ int main(int argc, char** argv) {
       if (cmd == "\\quit" || cmd == "\\q") break;
       if (cmd == "\\tables") {
         ok = shell.ListTables();
+      } else if (cmd == "\\indexes") {
+        ok = shell.ListIndexes();
       } else if (cmd == "\\profile") {
         std::cout << shell.session->profile().Serialize();
       } else if (cmd == "\\load") {

@@ -55,6 +55,14 @@ struct AnswerStats {
   /// Summed task wall time across workers (timing-derived; excluded from
   /// every determinism comparison).
   double thread_seconds = 0.0;
+  /// Rows *physically* examined: executor access paths plus PPA's prepared
+  /// probe walks. Unlike rows_scanned (the logical plan cost, identical
+  /// with indexes on or off), this is where secondary indexes show up —
+  /// an indexed probe examines its matches, a scan fallback examines the
+  /// relation. Deterministic at every thread count for a given index set,
+  /// but excluded from SameAnswerPayload because it measures the physical
+  /// backing, not the answer.
+  size_t rows_examined = 0;
   /// True when a deadline/cancellation cut PPA off between rounds: the
   /// answer holds the progressive prefix emitted so far instead of the full
   /// result. Always false for SPA (which has no prefix to return) and for

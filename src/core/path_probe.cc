@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "index/catalog.h"
+
 namespace qp::core {
 
 using storage::Row;
@@ -13,7 +15,6 @@ Result<PathWalk> PathWalk::Prepare(const storage::Database* db,
   PathWalk walk;
   QP_ASSIGN_OR_RETURN(const Table* anchor,
                       db->GetTable(pref.AnchorRelation()));
-  walk.anchor_ = anchor;
   const auto& pk = anchor->schema().primary_key();
   if (pk.size() != 1) {
     return Status::InvalidArgument("probe anchor '" + pref.AnchorRelation() +
@@ -21,7 +22,9 @@ Result<PathWalk> PathWalk::Prepare(const storage::Database* db,
   }
   QP_ASSIGN_OR_RETURN(size_t anchor_pk_col,
                       anchor->schema().ColumnIndex(pk[0]));
-  walk.anchor_index_ = &anchor->HashIndex(anchor_pk_col);
+  walk.anchor_.table = anchor;
+  walk.anchor_.col = anchor_pk_col;
+  walk.anchor_.snapshot = db->indexes().Hash(anchor, anchor_pk_col);
   walk.signature_ = pref.AnchorRelation();
 
   const Table* current = anchor;
@@ -30,11 +33,11 @@ Result<PathWalk> PathWalk::Prepare(const storage::Database* db,
     QP_ASSIGN_OR_RETURN(hop.from_col,
                         current->schema().ColumnIndex(join.from.column));
     QP_ASSIGN_OR_RETURN(const Table* target, db->GetTable(join.to.table));
-    hop.table = target;
-    QP_ASSIGN_OR_RETURN(size_t to_col,
+    hop.to.table = target;
+    QP_ASSIGN_OR_RETURN(hop.to.col,
                         target->schema().ColumnIndex(join.to.column));
-    hop.index = &target->HashIndex(to_col);
-    walk.hops_.push_back(hop);
+    hop.to.snapshot = db->indexes().Hash(target, hop.to.col);
+    walk.hops_.push_back(std::move(hop));
     current = target;
     walk.signature_ +=
         "|" + join.from.ToString() + "=" + join.to.ToString();
@@ -42,29 +45,38 @@ Result<PathWalk> PathWalk::Prepare(const storage::Database* db,
   return walk;
 }
 
-void PathWalk::Frontier(const Value& anchor_key,
-                        std::vector<const Row*>* out) const {
-  out->clear();
-  {
-    auto [lo, hi] = anchor_index_->equal_range(anchor_key);
-    for (auto it = lo; it != hi; ++it) {
-      out->push_back(&anchor_->row(it->second));
-    }
+size_t PathWalk::Matches(const Binding& b, const Value& key,
+                         std::vector<const Row*>* out) {
+  if (b.snapshot != nullptr) {
+    const std::vector<size_t>* positions = b.snapshot->Lookup(key);
+    if (positions == nullptr) return 0;
+    for (size_t pos : *positions) out->push_back(&b.table->row(pos));
+    return positions->size();
   }
+  if (key.is_null()) return 0;
+  const size_t num_rows = b.table->num_rows();
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (b.table->row(i)[b.col] == key) out->push_back(&b.table->row(i));
+  }
+  return num_rows;
+}
+
+size_t PathWalk::Frontier(const Value& anchor_key,
+                          std::vector<const Row*>* out) const {
+  out->clear();
+  size_t examined = Matches(anchor_, anchor_key, out);
   std::vector<const Row*> next;
   for (const Hop& hop : hops_) {
-    if (out->empty()) return;
+    if (out->empty()) return examined;
     next.clear();
     for (const Row* row : *out) {
       const Value& key = (*row)[hop.from_col];
       if (key.is_null()) continue;
-      auto [lo, hi] = hop.index->equal_range(key);
-      for (auto it = lo; it != hi; ++it) {
-        next.push_back(&hop.table->row(it->second));
-      }
+      examined += Matches(hop.to, key, &next);
     }
     out->swap(next);
   }
+  return examined;
 }
 
 Result<PathCondition> PathCondition::Prepare(const storage::Database* db,

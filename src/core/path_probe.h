@@ -4,9 +4,11 @@
 //
 // Executing each probe as a fresh SQL query pays planning overhead per
 // tuple, and PPA issues |tuples| x K of them. Probes are therefore prepared
-// once per preference: the anchor lookup and every join hop bind to
-// persistent hash indexes, and the final condition compiles to a direct
-// comparison or an elastic-support test. Preferences sharing the same join
+// once per preference: the anchor lookup and every join hop bind to the
+// catalog's hash-index snapshots on their join columns (falling back to a
+// per-lookup scan producing the identical matches when no index is
+// registered), and the final condition compiles to a direct comparison or
+// an elastic-support test. Preferences sharing the same join
 // path (e.g. every director preference walks MOVIE -> DIRECTED -> DIRECTOR)
 // also share the walk itself through PathWalk, the way the paper's union
 // query Q_i(t) shares one scan across its branches. This mirrors what a
@@ -16,11 +18,13 @@
 
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "common/status.h"
 #include "core/preference.h"
+#include "index/hash_index.h"
 #include "storage/database.h"
 
 namespace qp::core {
@@ -38,30 +42,41 @@ class PathWalk {
 
   /// Rows of the target relation reachable from the anchor tuple with
   /// primary-key value `anchor_key` (the anchor rows themselves for an
-  /// empty path). Thread-safe: the hash indexes are bound at Prepare time,
-  /// so concurrent probes over one walk read shared immutable state only —
-  /// PPA fans point probes out across a pool on exactly this path.
-  void Frontier(const storage::Value& anchor_key,
-                std::vector<const storage::Row*>* out) const;
+  /// empty path), in ascending row order per step — identical whether a
+  /// hop is index-backed or scan-backed. Returns the number of rows
+  /// physically examined (matches on indexed hops, the whole relation on
+  /// scan fallbacks) — PPA's probe_rows_examined accounting. Thread-safe:
+  /// index snapshots are bound at Prepare time, so concurrent probes over
+  /// one walk read shared immutable state only — PPA fans point probes out
+  /// across a pool on exactly this path.
+  size_t Frontier(const storage::Value& anchor_key,
+                  std::vector<const storage::Row*>* out) const;
 
   /// Key identifying walks that traverse the same join-edge sequence.
   const std::string& signature() const { return signature_; }
 
  private:
-  using HashIndex =
-      std::unordered_multimap<storage::Value, size_t, storage::ValueHash>;
+  /// One relation lookup: the catalog's hash snapshot on the join column
+  /// when registered (kept alive by the shared_ptr even if the catalog
+  /// rebuilds), else a per-lookup scan over the relation.
+  struct Binding {
+    const storage::Table* table = nullptr;
+    size_t col = 0;
+    std::shared_ptr<const index::HashIndex> snapshot;
+  };
 
   struct Hop {
     /// Column index of the join key in the *previous* relation's row.
     size_t from_col = 0;
-    /// Target relation and its hash index on the join column, bound at
-    /// Prepare time (keeps Frontier lock-free).
-    const storage::Table* table = nullptr;
-    const HashIndex* index = nullptr;
+    Binding to;
   };
 
-  const storage::Table* anchor_ = nullptr;
-  const HashIndex* anchor_index_ = nullptr;
+  /// Appends the rows of `b.table` whose `b.col` equals `key` (ascending
+  /// row order); returns rows examined.
+  static size_t Matches(const Binding& b, const storage::Value& key,
+                        std::vector<const storage::Row*>* out);
+
+  Binding anchor_;
   std::vector<Hop> hops_;
   std::string signature_;
 };

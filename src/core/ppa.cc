@@ -3,6 +3,7 @@
 #include "core/path_probe.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <limits>
 #include <map>
@@ -347,13 +348,21 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
   // `ctx` caches walk frontiers for the current tuple; it belongs to the
   // calling task, so concurrent probes never share mutable state (the walks
   // and executor are safe for concurrent readers).
+  // Physical rows examined by prepared walk frontiers. Each (tuple, walk)
+  // frontier is computed exactly once (the per-tuple cache resets per
+  // record in both the serial and pooled probe paths), so the sum is
+  // deterministic at every thread count; the atomic only makes concurrent
+  // accumulation exact.
+  std::atomic<size_t> walk_rows_examined{0};
   const auto run_probe = [&](const PpaPrefPlan& pplan, const Value& tid,
                              ProbeContext& ctx) -> Result<ProbeOutcome> {
     std::optional<double> truth;
     if (pplan.walk_id >= 0) {
       const size_t id = static_cast<size_t>(pplan.walk_id);
       if (!ctx.valid[id]) {
-        rep.walks[id].Frontier(tid, &ctx.frontiers[id]);
+        walk_rows_examined.fetch_add(
+            rep.walks[id].Frontier(tid, &ctx.frontiers[id]),
+            std::memory_order_relaxed);
         ctx.valid[id] = 1;
       }
       truth = pplan.condition.TruthDegree(ctx.frontiers[id]);
@@ -704,6 +713,9 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
   answer.stats.rows_joined = exec_stats.rows_joined;
   answer.stats.rows_materialized = exec_stats.rows_output;
   answer.stats.thread_seconds = executor.thread_seconds();
+  answer.stats.rows_examined =
+      executor.rows_examined() +
+      walk_rows_examined.load(std::memory_order_relaxed);
   answer.stats.partial = cut;
   answer.stats.rounds_run = rounds_run;
   if (options.trace != nullptr) {

@@ -141,6 +141,7 @@ Result<PersonalizedAnswer> SpaGenerator::GenerateWithPlan(
   answer.stats.rows_joined = exec_stats.rows_joined;
   answer.stats.rows_materialized = exec_stats.rows_output;
   answer.stats.thread_seconds = executor.thread_seconds();
+  answer.stats.rows_examined = executor.rows_examined();
   return answer;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "index/catalog.h"
+
 namespace qp::datagen {
 
 using storage::Column;
@@ -117,6 +119,28 @@ Status CreateMovieSchema(Database* db) {
   return Status::OK();
 }
 
+Status CreateDefaultMovieIndexes(Database* db) {
+  using index::IndexKind;
+  // Hash indexes on every join/PK column the schema's join links touch.
+  static constexpr const char* kHashColumns[][2] = {
+      {"theatre", "tid"},  {"play", "tid"},     {"play", "mid"},
+      {"movie", "mid"},    {"genre", "mid"},    {"cast", "mid"},
+      {"cast", "aid"},     {"actor", "aid"},    {"directed", "mid"},
+      {"directed", "did"}, {"director", "did"},
+  };
+  for (const auto& [table, column] : kHashColumns) {
+    QP_RETURN_IF_ERROR(db->CreateIndex(table, column, IndexKind::kHash));
+  }
+  // B+ trees on the columns range predicates commonly target.
+  static constexpr const char* kRangeColumns[][2] = {
+      {"movie", "year"}, {"movie", "duration"}, {"theatre", "ticket"},
+  };
+  for (const auto& [table, column] : kRangeColumns) {
+    QP_RETURN_IF_ERROR(db->CreateIndex(table, column, IndexKind::kBTree));
+  }
+  return Status::OK();
+}
+
 namespace {
 
 std::string SyntheticName(const char* prefix, size_t i) {
@@ -212,6 +236,9 @@ Result<Database> GenerateMovieDatabase(const MovieGenConfig& config) {
            Value("2004-" + std::to_string(rng.UniformInt(1, 12)) + "-" +
                  std::to_string(rng.UniformInt(1, 28)))});
     }
+  }
+  if (config.default_indexes) {
+    QP_RETURN_IF_ERROR(CreateDefaultMovieIndexes(&db));
   }
   return db;
 }

@@ -45,6 +45,12 @@ struct MovieGenConfig {
   /// Ticket price range in euros.
   double min_ticket = 4.0;
   double max_ticket = 12.0;
+  /// Register the default secondary indexes (CreateDefaultMovieIndexes)
+  /// on the generated database. On by default — the engine the paper
+  /// measured always had its join/PK access structures — so every test,
+  /// example and bench gets indexed probes; the scaling bench turns it
+  /// off to measure the unindexed series.
+  bool default_indexes = true;
 
   /// Paper-scale configuration (~340k movies), used by the timing benches
   /// when QP_FULL_SCALE is set.
@@ -61,6 +67,13 @@ const std::vector<std::string>& RegionNames();
 
 /// Creates the empty schema (tables + join links) in `db`.
 Status CreateMovieSchema(storage::Database* db);
+
+/// Registers the standard secondary indexes for the movie schema: hash
+/// indexes on every primary-key / join column (movie.mid, cast.aid, ...)
+/// and B+ trees on the range-predicate columns (movie.year,
+/// movie.duration, theatre.ticket). Call after the schema exists; the
+/// catalog rebuilds lazily, so this is cheap on an empty database.
+Status CreateDefaultMovieIndexes(storage::Database* db);
 
 /// Generates a full database according to `config`.
 Result<storage::Database> GenerateMovieDatabase(const MovieGenConfig& config);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <optional>
@@ -10,8 +11,11 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "index/access_path.h"
+#include "index/catalog.h"
 #include "obs/trace_export.h"
 #include "sql/parser.h"
+#include "stats/table_stats.h"
 
 namespace qp::exec {
 
@@ -535,20 +539,15 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q,
   }
 
   // ---- Plan per-source access paths without materializing base tables.
-  // An indexable `col = literal` atom gives both a cheap cardinality
-  // estimate and an index scan; other base filters are applied while
-  // scanning or as join post-filters. Derived sources are filtered in
-  // place. ----
-  struct AccessPath {
-    int index_col = -1;  // point lookup column
-    Value index_key;
-    int range_col = -1;  // ordered-index range column
-    Value range_lo, range_hi;
-    bool has_lo = false, has_hi = false;
-    bool lo_inclusive = false, hi_inclusive = false;
-    size_t estimated_rows = 0;
-  };
-  std::vector<AccessPath> access(sources.size());
+  // The path *choice* is logical: predicate shape plus an index-independent
+  // cardinality estimate (exact match counts by default, histogram
+  // estimates when ExecOptions::stats is set). The index catalog only
+  // changes the *physical* backing of the chosen path — whether Collect
+  // probes a snapshot or falls back to a scan producing the identical
+  // candidate set — so results and ExecStats never depend on which indexes
+  // exist. Derived sources are filtered in place. ----
+  const index::IndexCatalog& catalog = db_->indexes();
+  std::vector<index::AccessPath> access(sources.size());
   for (size_t s = 0; s < sources.size(); ++s) {
     Source& src = sources[s];
     Scope scope(src.columns);
@@ -573,6 +572,16 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q,
       access[s].estimated_rows = src.rows.size();
       continue;
     }
+    const size_t num_rows = src.base->num_rows();
+    // Paths are taken only when estimated strictly below this many rows;
+    // the default threshold of 1.0 probes whenever the predicate is
+    // estimated to exclude anything.
+    const size_t path_limit = static_cast<size_t>(
+        options_.index_selectivity_threshold * static_cast<double>(num_rows));
+    // An equality atom wins outright (PPA's per-tuple point probes).
+    int eq_col = -1;
+    Value eq_key;
+    storage::AttributeRef eq_attr;
     for (const auto& f : source_filters[s]) {
       storage::AttributeRef attr;
       BinaryOp op;
@@ -581,26 +590,40 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q,
           !lit.is_null()) {
         const int col = FindLocalColumn(src, attr.table, attr.column);
         if (col >= 0) {
-          access[s].index_col = col;
-          access[s].index_key = std::move(lit);
+          eq_col = col;
+          eq_key = std::move(lit);
+          eq_attr = attr;
           break;
         }
       }
     }
-    if (access[s].index_col >= 0) {
-      access[s].estimated_rows = src.base->HashIndex(
-          static_cast<size_t>(access[s].index_col)).count(access[s].index_key);
+    if (eq_col >= 0) {
+      auto hash = catalog.Hash(src.base, static_cast<size_t>(eq_col));
+      size_t est;
+      if (options_.stats != nullptr) {
+        est = static_cast<size_t>(std::llround(
+            options_.stats->EstimateSelectivity(eq_attr, stats::CompareOp::kEq,
+                                                eq_key) *
+            static_cast<double>(num_rows)));
+      } else {
+        est = index::ExactEqCount(*src.base, static_cast<size_t>(eq_col),
+                                  eq_key, hash.get());
+      }
+      access[s].estimated_rows = est;
+      if (est < path_limit) {
+        access[s].kind = index::AccessPath::Kind::kHashProbe;
+        access[s].col = static_cast<size_t>(eq_col);
+        access[s].column_name = src.columns[eq_col].name;
+        access[s].eq_key = std::move(eq_key);
+        access[s].hash = std::move(hash);
+      }
       continue;
     }
     // No equality atom: try range atoms (elastic preferences translate to
     // them). Combine the tightest bounds per column, then pick the most
-    // selective column via the ordered index.
-    struct Bounds {
-      Value lo, hi;
-      bool has_lo = false, has_hi = false;
-      bool lo_inclusive = false, hi_inclusive = false;
-    };
-    std::map<int, Bounds> per_column;
+    // selective column.
+    std::map<int, index::RangeBounds> per_column;
+    std::map<int, storage::AttributeRef> column_attr;
     for (const auto& f : source_filters[s]) {
       storage::AttributeRef attr;
       BinaryOp op;
@@ -608,7 +631,8 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q,
       if (!f->IsSelectionAtom(&attr, &op, &lit) || lit.is_null()) continue;
       const int col = FindLocalColumn(src, attr.table, attr.column);
       if (col < 0) continue;
-      Bounds& b = per_column[col];
+      index::RangeBounds& b = per_column[col];
+      column_attr[col] = attr;
       switch (op) {
         case BinaryOp::kGt:
         case BinaryOp::kGe:
@@ -632,24 +656,41 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q,
           break;
       }
     }
-    size_t best_count = src.base->num_rows();
+    size_t best_count = num_rows;
+    int best_col = -1;
+    index::RangeBounds best_bounds;
+    std::shared_ptr<const index::BPlusTree> best_tree;
     for (const auto& [col, b] : per_column) {
       if (!b.has_lo && !b.has_hi) continue;
-      const size_t count = src.base->RangeCount(
-          static_cast<size_t>(col), b.lo, b.lo_inclusive, b.has_lo, b.hi,
-          b.hi_inclusive, b.has_hi);
+      auto btree = catalog.Range(src.base, static_cast<size_t>(col));
+      size_t count;
+      const bool numeric_bounds =
+          (!b.has_lo || b.lo.is_numeric()) && (!b.has_hi || b.hi.is_numeric());
+      if (options_.stats != nullptr && numeric_bounds) {
+        const double lo = b.has_lo ? b.lo.ToNumeric() : -HUGE_VAL;
+        const double hi = b.has_hi ? b.hi.ToNumeric() : HUGE_VAL;
+        count = static_cast<size_t>(std::llround(
+            options_.stats->EstimateRangeSelectivity(column_attr[col], lo, hi) *
+            static_cast<double>(num_rows)));
+      } else {
+        count = index::ExactRangeCount(*src.base, static_cast<size_t>(col), b,
+                                       btree.get());
+      }
       if (count < best_count) {
         best_count = count;
-        access[s].range_col = col;
-        access[s].range_lo = b.lo;
-        access[s].range_hi = b.hi;
-        access[s].has_lo = b.has_lo;
-        access[s].has_hi = b.has_hi;
-        access[s].lo_inclusive = b.lo_inclusive;
-        access[s].hi_inclusive = b.hi_inclusive;
+        best_col = col;
+        best_bounds = b;
+        best_tree = std::move(btree);
       }
     }
     access[s].estimated_rows = best_count;
+    if (best_col >= 0 && best_count < path_limit) {
+      access[s].kind = index::AccessPath::Kind::kBTreeRange;
+      access[s].col = static_cast<size_t>(best_col);
+      access[s].column_name = src.columns[best_col].name;
+      access[s].bounds = best_bounds;
+      access[s].btree = std::move(best_tree);
+    }
   }
 
   // Materializes a base source through its planned access path. The filter
@@ -661,23 +702,19 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q,
     Source& src = sources[s];
     if (src.materialized) return Status::OK();
     std::vector<const Row*> candidates;
-    if (access[s].index_col >= 0) {
-      const auto& index =
-          src.base->HashIndex(static_cast<size_t>(access[s].index_col));
-      auto [lo, hi] = index.equal_range(access[s].index_key);
-      for (auto it = lo; it != hi; ++it) {
-        candidates.push_back(&src.base->row(it->second));
-      }
-    } else if (access[s].range_col >= 0) {
-      for (size_t pos : src.base->RangeLookup(
-               static_cast<size_t>(access[s].range_col), access[s].range_lo,
-               access[s].lo_inclusive, access[s].has_lo, access[s].range_hi,
-               access[s].hi_inclusive, access[s].has_hi)) {
-        candidates.push_back(&src.base->row(pos));
-      }
-    } else {
+    if (access[s].kind == index::AccessPath::Kind::kFullScan) {
       candidates.reserve(src.base->num_rows());
       for (const auto& row : src.base->rows()) candidates.push_back(&row);
+      BumpRowsExamined(src.base->num_rows());
+    } else {
+      // Candidates come back in ascending row order whether an index
+      // snapshot or the scan fallback produced them — the backing is
+      // unobservable in results. Only rows_examined (physical work) can
+      // tell the difference.
+      std::vector<size_t> positions;
+      BumpRowsExamined(access[s].Collect(*src.base, &positions));
+      candidates.reserve(positions.size());
+      for (size_t pos : positions) candidates.push_back(&src.base->row(pos));
     }
     BumpRowsScanned(candidates.size());
     const auto morsels = MorselsFor(candidates.size());
@@ -733,26 +770,23 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q,
     for (size_t s = 0; s < sources.size(); ++s) {
       if (sources[s].base == nullptr) continue;
       std::string how;
-      const char* access_kind;
-      if (access[s].index_col >= 0) {
-        how = "index lookup on " +
-              sources[s].columns[access[s].index_col].name + " = " +
-              access[s].index_key.ToString();
-        access_kind = "index";
-      } else if (access[s].range_col >= 0) {
-        how = "range scan on " +
-              sources[s].columns[access[s].range_col].name + " in " +
-              (access[s].has_lo ? (access[s].lo_inclusive ? "[" : "(") +
-                                      access[s].range_lo.ToString()
-                                : "(-inf") +
-              ", " +
-              (access[s].has_hi ? access[s].range_hi.ToString() +
-                                      (access[s].hi_inclusive ? "]" : ")")
-                                : "+inf)");
-        access_kind = "range";
-      } else {
-        how = "full scan";
-        access_kind = "scan";
+      const index::RangeBounds& b = access[s].bounds;
+      switch (access[s].kind) {
+        case index::AccessPath::Kind::kHashProbe:
+          how = "index lookup on " + access[s].column_name + " = " +
+                access[s].eq_key.ToString();
+          break;
+        case index::AccessPath::Kind::kBTreeRange:
+          how = "range scan on " + access[s].column_name + " in " +
+                (b.has_lo ? (b.lo_inclusive ? "[" : "(") + b.lo.ToString()
+                          : "(-inf") +
+                ", " +
+                (b.has_hi ? b.hi.ToString() + (b.hi_inclusive ? "]" : ")")
+                          : "+inf)");
+          break;
+        case index::AccessPath::Kind::kFullScan:
+          how = "full scan";
+          break;
       }
       // Morsel counts and thread counts are parallelism-dependent, so they
       // are deliberately absent: the span tree must be identical at every
@@ -762,9 +796,16 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q,
                          std::to_string(access[s].estimated_rows) + " rows, " +
                          std::to_string(source_filters[s].size()) +
                          " filter(s)");
-      source_span->AddAttr("access", access_kind);
+      source_span->AddAttr("access", access[s].kind_name());
       source_span->AddAttr("est_rows", access[s].estimated_rows);
       source_span->AddAttr("filters", source_filters[s].size());
+      // Physical backing: "index" when a catalog snapshot answers the path,
+      // "scan" on the fallback. The only EXPLAIN field allowed to differ
+      // with indexes on vs off.
+      if (access[s].kind != index::AccessPath::Kind::kFullScan) {
+        source_span->AddAttr("backed",
+                             access[s].indexed() ? "index" : "scan");
+      }
     }
   }
 
@@ -836,24 +877,48 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q,
       const bool parallel_probe =
           ParallelEnabled() && probe_morsels.size() > 1;
       if (!next.materialized) {
-        // Base table: probe its persistent hash index on the join column
+        // Base table: probe the catalog's hash snapshot on the join column
         // and apply any pending filters only to matched rows. This keeps
         // PPA's per-tuple point probes O(fan-out) instead of O(table).
+        // Without a registered index the probe runs against a transient
+        // value -> ascending-positions map built over the base table —
+        // identical matches in identical order, just more rows examined.
         // The probe side is morsel-parallel over `combined`; matches per
-        // left row keep index order and morsel outputs are spliced in
-        // morsel order, so the joined row order is scheduling-independent.
-        const auto& index = next.base->HashIndex(build_col);
+        // left row keep ascending row order and morsel outputs are spliced
+        // in morsel order, so the joined row order is
+        // scheduling-independent.
+        const std::shared_ptr<const index::HashIndex> snapshot =
+            catalog.Hash(next.base, build_col);
+        std::unordered_map<Value, std::vector<size_t>, storage::ValueHash>
+            transient;
+        if (snapshot == nullptr) {
+          transient.reserve(next.base->num_rows());
+          for (size_t i = 0; i < next.base->num_rows(); ++i) {
+            const Value& v = next.base->row(i)[build_col];
+            if (!v.is_null()) transient[v].push_back(i);
+          }
+          BumpRowsExamined(next.base->num_rows());
+        }
+        const auto match_positions =
+            [&](const Value& key) -> const std::vector<size_t>* {
+          if (snapshot != nullptr) return snapshot->Lookup(key);
+          const auto it = transient.find(key);
+          return it == transient.end() ? nullptr : &it->second;
+        };
         const auto& filters = source_filters[next_source];
         const auto probe_range = [&](size_t lo_row, size_t hi_row,
                                      const Scope& next_scope,
                                      std::vector<Row>* out) -> Status {
+          size_t examined = 0;
           for (size_t r = lo_row; r < hi_row; ++r) {
             const Row& left_row = combined[r];
             const Value& key = left_row[probe_col];
             if (key.is_null()) continue;
-            auto [lo, hi] = index.equal_range(key);
-            for (auto it = lo; it != hi; ++it) {
-              const Row& right_row = next.base->row(it->second);
+            const std::vector<size_t>* matches = match_positions(key);
+            if (matches == nullptr) continue;
+            examined += matches->size();
+            for (size_t match_pos : *matches) {
+              const Row& right_row = next.base->row(match_pos);
               bool pass = true;
               for (const auto& f : filters) {
                 QP_ASSIGN_OR_RETURN(
@@ -870,6 +935,7 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q,
               out->push_back(std::move(merged));
             }
           }
+          BumpRowsExamined(examined);
           return Status::OK();
         };
         if (parallel_probe) {

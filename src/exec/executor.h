@@ -40,6 +40,10 @@
 #include "sql/query.h"
 #include "storage/database.h"
 
+namespace qp::stats {
+class StatsManager;
+}  // namespace qp::stats
+
 namespace qp::exec {
 
 /// \brief Parallelism knobs for one Executor instance.
@@ -74,6 +78,18 @@ struct ExecOptions {
   /// turns a result into one of those two errors — it cannot change a
   /// successful result, so the determinism contract is untouched.
   const common::CancelToken* cancel = nullptr;
+  /// Optional statistics manager (not owned; must outlive the executor).
+  /// When set, access-path cardinality estimates come from its histograms;
+  /// when null, the planner counts matches exactly. Either way the estimate
+  /// is derived from table contents only — never from which indexes exist —
+  /// so the chosen plan, results and ExecStats are identical with any set
+  /// of registered indexes.
+  stats::StatsManager* stats = nullptr;
+  /// Access-path cutoff: a hash probe or B+-tree range path is taken only
+  /// when its estimated cardinality is strictly below this fraction of the
+  /// table's rows; otherwise the source full-scans. 1.0 probes whenever the
+  /// predicate is estimated to exclude anything.
+  double index_selectivity_threshold = 1.0;
 
   /// The parallelism degree these options resolve to.
   size_t parallelism() const {
@@ -123,6 +139,9 @@ class Executor {
       m_subqueries_ = options_.metrics->GetCounter(
           "qp_exec_subqueries_materialized_total",
           "IN-subqueries materialized to hash sets");
+      m_rows_examined_ = options_.metrics->GetCounter(
+          "qp_exec_rows_examined_total",
+          "Rows physically examined by access paths");
     }
   }
 
@@ -177,7 +196,18 @@ class Executor {
     rows_joined_.store(0, std::memory_order_relaxed);
     rows_output_.store(0, std::memory_order_relaxed);
     subqueries_materialized_.store(0, std::memory_order_relaxed);
+    rows_examined_.store(0, std::memory_order_relaxed);
     thread_seconds_bits_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Rows physically examined by access paths: the whole table on a scan,
+  /// only the matches when an index snapshot answers a probe. This is the
+  /// counter where indexes show up. Deliberately NOT part of ExecStats:
+  /// ExecStats is the *logical* cost of the plan and must stay identical
+  /// with indexes on or off; rows_examined is the physical work, which is
+  /// exactly what indexes are allowed to change.
+  size_t rows_examined() const {
+    return rows_examined_.load(std::memory_order_relaxed);
   }
 
   /// Cumulative wall time spent inside RunTasks task bodies, summed across
@@ -252,6 +282,10 @@ class Executor {
     subqueries_materialized_.fetch_add(n, std::memory_order_relaxed);
     if (m_subqueries_ != nullptr) m_subqueries_->Increment(n);
   }
+  void BumpRowsExamined(size_t n) const {
+    rows_examined_.fetch_add(n, std::memory_order_relaxed);
+    if (m_rows_examined_ != nullptr) m_rows_examined_->Increment(n);
+  }
 
   const storage::Database* db_;
   const AggregateRegistry* aggregates_;
@@ -265,6 +299,7 @@ class Executor {
   mutable std::atomic<size_t> rows_joined_{0};
   mutable std::atomic<size_t> rows_output_{0};
   mutable std::atomic<size_t> subqueries_materialized_{0};
+  mutable std::atomic<size_t> rows_examined_{0};
   /// Raw double bits of thread_seconds() (see AddThreadSeconds).
   mutable std::atomic<uint64_t> thread_seconds_bits_{0};
   /// Registry mirrors of the counters above (null when no registry).
@@ -273,6 +308,7 @@ class Executor {
   obs::Counter* m_rows_joined_ = nullptr;
   obs::Counter* m_rows_output_ = nullptr;
   obs::Counter* m_subqueries_ = nullptr;
+  obs::Counter* m_rows_examined_ = nullptr;
 };
 
 }  // namespace qp::exec

@@ -1,0 +1,78 @@
+// AccessPath: the one abstraction the planner hands to the executor for
+// "get me this table's candidate rows". Three kinds — full scan, hash
+// probe, B+-tree range — chosen *logically* from the predicate shape and
+// index-independent cardinality estimates, then *physically* backed by a
+// catalog snapshot when one exists.
+//
+// The logical/physical split is the core contract: whether an index is
+// registered never changes which kind is chosen, what estimated_rows says,
+// or which rows come back (Collect always yields the identical candidate
+// set in ascending row order). Indexes only change how much work Collect
+// does to produce it — reported via its examined-rows return value, never
+// via ExecStats. That is what keeps answers, ExecStats, and emission order
+// byte-identical with indexes on vs off.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/btree.h"
+#include "index/hash_index.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace qp::index {
+
+/// \brief One way of producing a table's candidate rows.
+struct AccessPath {
+  enum class Kind {
+    kFullScan,    ///< examine every row
+    kHashProbe,   ///< col == key point lookup
+    kBTreeRange,  ///< col within RangeBounds
+  };
+
+  Kind kind = Kind::kFullScan;
+  size_t col = 0;            ///< predicate column (probe/range kinds)
+  std::string column_name;   ///< for EXPLAIN span text
+  storage::Value eq_key;     ///< kHashProbe key
+  RangeBounds bounds;        ///< kBTreeRange bounds
+  size_t estimated_rows = 0; ///< index-independent cardinality estimate
+
+  /// Physical backing. Null = scan fallback with identical results; the
+  /// snapshot keeps a stale-but-valid index alive for this path's lifetime.
+  std::shared_ptr<const HashIndex> hash;
+  std::shared_ptr<const BPlusTree> btree;
+
+  /// "scan" | "index" | "range" — the logical kind, as recorded in span
+  /// attributes (stable whether or not an index backs it).
+  const char* kind_name() const;
+
+  /// True when a catalog snapshot physically backs this path.
+  bool indexed() const {
+    return (kind == Kind::kHashProbe && hash != nullptr) ||
+           (kind == Kind::kBTreeRange && btree != nullptr);
+  }
+
+  /// Appends the candidate row positions to `out`, always in ascending row
+  /// order regardless of backing. Returns the number of rows physically
+  /// examined to produce them: table.num_rows() on the scan fallback, the
+  /// match count when an index snapshot answers the probe.
+  size_t Collect(const storage::Table& table,
+                 std::vector<size_t>* out) const;
+};
+
+/// Exact count of rows with row[col] == key. Counts via the snapshot when
+/// given (the cheap path), by scanning otherwise — same number either way,
+/// which is what keeps plan choice index-independent. NULL keys match
+/// nothing.
+size_t ExactEqCount(const storage::Table& table, size_t col,
+                    const storage::Value& key, const HashIndex* hash);
+
+/// Exact count of rows with row[col] inside `bounds`; snapshot-or-scan as
+/// above.
+size_t ExactRangeCount(const storage::Table& table, size_t col,
+                       const RangeBounds& bounds, const BPlusTree* btree);
+
+}  // namespace qp::index

@@ -1,0 +1,112 @@
+// The per-Database index catalog: explicitly created secondary indexes
+// (hash for equality/join columns, B+ tree for range predicates), kept
+// consistent under data mutation by version coupling.
+//
+// Consistency model — "stale means rebuild, never silently wrong": every
+// index snapshot records the owning table's data_version at build time.
+// Each access re-checks it under the catalog mutex and rebuilds a stale
+// snapshot before handing it out, so a reader can never observe an index
+// that disagrees with the table. The same data_version feeds
+// Database::DataVersion() and therefore StatsManager::Epoch(): the epoch
+// that invalidates histograms and the serving layer's cached PPA plans is
+// exactly the version that marks index snapshots stale — one mutation
+// counter drives both.
+//
+// Snapshots are handed out as shared_ptr<const ...>: a plan prepared under
+// an older epoch keeps its (stale but structurally valid) snapshot alive
+// until dropped, while new accesses already see the rebuilt one. Like every
+// mutation path in this engine, mutating tables while queries are in flight
+// is unsupported; the guarantee here is about *between-query* consistency.
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/btree.h"
+#include "index/hash_index.h"
+#include "storage/table.h"
+
+namespace qp::index {
+
+/// Kind of secondary index.
+enum class IndexKind {
+  kHash,   ///< equality lookups: PK/join columns, point probes
+  kBTree,  ///< range predicates: elastic preferences, year/duration bounds
+};
+
+const char* IndexKindName(IndexKind kind);
+
+/// \brief Registry of secondary indexes for one Database.
+///
+/// Held behind a unique_ptr by storage::Database (which stays movable and
+/// surfaces the DDL as Database::CreateIndex / DropIndex). Thread-safe:
+/// lookups serialize on an internal mutex only to check freshness and
+/// rebuild; the returned snapshots are immutable and lock-free to read.
+class IndexCatalog {
+ public:
+  IndexCatalog() = default;
+  IndexCatalog(const IndexCatalog&) = delete;
+  IndexCatalog& operator=(const IndexCatalog&) = delete;
+
+  /// Registers an index on `table`'s column `column`. The snapshot is built
+  /// immediately. Fails if the column does not exist or the same
+  /// (table, column, kind) index is already registered.
+  Status Create(const storage::Table* table, const std::string& table_name,
+                const std::string& column, IndexKind kind);
+
+  /// Unregisters an index; NotFound when absent.
+  Status Drop(const std::string& table_name, const std::string& column,
+              IndexKind kind);
+
+  /// Fresh hash-index snapshot for `table` column `col`, or nullptr when no
+  /// such index is registered. Rebuilds first when the table's data_version
+  /// moved since the snapshot was built.
+  std::shared_ptr<const HashIndex> Hash(const storage::Table* table,
+                                        size_t col) const;
+
+  /// Fresh B+-tree snapshot for `table` column `col`, or nullptr.
+  std::shared_ptr<const BPlusTree> Range(const storage::Table* table,
+                                         size_t col) const;
+
+  /// One registered index, for \indexes-style listings.
+  struct Info {
+    std::string table;
+    std::string column;
+    IndexKind kind = IndexKind::kHash;
+    size_t entries = 0;         ///< indexed (non-NULL) rows at last build
+    uint64_t built_version = 0; ///< table data_version the snapshot saw
+    bool fresh = false;         ///< built_version == current data_version
+  };
+
+  /// All registered indexes in creation order.
+  std::vector<Info> List() const;
+
+  size_t num_indexes() const;
+
+ private:
+  struct Entry {
+    const storage::Table* table = nullptr;
+    std::string table_name;
+    std::string column;
+    size_t col = 0;
+    IndexKind kind = IndexKind::kHash;
+    uint64_t built_version = 0;
+    std::shared_ptr<const HashIndex> hash;
+    std::shared_ptr<const BPlusTree> btree;
+  };
+
+  /// Rebuilds `e`'s snapshot from the current table contents.
+  static void RebuildLocked(Entry& e);
+
+  Entry* FindLocked(const storage::Table* table, size_t col,
+                    IndexKind kind) const;
+
+  mutable std::mutex mu_;
+  mutable std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace qp::index

@@ -1,0 +1,63 @@
+#include "index/hash_index.h"
+
+#include <algorithm>
+
+namespace qp::index {
+
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+HashIndex HashIndex::Build(const storage::Table& table, size_t col,
+                           size_t bucket_count) {
+  HashIndex out;
+  if (bucket_count == 0) {
+    bucket_count = std::max<size_t>(16, NextPow2(table.num_rows()));
+  }
+  out.buckets_.resize(bucket_count);
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    const storage::Value& v = table.row(i)[col];
+    if (v.is_null()) continue;
+    std::vector<Entry>& chain = out.buckets_[v.Hash() % bucket_count];
+    Entry* entry = nullptr;
+    for (Entry& e : chain) {
+      if (e.key == v) {
+        entry = &e;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      chain.push_back(Entry{v, {}});
+      entry = &chain.back();
+      ++out.num_keys_;
+    }
+    // Rows are visited in ascending position order, so each entry's
+    // position list is ascending by construction.
+    entry->positions.push_back(i);
+    ++out.num_entries_;
+  }
+  return out;
+}
+
+const std::vector<size_t>* HashIndex::Lookup(const storage::Value& key) const {
+  if (buckets_.empty() || key.is_null()) return nullptr;
+  const std::vector<Entry>& chain = buckets_[key.Hash() % buckets_.size()];
+  for (const Entry& e : chain) {
+    if (e.key == key) return &e.positions;
+  }
+  return nullptr;
+}
+
+size_t HashIndex::max_chain_length() const {
+  size_t best = 0;
+  for (const auto& chain : buckets_) best = std::max(best, chain.size());
+  return best;
+}
+
+}  // namespace qp::index

@@ -14,7 +14,9 @@
 //
 // plus the supporting vocabulary types they expose: UserProfile, DoiPair,
 // RankingFunction, DescriptorRegistry, SelectQuery / ParseQuery, the
-// exec::ExecOptions threading knobs, and the qp::obs observability
+// exec::ExecOptions threading knobs, the secondary-index DDL
+// (qp::Database::CreateIndex / DropIndex with qp::IndexKind, catalog
+// introspection via qp::IndexCatalog), and the qp::obs observability
 // primitives (TraceSpan for per-call tracing / EXPLAIN ANALYZE,
 // MetricsRegistry behind ServingContext::MetricsText). Tools that generate
 // data or simulate users keep including datagen/ and sim/ headers directly
@@ -25,6 +27,7 @@
 #include "common/status.h"
 #include "core/personalizer.h"
 #include "core/pipeline.h"
+#include "index/catalog.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
@@ -50,6 +53,9 @@ using obs::QueryLog;
 using obs::TraceSpan;
 using obs::TraceToChromeJson;
 using common::CancelToken;
+using index::IndexCatalog;
+using index::IndexKind;
+using storage::Database;
 using serve::Lane;
 using serve::RequestHandle;
 using serve::Scheduler;

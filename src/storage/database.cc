@@ -1,8 +1,14 @@
 #include "storage/database.h"
 
 #include "common/string_util.h"
+#include "index/catalog.h"
 
 namespace qp::storage {
+
+Database::Database() : indexes_(std::make_unique<index::IndexCatalog>()) {}
+Database::~Database() = default;
+Database::Database(Database&&) noexcept = default;
+Database& Database::operator=(Database&&) noexcept = default;
 
 Result<Table*> Database::CreateTable(TableSchema schema) {
   const std::string key = ToLower(schema.name());
@@ -71,6 +77,19 @@ Result<DataType> Database::AttributeType(const AttributeRef& attr) const {
   QP_ASSIGN_OR_RETURN(const Table* table, GetTable(attr.table));
   QP_ASSIGN_OR_RETURN(size_t idx, table->schema().ColumnIndex(attr.column));
   return table->schema().column(idx).type;
+}
+
+Status Database::CreateIndex(const std::string& table,
+                             const std::string& column,
+                             index::IndexKind kind) {
+  QP_ASSIGN_OR_RETURN(const Table* t, GetTable(table));
+  return indexes_->Create(t, ToLower(table), column, kind);
+}
+
+Status Database::DropIndex(const std::string& table, const std::string& column,
+                           index::IndexKind kind) {
+  QP_RETURN_IF_ERROR(GetTable(table).status());
+  return indexes_->Drop(ToLower(table), column, kind);
 }
 
 }  // namespace qp::storage

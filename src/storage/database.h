@@ -13,6 +13,11 @@
 #include "storage/schema.h"
 #include "storage/table.h"
 
+namespace qp::index {
+class IndexCatalog;
+enum class IndexKind;
+}  // namespace qp::index
+
 namespace qp::storage {
 
 /// \brief A declared joinable attribute pair (undirected at schema level).
@@ -26,11 +31,13 @@ struct JoinLink {
 /// \brief Named collection of tables with schema-level join metadata.
 class Database {
  public:
-  Database() = default;
+  Database();
+  ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
-  Database(Database&&) = default;
-  Database& operator=(Database&&) = default;
+  // Out of line: index::IndexCatalog is incomplete here.
+  Database(Database&&) noexcept;
+  Database& operator=(Database&&) noexcept;
 
   /// Creates an empty table; fails on duplicate name.
   Result<Table*> CreateTable(TableSchema schema);
@@ -59,6 +66,22 @@ class Database {
   /// Type of the referenced attribute.
   Result<DataType> AttributeType(const AttributeRef& attr) const;
 
+  /// Registers a secondary index on `table`.`column` in the index catalog
+  /// and builds its first snapshot. Fails when the table or column is
+  /// missing or the same (table, column, kind) index already exists.
+  Status CreateIndex(const std::string& table, const std::string& column,
+                     index::IndexKind kind);
+
+  /// Unregisters a secondary index; NotFound when absent.
+  Status DropIndex(const std::string& table, const std::string& column,
+                   index::IndexKind kind);
+
+  /// The secondary-index catalog. Snapshots handed out by it are kept
+  /// consistent with table contents via Table::data_version — the same
+  /// counter DataVersion() aggregates for the stats epoch.
+  index::IndexCatalog& indexes() { return *indexes_; }
+  const index::IndexCatalog& indexes() const { return *indexes_; }
+
   /// Monotonic catalog-wide data version: grows whenever a table is created
   /// or mutated (see Table::data_version). The stats manager compares this
   /// to decide when its histograms went stale; the serving layer keys plan
@@ -73,6 +96,7 @@ class Database {
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<std::string> table_order_;
   std::vector<JoinLink> join_links_;
+  std::unique_ptr<index::IndexCatalog> indexes_;
 };
 
 }  // namespace qp::storage

@@ -1,7 +1,5 @@
 #include "storage/table.h"
 
-#include <algorithm>
-
 namespace qp::storage {
 
 Status Table::Append(Row row) {
@@ -22,99 +20,8 @@ Status Table::Append(Row row) {
     }
   }
   rows_.push_back(std::move(row));
-  InvalidateIndexes();
+  ++data_version_;
   return Status::OK();
-}
-
-const std::vector<std::pair<Value, size_t>>& Table::OrderedIndex(
-    size_t col_idx) const {
-  std::lock_guard<std::mutex> lock(index_mu_);
-  auto it = ordered_indexes_.find(col_idx);
-  if (it == ordered_indexes_.end()) {
-    std::vector<std::pair<Value, size_t>> index;
-    index.reserve(rows_.size());
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      if (!rows_[i][col_idx].is_null()) index.emplace_back(rows_[i][col_idx], i);
-    }
-    std::sort(index.begin(), index.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    it = ordered_indexes_.emplace(col_idx, std::move(index)).first;
-  }
-  return it->second;
-}
-
-namespace {
-
-/// [begin, end) slice of an ordered index covered by the bounds.
-std::pair<const std::pair<Value, size_t>*, const std::pair<Value, size_t>*>
-RangeSlice(const std::vector<std::pair<Value, size_t>>& index, const Value& lo,
-           bool lo_inclusive, bool has_lo, const Value& hi, bool hi_inclusive,
-           bool has_hi);
-
-}  // namespace
-
-size_t Table::RangeCount(size_t col_idx, const Value& lo, bool lo_inclusive,
-                         bool has_lo, const Value& hi, bool hi_inclusive,
-                         bool has_hi) const {
-  const auto [begin, end] =
-      RangeSlice(OrderedIndex(col_idx), lo, lo_inclusive, has_lo, hi,
-                 hi_inclusive, has_hi);
-  return begin < end ? static_cast<size_t>(end - begin) : 0;
-}
-
-std::vector<size_t> Table::RangeLookup(size_t col_idx, const Value& lo,
-                                       bool lo_inclusive, bool has_lo,
-                                       const Value& hi, bool hi_inclusive,
-                                       bool has_hi) const {
-  const auto& index = OrderedIndex(col_idx);
-  const auto [begin, end] = RangeSlice(index, lo, lo_inclusive, has_lo, hi,
-                                       hi_inclusive, has_hi);
-  std::vector<size_t> out;
-  for (auto it = begin; it < end; ++it) out.push_back(it->second);
-  return out;
-}
-
-namespace {
-
-std::pair<const std::pair<Value, size_t>*, const std::pair<Value, size_t>*>
-RangeSlice(const std::vector<std::pair<Value, size_t>>& index, const Value& lo,
-           bool lo_inclusive, bool has_lo, const Value& hi, bool hi_inclusive,
-           bool has_hi) {
-  const auto value_less = [](const std::pair<Value, size_t>& entry,
-                             const Value& v) { return entry.first < v; };
-  const auto less_value = [](const Value& v,
-                             const std::pair<Value, size_t>& entry) {
-    return v < entry.first;
-  };
-  const auto* begin = index.data();
-  const auto* end = index.data() + index.size();
-  if (has_lo) {
-    begin = lo_inclusive
-                ? std::lower_bound(begin, end, lo, value_less)
-                : std::upper_bound(begin, end, lo, less_value);
-  }
-  if (has_hi) {
-    end = hi_inclusive ? std::upper_bound(begin, end, hi, less_value)
-                       : std::lower_bound(begin, end, hi, value_less);
-  }
-  return {begin, end};
-}
-
-}  // namespace
-
-const std::unordered_multimap<Value, size_t, ValueHash>& Table::HashIndex(
-    size_t col_idx) const {
-  std::lock_guard<std::mutex> lock(index_mu_);
-  auto it = indexes_.find(col_idx);
-  if (it == indexes_.end()) {
-    std::unordered_multimap<Value, size_t, ValueHash> index;
-    index.reserve(rows_.size());
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      index.emplace(rows_[i][col_idx], i);
-    }
-    it = indexes_.emplace(col_idx, std::move(index)).first;
-  }
-  return it->second;
 }
 
 }  // namespace qp::storage

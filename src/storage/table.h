@@ -1,11 +1,10 @@
-// Row-oriented in-memory tables with optional per-column hash indexes used
-// by the executor to accelerate equality joins and point lookups.
+// Row-oriented in-memory tables. Tables hold data only — secondary
+// indexes live in the per-Database index::IndexCatalog and are consumed
+// through the index::AccessPath API; the mutation counter below is what
+// keeps them (and the stats layer) honest.
 
 #pragma once
 
-#include <memory>
-#include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -17,7 +16,7 @@ namespace qp::storage {
 /// A row is a vector of values positionally matching a schema.
 using Row = std::vector<Value>;
 
-/// \brief In-memory relation: schema + rows (+ lazily built hash indexes).
+/// \brief In-memory relation: schema + rows.
 class Table {
  public:
   explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
@@ -38,62 +37,18 @@ class Table {
     ++data_version_;
   }
 
-  /// Monotonic mutation counter: bumped on every append (and on explicit
-  /// index invalidation). The stats layer and the serving layer's plan
-  /// caches compare versions to detect that histograms, selectivity
-  /// orderings and prepared index walks went stale. Like all mutation,
-  /// bumps are not synchronized with concurrent queries — mutate between
-  /// serving calls only.
+  /// Monotonic mutation counter: bumped on every append. The stats layer,
+  /// the serving layer's plan caches, and the index catalog's snapshots all
+  /// compare versions to detect that histograms, selectivity orderings and
+  /// index snapshots went stale. Like all mutation, bumps are not
+  /// synchronized with concurrent queries — mutate between serving calls
+  /// only.
   uint64_t data_version() const { return data_version_; }
-
-  /// Returns (building on first use) a hash index over column `col_idx`:
-  /// value -> row positions. Lazy construction is serialized on an internal
-  /// mutex, so concurrent readers (parallel executor morsels, PPA probe
-  /// workers) may race to the first use safely; once built, an index is
-  /// immutable until InvalidateIndexes(), and the returned reference can be
-  /// used lock-free. Mutating the table while queries run is not supported.
-  const std::unordered_multimap<Value, size_t, ValueHash>& HashIndex(
-      size_t col_idx) const;
-
-  /// Returns (building on first use) an ordered index over column
-  /// `col_idx`: (value, row position) pairs sorted by value, NULLs
-  /// excluded. Serves range predicates from elastic preferences.
-  const std::vector<std::pair<Value, size_t>>& OrderedIndex(
-      size_t col_idx) const;
-
-  /// Row positions with lo <= value <= hi in column `col_idx` (either bound
-  /// may be open via `has_lo` / `has_hi`; open bounds still exclude NULLs).
-  std::vector<size_t> RangeLookup(size_t col_idx, const Value& lo,
-                                  bool lo_inclusive, bool has_lo,
-                                  const Value& hi, bool hi_inclusive,
-                                  bool has_hi) const;
-
-  /// Number of rows RangeLookup would return, without materializing them.
-  size_t RangeCount(size_t col_idx, const Value& lo, bool lo_inclusive,
-                    bool has_lo, const Value& hi, bool hi_inclusive,
-                    bool has_hi) const;
-
-  /// Drops any built indexes (call after bulk mutation). Not safe while
-  /// queries hold references to the dropped indexes.
-  void InvalidateIndexes() {
-    std::lock_guard<std::mutex> lock(index_mu_);
-    indexes_.clear();
-    ordered_indexes_.clear();
-    ++data_version_;
-  }
 
  private:
   TableSchema schema_;
   std::vector<Row> rows_;
   uint64_t data_version_ = 0;
-  /// Guards lazy index construction (tables are stored behind unique_ptr in
-  /// the Database catalog, so a non-movable member is fine).
-  mutable std::mutex index_mu_;
-  mutable std::unordered_map<size_t,
-                             std::unordered_multimap<Value, size_t, ValueHash>>
-      indexes_;
-  mutable std::unordered_map<size_t, std::vector<std::pair<Value, size_t>>>
-      ordered_indexes_;
 };
 
 }  // namespace qp::storage

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "index/catalog.h"
 #include "storage/csv.h"
 #include "storage/database.h"
 
@@ -85,65 +86,68 @@ TEST(TableTest, AppendChecksTypes) {
   EXPECT_EQ(t.num_rows(), 2u);
 }
 
-TEST(TableTest, HashIndexFindsRows) {
-  Table t(TableSchema("t", {{"k", DataType::kInt}, {"v", DataType::kString}}));
-  ASSERT_TRUE(t.Append({Value(int64_t{1}), Value("a")}).ok());
-  ASSERT_TRUE(t.Append({Value(int64_t{2}), Value("b")}).ok());
-  ASSERT_TRUE(t.Append({Value(int64_t{1}), Value("c")}).ok());
-  const auto& index = t.HashIndex(0);
-  EXPECT_EQ(index.count(Value(int64_t{1})), 2u);
-  EXPECT_EQ(index.count(Value(int64_t{2})), 1u);
-  EXPECT_EQ(index.count(Value(int64_t{9})), 0u);
+TEST(TableTest, DataVersionBumpsOnEveryAppend) {
+  Table t(TableSchema("t", {{"a", DataType::kInt}}));
+  const uint64_t v0 = t.data_version();
+  ASSERT_TRUE(t.Append({Value(int64_t{1})}).ok());
+  EXPECT_GT(t.data_version(), v0);
+  const uint64_t v1 = t.data_version();
+  t.AppendUnchecked({Value(int64_t{2})});
+  EXPECT_GT(t.data_version(), v1);
 }
 
-TEST(TableTest, OrderedIndexSortsAndSkipsNulls) {
-  Table t(TableSchema("t", {{"k", DataType::kInt}}));
-  for (int64_t v : {5, 1, 3}) {
-    ASSERT_TRUE(t.Append({Value(v)}).ok());
-  }
-  ASSERT_TRUE(t.Append({Value::Null()}).ok());
-  const auto& index = t.OrderedIndex(0);
-  ASSERT_EQ(index.size(), 3u);
-  EXPECT_EQ(index[0].first, Value(int64_t{1}));
-  EXPECT_EQ(index[1].first, Value(int64_t{3}));
-  EXPECT_EQ(index[2].first, Value(int64_t{5}));
+TEST(DatabaseTest, IndexDdlRegistersAndDrops) {
+  Database db;
+  ASSERT_TRUE(
+      db.CreateTable(TableSchema("m", {{"mid", DataType::kInt},
+                                       {"year", DataType::kInt}}))
+          .ok());
+  Table* t = *db.GetTable("m");
+  ASSERT_TRUE(t->Append({Value(int64_t{1}), Value(int64_t{1999})}).ok());
+  ASSERT_TRUE(t->Append({Value(int64_t{2}), Value(int64_t{2003})}).ok());
+
+  ASSERT_TRUE(db.CreateIndex("m", "mid", index::IndexKind::kHash).ok());
+  ASSERT_TRUE(db.CreateIndex("m", "year", index::IndexKind::kBTree).ok());
+  // Duplicate (table, column, kind) and unknown names fail.
+  EXPECT_FALSE(db.CreateIndex("m", "mid", index::IndexKind::kHash).ok());
+  EXPECT_FALSE(db.CreateIndex("m", "nope", index::IndexKind::kHash).ok());
+  EXPECT_FALSE(db.CreateIndex("nope", "mid", index::IndexKind::kHash).ok());
+
+  const auto infos = db.indexes().List();
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].table, "m");
+  EXPECT_EQ(infos[0].column, "mid");
+  EXPECT_EQ(infos[0].kind, index::IndexKind::kHash);
+  EXPECT_EQ(infos[0].entries, 2u);
+  EXPECT_TRUE(infos[0].fresh);
+  EXPECT_EQ(infos[1].kind, index::IndexKind::kBTree);
+
+  ASSERT_TRUE(db.DropIndex("m", "year", index::IndexKind::kBTree).ok());
+  EXPECT_FALSE(db.DropIndex("m", "year", index::IndexKind::kBTree).ok());
+  EXPECT_EQ(db.indexes().num_indexes(), 1u);
 }
 
-TEST(TableTest, RangeLookupBounds) {
-  Table t(TableSchema("t", {{"k", DataType::kInt}}));
-  for (int64_t v = 1; v <= 10; ++v) {
-    ASSERT_TRUE(t.Append({Value(v)}).ok());
-  }
-  const Value lo(int64_t{3}), hi(int64_t{7});
-  // Closed [3, 7].
-  EXPECT_EQ(t.RangeLookup(0, lo, true, true, hi, true, true).size(), 5u);
-  EXPECT_EQ(t.RangeCount(0, lo, true, true, hi, true, true), 5u);
-  // Open (3, 7).
-  EXPECT_EQ(t.RangeCount(0, lo, false, true, hi, false, true), 3u);
-  // Half-open bounds.
-  EXPECT_EQ(t.RangeCount(0, lo, true, true, hi, false, false), 8u);  // >= 3
-  EXPECT_EQ(t.RangeCount(0, lo, false, false, hi, true, true), 7u);  // <= 7
-  // Unbounded = everything non-null.
-  EXPECT_EQ(t.RangeCount(0, lo, false, false, hi, false, false), 10u);
-  // Empty range.
-  EXPECT_EQ(t.RangeCount(0, hi, true, true, lo, true, true), 0u);
-  // Outside the domain.
-  EXPECT_EQ(t.RangeCount(0, Value(int64_t{20}), true, true,
-                         Value(int64_t{30}), true, true),
-            0u);
-}
+TEST(DatabaseTest, IndexSnapshotsRebuildWhenStale) {
+  Database db;
+  ASSERT_TRUE(
+      db.CreateTable(TableSchema("m", {{"mid", DataType::kInt}})).ok());
+  Table* t = *db.GetTable("m");
+  ASSERT_TRUE(t->Append({Value(int64_t{1})}).ok());
+  ASSERT_TRUE(db.CreateIndex("m", "mid", index::IndexKind::kHash).ok());
+  const auto before = db.indexes().Hash(t, 0);
+  ASSERT_NE(before, nullptr);
+  EXPECT_EQ(before->Count(Value(int64_t{2})), 0u);
 
-TEST(TableTest, RangeLookupWithDuplicates) {
-  Table t(TableSchema("t", {{"k", DataType::kInt}}));
-  for (int64_t v : {2, 2, 2, 5, 5, 9}) {
-    ASSERT_TRUE(t.Append({Value(v)}).ok());
-  }
-  EXPECT_EQ(t.RangeCount(0, Value(int64_t{2}), true, true, Value(int64_t{5}),
-                         true, true),
-            5u);
-  EXPECT_EQ(t.RangeCount(0, Value(int64_t{2}), false, true, Value(int64_t{5}),
-                         false, true),
-            0u);
+  // Mutating the table marks the snapshot stale; the next access rebuilds
+  // (never silently wrong), while the old shared_ptr stays valid.
+  ASSERT_TRUE(t->Append({Value(int64_t{2})}).ok());
+  EXPECT_FALSE(db.indexes().List()[0].fresh);
+  const auto after = db.indexes().Hash(t, 0);
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(after, before);
+  EXPECT_EQ(after->Count(Value(int64_t{2})), 1u);
+  EXPECT_TRUE(db.indexes().List()[0].fresh);
+  EXPECT_EQ(before->Count(Value(int64_t{1})), 1u);  // old snapshot intact
 }
 
 TEST(DatabaseTest, CreateAndLookup) {
