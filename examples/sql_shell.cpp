@@ -19,8 +19,16 @@
 //   \trace <file> <sql>          personalize (PPA) and write a Chrome
 //                                trace-event JSON for ui.perfetto.dev
 //   \metrics                     Prometheus text exposition of all metrics
+//   \slo                         windowed SLO attainment + burn rate
+//   \statusz                     build info, uptime, sessions, SLO, indexes
 //   \savedb <dir>                persist the database (manifest + CSVs)
 //   \quit
+//
+// Set QP_INTROSPECT_PORT=<port> (0 = ephemeral) to also serve the live
+// introspection endpoints on 127.0.0.1 — /metrics, /metrics.json,
+// /healthz, /statusz, /flightz, /tracez — while the shell runs; the bound
+// port is printed at startup. A failed bind (sandboxes) prints a notice
+// and the shell continues without the server.
 //
 // Personalized answers run through a qp::serve::ServingContext session, so
 // repeated queries hit the selection/plan caches and every request lands in
@@ -36,8 +44,10 @@
 // shell exit 1 (after processing all input), so scripted/CI use can
 // detect broken input instead of silently passing.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -259,8 +269,31 @@ int main(int argc, char** argv) {
 
   serve::ServingContext::Options ctx_options;
   ctx_options.flight = &obs::FlightRecorder::Global();
+  if (const char* port_env = std::getenv("QP_INTROSPECT_PORT")) {
+    ctx_options.introspect_port =
+        static_cast<int>(std::strtol(port_env, nullptr, 10));
+    // Keep /tracez populated while introspection is on: sample every
+    // personalize call into the ring.
+    ctx_options.trace_sample_every = 1;
+  }
   serve::ServingContext ctx(&*db, ctx_options);
   obs::FlightRecorder::Global().CaptureStatusErrors(true);
+  // With introspection on, stand up the full serving stack: an (idle)
+  // Scheduler registers the qp_sched_* series and its shed-rate /healthz
+  // source, so a scrape of this process sees everything a server exposes.
+  std::unique_ptr<serve::Scheduler> scheduler;
+  if (ctx_options.introspect_port >= 0) {
+    if (ctx.introspect_port() >= 0) {
+      scheduler = std::make_unique<serve::Scheduler>(&ctx,
+                                                     serve::Scheduler::Options{});
+      std::cout << "introspection on http://127.0.0.1:"
+                << ctx.introspect_port()
+                << " (/metrics /metrics.json /healthz /statusz /flightz "
+                   "/tracez)\n";
+    } else {
+      std::cout << "introspection bind failed; continuing without it\n";
+    }
+  }
   auto session = ctx.OpenSession(kUser, *al);
   if (!session.ok()) {
     std::cerr << "error: " << session.status() << "\n";
@@ -314,6 +347,10 @@ int main(int argc, char** argv) {
         std::cout << obs::FlightRecorder::Global().Dump();
       } else if (cmd == "\\metrics") {
         std::cout << shell.ctx->MetricsText();
+      } else if (cmd == "\\slo") {
+        std::cout << shell.ctx->slo()->Describe() << "\n";
+      } else if (cmd == "\\statusz") {
+        std::cout << shell.ctx->StatuszText();
       } else if (cmd == "\\savedb") {
         ok = shell.SaveDb(std::string(Trim(args)));
       } else {

@@ -58,6 +58,9 @@ bool SameAnswerPayload(const PersonalizedAnswer& a,
          a.stats.rows_scanned == b.stats.rows_scanned &&
          a.stats.rows_joined == b.stats.rows_joined &&
          a.stats.rows_materialized == b.stats.rows_materialized &&
+         a.stats.paths_scan == b.stats.paths_scan &&
+         a.stats.paths_probe == b.stats.paths_probe &&
+         a.stats.paths_range == b.stats.paths_range &&
          a.stats.partial == b.stats.partial &&
          a.stats.rounds_run == b.stats.rounds_run;
 }

@@ -50,6 +50,12 @@ struct AnswerStats {
   // count — so the query log can include them in its deterministic render.
   size_t rows_scanned = 0;
   size_t rows_joined = 0;
+  /// Access-path choices per base source (ExecStats::paths_*). Logical —
+  /// made from query shape and estimates, never from registered indexes —
+  /// so deterministic and part of SameAnswerPayload.
+  size_t paths_scan = 0;
+  size_t paths_probe = 0;
+  size_t paths_range = 0;
   /// Rows materialized into operator outputs (ExecStats::rows_output).
   size_t rows_materialized = 0;
   /// Summed task wall time across workers (timing-derived; excluded from

@@ -712,6 +712,9 @@ Result<PersonalizedAnswer> PpaGenerator::GenerateWithPlan(
   answer.stats.rows_scanned = exec_stats.rows_scanned;
   answer.stats.rows_joined = exec_stats.rows_joined;
   answer.stats.rows_materialized = exec_stats.rows_output;
+  answer.stats.paths_scan = exec_stats.paths_scan;
+  answer.stats.paths_probe = exec_stats.paths_probe;
+  answer.stats.paths_range = exec_stats.paths_range;
   answer.stats.thread_seconds = executor.thread_seconds();
   answer.stats.rows_examined =
       executor.rows_examined() +

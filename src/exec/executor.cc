@@ -692,6 +692,17 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q,
       access[s].btree = std::move(best_tree);
     }
   }
+  // Path-choice counters, one per base source. These follow the logical
+  // choice made above, so ExecStats::paths_* (and the QueryLog fields fed
+  // from it) are deterministic regardless of which indexes exist.
+  for (size_t s = 0; s < sources.size(); ++s) {
+    if (sources[s].materialized) continue;
+    switch (access[s].kind) {
+      case index::AccessPath::Kind::kFullScan: BumpPathScan(); break;
+      case index::AccessPath::Kind::kHashProbe: BumpPathProbe(); break;
+      case index::AccessPath::Kind::kBTreeRange: BumpPathRange(); break;
+    }
+  }
 
   // Materializes a base source through its planned access path. The filter
   // pass is morsel-parallel: each morsel evaluates the filters over its
@@ -712,7 +723,14 @@ Result<RowSet> Executor::ExecuteSelect(const SelectQuery& q,
       // unobservable in results. Only rows_examined (physical work) can
       // tell the difference.
       std::vector<size_t> positions;
-      BumpRowsExamined(access[s].Collect(*src.base, &positions));
+      const size_t examined = access[s].Collect(*src.base, &positions);
+      BumpRowsExamined(examined);
+      // Physical win of the index snapshot: the rows a full scan would have
+      // touched that the probe/range never did. Zero when Collect fell back
+      // to scanning (no index registered).
+      if (access[s].indexed() && examined < src.base->num_rows()) {
+        BumpRowsSaved(src.base->num_rows() - examined);
+      }
       candidates.reserve(positions.size());
       for (size_t pos : positions) candidates.push_back(&src.base->row(pos));
     }

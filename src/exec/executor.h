@@ -106,6 +106,15 @@ struct ExecStats {
   size_t rows_joined = 0;
   size_t rows_output = 0;
   size_t subqueries_materialized = 0;
+  /// Access-path choices, one count per base source per query. The choice
+  /// is LOGICAL — made from the query shape and cardinality estimates,
+  /// never from whether an index is registered (see
+  /// ExecOptions::index_selectivity_threshold) — so these stay identical
+  /// with indexes on or off and at every thread count, and belong in
+  /// ExecStats where rows_examined (the physical counter) does not.
+  size_t paths_scan = 0;   ///< full-scan sources
+  size_t paths_probe = 0;  ///< hash-probe (equality) sources
+  size_t paths_range = 0;  ///< B+-tree range sources
 
   bool operator==(const ExecStats&) const = default;
 };
@@ -142,6 +151,19 @@ class Executor {
       m_rows_examined_ = options_.metrics->GetCounter(
           "qp_exec_rows_examined_total",
           "Rows physically examined by access paths");
+      const std::string path_help =
+          "Access-path choices by kind (logical: independent of which "
+          "indexes exist)";
+      m_paths_scan_ = options_.metrics->GetCounter(
+          "qp_index_path_total", {{"kind", "scan"}}, path_help);
+      m_paths_probe_ = options_.metrics->GetCounter(
+          "qp_index_path_total", {{"kind", "probe"}}, path_help);
+      m_paths_range_ = options_.metrics->GetCounter(
+          "qp_index_path_total", {{"kind", "range"}}, path_help);
+      m_rows_saved_ = options_.metrics->GetCounter(
+          "qp_index_rows_saved_total",
+          "Rows an index snapshot avoided examining vs a full scan "
+          "(table rows minus rows examined, summed per indexed source)");
     }
   }
 
@@ -188,6 +210,9 @@ class Executor {
     s.rows_output = rows_output_.load(std::memory_order_relaxed);
     s.subqueries_materialized =
         subqueries_materialized_.load(std::memory_order_relaxed);
+    s.paths_scan = paths_scan_.load(std::memory_order_relaxed);
+    s.paths_probe = paths_probe_.load(std::memory_order_relaxed);
+    s.paths_range = paths_range_.load(std::memory_order_relaxed);
     return s;
   }
   void ResetStats() {
@@ -196,6 +221,9 @@ class Executor {
     rows_joined_.store(0, std::memory_order_relaxed);
     rows_output_.store(0, std::memory_order_relaxed);
     subqueries_materialized_.store(0, std::memory_order_relaxed);
+    paths_scan_.store(0, std::memory_order_relaxed);
+    paths_probe_.store(0, std::memory_order_relaxed);
+    paths_range_.store(0, std::memory_order_relaxed);
     rows_examined_.store(0, std::memory_order_relaxed);
     thread_seconds_bits_.store(0, std::memory_order_relaxed);
   }
@@ -286,6 +314,22 @@ class Executor {
     rows_examined_.fetch_add(n, std::memory_order_relaxed);
     if (m_rows_examined_ != nullptr) m_rows_examined_->Increment(n);
   }
+  void BumpPathScan() const {
+    paths_scan_.fetch_add(1, std::memory_order_relaxed);
+    if (m_paths_scan_ != nullptr) m_paths_scan_->Increment();
+  }
+  void BumpPathProbe() const {
+    paths_probe_.fetch_add(1, std::memory_order_relaxed);
+    if (m_paths_probe_ != nullptr) m_paths_probe_->Increment();
+  }
+  void BumpPathRange() const {
+    paths_range_.fetch_add(1, std::memory_order_relaxed);
+    if (m_paths_range_ != nullptr) m_paths_range_->Increment();
+  }
+  /// Physical-only (like rows_examined): rows an index let us skip.
+  void BumpRowsSaved(size_t n) const {
+    if (m_rows_saved_ != nullptr) m_rows_saved_->Increment(n);
+  }
 
   const storage::Database* db_;
   const AggregateRegistry* aggregates_;
@@ -299,6 +343,9 @@ class Executor {
   mutable std::atomic<size_t> rows_joined_{0};
   mutable std::atomic<size_t> rows_output_{0};
   mutable std::atomic<size_t> subqueries_materialized_{0};
+  mutable std::atomic<size_t> paths_scan_{0};
+  mutable std::atomic<size_t> paths_probe_{0};
+  mutable std::atomic<size_t> paths_range_{0};
   mutable std::atomic<size_t> rows_examined_{0};
   /// Raw double bits of thread_seconds() (see AddThreadSeconds).
   mutable std::atomic<uint64_t> thread_seconds_bits_{0};
@@ -309,6 +356,10 @@ class Executor {
   obs::Counter* m_rows_output_ = nullptr;
   obs::Counter* m_subqueries_ = nullptr;
   obs::Counter* m_rows_examined_ = nullptr;
+  obs::Counter* m_paths_scan_ = nullptr;
+  obs::Counter* m_paths_probe_ = nullptr;
+  obs::Counter* m_paths_range_ = nullptr;
+  obs::Counter* m_rows_saved_ = nullptr;
 };
 
 }  // namespace qp::exec

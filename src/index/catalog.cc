@@ -10,7 +10,7 @@ const char* IndexKindName(IndexKind kind) {
   return "?";
 }
 
-void IndexCatalog::RebuildLocked(Entry& e) {
+void IndexCatalog::RebuildLocked(Entry& e) const {
   if (e.kind == IndexKind::kHash) {
     e.hash = std::make_shared<const HashIndex>(
         HashIndex::Build(*e.table, e.col));
@@ -19,6 +19,22 @@ void IndexCatalog::RebuildLocked(Entry& e) {
         BPlusTree::Build(*e.table, e.col));
   }
   e.built_version = e.table->data_version();
+  if (builds_ != nullptr) builds_->Increment();
+}
+
+void IndexCatalog::BindMetrics(obs::MetricsRegistry* metrics) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metrics == nullptr) {
+    builds_ = nullptr;
+    staleness_hits_ = nullptr;
+    return;
+  }
+  builds_ = metrics->GetCounter(
+      "qp_index_builds_total",
+      "Index snapshot builds (initial build at Create plus every rebuild)");
+  staleness_hits_ = metrics->GetCounter(
+      "qp_index_staleness_hits_total",
+      "Accesses that found an index snapshot stale and rebuilt it inline");
 }
 
 IndexCatalog::Entry* IndexCatalog::FindLocked(const storage::Table* table,
@@ -70,7 +86,10 @@ std::shared_ptr<const HashIndex> IndexCatalog::Hash(
   std::lock_guard<std::mutex> lock(mu_);
   Entry* e = FindLocked(table, col, IndexKind::kHash);
   if (e == nullptr) return nullptr;
-  if (e->built_version != table->data_version()) RebuildLocked(*e);
+  if (e->built_version != table->data_version()) {
+    if (staleness_hits_ != nullptr) staleness_hits_->Increment();
+    RebuildLocked(*e);
+  }
   return e->hash;
 }
 
@@ -79,7 +98,10 @@ std::shared_ptr<const BPlusTree> IndexCatalog::Range(
   std::lock_guard<std::mutex> lock(mu_);
   Entry* e = FindLocked(table, col, IndexKind::kBTree);
   if (e == nullptr) return nullptr;
-  if (e->built_version != table->data_version()) RebuildLocked(*e);
+  if (e->built_version != table->data_version()) {
+    if (staleness_hits_ != nullptr) staleness_hits_->Increment();
+    RebuildLocked(*e);
+  }
   return e->btree;
 }
 

@@ -28,6 +28,7 @@
 #include "common/status.h"
 #include "index/btree.h"
 #include "index/hash_index.h"
+#include "obs/metrics.h"
 #include "storage/table.h"
 
 namespace qp::index {
@@ -87,6 +88,16 @@ class IndexCatalog {
 
   size_t num_indexes() const;
 
+  /// Registers the qp_index_* build/staleness counters on `metrics`:
+  /// qp_index_builds_total (every snapshot build, including the one at
+  /// Create) and qp_index_staleness_hits_total (an access found the
+  /// snapshot's built_version behind the table and had to rebuild before
+  /// answering). Null detaches. The catalog works unmetered by default —
+  /// ServingContext binds its registry at construction. Const like the
+  /// accessors (the counters are telemetry, not catalog state), so it is
+  /// callable through the const Database& serving holds.
+  void BindMetrics(obs::MetricsRegistry* metrics) const;
+
  private:
   struct Entry {
     const storage::Table* table = nullptr;
@@ -100,13 +111,17 @@ class IndexCatalog {
   };
 
   /// Rebuilds `e`'s snapshot from the current table contents.
-  static void RebuildLocked(Entry& e);
+  void RebuildLocked(Entry& e) const;
 
   Entry* FindLocked(const storage::Table* table, size_t col,
                     IndexKind kind) const;
 
   mutable std::mutex mu_;
   mutable std::vector<std::unique_ptr<Entry>> entries_;
+  /// Telemetry, null until BindMetrics. Guarded by mu_ against rebind;
+  /// bumps happen under mu_ anyway (every catalog op holds it).
+  mutable obs::Counter* builds_ = nullptr;
+  mutable obs::Counter* staleness_hits_ = nullptr;
 };
 
 }  // namespace qp::index

@@ -98,25 +98,34 @@ Histogram::Snapshot Histogram::snapshot() const {
   return snap;
 }
 
-double Histogram::Quantile(double p) const {
-  const Snapshot snap = snapshot();
-  if (snap.count == 0 || bounds_.empty()) return 0.0;
+double Histogram::QuantileOf(const Snapshot& snap,
+                             const std::vector<double>& bounds, double p) {
+  if (snap.count == 0 || bounds.empty()) return 0.0;
   p = std::min(1.0, std::max(0.0, p));
   const double rank = p * static_cast<double>(snap.count);
   double cumulative = 0.0;
-  for (size_t i = 0; i < snap.buckets.size(); ++i) {
+  // Walk the FINITE buckets only; interpolation needs both edges.
+  const size_t finite = std::min(bounds.size(), snap.buckets.size());
+  for (size_t i = 0; i < finite; ++i) {
     const double next = cumulative + static_cast<double>(snap.buckets[i]);
     if (next >= rank && snap.buckets[i] > 0) {
-      if (i >= bounds_.size()) return bounds_.back();  // +Inf bucket
-      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
-      const double hi = bounds_[i];
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
       const double within =
           (rank - cumulative) / static_cast<double>(snap.buckets[i]);
       return lo + (hi - lo) * within;
     }
     cumulative = next;
   }
-  return bounds_.back();
+  // The rank lands in the implicit +Inf overflow bucket: there is no finite
+  // upper edge to interpolate toward, so clamp to the highest finite bound.
+  // This makes the estimate a LOWER bound on the true quantile — explicit
+  // and documented rather than an accident of loop structure (see header).
+  return bounds.back();
+}
+
+double Histogram::Quantile(double p) const {
+  return QuantileOf(snapshot(), bounds_, p);
 }
 
 std::vector<double> DefaultLatencyBuckets() {
@@ -207,6 +216,12 @@ size_t MetricsRegistry::LabeledCountLocked(const std::string& base) const {
       ++n;
     }
   }
+  for (const auto& entry : gauges_) {
+    if (entry.name.compare(0, prefix.size(), prefix) == 0 &&
+        entry.name != OverflowName(entry.name)) {
+      ++n;
+    }
+  }
   for (const auto& entry : histograms_) {
     if (entry.name.compare(0, prefix.size(), prefix) == 0 &&
         entry.name != OverflowName(entry.name)) {
@@ -271,10 +286,59 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return histograms_.back().histogram.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : gauges_) {
+    if (entry.name == name) return entry.gauge.get();
+  }
+  const std::string capped = CappedName(name, /*exists=*/false);
+  if (capped != name) {
+    for (auto& entry : gauges_) {
+      if (entry.name == capped) return entry.gauge.get();
+    }
+  }
+  gauges_.push_back({capped, help, std::make_unique<Gauge>()});
+  return gauges_.back().gauge.get();
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& base,
                                      const std::vector<MetricLabel>& labels,
                                      const std::string& help) {
   return GetCounter(LabeledName(base, labels), help);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& base,
+                                 const std::vector<MetricLabel>& labels,
+                                 const std::string& help) {
+  return GetGauge(LabeledName(base, labels), help);
+}
+
+size_t MetricsRegistry::AddCollectionHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  const size_t id = next_hook_id_++;
+  hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void MetricsRegistry::RemoveCollectionHook(size_t id) {
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  for (auto it = hooks_.begin(); it != hooks_.end(); ++it) {
+    if (it->first == id) {
+      hooks_.erase(it);
+      return;
+    }
+  }
+}
+
+void MetricsRegistry::RunCollectionHooks() const {
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(hooks_mu_);
+    hooks.reserve(hooks_.size());
+    for (const auto& [id, hook] : hooks_) hooks.push_back(hook);
+  }
+  for (const auto& hook : hooks) hook();
 }
 
 Histogram* MetricsRegistry::GetHistogram(
@@ -283,49 +347,90 @@ Histogram* MetricsRegistry::GetHistogram(
   return GetHistogram(LabeledName(base, labels), std::move(bounds), help);
 }
 
+namespace {
+
+/// Indices of `entries` grouped by metric base name in first-seen order, so
+/// every series of a family lands in ONE exposition block with ONE
+/// "# TYPE" line even when registrations of different bases interleaved
+/// (e.g. the per-window SLO gauges register attainment/burn/p50/p99 for
+/// "1m" and then again for "5m"). The Prometheus text format requires
+/// this: parsers reject a family that appears in two blocks.
+template <typename Entry>
+std::vector<std::pair<std::string, std::vector<size_t>>> GroupByBase(
+    const std::vector<Entry>& entries) {
+  std::vector<std::pair<std::string, std::vector<size_t>>> groups;
+  std::string base, labels;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    SplitSeries(entries[i].name, &base, &labels);
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == base; });
+    if (it == groups.end()) {
+      groups.emplace_back(base, std::vector<size_t>{i});
+    } else {
+      it->second.push_back(i);
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
 std::string MetricsRegistry::RenderText() const {
+  RunCollectionHooks();
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   std::string base, labels;
-  std::string last_header;
-  for (const auto& entry : counters_) {
-    SplitSeries(entry.name, &base, &labels);
-    if (base != last_header) {
-      if (!entry.help.empty()) {
-        out += "# HELP " + base + " " + entry.help + "\n";
-      }
-      out += "# TYPE " + base + " counter\n";
-      last_header = base;
+  for (const auto& [family, indices] : GroupByBase(counters_)) {
+    if (!counters_[indices.front()].help.empty()) {
+      out += "# HELP " + family + " " + counters_[indices.front()].help + "\n";
     }
-    out += base + labels + " " + std::to_string(entry.counter->Value()) + "\n";
+    out += "# TYPE " + family + " counter\n";
+    for (size_t i : indices) {
+      SplitSeries(counters_[i].name, &base, &labels);
+      out +=
+          base + labels + " " + std::to_string(counters_[i].counter->Value()) +
+          "\n";
+    }
   }
-  last_header.clear();
-  for (const auto& entry : histograms_) {
-    SplitSeries(entry.name, &base, &labels);
-    if (base != last_header) {
-      if (!entry.help.empty()) {
-        out += "# HELP " + base + " " + entry.help + "\n";
+  for (const auto& [family, indices] : GroupByBase(gauges_)) {
+    if (!gauges_[indices.front()].help.empty()) {
+      out += "# HELP " + family + " " + gauges_[indices.front()].help + "\n";
+    }
+    out += "# TYPE " + family + " gauge\n";
+    for (size_t i : indices) {
+      SplitSeries(gauges_[i].name, &base, &labels);
+      out += base + labels + " " + FormatDouble(gauges_[i].gauge->Value()) +
+             "\n";
+    }
+  }
+  for (const auto& [family, indices] : GroupByBase(histograms_)) {
+    if (!histograms_[indices.front()].help.empty()) {
+      out +=
+          "# HELP " + family + " " + histograms_[indices.front()].help + "\n";
+    }
+    out += "# TYPE " + family + " histogram\n";
+    for (size_t i : indices) {
+      SplitSeries(histograms_[i].name, &base, &labels);
+      Histogram::Snapshot snap = histograms_[i].histogram->snapshot();
+      const std::vector<double>& bounds = histograms_[i].histogram->bounds();
+      uint64_t cumulative = 0;
+      for (size_t b = 0; b < snap.buckets.size(); ++b) {
+        cumulative += snap.buckets[b];
+        std::string le =
+            b < bounds.size() ? FormatDouble(bounds[b]) : std::string("+Inf");
+        out += base + "_bucket" + WithLabel(labels, "le=\"" + le + "\"") +
+               " " + std::to_string(cumulative) + "\n";
       }
-      out += "# TYPE " + base + " histogram\n";
-      last_header = base;
+      out += base + "_sum" + labels + " " + FormatDouble(snap.sum) + "\n";
+      out += base + "_count" + labels + " " + std::to_string(snap.count) +
+             "\n";
     }
-    Histogram::Snapshot snap = entry.histogram->snapshot();
-    const std::vector<double>& bounds = entry.histogram->bounds();
-    uint64_t cumulative = 0;
-    for (size_t i = 0; i < snap.buckets.size(); ++i) {
-      cumulative += snap.buckets[i];
-      std::string le =
-          i < bounds.size() ? FormatDouble(bounds[i]) : std::string("+Inf");
-      out += base + "_bucket" + WithLabel(labels, "le=\"" + le + "\"") + " " +
-             std::to_string(cumulative) + "\n";
-    }
-    out += base + "_sum" + labels + " " + FormatDouble(snap.sum) + "\n";
-    out += base + "_count" + labels + " " + std::to_string(snap.count) + "\n";
   }
   return out;
 }
 
 std::string MetricsRegistry::RenderJson() const {
+  RunCollectionHooks();
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"counters\":{";
   for (size_t i = 0; i < counters_.size(); ++i) {
@@ -333,6 +438,13 @@ std::string MetricsRegistry::RenderJson() const {
     AppendJsonString(counters_[i].name, &out);
     out += ":";
     out += std::to_string(counters_[i].counter->Value());
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendJsonString(gauges_[i].name, &out);
+    out += ":";
+    out += FormatDouble(gauges_[i].gauge->Value());
   }
   out += "},\"histograms\":{";
   for (size_t i = 0; i < histograms_.size(); ++i) {

@@ -1,6 +1,9 @@
-// Process-wide metrics primitives: named lock-free counters and
-// fixed-bucket histograms behind a registry, with Prometheus-style text
-// exposition (RenderText) and a JSON snapshot (RenderJson).
+// Process-wide metrics primitives: named lock-free counters, last-value
+// gauges and fixed-bucket histograms behind a registry, with
+// Prometheus-style text exposition (RenderText) and a JSON snapshot
+// (RenderJson). Gauges mirroring external state (RSS, live queue depths,
+// windowed SLO attainment) are refreshed at scrape time through collection
+// hooks (AddCollectionHook) run at the start of every render.
 //
 // Naming scheme (see DESIGN.md "Observability"): snake_case with a
 // component prefix and a unit/`_total` suffix — `qp_exec_rows_scanned_total`,
@@ -20,6 +23,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,6 +43,42 @@ class Counter {
 
  private:
   std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-value gauge: a double that can move both ways (queue depths,
+/// session counts, attainment ratios, RSS). Set/Add are lock-free; Add uses
+/// a CAS loop over the raw bits (atomic<double>::fetch_add is not portable).
+class Gauge {
+ public:
+  void Set(double value) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    bits_.store(bits, std::memory_order_relaxed);
+  }
+  void Add(double delta) {
+    uint64_t old_bits = bits_.load(std::memory_order_relaxed);
+    while (true) {
+      double old_value;
+      std::memcpy(&old_value, &old_bits, sizeof(old_value));
+      const double new_value = old_value + delta;
+      uint64_t new_bits;
+      std::memcpy(&new_bits, &new_value, sizeof(new_bits));
+      if (bits_.compare_exchange_weak(old_bits, new_bits,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+  double Value() const {
+    const uint64_t bits = bits_.load(std::memory_order_relaxed);
+    double out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+  }
+
+ private:
+  std::atomic<uint64_t> bits_{0};  ///< raw double bits; 0 == 0.0
 };
 
 /// \brief Fixed-bucket histogram with lock-free observation.
@@ -72,10 +113,25 @@ class Histogram {
   /// Estimates the p-quantile (p in [0, 1]) of the observed distribution the
   /// way Prometheus' histogram_quantile does: find the bucket the rank
   /// p * count falls in and interpolate linearly inside it (the first
-  /// bucket's lower edge is 0). A rank landing in the +Inf bucket returns
-  /// the highest finite bound; an empty histogram returns 0. This is the
-  /// estimator behind QueryLog's adaptive slow-query threshold.
+  /// bucket's lower edge is 0). An empty histogram (or one built with no
+  /// finite bounds) returns 0.
+  ///
+  /// Overflow-bucket clamp: a rank that lands in the implicit +Inf bucket
+  /// has no finite upper edge to interpolate toward, so the estimate CLAMPS
+  /// to the highest finite bound — deliberately, and explicitly (this used
+  /// to fall out of the loop structure silently). The returned value is
+  /// therefore a LOWER bound on the true quantile whenever observations
+  /// exceed bounds().back(); callers sizing buckets should make the last
+  /// finite bound generous enough that the clamp is the rare case. This is
+  /// the estimator behind QueryLog's adaptive slow-query threshold and the
+  /// SlidingHistogram's windowed p50/p99.
   double Quantile(double p) const;
+
+  /// The quantile estimate over an externally-merged snapshot with these
+  /// bounds (the SlidingHistogram's windowed spelling). Same interpolation
+  /// and overflow clamp as Quantile().
+  static double QuantileOf(const Snapshot& snap,
+                           const std::vector<double>& bounds, double p);
 
  private:
   std::vector<double> bounds_;
@@ -125,6 +181,9 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
                           const std::string& help = "");
 
+  /// Returns the gauge registered under `name`, creating it on first use.
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+
   /// Labeled spellings: the series name is LabeledName(base, labels) (label
   /// values escaped), and creation is subject to the cardinality cap — once
   /// `label_cardinality_limit()` distinct labeled series exist under `base`,
@@ -139,6 +198,9 @@ class MetricsRegistry {
                           const std::vector<MetricLabel>& labels,
                           std::vector<double> bounds,
                           const std::string& help = "");
+  Gauge* GetGauge(const std::string& base,
+                  const std::vector<MetricLabel>& labels,
+                  const std::string& help = "");
 
   /// Per-base cap on distinct labeled series (default 1024). The overflow
   /// series does not count against the cap. Applies to labeled creations
@@ -146,13 +208,27 @@ class MetricsRegistry {
   void SetLabelCardinalityLimit(size_t limit);
   size_t label_cardinality_limit() const;
 
+  /// Registers a callback run at the start of every RenderText/RenderJson
+  /// — the pull-model refresh point where gauges mirroring external state
+  /// (process RSS, live session counts, windowed SLO attainment) are
+  /// brought current before the scrape is rendered. Hooks run WITHOUT the
+  /// registry lock held, so they may freely call Get*/Set on this registry.
+  /// Returns an id for RemoveCollectionHook.
+  size_t AddCollectionHook(std::function<void()> hook);
+  /// Unregisters a hook; safe for ids already removed. Objects shorter-
+  /// lived than the registry (e.g. a Scheduler updating queue gauges) must
+  /// remove their hooks before dying.
+  void RemoveCollectionHook(size_t id);
+
   /// Prometheus text exposition of every registered series, in
-  /// registration order, grouped by base name.
+  /// registration order, grouped by base name: counters, then gauges, then
+  /// histograms. Runs the collection hooks first.
   std::string RenderText() const;
 
   /// JSON snapshot: {"counters": {name: value, ...},
+  /// "gauges": {name: value, ...},
   /// "histograms": {name: {"count": n, "sum": s, "buckets": [...],
-  /// "bounds": [...]}, ...}}.
+  /// "bounds": [...]}, ...}}. Runs the collection hooks first.
   std::string RenderJson() const;
 
  private:
@@ -161,11 +237,19 @@ class MetricsRegistry {
     std::string help;
     std::unique_ptr<Counter> counter;
   };
+  struct GaugeEntry {
+    std::string name;
+    std::string help;
+    std::unique_ptr<Gauge> gauge;
+  };
   struct HistogramEntry {
     std::string name;
     std::string help;
     std::unique_ptr<Histogram> histogram;
   };
+
+  /// Copies the registered hooks (under hooks_mu_) and runs them unlocked.
+  void RunCollectionHooks() const;
 
   /// Applies the cardinality cap to `name` (must hold mu_): returns `name`
   /// unchanged while the base is under the limit or the series already
@@ -176,7 +260,14 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   size_t label_limit_ = 1024;
   std::vector<CounterEntry> counters_;
+  std::vector<GaugeEntry> gauges_;
   std::vector<HistogramEntry> histograms_;
+
+  /// Collection hooks, guarded by their own mutex (never held while a hook
+  /// runs, and ordered independently of mu_ — hooks take mu_ via Get*).
+  mutable std::mutex hooks_mu_;
+  size_t next_hook_id_ = 0;
+  std::vector<std::pair<size_t, std::function<void()>>> hooks_;
 };
 
 /// Free-function spellings of the renders (the canonical API surface).

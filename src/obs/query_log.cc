@@ -66,6 +66,9 @@ std::string QueryLogRecord::AnswerIdentityString() const {
               &out);
   AppendField("partial", partial, &out);
   AppendField("rounds_run", static_cast<uint64_t>(rounds_run), &out);
+  AppendField("paths_scan", static_cast<uint64_t>(paths_scan), &out);
+  AppendField("paths_probe", static_cast<uint64_t>(paths_probe), &out);
+  AppendField("paths_range", static_cast<uint64_t>(paths_range), &out);
   AppendField("scheduled", scheduled, &out);
   AppendField("lane", lane, &out);
   AppendField("shard", static_cast<uint64_t>(shard), &out);
@@ -96,6 +99,11 @@ std::string QueryLogRecord::DeterministicString() const {
               &out);
   AppendField("partial", partial, &out);
   AppendField("rounds_run", static_cast<uint64_t>(rounds_run), &out);
+  AppendField("paths_scan", static_cast<uint64_t>(paths_scan), &out);
+  AppendField("paths_probe", static_cast<uint64_t>(paths_probe), &out);
+  AppendField("paths_range", static_cast<uint64_t>(paths_range), &out);
+  AppendField("repaired_mutations", static_cast<uint64_t>(repaired_mutations),
+              &out);
   AppendField("scheduled", scheduled, &out);
   AppendField("lane", lane, &out);
   AppendField("shard", static_cast<uint64_t>(shard), &out);

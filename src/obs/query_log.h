@@ -65,6 +65,19 @@ struct QueryLogRecord {
   /// (AnswerStats::partial); rounds_run is the PPA cut round.
   bool partial = false;
   size_t rounds_run = 0;
+  /// Access-path choices the executor made for this request, one count per
+  /// base source (AccessPathKind). The CHOICE is logical — made from the
+  /// query shape and estimated rows, never from whether an index actually
+  /// existed — so these are deterministic and part of both projections.
+  size_t paths_scan = 0;
+  size_t paths_probe = 0;
+  size_t paths_range = 0;
+  /// Mutations replayed by an incremental state repair (delta size); 0 for
+  /// every other state outcome. Deterministic for a fixed request stream
+  /// but legitimately different between incremental and cold sessions, so
+  /// it joins DeterministicString (pinned across thread counts) and NOT
+  /// AnswerIdentityString (diffed incremental-vs-cold).
+  size_t repaired_mutations = 0;
 
   // --- admission (filled only for scheduler-dispatched requests) ---
   /// Request went through serve::Scheduler. Direct Session::Personalize

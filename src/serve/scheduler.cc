@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 namespace qp::serve {
@@ -88,6 +89,9 @@ Scheduler::Scheduler(ServingContext* ctx, Options options)
   shed_ = metrics->GetCounter(
       "qp_sched_shed_total",
       "Requests rejected with kOverloaded at admission (full shard queue)");
+  dispatched_ = metrics->GetCounter(
+      "qp_sched_dispatched_total",
+      "Requests dequeued onto a worker (includes ones that then expire)");
   expired_ = metrics->GetCounter(
       "qp_sched_deadline_expired_total",
       "Requests whose deadline passed while still queued (never executed)");
@@ -105,10 +109,55 @@ Scheduler::Scheduler(ServingContext* ctx, Options options)
       metrics->GetHistogram("qp_sched_queue_seconds",
                             obs::DefaultLatencyBuckets(),
                             "Admission-to-dispatch wait per request");
-  queue_depth_ = metrics->GetHistogram(
-      "qp_sched_queue_depth",
+  // Histogram of the depth *distribution* seen at admission; the live
+  // depth itself is the qp_sched_queue_depth{shard,lane} gauge family
+  // below (distinct base names — one exposition family cannot carry two
+  // metric types).
+  depth_at_enqueue_ = metrics->GetHistogram(
+      "qp_sched_queue_depth_at_enqueue",
       {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024},
       "Target-shard queue depth observed at each admission");
+  depth_gauges_.resize(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    for (size_t lane = 0; lane < kNumLanes; ++lane) {
+      depth_gauges_[s][lane] = metrics->GetGauge(
+          "qp_sched_queue_depth",
+          {{"shard", std::to_string(s)},
+           {"lane", LaneName(static_cast<Lane>(lane))}},
+          "Requests queued right now, by shard and lane");
+    }
+  }
+
+  // Trailing shed-rate window for /healthz: 12 slices covering the
+  // configured window, on the context's clock so an injected test clock
+  // drives it too.
+  const double window =
+      options_.healthz_window_seconds > 0.0 ? options_.healthz_window_seconds
+                                            : 60.0;
+  options_.healthz_window_seconds = window;
+  window_admitted_ = std::make_unique<obs::SlidingCounter>(
+      window / 12.0, 12, ctx_->clock());
+  window_shed_ = std::make_unique<obs::SlidingCounter>(
+      window / 12.0, 12, ctx_->clock());
+  health_id_ = ctx_->AddHealthSource("scheduler", [this] {
+    const uint64_t shed = window_shed_->WindowTotal(
+        options_.healthz_window_seconds);
+    const uint64_t admitted = window_admitted_->WindowTotal(
+        options_.healthz_window_seconds);
+    const uint64_t total = shed + admitted;
+    if (total == 0) return std::string();
+    const double rate =
+        static_cast<double>(shed) / static_cast<double>(total);
+    if (rate <= options_.healthz_max_shed_rate) return std::string();
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "shedding %.0f%% of arrivals over the last %.0fs "
+                  "(threshold %.0f%%)",
+                  rate * 100.0, options_.healthz_window_seconds,
+                  options_.healthz_max_shed_rate * 100.0);
+    return std::string(buf);
+  });
+  health_registered_ = true;
 
   shards_.reserve(options_.num_shards);
   for (size_t s = 0; s < options_.num_shards; ++s) {
@@ -154,6 +203,10 @@ Result<std::shared_ptr<RequestHandle>> Scheduler::Submit(Request request) {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (shard.queued >= options_.shard_queue_capacity) {
       shed_->Increment();
+      window_shed_->Add();
+      // A shed request never executes, so the Session will never classify
+      // it — the scheduler owns its SLO verdict (always bad).
+      ctx_->slo()->RecordBad();
       if (ctx_->flight() != nullptr) {
         ctx_->flight()->Record(
             obs::FlightEventKind::kNote, "scheduler",
@@ -169,11 +222,15 @@ Result<std::shared_ptr<RequestHandle>> Scheduler::Submit(Request request) {
     }
     shard.lanes[lane].push_back(QueuedRequest{std::move(request), handle});
     depth_after = ++shard.queued;
+    // Gauge moves under the shard mutex, paired with the dequeue-side
+    // decrement (also under it), so the live depth never dips negative.
+    depth_gauges_[shard_index][lane]->Add(1.0);
   }
   shard.cv.notify_one();
 
   submitted_->Increment();
-  queue_depth_->Observe(static_cast<double>(depth_after));
+  window_admitted_->Add();
+  depth_at_enqueue_->Observe(static_cast<double>(depth_after));
   size_t prev = max_queue_depth_.load(std::memory_order_relaxed);
   while (depth_after > prev &&
          !max_queue_depth_.compare_exchange_weak(prev, depth_after,
@@ -236,6 +293,10 @@ void Scheduler::WorkerLoop(size_t shard_index) {
         std::array<std::deque<QueuedRequest>, kNumLanes> lanes;
         lanes.swap(shard.lanes);
         shard.queued = 0;
+        for (size_t lane = 0; lane < kNumLanes; ++lane) {
+          depth_gauges_[shard_index][lane]->Add(
+              -static_cast<double>(lanes[lane].size()));
+        }
         lock.unlock();
         for (auto& lane : lanes) {
           for (auto& queued : lane) {
@@ -253,7 +314,9 @@ void Scheduler::WorkerLoop(size_t shard_index) {
       item = std::move(shard.lanes[lane].front());
       shard.lanes[lane].pop_front();
       --shard.queued;
+      depth_gauges_[shard_index][lane]->Add(-1.0);
     }
+    dispatched_->Increment();
     Execute(shard_index, std::move(item));
   }
 }
@@ -272,6 +335,8 @@ void Scheduler::Execute(size_t shard_index, QueuedRequest&& item) {
   // worker's time belongs to requests that can still meet their deadline.
   if (handle.token_.deadline_passed() && !handle.token_.cancel_requested()) {
     expired_->Increment();
+    // Never executed -> the Session records no SLO verdict; classify here.
+    ctx_->slo()->RecordBad();
     response.status = Status::DeadlineExceeded(
         "deadline expired after " +
         std::to_string(response.queue_seconds) + "s in queue");
@@ -279,6 +344,7 @@ void Scheduler::Execute(size_t shard_index, QueuedRequest&& item) {
     return;
   }
   if (handle.token_.cancel_requested()) {
+    ctx_->slo()->RecordBad();
     response.status = Status::Cancelled("cancelled while queued");
     FinishRequest(std::move(item), std::move(response));
     return;
@@ -384,6 +450,13 @@ double Scheduler::NextJitter(Shard& shard) {
 
 void Scheduler::Shutdown(bool drain) {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  // Detach the /healthz source first: RemoveHealthSource is a barrier
+  // (no check can still be running once it returns), so after this line
+  // nothing outside this object reaches into the shed-rate windows.
+  if (health_registered_) {
+    ctx_->RemoveHealthSource(health_id_);
+    health_registered_ = false;
+  }
   drain_.store(drain, std::memory_order_release);
   stopping_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
@@ -403,6 +476,10 @@ void Scheduler::Shutdown(bool drain) {
       std::lock_guard<std::mutex> lock(shards_[s]->mu);
       lanes.swap(shards_[s]->lanes);
       shards_[s]->queued = 0;
+      for (size_t lane = 0; lane < kNumLanes; ++lane) {
+        depth_gauges_[s][lane]->Add(
+            -static_cast<double>(lanes[lane].size()));
+      }
     }
     for (auto& lane : lanes) {
       for (auto& queued : lane) {
@@ -421,6 +498,7 @@ SchedulerStats Scheduler::stats() const {
   SchedulerStats s;
   s.submitted = submitted_->Value();
   s.shed = shed_->Value();
+  s.dispatched = dispatched_->Value();
   s.expired_in_queue = expired_->Value();
   s.deadline_cut = cut_->Value();
   s.retries = retries_->Value();

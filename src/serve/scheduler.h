@@ -51,6 +51,8 @@
 #include <vector>
 
 #include "common/cancel.h"
+#include "obs/metrics.h"
+#include "obs/sliding_histogram.h"
 #include "serve/serving_context.h"
 
 namespace qp::serve {
@@ -148,6 +150,7 @@ class RequestHandle {
 struct SchedulerStats {
   uint64_t submitted = 0;        ///< admitted requests
   uint64_t shed = 0;             ///< rejected with kOverloaded at Submit
+  uint64_t dispatched = 0;       ///< dequeued onto a worker (incl. expired)
   uint64_t expired_in_queue = 0; ///< deadline passed before dispatch
   uint64_t deadline_cut = 0;     ///< completed with a partial (cut) answer
   uint64_t retries = 0;          ///< re-execution attempts after retryables
@@ -187,6 +190,13 @@ class Scheduler {
     /// Weighted round-robin dispatch credits per lane, indexed by Lane.
     /// Every weight must be >= 1 so no lane can starve.
     std::array<size_t, kNumLanes> lane_weights = {4, 2, 1};
+    /// /healthz threshold: the scheduler registers a "scheduler" health
+    /// source on the context that reports unhealthy while the fraction of
+    /// arrivals shed with kOverloaded over the trailing
+    /// `healthz_window_seconds` exceeds this. >= 1.0 never trips (the
+    /// source stays registered but always healthy).
+    double healthz_max_shed_rate = 0.5;
+    double healthz_window_seconds = 60.0;
   };
 
   /// `ctx` is borrowed and must outlive the scheduler.
@@ -250,13 +260,25 @@ class Scheduler {
   // qp_sched_* series in the context registry, resolved once.
   obs::Counter* submitted_ = nullptr;
   obs::Counter* shed_ = nullptr;
+  obs::Counter* dispatched_ = nullptr;
   obs::Counter* expired_ = nullptr;
   obs::Counter* cut_ = nullptr;
   obs::Counter* retries_ = nullptr;
   obs::Counter* completed_ = nullptr;
   obs::Counter* failed_ = nullptr;
   obs::Histogram* queue_seconds_ = nullptr;
-  obs::Histogram* queue_depth_ = nullptr;
+  obs::Histogram* depth_at_enqueue_ = nullptr;
+  /// Live qp_sched_queue_depth{shard,lane} gauges, push-model: +1 on
+  /// enqueue, -1 whenever an item leaves its lane deque (dispatch,
+  /// cancel-shutdown sweep, post-join stray sweep). Pre-resolved per
+  /// shard x lane so the hot paths touch no registry map.
+  std::vector<std::array<obs::Gauge*, kNumLanes>> depth_gauges_;
+  /// Trailing-window arrival counters behind the "scheduler" /healthz
+  /// source: admitted + shed partition every Submit outcome.
+  std::unique_ptr<obs::SlidingCounter> window_admitted_;
+  std::unique_ptr<obs::SlidingCounter> window_shed_;
+  size_t health_id_ = 0;
+  bool health_registered_ = false;
 };
 
 }  // namespace qp::serve

@@ -1,11 +1,16 @@
 #include "serve/serving_context.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <set>
 #include <utility>
 
 #include "core/conflict.h"
+#include "index/catalog.h"
+#include "obs/trace_export.h"
+#include "storage/database.h"
 
 namespace qp::serve {
 
@@ -67,6 +72,36 @@ std::string FingerprintOf(const std::string& key) {
 double SecondsSince(const std::chrono::steady_clock::time_point& t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Process self-stats from /proc (Linux). Anything unreadable stays 0 —
+/// the gauges then report 0 rather than stale or invented values.
+void ReadProcessStats(double* rss_bytes, double* vsize_bytes,
+                      double* threads) {
+  *rss_bytes = 0.0;
+  *vsize_bytes = 0.0;
+  *threads = 0.0;
+  if (FILE* f = std::fopen("/proc/self/statm", "r")) {
+    long vsize_pages = 0;
+    long rss_pages = 0;
+    if (std::fscanf(f, "%ld %ld", &vsize_pages, &rss_pages) == 2) {
+      const double page = static_cast<double>(sysconf(_SC_PAGESIZE));
+      *vsize_bytes = static_cast<double>(vsize_pages) * page;
+      *rss_bytes = static_cast<double>(rss_pages) * page;
+    }
+    std::fclose(f);
+  }
+  if (FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      long n = 0;
+      if (std::sscanf(line, "Threads: %ld", &n) == 1) {
+        *threads = static_cast<double>(n);
+        break;
+      }
+    }
+    std::fclose(f);
+  }
 }
 
 /// True when the join-closure of `anchors` over `graph` meets `affected` —
@@ -169,6 +204,247 @@ ServingContext::ServingContext(const storage::Database* db, Options options)
   q_thread_seconds_ = metrics_.GetHistogram(
       "qp_query_thread_seconds", obs::DefaultLatencyBuckets(),
       "Per-request thread-seconds (task wall time summed across workers)");
+
+  // --- obs phase 3: windowed SLO engine, scrape-time gauges, endpoints ---
+  if (!options_.clock) options_.clock = obs::MonotonicClock;
+  const std::function<double()>& clock = options_.clock;
+  obs::SloTracker::Options slo_opts;
+  slo_opts.threshold_seconds = options_.slo_threshold_seconds;
+  slo_opts.objective = options_.slo_objective;
+  slo_opts.clock = clock;
+  slo_ = std::make_unique<obs::SloTracker>(slo_opts);
+  // 60 x 5s slices: the 5m window with 1m as the last 12 slices.
+  latency_window_ = std::make_unique<obs::SlidingHistogram>(
+      obs::DefaultLatencyBuckets(), /*slice_seconds=*/5.0, /*num_slices=*/60,
+      clock);
+
+  const std::string sessions_help =
+      "Open sessions by state (idle / inflight), refreshed on scrape";
+  g_sessions_idle_ =
+      metrics_.GetGauge("qp_serve_sessions", {{"state", "idle"}},
+                        sessions_help);
+  g_sessions_inflight_ =
+      metrics_.GetGauge("qp_serve_sessions", {{"state", "inflight"}},
+                        sessions_help);
+  g_uptime_ = metrics_.GetGauge("qp_process_uptime_seconds",
+                                "Seconds since this context was constructed");
+  g_rss_bytes_ = metrics_.GetGauge(
+      "qp_process_resident_bytes",
+      "Resident set size from /proc/self/statm, refreshed on scrape");
+  g_vsize_bytes_ = metrics_.GetGauge(
+      "qp_process_virtual_bytes",
+      "Virtual memory size from /proc/self/statm, refreshed on scrape");
+  g_threads_ = metrics_.GetGauge(
+      "qp_process_threads",
+      "Thread count from /proc/self/status, refreshed on scrape");
+  const auto make_slo_gauges = [this](const char* window) {
+    SloGauges g;
+    g.attainment = metrics_.GetGauge(
+        "qp_slo_attainment_ratio", {{"window", window}},
+        "Windowed fraction of personalize calls meeting the SLO threshold");
+    g.burn_rate = metrics_.GetGauge(
+        "qp_slo_burn_rate", {{"window", window}},
+        "Windowed error-budget burn rate ((1-attainment)/(1-objective))");
+    g.p50 =
+        metrics_.GetGauge("qp_slo_latency_p50_seconds", {{"window", window}},
+                          "Windowed personalize latency p50");
+    g.p99 =
+        metrics_.GetGauge("qp_slo_latency_p99_seconds", {{"window", window}},
+                          "Windowed personalize latency p99");
+    return g;
+  };
+  slo_1m_ = make_slo_gauges("1m");
+  slo_5m_ = make_slo_gauges("5m");
+  gauge_hook_id_ = metrics_.AddCollectionHook([this] { RefreshGauges(); });
+  gauge_hook_registered_ = true;
+
+  db_->indexes().BindMetrics(&metrics_);
+  start_time_ = std::chrono::steady_clock::now();
+  StartIntrospection();
+}
+
+ServingContext::~ServingContext() {
+  // Handlers and the collection hook capture `this`; tear them down before
+  // any member dies. The catalog outlives this registry (it belongs to the
+  // Database), so its counter pointers must be detached too.
+  introspect_.Stop();
+  if (gauge_hook_registered_) metrics_.RemoveCollectionHook(gauge_hook_id_);
+  db_->indexes().BindMetrics(nullptr);
+}
+
+void ServingContext::RefreshGauges() {
+  size_t idle = 0;
+  size_t inflight = 0;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& [id, session] : sessions_) {
+      if (session->InFlight() > 0) {
+        ++inflight;
+      } else {
+        ++idle;
+      }
+    }
+  }
+  g_sessions_idle_->Set(static_cast<double>(idle));
+  g_sessions_inflight_->Set(static_cast<double>(inflight));
+  g_uptime_->Set(SecondsSince(start_time_));
+
+  double rss = 0.0;
+  double vsize = 0.0;
+  double threads = 0.0;
+  ReadProcessStats(&rss, &vsize, &threads);
+  g_rss_bytes_->Set(rss);
+  g_vsize_bytes_->Set(vsize);
+  g_threads_->Set(threads);
+
+  const auto fill = [this](const SloGauges& g, double window_seconds) {
+    const obs::SloTracker::Window w = slo_->Snapshot(window_seconds);
+    g.attainment->Set(w.attainment);
+    g.burn_rate->Set(w.burn_rate);
+    g.p50->Set(latency_window_->WindowQuantile(window_seconds, 0.5));
+    g.p99->Set(latency_window_->WindowQuantile(window_seconds, 0.99));
+  };
+  fill(slo_1m_, 60.0);
+  fill(slo_5m_, 300.0);
+}
+
+size_t ServingContext::AddHealthSource(std::string name,
+                                       std::function<std::string()> check) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  const size_t id = next_health_id_++;
+  health_sources_.emplace_back(id, std::move(name), std::move(check));
+  return id;
+}
+
+void ServingContext::RemoveHealthSource(size_t id) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  for (auto it = health_sources_.begin(); it != health_sources_.end(); ++it) {
+    if (std::get<0>(*it) == id) {
+      health_sources_.erase(it);
+      return;
+    }
+  }
+}
+
+obs::HttpResponse ServingContext::Healthz() const {
+  // Checks run UNDER health_mu_, which makes RemoveHealthSource a barrier:
+  // once it returns, the removed check cannot be running — the guarantee a
+  // dying Scheduler needs. The flip side: checks must not call back into
+  // Add/RemoveHealthSource.
+  std::string reasons;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    for (const auto& [id, name, check] : health_sources_) {
+      const std::string reason = check();
+      if (!reason.empty()) reasons += name + ": " + reason + "\n";
+    }
+  }
+  if (reasons.empty()) {
+    return obs::HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  }
+  return obs::HttpResponse{503, "text/plain; charset=utf-8", reasons};
+}
+
+std::string ServingContext::StatuszText() const {
+  char buf[256];
+  std::string out = "qp serving context\n";
+  out += "build: " __VERSION__ "\n";
+  std::snprintf(buf, sizeof(buf), "c++ standard: %ld\n",
+                static_cast<long>(__cplusplus));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "uptime_seconds: %.1f\n",
+                SecondsSince(start_time_));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "sessions_open: %zu\n", NumSessions());
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "pool_workers: %zu\n",
+                pool_ != nullptr ? pool_->workers() : 0);
+  out += buf;
+  out += slo_->Describe() + "\n";
+  if (query_log_ != nullptr) {
+    std::snprintf(buf, sizeof(buf), "query_log: seen=%llu retained=%llu\n",
+                  static_cast<unsigned long long>(query_log_->seen()),
+                  static_cast<unsigned long long>(query_log_->retained()));
+    out += buf;
+  }
+  const std::vector<index::IndexCatalog::Info> indexes =
+      db_->indexes().List();
+  std::snprintf(buf, sizeof(buf), "indexes: %zu\n", indexes.size());
+  out += buf;
+  for (const auto& info : indexes) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %s.%s kind=%s entries=%zu built_version=%llu fresh=%s\n",
+                  info.table.c_str(), info.column.c_str(),
+                  index::IndexKindName(info.kind), info.entries,
+                  static_cast<unsigned long long>(info.built_version),
+                  info.fresh ? "true" : "false");
+    out += buf;
+  }
+  return out;
+}
+
+std::string ServingContext::TracezJson() const {
+  std::lock_guard<std::mutex> lock(tracez_mu_);
+  std::string out = "[";
+  // The ring rotates only once full; before that insertion order IS index
+  // order. Render oldest first either way.
+  const size_t n = tracez_.size();
+  const size_t start = n < options_.tracez_capacity ? 0 : tracez_next_;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) out += ",";
+    out += tracez_[(start + i) % n];
+  }
+  out += "]";
+  return out;
+}
+
+void ServingContext::RecordSampledTrace(const obs::TraceSpan& root) {
+  obs::ChromeTraceOptions copts;
+  copts.process_name = "qp-serve";
+  std::string json = obs::TraceToChromeJson(root, copts);
+  std::lock_guard<std::mutex> lock(tracez_mu_);
+  if (options_.tracez_capacity == 0) return;
+  if (tracez_.size() < options_.tracez_capacity) {
+    tracez_.push_back(std::move(json));
+    tracez_next_ = tracez_.size() % options_.tracez_capacity;
+  } else {
+    tracez_[tracez_next_] = std::move(json);
+    tracez_next_ = (tracez_next_ + 1) % options_.tracez_capacity;
+  }
+}
+
+void ServingContext::StartIntrospection() {
+  if (options_.introspect_port < 0) return;
+  introspect_.Handle("/metrics", [this] {
+    return obs::HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                             metrics_.RenderText()};
+  });
+  introspect_.Handle("/metrics.json", [this] {
+    return obs::HttpResponse{200, "application/json", metrics_.RenderJson()};
+  });
+  introspect_.Handle("/healthz", [this] { return Healthz(); });
+  introspect_.Handle("/statusz", [this] {
+    return obs::HttpResponse{200, "text/plain; charset=utf-8", StatuszText()};
+  });
+  introspect_.Handle("/flightz", [this] {
+    return obs::HttpResponse{
+        200, "text/plain; charset=utf-8",
+        options_.flight != nullptr ? options_.flight->Dump()
+                                   : "no flight recorder attached\n"};
+  });
+  introspect_.Handle("/tracez", [this] {
+    return obs::HttpResponse{200, "application/json", TracezJson()};
+  });
+  obs::IntrospectionServer::Options server_opts;
+  server_opts.port = options_.introspect_port;
+  server_opts.num_threads = options_.introspect_threads;
+  std::string error;
+  if (!introspect_.Start(server_opts, &error) && options_.flight != nullptr) {
+    // Sandboxes may forbid even localhost sockets; serve without the
+    // endpoint rather than failing construction.
+    options_.flight->Record(obs::FlightEventKind::kNote, "serve",
+                            "introspection server disabled: " + error);
+  }
 }
 
 Session::Session(ServingContext* ctx, std::string user_id,
@@ -189,7 +465,8 @@ Status Session::Mutate(const std::function<Status(core::UserProfile&)>& fn) {
 }
 
 Result<std::shared_ptr<const Session::State>> Session::CurrentState(
-    uint64_t stats_epoch, StateOutcome* outcome) {
+    uint64_t stats_epoch, StateOutcome* outcome, size_t* repaired_mutations) {
+  *repaired_mutations = 0;
   // Profile epochs are only comparable within one lineage: a wholesale
   // replacement (mutable_profile() = other) swaps the lineage and makes
   // every cached artifact stale even if the epoch numbers align.
@@ -265,6 +542,7 @@ Result<std::shared_ptr<const Session::State>> Session::CurrentState(
                               &snapshot->profile, *delta));
       snapshot->graph.emplace(std::move(graph));
       ctx_->graph_repairs_->Increment();
+      *repaired_mutations = delta->size();
       next->snapshot = std::move(snapshot);
 
       std::set<std::string> affected;
@@ -384,6 +662,21 @@ Result<PersonalizedAnswer> Session::PersonalizeAdmitted(
   if (ctx_->pool_ != nullptr) opts.exec.pool = ctx_->pool_.get();
   if (opts.exec.metrics == nullptr) opts.exec.metrics = &ctx_->metrics_;
 
+  // /tracez sampling: every Nth call that did NOT bring its own trace gets
+  // a private root span; the finished tree is rendered into the tracez
+  // ring. Caller-attached traces are never touched.
+  obs::TraceSpan sample_root;
+  bool sampling = false;
+  if (ctx_->options_.trace_sample_every > 0 && opts.trace == nullptr) {
+    const uint64_t n =
+        ctx_->trace_sample_counter_.fetch_add(1, std::memory_order_relaxed);
+    if (n % ctx_->options_.trace_sample_every == 0) {
+      sampling = true;
+      sample_root.set_name("personalize user=" + user_id_);
+      opts.trace = &sample_root;
+    }
+  }
+
   // Stage latencies are measured with plain timers inside PersonalizeImpl
   // (not lifted from a trace tree), so logging never forces the executor to
   // build its per-operator span tree — that price is paid only when the
@@ -393,7 +686,21 @@ Result<PersonalizedAnswer> Session::PersonalizeAdmitted(
   auto result =
       PersonalizeImpl(query, opts, log != nullptr ? &record : nullptr);
   const double total_seconds = SecondsSince(call_start);
-  if (result.ok()) latency_->Observe(total_seconds);
+  // SLO accounting for every EXECUTED call: a success is good iff it beat
+  // the threshold, an error is a violation. Requests that never reached a
+  // session (shed, expired in queue) are recorded by the Scheduler instead
+  // — between the two, each request counts exactly once.
+  if (result.ok()) {
+    latency_->Observe(total_seconds);
+    ctx_->slo_->Record(total_seconds);
+    ctx_->latency_window_->Observe(total_seconds);
+  } else {
+    ctx_->slo_->RecordBad();
+  }
+  if (sampling) {
+    sample_root.set_seconds(total_seconds);
+    ctx_->RecordSampledTrace(sample_root);
+  }
 
   if (ctx_->options_.flight != nullptr) {
     ctx_->options_.flight->Record(
@@ -414,6 +721,9 @@ Result<PersonalizedAnswer> Session::PersonalizeAdmitted(
       record.rows_materialized = stats.rows_materialized;
       record.partial = stats.partial;
       record.rounds_run = stats.rounds_run;
+      record.paths_scan = stats.paths_scan;
+      record.paths_probe = stats.paths_probe;
+      record.paths_range = stats.paths_range;
       if (admission != nullptr) {
         record.scheduled = true;
         record.lane = admission->lane;
@@ -446,12 +756,15 @@ Result<PersonalizedAnswer> Session::PersonalizeImpl(
       opts.trace != nullptr ? opts.trace->AddChild("session state") : nullptr;
   const auto state_start = std::chrono::steady_clock::now();
   StateOutcome outcome = StateOutcome::kReused;
+  size_t repaired_mutations = 0;
   QP_ASSIGN_OR_RETURN(std::shared_ptr<const State> state,
-                      CurrentState(stats_epoch, &outcome));
+                      CurrentState(stats_epoch, &outcome,
+                                   &repaired_mutations));
   const double state_seconds = SecondsSince(state_start);
   if (record != nullptr) {
     record->state_reused = (outcome == StateOutcome::kReused);
     record->state_outcome = StateOutcomeName(outcome);
+    record->repaired_mutations = repaired_mutations;
     record->state_seconds = state_seconds;
   }
   if (state_span != nullptr) {

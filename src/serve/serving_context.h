@@ -63,20 +63,24 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
 #include "obs/flight_recorder.h"
+#include "obs/introspect.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
+#include "obs/sliding_histogram.h"
 #include "stats/table_stats.h"
 
 namespace qp::serve {
@@ -235,10 +239,13 @@ class Session {
 
   /// Returns a state current for the live profile epoch and `stats_epoch`,
   /// repairing or rebuilding as needed; `outcome` (required) reports which
-  /// transition ran. Reads the live profile only under profile_mu_, so it
-  /// is safe against concurrent Mutate calls.
-  Result<std::shared_ptr<const State>> CurrentState(uint64_t stats_epoch,
-                                                    StateOutcome* outcome);
+  /// transition ran and `repaired_mutations` (required) the journal delta
+  /// size a kRepaired transition replayed (0 for every other outcome).
+  /// Reads the live profile only under profile_mu_, so it is safe against
+  /// concurrent Mutate calls.
+  Result<std::shared_ptr<const State>> CurrentState(
+      uint64_t stats_epoch, StateOutcome* outcome,
+      size_t* repaired_mutations);
 
   /// Copy-on-write cache inserts; no-ops when the state has moved on (a
   /// concurrent epoch bump) so stale artifacts never enter the cache.
@@ -296,10 +303,42 @@ class ServingContext {
     /// When set, every Personalize call records a span event into it —
     /// pair with FlightRecorder::CaptureStatusErrors for error capture.
     obs::FlightRecorder* flight = nullptr;
+
+    /// Introspection server (obs::IntrospectionServer) port on 127.0.0.1:
+    /// -1 (default) disables it, 0 binds an ephemeral port (read back via
+    /// introspect_port()), >0 binds that port. A failed bind — sandboxes
+    /// may forbid even localhost sockets — is recorded in the flight
+    /// recorder and serving continues without the endpoint.
+    int introspect_port = -1;
+    /// Threads of the server's private pool (accept loop + concurrent
+    /// handlers); see IntrospectionServer::Options::num_threads.
+    size_t introspect_threads = 4;
+
+    /// SLO target for Session::Personalize latency: "`slo_objective` of
+    /// requests complete within `slo_threshold_seconds`". Drives the
+    /// qp_slo_* gauges, /healthz-adjacent burn-rate reporting and the
+    /// shell's \slo command.
+    double slo_threshold_seconds = 0.5;
+    double slo_objective = 0.99;
+    /// Clock for every windowed structure (SLO windows, the rolling-p99
+    /// latency window). Null uses obs::MonotonicClock; tests inject a
+    /// manual clock to make windowed reads deterministic.
+    std::function<double()> clock;
+
+    /// Sample every Nth Personalize call into the /tracez ring (a private
+    /// root span is attached when the caller provided none). 0 disables
+    /// sampling; the ring keeps the last `tracez_capacity` trees rendered
+    /// as Chrome trace JSON.
+    size_t trace_sample_every = 0;
+    size_t tracez_capacity = 8;
   };
 
   explicit ServingContext(const storage::Database* db);
   ServingContext(const storage::Database* db, Options options);
+  /// Stops the introspection server (handlers reference the registry and
+  /// session map, so it must die first) and detaches the collection hook
+  /// and the index catalog's counters.
+  ~ServingContext();
 
   /// Opens a session for `user_id` with a copy of `profile`; kAlreadyExists
   /// when the user already has one. Fails with kProfileValidation when the
@@ -345,6 +384,47 @@ class ServingContext {
   /// The flight recorder injected via Options (null when none).
   obs::FlightRecorder* flight() { return options_.flight; }
 
+  /// The Personalize-latency SLO tracker (always constructed; windowed
+  /// attainment and burn rate against Options::slo_threshold_seconds /
+  /// slo_objective).
+  obs::SloTracker* slo() { return slo_.get(); }
+  const obs::SloTracker* slo() const { return slo_.get(); }
+
+  /// The resolved windowed-structure clock (Options::clock, or
+  /// obs::MonotonicClock when none was injected). Components layered on the
+  /// context (the Scheduler's shed-rate window) share it so one injected
+  /// test clock drives every window in the process.
+  const std::function<double()>& clock() const { return options_.clock; }
+
+  /// The introspection server's bound port, or -1 when disabled or the
+  /// bind failed. With Options::introspect_port = 0 this is the kernel's
+  /// ephemeral pick.
+  int introspect_port() const { return introspect_.port(); }
+
+  /// Registers a named health source consulted by /healthz: `check`
+  /// returns "" when healthy, else a short reason. Any unhealthy source
+  /// turns /healthz into a 503 listing every reason. Returns an id for
+  /// RemoveHealthSource; sources shorter-lived than the context (the
+  /// Scheduler's shed-rate source) must remove themselves before dying.
+  /// Checks run concurrently on introspection threads — they must be
+  /// thread-safe.
+  size_t AddHealthSource(std::string name,
+                         std::function<std::string()> check);
+  void RemoveHealthSource(size_t id);
+
+  /// The /healthz response: 200 "ok" when every health source is quiet,
+  /// 503 with one "name: reason" line per unhealthy source otherwise.
+  obs::HttpResponse Healthz() const;
+
+  /// The /statusz body: build info, uptime, session count, SLO summary and
+  /// the index catalog listing — also the shell's \statusz output.
+  std::string StatuszText() const;
+
+  /// The /tracez body: a JSON array of the last-N sampled span trees in
+  /// Chrome trace-event form (empty array when sampling is off or nothing
+  /// was sampled yet).
+  std::string TracezJson() const;
+
   /// Prometheus text exposition of every metric in the registry — what a
   /// /metrics endpoint would serve.
   std::string MetricsText() const { return metrics_.RenderText(); }
@@ -377,6 +457,19 @@ class ServingContext {
   /// Evicts LRU idle sessions until the cap holds (caller holds
   /// sessions_mu_). Sessions with in-flight calls are skipped.
   void EvictOverCapLocked();
+
+  /// The scrape-time refresh (metrics_ collection hook): session-state
+  /// gauges, process self-stats from /proc, uptime and the windowed SLO /
+  /// latency gauges.
+  void RefreshGauges();
+
+  /// Launches the introspection server and registers the endpoint
+  /// handlers; no-op when Options::introspect_port < 0.
+  void StartIntrospection();
+
+  /// Records one sampled Personalize trace into the tracez ring (already
+  /// rendered to Chrome JSON — storing strings sidesteps span lifetimes).
+  void RecordSampledTrace(const obs::TraceSpan& root);
 
   const storage::Database* db_;
   Options options_;
@@ -415,6 +508,46 @@ class ServingContext {
   obs::Counter* q_rows_returned_ = nullptr;
   obs::Counter* q_log_retained_ = nullptr;
   obs::Histogram* q_thread_seconds_ = nullptr;
+
+  // --- obs phase 3: windowed SLO, scrape-time gauges, introspection ---
+
+  /// Personalize-latency SLO tracker and the rolling-percentile window
+  /// behind the qp_slo_* gauges (both on Options::clock).
+  std::unique_ptr<obs::SloTracker> slo_;
+  std::unique_ptr<obs::SlidingHistogram> latency_window_;
+
+  /// Scrape-refreshed gauges (filled by RefreshGauges).
+  obs::Gauge* g_sessions_idle_ = nullptr;
+  obs::Gauge* g_sessions_inflight_ = nullptr;
+  obs::Gauge* g_uptime_ = nullptr;
+  obs::Gauge* g_rss_bytes_ = nullptr;
+  obs::Gauge* g_vsize_bytes_ = nullptr;
+  obs::Gauge* g_threads_ = nullptr;
+  struct SloGauges {
+    obs::Gauge* attainment = nullptr;
+    obs::Gauge* burn_rate = nullptr;
+    obs::Gauge* p50 = nullptr;
+    obs::Gauge* p99 = nullptr;
+  };
+  SloGauges slo_1m_;
+  SloGauges slo_5m_;
+  size_t gauge_hook_id_ = 0;
+  bool gauge_hook_registered_ = false;
+
+  /// Health sources consulted by Healthz(), id-keyed for removal.
+  mutable std::mutex health_mu_;
+  size_t next_health_id_ = 0;
+  std::vector<std::tuple<size_t, std::string, std::function<std::string()>>>
+      health_sources_;
+
+  /// Tracez ring: last-N sampled traces as rendered Chrome JSON strings.
+  mutable std::mutex tracez_mu_;
+  std::vector<std::string> tracez_;
+  size_t tracez_next_ = 0;
+  std::atomic<uint64_t> trace_sample_counter_{0};
+
+  std::chrono::steady_clock::time_point start_time_;
+  obs::IntrospectionServer introspect_;
 };
 
 }  // namespace qp::serve

@@ -1,0 +1,424 @@
+// obs::IntrospectionServer tests plus the ServingContext endpoint wiring
+// (/metrics, /metrics.json, /healthz, /statusz, /flightz, /tracez) and the
+// Scheduler's windowed shed-rate health source.
+//
+// Environment caveat: sandboxes may forbid even loopback listeners. Every
+// server-dependent test calls Start and SKIPS (not fails) when the bind is
+// refused — the degradation contract ServingContext itself follows. The
+// whole file runs under the `sanitizer` CTest label.
+
+#include "obs/introspect.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/moviegen.h"
+#include "datagen/profilegen.h"
+#include "qp.h"
+
+namespace qp {
+namespace {
+
+/// Minimal blocking HTTP client: one GET (or raw request), read to EOF.
+struct HttpResult {
+  bool ok = false;  ///< transport worked and the status line parsed
+  int status = 0;
+  std::string headers;
+  std::string body;
+};
+
+HttpResult RawRequest(int port, const std::string& request) {
+  HttpResult out;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return out;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return out;
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return out;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (response.rfind("HTTP/1.1 ", 0) != 0) return out;
+  out.status = std::atoi(response.c_str() + 9);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) return out;
+  out.headers = response.substr(0, header_end);
+  out.body = response.substr(header_end + 4);
+  out.ok = true;
+  return out;
+}
+
+HttpResult Get(int port, const std::string& path) {
+  return RawRequest(port, "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n");
+}
+
+/// Starts `server` on an ephemeral port; null-skips the test when the
+/// sandbox refuses the bind.
+#define START_OR_SKIP(server, options)                                  \
+  do {                                                                  \
+    std::string error;                                                  \
+    if (!(server).Start((options), &error)) {                           \
+      GTEST_SKIP() << "loopback bind unavailable here: " << error;      \
+    }                                                                   \
+  } while (0)
+
+TEST(IntrospectionServerTest, ServesRegisteredExactPaths) {
+  obs::IntrospectionServer server;
+  server.Handle("/hello", [] {
+    obs::HttpResponse response;
+    response.body = "hi\n";
+    return response;
+  });
+  obs::IntrospectionServer::Options options;
+  START_OR_SKIP(server, options);
+  ASSERT_GT(server.port(), 0);
+
+  const HttpResult hello = Get(server.port(), "/hello");
+  ASSERT_TRUE(hello.ok);
+  EXPECT_EQ(hello.status, 200);
+  EXPECT_EQ(hello.body, "hi\n");
+  EXPECT_NE(hello.headers.find("Content-Length: 3"), std::string::npos);
+
+  // Query strings are stripped before matching.
+  const HttpResult query = Get(server.port(), "/hello?verbose=1");
+  ASSERT_TRUE(query.ok);
+  EXPECT_EQ(query.status, 200);
+
+  const HttpResult missing = Get(server.port(), "/nope");
+  ASSERT_TRUE(missing.ok);
+  EXPECT_EQ(missing.status, 404);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+}
+
+TEST(IntrospectionServerTest, RejectsNonGetMethods) {
+  obs::IntrospectionServer server;
+  server.Handle("/x", [] { return obs::HttpResponse{}; });
+  obs::IntrospectionServer::Options options;
+  START_OR_SKIP(server, options);
+  const HttpResult post = RawRequest(
+      server.port(),
+      "POST /x HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_TRUE(post.ok);
+  EXPECT_EQ(post.status, 405);
+  server.Stop();
+}
+
+TEST(IntrospectionServerTest, HandlerStatusAndContentTypePassThrough) {
+  obs::IntrospectionServer server;
+  server.Handle("/unhealthy", [] {
+    obs::HttpResponse response;
+    response.status = 503;
+    response.content_type = "application/json";
+    response.body = "{}";
+    return response;
+  });
+  obs::IntrospectionServer::Options options;
+  START_OR_SKIP(server, options);
+  const HttpResult r = Get(server.port(), "/unhealthy");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 503);
+  EXPECT_NE(r.headers.find("Content-Type: application/json"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(IntrospectionServerTest, ConcurrentScrapesAllAnswer) {
+  obs::IntrospectionServer server;
+  std::atomic<size_t> calls{0};
+  server.Handle("/busy", [&] {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    obs::HttpResponse response;
+    response.body = std::string(1 << 16, 'x');  // force multi-write bodies
+    return response;
+  });
+  obs::IntrospectionServer::Options options;
+  options.num_threads = 4;
+  START_OR_SKIP(server, options);
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 10;
+  std::atomic<size_t> ok{0};
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        const HttpResult r = Get(server.port(), "/busy");
+        if (r.ok && r.status == 200 && r.body.size() == (1u << 16)) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_EQ(calls.load(), kThreads * kPerThread);
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// ServingContext endpoint integration
+
+datagen::ProfileGenConfig SmallConfig(uint64_t seed) {
+  datagen::ProfileGenConfig config;
+  config.seed = seed;
+  config.num_presence = 4;
+  config.num_negative = 2;
+  config.num_absence_11 = 1;
+  config.num_elastic = 1;
+  config.db_config.num_movies = 80;
+  config.db_config.num_directors = 15;
+  config.db_config.num_actors = 40;
+  config.db_config.num_theatres = 6;
+  config.db_config.plays_per_theatre = 8;
+  return config;
+}
+
+class ServingEndpointsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const datagen::ProfileGenConfig config = SmallConfig(7);
+    auto db = datagen::GenerateMovieDatabase(config.db_config);
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::make_unique<storage::Database>(std::move(db).value());
+    auto profile = datagen::GenerateProfile(config);
+    ASSERT_TRUE(profile.ok()) << profile.status();
+    profile_ = std::move(profile).value();
+  }
+
+  std::unique_ptr<storage::Database> db_;
+  core::UserProfile profile_;
+};
+
+TEST_F(ServingEndpointsTest, AllSixEndpointsServe) {
+  serve::ServingContext::Options options;
+  options.introspect_port = 0;
+  options.trace_sample_every = 1;
+  serve::ServingContext ctx(db_.get(), options);
+  if (ctx.introspect_port() < 0) {
+    GTEST_SKIP() << "loopback bind unavailable here";
+  }
+  auto session = ctx.OpenSession("al", profile_);
+  ASSERT_TRUE(session.ok()) << session.status();
+  core::PersonalizeOptions popts;
+  popts.k = 4;
+  popts.l = 1;
+  auto answer =
+      session.value()->Personalize("select mid, title from movie", popts);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+
+  const int port = ctx.introspect_port();
+
+  const HttpResult metrics = Get(port, "/metrics");
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("qp_serve_personalize_calls_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("qp_slo_attainment_ratio"), std::string::npos);
+  EXPECT_NE(metrics.headers.find("text/plain"), std::string::npos);
+
+  const HttpResult json = Get(port, "/metrics.json");
+  ASSERT_TRUE(json.ok);
+  EXPECT_EQ(json.status, 200);
+  EXPECT_EQ(json.body.rfind("{\"counters\":", 0), 0u);
+  EXPECT_NE(json.body.find("qp_slo_attainment_ratio"), std::string::npos);
+
+  const HttpResult healthz = Get(port, "/healthz");
+  ASSERT_TRUE(healthz.ok);
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_EQ(healthz.body, "ok\n");
+
+  const HttpResult statusz = Get(port, "/statusz");
+  ASSERT_TRUE(statusz.ok);
+  EXPECT_EQ(statusz.status, 200);
+  EXPECT_NE(statusz.body.find("uptime"), std::string::npos);
+  EXPECT_NE(statusz.body.find("sessions"), std::string::npos);
+  EXPECT_NE(statusz.body.find("slo"), std::string::npos);
+
+  const HttpResult flightz = Get(port, "/flightz");
+  ASSERT_TRUE(flightz.ok);
+  EXPECT_EQ(flightz.status, 200);
+
+  // trace_sample_every=1: the personalize call above must be in the ring.
+  const HttpResult tracez = Get(port, "/tracez");
+  ASSERT_TRUE(tracez.ok);
+  EXPECT_EQ(tracez.status, 200);
+  EXPECT_EQ(tracez.body.front(), '[');
+  EXPECT_NE(tracez.body.find("personalize"), std::string::npos);
+}
+
+TEST_F(ServingEndpointsTest, HealthSourcesDriveHealthz) {
+  serve::ServingContext ctx(db_.get());
+  EXPECT_EQ(ctx.Healthz().status, 200);
+
+  const size_t id = ctx.AddHealthSource(
+      "storage", [] { return std::string("disk full"); });
+  const obs::HttpResponse sick = ctx.Healthz();
+  EXPECT_EQ(sick.status, 503);
+  EXPECT_NE(sick.body.find("storage: disk full"), std::string::npos);
+
+  ctx.RemoveHealthSource(id);
+  EXPECT_EQ(ctx.Healthz().status, 200);
+}
+
+TEST_F(ServingEndpointsTest, DisabledIntrospectionReportsNoPort) {
+  serve::ServingContext ctx(db_.get());  // default: introspect_port = -1
+  EXPECT_EQ(ctx.introspect_port(), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler shed-rate health source
+
+/// Parks the single worker so submissions behind it queue deterministically.
+class Latch {
+ public:
+  std::optional<Status> Block(size_t) {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_ = true;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return released_; });
+    return Status::OK();
+  }
+  void AwaitEntered() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return entered_; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+TEST_F(ServingEndpointsTest, SchedulerShedRateTripsHealthz) {
+  serve::ServingContext::Options ctx_options;
+  // Pin the windowed structures' clock so shed counts cannot age out
+  // mid-test.
+  ctx_options.clock = [] { return 0.0; };
+  serve::ServingContext ctx(db_.get(), ctx_options);
+
+  serve::Scheduler::Options options;
+  options.num_shards = 1;
+  options.shard_queue_capacity = 1;
+  options.healthz_max_shed_rate = 0.4;
+  serve::Scheduler scheduler(&ctx, options);
+  EXPECT_EQ(ctx.Healthz().status, 200);  // registered but quiet
+
+  Latch latch;
+  serve::Request wedge;
+  wedge.user_id = "u";
+  wedge.intercept = [&latch](size_t attempt) { return latch.Block(attempt); };
+  auto wedged = scheduler.Submit(std::move(wedge));
+  ASSERT_TRUE(wedged.ok()) << wedged.status();
+  latch.AwaitEntered();  // worker busy; the queue is empty again
+
+  serve::Request fill;
+  fill.user_id = "u";
+  fill.intercept = [](size_t) { return Status::OK(); };
+  auto queued = scheduler.Submit(std::move(fill));
+  ASSERT_TRUE(queued.ok()) << queued.status();
+
+  // Queue full: these all shed. 3 shed / 5 arrivals = 60% > 40%.
+  for (int i = 0; i < 3; ++i) {
+    serve::Request excess;
+    excess.user_id = "u";
+    excess.intercept = [](size_t) { return Status::OK(); };
+    auto shed = scheduler.Submit(std::move(excess));
+    ASSERT_FALSE(shed.ok());
+    EXPECT_EQ(shed.status().code(), StatusCode::kOverloaded);
+  }
+
+  const obs::HttpResponse sick = ctx.Healthz();
+  EXPECT_EQ(sick.status, 503);
+  EXPECT_NE(sick.body.find("scheduler"), std::string::npos);
+  EXPECT_NE(sick.body.find("shedding"), std::string::npos);
+
+  // Shed requests are SLO violations recorded by the scheduler (they never
+  // reach a session).
+  EXPECT_EQ(ctx.slo()->total(), 3u);
+  EXPECT_EQ(ctx.slo()->good(), 0u);
+
+  latch.Release();
+  wedged.value()->Wait();
+  queued.value()->Wait();
+  scheduler.Shutdown();
+  // Shutdown removes the health source: /healthz recovers immediately.
+  EXPECT_EQ(ctx.Healthz().status, 200);
+}
+
+TEST_F(ServingEndpointsTest, QueueDepthGaugesTrackEnqueueDequeue) {
+  serve::ServingContext ctx(db_.get());
+  serve::Scheduler::Options options;
+  options.num_shards = 1;
+  options.shard_queue_capacity = 8;
+  serve::Scheduler scheduler(&ctx, options);
+
+  obs::Gauge* depth = ctx.metrics()->GetGauge(
+      "qp_sched_queue_depth", {{"shard", "0"}, {"lane", "normal"}});
+
+  Latch latch;
+  serve::Request wedge;
+  wedge.user_id = "u";
+  wedge.intercept = [&latch](size_t attempt) { return latch.Block(attempt); };
+  auto wedged = scheduler.Submit(std::move(wedge));
+  ASSERT_TRUE(wedged.ok());
+  latch.AwaitEntered();
+
+  for (int i = 0; i < 3; ++i) {
+    serve::Request r;
+    r.user_id = "u";
+    r.lane = serve::Lane::kNormal;
+    r.intercept = [](size_t) { return Status::OK(); };
+    ASSERT_TRUE(scheduler.Submit(std::move(r)).ok());
+  }
+  EXPECT_DOUBLE_EQ(depth->Value(), 3.0);
+
+  latch.Release();
+  scheduler.Shutdown(/*drain=*/true);
+  EXPECT_DOUBLE_EQ(depth->Value(), 0.0);
+  const serve::SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.dispatched, 4u);
+}
+
+}  // namespace
+}  // namespace qp
