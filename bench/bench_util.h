@@ -5,9 +5,12 @@
 
 #pragma once
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 #include <utility>
 #include <vector>
@@ -80,7 +83,9 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
 /// unique within one.
 class BenchReport {
  public:
-  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    StampProvenance();
+  }
 
   void Config(const std::string& key, double value) {
     config_.emplace_back(key, JsonNumber(value));
@@ -132,6 +137,45 @@ class BenchReport {
 
  private:
   using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  /// Stamps run provenance into the config so every BENCH_*.json records
+  /// which code on which machine produced it: git SHA (GITHUB_SHA in CI,
+  /// else `git rev-parse HEAD`), UTC timestamp, hostname. These are config
+  /// keys, never point metrics, so the regression gate ignores them.
+  void StampProvenance() {
+    std::string sha = "unknown";
+    if (const char* env = std::getenv("GITHUB_SHA"); env != nullptr &&
+                                                     env[0] != '\0') {
+      sha = env;
+    } else if (std::FILE* pipe =
+                   ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+      char buf[80] = {};
+      if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+        std::string line(buf);
+        while (!line.empty() &&
+               (line.back() == '\n' || line.back() == '\r')) {
+          line.pop_back();
+        }
+        if (!line.empty()) sha = line;
+      }
+      ::pclose(pipe);
+    }
+    config_.emplace_back("git_sha", JsonString(sha));
+
+    char stamp[sizeof("1970-01-01T00:00:00Z")] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    if (gmtime_r(&now, &utc) != nullptr) {
+      std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    }
+    config_.emplace_back("generated_utc", JsonString(stamp));
+
+    char host[256] = {};
+    if (::gethostname(host, sizeof(host) - 1) != 0) {
+      std::snprintf(host, sizeof(host), "unknown");
+    }
+    config_.emplace_back("hostname", JsonString(host));
+  }
 
   static std::string JsonString(const std::string& s) {
     std::string out = "\"";

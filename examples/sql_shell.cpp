@@ -18,6 +18,11 @@
 //   \flight                      flight recorder: recent spans and errors
 //   \trace <file> <sql>          personalize (PPA) and write a Chrome
 //                                trace-event JSON for ui.perfetto.dev
+//   \prof [seconds] <sql>        run the query (PPA) in a loop under the
+//                                sampling CPU profiler for ~seconds
+//                                (default 2) and print the folded stacks,
+//                                hottest first — paste into
+//                                scripts/fold_to_svg.py or flamegraph.pl
 //   \metrics                     Prometheus text exposition of all metrics
 //   \slo                         windowed SLO attainment + burn rate
 //   \statusz                     build info, uptime, sessions, SLO, indexes
@@ -44,12 +49,16 @@
 // shell exit 1 (after processing all input), so scripted/CI use can
 // detect broken input instead of silently passing.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/string_util.h"
 #include "datagen/moviegen.h"
@@ -201,6 +210,90 @@ struct Shell {
     return true;
   }
 
+  /// \prof [seconds] <sql>: repeats a PPA personalize of the query under
+  /// the sampling CPU profiler for roughly `seconds` (default 2, clamped
+  /// to [0.1, 30]; at least one call always runs) and prints the folded
+  /// stacks hottest-first — the same collapsed format /pprofz serves.
+  bool Prof(const std::string& args) {
+    double seconds = 2.0;
+    std::string sql(Trim(args));
+    {
+      // Optional leading number; "select ..." fails the parse and leaves
+      // the whole argument string as the query.
+      std::istringstream in(sql);
+      double maybe = 0.0;
+      if (in >> maybe) {
+        std::string rest;
+        std::getline(in, rest);
+        seconds = std::min(30.0, std::max(0.1, maybe));
+        sql = std::string(Trim(rest));
+      }
+    }
+    if (sql.empty()) {
+      std::cout << "usage: \\prof [seconds] <sql>\n";
+      return false;
+    }
+    obs::CpuProfiler& cpu = obs::CpuProfiler::Global();
+    if (cpu.running()) {
+      std::cout << "cpu profiler already running (continuous capture?)\n";
+      return false;
+    }
+    cpu.Reset();
+    const Status started = cpu.Start();
+    if (!started.ok()) {
+      std::cout << started << "\n";
+      return false;
+    }
+    core::PersonalizeOptions options;
+    options.algorithm = core::AnswerAlgorithm::kPpa;
+    size_t calls = 0;
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::duration<double>(seconds);
+    do {
+      auto answer = session->Personalize(sql, options);
+      if (!answer.ok()) {
+        cpu.Stop();
+        std::cout << answer.status() << "\n";
+        return false;
+      }
+      ++calls;
+      last_answer = std::move(answer).value();
+    } while (std::chrono::steady_clock::now() < until);
+    cpu.Stop();
+    const obs::CpuProfileTotals totals = cpu.totals();
+    const std::string folded = cpu.FoldedText();
+
+    // Hottest stacks first: sort the folded lines by trailing count.
+    std::vector<std::pair<uint64_t, std::string>> lines;
+    std::istringstream in(folded);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const size_t space = line.rfind(' ');
+      const uint64_t count =
+          space == std::string::npos
+              ? 0
+              : std::strtoull(line.c_str() + space + 1, nullptr, 10);
+      lines.emplace_back(count, line);
+    }
+    std::stable_sort(lines.begin(), lines.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+    std::cout << calls << " calls, " << totals.samples << " samples ("
+              << totals.dropped << " dropped), " << lines.size()
+              << " unique stacks\n";
+    constexpr size_t kTop = 20;
+    for (size_t i = 0; i < lines.size() && i < kTop; ++i) {
+      std::cout << lines[i].second << "\n";
+    }
+    if (lines.size() > kTop) {
+      std::cout << "... (" << lines.size() - kTop << " more stacks; use "
+                << "/pprofz or bench_load --profile for the full capture)\n";
+    }
+    return true;
+  }
+
   bool SaveDb(const std::string& dir) {
     auto status = storage::SaveDatabase(*db, dir);
     if (status.ok()) {
@@ -341,6 +434,8 @@ int main(int argc, char** argv) {
         ok = shell.Analyze(std::string(Trim(args)));
       } else if (cmd == "\\trace") {
         ok = shell.Trace(args);
+      } else if (cmd == "\\prof") {
+        ok = shell.Prof(args);
       } else if (cmd == "\\log") {
         std::cout << shell.ctx->query_log()->Dump();
       } else if (cmd == "\\flight") {

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Minimal collapsed-stack -> flamegraph SVG renderer (stdlib only).
+
+Consumes the folded format the profiling surfaces emit — `/pprofz`,
+`/allocz`, sql_shell's `\\prof` and bench_load's PROFILE_hot.folded:
+
+    frame;frame;frame count
+
+one line per unique stack, root first, `#`-prefixed lines ignored. Produces
+a self-contained interactive-enough SVG (hover shows the full frame name
+and its share via <title> tooltips) in the classic flamegraph layout:
+x-extent = inclusive sample share, stacked bottom-up from the root. This is
+NOT a replacement for Brendan Gregg's flamegraph.pl — no zoom, no search —
+but it renders anywhere Python is, with zero dependencies, which is what a
+CI artifact needs.
+
+Usage:
+    fold_to_svg.py profile.folded -o profile.svg
+    curl -s 'localhost:9090/pprofz?seconds=5' | fold_to_svg.py - -o cpu.svg
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import sys
+from pathlib import Path
+
+# Layout constants (SVG user units == px).
+WIDTH = 1200
+FRAME_HEIGHT = 16
+FONT_SIZE = 11
+PAD = 10
+MIN_FRAME_PX = 0.4   # drop boxes narrower than this: invisible anyway
+TEXT_MIN_PX = 30     # boxes narrower than this get no inline label
+
+
+class Node:
+    """One frame in the merged prefix tree; children keyed by frame name."""
+
+    __slots__ = ("name", "value", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self.children: dict[str, Node] = {}
+
+    def child(self, name: str) -> "Node":
+        node = self.children.get(name)
+        if node is None:
+            node = Node(name)
+            self.children[name] = node
+        return node
+
+
+def parse_folded(lines) -> Node:
+    """Merges folded lines into a prefix tree rooted at a synthetic node."""
+    root = Node("all")
+    for raw in lines:
+        line = raw.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        stack, sep, count_text = line.rpartition(" ")
+        if not sep:
+            continue
+        try:
+            count = int(count_text)
+        except ValueError:
+            continue
+        if count <= 0 or not stack:
+            continue
+        root.value += count
+        node = root
+        for frame in stack.split(";"):
+            node = node.child(frame)
+            node.value += count
+    return root
+
+
+def frame_color(name: str, depth: int) -> str:
+    """Deterministic warm palette: same frame -> same color across runs
+    (hash of the name picks hue jitter; no randomness, so re-rendering a CI
+    artifact is reproducible)."""
+    h = 0
+    for ch in name:
+        h = (h * 31 + ord(ch)) & 0xFFFFFFFF
+    red = 205 + (h % 50)
+    green = 60 + ((h >> 8) % 110)
+    blue = ((h >> 16) % 30)
+    return f"rgb({red},{green},{blue})"
+
+
+def render(root: Node, title: str) -> str:
+    """Walks the tree and emits the SVG text."""
+    if root.value == 0:
+        depth_max = 0
+    else:
+        def depth_of(node: Node, d: int) -> int:
+            if not node.children:
+                return d
+            return max(depth_of(c, d + 1) for c in node.children.values())
+        depth_max = depth_of(root, 0)
+
+    height = PAD * 2 + FRAME_HEIGHT * (depth_max + 1) + 2 * FONT_SIZE
+    out = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{height}" font-family="monospace" '
+        f'font-size="{FONT_SIZE}">')
+    out.append(
+        f'<text x="{PAD}" y="{FONT_SIZE + 2}">{html.escape(title)} '
+        f'({root.value} samples)</text>')
+    if root.value == 0:
+        out.append(
+            f'<text x="{PAD}" y="{2 * FONT_SIZE + 8}">no samples</text>')
+        out.append("</svg>")
+        return "\n".join(out)
+
+    usable = WIDTH - 2 * PAD
+    base_y = height - PAD - FRAME_HEIGHT
+
+    def emit(node: Node, x: float, depth: int) -> None:
+        w = usable * node.value / root.value
+        if w < MIN_FRAME_PX:
+            return
+        y = base_y - depth * FRAME_HEIGHT
+        pct = 100.0 * node.value / root.value
+        name = html.escape(node.name)
+        out.append(
+            f'<g><title>{name} — {node.value} samples '
+            f'({pct:.1f}%)</title>'
+            f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" '
+            f'height="{FRAME_HEIGHT - 1}" '
+            f'fill="{frame_color(node.name, depth)}" rx="1"/>')
+        if w >= TEXT_MIN_PX:
+            # ~0.6em per monospace glyph; clip rather than overflow.
+            max_chars = max(1, int(w / (FONT_SIZE * 0.62)) - 1)
+            label = node.name if len(node.name) <= max_chars else \
+                node.name[:max_chars - 1] + "…"
+            out.append(
+                f'<text x="{x + 3:.2f}" y="{y + FRAME_HEIGHT - 4}" '
+                f'fill="#000">{html.escape(label)}</text>')
+        out.append("</g>")
+        cx = x
+        # Widest child first keeps sibling order stable across runs.
+        for child in sorted(node.children.values(),
+                            key=lambda c: (-c.value, c.name)):
+            emit(child, cx, depth + 1)
+            cx += usable * child.value / root.value
+
+    emit(root, float(PAD), 0)
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Render collapsed-stack text as a flamegraph SVG.")
+    parser.add_argument("input", help="folded file, or - for stdin")
+    parser.add_argument("-o", "--output", required=True,
+                        help="output SVG path")
+    parser.add_argument("--title", default=None,
+                        help="chart title (default: input filename)")
+    args = parser.parse_args()
+
+    if args.input == "-":
+        lines = sys.stdin.readlines()
+        title = args.title or "profile"
+    else:
+        path = Path(args.input)
+        if not path.is_file():
+            print(f"fold_to_svg: no such file: {path}", file=sys.stderr)
+            return 1
+        lines = path.read_text().splitlines()
+        title = args.title or path.name
+
+    root = parse_folded(lines)
+    Path(args.output).write_text(render(root, title))
+    print(f"wrote {args.output} ({root.value} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+#include "common/profiled_mutex.h"
+
+namespace qp::common {
+
+namespace {
+
+/// Bucket index for a contended wait (upper bounds 1us ... 1s, then +Inf).
+size_t BucketFor(double wait_seconds) {
+  static constexpr double kBounds[kContentionBuckets - 1] = {
+      1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0};
+  for (size_t i = 0; i < kContentionBuckets - 1; ++i) {
+    if (wait_seconds <= kBounds[i]) return i;
+  }
+  return kContentionBuckets - 1;
+}
+
+}  // namespace
+
+void ContentionSite::RecordContended(double wait_seconds) {
+  acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  contentions_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t ns = static_cast<uint64_t>(wait_seconds * 1e9);
+  wait_ns_.fetch_add(ns, std::memory_order_relaxed);
+  wait_buckets_[BucketFor(wait_seconds)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  uint64_t prev = max_wait_ns_.load(std::memory_order_relaxed);
+  while (prev < ns && !max_wait_ns_.compare_exchange_weak(
+                          prev, ns, std::memory_order_relaxed)) {
+  }
+}
+
+ContentionStats ContentionSite::Snapshot() const {
+  ContentionStats out;
+  out.name = name_;
+  out.acquisitions = acquisitions_.load(std::memory_order_relaxed);
+  out.contentions = contentions_.load(std::memory_order_relaxed);
+  out.wait_seconds = static_cast<double>(
+                         wait_ns_.load(std::memory_order_relaxed)) /
+                     1e9;
+  out.max_wait_seconds = static_cast<double>(
+                             max_wait_ns_.load(std::memory_order_relaxed)) /
+                         1e9;
+  for (size_t i = 0; i < kContentionBuckets; ++i) {
+    out.wait_buckets[i] = wait_buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+ContentionRegistry& ContentionRegistry::Global() {
+  // Leaked singleton: sites (and the registry itself) must outlive every
+  // static-destruction-order race — a ProfiledMutex in a static object may
+  // lock during teardown.
+  static ContentionRegistry* registry = new ContentionRegistry();
+  return *registry;
+}
+
+ContentionSite* ContentionRegistry::GetSite(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ContentionSite* site : sites_) {
+    if (site->name() == name) return site;
+  }
+  sites_.push_back(new ContentionSite(name));  // process-lifetime, see header
+  return sites_.back();
+}
+
+std::vector<ContentionStats> ContentionRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ContentionStats> out;
+  out.reserve(sites_.size());
+  for (const ContentionSite* site : sites_) {
+    out.push_back(site->Snapshot());
+  }
+  return out;
+}
+
+}  // namespace qp::common

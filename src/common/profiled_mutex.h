@@ -1,0 +1,137 @@
+// Lock-contention telemetry: a std::mutex drop-in that attributes lock
+// acquisitions, contended waits and wait time to a NAMED SITE, plus the
+// process-global registry those sites live in.
+//
+// Why this lives in `common` and not `obs`: obs depends on common (the
+// IntrospectionServer runs on a common::ThreadPool), so a mutex the thread
+// pool itself uses cannot reach into obs. The registry here is therefore
+// dependency-free — plain atomics, no metrics, no rendering. obs/prof.h
+// reads it and renders /contentionz and the qp_prof_lock_* families.
+//
+// Site model: sites are keyed by a caller-chosen name ("thread_pool",
+// "sched_shard", ...) and AGGREGATE — every ProfiledMutex constructed with
+// the same name shares one ContentionSite, so the registry stays O(sites)
+// no matter how many scheduler shards or pools exist. Sites are created on
+// first use and live for the process lifetime (the registry never shrinks),
+// which is what makes it safe for a mutex to die while /contentionz renders.
+//
+// Cost model: the uncontended path is one try_lock plus one relaxed
+// fetch_add — no clock read. Only the CONTENDED path (try_lock failed)
+// pays two steady_clock reads around the blocking lock(). That keeps the
+// drop-in cheap enough for hot locks like the scheduler shards.
+//
+// Waiting on a ProfiledMutex from a condition variable requires
+// std::condition_variable_any (std::condition_variable is hard-wired to
+// std::mutex). The CV re-acquisition after a wakeup goes through lock() and
+// is counted like any other acquisition — wait-time there measures runqueue
+// + lock handoff, not the sleep itself.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qp::common {
+
+/// Wait-time histogram bucket upper bounds, in seconds: 1us, 10us, 100us,
+/// 1ms, 10ms, 100ms, 1s, +Inf.
+inline constexpr size_t kContentionBuckets = 8;
+
+/// Snapshot of one named site's counters (ContentionSite::Snapshot).
+struct ContentionStats {
+  std::string name;
+  uint64_t acquisitions = 0;  ///< every successful lock()/try_lock()
+  uint64_t contentions = 0;   ///< acquisitions that had to block
+  double wait_seconds = 0.0;  ///< total blocked time
+  double max_wait_seconds = 0.0;
+  /// Per-bucket contended-wait counts (see kContentionBuckets bounds).
+  uint64_t wait_buckets[kContentionBuckets] = {0};
+};
+
+/// \brief Lock statistics for one named site; shared by every
+/// ProfiledMutex constructed with that name. All updates are relaxed
+/// atomics — totals are exact, cross-field consistency is not promised.
+class ContentionSite {
+ public:
+  explicit ContentionSite(std::string name) : name_(std::move(name)) {}
+
+  void RecordUncontended() {
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordContended(double wait_seconds);
+
+  ContentionStats Snapshot() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  const std::string name_;
+  std::atomic<uint64_t> acquisitions_{0};
+  std::atomic<uint64_t> contentions_{0};
+  std::atomic<uint64_t> wait_ns_{0};
+  std::atomic<uint64_t> max_wait_ns_{0};
+  std::atomic<uint64_t> wait_buckets_[kContentionBuckets] = {};
+};
+
+/// \brief Process-global name -> ContentionSite registry.
+class ContentionRegistry {
+ public:
+  static ContentionRegistry& Global();
+
+  /// The site registered under `name`, created on first use. The returned
+  /// pointer is stable for the process lifetime.
+  ContentionSite* GetSite(const std::string& name);
+
+  /// Every site in registration order.
+  std::vector<ContentionStats> Snapshot() const;
+
+ private:
+  ContentionRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::vector<ContentionSite*> sites_;  ///< leaked on purpose: never freed
+};
+
+/// \brief std::mutex drop-in that reports to a named ContentionSite.
+///
+/// Satisfies Lockable (lock / try_lock / unlock), so it works with
+/// std::lock_guard, std::unique_lock and std::condition_variable_any.
+class ProfiledMutex {
+ public:
+  explicit ProfiledMutex(const char* site_name)
+      : site_(ContentionRegistry::Global().GetSite(site_name)) {}
+
+  ProfiledMutex(const ProfiledMutex&) = delete;
+  ProfiledMutex& operator=(const ProfiledMutex&) = delete;
+
+  void lock() {
+    if (mu_.try_lock()) {
+      site_->RecordUncontended();
+      return;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    mu_.lock();
+    site_->RecordContended(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
+
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    site_->RecordUncontended();
+    return true;
+  }
+
+  void unlock() { mu_.unlock(); }
+
+  const ContentionSite* site() const { return site_; }
+
+ private:
+  std::mutex mu_;
+  ContentionSite* site_;
+};
+
+}  // namespace qp::common

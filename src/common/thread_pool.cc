@@ -61,7 +61,8 @@ struct ThreadPool::Batch {
   }
 };
 
-ThreadPool::ThreadPool(size_t workers) {
+ThreadPool::ThreadPool(size_t workers, const char* site_name)
+    : mu_(site_name) {
   threads_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -70,7 +71,7 @@ ThreadPool::ThreadPool(size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<ProfiledMutex> lock(mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -80,7 +81,7 @@ ThreadPool::~ThreadPool() {
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<ProfiledMutex> lock(mu_);
       while (!queue_.empty() && queue_.front()->Exhausted()) {
         queue_.pop_front();
       }
@@ -95,7 +96,7 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<ProfiledMutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       while (!queue_.empty() && queue_.front()->Exhausted()) {
         queue_.pop_front();
@@ -115,7 +116,7 @@ void ThreadPool::Submit(std::function<void()> fn) {
   batch->tasks.push_back(std::move(fn));
   batch->unfinished = 1;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<ProfiledMutex> lock(mu_);
     queue_.push_back(std::move(batch));
   }
   work_cv_.notify_one();
@@ -128,7 +129,7 @@ void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
   batch->unfinished = batch->tasks.size();
   if (!threads_.empty() && batch->tasks.size() > 1) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<ProfiledMutex> lock(mu_);
       queue_.push_back(batch);
     }
     work_cv_.notify_all();

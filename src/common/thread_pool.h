@@ -32,6 +32,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/profiled_mutex.h"
+
 namespace qp::common {
 
 /// Splits [0, n) into at most `max_chunks` contiguous ranges of roughly
@@ -47,8 +49,11 @@ std::vector<std::pair<size_t, size_t>> MorselRanges(size_t n,
 class ThreadPool {
  public:
   /// Spawns exactly `workers` threads. Zero is valid: every RunAll /
-  /// ParallelFor then executes inline on the calling thread.
-  explicit ThreadPool(size_t workers);
+  /// ParallelFor then executes inline on the calling thread. `site_name`
+  /// names the queue mutex's contention site (common::ContentionRegistry)
+  /// so distinct pools — the serving morsel pool vs. the introspection
+  /// server's — are attributable separately in /contentionz.
+  explicit ThreadPool(size_t workers, const char* site_name = "thread_pool");
 
   /// Drains: every task already submitted (including fire-and-forget
   /// Submit work) runs to completion before the destructor returns.
@@ -81,8 +86,10 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
+  /// Contention-profiled queue mutex (the qp_prof_lock_* site named by the
+  /// constructor); the CV must be condition_variable_any to wait on it.
+  ProfiledMutex mu_;
+  std::condition_variable_any work_cv_;
   std::deque<std::shared_ptr<Batch>> queue_;
   bool stopping_ = false;
 };

@@ -23,7 +23,7 @@ void IndexCatalog::RebuildLocked(Entry& e) const {
 }
 
 void IndexCatalog::BindMetrics(obs::MetricsRegistry* metrics) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::ProfiledMutex> lock(mu_);
   if (metrics == nullptr) {
     builds_ = nullptr;
     staleness_hits_ = nullptr;
@@ -50,7 +50,7 @@ Status IndexCatalog::Create(const storage::Table* table,
                             const std::string& table_name,
                             const std::string& column, IndexKind kind) {
   QP_ASSIGN_OR_RETURN(size_t col, table->schema().ColumnIndex(column));
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::ProfiledMutex> lock(mu_);
   if (FindLocked(table, col, kind) != nullptr) {
     return Status::InvalidArgument(std::string(IndexKindName(kind)) +
                                    " index on " + table_name + "." + column +
@@ -69,7 +69,7 @@ Status IndexCatalog::Create(const storage::Table* table,
 
 Status IndexCatalog::Drop(const std::string& table_name,
                           const std::string& column, IndexKind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::ProfiledMutex> lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if ((*it)->table_name == table_name && (*it)->column == column &&
         (*it)->kind == kind) {
@@ -83,7 +83,7 @@ Status IndexCatalog::Drop(const std::string& table_name,
 
 std::shared_ptr<const HashIndex> IndexCatalog::Hash(
     const storage::Table* table, size_t col) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::ProfiledMutex> lock(mu_);
   Entry* e = FindLocked(table, col, IndexKind::kHash);
   if (e == nullptr) return nullptr;
   if (e->built_version != table->data_version()) {
@@ -95,7 +95,7 @@ std::shared_ptr<const HashIndex> IndexCatalog::Hash(
 
 std::shared_ptr<const BPlusTree> IndexCatalog::Range(
     const storage::Table* table, size_t col) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::ProfiledMutex> lock(mu_);
   Entry* e = FindLocked(table, col, IndexKind::kBTree);
   if (e == nullptr) return nullptr;
   if (e->built_version != table->data_version()) {
@@ -106,7 +106,7 @@ std::shared_ptr<const BPlusTree> IndexCatalog::Range(
 }
 
 std::vector<IndexCatalog::Info> IndexCatalog::List() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::ProfiledMutex> lock(mu_);
   std::vector<Info> out;
   out.reserve(entries_.size());
   for (const auto& e : entries_) {
@@ -124,7 +124,7 @@ std::vector<IndexCatalog::Info> IndexCatalog::List() const {
 }
 
 size_t IndexCatalog::num_indexes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<common::ProfiledMutex> lock(mu_);
   return entries_.size();
 }
 

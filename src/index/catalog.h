@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/profiled_mutex.h"
 #include "common/status.h"
 #include "index/btree.h"
 #include "index/hash_index.h"
@@ -116,7 +117,9 @@ class IndexCatalog {
   Entry* FindLocked(const storage::Table* table, size_t col,
                     IndexKind kind) const;
 
-  mutable std::mutex mu_;
+  /// Contention-profiled (site "index_catalog"): rebuild storms after bulk
+  /// mutations show up in /contentionz instead of hiding in lookup latency.
+  mutable common::ProfiledMutex mu_{"index_catalog"};
   mutable std::vector<std::unique_ptr<Entry>> entries_;
   /// Telemetry, null until BindMetrics. Guarded by mu_ against rebind;
   /// bumps happen under mu_ anyway (every catalog op holds it).

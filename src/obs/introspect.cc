@@ -7,8 +7,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace qp::obs {
@@ -45,6 +47,63 @@ void WriteAll(int fd, const char* data, size_t len) {
 }
 
 }  // namespace
+
+const std::string* HttpRequest::Param(const std::string& key) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+int HttpRequest::IntParam(const std::string& key, int fallback) const {
+  const std::string* value = Param(key);
+  if (value == nullptr || value->empty()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value->c_str(), &end, 10);
+  if (errno != 0 || end == value->c_str() || *end != '\0') return fallback;
+  return static_cast<int>(parsed);
+}
+
+std::vector<std::pair<std::string, std::string>> ParseQueryParams(
+    const std::string& query) {
+  const auto decode = [](const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] == '+') {
+        out += ' ';
+      } else if (raw[i] == '%' && i + 2 < raw.size() &&
+                 std::isxdigit(static_cast<unsigned char>(raw[i + 1])) &&
+                 std::isxdigit(static_cast<unsigned char>(raw[i + 2]))) {
+        const char hex[3] = {raw[i + 1], raw[i + 2], '\0'};
+        out += static_cast<char>(std::strtol(hex, nullptr, 16));
+        i += 2;
+      } else {
+        out += raw[i];  // malformed escape: pass through literally
+      }
+    }
+    return out;
+  };
+  std::vector<std::pair<std::string, std::string>> out;
+  size_t start = 0;
+  while (start <= query.size()) {
+    size_t amp = query.find('&', start);
+    if (amp == std::string::npos) amp = query.size();
+    if (amp > start) {
+      const std::string pair = query.substr(start, amp - start);
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        out.emplace_back(decode(pair), "");
+      } else {
+        out.emplace_back(decode(pair.substr(0, eq)),
+                         decode(pair.substr(eq + 1)));
+      }
+    }
+    start = amp + 1;
+  }
+  return out;
+}
 
 IntrospectionServer::~IntrospectionServer() { Stop(); }
 
@@ -90,7 +149,7 @@ bool IntrospectionServer::Start(const Options& options, std::string* error) {
 
   stopping_.store(false, std::memory_order_relaxed);
   pool_ = std::make_unique<common::ThreadPool>(
-      std::max<size_t>(options.num_threads, 2));
+      std::max<size_t>(options.num_threads, 2), "introspect_pool");
   running_ = true;
   pool_->Submit([this] { AcceptLoop(); });
   return true;
@@ -165,13 +224,19 @@ void IntrospectionServer::HandleConnection(int fd) {
     response = {405, "text/plain; charset=utf-8", "GET only\n"};
   } else {
     std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-    // Ignore a query string: /metrics?foo=1 serves /metrics.
+    // Split off the query string: /pprofz?seconds=5 dispatches on /pprofz
+    // with the decoded parameters handed to the handler.
+    HttpRequest http_request;
     const size_t q = path.find('?');
-    if (q != std::string::npos) path.resize(q);
+    if (q != std::string::npos) {
+      http_request.params = ParseQueryParams(path.substr(q + 1));
+      path.resize(q);
+    }
+    http_request.path = path;
     response = {404, "text/plain; charset=utf-8", "not found\n"};
     for (const auto& [handler_path, handler] : handlers_) {
       if (path == handler_path) {
-        response = handler();
+        response = handler(http_request);
         break;
       }
     }

@@ -47,6 +47,25 @@ struct HttpResponse {
   std::string body;
 };
 
+/// What a handler receives: the bare path plus the URL-decoded query
+/// parameters, in request order (/pprofz?seconds=5 needs them; /metrics
+/// ignores them).
+struct HttpRequest {
+  std::string path;  ///< query string already stripped
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// First value of `key`, or nullptr when absent.
+  const std::string* Param(const std::string& key) const;
+  /// Integer spelling of Param(key); `fallback` when absent or non-numeric.
+  int IntParam(const std::string& key, int fallback) const;
+};
+
+/// Parses a raw query string ("a=1&b=x%20y&flag") into decoded key/value
+/// pairs: '+' and %XX decode in both keys and values, a key without '=' maps
+/// to "", malformed %-escapes pass through literally. Exposed for tests.
+std::vector<std::pair<std::string, std::string>> ParseQueryParams(
+    const std::string& query);
+
 /// \brief Minimal localhost HTTP server over registered GET paths.
 class IntrospectionServer {
  public:
@@ -60,7 +79,7 @@ class IntrospectionServer {
     size_t num_threads = 4;
   };
 
-  using Handler = std::function<HttpResponse()>;
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
   IntrospectionServer() = default;
   ~IntrospectionServer();

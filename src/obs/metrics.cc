@@ -286,8 +286,9 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return histograms_.back().histogram.get();
 }
 
-Gauge* MetricsRegistry::GetGauge(const std::string& name,
-                                 const std::string& help) {
+Gauge* MetricsRegistry::GetGaugeImpl(const std::string& name,
+                                     const std::string& help,
+                                     bool as_counter) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& entry : gauges_) {
     if (entry.name == name) return entry.gauge.get();
@@ -298,8 +299,18 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
       if (entry.name == capped) return entry.gauge.get();
     }
   }
-  gauges_.push_back({capped, help, std::make_unique<Gauge>()});
+  gauges_.push_back({capped, help, std::make_unique<Gauge>(), as_counter});
   return gauges_.back().gauge.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  return GetGaugeImpl(name, help, /*as_counter=*/false);
+}
+
+Gauge* MetricsRegistry::GetCounterGauge(const std::string& name,
+                                        const std::string& help) {
+  return GetGaugeImpl(name, help, /*as_counter=*/true);
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& base,
@@ -396,7 +407,10 @@ std::string MetricsRegistry::RenderText() const {
     if (!gauges_[indices.front()].help.empty()) {
       out += "# HELP " + family + " " + gauges_[indices.front()].help + "\n";
     }
-    out += "# TYPE " + family + " gauge\n";
+    // Counter-rendered gauges (GetCounterGauge) declare their family as a
+    // counter; the first entry decides for the whole family.
+    out += "# TYPE " + family +
+           (gauges_[indices.front()].as_counter ? " counter\n" : " gauge\n");
     for (size_t i : indices) {
       SplitSeries(gauges_[i].name, &base, &labels);
       out += base + labels + " " + FormatDouble(gauges_[i].gauge->Value()) +
@@ -433,15 +447,29 @@ std::string MetricsRegistry::RenderJson() const {
   RunCollectionHooks();
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"counters\":{";
+  bool first = true;
   for (size_t i = 0; i < counters_.size(); ++i) {
-    if (i > 0) out += ",";
+    if (!first) out += ",";
+    first = false;
     AppendJsonString(counters_[i].name, &out);
     out += ":";
     out += std::to_string(counters_[i].counter->Value());
   }
-  out += "},\"gauges\":{";
+  // Counter-rendered gauges belong with the counters in JSON too.
   for (size_t i = 0; i < gauges_.size(); ++i) {
-    if (i > 0) out += ",";
+    if (!gauges_[i].as_counter) continue;
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(gauges_[i].name, &out);
+    out += ":";
+    out += FormatDouble(gauges_[i].gauge->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    if (gauges_[i].as_counter) continue;
+    if (!first) out += ",";
+    first = false;
     AppendJsonString(gauges_[i].name, &out);
     out += ":";
     out += FormatDouble(gauges_[i].gauge->Value());

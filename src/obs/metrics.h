@@ -184,6 +184,18 @@ class MetricsRegistry {
   /// Returns the gauge registered under `name`, creating it on first use.
   Gauge* GetGauge(const std::string& name, const std::string& help = "");
 
+  /// Returns a gauge EXPOSED as a Prometheus counter: `# TYPE ... counter`
+  /// in the text format and listed among "counters" in the JSON snapshot.
+  /// For monotonic totals mirrored from an external source at collection
+  /// time (process CPU seconds from /proc, the profiler's cumulative sample
+  /// and lock-wait totals) — values that only grow but are absolute reads,
+  /// not increments, and may be fractional. The caller owns monotonicity;
+  /// the registry just renders the declared type. A name registered through
+  /// this accessor stays counter-typed for the registry's lifetime (and vice
+  /// versa: GetGauge never flips an existing series' type).
+  Gauge* GetCounterGauge(const std::string& name,
+                         const std::string& help = "");
+
   /// Labeled spellings: the series name is LabeledName(base, labels) (label
   /// values escaped), and creation is subject to the cardinality cap — once
   /// `label_cardinality_limit()` distinct labeled series exist under `base`,
@@ -241,6 +253,9 @@ class MetricsRegistry {
     std::string name;
     std::string help;
     std::unique_ptr<Gauge> gauge;
+    /// Exposed as `# TYPE ... counter` (see GetCounterGauge); per-family —
+    /// the first entry of a base name decides the family's declared type.
+    bool as_counter = false;
   };
   struct HistogramEntry {
     std::string name;
@@ -250,6 +265,11 @@ class MetricsRegistry {
 
   /// Copies the registered hooks (under hooks_mu_) and runs them unlocked.
   void RunCollectionHooks() const;
+
+  /// Shared body of GetGauge / GetCounterGauge: resolve-or-create under mu_
+  /// with `as_counter` recorded at creation (never flipped afterwards).
+  Gauge* GetGaugeImpl(const std::string& name, const std::string& help,
+                      bool as_counter);
 
   /// Applies the cardinality cap to `name` (must hold mu_): returns `name`
   /// unchanged while the base is under the limit or the series already

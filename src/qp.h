@@ -30,6 +30,7 @@
 #include "index/catalog.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/query_log.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"

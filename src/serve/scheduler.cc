@@ -200,7 +200,7 @@ Result<std::shared_ptr<RequestHandle>> Scheduler::Submit(Request request) {
   Shard& shard = *shards_[shard_index];
   size_t depth_after = 0;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::lock_guard<common::ProfiledMutex> lock(shard.mu);
     if (shard.queued >= options_.shard_queue_capacity) {
       shed_->Increment();
       window_shed_->Add();
@@ -279,7 +279,7 @@ void Scheduler::WorkerLoop(size_t shard_index) {
   while (true) {
     QueuedRequest item;
     {
-      std::unique_lock<std::mutex> lock(shard.mu);
+      std::unique_lock<common::ProfiledMutex> lock(shard.mu);
       shard.cv.wait(lock, [&] {
         return shard.queued > 0 || stopping_.load(std::memory_order_acquire);
       });
@@ -473,7 +473,7 @@ void Scheduler::Shutdown(bool drain) {
   for (size_t s = 0; s < shards_.size(); ++s) {
     std::array<std::deque<QueuedRequest>, kNumLanes> lanes;
     {
-      std::lock_guard<std::mutex> lock(shards_[s]->mu);
+      std::lock_guard<common::ProfiledMutex> lock(shards_[s]->mu);
       lanes.swap(shards_[s]->lanes);
       shards_[s]->queued = 0;
       for (size_t lane = 0; lane < kNumLanes; ++lane) {

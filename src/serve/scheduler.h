@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/profiled_mutex.h"
 #include "obs/metrics.h"
 #include "obs/sliding_histogram.h"
 #include "serve/serving_context.h"
@@ -229,8 +230,11 @@ class Scheduler {
   };
 
   struct Shard {
-    std::mutex mu;
-    std::condition_variable cv;
+    /// Contention-profiled (site "sched_shard", shared by all shards):
+    /// cross-user convoys on a hot shard surface in /contentionz.
+    /// condition_variable_any because ProfiledMutex is not std::mutex.
+    common::ProfiledMutex mu{"sched_shard"};
+    std::condition_variable_any cv;
     std::array<std::deque<QueuedRequest>, kNumLanes> lanes;
     size_t queued = 0;
     /// Remaining WRR credits per lane; refilled from lane_weights when no

@@ -2,13 +2,17 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "core/conflict.h"
 #include "index/catalog.h"
+#include "obs/prof.h"
 #include "obs/trace_export.h"
 #include "storage/database.h"
 
@@ -102,6 +106,35 @@ void ReadProcessStats(double* rss_bytes, double* vsize_bytes,
     }
     std::fclose(f);
   }
+}
+
+/// Cumulative process CPU time (user + system) in seconds from
+/// /proc/self/stat, or 0 when unreadable. The comm field (2) may contain
+/// spaces and parentheses, so parsing anchors on the LAST ')' — everything
+/// after it is fixed-position: state, then 10 fault/ppid-group fields, then
+/// utime (14) and stime (15) in clock ticks.
+double ReadProcessCpuSeconds() {
+  FILE* f = std::fopen("/proc/self/stat", "r");
+  if (f == nullptr) return 0.0;
+  char buf[1024];
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  const char* rparen = std::strrchr(buf, ')');
+  if (rparen == nullptr) return 0.0;
+  char state = 0;
+  long ppid, pgrp, session, tty, tpgid;
+  unsigned long flags, minflt, cminflt, majflt, cmajflt, utime, stime;
+  if (std::sscanf(rparen + 1,
+                  " %c %ld %ld %ld %ld %ld %lu %lu %lu %lu %lu %lu %lu",
+                  &state, &ppid, &pgrp, &session, &tty, &tpgid, &flags,
+                  &minflt, &cminflt, &majflt, &cmajflt, &utime,
+                  &stime) != 13) {
+    return 0.0;
+  }
+  const double ticks = static_cast<double>(sysconf(_SC_CLK_TCK));
+  if (ticks <= 0.0) return 0.0;
+  return static_cast<double>(utime + stime) / ticks;
 }
 
 /// True when the join-closure of `anchors` over `graph` meets `affected` —
@@ -255,6 +288,37 @@ ServingContext::ServingContext(const storage::Database* db, Options options)
   };
   slo_1m_ = make_slo_gauges("1m");
   slo_5m_ = make_slo_gauges("5m");
+
+  // --- obs phase 4: profiling totals, refreshed on scrape. Monotonic
+  // absolute reads from the collectors, so they render as counters.
+  g_cpu_seconds_ = metrics_.GetCounterGauge(
+      "qp_process_cpu_seconds_total",
+      "Process CPU time (user + system) from /proc/self/stat");
+  g_prof_cpu_samples_ = metrics_.GetCounterGauge(
+      "qp_prof_cpu_samples_total",
+      "CPU-profiler backtraces captured since the last profiler reset");
+  g_prof_cpu_dropped_ = metrics_.GetCounterGauge(
+      "qp_prof_cpu_samples_dropped_total",
+      "CPU-profiler samples lost to a full ring");
+  g_prof_lock_acquisitions_ = metrics_.GetCounterGauge(
+      "qp_prof_lock_acquisitions_total",
+      "ProfiledMutex acquisitions across all sites");
+  g_prof_lock_contentions_ = metrics_.GetCounterGauge(
+      "qp_prof_lock_contentions_total",
+      "ProfiledMutex acquisitions that had to wait");
+  g_prof_lock_wait_seconds_ = metrics_.GetCounterGauge(
+      "qp_prof_lock_wait_seconds_total",
+      "Total seconds threads spent blocked on ProfiledMutex sites");
+  g_prof_heap_allocs_ = metrics_.GetCounterGauge(
+      "qp_prof_heap_sampled_allocs_total",
+      "Allocations caught by the sampling heap profiler");
+  g_prof_heap_bytes_ = metrics_.GetCounterGauge(
+      "qp_prof_heap_sampled_bytes_total",
+      "Raw bytes of sampled allocations (cumulative)");
+  g_prof_heap_live_bytes_ = metrics_.GetGauge(
+      "qp_prof_heap_live_sampled_bytes",
+      "Raw bytes of sampled allocations still live");
+
   gauge_hook_id_ = metrics_.AddCollectionHook([this] { RefreshGauges(); });
   gauge_hook_registered_ = true;
 
@@ -276,7 +340,7 @@ void ServingContext::RefreshGauges() {
   size_t idle = 0;
   size_t inflight = 0;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    std::lock_guard<common::ProfiledMutex> lock(sessions_mu_);
     for (const auto& [id, session] : sessions_) {
       if (session->InFlight() > 0) {
         ++inflight;
@@ -296,6 +360,19 @@ void ServingContext::RefreshGauges() {
   g_rss_bytes_->Set(rss);
   g_vsize_bytes_->Set(vsize);
   g_threads_->Set(threads);
+
+  g_cpu_seconds_->Set(ReadProcessCpuSeconds());
+  const obs::CpuProfileTotals cpu = obs::CpuProfiler::Global().totals();
+  g_prof_cpu_samples_->Set(static_cast<double>(cpu.samples));
+  g_prof_cpu_dropped_->Set(static_cast<double>(cpu.dropped));
+  const obs::ContentionTotals locks = obs::ContentionTotalsNow();
+  g_prof_lock_acquisitions_->Set(static_cast<double>(locks.acquisitions));
+  g_prof_lock_contentions_->Set(static_cast<double>(locks.contentions));
+  g_prof_lock_wait_seconds_->Set(locks.wait_seconds);
+  const obs::HeapProfileTotals heap = obs::HeapProfiler::Global().totals();
+  g_prof_heap_allocs_->Set(static_cast<double>(heap.sampled_allocs));
+  g_prof_heap_bytes_->Set(static_cast<double>(heap.sampled_bytes));
+  g_prof_heap_live_bytes_->Set(static_cast<double>(heap.live_sampled_bytes));
 
   const auto fill = [this](const SloGauges& g, double window_seconds) {
     const obs::SloTracker::Window w = slo_->Snapshot(window_seconds);
@@ -415,31 +492,92 @@ void ServingContext::RecordSampledTrace(const obs::TraceSpan& root) {
 
 void ServingContext::StartIntrospection() {
   if (options_.introspect_port < 0) return;
-  introspect_.Handle("/metrics", [this] {
+  introspect_.Handle("/metrics", [this](const obs::HttpRequest&) {
     return obs::HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
                              metrics_.RenderText()};
   });
-  introspect_.Handle("/metrics.json", [this] {
+  introspect_.Handle("/metrics.json", [this](const obs::HttpRequest&) {
     return obs::HttpResponse{200, "application/json", metrics_.RenderJson()};
   });
-  introspect_.Handle("/healthz", [this] { return Healthz(); });
-  introspect_.Handle("/statusz", [this] {
+  introspect_.Handle("/healthz",
+                     [this](const obs::HttpRequest&) { return Healthz(); });
+  introspect_.Handle("/statusz", [this](const obs::HttpRequest&) {
     return obs::HttpResponse{200, "text/plain; charset=utf-8", StatuszText()};
   });
-  introspect_.Handle("/flightz", [this] {
+  introspect_.Handle("/flightz", [this](const obs::HttpRequest&) {
     return obs::HttpResponse{
         200, "text/plain; charset=utf-8",
         options_.flight != nullptr ? options_.flight->Dump()
                                    : "no flight recorder attached\n"};
   });
-  introspect_.Handle("/tracez", [this] {
+  introspect_.Handle("/tracez", [this](const obs::HttpRequest&) {
     return obs::HttpResponse{200, "application/json", TracezJson()};
   });
+
+  // --- obs phase 4: profiling endpoints. All three render collapsed-stack
+  // or per-site text; none of them touches the deterministic surface.
+  introspect_.Handle("/pprofz", [this](const obs::HttpRequest& request) {
+    obs::CpuProfiler& prof = obs::CpuProfiler::Global();
+    // A profiler someone else runs continuously (bench_load --profile, the
+    // shell's \prof) just renders its cumulative window; otherwise this is
+    // an on-demand capture: profile for ?seconds=N (clamped to [1, 30]),
+    // one request at a time.
+    if (!prof.running()) {
+      std::lock_guard<std::mutex> window(pprof_mu_);
+      if (!prof.running()) {
+        const int seconds =
+            std::min(30, std::max(1, request.IntParam("seconds", 2)));
+        prof.Reset();
+        const Status started = prof.Start();
+        if (!started.ok()) {
+          return obs::HttpResponse{503, "text/plain; charset=utf-8",
+                                   "cpu profiler unavailable: " +
+                                       started.ToString() + "\n"};
+        }
+        std::this_thread::sleep_for(std::chrono::seconds(seconds));
+        prof.Stop();
+      }
+    }
+    std::string folded = prof.FoldedText();
+    if (folded.empty()) {
+      folded =
+          "# no samples (process idle during the capture window?)\n";
+    }
+    return obs::HttpResponse{200, "text/plain; charset=utf-8",
+                             std::move(folded)};
+  });
+  introspect_.Handle("/contentionz", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{200, "text/plain; charset=utf-8",
+                             obs::ContentionText()};
+  });
+  introspect_.Handle("/allocz", [](const obs::HttpRequest& request) {
+    if (!obs::HeapProfiler::Available()) {
+      return obs::HttpResponse{
+          200, "text/plain; charset=utf-8",
+          "# heap profiling compiled out (sanitizer build)\n"};
+    }
+    const std::string* which = request.Param("which");
+    const bool live = which == nullptr || *which != "alloc";
+    std::string folded = obs::HeapProfiler::Global().FoldedText(live);
+    if (folded.empty()) {
+      folded = live ? "# no live sampled allocations\n"
+                    : "# no sampled allocations yet\n";
+    }
+    return obs::HttpResponse{200, "text/plain; charset=utf-8",
+                             std::move(folded)};
+  });
+
   obs::IntrospectionServer::Options server_opts;
   server_opts.port = options_.introspect_port;
   server_opts.num_threads = options_.introspect_threads;
   std::string error;
-  if (!introspect_.Start(server_opts, &error) && options_.flight != nullptr) {
+  if (introspect_.Start(server_opts, &error)) {
+    // Continuous heap sampling rides along with introspection: /allocz is
+    // only useful with samples behind it, and the cost (~one captured stack
+    // per 512 KiB allocated per thread) is covered by the bench --profile
+    // overhead gate. No-op under sanitizers (Available() is false).
+    obs::HeapProfiler::Global().Enable();
+  } else if (options_.flight != nullptr) {
     // Sandboxes may forbid even localhost sockets; serve without the
     // endpoint rather than failing construction.
     options_.flight->Record(obs::FlightEventKind::kNote, "serve",
@@ -879,7 +1017,7 @@ Result<Session*> ServingContext::OpenSession(const std::string& user_id,
   if (!valid.ok()) {
     return Status::ProfileValidation(valid.message());
   }
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::lock_guard<common::ProfiledMutex> lock(sessions_mu_);
   auto it = sessions_.find(user_id);
   if (it != sessions_.end()) {
     return Status::AlreadyExists("session already open for user '" + user_id +
@@ -912,7 +1050,7 @@ void ServingContext::EvictOverCapLocked() {
 }
 
 Session* ServingContext::FindSession(const std::string& user_id) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::lock_guard<common::ProfiledMutex> lock(sessions_mu_);
   auto it = sessions_.find(user_id);
   if (it == sessions_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second->lru_it_);
@@ -921,7 +1059,7 @@ Session* ServingContext::FindSession(const std::string& user_id) {
 
 std::shared_ptr<Session> ServingContext::AcquireSession(
     const std::string& user_id) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::lock_guard<common::ProfiledMutex> lock(sessions_mu_);
   auto it = sessions_.find(user_id);
   if (it == sessions_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second->lru_it_);
@@ -929,7 +1067,7 @@ std::shared_ptr<Session> ServingContext::AcquireSession(
 }
 
 Status ServingContext::CloseSession(const std::string& user_id) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::lock_guard<common::ProfiledMutex> lock(sessions_mu_);
   auto it = sessions_.find(user_id);
   if (it == sessions_.end()) {
     return Status::NotFound("no session for user '" + user_id + "'");
@@ -940,7 +1078,7 @@ Status ServingContext::CloseSession(const std::string& user_id) {
 }
 
 size_t ServingContext::NumSessions() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::lock_guard<common::ProfiledMutex> lock(sessions_mu_);
   return sessions_.size();
 }
 

@@ -73,6 +73,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/profiled_mutex.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
@@ -478,7 +479,9 @@ class ServingContext {
   obs::MetricsRegistry metrics_;
   std::unique_ptr<obs::QueryLog> query_log_;
 
-  mutable std::mutex sessions_mu_;
+  /// Contention-profiled (site "serve_sessions"): session-map convoys under
+  /// many-user load show up in /contentionz.
+  mutable common::ProfiledMutex sessions_mu_{"serve_sessions"};
   std::map<std::string, std::shared_ptr<Session>> sessions_;
   /// Most-recently used session ids, front = hottest; each Session keeps
   /// its own iterator (lru_it_).
@@ -531,6 +534,26 @@ class ServingContext {
   };
   SloGauges slo_1m_;
   SloGauges slo_5m_;
+
+  // --- obs phase 4: continuous profiling (src/obs/prof.h) ---
+
+  /// Counter-rendered gauges (GetCounterGauge) mirroring the profiling
+  /// collectors' cumulative totals at scrape time, plus process CPU seconds
+  /// from /proc/self/stat. g_prof_heap_live_bytes_ is a plain gauge (live
+  /// bytes move both ways).
+  obs::Gauge* g_cpu_seconds_ = nullptr;
+  obs::Gauge* g_prof_cpu_samples_ = nullptr;
+  obs::Gauge* g_prof_cpu_dropped_ = nullptr;
+  obs::Gauge* g_prof_lock_acquisitions_ = nullptr;
+  obs::Gauge* g_prof_lock_contentions_ = nullptr;
+  obs::Gauge* g_prof_lock_wait_seconds_ = nullptr;
+  obs::Gauge* g_prof_heap_allocs_ = nullptr;
+  obs::Gauge* g_prof_heap_bytes_ = nullptr;
+  obs::Gauge* g_prof_heap_live_bytes_ = nullptr;
+  /// Serializes on-demand /pprofz capture windows (one SIGPROF timer per
+  /// process; concurrent requests take turns instead of trampling it).
+  std::mutex pprof_mu_;
+
   size_t gauge_hook_id_ = 0;
   bool gauge_hook_registered_ = false;
 

@@ -25,6 +25,7 @@
 
 #include "datagen/moviegen.h"
 #include "datagen/profilegen.h"
+#include "obs/prof.h"
 #include "qp.h"
 
 namespace qp {
@@ -96,7 +97,7 @@ HttpResult Get(int port, const std::string& path) {
 
 TEST(IntrospectionServerTest, ServesRegisteredExactPaths) {
   obs::IntrospectionServer server;
-  server.Handle("/hello", [] {
+  server.Handle("/hello", [](const obs::HttpRequest&) {
     obs::HttpResponse response;
     response.body = "hi\n";
     return response;
@@ -125,9 +126,72 @@ TEST(IntrospectionServerTest, ServesRegisteredExactPaths) {
   server.Stop();  // idempotent
 }
 
+TEST(QueryParamsTest, ParsesDecodesAndOrders) {
+  const auto params = obs::ParseQueryParams("a=1&b=x%20y&flag&c=%3D%26&d=p+q");
+  ASSERT_EQ(params.size(), 5u);
+  EXPECT_EQ(params[0], (std::pair<std::string, std::string>{"a", "1"}));
+  EXPECT_EQ(params[1], (std::pair<std::string, std::string>{"b", "x y"}));
+  EXPECT_EQ(params[2], (std::pair<std::string, std::string>{"flag", ""}));
+  EXPECT_EQ(params[3], (std::pair<std::string, std::string>{"c", "=&"}));
+  EXPECT_EQ(params[4], (std::pair<std::string, std::string>{"d", "p q"}));
+}
+
+TEST(QueryParamsTest, MalformedEscapesPassThroughLiterally) {
+  const auto params = obs::ParseQueryParams("k=%zz&m=%2&empty=&&tail");
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0].second, "%zz");
+  EXPECT_EQ(params[1].second, "%2");
+  EXPECT_EQ(params[2].second, "");
+  EXPECT_EQ(params[3].first, "tail");
+}
+
+TEST(QueryParamsTest, ParamAndIntParamLookup) {
+  obs::HttpRequest request;
+  request.params = obs::ParseQueryParams("seconds=5&bad=abc&neg=-3&dup=1&dup=2");
+  ASSERT_NE(request.Param("seconds"), nullptr);
+  EXPECT_EQ(*request.Param("seconds"), "5");
+  EXPECT_EQ(request.Param("missing"), nullptr);
+  EXPECT_EQ(request.IntParam("seconds", 9), 5);
+  EXPECT_EQ(request.IntParam("bad", 9), 9);
+  EXPECT_EQ(request.IntParam("neg", 9), -3);
+  EXPECT_EQ(request.IntParam("missing", 9), 9);
+  EXPECT_EQ(request.IntParam("dup", 9), 1);  // first value wins
+}
+
+TEST(IntrospectionServerTest, HandlersReceiveDecodedQueryParams) {
+  obs::IntrospectionServer server;
+  std::mutex mu;
+  std::string seen_path;
+  std::vector<std::pair<std::string, std::string>> seen_params;
+  server.Handle("/echo", [&](const obs::HttpRequest& request) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen_path = request.path;
+    seen_params = request.params;
+    obs::HttpResponse response;
+    response.body = std::to_string(request.IntParam("seconds", -1));
+    return response;
+  });
+  obs::IntrospectionServer::Options options;
+  START_OR_SKIP(server, options);
+
+  const HttpResult r = Get(server.port(), "/echo?seconds=7&who=a%20b");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "7");
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(seen_path, "/echo");
+    ASSERT_EQ(seen_params.size(), 2u);
+    EXPECT_EQ(seen_params[1],
+              (std::pair<std::string, std::string>{"who", "a b"}));
+  }
+  server.Stop();
+}
+
 TEST(IntrospectionServerTest, RejectsNonGetMethods) {
   obs::IntrospectionServer server;
-  server.Handle("/x", [] { return obs::HttpResponse{}; });
+  server.Handle("/x",
+                [](const obs::HttpRequest&) { return obs::HttpResponse{}; });
   obs::IntrospectionServer::Options options;
   START_OR_SKIP(server, options);
   const HttpResult post = RawRequest(
@@ -140,7 +204,7 @@ TEST(IntrospectionServerTest, RejectsNonGetMethods) {
 
 TEST(IntrospectionServerTest, HandlerStatusAndContentTypePassThrough) {
   obs::IntrospectionServer server;
-  server.Handle("/unhealthy", [] {
+  server.Handle("/unhealthy", [](const obs::HttpRequest&) {
     obs::HttpResponse response;
     response.status = 503;
     response.content_type = "application/json";
@@ -160,7 +224,7 @@ TEST(IntrospectionServerTest, HandlerStatusAndContentTypePassThrough) {
 TEST(IntrospectionServerTest, ConcurrentScrapesAllAnswer) {
   obs::IntrospectionServer server;
   std::atomic<size_t> calls{0};
-  server.Handle("/busy", [&] {
+  server.Handle("/busy", [&](const obs::HttpRequest&) {
     calls.fetch_add(1, std::memory_order_relaxed);
     obs::HttpResponse response;
     response.body = std::string(1 << 16, 'x');  // force multi-write bodies
@@ -279,6 +343,76 @@ TEST_F(ServingEndpointsTest, AllSixEndpointsServe) {
   EXPECT_EQ(tracez.status, 200);
   EXPECT_EQ(tracez.body.front(), '[');
   EXPECT_NE(tracez.body.find("personalize"), std::string::npos);
+}
+
+TEST_F(ServingEndpointsTest, ProfilingEndpointsServe) {
+  serve::ServingContext::Options options;
+  options.introspect_port = 0;
+  serve::ServingContext ctx(db_.get(), options);
+  if (ctx.introspect_port() < 0) {
+    GTEST_SKIP() << "loopback bind unavailable here";
+  }
+  auto session = ctx.OpenSession("al", profile_);
+  ASSERT_TRUE(session.ok()) << session.status();
+  core::PersonalizeOptions popts;
+  popts.k = 4;
+  popts.l = 1;
+  auto answer =
+      session.value()->Personalize("select mid, title from movie", popts);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  const int port = ctx.introspect_port();
+
+  // /contentionz names the profiled sites that exist in every context.
+  const HttpResult contention = Get(port, "/contentionz");
+  ASSERT_TRUE(contention.ok);
+  EXPECT_EQ(contention.status, 200);
+  EXPECT_NE(contention.body.find("serve_sessions"), std::string::npos);
+  EXPECT_NE(contention.body.find("introspect_pool"), std::string::npos);
+
+  // /allocz answers 200 in every build; with the interposed heap profiler
+  // available the sampler is enabled and (given enough allocation volume)
+  // attributes stacks, but an empty capture is legal — only the transport
+  // and format are pinned here.
+  const HttpResult alloc = Get(port, "/allocz");
+  ASSERT_TRUE(alloc.ok);
+  EXPECT_EQ(alloc.status, 200);
+  const HttpResult alloc_cumulative = Get(port, "/allocz?which=alloc");
+  ASSERT_TRUE(alloc_cumulative.ok);
+  EXPECT_EQ(alloc_cumulative.status, 200);
+  if (obs::HeapProfiler::Available()) {
+    EXPECT_TRUE(ctx.metrics());  // sampler enabled with introspection
+    EXPECT_TRUE(obs::HeapProfiler::Global().enabled());
+  }
+
+  // /pprofz with a 1-second on-demand window while a worker burns CPU.
+  std::atomic<bool> stop{false};
+  std::thread burner([&] {
+    volatile uint64_t sink = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 4096; ++i) sink = sink + static_cast<uint64_t>(i) * 2654435761u;
+    }
+  });
+  const HttpResult pprof = Get(port, "/pprofz?seconds=1");
+  stop.store(true, std::memory_order_relaxed);
+  burner.join();
+  ASSERT_TRUE(pprof.ok);
+  EXPECT_EQ(pprof.status, 200);
+  EXPECT_FALSE(pprof.body.empty());
+
+  // The qp_prof_* and qp_process_cpu_seconds_total families are exposed,
+  // and the CPU-seconds counter reads nonzero (/proc/self/stat).
+  const HttpResult metrics = Get(port, "/metrics");
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_NE(metrics.body.find("# TYPE qp_process_cpu_seconds_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("qp_prof_cpu_samples_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("qp_prof_lock_acquisitions_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("qp_prof_heap_sampled_allocs_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("qp_prof_heap_live_sampled_bytes"),
+            std::string::npos);
 }
 
 TEST_F(ServingEndpointsTest, HealthSourcesDriveHealthz) {
